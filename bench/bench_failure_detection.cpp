@@ -1,0 +1,140 @@
+// Experiment E8 (ablation) — adaptive vs fixed ping interval (§3.3): "if
+// consecutive pings do not have responses associated with them, the ping
+// interval is reduced to hasten the failure detection of the entity."
+//
+// A traced entity is crashed at a random phase of the ping cycle; we
+// measure time-to-FAILURE_SUSPICION and time-to-FAILED plus the pings
+// spent, with and without the adaptive shrink, across many trials on the
+// deterministic virtual-time backend.
+#include <cstdio>
+#include <memory>
+
+#include "src/crypto/credential.h"
+#include "src/discovery/tdn.h"
+#include "src/pubsub/topology.h"
+#include "src/tracing/config.h"
+#include "src/tracing/trace_filter.h"
+#include "src/tracing/traced_entity.h"
+#include "src/tracing/tracing_broker.h"
+#include "src/tracing/tracker.h"
+#include "src/transport/virtual_network.h"
+
+#include "bench/bench_util.h"
+
+namespace et::bench {
+namespace {
+
+using namespace et::tracing;
+
+constexpr int kTrials = 25;
+
+struct TrialResult {
+  RunningStats suspicion_ms;
+  RunningStats failed_ms;
+  RunningStats pings;
+};
+
+TrialResult run(bool adaptive) {
+  TrialResult result;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    transport::VirtualTimeNetwork net(1000 + trial);
+    Rng rng(77 + trial);
+    crypto::CertificateAuthority ca("ca", rng, 512);
+    crypto::Identity tdn_id = crypto::Identity::create(
+        "tdn-0", ca, rng, net.now(), 24 * 3600 * kSecond, 512);
+    TrustAnchors anchors{ca.public_key(), tdn_id.keys.public_key};
+    discovery::Tdn tdn(net, std::move(tdn_id), ca.public_key(), 4);
+
+    TracingConfig config;
+    config.ping_interval = 500 * kMillisecond;
+    // Fixed mode: the floor equals the base period, so no shrink happens.
+    config.min_ping_interval =
+        adaptive ? 100 * kMillisecond : 500 * kMillisecond;
+    config.suspicion_misses = 3;
+    config.failed_misses = 6;
+    config.gauge_interval = kSecond;
+    config.metrics_interval = 10 * kSecond;
+    config.delegate_key_bits = 512;
+
+    transport::LinkParams lan = transport::LinkParams::ideal_profile();
+    lan.base_latency = 1500;
+
+    pubsub::Topology topo(net);
+    auto brokers = topo.make_chain(1, lan);
+    install_trace_filter(*brokers[0], anchors);
+    TracingBrokerService service(*brokers[0], anchors, config, 9);
+
+    const crypto::Identity entity_id = crypto::Identity::create(
+        "entity", ca, rng, net.now(), 24 * 3600 * kSecond, 512);
+    TracedEntity entity(net, entity_id, anchors, config, rng.next_u64());
+    entity.attach_tdn(tdn.node(), lan);
+    entity.connect_broker(brokers[0]->node(), lan);
+    entity.start_tracing({}, [](const Status& s) {
+      if (!s.is_ok()) std::abort();
+    });
+    net.run_for(200 * kMillisecond);
+
+    // A tracker keeps change-notification interest alive and timestamps
+    // the suspicion/failure traces.
+    const crypto::Identity tracker_id = crypto::Identity::create(
+        "tracker", ca, rng, net.now(), 24 * 3600 * kSecond, 512);
+    Tracker tracker(net, tracker_id, anchors, rng.next_u64());
+    tracker.attach_tdn(tdn.node(), lan);
+    tracker.connect_broker(brokers[0]->node(), lan);
+    TimePoint suspected_at = 0, failed_at = 0;
+    tracker.track("entity", kCatChangeNotifications,
+                  [&](const TracePayload& p, const pubsub::Message&) {
+                    if (p.type == TraceType::kFailureSuspicion &&
+                        suspected_at == 0) {
+                      suspected_at = net.now();
+                    }
+                    if (p.type == TraceType::kFailed && failed_at == 0) {
+                      failed_at = net.now();
+                    }
+                  });
+    net.run_for(2 * kSecond);
+
+    // Crash at a random phase within one ping period.
+    net.run_for(static_cast<Duration>(rng.next_below(500 * 1000)));
+    const std::uint64_t pings_before = service.stats().pings_sent;
+    const TimePoint crash_at = net.now();
+    entity.set_responsive(false);
+    net.run_for(30 * kSecond);
+
+    if (suspected_at == 0 || failed_at == 0) {
+      std::fprintf(stderr, "FATAL: detection never completed\n");
+      std::abort();
+    }
+    result.suspicion_ms.add(to_millis(suspected_at - crash_at));
+    result.failed_ms.add(to_millis(failed_at - crash_at));
+    result.pings.add(static_cast<double>(service.stats().pings_sent -
+                                         pings_before));
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace et::bench
+
+int main() {
+  std::printf(
+      "E8 (ablation): adaptive vs fixed ping interval (section 3.3)\n"
+      "Base period 500 ms, suspicion after 3 misses, FAILED after 6.\n"
+      "%d trials each; crash injected at a random ping phase.\n",
+      et::bench::kTrials);
+  const auto adaptive = et::bench::run(true);
+  const auto fixed = et::bench::run(false);
+
+  et::bench::PaperTable t1("Adaptive interval (floor 100 ms)");
+  t1.add_row("time to FAILURE_SUSPICION (ms)", adaptive.suspicion_ms);
+  t1.add_row("time to FAILED (ms)", adaptive.failed_ms);
+  t1.add_row("pings sent during detection", adaptive.pings);
+  t1.print();
+
+  et::bench::PaperTable t2("Fixed interval (500 ms)");
+  t2.add_row("time to FAILURE_SUSPICION (ms)", fixed.suspicion_ms);
+  t2.add_row("time to FAILED (ms)", fixed.failed_ms);
+  t2.add_row("pings sent during detection", fixed.pings);
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Example 3: security features end to end — discovery restrictions,
+// encrypted traces with key distribution, and denial-of-service handling.
+//
+// A "billing-db" entity only lets the "sre-team" tracker discover its
+// trace topic (§3.4) and encrypts all traces (§5.1). An unauthorized
+// tracker fails discovery; an eavesdropper that somehow knows the topic
+// string sees only ciphertext; an attacker who injects forged traces gets
+// disconnected by its broker (§5.2).
+#include <cstdio>
+
+#include "src/crypto/credential.h"
+#include "src/discovery/tdn.h"
+#include "src/pubsub/client.h"
+#include "src/pubsub/topology.h"
+#include "src/tracing/trace_filter.h"
+#include "src/tracing/traced_entity.h"
+#include "src/tracing/tracing_broker.h"
+#include "src/tracing/tracker.h"
+#include "src/transport/virtual_network.h"
+
+using namespace et;
+
+int main() {
+  std::printf("== secure & restricted tracing demo ==\n\n");
+  transport::VirtualTimeNetwork net(31337);
+  Rng rng(31337);
+
+  crypto::CertificateAuthority ca("corp-ca", rng, 512);
+  crypto::Identity tdn_identity = crypto::Identity::create(
+      "tdn-0", ca, rng, net.now(), 24 * 3600 * kSecond, 512);
+  tracing::TrustAnchors anchors{ca.public_key(),
+                                tdn_identity.keys.public_key};
+  discovery::Tdn tdn(net, std::move(tdn_identity), ca.public_key(), 1);
+
+  tracing::TracingConfig config;
+  config.ping_interval = 300 * kMillisecond;
+  config.gauge_interval = 1 * kSecond;
+  config.secure_traces = true;  // §5.1 confidentiality on
+  config.delegate_key_bits = 512;
+
+  const transport::LinkParams lan = transport::LinkParams::tcp_profile();
+  pubsub::Topology topology(net);
+  auto brokers = topology.make_chain(2, lan);
+  tracing::install_trace_filter(*brokers[0], anchors);
+  tracing::install_trace_filter(*brokers[1], anchors);
+  tracing::TracingBrokerService svc0(*brokers[0], anchors, config, 5);
+  tracing::TracingBrokerService svc1(*brokers[1], anchors, config, 6);
+
+  // --- the protected entity: only "sre-team" may discover it --------------
+  tracing::TracedEntity db(
+      net,
+      crypto::Identity::create("billing-db", ca, rng, net.now(),
+                               24 * 3600 * kSecond, 512),
+      anchors, config, rng.next_u64());
+  db.attach_tdn(tdn.node(), lan);
+  db.connect_broker(brokers[0]->node(), lan);
+  discovery::DiscoveryRestrictions only_sre;
+  only_sre.authorized_subjects = {"sre-team"};
+  db.start_tracing(only_sre, [](const Status& s) {
+    std::printf("[billing-db] tracing: %s\n", s.to_string().c_str());
+  });
+  net.run_for(200 * kMillisecond);
+
+  // --- authorized tracker ---------------------------------------------------
+  tracing::Tracker sre(net,
+                       crypto::Identity::create("sre-team", ca, rng,
+                                                net.now(),
+                                                24 * 3600 * kSecond, 512),
+                       anchors, rng.next_u64());
+  sre.attach_tdn(tdn.node(), lan);
+  sre.connect_broker(brokers[1]->node(), lan);
+  int sre_heartbeats = 0;
+  sre.track("billing-db", tracing::kCatAllUpdates,
+            [&](const tracing::TracePayload& p, const pubsub::Message& m) {
+              if (p.type == tracing::TraceType::kAllsWell) {
+                ++sre_heartbeats;
+                if (sre_heartbeats == 1) {
+                  std::printf(
+                      "[sre-team  ] first heartbeat (wire encrypted=%s)\n",
+                      m.encrypted ? "yes" : "no");
+                }
+              }
+            },
+            [](const Status& s) {
+              std::printf("[sre-team  ] discovery+subscribe: %s\n",
+                          s.to_string().c_str());
+            });
+  net.run_for(2 * kSecond);
+
+  // --- unauthorized tracker fails discovery --------------------------------
+  tracing::Tracker intern(
+      net,
+      crypto::Identity::create("curious-intern", ca, rng, net.now(),
+                               24 * 3600 * kSecond, 512),
+      anchors, rng.next_u64());
+  intern.attach_tdn(tdn.node(), lan);
+  intern.connect_broker(brokers[1]->node(), lan);
+  intern.track("billing-db", tracing::kCatAllUpdates,
+               [](const tracing::TracePayload&, const pubsub::Message&) {
+                 std::printf("[intern    ] !!! should never see a trace\n");
+               },
+               [&](const Status& s) {
+                 std::printf("[intern    ] discovery outcome: %s\n",
+                             s.to_string().c_str());
+               });
+  net.run_for(3 * kSecond);
+
+  // --- eavesdropper on the raw topic sees only ciphertext -------------------
+  pubsub::Client eve(net, "eve");
+  eve.connect(brokers[1]->node(), lan);
+  int eve_ciphertexts = 0, eve_plaintexts = 0;
+  eve.subscribe(pubsub::trace_topics::trace_publication(
+                    db.trace_topic().to_string(), "AllUpdates"),
+                [&](const pubsub::Message& m) {
+                  try {
+                    (void)tracing::TracePayload::deserialize(m.payload);
+                    ++eve_plaintexts;
+                  } catch (const std::exception&) {
+                    ++eve_ciphertexts;
+                  }
+                });
+  net.run_for(2 * kSecond);
+  std::printf("[eve       ] observed %d ciphertext traces, decoded %d\n",
+              eve_ciphertexts, eve_plaintexts);
+
+  // --- forger gets cut off ---------------------------------------------------
+  pubsub::Client mallory(net, "mallory");
+  mallory.connect(brokers[1]->node(), lan);
+  net.run_for(50 * kMillisecond);
+  for (int i = 0; i < 8; ++i) {
+    tracing::TracePayload fake;
+    fake.type = tracing::TraceType::kFailed;
+    fake.entity_id = "billing-db";
+    pubsub::Message m;
+    m.topic = pubsub::trace_topics::trace_publication(
+        db.trace_topic().to_string(), "ChangeNotifications");
+    m.payload = fake.serialize();
+    mallory.publish(std::move(m));
+    net.run_for(50 * kMillisecond);
+  }
+  std::printf("[mallory   ] blacklisted by broker-1: %s\n",
+              brokers[1]->is_blacklisted(mallory.node()) ? "yes" : "no");
+
+  // --- wrap up ----------------------------------------------------------------
+  std::printf("\n== results ==\n");
+  std::printf("sre-team decrypted heartbeats: %d\n", sre_heartbeats);
+  std::printf("sre-team keys received:        %llu\n",
+              (unsigned long long)sre.stats().keys_received);
+  std::printf("intern traces seen:            %llu\n",
+              (unsigned long long)intern.stats().traces_received);
+  std::printf("tdn silent discoveries:        %llu\n",
+              (unsigned long long)tdn.stats().discoveries_ignored);
+  std::printf("broker-1 disconnects:          %llu\n",
+              (unsigned long long)brokers[1]->stats().disconnects);
+
+  const bool ok = sre_heartbeats > 0 && eve_plaintexts == 0 &&
+                  intern.stats().traces_received == 0 &&
+                  brokers[1]->is_blacklisted(mallory.node());
+  std::printf("\n%s\n", ok ? "ALL SECURITY PROPERTIES HELD"
+                           : "SECURITY PROPERTY VIOLATION");
+  return ok ? 0 : 1;
+}

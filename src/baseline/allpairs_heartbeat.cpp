@@ -1,0 +1,91 @@
+#include "src/baseline/allpairs_heartbeat.h"
+
+namespace et::baseline {
+
+using transport::NodeId;
+
+AllPairsNode::AllPairsNode(transport::VirtualTimeNetwork& net,
+                           std::string name, Duration heartbeat_interval,
+                           Duration failure_timeout)
+    : net_(net),
+      name_(std::move(name)),
+      interval_(heartbeat_interval),
+      timeout_(failure_timeout) {
+  node_ = net_.add_node(name_, [this](NodeId from, Bytes payload) {
+    on_packet(from, payload);
+  });
+}
+
+void AllPairsNode::add_peer(AllPairsNode& other,
+                            const transport::LinkParams& params) {
+  if (!net_.linked(node_, other.node_)) {
+    net_.link(node_, other.node_, params);
+  }
+  peers_[other.node_] = Peer{other.node_, other.name_, net_.now(), false};
+  other.peers_[node_] = Peer{node_, name_, net_.now(), false};
+}
+
+void AllPairsNode::start() {
+  net_.schedule(node_, interval_, [this] { tick(); });
+}
+
+void AllPairsNode::tick() {
+  const TimePoint now = net_.now();
+  if (alive_) {
+    for (auto& [id, peer] : peers_) {
+      (void)net_.send(node_, id, Bytes{0x48});  // 'H'
+      ++sent_;
+    }
+  }
+  // Failure detection sweep.
+  for (auto& [id, peer] : peers_) {
+    if (!peer.suspected && now - peer.last_heard > timeout_) {
+      peer.suspected = true;
+      if (on_failure) on_failure(peer.name, now);
+    }
+  }
+  net_.schedule(node_, interval_, [this] { tick(); });
+}
+
+void AllPairsNode::on_packet(NodeId from, const Bytes&) {
+  const auto it = peers_.find(from);
+  if (it == peers_.end()) return;
+  it->second.last_heard = net_.now();
+  it->second.suspected = false;
+}
+
+std::vector<std::string> AllPairsNode::failed_peers() const {
+  std::vector<std::string> out;
+  for (const auto& [id, peer] : peers_) {
+    if (peer.suspected) out.push_back(peer.name);
+  }
+  return out;
+}
+
+AllPairsSystem::AllPairsSystem(transport::VirtualTimeNetwork& net,
+                               std::size_t n, Duration heartbeat_interval,
+                               Duration failure_timeout,
+                               const transport::LinkParams& params) {
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<AllPairsNode>(
+        net, "node" + std::to_string(i), heartbeat_interval,
+        failure_timeout));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      nodes_[i]->add_peer(*nodes_[j], params);
+    }
+  }
+}
+
+void AllPairsSystem::start() {
+  for (auto& n : nodes_) n->start();
+}
+
+std::uint64_t AllPairsSystem::total_heartbeats() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->heartbeats_sent();
+  return total;
+}
+
+}  // namespace et::baseline

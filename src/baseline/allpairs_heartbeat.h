@@ -1,0 +1,88 @@
+// Baseline 1: the naive all-pairs heartbeat scheme from the paper's §1.
+//
+// "In the simplest scheme, every entity would issue messages at regular
+// intervals ... If there are N entities ... there would be N×(N−1)
+// messages within the system every second. As the scale of the system
+// increases ... every entity within the system would be inundated with
+// messages."
+//
+// Implemented on the virtual-time backend so the message-count experiment
+// (DESIGN.md E7) can sweep N into the hundreds. Every node heartbeats all
+// peers each interval and declares a peer failed after `failure_timeout`
+// without a heartbeat.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::baseline {
+
+/// One participant in the all-pairs scheme.
+class AllPairsNode {
+ public:
+  AllPairsNode(transport::VirtualTimeNetwork& net, std::string name,
+               Duration heartbeat_interval, Duration failure_timeout);
+
+  /// Links to `other` and starts expecting its heartbeats.
+  void add_peer(AllPairsNode& other, const transport::LinkParams& params);
+
+  /// Starts the heartbeat timer.
+  void start();
+
+  /// Stops emitting heartbeats (simulated crash).
+  void fail() { alive_ = false; }
+
+  /// Peers currently considered failed by this node.
+  [[nodiscard]] std::vector<std::string> failed_peers() const;
+
+  /// Called when this node newly suspects `peer`.
+  std::function<void(const std::string& peer, TimePoint at)> on_failure;
+
+  [[nodiscard]] std::uint64_t heartbeats_sent() const { return sent_; }
+  [[nodiscard]] transport::NodeId node() const { return node_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void tick();
+  void on_packet(transport::NodeId from, const Bytes& payload);
+
+  transport::VirtualTimeNetwork& net_;
+  std::string name_;
+  transport::NodeId node_;
+  Duration interval_;
+  Duration timeout_;
+  bool alive_ = true;
+  std::uint64_t sent_ = 0;
+  struct Peer {
+    transport::NodeId node;
+    std::string name;
+    TimePoint last_heard = 0;
+    bool suspected = false;
+  };
+  std::map<transport::NodeId, Peer> peers_;
+};
+
+/// Convenience harness: N fully meshed nodes.
+class AllPairsSystem {
+ public:
+  AllPairsSystem(transport::VirtualTimeNetwork& net, std::size_t n,
+                 Duration heartbeat_interval, Duration failure_timeout,
+                 const transport::LinkParams& params);
+
+  void start();
+  [[nodiscard]] AllPairsNode& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t total_heartbeats() const;
+
+ private:
+  std::vector<std::unique_ptr<AllPairsNode>> nodes_;
+};
+
+}  // namespace et::baseline

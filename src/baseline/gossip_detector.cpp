@@ -1,0 +1,139 @@
+#include "src/baseline/gossip_detector.h"
+
+#include "src/common/serialize.h"
+
+namespace et::baseline {
+
+using transport::NodeId;
+
+GossipNode::GossipNode(transport::VirtualTimeNetwork& net, std::string name,
+                       Duration gossip_interval, Duration failure_timeout,
+                       std::size_t fanout, std::uint64_t seed)
+    : net_(net),
+      name_(std::move(name)),
+      interval_(gossip_interval),
+      timeout_(failure_timeout),
+      fanout_(fanout),
+      rng_(seed) {
+  node_ = net_.add_node(name_, [this](NodeId from, Bytes payload) {
+    on_packet(from, payload);
+  });
+  table_[name_] = Entry{0, 0, false};
+}
+
+void GossipNode::add_peer(GossipNode& other,
+                          const transport::LinkParams& params) {
+  if (!net_.linked(node_, other.node_)) {
+    net_.link(node_, other.node_, params);
+  }
+  peers_.push_back(other.node_);
+  peer_names_[other.node_] = other.name_;
+  table_.try_emplace(other.name_, Entry{0, net_.now(), false});
+  other.peers_.push_back(node_);
+  other.peer_names_[node_] = name_;
+  other.table_.try_emplace(name_, Entry{0, net_.now(), false});
+}
+
+void GossipNode::start() {
+  net_.schedule(node_, interval_, [this] { tick(); });
+}
+
+Bytes GossipNode::encode_table() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(table_.size()));
+  for (const auto& [member, entry] : table_) {
+    w.str(member);
+    w.u64(entry.heartbeat);
+  }
+  return std::move(w).take();
+}
+
+void GossipNode::tick() {
+  const TimePoint now = net_.now();
+  if (alive_) {
+    auto& self = table_[name_];
+    ++self.heartbeat;
+    self.last_bump = now;
+
+    // Gossip to `fanout` distinct random peers.
+    if (!peers_.empty()) {
+      const std::size_t k = std::min(fanout_, peers_.size());
+      // Partial Fisher-Yates over a copy of indices.
+      std::vector<std::size_t> idx(peers_.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + rng_.next_below(idx.size() - i);
+        std::swap(idx[i], idx[j]);
+        (void)net_.send(node_, peers_[idx[i]], encode_table());
+        ++sent_;
+      }
+    }
+  }
+
+  // Suspicion sweep.
+  for (auto& [member, entry] : table_) {
+    if (member == name_) continue;
+    if (!entry.suspected && now - entry.last_bump > timeout_) {
+      entry.suspected = true;
+      if (on_suspect) on_suspect(member, now);
+    }
+  }
+  net_.schedule(node_, interval_, [this] { tick(); });
+}
+
+void GossipNode::on_packet(NodeId, const Bytes& payload) {
+  const TimePoint now = net_.now();
+  try {
+    Reader r(payload);
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::string member = r.str();
+      const std::uint64_t hb = r.u64();
+      auto& entry = table_[member];
+      if (hb > entry.heartbeat) {
+        entry.heartbeat = hb;
+        entry.last_bump = now;
+        entry.suspected = false;
+      }
+    }
+  } catch (const SerializeError&) {
+    // drop malformed gossip
+  }
+}
+
+std::vector<std::string> GossipNode::suspected() const {
+  std::vector<std::string> out;
+  for (const auto& [member, entry] : table_) {
+    if (entry.suspected) out.push_back(member);
+  }
+  return out;
+}
+
+GossipSystem::GossipSystem(transport::VirtualTimeNetwork& net, std::size_t n,
+                           Duration gossip_interval, Duration failure_timeout,
+                           std::size_t fanout,
+                           const transport::LinkParams& params,
+                           std::uint64_t seed) {
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<GossipNode>(
+        net, "gossip" + std::to_string(i), gossip_interval, failure_timeout,
+        fanout, seed + i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      nodes_[i]->add_peer(*nodes_[j], params);
+    }
+  }
+}
+
+void GossipSystem::start() {
+  for (auto& n : nodes_) n->start();
+}
+
+std::uint64_t GossipSystem::total_gossips() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->gossips_sent();
+  return total;
+}
+
+}  // namespace et::baseline

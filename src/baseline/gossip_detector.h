@@ -1,0 +1,87 @@
+// Baseline 2: gossip-style failure detection (paper §7, Ref [7]).
+//
+// "Renesse, Minsky and Hayden described the first gossip based failure
+// detection service ... a given node gossips (and passes information) to a
+// set of randomly selected nodes. Gossip systems tend to scale well and
+// have no single point of failure."
+//
+// Classic heartbeat-counter gossip: each node keeps a table of
+// (member -> heartbeat counter, last local increase time). Every round it
+// bumps its own counter and ships the table to `fanout` random peers;
+// receivers take the element-wise max. A member whose counter stalls for
+// `failure_timeout` is suspected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::baseline {
+
+class GossipNode {
+ public:
+  GossipNode(transport::VirtualTimeNetwork& net, std::string name,
+             Duration gossip_interval, Duration failure_timeout,
+             std::size_t fanout, std::uint64_t seed);
+
+  void add_peer(GossipNode& other, const transport::LinkParams& params);
+  void start();
+  void fail() { alive_ = false; }
+
+  [[nodiscard]] std::vector<std::string> suspected() const;
+  [[nodiscard]] std::uint64_t gossips_sent() const { return sent_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Fires when this node newly suspects `member`.
+  std::function<void(const std::string& member, TimePoint at)> on_suspect;
+
+ private:
+  struct Entry {
+    std::uint64_t heartbeat = 0;
+    TimePoint last_bump = 0;  // local time the counter last increased
+    bool suspected = false;
+  };
+
+  void tick();
+  void on_packet(transport::NodeId from, const Bytes& payload);
+  [[nodiscard]] Bytes encode_table() const;
+
+  transport::VirtualTimeNetwork& net_;
+  std::string name_;
+  transport::NodeId node_;
+  Duration interval_;
+  Duration timeout_;
+  std::size_t fanout_;
+  Rng rng_;
+  bool alive_ = true;
+  std::uint64_t sent_ = 0;
+  std::map<std::string, Entry> table_;
+  std::vector<transport::NodeId> peers_;
+  std::map<transport::NodeId, std::string> peer_names_;
+};
+
+/// N fully meshed gossiping nodes.
+class GossipSystem {
+ public:
+  GossipSystem(transport::VirtualTimeNetwork& net, std::size_t n,
+               Duration gossip_interval, Duration failure_timeout,
+               std::size_t fanout, const transport::LinkParams& params,
+               std::uint64_t seed);
+
+  void start();
+  [[nodiscard]] GossipNode& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t total_gossips() const;
+
+ private:
+  std::vector<std::unique_ptr<GossipNode>> nodes_;
+};
+
+}  // namespace et::baseline

@@ -1,0 +1,45 @@
+// Byte-buffer primitives shared by every module.
+//
+// `Bytes` is the universal octet container used for wire payloads, digests,
+// keys and ciphertexts. Helpers here convert between Bytes, std::string and
+// hexadecimal text, and provide constant-time comparison for secret material.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace et {
+
+/// Contiguous, owning octet buffer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view of octets.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Copies a string's characters into a fresh byte buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Reinterprets a byte buffer as text (bytes are copied verbatim).
+std::string to_string(BytesView b);
+
+/// Lower-case hexadecimal encoding, two characters per byte.
+std::string hex_encode(BytesView b);
+
+/// Parses hexadecimal text produced by hex_encode (case-insensitive).
+/// Throws std::invalid_argument on odd length or non-hex characters.
+Bytes hex_decode(std::string_view hex);
+
+/// Comparison that does not short-circuit on the first mismatching byte.
+/// Use for MACs, digests and other secret-derived values.
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates any number of buffers into one.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+}  // namespace et

@@ -1,0 +1,5 @@
+#include "src/common/clock.h"
+
+// Header-only implementations; this translation unit anchors the vtables.
+
+namespace et {}  // namespace et

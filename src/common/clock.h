@@ -1,0 +1,74 @@
+// Time sources.
+//
+// All protocol code reads time through the `Clock` interface so the same
+// brokers/entities run unchanged on wall-clock time (RealTimeNetwork) and on
+// simulated time (VirtualTimeNetwork). Timestamps are microseconds since an
+// arbitrary epoch; durations are microseconds.
+//
+// The paper relies on NTP-synchronized timestamps being "within 30-100
+// milliseconds of each other" for token-expiry checks (§4.3); `SkewedClock`
+// models that bounded skew for tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace et {
+
+/// Microseconds since an arbitrary epoch.
+using TimePoint = std::int64_t;
+/// Microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Converts microseconds to fractional milliseconds (for reporting).
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Abstract monotonic-ish time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time, microseconds since this clock's epoch.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Wall-clock backed by std::chrono::steady_clock.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock for discrete-event simulation and tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0) : now_(start) {}
+  [[nodiscard]] TimePoint now() const override { return now_; }
+  void advance(Duration d) { now_ += d; }
+  void set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+/// Views another clock through a fixed offset — models NTP skew between
+/// hosts (paper §4.3 assumes skew bounded by 30-100 ms).
+class SkewedClock final : public Clock {
+ public:
+  SkewedClock(const Clock& base, Duration skew) : base_(base), skew_(skew) {}
+  [[nodiscard]] TimePoint now() const override { return base_.now() + skew_; }
+
+ private:
+  const Clock& base_;
+  Duration skew_;
+};
+
+}  // namespace et

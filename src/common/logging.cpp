@@ -1,0 +1,51 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace et {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace log_internal {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level.load()), level_(level) {
+  if (enabled_) {
+    os_ << "[" << level_tag(level) << "] " << basename_of(file) << ":" << line
+        << " ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fputs(os_.str().c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace log_internal
+}  // namespace et

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// Thread-safe, writes to stderr, off by default above WARN so tests and
+// benchmarks stay quiet. Components log through `ET_LOG(level) << ...`.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace et {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace log_internal {
+
+/// Collects one log line and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace log_internal
+}  // namespace et
+
+#define ET_LOG(level) \
+  ::et::log_internal::LogLine(::et::LogLevel::level, __FILE__, __LINE__)

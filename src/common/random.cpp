@@ -1,0 +1,93 @@
+#include "src/common/random.h"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace et {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::from_entropy() {
+  std::random_device rd;
+  const std::uint64_t seed =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ rd() ^ 0xA5A5A5A5A5A5A5A5ULL;
+  return Rng(seed);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint32_t Rng::next_u32() {
+  return static_cast<std::uint32_t>(next_u64() >> 32);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  // 53 uniform bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_gaussian(double mean, double stddev) {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Bytes Rng::next_bytes(std::size_t n) {
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    const std::uint64_t v = next_u64();
+    for (int k = 0; k < 8; ++k) {
+      out[i + k] = static_cast<std::uint8_t>(v >> (8 * k));
+    }
+    i += 8;
+  }
+  if (i < n) {
+    const std::uint64_t v = next_u64();
+    for (std::size_t k = 0; i + k < n; ++k) {
+      out[i + k] = static_cast<std::uint8_t>(v >> (8 * k));
+    }
+  }
+  return out;
+}
+
+}  // namespace et

@@ -1,0 +1,56 @@
+// Seedable random number generation.
+//
+// A single `Rng` type (xoshiro256**) backs everything random in the system:
+// UUID minting, cryptographic key generation, link-loss decisions and
+// workload generators. Crypto callers seed it from the OS entropy pool via
+// `Rng::from_entropy()`; tests and simulations seed it with a constant for
+// reproducibility. The generator is NOT thread-safe; each actor owns one.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/common/bytes.h"
+
+namespace et {
+
+/// xoshiro256** PRNG with splitmix64 seeding.
+class Rng {
+ public:
+  /// Deterministic construction from a 64-bit seed.
+  explicit Rng(std::uint64_t seed);
+
+  /// Seeds from std::random_device (OS entropy).
+  static Rng from_entropy();
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform integer in [0, bound) using rejection sampling; bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Gaussian (mean, stddev) via Box-Muller.
+  double next_gaussian(double mean, double stddev);
+
+  /// Fills `out` with `n` random octets.
+  Bytes next_bytes(std::size_t n);
+
+  // UniformRandomBitGenerator interface, so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace et

@@ -1,0 +1,132 @@
+#include "src/common/serialize.h"
+
+#include <bit>
+#include <cstring>
+
+namespace et {
+
+namespace {
+// Sanity cap on length prefixes: no single field in this system approaches
+// 64 MiB; anything larger is corruption or an attack.
+constexpr std::uint32_t kMaxFieldLength = 64u * 1024u * 1024u;
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Writer::bytes(BytesView b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  raw(b);
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::raw(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw SerializeError("truncated input: need " + std::to_string(n) +
+                         " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(buf_[pos_]) << 8) | buf_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | buf_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | buf_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool Reader::boolean() { return u8() != 0; }
+
+Bytes Reader::bytes() {
+  const std::uint32_t n = u32();
+  if (n > kMaxFieldLength) {
+    throw SerializeError("field length " + std::to_string(n) +
+                         " exceeds sanity cap");
+  }
+  return raw(n);
+}
+
+std::string Reader::str() {
+  const Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+Bytes Reader::raw(std::size_t n) {
+  need(n);
+  Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void Reader::expect_done() const {
+  if (!done()) {
+    throw SerializeError("trailing bytes after message: " +
+                         std::to_string(remaining()));
+  }
+}
+
+}  // namespace et

@@ -1,0 +1,89 @@
+// Binary wire format used by every protocol message in the repository.
+//
+// The format is deliberately simple and explicit: fixed-width big-endian
+// integers, length-prefixed strings/buffers, and no implicit alignment.
+// `Writer` builds a buffer; `Reader` consumes one and throws
+// `SerializeError` on any malformed input (truncation, overlong lengths),
+// which protocol code treats as a tamper/verification failure.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+
+namespace et {
+
+/// Raised by Reader when the input is truncated or structurally invalid.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends typed values to a growing byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v);
+
+  /// Length-prefixed (u32) octet string.
+  void bytes(BytesView b);
+  /// Length-prefixed (u32) character string.
+  void str(std::string_view s);
+  /// Raw append without a length prefix (fixed-size fields, digests).
+  void raw(BytesView b);
+
+  /// Finishes and returns the built buffer.
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] const Bytes& view() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes typed values from a byte buffer. All reads bounds-check and
+/// throw SerializeError past the end.
+class Reader {
+ public:
+  explicit Reader(BytesView b) : buf_(b) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  bool boolean();
+
+  /// Length-prefixed octet string.
+  Bytes bytes();
+  /// Length-prefixed character string.
+  std::string str();
+  /// Exactly `n` raw octets.
+  Bytes raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+  /// Throws unless the whole buffer has been consumed; call at the end of
+  /// a message parse to reject trailing garbage.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace et

@@ -1,0 +1,55 @@
+// Streaming statistics used by the benchmark harness.
+//
+// The paper reports every experiment as (mean, standard deviation, standard
+// error) in milliseconds — see Tables 3 and 4. `RunningStats` accumulates
+// those with Welford's numerically stable online algorithm; `Histogram`
+// supports percentile reporting for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace et {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator).
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean: stddev / sqrt(n).
+  [[nodiscard]] double stderr_of_mean() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+  /// "mean=… sd=… se=… n=…" one-liner for logs.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-capacity sample reservoir with exact percentiles (sorts on query).
+class Histogram {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// p in [0,100]; nearest-rank percentile. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+}  // namespace et

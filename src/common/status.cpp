@@ -1,0 +1,46 @@
+#include "src/common/status.h"
+
+namespace et {
+
+std::string_view code_name(Code c) {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kPermissionDenied: return "PERMISSION_DENIED";
+    case Code::kUnauthenticated: return "UNAUTHENTICATED";
+    case Code::kExpired: return "EXPIRED";
+    case Code::kAlreadyExists: return "ALREADY_EXISTS";
+    case Code::kUnavailable: return "UNAVAILABLE";
+    case Code::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  return std::string(code_name(code_)) + ": " + message_;
+}
+
+Status invalid_argument(std::string msg) {
+  return {Code::kInvalidArgument, std::move(msg)};
+}
+Status not_found(std::string msg) { return {Code::kNotFound, std::move(msg)}; }
+Status permission_denied(std::string msg) {
+  return {Code::kPermissionDenied, std::move(msg)};
+}
+Status unauthenticated(std::string msg) {
+  return {Code::kUnauthenticated, std::move(msg)};
+}
+Status expired(std::string msg) { return {Code::kExpired, std::move(msg)}; }
+Status already_exists(std::string msg) {
+  return {Code::kAlreadyExists, std::move(msg)};
+}
+Status unavailable(std::string msg) {
+  return {Code::kUnavailable, std::move(msg)};
+}
+Status internal_error(std::string msg) {
+  return {Code::kInternal, std::move(msg)};
+}
+
+}  // namespace et

@@ -1,0 +1,91 @@
+// Error handling primitives.
+//
+// Protocol layers report recoverable failures (verification failures,
+// unauthorized actions, unknown topics) as values, not exceptions: a broker
+// must keep serving after rejecting a bogus message. `Status` carries a
+// code + message; `Result<T>` is Status-or-value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace et {
+
+/// Coarse failure categories shared across the library.
+enum class Code : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // malformed input from the caller
+  kNotFound,          // unknown topic / entity / session
+  kPermissionDenied,  // authorization check failed
+  kUnauthenticated,   // signature / credential verification failed
+  kExpired,           // token / advertisement / lease past lifetime
+  kAlreadyExists,     // duplicate registration
+  kUnavailable,       // endpoint disconnected or blacklisted
+  kInternal,          // bug or broken invariant
+};
+
+/// Human-readable name of a code ("PERMISSION_DENIED", ...).
+std::string_view code_name(Code c);
+
+/// A success-or-error value; cheap to copy on the success path.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message".
+  [[nodiscard]] std::string to_string() const;
+
+  explicit operator bool() const { return is_ok(); }
+
+ private:
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Convenience constructors.
+Status invalid_argument(std::string msg);
+Status not_found(std::string msg);
+Status permission_denied(std::string msg);
+Status unauthenticated(std::string msg);
+Status expired(std::string msg);
+Status already_exists(std::string msg);
+Status unavailable(std::string msg);
+Status internal_error(std::string msg);
+
+/// Status-or-value. Check `ok()` before dereferencing.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}              // NOLINT(implicit)
+  Result(Status status) : v_(std::move(status)) {}       // NOLINT(implicit)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
+  [[nodiscard]] T& value() & { return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
+
+  /// The error; only valid when !ok().
+  [[nodiscard]] const Status& status() const { return std::get<Status>(v_); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace et

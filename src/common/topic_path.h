@@ -1,0 +1,41 @@
+// Hierarchical "/"-separated topic paths.
+//
+// Topics in the publish/subscribe substrate are strings like
+// `StockQuotes/Companies/Adobe` or
+// `/Constrained/Traces/Broker/Publish-Only/<uuid>/ChangeNotifications`.
+// This module provides splitting, joining, normalization and prefix /
+// wildcard matching. The constrained-topic *grammar* (element defaults,
+// allowed actions) lives in src/pubsub/constrained_topic.h; this file is
+// pure string mechanics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace et {
+
+/// Splits on '/', dropping empty segments (so a leading '/' is ignored and
+/// `a//b` equals `a/b`).
+std::vector<std::string> split_topic(std::string_view topic);
+
+/// Joins segments with '/' (no leading slash).
+std::string join_topic(const std::vector<std::string>& segments);
+
+/// Canonical form: segments joined with '/', no leading/trailing slash.
+std::string normalize_topic(std::string_view topic);
+
+/// True when `topic` equals or is hierarchically below `prefix`
+/// (segment-wise; "a/b" is under "a", "ab" is not).
+bool topic_has_prefix(std::string_view topic, std::string_view prefix);
+
+/// Subscription matching with wildcards:
+///   `*`  matches exactly one segment,
+///   `#`  (only as the last segment) matches zero or more segments.
+/// Exact segments match case-sensitively.
+bool topic_matches(std::string_view pattern, std::string_view topic);
+
+/// True when every segment is non-empty printable ASCII without whitespace.
+bool is_valid_topic(std::string_view topic);
+
+}  // namespace et

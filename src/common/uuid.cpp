@@ -1,0 +1,91 @@
+#include "src/common/uuid.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace et {
+
+Uuid Uuid::generate(Rng& rng) {
+  Uuid u;
+  const Bytes b = rng.next_bytes(16);
+  std::copy(b.begin(), b.end(), u.octets_.begin());
+  // RFC 4122 version 4, variant 1.
+  u.octets_[6] = static_cast<std::uint8_t>((u.octets_[6] & 0x0F) | 0x40);
+  u.octets_[8] = static_cast<std::uint8_t>((u.octets_[8] & 0x3F) | 0x80);
+  return u;
+}
+
+Uuid Uuid::from_bytes(BytesView b) {
+  if (b.size() != 16) {
+    throw std::invalid_argument("Uuid::from_bytes: need 16 octets");
+  }
+  Uuid u;
+  std::copy(b.begin(), b.end(), u.octets_.begin());
+  return u;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Uuid Uuid::parse(std::string_view text) {
+  // Canonical form: 8-4-4-4-12 (36 chars, dashes at 8,13,18,23).
+  if (text.size() != 36 || text[8] != '-' || text[13] != '-' ||
+      text[18] != '-' || text[23] != '-') {
+    throw std::invalid_argument("Uuid::parse: malformed UUID text");
+  }
+  Uuid u;
+  std::size_t oi = 0;
+  for (std::size_t i = 0; i < 36;) {
+    if (text[i] == '-') {
+      ++i;
+      continue;
+    }
+    const int hi = hex_nibble(text[i]);
+    const int lo = hex_nibble(text[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("Uuid::parse: non-hex character");
+    }
+    u.octets_[oi++] = static_cast<std::uint8_t>((hi << 4) | lo);
+    i += 2;
+  }
+  return u;
+}
+
+std::string Uuid::to_string() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(36);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (i == 4 || i == 6 || i == 8 || i == 10) out.push_back('-');
+    out.push_back(kDigits[octets_[i] >> 4]);
+    out.push_back(kDigits[octets_[i] & 0x0F]);
+  }
+  return out;
+}
+
+Bytes Uuid::to_bytes() const {
+  return Bytes(octets_.begin(), octets_.end());
+}
+
+bool Uuid::is_nil() const {
+  return std::all_of(octets_.begin(), octets_.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+std::uint64_t Uuid::hash() const {
+  // FNV-1a over the octets.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::uint8_t b : octets_) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace et

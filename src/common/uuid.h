@@ -1,0 +1,60 @@
+// 128-bit universally unique identifiers.
+//
+// Trace topics in the tracing scheme are UUIDs minted by Topic Discovery
+// Nodes: "a 128-bit identifier that is guaranteed to be unique in space and
+// time" (paper §3.1). We implement RFC 4122 version-4 (random) UUIDs drawn
+// from a caller-supplied RNG so tests can be deterministic.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/random.h"
+
+namespace et {
+
+/// Value-type 128-bit UUID.
+class Uuid {
+ public:
+  /// The all-zero UUID; used as "absent".
+  Uuid() = default;
+
+  /// Generates a version-4 (random) UUID from `rng`.
+  static Uuid generate(Rng& rng);
+
+  /// Constructs from 16 raw octets. Throws std::invalid_argument otherwise.
+  static Uuid from_bytes(BytesView b);
+
+  /// Parses the canonical 8-4-4-4-12 hex form. Throws on malformed input.
+  static Uuid parse(std::string_view text);
+
+  /// Canonical lower-case 8-4-4-4-12 representation.
+  [[nodiscard]] std::string to_string() const;
+
+  /// The 16 raw octets.
+  [[nodiscard]] Bytes to_bytes() const;
+
+  [[nodiscard]] bool is_nil() const;
+
+  friend auto operator<=>(const Uuid&, const Uuid&) = default;
+
+  /// Stable 64-bit hash (for unordered containers).
+  [[nodiscard]] std::uint64_t hash() const;
+
+ private:
+  std::array<std::uint8_t, 16> octets_{};
+};
+
+}  // namespace et
+
+template <>
+struct std::hash<et::Uuid> {
+  std::size_t operator()(const et::Uuid& u) const noexcept {
+    return static_cast<std::size_t>(u.hash());
+  }
+};

@@ -1,0 +1,145 @@
+// Arbitrary-precision unsigned integers for the RSA implementation.
+//
+// Little-endian vector of 32-bit limbs. Supports the operations RSA needs:
+// comparison, add/sub/mul, Knuth Algorithm-D division, shifts, modular
+// exponentiation (Montgomery CIOS for odd moduli), extended-Euclid modular
+// inverse, and Miller-Rabin primality testing.
+//
+// NOT constant-time. This is a reproduction-quality implementation whose
+// purpose is to recreate the *cost structure* of the paper's BouncyCastle
+// stack (sign >> verify >> symmetric ops), not to protect real keys.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/random.h"
+
+namespace et::crypto {
+
+struct DivMod;
+
+/// Unsigned big integer.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a machine word.
+  explicit BigInt(std::uint64_t v);
+
+  /// Big-endian octets → integer (leading zeros allowed).
+  static BigInt from_bytes(BytesView b);
+
+  /// Parses decimal, or hex when prefixed with "0x".
+  static BigInt parse(std::string_view text);
+
+  /// Uniform value in [0, 2^bits) from `rng`.
+  static BigInt random_bits(Rng& rng, std::size_t bits);
+
+  /// Uniform value in [0, bound) from `rng` (bound > 0).
+  static BigInt random_below(Rng& rng, const BigInt& bound);
+
+  /// Big-endian octets, minimal length (empty for zero) unless `min_len`
+  /// asks for left-padding with zeros.
+  [[nodiscard]] Bytes to_bytes(std::size_t min_len = 0) const;
+
+  /// Decimal representation.
+  [[nodiscard]] std::string to_string() const;
+  /// Lower-case hex, no prefix, "0" for zero.
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_odd() const {
+    return !limbs_.empty() && (limbs_[0] & 1u);
+  }
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+  /// Value of bit `i` (0 = LSB).
+  [[nodiscard]] bool bit(std::size_t i) const;
+
+  [[nodiscard]] std::uint64_t to_u64() const;  // throws if it doesn't fit
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  BigInt operator+(const BigInt& rhs) const;
+  /// Requires *this >= rhs (unsigned); throws std::underflow_error otherwise.
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  /// Quotient; throws std::domain_error on division by zero.
+  BigInt operator/(const BigInt& rhs) const;
+  /// Remainder; throws std::domain_error on division by zero.
+  BigInt operator%(const BigInt& rhs) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  /// Quotient and remainder in one pass (Knuth Algorithm D).
+  [[nodiscard]] DivMod divmod(const BigInt& divisor) const;
+
+  /// (this ^ exponent) mod modulus. Uses Montgomery multiplication when the
+  /// modulus is odd, classical reduction otherwise. modulus > 1 required.
+  [[nodiscard]] BigInt mod_exp(const BigInt& exponent,
+                               const BigInt& modulus) const;
+
+  /// Greatest common divisor.
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Multiplicative inverse of *this mod `modulus`; throws
+  /// std::domain_error when gcd(this, modulus) != 1.
+  [[nodiscard]] BigInt mod_inverse(const BigInt& modulus) const;
+
+  /// Miller-Rabin probabilistic primality test with `rounds` random bases.
+  [[nodiscard]] bool is_probable_prime(Rng& rng, int rounds = 32) const;
+
+  /// Generates a random prime with exactly `bits` bits (top two bits set so
+  /// products have full length, as RSA key generation requires).
+  static BigInt generate_prime(Rng& rng, std::size_t bits, int mr_rounds = 32);
+
+ private:
+  void trim();
+  static BigInt add_impl(const BigInt& a, const BigInt& b);
+  static BigInt sub_impl(const BigInt& a, const BigInt& b);
+
+  friend class Montgomery;
+  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+/// Result of BigInt::divmod.
+struct DivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+/// Montgomery multiplication context for a fixed odd modulus. Exposed so
+/// RSA private-key operations can reuse one context across CRT halves.
+class Montgomery {
+ public:
+  /// modulus must be odd and > 1.
+  explicit Montgomery(const BigInt& modulus);
+
+  /// (a * b * R^-1) mod n, inputs in Montgomery form.
+  [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
+
+  /// x -> x*R mod n.
+  [[nodiscard]] BigInt to_mont(const BigInt& x) const;
+  /// x*R mod n -> x.
+  [[nodiscard]] BigInt from_mont(const BigInt& x) const;
+
+  /// (base ^ exponent) mod n using 4-bit fixed windows.
+  [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exponent) const;
+
+ private:
+  BigInt n_;
+  BigInt r2_;             // R^2 mod n
+  std::uint32_t n0inv_;   // -n^{-1} mod 2^32
+  std::size_t k_;         // limb count of n
+};
+
+}  // namespace et::crypto

@@ -1,0 +1,90 @@
+#include "src/crypto/credential.h"
+
+#include "src/common/serialize.h"
+
+namespace et::crypto {
+
+Credential::Credential(std::string subject, RsaPublicKey key,
+                       std::string issuer, TimePoint not_before,
+                       TimePoint not_after, Bytes signature)
+    : subject_(std::move(subject)),
+      key_(std::move(key)),
+      issuer_(std::move(issuer)),
+      not_before_(not_before),
+      not_after_(not_after),
+      signature_(std::move(signature)) {}
+
+Bytes Credential::tbs() const {
+  Writer w;
+  w.str(subject_);
+  w.bytes(key_.serialize());
+  w.str(issuer_);
+  w.i64(not_before_);
+  w.i64(not_after_);
+  return std::move(w).take();
+}
+
+Bytes Credential::serialize() const {
+  Writer w;
+  w.bytes(tbs());
+  w.bytes(signature_);
+  return std::move(w).take();
+}
+
+Credential Credential::deserialize(BytesView b) {
+  Reader outer(b);
+  const Bytes tbs_bytes = outer.bytes();
+  Bytes sig = outer.bytes();
+  outer.expect_done();
+
+  Reader r(tbs_bytes);
+  Credential c;
+  c.subject_ = r.str();
+  c.key_ = RsaPublicKey::deserialize(r.bytes());
+  c.issuer_ = r.str();
+  c.not_before_ = r.i64();
+  c.not_after_ = r.i64();
+  r.expect_done();
+  c.signature_ = std::move(sig);
+  return c;
+}
+
+Status Credential::verify(const RsaPublicKey& ca_key, TimePoint now) const {
+  if (empty()) return unauthenticated("credential: empty");
+  if (!ca_key.verify(tbs(), signature_)) {
+    return unauthenticated("credential: bad CA signature for subject '" +
+                           subject_ + "'");
+  }
+  if (now < not_before_) {
+    return expired("credential: not yet valid for subject '" + subject_ + "'");
+  }
+  if (now >= not_after_) {
+    return expired("credential: expired for subject '" + subject_ + "'");
+  }
+  return Status::ok();
+}
+
+CertificateAuthority::CertificateAuthority(std::string name, Rng& rng,
+                                           std::size_t key_bits)
+    : name_(std::move(name)), keys_(rsa_generate(rng, key_bits)) {}
+
+Credential CertificateAuthority::issue(const std::string& subject,
+                                       const RsaPublicKey& key, TimePoint now,
+                                       Duration lifetime) const {
+  Credential unsigned_cred(subject, key, name_, now, now + lifetime, {});
+  Bytes sig = keys_.private_key.sign(unsigned_cred.tbs());
+  return Credential(subject, key, name_, now, now + lifetime, std::move(sig));
+}
+
+Identity Identity::create(const std::string& id,
+                          const CertificateAuthority& ca, Rng& rng,
+                          TimePoint now, Duration lifetime,
+                          std::size_t key_bits) {
+  Identity ident;
+  ident.id = id;
+  ident.keys = rsa_generate(rng, key_bits);
+  ident.credential = ca.issue(id, ident.keys.public_key, now, lifetime);
+  return ident;
+}
+
+}  // namespace et::crypto

@@ -1,0 +1,90 @@
+// Credentials and the certificate authority.
+//
+// The paper authenticates entities with X.509 certificates (it cites both
+// X.501 and X.509; we follow the X.509 usage in §3.1). A `Credential` is a
+// minimal certificate: subject identifier, RSA public key, validity window
+// and the issuing CA's signature over those fields. One CA level is enough
+// for the scheme — the TDN and brokers only need to check that a credential
+// chains to a trusted CA and that the presenter holds the private key.
+#pragma once
+
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/crypto/rsa.h"
+
+namespace et::crypto {
+
+/// A signed binding of subject-id to public key.
+class Credential {
+ public:
+  Credential() = default;
+  Credential(std::string subject, RsaPublicKey key, std::string issuer,
+             TimePoint not_before, TimePoint not_after, Bytes signature);
+
+  [[nodiscard]] const std::string& subject() const { return subject_; }
+  [[nodiscard]] const RsaPublicKey& public_key() const { return key_; }
+  [[nodiscard]] const std::string& issuer() const { return issuer_; }
+  [[nodiscard]] TimePoint not_before() const { return not_before_; }
+  [[nodiscard]] TimePoint not_after() const { return not_after_; }
+  [[nodiscard]] const Bytes& signature() const { return signature_; }
+  [[nodiscard]] bool empty() const { return key_.empty(); }
+
+  /// The to-be-signed encoding (everything except the signature).
+  [[nodiscard]] Bytes tbs() const;
+
+  /// Full wire encoding.
+  [[nodiscard]] Bytes serialize() const;
+  static Credential deserialize(BytesView b);
+
+  /// Checks the CA signature and the validity window at time `now`.
+  [[nodiscard]] Status verify(const RsaPublicKey& ca_key, TimePoint now) const;
+
+ private:
+  std::string subject_;
+  RsaPublicKey key_;
+  std::string issuer_;
+  TimePoint not_before_ = 0;
+  TimePoint not_after_ = 0;
+  Bytes signature_;
+};
+
+/// Issues credentials. Every deployment in this repository uses a single
+/// shared CA whose public key all brokers/TDNs trust.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, Rng& rng,
+                       std::size_t key_bits = 1024);
+
+  /// Signs a credential binding `subject` to `key`, valid
+  /// [now, now + lifetime).
+  [[nodiscard]] Credential issue(const std::string& subject,
+                                 const RsaPublicKey& key, TimePoint now,
+                                 Duration lifetime) const;
+
+  [[nodiscard]] const RsaPublicKey& public_key() const {
+    return keys_.public_key;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  RsaKeyPair keys_;
+};
+
+/// An entity's complete identity: its id, key pair and CA-issued credential.
+struct Identity {
+  std::string id;
+  RsaKeyPair keys;
+  Credential credential;
+
+  /// Convenience: generate keys and obtain a credential in one call.
+  static Identity create(const std::string& id, const CertificateAuthority& ca,
+                         Rng& rng, TimePoint now,
+                         Duration lifetime = 3600 * kSecond,
+                         std::size_t key_bits = 1024);
+};
+
+}  // namespace et::crypto

@@ -1,0 +1,53 @@
+#include "src/crypto/hmac.h"
+
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
+
+namespace et::crypto {
+
+namespace {
+
+template <typename Hash>
+Bytes hmac_impl(BytesView key, BytesView message) {
+  constexpr std::size_t kBlock = Hash::kBlockSize;
+
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = Hash::digest(k);
+  k.resize(kBlock, 0x00);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Hash inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Bytes inner_digest = inner.finalize();
+
+  Hash outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+}  // namespace
+
+Bytes hmac_sha1(BytesView key, BytesView message) {
+  return hmac_impl<Sha1>(key, message);
+}
+
+Bytes hmac_sha256(BytesView key, BytesView message) {
+  return hmac_impl<Sha256>(key, message);
+}
+
+bool hmac_sha1_verify(BytesView key, BytesView message, BytesView tag) {
+  return constant_time_equal(hmac_sha1(key, message), tag);
+}
+
+bool hmac_sha256_verify(BytesView key, BytesView message, BytesView tag) {
+  return constant_time_equal(hmac_sha256(key, message), tag);
+}
+
+}  // namespace et::crypto

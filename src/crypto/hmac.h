@@ -1,0 +1,24 @@
+// HMAC (RFC 2104) over SHA-1 or SHA-256.
+//
+// Used by the signing-cost optimization (§6.3): once the traced entity and
+// its hosting broker share a symmetric secret, entity→broker messages carry
+// an HMAC tag (or are AES-encrypted) instead of an RSA signature.
+#pragma once
+
+#include "src/common/bytes.h"
+
+namespace et::crypto {
+
+/// HMAC-SHA1 tag (20 bytes).
+Bytes hmac_sha1(BytesView key, BytesView message);
+
+/// HMAC-SHA256 tag (32 bytes).
+Bytes hmac_sha256(BytesView key, BytesView message);
+
+/// Constant-time verification of an HMAC-SHA1 tag.
+bool hmac_sha1_verify(BytesView key, BytesView message, BytesView tag);
+
+/// Constant-time verification of an HMAC-SHA256 tag.
+bool hmac_sha256_verify(BytesView key, BytesView message, BytesView tag);
+
+}  // namespace et::crypto

@@ -1,0 +1,109 @@
+#include "src/crypto/sha1.h"
+
+#include <bit>
+#include <cstring>
+
+namespace et::crypto {
+
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffer_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha1::update(BytesView data) {
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take =
+        std::min(kBlockSize - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+Bytes Sha1::finalize() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80 then zeros to 56 mod 64, then 64-bit big-endian length.
+  Bytes pad;
+  pad.push_back(0x80);
+  while ((total_len_ + pad.size()) % kBlockSize != 56) pad.push_back(0x00);
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    pad.push_back(static_cast<std::uint8_t>(bit_len >> shift));
+  }
+  update(pad);
+
+  Bytes out(kDigestSize);
+  for (std::size_t i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+Bytes Sha1::digest(BytesView data) {
+  Sha1 h;
+  h.update(data);
+  return h.finalize();
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = std::rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = std::rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = std::rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+}  // namespace et::crypto

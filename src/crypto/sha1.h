@@ -1,0 +1,47 @@
+// SHA-1 message digest (FIPS 180-4).
+//
+// The paper's benchmarks use "1024-bit RSA with 160-bit SHA-1 and
+// PKCS#1Padding" (§6.1); SHA-1 is therefore the default signature digest
+// throughout this reproduction. SHA-1 is cryptographically broken for
+// collision resistance — acceptable here because we reproduce the 2007
+// system's cost profile, not its security margin.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace et::crypto {
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1();
+
+  /// Absorbs more input.
+  void update(BytesView data);
+
+  /// Finalizes and returns the 20-byte digest. The hasher must not be
+  /// reused afterwards without reset().
+  [[nodiscard]] Bytes finalize();
+
+  /// Returns to the initial state.
+  void reset();
+
+  /// One-shot convenience.
+  static Bytes digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace et::crypto

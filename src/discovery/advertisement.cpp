@@ -1,0 +1,93 @@
+#include "src/discovery/advertisement.h"
+
+#include <algorithm>
+
+namespace et::discovery {
+
+bool DiscoveryRestrictions::allows(const std::string& subject) const {
+  if (authorized_subjects.empty()) return true;
+  return std::find(authorized_subjects.begin(), authorized_subjects.end(),
+                   subject) != authorized_subjects.end();
+}
+
+void DiscoveryRestrictions::encode(Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(authorized_subjects.size()));
+  for (const auto& s : authorized_subjects) w.str(s);
+}
+
+DiscoveryRestrictions DiscoveryRestrictions::decode(Reader& r) {
+  DiscoveryRestrictions out;
+  const std::uint32_t n = r.u32();
+  if (n > 100000) throw SerializeError("restrictions list too long");
+  out.authorized_subjects.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.authorized_subjects.push_back(r.str());
+  return out;
+}
+
+TopicAdvertisement::TopicAdvertisement(
+    Uuid topic, std::string descriptor, crypto::Credential owner,
+    DiscoveryRestrictions restrict, TimePoint created_at, TimePoint expires_at,
+    std::string issuing_tdn, Bytes signature)
+    : topic_(topic),
+      descriptor_(std::move(descriptor)),
+      owner_(std::move(owner)),
+      restrictions_(std::move(restrict)),
+      created_at_(created_at),
+      expires_at_(expires_at),
+      issuing_tdn_(std::move(issuing_tdn)),
+      signature_(std::move(signature)) {}
+
+Bytes TopicAdvertisement::tbs() const {
+  Writer w;
+  w.raw(topic_.to_bytes());
+  w.str(descriptor_);
+  w.bytes(owner_.serialize());
+  restrictions_.encode(w);
+  w.i64(created_at_);
+  w.i64(expires_at_);
+  w.str(issuing_tdn_);
+  return std::move(w).take();
+}
+
+Bytes TopicAdvertisement::serialize() const {
+  Writer w;
+  w.bytes(tbs());
+  w.bytes(signature_);
+  return std::move(w).take();
+}
+
+TopicAdvertisement TopicAdvertisement::deserialize(BytesView b) {
+  Reader outer(b);
+  const Bytes tbs_bytes = outer.bytes();
+  Bytes sig = outer.bytes();
+  outer.expect_done();
+
+  Reader r(tbs_bytes);
+  TopicAdvertisement ad;
+  ad.topic_ = Uuid::from_bytes(r.raw(16));
+  ad.descriptor_ = r.str();
+  ad.owner_ = crypto::Credential::deserialize(r.bytes());
+  ad.restrictions_ = DiscoveryRestrictions::decode(r);
+  ad.created_at_ = r.i64();
+  ad.expires_at_ = r.i64();
+  ad.issuing_tdn_ = r.str();
+  r.expect_done();
+  ad.signature_ = std::move(sig);
+  return ad;
+}
+
+Status TopicAdvertisement::verify(const crypto::RsaPublicKey& tdn_key,
+                                  TimePoint now) const {
+  if (empty()) return unauthenticated("advertisement: empty");
+  if (!tdn_key.verify(tbs(), signature_)) {
+    return unauthenticated("advertisement: bad TDN signature for topic " +
+                           topic_.to_string());
+  }
+  if (expired(now)) {
+    return et::expired("advertisement: topic " + topic_.to_string() +
+                       " past its lifetime");
+  }
+  return Status::ok();
+}
+
+}  // namespace et::discovery

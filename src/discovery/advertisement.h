@@ -1,0 +1,75 @@
+// Signed topic advertisements (paper §2.2/§3.1).
+//
+// A Topic Discovery Node answers a topic-creation request by minting a
+// UUID trace topic and wrapping it in "a cryptographically signed topic
+// advertisement that includes the newly created topic, along with the
+// credentials, descriptors, discovery restrictions and lifetime. This
+// advertisement establishes the ownership of the topic."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/serialize.h"
+#include "src/common/status.h"
+#include "src/common/uuid.h"
+#include "src/crypto/credential.h"
+
+namespace et::discovery {
+
+/// Who may discover a topic. An empty `authorized_subjects` list means any
+/// entity presenting a valid CA-issued credential may discover it;
+/// otherwise the requester's credential subject must appear in the list.
+struct DiscoveryRestrictions {
+  std::vector<std::string> authorized_subjects;
+
+  [[nodiscard]] bool allows(const std::string& subject) const;
+
+  void encode(Writer& w) const;
+  static DiscoveryRestrictions decode(Reader& r);
+};
+
+/// The TDN-signed record binding a trace topic to its owner.
+class TopicAdvertisement {
+ public:
+  TopicAdvertisement() = default;
+  TopicAdvertisement(Uuid topic, std::string descriptor,
+                     crypto::Credential owner, DiscoveryRestrictions restrict,
+                     TimePoint created_at, TimePoint expires_at,
+                     std::string issuing_tdn, Bytes signature);
+
+  [[nodiscard]] const Uuid& topic() const { return topic_; }
+  [[nodiscard]] const std::string& descriptor() const { return descriptor_; }
+  [[nodiscard]] const crypto::Credential& owner() const { return owner_; }
+  [[nodiscard]] const DiscoveryRestrictions& restrictions() const {
+    return restrictions_;
+  }
+  [[nodiscard]] TimePoint created_at() const { return created_at_; }
+  [[nodiscard]] TimePoint expires_at() const { return expires_at_; }
+  [[nodiscard]] const std::string& issuing_tdn() const { return issuing_tdn_; }
+  [[nodiscard]] bool empty() const { return topic_.is_nil(); }
+
+  [[nodiscard]] bool expired(TimePoint now) const { return now >= expires_at_; }
+
+  /// To-be-signed encoding (all fields except the signature).
+  [[nodiscard]] Bytes tbs() const;
+  [[nodiscard]] Bytes serialize() const;
+  static TopicAdvertisement deserialize(BytesView b);
+
+  /// Checks the issuing TDN's signature and the lifetime at `now`.
+  [[nodiscard]] Status verify(const crypto::RsaPublicKey& tdn_key,
+                              TimePoint now) const;
+
+ private:
+  Uuid topic_;
+  std::string descriptor_;
+  crypto::Credential owner_;
+  DiscoveryRestrictions restrictions_;
+  TimePoint created_at_ = 0;
+  TimePoint expires_at_ = 0;
+  std::string issuing_tdn_;
+  Bytes signature_;
+};
+
+}  // namespace et::discovery

@@ -1,0 +1,209 @@
+#include "src/discovery/discovery_client.h"
+
+#include "src/common/logging.h"
+
+namespace et::discovery {
+
+using transport::NodeId;
+
+DiscoveryClient::DiscoveryClient(transport::NetworkBackend& backend,
+                                 crypto::Identity identity)
+    : backend_(backend), identity_(std::move(identity)) {
+  node_ = backend_.add_node(
+      identity_.id + ".disc", [this](NodeId from, Bytes payload) {
+        on_packet(from, std::move(payload));
+      });
+}
+
+DiscoveryClient::~DiscoveryClient() {
+  for (auto& [id, pending] : pending_) {
+    backend_.cancel(pending.timeout_timer);
+  }
+  backend_.detach(node_);
+}
+
+void DiscoveryClient::attach_tdn(NodeId tdn,
+                                 const transport::LinkParams& params) {
+  backend_.link(node_, tdn, params);
+  tdn_ = tdn;
+}
+
+void DiscoveryClient::create_topic(const std::string& descriptor,
+                                   DiscoveryRestrictions restrictions,
+                                   Duration lifetime, CreateCallback cb,
+                                   Duration timeout) {
+  backend_.post(node_, [this, descriptor, restrictions = std::move(restrictions),
+                        lifetime, cb = std::move(cb), timeout]() mutable {
+    const std::uint64_t req_id = next_request_++;
+    TopicCreateRequest req;
+    req.credential = identity_.credential;
+    req.descriptor = descriptor;
+    req.restrictions = std::move(restrictions);
+    req.lifetime = lifetime;
+    req.request_id = req_id;
+    req.signature = identity_.keys.private_key.sign(req.signable_bytes());
+
+    DiscFrame f;
+    f.type = DiscFrameType::kTopicCreate;
+    f.request_id = req_id;
+    f.create = std::move(req);
+
+    Pending p;
+    p.on_create = std::move(cb);
+    p.timeout_timer = backend_.schedule(node_, timeout, [this, req_id] {
+      const auto it = pending_.find(req_id);
+      if (it == pending_.end()) return;
+      auto on_create = std::move(it->second.on_create);
+      pending_.erase(it);
+      if (on_create) on_create(unavailable("topic creation timed out"));
+    });
+    pending_.emplace(req_id, std::move(p));
+
+    if (tdn_ == transport::kInvalidNode ||
+        !backend_.send(node_, tdn_, f.serialize()).is_ok()) {
+      const auto it = pending_.find(req_id);
+      if (it != pending_.end()) {
+        backend_.cancel(it->second.timeout_timer);
+        auto on_create = std::move(it->second.on_create);
+        pending_.erase(it);
+        if (on_create) on_create(unavailable("no TDN attached"));
+      }
+    }
+  });
+}
+
+void DiscoveryClient::discover(const std::string& query, DiscoverCallback cb,
+                               Duration timeout) {
+  backend_.post(node_, [this, query, cb = std::move(cb), timeout]() mutable {
+    const std::uint64_t req_id = next_request_++;
+    DiscoverRequest req;
+    req.credential = identity_.credential;
+    req.query = query;
+    req.request_id = req_id;
+    req.signature = identity_.keys.private_key.sign(req.signable_bytes());
+
+    DiscFrame f;
+    f.type = DiscFrameType::kDiscover;
+    f.request_id = req_id;
+    f.discover = std::move(req);
+
+    Pending p;
+    p.on_discover = std::move(cb);
+    p.timeout_timer = backend_.schedule(node_, timeout, [this, req_id] {
+      const auto it = pending_.find(req_id);
+      if (it == pending_.end()) return;
+      auto on_discover = std::move(it->second.on_discover);
+      pending_.erase(it);
+      // Silence from the TDN means "not discoverable for you" (§3.4).
+      if (on_discover) {
+        on_discover(not_found("discovery query went unanswered"));
+      }
+    });
+    pending_.emplace(req_id, std::move(p));
+
+    if (tdn_ == transport::kInvalidNode ||
+        !backend_.send(node_, tdn_, f.serialize()).is_ok()) {
+      const auto it = pending_.find(req_id);
+      if (it != pending_.end()) {
+        backend_.cancel(it->second.timeout_timer);
+        auto on_discover = std::move(it->second.on_discover);
+        pending_.erase(it);
+        if (on_discover) on_discover(unavailable("no TDN attached"));
+      }
+    }
+  });
+}
+
+void DiscoveryClient::find_broker(BrokerCallback cb, Duration timeout) {
+  backend_.post(node_, [this, cb = std::move(cb), timeout]() mutable {
+    const std::uint64_t req_id = next_request_++;
+    DiscFrame f;
+    f.type = DiscFrameType::kBrokerQuery;
+    f.request_id = req_id;
+
+    Pending p;
+    p.on_broker = std::move(cb);
+    p.timeout_timer = backend_.schedule(node_, timeout, [this, req_id] {
+      const auto it = pending_.find(req_id);
+      if (it == pending_.end()) return;
+      auto on_broker = std::move(it->second.on_broker);
+      pending_.erase(it);
+      if (on_broker) on_broker(unavailable("broker query timed out"));
+    });
+    pending_.emplace(req_id, std::move(p));
+
+    if (tdn_ == transport::kInvalidNode ||
+        !backend_.send(node_, tdn_, f.serialize()).is_ok()) {
+      const auto it = pending_.find(req_id);
+      if (it != pending_.end()) {
+        backend_.cancel(it->second.timeout_timer);
+        auto on_broker = std::move(it->second.on_broker);
+        pending_.erase(it);
+        if (on_broker) on_broker(unavailable("no TDN attached"));
+      }
+    }
+  });
+}
+
+void DiscoveryClient::register_broker(
+    const std::string& broker_name, NodeId broker_node,
+    const crypto::Credential& broker_credential) {
+  backend_.post(node_, [this, broker_name, broker_node,
+                        cred = broker_credential.serialize()] {
+    DiscFrame f;
+    f.type = DiscFrameType::kBrokerRegister;
+    f.broker_name = broker_name;
+    f.broker_node = broker_node;
+    f.credential_bytes = cred;
+    if (tdn_ != transport::kInvalidNode) {
+      (void)backend_.send(node_, tdn_, f.serialize());
+    }
+  });
+}
+
+void DiscoveryClient::on_packet(NodeId from, Bytes payload) {
+  (void)from;
+  DiscFrame f;
+  try {
+    f = DiscFrame::deserialize(payload);
+  } catch (const SerializeError&) {
+    return;
+  }
+  const auto it = pending_.find(f.request_id);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  backend_.cancel(p.timeout_timer);
+
+  switch (f.type) {
+    case DiscFrameType::kTopicCreateResp: {
+      if (!p.on_create) break;
+      if (f.status != 0) {
+        p.on_create(unauthenticated(f.detail));
+      } else if (f.advertisements.empty()) {
+        p.on_create(internal_error("create response without advertisement"));
+      } else {
+        p.on_create(std::move(f.advertisements.front()));
+      }
+      break;
+    }
+    case DiscFrameType::kDiscoverResp: {
+      if (!p.on_discover) break;
+      p.on_discover(std::move(f.advertisements));
+      break;
+    }
+    case DiscFrameType::kBrokerQueryResp: {
+      if (!p.on_broker) break;
+      if (f.status != 0) {
+        p.on_broker(not_found(f.detail));
+      } else {
+        p.on_broker(BrokerLocation{f.broker_name, f.broker_node});
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace et::discovery

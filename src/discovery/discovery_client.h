@@ -1,0 +1,92 @@
+// Client-side API of the discovery protocol.
+//
+// Wraps one backend node, talks to a TDN, and exposes the asynchronous
+// operations entities perform before tracing starts:
+//   * create_topic   — the traced entity's first step (§3.1);
+//   * discover       — how trackers find a trace topic (§3.4); resolves
+//     with kNotFound after `timeout` because unauthorized queries are
+//     silently ignored by the TDN;
+//   * find_broker    — secure broker discovery (Ref [3] substitute);
+//   * register_broker — used by brokers to enroll in the registry.
+//
+// Callbacks run in the client's node context.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/crypto/credential.h"
+#include "src/discovery/advertisement.h"
+#include "src/discovery/wire.h"
+#include "src/transport/network.h"
+
+namespace et::discovery {
+
+/// Result of a broker lookup.
+struct BrokerLocation {
+  std::string name;
+  transport::NodeId node = transport::kInvalidNode;
+};
+
+class DiscoveryClient {
+ public:
+  /// `identity` signs every request this client issues.
+  DiscoveryClient(transport::NetworkBackend& backend,
+                  crypto::Identity identity);
+
+  DiscoveryClient(const DiscoveryClient&) = delete;
+  DiscoveryClient& operator=(const DiscoveryClient&) = delete;
+
+  /// Cancels pending timeout timers and detaches the node handler.
+  ~DiscoveryClient();
+
+  /// Links to a TDN; all subsequent requests go there.
+  void attach_tdn(transport::NodeId tdn, const transport::LinkParams& params);
+
+  using CreateCallback = std::function<void(Result<TopicAdvertisement>)>;
+  using DiscoverCallback =
+      std::function<void(Result<std::vector<TopicAdvertisement>>)>;
+  using BrokerCallback = std::function<void(Result<BrokerLocation>)>;
+
+  /// Requests a trace topic: descriptor + restrictions + lifetime, signed.
+  void create_topic(const std::string& descriptor,
+                    DiscoveryRestrictions restrictions, Duration lifetime,
+                    CreateCallback cb,
+                    Duration timeout = 2 * kSecond);
+
+  /// Issues a discovery query (e.g. "Liveness/entity-7"). Times out with
+  /// kNotFound when the TDN stays silent.
+  void discover(const std::string& query, DiscoverCallback cb,
+                Duration timeout = 2 * kSecond);
+
+  /// Asks the TDN for an available broker.
+  void find_broker(BrokerCallback cb, Duration timeout = 2 * kSecond);
+
+  /// Enrolls a broker in the TDN's registry (called by broker owners).
+  void register_broker(const std::string& broker_name,
+                       transport::NodeId broker_node,
+                       const crypto::Credential& broker_credential);
+
+  [[nodiscard]] transport::NodeId node() const { return node_; }
+
+ private:
+  void on_packet(transport::NodeId from, Bytes payload);
+  std::uint64_t arm_timeout(Duration timeout, std::function<void()> on_fire);
+
+  transport::NetworkBackend& backend_;
+  crypto::Identity identity_;
+  transport::NodeId node_;
+  transport::NodeId tdn_ = transport::kInvalidNode;
+  std::uint64_t next_request_ = 1;
+
+  struct Pending {
+    CreateCallback on_create;
+    DiscoverCallback on_discover;
+    BrokerCallback on_broker;
+    transport::TimerId timeout_timer = 0;
+  };
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace et::discovery

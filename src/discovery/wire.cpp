@@ -1,0 +1,111 @@
+#include "src/discovery/wire.h"
+
+namespace et::discovery {
+
+namespace {
+constexpr std::uint8_t kDiscoveryMagic = 0xD7;
+}
+
+Bytes TopicCreateRequest::signable_bytes() const {
+  Writer w;
+  w.bytes(credential.serialize());
+  w.str(descriptor);
+  restrictions.encode(w);
+  w.i64(lifetime);
+  w.u64(request_id);
+  return std::move(w).take();
+}
+
+Bytes DiscoverRequest::signable_bytes() const {
+  Writer w;
+  w.bytes(credential.serialize());
+  w.str(query);
+  w.u64(request_id);
+  return std::move(w).take();
+}
+
+Bytes DiscFrame::serialize() const {
+  Writer w;
+  w.u8(kDiscoveryMagic);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(request_id);
+  w.u32(status);
+  w.str(detail);
+
+  w.boolean(create.has_value());
+  if (create) {
+    w.bytes(create->credential.serialize());
+    w.str(create->descriptor);
+    create->restrictions.encode(w);
+    w.i64(create->lifetime);
+    w.u64(create->request_id);
+    w.bytes(create->signature);
+  }
+
+  w.boolean(discover.has_value());
+  if (discover) {
+    w.bytes(discover->credential.serialize());
+    w.str(discover->query);
+    w.u64(discover->request_id);
+    w.bytes(discover->signature);
+  }
+
+  w.u32(static_cast<std::uint32_t>(advertisements.size()));
+  for (const auto& ad : advertisements) w.bytes(ad.serialize());
+
+  w.str(broker_name);
+  w.u32(broker_node);
+  w.bytes(credential_bytes);
+  return std::move(w).take();
+}
+
+DiscFrame DiscFrame::deserialize(BytesView b) {
+  Reader r(b);
+  if (r.u8() != kDiscoveryMagic) {
+    throw SerializeError("not a discovery frame");
+  }
+  DiscFrame f;
+  f.type = static_cast<DiscFrameType>(r.u8());
+  if (f.type < DiscFrameType::kTopicCreate ||
+      f.type > DiscFrameType::kBrokerQueryResp) {
+    throw SerializeError("unknown discovery frame type");
+  }
+  f.request_id = r.u64();
+  f.status = r.u32();
+  f.detail = r.str();
+
+  if (r.boolean()) {
+    TopicCreateRequest req;
+    req.credential = crypto::Credential::deserialize(r.bytes());
+    req.descriptor = r.str();
+    req.restrictions = DiscoveryRestrictions::decode(r);
+    req.lifetime = r.i64();
+    req.request_id = r.u64();
+    req.signature = r.bytes();
+    f.create = std::move(req);
+  }
+
+  if (r.boolean()) {
+    DiscoverRequest req;
+    req.credential = crypto::Credential::deserialize(r.bytes());
+    req.query = r.str();
+    req.request_id = r.u64();
+    req.signature = r.bytes();
+    f.discover = std::move(req);
+  }
+
+  const std::uint32_t n_ads = r.u32();
+  if (n_ads > 100000) throw SerializeError("advertisement list too long");
+  f.advertisements.reserve(n_ads);
+  for (std::uint32_t i = 0; i < n_ads; ++i) {
+    f.advertisements.push_back(TopicAdvertisement::deserialize(r.bytes()));
+  }
+
+  f.broker_name = r.str();
+  f.broker_node = r.u32();
+  f.credential_bytes = r.bytes();
+  r.expect_done();
+  return f;
+}
+
+}  // namespace et::discovery

@@ -1,0 +1,74 @@
+// Wire frames of the discovery protocol (entity/broker <-> TDN, TDN <->
+// TDN replication).
+//
+// Distinct from pub/sub frames: discovery traffic is point-to-point
+// request/response, not topic-routed. Requests carry the requester's
+// credential and a signature over the request body — the TDN will not act
+// on anything it cannot authenticate (paper §3.1/§3.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/serialize.h"
+#include "src/crypto/credential.h"
+#include "src/discovery/advertisement.h"
+
+namespace et::discovery {
+
+enum class DiscFrameType : std::uint8_t {
+  kTopicCreate = 1,       // entity -> TDN
+  kTopicCreateResp = 2,   // TDN -> entity (advertisement or error)
+  kDiscover = 3,          // tracker -> TDN
+  kDiscoverResp = 4,      // TDN -> tracker (matches; unauthorized = silence)
+  kReplicate = 5,         // TDN -> TDN (advertisement copy)
+  kBrokerRegister = 6,    // broker -> TDN
+  kBrokerQuery = 7,       // entity -> TDN
+  kBrokerQueryResp = 8,   // TDN -> entity
+};
+
+/// Topic-creation request body (paper §3.1's four key components:
+/// credentials, descriptor, discovery restrictions, lifetime).
+struct TopicCreateRequest {
+  crypto::Credential credential;
+  std::string descriptor;
+  DiscoveryRestrictions restrictions;
+  Duration lifetime = 0;
+  std::uint64_t request_id = 0;
+  Bytes signature;  // requester's signature over signable_bytes()
+
+  [[nodiscard]] Bytes signable_bytes() const;
+};
+
+/// Discovery query body (paper §3.4: credential + query of the form
+/// /Liveness/Entity-ID; we match queries against stored descriptors).
+struct DiscoverRequest {
+  crypto::Credential credential;
+  std::string query;
+  std::uint64_t request_id = 0;
+  Bytes signature;
+
+  [[nodiscard]] Bytes signable_bytes() const;
+};
+
+/// One discovery frame (tagged union, like pubsub::Frame).
+struct DiscFrame {
+  DiscFrameType type = DiscFrameType::kTopicCreate;
+  std::uint64_t request_id = 0;
+  std::uint32_t status = 0;  // 0 = OK on responses
+  std::string detail;
+
+  std::optional<TopicCreateRequest> create;       // kTopicCreate
+  std::optional<DiscoverRequest> discover;        // kDiscover
+  std::vector<TopicAdvertisement> advertisements; // responses / replicate
+  std::string broker_name;                        // broker register/resp
+  std::uint32_t broker_node = 0;                  // broker register/resp
+  Bytes credential_bytes;                         // kBrokerRegister
+
+  [[nodiscard]] Bytes serialize() const;
+  static DiscFrame deserialize(BytesView b);
+};
+
+}  // namespace et::discovery

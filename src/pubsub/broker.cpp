@@ -1,0 +1,283 @@
+#include "src/pubsub/broker.h"
+
+#include "src/common/logging.h"
+#include "src/common/topic_path.h"
+
+namespace et::pubsub {
+
+using transport::NodeId;
+
+Broker::Broker(transport::NetworkBackend& backend, std::string name,
+               int misbehaviour_threshold)
+    : backend_(backend),
+      name_(std::move(name)),
+      misbehaviour_threshold_(misbehaviour_threshold) {
+  node_ = backend_.add_node(
+      name_, [this](NodeId from, Bytes payload) {
+        on_packet(from, std::move(payload));
+      });
+}
+
+void Broker::peer(NodeId other) { neighbours_.insert(other); }
+
+void Broker::subscribe_local(const std::string& pattern, LocalHandler handler,
+                             bool local_only) {
+  const std::string norm = normalize_topic(pattern);
+  local_services_.emplace_back(norm, std::move(handler));
+  // Register interest network-wide so remote publications reach us. The
+  // broker itself is the subscriber; constrained Subscribe-Only/Broker
+  // topics permit exactly this. Suppressed subscriptions stay local.
+  if (local_subs_.add(norm, node_) && !local_only) {
+    for (const NodeId n : neighbours_) {
+      send_frame(n, make_subscribe(norm, 0));
+    }
+  }
+}
+
+void Broker::publish_from_broker(Message m) {
+  if (m.publisher.empty()) m.publisher = name_;
+  if (m.sequence == 0) m.sequence = ++sequence_;
+  if (m.timestamp == 0) m.timestamp = backend_.now();
+  ++stats_.published;
+  route(m, transport::kInvalidNode);
+}
+
+void Broker::set_message_filter(MessageFilter filter) {
+  filter_ = std::move(filter);
+}
+
+void Broker::set_client_unreachable_handler(
+    ClientUnreachableHandler handler) {
+  unreachable_handler_ = std::move(handler);
+}
+
+std::string Broker::client_identity(NodeId id) const {
+  const auto it = clients_.find(id);
+  return it == clients_.end() ? std::string() : it->second;
+}
+
+bool Broker::is_blacklisted(NodeId endpoint) const {
+  return blacklist_.contains(endpoint);
+}
+
+void Broker::report_misbehaviour(NodeId endpoint, const std::string& why) {
+  const int strikes = ++strikes_[endpoint];
+  ET_LOG(kInfo) << name_ << ": misbehaviour from "
+                << backend_.node_name(endpoint) << " (" << why << "), strike "
+                << strikes << "/" << misbehaviour_threshold_;
+  if (strikes >= misbehaviour_threshold_ && !blacklist_.contains(endpoint)) {
+    // §5.2: terminate communications with the offender.
+    blacklist_.insert(endpoint);
+    ++stats_.disconnects;
+    clients_.erase(endpoint);
+    local_subs_.remove_endpoint(endpoint);
+    remote_subs_.remove_endpoint(endpoint);
+    backend_.unlink(node_, endpoint);
+    ET_LOG(kWarn) << name_ << ": terminated communications with "
+                  << backend_.node_name(endpoint);
+  }
+}
+
+void Broker::send_frame(NodeId to, const Frame& f) {
+  const Status s = backend_.send(node_, to, f.serialize());
+  if (s.is_ok()) return;
+  ET_LOG(kDebug) << name_ << ": send to " << backend_.node_name(to)
+                 << " failed: " << s.to_string();
+  // A vanished link to a directly connected client means it disconnected:
+  // drop its state and notify the tracing layer exactly once.
+  if (s.code() == Code::kUnavailable) {
+    const auto it = clients_.find(to);
+    if (it != clients_.end()) {
+      const std::string entity_id = it->second;
+      clients_.erase(it);
+      local_subs_.remove_endpoint(to);
+      if (unreachable_handler_) unreachable_handler_(entity_id);
+    }
+  }
+}
+
+void Broker::on_packet(NodeId from, Bytes payload) {
+  if (blacklist_.contains(from)) return;
+  Frame f;
+  try {
+    f = Frame::deserialize(payload);
+  } catch (const SerializeError& e) {
+    report_misbehaviour(from, std::string("malformed frame: ") + e.what());
+    return;
+  }
+  switch (f.type) {
+    case FrameType::kConnect:
+      handle_connect(from, f);
+      break;
+    case FrameType::kSubscribe:
+      handle_subscribe(from, f);
+      break;
+    case FrameType::kUnsubscribe:
+      handle_unsubscribe(from, f);
+      break;
+    case FrameType::kPublish:
+      handle_publish(from, std::move(f));
+      break;
+    default:
+      break;  // acks/errors are for clients; ignore here
+  }
+}
+
+void Broker::handle_connect(NodeId from, const Frame& f) {
+  if (f.text.empty()) {
+    send_frame(from, make_error(1, "connect requires an entity id",
+                                f.request_id));
+    report_misbehaviour(from, "connect without entity id");
+    return;
+  }
+  clients_[from] = f.text;
+  Frame ack;
+  ack.type = FrameType::kConnectAck;
+  ack.text = name_;
+  ack.request_id = f.request_id;
+  send_frame(from, ack);
+}
+
+void Broker::handle_subscribe(NodeId from, const Frame& f) {
+  const std::string pattern = normalize_topic(f.text);
+  if (pattern.empty()) {
+    send_frame(from, make_error(1, "empty pattern", f.request_id));
+    return;
+  }
+
+  const bool from_broker = is_neighbour(from);
+  if (from_broker) {
+    // Neighbour interest: record and keep propagating (split horizon).
+    if (remote_subs_.add(pattern, from) && !local_subs_.any_match(pattern)) {
+      for (const NodeId n : neighbours_) {
+        if (n != from) send_frame(n, make_subscribe(pattern, 0));
+      }
+    }
+    return;
+  }
+
+  // Client subscribe: enforce the constrained-topic grammar at the edge.
+  const std::string actor = client_identity(from);
+  const Status allowed = check_constrained_action(
+      pattern, TopicAction::kSubscribe, /*actor_is_broker=*/false, actor);
+  if (!allowed.is_ok()) {
+    ++stats_.discarded;
+    send_frame(from, make_error(2, allowed.to_string(), f.request_id));
+    report_misbehaviour(from, "unauthorized subscribe to " + pattern);
+    return;
+  }
+
+  bool propagate = local_subs_.add(pattern, from);
+  // Suppress distribution: the constrainer's subscriptions stay local.
+  if (const auto ct = ConstrainedTopic::parse(pattern);
+      ct && ct->distribution == Distribution::kSuppress &&
+      ct->allowed == AllowedActions::kSubscribeOnly &&
+      !ct->constrainer_is_broker() && ct->constrainer == actor) {
+    propagate = false;
+  }
+  if (propagate) {
+    for (const NodeId n : neighbours_) {
+      send_frame(n, make_subscribe(pattern, 0));
+    }
+  }
+  Frame ack;
+  ack.type = FrameType::kSubscribeAck;
+  ack.text = pattern;
+  ack.request_id = f.request_id;
+  send_frame(from, ack);
+}
+
+void Broker::handle_unsubscribe(NodeId from, const Frame& f) {
+  const std::string pattern = normalize_topic(f.text);
+  const bool emptied = is_neighbour(from)
+                           ? remote_subs_.remove(pattern, from)
+                           : local_subs_.remove(pattern, from);
+  if (emptied && !local_subs_.any_match(pattern) &&
+      !remote_subs_.any_match(pattern)) {
+    for (const NodeId n : neighbours_) {
+      if (n != from) send_frame(n, make_unsubscribe(pattern));
+    }
+  }
+}
+
+void Broker::handle_publish(NodeId from, Frame f) {
+  if (!f.message) {
+    report_misbehaviour(from, "publish frame without message");
+    return;
+  }
+  Message& m = *f.message;
+  m.topic = normalize_topic(m.topic);
+
+  const bool from_broker = is_neighbour(from);
+  if (!from_broker) {
+    // Edge enforcement: may this client publish here?
+    const std::string actor = client_identity(from);
+    if (actor.empty()) {
+      ++stats_.discarded;
+      report_misbehaviour(from, "publish before connect");
+      return;
+    }
+    const Status allowed = check_constrained_action(
+        m.topic, TopicAction::kPublish, /*actor_is_broker=*/false, actor);
+    if (!allowed.is_ok()) {
+      ++stats_.discarded;
+      send_frame(from, make_error(2, allowed.to_string(), 0));
+      report_misbehaviour(from, "unauthorized publish to " + m.topic);
+      return;
+    }
+  }
+
+  // Tracing-layer filter (token verification). Applies to all inbound
+  // messages; broker-originated traces go through publish_from_broker and
+  // are the local broker's own responsibility.
+  if (filter_) {
+    const Status ok = filter_(m, from);
+    if (!ok.is_ok()) {
+      ++stats_.discarded;
+      report_misbehaviour(from, "filter rejected message: " + ok.message());
+      return;
+    }
+  }
+
+  ++stats_.published;
+  route(m, from);
+}
+
+void Broker::route(const Message& m, NodeId arrived_from) {
+  // Local services (tracing broker, etc.). Handlers may register further
+  // local services while running (a trace registration subscribes the
+  // session topics), so iterate by index and copy the handler: the vector
+  // can reallocate mid-loop. Services appended during routing do not see
+  // the current message.
+  const std::size_t service_count = local_services_.size();
+  for (std::size_t i = 0; i < service_count; ++i) {
+    if (topic_matches(local_services_[i].first, m.topic)) {
+      LocalHandler handler = local_services_[i].second;
+      handler(m);
+    }
+  }
+
+  // Local clients.
+  for (const NodeId client : local_subs_.match(m.topic)) {
+    if (client == node_ || client == arrived_from) continue;
+    ++stats_.delivered_local;
+    send_frame(client, make_publish(m));
+  }
+
+  // Suppress distribution: a constrainer's Publish-Only publications stay
+  // on this broker.
+  if (const auto ct = ConstrainedTopic::parse(m.topic);
+      ct && ct->distribution == Distribution::kSuppress &&
+      ct->allowed == AllowedActions::kPublishOnly) {
+    return;
+  }
+
+  // Neighbour brokers with matching interest (split horizon).
+  for (const NodeId n : remote_subs_.match(m.topic)) {
+    if (n == arrived_from) continue;
+    ++stats_.forwarded;
+    send_frame(n, make_publish(m));
+  }
+}
+
+}  // namespace et::pubsub

@@ -1,0 +1,146 @@
+// Broker: the routing node of the publish/subscribe substrate.
+//
+// "A broker performs the routing function by routing content along to
+// other brokers within the broker network. Producers and consumers don't
+// interact directly with each other." (paper §2)
+//
+// Responsibilities implemented here:
+//   * client attachment (connect/ack) with claimed entity identities;
+//   * subscription management and interest propagation across the broker
+//     overlay (reverse-path forwarding; the overlay must be acyclic, which
+//     Topology in topology.h guarantees);
+//   * topic routing: deliver to matching local clients and local services,
+//     forward to interested neighbour brokers with split-horizon;
+//   * constrained-topic enforcement at the edge (clients may only perform
+//     the actions the grammar grants them — paper §3.1/§4.3);
+//   * a pluggable inbound-message filter so the tracing layer can install
+//     authorization-token verification for broker-to-broker traffic
+//     (paper §4.3: messages without valid tokens are discarded);
+//   * denial-of-service bookkeeping: endpoints exceeding the misbehaviour
+//     threshold are disconnected (paper §5.2: "the broker will terminate
+//     communications with such an entity").
+//
+// Threading: all mutable state is touched only from the broker's node
+// context (its packet handler and timers). Setup calls (peer,
+// subscribe_local, set_message_filter) must complete before traffic starts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/pubsub/constrained_topic.h"
+#include "src/pubsub/message.h"
+#include "src/pubsub/subscription.h"
+#include "src/transport/network.h"
+
+namespace et::pubsub {
+
+/// Callback for broker-local services (tracing) receiving matched messages.
+using LocalHandler = std::function<void(const Message&)>;
+
+/// Inbound filter: inspects a message arriving from a neighbour broker or
+/// client before routing. Return a non-OK status to discard (counted as
+/// misbehaviour of the sender).
+using MessageFilter =
+    std::function<Status(const Message& msg, transport::NodeId from)>;
+
+/// Invoked (in the broker's context) when a delivery to a directly
+/// connected client fails because its link is gone — the pub/sub-level
+/// "connection closed" signal the tracing service turns into DISCONNECT
+/// traces (paper Table 1).
+using ClientUnreachableHandler =
+    std::function<void(const std::string& entity_id)>;
+
+/// Counters exposed for benchmarks and tests.
+struct BrokerStats {
+  std::uint64_t published = 0;        // messages entering routing here
+  std::uint64_t forwarded = 0;        // copies sent to neighbour brokers
+  std::uint64_t delivered_local = 0;  // copies delivered to local clients
+  std::uint64_t discarded = 0;        // filter/constraint rejections
+  std::uint64_t disconnects = 0;      // endpoints dropped for misbehaviour
+};
+
+class Broker {
+ public:
+  /// Registers the broker on `backend`. `name` doubles as its publisher
+  /// id for broker-generated messages.
+  Broker(transport::NetworkBackend& backend, std::string name,
+         int misbehaviour_threshold = 5);
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Declares `other` a neighbour broker reachable over an existing link.
+  /// Call on both brokers (see connect_brokers in topology.h).
+  void peer(transport::NodeId other);
+
+  /// Broker-local service subscription. By default the broker's interest
+  /// propagates network-wide so remote publications arrive. With
+  /// `local_only` the subscription is suppressed (paper §3.1 Suppress
+  /// distribution): only messages reaching THIS broker match — used for
+  /// the trace-registration and session topics, which must be served by
+  /// the broker the entity is connected to (§3.2), not by every broker.
+  void subscribe_local(const std::string& pattern, LocalHandler handler,
+                       bool local_only = false);
+
+  /// Publishes a message *as this broker* (constrainer=Broker topics are
+  /// allowed). Enters normal routing.
+  void publish_from_broker(Message m);
+
+  /// Installs the inbound filter (tracing-token verification).
+  void set_message_filter(MessageFilter filter);
+
+  /// Installs the dead-client callback (fires once per vanished client).
+  void set_client_unreachable_handler(ClientUnreachableHandler handler);
+
+  [[nodiscard]] transport::NodeId node() const { return node_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const BrokerStats& stats() const { return stats_; }
+  [[nodiscard]] transport::NetworkBackend& backend() { return backend_; }
+
+  /// Claimed entity id of a connected client ("" when unknown).
+  [[nodiscard]] std::string client_identity(transport::NodeId id) const;
+
+  /// True when `endpoint` has been dropped for repeated misbehaviour.
+  [[nodiscard]] bool is_blacklisted(transport::NodeId endpoint) const;
+
+  /// Records one misbehaviour strike; disconnects at the threshold.
+  void report_misbehaviour(transport::NodeId endpoint,
+                           const std::string& why);
+
+ private:
+  void on_packet(transport::NodeId from, Bytes payload);
+  void handle_connect(transport::NodeId from, const Frame& f);
+  void handle_subscribe(transport::NodeId from, const Frame& f);
+  void handle_unsubscribe(transport::NodeId from, const Frame& f);
+  void handle_publish(transport::NodeId from, Frame f);
+  void route(const Message& m, transport::NodeId arrived_from);
+  void send_frame(transport::NodeId to, const Frame& f);
+  [[nodiscard]] bool is_neighbour(transport::NodeId id) const {
+    return neighbours_.contains(id);
+  }
+
+  transport::NetworkBackend& backend_;
+  std::string name_;
+  transport::NodeId node_;
+  int misbehaviour_threshold_;
+
+  std::set<transport::NodeId> neighbours_;
+  std::map<transport::NodeId, std::string> clients_;  // node -> entity id
+  SubscriptionTable local_subs_;   // clients attached here
+  SubscriptionTable remote_subs_;  // neighbour brokers' interest
+  std::vector<std::pair<std::string, LocalHandler>> local_services_;
+  MessageFilter filter_;
+  ClientUnreachableHandler unreachable_handler_;
+  std::map<transport::NodeId, int> strikes_;
+  std::set<transport::NodeId> blacklist_;
+  BrokerStats stats_;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace et::pubsub

@@ -1,0 +1,151 @@
+#include "src/pubsub/client.h"
+
+#include "src/common/logging.h"
+#include "src/common/topic_path.h"
+
+namespace et::pubsub {
+
+using transport::NodeId;
+
+Client::Client(transport::NetworkBackend& backend, std::string entity_id)
+    : backend_(backend), entity_id_(std::move(entity_id)) {
+  node_ = backend_.add_node(
+      entity_id_, [this](NodeId from, Bytes payload) {
+        on_packet(from, std::move(payload));
+      });
+}
+
+Client::~Client() { backend_.detach(node_); }
+
+void Client::in_context(transport::Task task) {
+  backend_.post(node_, std::move(task));
+}
+
+void Client::connect(NodeId broker, const transport::LinkParams& params,
+                     StatusHandler on_done) {
+  backend_.link(node_, broker, params);
+  in_context([this, broker, on_done = std::move(on_done)]() mutable {
+    broker_ = broker;
+    const std::uint64_t req = next_request_++;
+    if (on_done) pending_[req] = std::move(on_done);
+    const Status s =
+        backend_.send(node_, broker_, make_connect(entity_id_, req).serialize());
+    if (!s.is_ok()) {
+      if (const auto it = pending_.find(req); it != pending_.end()) {
+        auto cb = std::move(it->second);
+        pending_.erase(it);
+        cb(s);
+      }
+    }
+  });
+}
+
+void Client::subscribe(const std::string& pattern, MessageHandler handler,
+                       StatusHandler on_done) {
+  const std::string norm = normalize_topic(pattern);
+  in_context([this, norm, handler = std::move(handler),
+              on_done = std::move(on_done)]() mutable {
+    handlers_.emplace_back(norm, std::move(handler));
+    const std::uint64_t req = next_request_++;
+    if (on_done) pending_[req] = std::move(on_done);
+    if (broker_ == transport::kInvalidNode) {
+      ET_LOG(kWarn) << entity_id_ << ": subscribe before connect";
+      return;
+    }
+    (void)backend_.send(node_, broker_, make_subscribe(norm, req).serialize());
+  });
+}
+
+void Client::unsubscribe(const std::string& pattern) {
+  const std::string norm = normalize_topic(pattern);
+  in_context([this, norm] {
+    std::erase_if(handlers_,
+                  [&](const auto& p) { return p.first == norm; });
+    if (broker_ != transport::kInvalidNode) {
+      (void)backend_.send(node_, broker_, make_unsubscribe(norm).serialize());
+    }
+  });
+}
+
+void Client::publish(const std::string& topic, Bytes payload) {
+  Message m;
+  m.topic = topic;
+  m.payload = std::move(payload);
+  publish(std::move(m));
+}
+
+void Client::publish(Message m) {
+  in_context([this, m = std::move(m)]() mutable {
+    if (m.publisher.empty()) m.publisher = entity_id_;
+    if (m.sequence == 0) m.sequence = ++sequence_;
+    if (m.timestamp == 0) m.timestamp = backend_.now();
+    if (broker_ == transport::kInvalidNode) {
+      ET_LOG(kWarn) << entity_id_ << ": publish before connect";
+      return;
+    }
+    (void)backend_.send(node_, broker_, make_publish(std::move(m)).serialize());
+  });
+}
+
+void Client::set_error_handler(StatusHandler handler) {
+  in_context([this, handler = std::move(handler)]() mutable {
+    error_handler_ = std::move(handler);
+  });
+}
+
+void Client::on_packet(NodeId from, Bytes payload) {
+  (void)from;
+  Frame f;
+  try {
+    f = Frame::deserialize(payload);
+  } catch (const SerializeError&) {
+    return;  // garbage from the wire; clients just drop it
+  }
+  switch (f.type) {
+    case FrameType::kConnectAck: {
+      connected_ = true;
+      if (const auto it = pending_.find(f.request_id); it != pending_.end()) {
+        auto cb = std::move(it->second);
+        pending_.erase(it);
+        if (cb) cb(Status::ok());
+      }
+      break;
+    }
+    case FrameType::kSubscribeAck: {
+      if (const auto it = pending_.find(f.request_id); it != pending_.end()) {
+        auto cb = std::move(it->second);
+        pending_.erase(it);
+        if (cb) cb(Status::ok());
+      }
+      break;
+    }
+    case FrameType::kPublish: {
+      if (!f.message) break;
+      bool matched = false;
+      for (const auto& [pattern, handler] : handlers_) {
+        if (topic_matches(pattern, f.message->topic)) {
+          matched = true;
+          handler(*f.message);
+        }
+      }
+      if (matched) ++delivered_;
+      break;
+    }
+    case FrameType::kError: {
+      const Status s = permission_denied(f.detail);
+      if (const auto it = pending_.find(f.request_id);
+          f.request_id != 0 && it != pending_.end()) {
+        auto cb = std::move(it->second);
+        pending_.erase(it);
+        if (cb) cb(s);
+      } else if (error_handler_) {
+        error_handler_(s);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace et::pubsub

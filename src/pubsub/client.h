@@ -1,0 +1,92 @@
+// Publish/subscribe client: the library entry point for producers and
+// consumers.
+//
+// "Entities are connected to one of the brokers within the broker network;
+// an entity uses this broker to funnel messages to the broker network"
+// (paper §2). A Client owns one node on the backend, attaches to exactly
+// one broker, and offers subscribe/publish plus delivery callbacks.
+//
+// Threading: callbacks run in the client's node context. Public methods
+// are safe to call from outside that context — they enqueue onto the
+// client's own context via NetworkBackend::post, so internal state is
+// only ever touched by one execution context.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/pubsub/message.h"
+#include "src/transport/network.h"
+
+namespace et::pubsub {
+
+/// Invoked per delivered message matching one of the client's patterns.
+using MessageHandler = std::function<void(const Message&)>;
+
+/// Invoked with broker acks/errors (subscribe results, rejections).
+using StatusHandler = std::function<void(const Status&)>;
+
+class Client {
+ public:
+  /// Registers a node named after `entity_id`. Attach with connect().
+  Client(transport::NetworkBackend& backend, std::string entity_id);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Detaches the node handler so in-flight deliveries can't reach a
+  /// destroyed client.
+  ~Client();
+
+  /// Links to `broker` with `params` and sends the connect frame.
+  /// `on_done` (optional) fires with the outcome.
+  void connect(transport::NodeId broker, const transport::LinkParams& params,
+               StatusHandler on_done = nullptr);
+
+  /// Registers `handler` for `pattern` and asks the broker to subscribe.
+  void subscribe(const std::string& pattern, MessageHandler handler,
+                 StatusHandler on_done = nullptr);
+
+  /// Removes local handlers for `pattern` and tells the broker.
+  void unsubscribe(const std::string& pattern);
+
+  /// Publishes topic+payload with this client's identity stamped on.
+  void publish(const std::string& topic, Bytes payload);
+
+  /// Publishes a fully formed message (tracing layers fill signatures /
+  /// tokens before calling this). publisher/sequence/timestamp are filled
+  /// in when left at their defaults.
+  void publish(Message m);
+
+  /// Handler for broker error frames not tied to a pending request.
+  void set_error_handler(StatusHandler handler);
+
+  [[nodiscard]] transport::NodeId node() const { return node_; }
+  /// The broker this client attached to (kInvalidNode before connect()).
+  [[nodiscard]] transport::NodeId broker() const { return broker_; }
+  [[nodiscard]] const std::string& entity_id() const { return entity_id_; }
+  [[nodiscard]] bool connected() const { return connected_; }
+  [[nodiscard]] transport::NetworkBackend& backend() { return backend_; }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+
+ private:
+  void on_packet(transport::NodeId from, Bytes payload);
+  void in_context(transport::Task task);
+
+  transport::NetworkBackend& backend_;
+  std::string entity_id_;
+  transport::NodeId node_;
+  transport::NodeId broker_ = transport::kInvalidNode;
+  bool connected_ = false;
+  std::uint64_t next_request_ = 1;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::vector<std::pair<std::string, MessageHandler>> handlers_;
+  std::map<std::uint64_t, StatusHandler> pending_;
+  StatusHandler error_handler_;
+};
+
+}  // namespace et::pubsub

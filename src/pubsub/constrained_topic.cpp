@@ -1,0 +1,197 @@
+#include "src/pubsub/constrained_topic.h"
+
+#include "src/common/topic_path.h"
+
+namespace et::pubsub {
+
+namespace {
+
+constexpr std::string_view kKeyword = "Constrained";
+
+bool is_actions_token(std::string_view s, AllowedActions& out) {
+  if (s == "Publish-Only" || s == "PublishOnly" || s == "Publish") {
+    out = AllowedActions::kPublishOnly;
+    return true;
+  }
+  if (s == "Subscribe-Only" || s == "SubscribeOnly" || s == "Subscribe") {
+    out = AllowedActions::kSubscribeOnly;
+    return true;
+  }
+  if (s == "PublishSubscribe") {
+    out = AllowedActions::kPublishSubscribe;
+    return true;
+  }
+  return false;
+}
+
+bool is_distribution_token(std::string_view s, Distribution& out) {
+  if (s == "Suppress") {
+    out = Distribution::kSuppress;
+    return true;
+  }
+  if (s == "Disseminate") {
+    out = Distribution::kDisseminate;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_string(AllowedActions a) {
+  switch (a) {
+    case AllowedActions::kPublishOnly: return "Publish-Only";
+    case AllowedActions::kSubscribeOnly: return "Subscribe-Only";
+    case AllowedActions::kPublishSubscribe: return "PublishSubscribe";
+  }
+  return "?";
+}
+
+std::string to_string(Distribution d) {
+  return d == Distribution::kSuppress ? "Suppress" : "Disseminate";
+}
+
+bool is_constrained_topic(std::string_view topic) {
+  const auto segs = split_topic(topic);
+  return !segs.empty() && segs[0] == kKeyword;
+}
+
+std::optional<ConstrainedTopic> ConstrainedTopic::parse(
+    std::string_view topic) {
+  const auto segs = split_topic(topic);
+  if (segs.empty() || segs[0] != kKeyword) return std::nullopt;
+
+  ConstrainedTopic ct;
+  std::size_t i = 1;
+  AllowedActions aa;
+  Distribution dist;
+
+  // Elements may be omitted with defaults assumed (paper §3.1 declares
+  // /Constrained/Traces/Limited ≡
+  // /Constrained/Traces/Broker/PublishSubscribe/Limited). Deterministic
+  // disambiguation rule: find the first vocabulary token (an actions or
+  // distribution value) among the next three segments. The free-form
+  // tokens before it fill {EventType} then {Constrainer}:
+  //   * two tokens  -> event type, constrainer;
+  //   * one token   -> "Broker" is the constrainer, anything else is the
+  //     event type (an entity constrainer therefore requires an explicit
+  //     event type — our canonical builders always emit one);
+  //   * zero tokens -> both default.
+  // When no vocabulary token exists, the first free token (if any) is the
+  // event type and the rest are suffixes.
+  std::size_t vocab = i;
+  const std::size_t window = std::min(segs.size(), i + 3);
+  while (vocab < window && !is_actions_token(segs[vocab], aa) &&
+         !is_distribution_token(segs[vocab], dist)) {
+    ++vocab;
+  }
+  const bool found_vocab =
+      vocab < window && (is_actions_token(segs[vocab], aa) ||
+                         is_distribution_token(segs[vocab], dist));
+
+  const std::size_t free_tokens = (found_vocab ? vocab : window) - i;
+  if (found_vocab) {
+    if (free_tokens == 2) {
+      ct.event_type = segs[i];
+      ct.constrainer = segs[i + 1];
+    } else if (free_tokens == 1) {
+      if (segs[i] == "Broker") {
+        ct.constrainer = segs[i];
+      } else {
+        ct.event_type = segs[i];
+      }
+    }
+    i += free_tokens;
+  } else if (i < segs.size()) {
+    ct.event_type = segs[i];
+    ++i;
+    ct.suffixes.assign(segs.begin() + static_cast<std::ptrdiff_t>(i),
+                       segs.end());
+    return ct;
+  }
+
+  if (i < segs.size() && is_actions_token(segs[i], aa)) {
+    ct.allowed = aa;
+    ++i;
+  }
+  if (i < segs.size() && is_distribution_token(segs[i], dist)) {
+    ct.distribution = dist;
+    ++i;
+  }
+  ct.suffixes.assign(segs.begin() + static_cast<std::ptrdiff_t>(i),
+                     segs.end());
+  return ct;
+}
+
+std::string ConstrainedTopic::to_topic() const {
+  std::vector<std::string> segs;
+  segs.emplace_back(kKeyword);
+  segs.push_back(event_type);
+  segs.push_back(constrainer);
+  segs.push_back(pubsub::to_string(allowed));
+  segs.push_back(pubsub::to_string(distribution));
+  segs.insert(segs.end(), suffixes.begin(), suffixes.end());
+  return join_topic(segs);
+}
+
+Status check_constrained_action(std::string_view topic, TopicAction action,
+                                bool actor_is_broker,
+                                std::string_view actor_id) {
+  const auto ct = ConstrainedTopic::parse(topic);
+  if (!ct) return Status::ok();  // unconstrained topic
+
+  const bool actor_is_constrainer =
+      ct->constrainer_is_broker() ? actor_is_broker
+                                  : (actor_id == ct->constrainer);
+
+  const bool action_reserved =
+      ct->allowed == AllowedActions::kPublishSubscribe ||
+      (action == TopicAction::kPublish &&
+       ct->allowed == AllowedActions::kPublishOnly) ||
+      (action == TopicAction::kSubscribe &&
+       ct->allowed == AllowedActions::kSubscribeOnly);
+
+  if (action_reserved && !actor_is_constrainer) {
+    return permission_denied(
+        std::string(action == TopicAction::kPublish ? "publish" : "subscribe") +
+        " on constrained topic reserved for " + ct->constrainer);
+  }
+  return Status::ok();
+}
+
+namespace trace_topics {
+
+std::string registration() {
+  return "Constrained/Traces/Broker/Subscribe-Only/Registration";
+}
+
+std::string entity_to_broker(std::string_view trace_topic,
+                             std::string_view session_id) {
+  return "Constrained/Traces/Broker/Subscribe-Only/Limited/" +
+         std::string(trace_topic) + "/" + std::string(session_id);
+}
+
+std::string broker_to_entity(std::string_view entity_id,
+                             std::string_view trace_topic,
+                             std::string_view session_id) {
+  return "Constrained/Traces/" + std::string(entity_id) + "/Subscribe-Only/" +
+         std::string(trace_topic) + "/" + std::string(session_id);
+}
+
+std::string trace_publication(std::string_view trace_topic,
+                              std::string_view kind) {
+  return "Constrained/Traces/Broker/Publish-Only/" + std::string(trace_topic) +
+         "/" + std::string(kind);
+}
+
+std::string gauge_interest(std::string_view trace_topic) {
+  return trace_publication(trace_topic, kInterest);
+}
+
+std::string interest_response(std::string_view trace_topic) {
+  return "Constrained/Traces/Broker/Subscribe-Only/" +
+         std::string(trace_topic) + "/" + std::string(kInterest);
+}
+
+}  // namespace trace_topics
+}  // namespace et::pubsub

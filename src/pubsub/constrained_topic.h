@@ -1,0 +1,131 @@
+// Constrained-topic grammar (paper §3.1, "Constrained Topics").
+//
+//   /Constrained/{EventType}/{Constrainer}/{AllowedActions}/{Distribution}
+//       /{Other "/"-separated suffixes}
+//
+// The {AllowedActions} element lists the actions reserved for the
+// *constrainer*; everyone else may perform only the complement:
+//   * Publish (Publish-Only)   — only the constrainer publishes; any
+//     entity may subscribe. Used for trace-delivery topics.
+//   * Subscribe (Subscribe-Only) — only the constrainer subscribes; any
+//     entity may publish (to reach the constrainer). Used for
+//     registration/request topics.
+//   * PublishSubscribe (default) — both actions reserved: nobody except
+//     the constrainer may do anything (broker administrative topics).
+//
+// {Constrainer} is the literal `Broker` (any broker in the network) or an
+// entity identifier. {Distribution} is `Disseminate` (default) or
+// `Suppress` — Suppress keeps the constrainer's actions local to its own
+// broker (publications are not forwarded; subscriptions are not
+// propagated).
+//
+// Elements may be omitted from the middle of a topic; defaults are
+// assumed. Per the paper, `/Constrained/Traces/Limited` equals
+// `/Constrained/Traces/Broker/PublishSubscribe/Limited` — an omitted
+// element is recognized because its value doesn't belong to the element's
+// vocabulary, in which case the element takes its default and the token is
+// re-examined as the next element.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace et::pubsub {
+
+/// {AllowedActions} vocabulary.
+enum class AllowedActions : std::uint8_t {
+  kPublishOnly,
+  kSubscribeOnly,
+  kPublishSubscribe,  // default
+};
+
+/// {Distribution} vocabulary.
+enum class Distribution : std::uint8_t {
+  kDisseminate,  // default
+  kSuppress,
+};
+
+std::string to_string(AllowedActions a);
+std::string to_string(Distribution d);
+
+/// Parsed view of a constrained topic.
+struct ConstrainedTopic {
+  std::string event_type = "RealTime";  // default per the paper
+  /// "Broker" or an entity id.
+  std::string constrainer = "Broker";
+  AllowedActions allowed = AllowedActions::kPublishSubscribe;
+  Distribution distribution = Distribution::kDisseminate;
+  /// Remaining "/"-separated suffix segments (trace topic UUID etc.).
+  std::vector<std::string> suffixes;
+
+  [[nodiscard]] bool constrainer_is_broker() const {
+    return constrainer == "Broker";
+  }
+
+  /// Rebuilds the canonical fully-explicit topic string.
+  [[nodiscard]] std::string to_topic() const;
+
+  /// Parses `topic`. Returns nullopt when the topic is not constrained
+  /// (doesn't start with the `Constrained` keyword).
+  static std::optional<ConstrainedTopic> parse(std::string_view topic);
+};
+
+/// True when `topic` starts with the Constrained keyword.
+bool is_constrained_topic(std::string_view topic);
+
+/// The action an endpoint attempts against a topic.
+enum class TopicAction : std::uint8_t { kPublish, kSubscribe };
+
+/// Authorization decision for `actor` attempting `action` on `topic`.
+/// `actor_is_broker` marks broker overlay nodes; `actor_id` is the
+/// claimed entity id. Non-constrained topics always allow.
+Status check_constrained_action(std::string_view topic, TopicAction action,
+                                bool actor_is_broker,
+                                std::string_view actor_id);
+
+/// Builders for the specific constrained topics the tracing scheme uses.
+/// `trace_topic` is the UUID string minted by the TDN.
+namespace trace_topics {
+
+/// /Constrained/Traces/Broker/Subscribe-Only/Registration — entities send
+/// trace-registration requests here; (any) broker is the only subscriber.
+std::string registration();
+
+/// /Constrained/Traces/Broker/Subscribe-Only/Limited/<trace>/<session> —
+/// traced entity -> hosting broker channel (ping responses, state).
+std::string entity_to_broker(std::string_view trace_topic,
+                             std::string_view session_id);
+
+/// /Constrained/Traces/<entity>/Subscribe-Only/<trace>/<session> —
+/// hosting broker -> traced entity channel (pings).
+std::string broker_to_entity(std::string_view entity_id,
+                             std::string_view trace_topic,
+                             std::string_view session_id);
+
+/// /Constrained/Traces/Broker/Publish-Only/<trace>/<kind> — broker
+/// publishes traces of one kind; trackers subscribe.
+std::string trace_publication(std::string_view trace_topic,
+                              std::string_view kind);
+
+/// Suffix names for per-type trace publication topics (paper Table 2).
+inline constexpr const char* kChangeNotifications = "ChangeNotifications";
+inline constexpr const char* kAllUpdates = "AllUpdates";
+inline constexpr const char* kStateTransitions = "StateTransitions";
+inline constexpr const char* kLoad = "Load";
+inline constexpr const char* kNetworkMetrics = "NetworkMetrics";
+inline constexpr const char* kInterest = "Interest";
+
+/// /Constrained/Traces/Broker/Publish-Only/<trace>/Interest — broker's
+/// GAUGE_INTEREST probe topic.
+std::string gauge_interest(std::string_view trace_topic);
+
+/// /Constrained/Traces/Broker/Subscribe-Only/<trace>/Interest — trackers
+/// publish interest responses here.
+std::string interest_response(std::string_view trace_topic);
+
+}  // namespace trace_topics
+}  // namespace et::pubsub

@@ -1,0 +1,119 @@
+#include "src/pubsub/message.h"
+
+namespace et::pubsub {
+
+namespace {
+// First wire byte distinguishes pub/sub frames from other protocol
+// families sharing a backend (discovery uses a different magic).
+constexpr std::uint8_t kPubSubMagic = 0xB5;
+}  // namespace
+
+Bytes Message::signable_bytes() const {
+  Writer w;
+  w.str(topic);
+  w.bytes(payload);
+  w.str(publisher);
+  w.u64(sequence);
+  w.i64(timestamp);
+  w.bytes(auth_token);
+  w.boolean(encrypted);
+  return std::move(w).take();
+}
+
+void Message::encode(Writer& w) const {
+  w.str(topic);
+  w.bytes(payload);
+  w.str(publisher);
+  w.u64(sequence);
+  w.i64(timestamp);
+  w.bytes(auth_token);
+  w.bytes(signature);
+  w.boolean(encrypted);
+}
+
+Message Message::decode(Reader& r) {
+  Message m;
+  m.topic = r.str();
+  m.payload = r.bytes();
+  m.publisher = r.str();
+  m.sequence = r.u64();
+  m.timestamp = r.i64();
+  m.auth_token = r.bytes();
+  m.signature = r.bytes();
+  m.encrypted = r.boolean();
+  return m;
+}
+
+Bytes Frame::serialize() const {
+  Writer w;
+  w.u8(kPubSubMagic);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.str(text);
+  w.u32(status);
+  w.str(detail);
+  w.u64(request_id);
+  w.boolean(message.has_value());
+  if (message) message->encode(w);
+  return std::move(w).take();
+}
+
+Frame Frame::deserialize(BytesView b) {
+  Reader r(b);
+  if (r.u8() != kPubSubMagic) {
+    throw SerializeError("not a pub/sub frame");
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(r.u8());
+  if (f.type < FrameType::kConnect || f.type > FrameType::kError) {
+    throw SerializeError("unknown frame type");
+  }
+  f.text = r.str();
+  f.status = r.u32();
+  f.detail = r.str();
+  f.request_id = r.u64();
+  if (r.boolean()) f.message = Message::decode(r);
+  r.expect_done();
+  return f;
+}
+
+Frame make_connect(std::string entity_id, std::uint64_t request_id) {
+  Frame f;
+  f.type = FrameType::kConnect;
+  f.text = std::move(entity_id);
+  f.request_id = request_id;
+  return f;
+}
+
+Frame make_subscribe(std::string pattern, std::uint64_t request_id) {
+  Frame f;
+  f.type = FrameType::kSubscribe;
+  f.text = std::move(pattern);
+  f.request_id = request_id;
+  return f;
+}
+
+Frame make_unsubscribe(std::string pattern) {
+  Frame f;
+  f.type = FrameType::kUnsubscribe;
+  f.text = std::move(pattern);
+  return f;
+}
+
+Frame make_publish(Message m) {
+  Frame f;
+  f.type = FrameType::kPublish;
+  f.message = std::move(m);
+  return f;
+}
+
+Frame make_error(std::uint32_t status, std::string detail,
+                 std::uint64_t request_id) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.status = status;
+  f.detail = std::move(detail);
+  f.request_id = request_id;
+  return f;
+}
+
+}  // namespace et::pubsub

@@ -1,0 +1,75 @@
+#include "src/pubsub/subscription.h"
+
+#include "src/common/topic_path.h"
+
+namespace et::pubsub {
+
+bool SubscriptionTable::add(const std::string& pattern,
+                            transport::NodeId endpoint) {
+  auto& subs = table_[normalize_topic(pattern)];
+  const bool first = subs.empty();
+  subs.insert(endpoint);
+  return first;
+}
+
+bool SubscriptionTable::remove(const std::string& pattern,
+                               transport::NodeId endpoint) {
+  const auto it = table_.find(normalize_topic(pattern));
+  if (it == table_.end()) return false;
+  it->second.erase(endpoint);
+  if (it->second.empty()) {
+    table_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SubscriptionTable::remove_endpoint(
+    transport::NodeId endpoint) {
+  std::vector<std::string> emptied;
+  for (auto it = table_.begin(); it != table_.end();) {
+    it->second.erase(endpoint);
+    if (it->second.empty()) {
+      emptied.push_back(it->first);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return emptied;
+}
+
+std::set<transport::NodeId> SubscriptionTable::match(
+    std::string_view topic) const {
+  std::set<transport::NodeId> out;
+  for (const auto& [pattern, subs] : table_) {
+    if (topic_matches(pattern, topic)) {
+      out.insert(subs.begin(), subs.end());
+    }
+  }
+  return out;
+}
+
+bool SubscriptionTable::any_match(std::string_view topic) const {
+  for (const auto& [pattern, subs] : table_) {
+    if (topic_matches(pattern, topic)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SubscriptionTable::patterns() const {
+  std::vector<std::string> out;
+  out.reserve(table_.size());
+  for (const auto& [pattern, subs] : table_) out.push_back(pattern);
+  return out;
+}
+
+bool SubscriptionTable::endpoint_matches(transport::NodeId endpoint,
+                                         std::string_view topic) const {
+  for (const auto& [pattern, subs] : table_) {
+    if (subs.contains(endpoint) && topic_matches(pattern, topic)) return true;
+  }
+  return false;
+}
+
+}  // namespace et::pubsub

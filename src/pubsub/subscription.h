@@ -1,0 +1,62 @@
+// Subscription bookkeeping for one broker.
+//
+// A broker tracks two kinds of interest:
+//   * local consumers — directly connected clients (and broker-local
+//     services such as the tracing service) keyed by endpoint;
+//   * remote interest — neighbouring brokers that propagated a pattern,
+//     used by reverse-path forwarding over the (acyclic) broker overlay.
+//
+// Patterns are hierarchical topics with optional wildcards (see
+// common/topic_path.h). Matching walks all registered patterns; broker
+// fan-outs in this system are small enough that an index is unnecessary
+// (the micro benchmark bench_micro tracks the cost).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/transport/network.h"
+
+namespace et::pubsub {
+
+/// Interest registry mapping topic patterns to endpoints.
+class SubscriptionTable {
+ public:
+  /// Adds interest; returns true when this is the pattern's first
+  /// subscriber (the caller should then propagate interest upstream).
+  bool add(const std::string& pattern, transport::NodeId endpoint);
+
+  /// Removes one endpoint's interest; returns true when the pattern has
+  /// no subscribers left (caller should propagate the unsubscribe).
+  bool remove(const std::string& pattern, transport::NodeId endpoint);
+
+  /// Drops every subscription held by `endpoint` (client disconnect).
+  /// Returns the patterns that became empty.
+  std::vector<std::string> remove_endpoint(transport::NodeId endpoint);
+
+  /// All endpoints whose patterns match `topic` (deduplicated).
+  [[nodiscard]] std::set<transport::NodeId> match(
+      std::string_view topic) const;
+
+  /// True when at least one pattern matches `topic`.
+  [[nodiscard]] bool any_match(std::string_view topic) const;
+
+  /// All patterns currently registered (for interest propagation to a
+  /// newly joined neighbour).
+  [[nodiscard]] std::vector<std::string> patterns() const;
+
+  /// True when `endpoint` holds a subscription matching `topic`.
+  [[nodiscard]] bool endpoint_matches(transport::NodeId endpoint,
+                                      std::string_view topic) const;
+
+  [[nodiscard]] std::size_t pattern_count() const { return table_.size(); }
+
+ private:
+  std::map<std::string, std::set<transport::NodeId>> table_;
+};
+
+}  // namespace et::pubsub

@@ -1,0 +1,70 @@
+#include "src/pubsub/topology.h"
+
+#include <stdexcept>
+
+namespace et::pubsub {
+
+Broker& Topology::add_broker(const std::string& name,
+                             int misbehaviour_threshold) {
+  brokers_.push_back(
+      std::make_unique<Broker>(backend_, name, misbehaviour_threshold));
+  union_find_.push_back(union_find_.size());
+  return *brokers_.back();
+}
+
+std::size_t Topology::index_of(const Broker& b) const {
+  for (std::size_t i = 0; i < brokers_.size(); ++i) {
+    if (brokers_[i].get() == &b) return i;
+  }
+  throw std::invalid_argument("Topology: broker not owned by this topology");
+}
+
+std::size_t Topology::find_root(std::size_t i) {
+  while (union_find_[i] != i) {
+    union_find_[i] = union_find_[union_find_[i]];  // path halving
+    i = union_find_[i];
+  }
+  return i;
+}
+
+void Topology::connect_brokers(Broker& a, Broker& b,
+                               const transport::LinkParams& params) {
+  const std::size_t ia = index_of(a);
+  const std::size_t ib = index_of(b);
+  const std::size_t ra = find_root(ia);
+  const std::size_t rb = find_root(ib);
+  if (ra == rb) {
+    throw std::invalid_argument(
+        "Topology: edge " + a.name() + " - " + b.name() +
+        " would create a cycle in the broker overlay");
+  }
+  union_find_[ra] = rb;
+  backend_.link(a.node(), b.node(), params);
+  a.peer(b.node());
+  b.peer(a.node());
+}
+
+std::vector<Broker*> Topology::make_chain(std::size_t n,
+                                          const transport::LinkParams& params,
+                                          const std::string& prefix) {
+  std::vector<Broker*> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(&add_broker(prefix + std::to_string(i)));
+    if (i > 0) connect_brokers(*out[i - 1], *out[i], params);
+  }
+  return out;
+}
+
+std::vector<Broker*> Topology::make_star(std::size_t leaves,
+                                         const transport::LinkParams& params,
+                                         const std::string& prefix) {
+  std::vector<Broker*> out;
+  out.push_back(&add_broker(prefix + "-hub"));
+  for (std::size_t i = 0; i < leaves; ++i) {
+    out.push_back(&add_broker(prefix + std::to_string(i)));
+    connect_brokers(*out[0], *out.back(), params);
+  }
+  return out;
+}
+
+}  // namespace et::pubsub

@@ -1,0 +1,57 @@
+// Broker-overlay construction helpers.
+//
+// The interest-propagation protocol requires an acyclic broker overlay
+// (reverse-path forwarding has no duplicate suppression). `Topology` owns
+// a set of brokers and wires them into chains, stars or balanced trees —
+// the shapes the paper's benchmarks use (Figure 1: a chain of brokers;
+// Figure 3: a star of brokers around the traced entity's broker).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pubsub/broker.h"
+#include "src/transport/network.h"
+
+namespace et::pubsub {
+
+/// Owns brokers and guarantees the overlay stays a tree.
+class Topology {
+ public:
+  explicit Topology(transport::NetworkBackend& backend)
+      : backend_(backend) {}
+
+  /// Creates a broker named `name` (unconnected).
+  Broker& add_broker(const std::string& name,
+                     int misbehaviour_threshold = 5);
+
+  /// Links two brokers and registers them as peers. Throws
+  /// std::invalid_argument if the edge would create a cycle.
+  void connect_brokers(Broker& a, Broker& b,
+                       const transport::LinkParams& params);
+
+  /// Builds a chain b0 - b1 - ... - b{n-1}; returns the brokers in order.
+  std::vector<Broker*> make_chain(std::size_t n,
+                                  const transport::LinkParams& params,
+                                  const std::string& prefix = "broker");
+
+  /// Builds a star: hub plus `leaves` brokers each linked to the hub.
+  /// Returns {hub, leaf0, leaf1, ...}.
+  std::vector<Broker*> make_star(std::size_t leaves,
+                                 const transport::LinkParams& params,
+                                 const std::string& prefix = "broker");
+
+  [[nodiscard]] std::size_t size() const { return brokers_.size(); }
+  [[nodiscard]] Broker& broker(std::size_t i) { return *brokers_.at(i); }
+
+ private:
+  [[nodiscard]] std::size_t index_of(const Broker& b) const;
+  [[nodiscard]] std::size_t find_root(std::size_t i);
+
+  transport::NetworkBackend& backend_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::vector<std::size_t> union_find_;  // cycle detection
+};
+
+}  // namespace et::pubsub

@@ -1,0 +1,93 @@
+#include "src/tracing/authorization_token.h"
+
+#include "src/common/serialize.h"
+
+namespace et::tracing {
+
+AuthorizationToken AuthorizationToken::create(
+    const discovery::TopicAdvertisement& advertisement,
+    const crypto::RsaPublicKey& delegate_key, TokenRights rights,
+    TimePoint valid_from, TimePoint valid_until,
+    const crypto::RsaPrivateKey& owner_key) {
+  AuthorizationToken t;
+  t.advertisement_ = advertisement;
+  t.delegate_key_ = delegate_key;
+  t.rights_ = rights;
+  t.valid_from_ = valid_from;
+  t.valid_until_ = valid_until;
+  t.owner_signature_ = owner_key.sign(t.tbs());
+  return t;
+}
+
+Bytes AuthorizationToken::tbs() const {
+  Writer w;
+  w.bytes(advertisement_.serialize());
+  w.bytes(delegate_key_.serialize());
+  w.u8(static_cast<std::uint8_t>(rights_));
+  w.i64(valid_from_);
+  w.i64(valid_until_);
+  return std::move(w).take();
+}
+
+Bytes AuthorizationToken::serialize() const {
+  Writer w;
+  w.bytes(tbs());
+  w.bytes(owner_signature_);
+  return std::move(w).take();
+}
+
+AuthorizationToken AuthorizationToken::deserialize(BytesView b) {
+  Reader outer(b);
+  const Bytes tbs_bytes = outer.bytes();
+  Bytes sig = outer.bytes();
+  outer.expect_done();
+
+  Reader r(tbs_bytes);
+  AuthorizationToken t;
+  t.advertisement_ = discovery::TopicAdvertisement::deserialize(r.bytes());
+  t.delegate_key_ = crypto::RsaPublicKey::deserialize(r.bytes());
+  t.rights_ = static_cast<TokenRights>(r.u8());
+  t.valid_from_ = r.i64();
+  t.valid_until_ = r.i64();
+  r.expect_done();
+  t.owner_signature_ = std::move(sig);
+  return t;
+}
+
+Status AuthorizationToken::verify(const crypto::RsaPublicKey& tdn_key,
+                                  const crypto::RsaPublicKey& ca_key,
+                                  TimePoint now, Duration skew) const {
+  if (empty()) return unauthenticated("token: empty");
+
+  // 1. TDN-signed advertisement establishes topic ownership. Lifetimes of
+  //    advertisements and credentials are hours-long, far beyond the NTP
+  //    bound, so they are checked at `now`; the skew allowance applies to
+  //    the token's own (short) validity window below.
+  if (const Status s = advertisement_.verify(tdn_key, now); !s.is_ok()) {
+    return s;
+  }
+  // 2. Owner credential chains to the CA.
+  const crypto::Credential& owner = advertisement_.owner();
+  if (const Status s = owner.verify(ca_key, now); !s.is_ok()) {
+    return s;
+  }
+  // 3. Token signed by the topic owner.
+  if (!owner.public_key().verify(tbs(), owner_signature_)) {
+    return unauthenticated("token: not signed by the trace-topic owner");
+  }
+  // 4. Validity window with skew allowance on both edges.
+  if (now + skew < valid_from_) {
+    return expired("token: not yet valid");
+  }
+  if (now - skew >= valid_until_) {
+    return expired("token: expired");
+  }
+  return Status::ok();
+}
+
+bool AuthorizationToken::verify_delegate_signature(BytesView message,
+                                                   BytesView signature) const {
+  return delegate_key_.verify(message, signature);
+}
+
+}  // namespace et::tracing

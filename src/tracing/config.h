@@ -1,0 +1,73 @@
+// Tracing configuration and deployment-wide trust anchors.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/crypto/rsa.h"
+#include "src/crypto/secret_key.h"
+
+namespace et::tracing {
+
+/// Public keys every participant trusts: the certificate authority that
+/// issues credentials and the TDN key that signs topic advertisements.
+/// (A deployment may run several TDNs sharing one signing identity; the
+/// multi-TDN tests exercise replication with a shared key.)
+struct TrustAnchors {
+  crypto::RsaPublicKey ca_key;
+  crypto::RsaPublicKey tdn_key;
+};
+
+/// How a traced entity authenticates its messages to the hosting broker.
+enum class EntitySigningMode : std::uint8_t {
+  /// §4.2: every entity-initiated message (including ping responses)
+  /// carries an RSA signature.
+  kSignEachMessage = 1,
+  /// §6.3 optimization: messages are AES-encrypted with the session key
+  /// instead; possession of the key authenticates the sender.
+  kSymmetricSession = 2,
+};
+
+/// Knobs of the tracing scheme. Defaults follow the paper's setup where
+/// specified and sensible cluster values elsewhere.
+struct TracingConfig {
+  /// Base broker->entity ping period.
+  Duration ping_interval = 500 * kMillisecond;
+  /// Floor the adaptive scheduler may shrink the period to when responses
+  /// go missing ("the ping interval is reduced to hasten the failure
+  /// detection", §3.3).
+  Duration min_ping_interval = 100 * kMillisecond;
+  /// Consecutive unanswered pings before FAILURE_SUSPICION.
+  int suspicion_misses = 3;
+  /// Consecutive unanswered pings before FAILED.
+  int failed_misses = 6;
+  /// Sliding window of ping records kept per session (paper: 10).
+  int ping_history = 10;
+  /// Period of GAUGE_INTEREST probes (§3.5).
+  Duration gauge_interval = 3 * kSecond;
+  /// A tracker's interest registration stays fresh for this many gauge
+  /// rounds without a renewed response.
+  int interest_ttl_rounds = 3;
+  /// Period of NETWORK_METRICS publications.
+  Duration metrics_interval = 2 * kSecond;
+  /// §5.1: encrypt traces with an entity-provided secret trace key.
+  bool secure_traces = false;
+  /// §6.3 signing-cost optimization toggle.
+  EntitySigningMode signing_mode = EntitySigningMode::kSignEachMessage;
+  /// Symmetric algorithm for session/trace keys (paper: AES-192).
+  crypto::SymmetricAlg symmetric_alg = crypto::SymmetricAlg::kAes192Cbc;
+  /// Delegate key size for authorization tokens (paper: 1024-bit RSA).
+  std::size_t delegate_key_bits = 1024;
+  /// Token validity window ("typically ... short enough to correspond to
+  /// its expected presence within the system", §4.3).
+  Duration token_lifetime = 600 * kSecond;
+  /// §4.3: "An entity can generate a new token, once a token is closer to
+  /// expiration." When true, the entity re-delegates (fresh key pair +
+  /// token) at 3/4 of the token lifetime, keeping traces verifiable
+  /// indefinitely.
+  bool auto_renew_tokens = true;
+  /// Trace-topic advertisement lifetime at the TDN.
+  Duration topic_lifetime = 3600 * kSecond;
+};
+
+}  // namespace et::tracing

@@ -1,0 +1,52 @@
+#include "src/tracing/trace_filter.h"
+
+#include "src/tracing/authorization_token.h"
+
+namespace et::tracing {
+
+pubsub::MessageFilter make_trace_filter(const TrustAnchors& anchors,
+                                        transport::NetworkBackend& backend) {
+  return [anchors, &backend](const pubsub::Message& m,
+                             transport::NodeId) -> Status {
+    const auto ct = pubsub::ConstrainedTopic::parse(m.topic);
+    if (!ct || ct->event_type != "Traces" || !ct->constrainer_is_broker() ||
+        ct->allowed != pubsub::AllowedActions::kPublishOnly) {
+      return Status::ok();  // not a trace publication; other rules apply
+    }
+
+    if (m.auth_token.empty()) {
+      return unauthenticated("trace message without authorization token");
+    }
+    AuthorizationToken token;
+    try {
+      token = AuthorizationToken::deserialize(m.auth_token);
+    } catch (const SerializeError& e) {
+      return unauthenticated(std::string("malformed token: ") + e.what());
+    }
+    if (const Status s =
+            token.verify(anchors.tdn_key, anchors.ca_key, backend.now());
+        !s.is_ok()) {
+      return s;
+    }
+    if (token.rights() != TokenRights::kPublish) {
+      return permission_denied("token does not grant publish rights");
+    }
+    // The token must authorize THIS topic: the first suffix segment of a
+    // trace-publication topic is the trace-topic UUID.
+    if (ct->suffixes.empty() ||
+        ct->suffixes.front() != token.trace_topic().to_string()) {
+      return permission_denied("token is for a different trace topic");
+    }
+    if (!token.verify_delegate_signature(m.signable_bytes(), m.signature)) {
+      return unauthenticated("trace message not signed by the delegate key");
+    }
+    return Status::ok();
+  };
+}
+
+void install_trace_filter(pubsub::Broker& broker,
+                          const TrustAnchors& anchors) {
+  broker.set_message_filter(make_trace_filter(anchors, broker.backend()));
+}
+
+}  // namespace et::tracing

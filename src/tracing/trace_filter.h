@@ -1,0 +1,26 @@
+// Network-wide enforcement of trace authorization (paper §4.3/§5.2).
+//
+// Every broker in a tracing deployment installs this filter. Messages on
+// trace-publication topics (/Constrained/Traces/Broker/Publish-Only/...)
+// must carry an authorization token that
+//   * chains to the TDN-signed advertisement and the CA,
+//   * names the same trace topic the message is published on,
+//   * grants publish rights and is within its validity window, and
+//   * whose delegate key verifies the message signature.
+// Anything else is discarded and counted as misbehaviour of the sending
+// peer — repeated offences get the peer disconnected by the broker.
+#pragma once
+
+#include "src/pubsub/broker.h"
+#include "src/tracing/config.h"
+
+namespace et::tracing {
+
+/// Builds the filter; `backend` supplies the verification clock.
+pubsub::MessageFilter make_trace_filter(const TrustAnchors& anchors,
+                                        transport::NetworkBackend& backend);
+
+/// Convenience: installs make_trace_filter on `broker`.
+void install_trace_filter(pubsub::Broker& broker, const TrustAnchors& anchors);
+
+}  // namespace et::tracing

@@ -1,0 +1,274 @@
+#include "src/tracing/traced_entity.h"
+
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/pubsub/constrained_topic.h"
+
+namespace et::tracing {
+
+namespace tt = pubsub::trace_topics;
+
+TracedEntity::TracedEntity(transport::NetworkBackend& backend,
+                           crypto::Identity identity, TrustAnchors anchors,
+                           TracingConfig config, std::uint64_t seed)
+    : backend_(backend),
+      identity_(std::move(identity)),
+      anchors_(std::move(anchors)),
+      config_(config),
+      rng_(seed),
+      client_(backend, identity_.id),
+      disc_(backend, identity_) {}
+
+TracedEntity::~TracedEntity() { backend_.cancel(renewal_timer_); }
+
+void TracedEntity::attach_tdn(transport::NodeId tdn,
+                              const transport::LinkParams& params) {
+  disc_.attach_tdn(tdn, params);
+}
+
+void TracedEntity::connect_broker(transport::NodeId broker,
+                                  const transport::LinkParams& params) {
+  client_.connect(broker, params);
+}
+
+void TracedEntity::start_tracing(discovery::DiscoveryRestrictions restrictions,
+                                 ReadyCallback on_ready) {
+  // Step 1: mint the trace topic at the TDN (§3.1). The callback hops into
+  // the client context so all entity state stays single-context.
+  disc_.create_topic(
+      "Availability/Traces/" + identity_.id, std::move(restrictions),
+      config_.topic_lifetime,
+      [this, on_ready = std::move(on_ready)](
+          Result<discovery::TopicAdvertisement> result) mutable {
+        backend_.post(client_.node(), [this, result = std::move(result),
+                                       on_ready = std::move(on_ready)]() mutable {
+          if (!result.ok()) {
+            if (on_ready) on_ready(result.status());
+            return;
+          }
+          advertisement_ = std::move(result).value();
+          trace_topic_ = advertisement_.topic();
+          active_ = false;  // (re-)registration in progress
+          register_with_broker(std::move(on_ready));
+        });
+      });
+}
+
+void TracedEntity::register_with_broker(ReadyCallback on_ready) {
+  // Step 2 prep: listen for the response before asking (§3.2).
+  const std::string response_topic = "Constrained/Traces/" + identity_.id +
+                                     "/Subscribe-Only/RegistrationResponse";
+  auto shared_ready = std::make_shared<ReadyCallback>(std::move(on_ready));
+  client_.subscribe(response_topic,
+                    [this, shared_ready](const pubsub::Message& m) {
+                      on_registration_response(m, *shared_ready);
+                    });
+
+  RegistrationRequest req;
+  req.entity_id = identity_.id;
+  req.credential = identity_.credential;
+  req.advertisement = advertisement_;
+  req.request_id = rng_.next_u64() | 1;
+  registration_request_id_ = req.request_id;
+
+  pubsub::Message m;
+  m.topic = tt::registration();
+  m.payload = req.serialize();
+  m.publisher = identity_.id;
+  m.sequence = ++sequence_;
+  m.timestamp = backend_.now();
+  // §3.2 item 4: demonstrate possession by signing the message.
+  m.signature = identity_.keys.private_key.sign(m.signable_bytes());
+  client_.publish(std::move(m));
+}
+
+void TracedEntity::on_registration_response(const pubsub::Message& m,
+                                            ReadyCallback on_ready) {
+  if (active_) return;  // duplicate delivery after success
+  if (!m.encrypted) {
+    // Plaintext responses are error reports {request_id, message}.
+    try {
+      Reader r(m.payload);
+      const std::uint64_t req_id = r.u64();
+      const std::string error = r.str();
+      if (req_id != registration_request_id_) return;
+      ET_LOG(kInfo) << identity_.id << ": registration rejected: " << error;
+      if (on_ready) on_ready(unauthenticated(error));
+    } catch (const SerializeError&) {
+    }
+    return;
+  }
+  RegistrationResponse resp;
+  try {
+    const SealedEnvelope env = SealedEnvelope::deserialize(m.payload);
+    resp = RegistrationResponse::deserialize(
+        env.open(identity_.keys.private_key));
+  } catch (const std::exception& e) {
+    ET_LOG(kDebug) << identity_.id
+                   << ": undecipherable registration response: " << e.what();
+    return;
+  }
+  if (resp.request_id != registration_request_id_) return;
+
+  session_id_ = resp.session_id;
+  session_key_ = crypto::SecretKey::deserialize(resp.session_key);
+
+  // Step 3: subscribe to the broker->entity session topic (§3.2).
+  client_.subscribe(
+      tt::broker_to_entity(identity_.id, trace_topic_.to_string(),
+                           session_id_.to_string()),
+      [this](const pubsub::Message& ping) { on_ping(ping); });
+
+  deliver_delegation(std::move(on_ready));
+}
+
+void TracedEntity::deliver_delegation(ReadyCallback on_ready) {
+  // Step 4 (§4.3): fresh delegate pair, token signed by our long-term key.
+  const crypto::RsaKeyPair delegate =
+      crypto::rsa_generate(rng_, config_.delegate_key_bits);
+  const TimePoint now = backend_.now();
+  const AuthorizationToken token = AuthorizationToken::create(
+      advertisement_, delegate.public_key, TokenRights::kPublish, now,
+      now + config_.token_lifetime, identity_.keys.private_key);
+
+  SessionMessage sm;
+  sm.type = SessionMsgType::kTokenDelivery;
+  sm.token = token.serialize();
+  sm.delegate_secret = delegate.private_key.serialize();
+  send_session_message(sm, /*force_encrypt=*/true);
+
+  // §4.3: renew the delegation before the token expires.
+  if (config_.auto_renew_tokens) {
+    backend_.cancel(renewal_timer_);
+    renewal_timer_ = backend_.schedule(
+        client_.node(), config_.token_lifetime * 3 / 4, [this] {
+          if (active_) renew_token();
+        });
+  }
+
+  if (config_.secure_traces) {
+    // The trace key survives token renewals — rotating it here would
+    // orphan trackers that already unwrapped it. (Re-)delivery to the
+    // broker is idempotent.
+    if (trace_key_.empty()) {
+      trace_key_ = crypto::SecretKey::generate(rng_, config_.symmetric_alg);
+    }
+    SessionMessage key_msg;
+    key_msg.type = SessionMsgType::kTraceKeyDelivery;
+    key_msg.trace_key = trace_key_.serialize();
+    send_session_message(key_msg, /*force_encrypt=*/true);
+  }
+
+  active_ = true;
+  if (on_ready) on_ready(Status::ok());
+}
+
+void TracedEntity::on_ping(const pubsub::Message& m) {
+  SessionMessage ping;
+  try {
+    ping = SessionMessage::deserialize(m.payload);
+  } catch (const SerializeError&) {
+    return;
+  }
+  if (ping.type != SessionMsgType::kPing) return;
+  ++stats_.pings_received;
+  if (!responsive_) return;  // injected failure: stay silent
+
+  // §3.3: the response echoes the ping's number and timestamp.
+  SessionMessage resp;
+  resp.type = SessionMsgType::kPingResponse;
+  resp.ping_number = ping.ping_number;
+  resp.ping_timestamp = ping.ping_timestamp;
+  send_session_message(resp, /*force_encrypt=*/false);
+  ++stats_.pings_answered;
+}
+
+void TracedEntity::send_session_message(const SessionMessage& sm,
+                                        bool force_encrypt) {
+  pubsub::Message m;
+  m.topic = tt::entity_to_broker(trace_topic_.to_string(),
+                                 session_id_.to_string());
+  m.publisher = identity_.id;
+  m.sequence = ++sequence_;
+  m.timestamp = backend_.now();
+
+  const bool encrypt =
+      force_encrypt ||
+      config_.signing_mode == EntitySigningMode::kSymmetricSession;
+  if (encrypt) {
+    // §6.3: encryption with the shared session key authenticates us —
+    // "the broker accepts messages encrypted with this key as having
+    // originated by the entity in question".
+    m.payload = session_key_.encrypt(sm.serialize(), rng_);
+    m.encrypted = true;
+  } else {
+    // §4.2: sign every message, including ping responses.
+    m.payload = sm.serialize();
+    m.signature = identity_.keys.private_key.sign(m.signable_bytes());
+  }
+  client_.publish(std::move(m));
+}
+
+void TracedEntity::set_state(EntityState state) {
+  backend_.post(client_.node(), [this, state] {
+    state_ = state;
+    if (!active_) return;
+    SessionMessage sm;
+    sm.type = SessionMsgType::kStateReport;
+    sm.state = state;
+    send_session_message(sm, false);
+    ++stats_.reports_sent;
+  });
+}
+
+void TracedEntity::report_load(const LoadInfo& load) {
+  backend_.post(client_.node(), [this, load] {
+    if (!active_) return;
+    SessionMessage sm;
+    sm.type = SessionMsgType::kLoadReport;
+    sm.load = load;
+    send_session_message(sm, false);
+    ++stats_.reports_sent;
+  });
+}
+
+void TracedEntity::renew_token() {
+  backend_.post(client_.node(), [this] {
+    if (!active_) return;
+    // Fresh delegation: new key pair, new token, same session. The broker
+    // replaces its delegation atomically on receipt. A renewal failure is
+    // indistinguishable from expiry, so there is no callback; the next
+    // renewal timer is re-armed inside deliver_delegation.
+    deliver_delegation(nullptr);
+  });
+}
+
+void TracedEntity::stop_tracing() {
+  backend_.post(client_.node(), [this] {
+    if (!active_) return;
+    SessionMessage sm;
+    sm.type = SessionMsgType::kSilentMode;
+    send_session_message(sm, false);
+    active_ = false;
+    backend_.cancel(renewal_timer_);
+  });
+}
+
+void TracedEntity::disconnect() {
+  backend_.post(client_.node(), [this] {
+    active_ = false;
+    backend_.cancel(renewal_timer_);
+    if (client_.broker() != transport::kInvalidNode) {
+      backend_.unlink(client_.node(), client_.broker());
+    }
+  });
+}
+
+void TracedEntity::set_responsive(bool responsive) {
+  backend_.post(client_.node(), [this, responsive] {
+    responsive_ = responsive;
+  });
+}
+
+}  // namespace et::tracing

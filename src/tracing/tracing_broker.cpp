@@ -1,0 +1,586 @@
+#include "src/tracing/tracing_broker.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/pubsub/constrained_topic.h"
+
+namespace et::tracing {
+
+namespace tt = pubsub::trace_topics;
+
+TracingBrokerService::TracingBrokerService(pubsub::Broker& broker,
+                                           TrustAnchors anchors,
+                                           TracingConfig config,
+                                           std::uint64_t seed)
+    : broker_(broker),
+      anchors_(std::move(anchors)),
+      config_(config),
+      rng_(seed) {
+  // §3.2: entities register with THE broker they are connected to, so the
+  // registration subscription must not propagate — otherwise every broker
+  // in the network would mint a (phantom) session for every entity.
+  broker_.subscribe_local(
+      tt::registration(),
+      [this](const pubsub::Message& m) { handle_registration(m); },
+      /*local_only=*/true);
+  // A client whose link vanished without a silent-mode request gets a
+  // DISCONNECT trace (paper Table 1) and its session torn down.
+  broker_.set_client_unreachable_handler([this](const std::string& entity) {
+    const auto it = by_entity_.find(entity);
+    if (it == by_entity_.end()) return;
+    const auto sit = sessions_.find(it->second);
+    if (sit == sessions_.end()) return;
+    Session& s = sit->second;
+    TracePayload p;
+    p.type = TraceType::kDisconnect;
+    p.entity_id = entity;
+    p.detail = "client link lost";
+    publish_trace(s, std::move(p));
+    remove_session(s);
+    sessions_.erase(sit);
+    by_entity_.erase(entity);
+  });
+}
+
+bool TracingBrokerService::has_session_for(const std::string& entity_id) const {
+  return by_entity_.contains(entity_id);
+}
+
+TracingBrokerService::SessionView TracingBrokerService::session_view(
+    const std::string& entity_id) const {
+  SessionView v;
+  const auto it = by_entity_.find(entity_id);
+  if (it == by_entity_.end()) return v;
+  const auto sit = sessions_.find(it->second);
+  if (sit == sessions_.end()) return v;
+  const Session& s = sit->second;
+  v.exists = true;
+  v.suspected = s.suspected;
+  v.failed = s.failed;
+  v.current_ping_interval = s.ping_interval;
+  v.effective_interest = effective_interest(s);
+  v.secure = s.secure;
+  return v;
+}
+
+void TracingBrokerService::publish_registration_error(
+    const std::string& entity_id, std::uint64_t request_id,
+    const std::string& error) {
+  // Plaintext error marker on the entity's response topic (§3.2: "an
+  // error message is returned back to the entity").
+  Writer w;
+  w.u64(request_id);
+  w.str(error);
+  pubsub::Message m;
+  m.topic = "Constrained/Traces/" + entity_id +
+            "/Subscribe-Only/RegistrationResponse";
+  m.payload = std::move(w).take();
+  m.encrypted = false;
+  broker_.publish_from_broker(std::move(m));
+}
+
+void TracingBrokerService::handle_registration(const pubsub::Message& m) {
+  RegistrationRequest req;
+  try {
+    req = RegistrationRequest::deserialize(m.payload);
+  } catch (const SerializeError&) {
+    ++stats_.rejected_registrations;
+    return;
+  }
+  const TimePoint now = broker_.backend().now();
+
+  // Credential must chain to the CA.
+  if (const Status s = req.credential.verify(anchors_.ca_key, now);
+      !s.is_ok()) {
+    ++stats_.rejected_registrations;
+    publish_registration_error(req.entity_id, req.request_id, s.to_string());
+    return;
+  }
+  // Proof of possession: message signed with the credential's key (§3.2).
+  if (!req.credential.public_key().verify(m.signable_bytes(), m.signature)) {
+    ++stats_.rejected_registrations;
+    publish_registration_error(req.entity_id, req.request_id,
+                               "registration signature invalid");
+    return;
+  }
+  // Identity consistency.
+  if (req.credential.subject() != req.entity_id) {
+    ++stats_.rejected_registrations;
+    publish_registration_error(req.entity_id, req.request_id,
+                               "credential subject mismatch");
+    return;
+  }
+  // Trace-topic provenance: TDN-signed advertisement owned by this entity.
+  if (const Status s = req.advertisement.verify(anchors_.tdn_key, now);
+      !s.is_ok()) {
+    ++stats_.rejected_registrations;
+    publish_registration_error(req.entity_id, req.request_id, s.to_string());
+    return;
+  }
+  if (req.advertisement.owner().subject() != req.entity_id) {
+    ++stats_.rejected_registrations;
+    publish_registration_error(req.entity_id, req.request_id,
+                               "advertisement owned by someone else");
+    return;
+  }
+
+  // Replace any existing session for this entity (re-registration).
+  if (const auto it = by_entity_.find(req.entity_id); it != by_entity_.end()) {
+    if (const auto sit = sessions_.find(it->second); sit != sessions_.end()) {
+      remove_session(sit->second);
+      sessions_.erase(sit);
+    }
+    by_entity_.erase(it);
+  }
+
+  Session s;
+  s.session_id = Uuid::generate(rng_);
+  s.entity_id = req.entity_id;
+  s.trace_topic = req.advertisement.topic().to_string();
+  s.credential = req.credential;
+  s.advertisement = req.advertisement;
+  s.session_key = crypto::SecretKey::generate(rng_, config_.symmetric_alg);
+  s.ping_interval = config_.ping_interval;
+  const Uuid sid = s.session_id;
+
+  // Broker subscribes to the entity->broker session topic (§3.2). The
+  // entity is connected here, so the subscription stays local.
+  broker_.subscribe_local(
+      tt::entity_to_broker(s.trace_topic, sid.to_string()),
+      [this, sid](const pubsub::Message& msg) {
+        handle_session_message(sid, msg);
+      },
+      /*local_only=*/true);
+  // ... and to the interest-response topic for this trace topic (§3.5).
+  broker_.subscribe_local(
+      tt::interest_response(s.trace_topic),
+      [this, sid](const pubsub::Message& msg) {
+        handle_interest_response(sid, msg);
+      });
+
+  // Hybrid-encrypted response: only the registering entity can read it.
+  RegistrationResponse resp;
+  resp.request_id = req.request_id;
+  resp.session_id = sid;
+  resp.session_key = s.session_key.serialize();
+  resp.broker_name = broker_.name();
+  const SealedEnvelope env =
+      SealedEnvelope::seal(resp.serialize(), req.credential.public_key(),
+                           rng_, config_.symmetric_alg);
+  pubsub::Message out;
+  out.topic = "Constrained/Traces/" + req.entity_id +
+              "/Subscribe-Only/RegistrationResponse";
+  out.payload = env.serialize();
+  out.encrypted = true;
+  broker_.publish_from_broker(std::move(out));
+
+  // Start pulling (§3.3). Trace publication waits for the token.
+  s.ping_timer = broker_.backend().schedule(
+      broker_.node(), s.ping_interval, [this, sid] { on_ping_timer(sid); });
+  s.metrics_timer = broker_.backend().schedule(
+      broker_.node(), config_.metrics_interval,
+      [this, sid] { on_metrics_timer(sid); });
+
+  by_entity_[s.entity_id] = sid;
+  sessions_.emplace(sid, std::move(s));
+  ++stats_.registrations;
+}
+
+Result<SessionMessage> TracingBrokerService::authenticate_session_message(
+    Session& s, const pubsub::Message& m) const {
+  if (m.encrypted) {
+    // §6.3: possession of the session key authenticates the entity.
+    try {
+      return SessionMessage::deserialize(s.session_key.decrypt(m.payload));
+    } catch (const std::exception& e) {
+      return unauthenticated(std::string("session decrypt failed: ") +
+                             e.what());
+    }
+  }
+  // §4.2: every entity-initiated message is signed.
+  if (!s.credential.public_key().verify(m.signable_bytes(), m.signature)) {
+    return unauthenticated("session message signature invalid");
+  }
+  try {
+    return SessionMessage::deserialize(m.payload);
+  } catch (const SerializeError& e) {
+    return invalid_argument(std::string("malformed session message: ") +
+                            e.what());
+  }
+}
+
+void TracingBrokerService::handle_session_message(const Uuid& session_id,
+                                                  const pubsub::Message& m) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+
+  Result<SessionMessage> sm = authenticate_session_message(s, m);
+  if (!sm.ok()) {
+    ++stats_.rejected_session_messages;
+    ET_LOG(kDebug) << broker_.name() << ": dropped session message from "
+                   << s.entity_id << ": " << sm.status().to_string();
+    return;
+  }
+
+  switch (sm->type) {
+    case SessionMsgType::kPingResponse:
+      handle_ping_response(s, *sm);
+      break;
+    case SessionMsgType::kStateReport: {
+      if (!sm->state) break;
+      TracePayload p;
+      p.type = state_trace_type(*sm->state);
+      p.entity_id = s.entity_id;
+      p.state = sm->state;
+      publish_trace(s, std::move(p));
+      break;
+    }
+    case SessionMsgType::kLoadReport: {
+      if (!sm->load) break;
+      TracePayload p;
+      p.type = TraceType::kLoadInformation;
+      p.entity_id = s.entity_id;
+      p.load = sm->load;
+      publish_trace(s, std::move(p));
+      break;
+    }
+    case SessionMsgType::kTokenDelivery:
+      handle_token_delivery(s, *sm);
+      break;
+    case SessionMsgType::kTraceKeyDelivery: {
+      try {
+        s.trace_key = crypto::SecretKey::deserialize(sm->trace_key);
+        s.secure = true;
+      } catch (const std::exception&) {
+        ++stats_.rejected_session_messages;
+      }
+      break;
+    }
+    case SessionMsgType::kSilentMode: {
+      TracePayload p;
+      p.type = TraceType::kRevertingToSilentMode;
+      p.entity_id = s.entity_id;
+      publish_trace(s, std::move(p));
+      remove_session(s);
+      by_entity_.erase(s.entity_id);
+      sessions_.erase(session_id);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TracingBrokerService::handle_token_delivery(Session& s,
+                                                 const SessionMessage& sm) {
+  AuthorizationToken token;
+  crypto::RsaPrivateKey delegate;
+  try {
+    token = AuthorizationToken::deserialize(sm.token);
+    delegate = crypto::RsaPrivateKey::deserialize(sm.delegate_secret);
+  } catch (const std::exception&) {
+    ++stats_.rejected_session_messages;
+    return;
+  }
+  const TimePoint now = broker_.backend().now();
+  if (const Status st = token.verify(anchors_.tdn_key, anchors_.ca_key, now);
+      !st.is_ok()) {
+    ++stats_.rejected_session_messages;
+    ET_LOG(kDebug) << broker_.name() << ": rejected token from "
+                   << s.entity_id << ": " << st.to_string();
+    return;
+  }
+  if (token.trace_topic().to_string() != s.trace_topic ||
+      token.rights() != TokenRights::kPublish) {
+    ++stats_.rejected_session_messages;
+    return;
+  }
+  if (!(delegate.public_key() == token.delegate_key())) {
+    ++stats_.rejected_session_messages;
+    return;
+  }
+  s.token = std::move(token);
+  s.delegate_key = std::move(delegate);
+
+  if (!s.join_published) {
+    // "The first time a traced entity registers with a broker, the broker
+    // issues a JOIN trace." Publication needs the token, so JOIN goes out
+    // as soon as the delegation lands.
+    s.join_published = true;
+    TracePayload p;
+    p.type = TraceType::kJoin;
+    p.entity_id = s.entity_id;
+    publish_trace(s, std::move(p));
+  }
+  if (s.gauge_timer == 0) {
+    const Uuid sid = s.session_id;
+    s.gauge_timer = broker_.backend().schedule(
+        broker_.node(), config_.gauge_interval,
+        [this, sid] { on_gauge_timer(sid); });
+  }
+}
+
+void TracingBrokerService::on_ping_timer(const Uuid& session_id) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  const TimePoint now = broker_.backend().now();
+
+  // Account for the previous ping if it is still outstanding.
+  if (!s.outstanding.empty()) {
+    ++s.consecutive_misses;
+    // Hasten detection: shrink the interval (§3.3).
+    s.ping_interval = std::max(config_.min_ping_interval, s.ping_interval / 2);
+    if (!s.failed && s.consecutive_misses >= config_.failed_misses) {
+      s.failed = true;
+      ++stats_.failures;
+      TracePayload p;
+      p.type = TraceType::kFailed;
+      p.entity_id = s.entity_id;
+      p.detail = "no ping response after " +
+                 std::to_string(s.consecutive_misses) + " attempts";
+      publish_trace(s, std::move(p));
+    } else if (!s.suspected &&
+               s.consecutive_misses >= config_.suspicion_misses) {
+      s.suspected = true;
+      ++stats_.suspicions;
+      TracePayload p;
+      p.type = TraceType::kFailureSuspicion;
+      p.entity_id = s.entity_id;
+      p.detail = std::to_string(s.consecutive_misses) +
+                 " consecutive pings unanswered";
+      publish_trace(s, std::move(p));
+    }
+  }
+
+  // Issue the next ping (§3.3: monotonically increasing number + broker
+  // timestamp). A FAILED entity keeps getting probed — at the relaxed base
+  // rate — so recovery is eventually observed.
+  SessionMessage ping;
+  ping.type = SessionMsgType::kPing;
+  ping.ping_number = s.next_ping_number++;
+  ping.ping_timestamp = now;
+
+  pubsub::Message m;
+  m.topic = tt::broker_to_entity(s.entity_id, s.trace_topic,
+                                 s.session_id.to_string());
+  m.payload = ping.serialize();
+  broker_.publish_from_broker(std::move(m));
+  ++stats_.pings_sent;
+
+  s.outstanding[ping.ping_number] = now;
+  s.window.push_back(PingRecord{ping.ping_number, now, false, 0, false});
+  while (s.window.size() > static_cast<std::size_t>(config_.ping_history)) {
+    s.outstanding.erase(s.window.front().number);
+    s.window.pop_front();
+  }
+
+  const Duration next = s.failed ? config_.ping_interval : s.ping_interval;
+  const Uuid sid = s.session_id;
+  s.ping_timer = broker_.backend().schedule(broker_.node(), next,
+                                            [this, sid] { on_ping_timer(sid); });
+}
+
+void TracingBrokerService::handle_ping_response(Session& s,
+                                                const SessionMessage& sm) {
+  const auto out = s.outstanding.find(sm.ping_number);
+  if (out == s.outstanding.end()) return;  // stale/duplicate response
+  const TimePoint now = broker_.backend().now();
+  const Duration rtt = now - sm.ping_timestamp;
+  s.outstanding.erase(out);
+  ++stats_.ping_responses;
+
+  const bool out_of_order = sm.ping_number < s.last_responded;
+  s.last_responded = std::max(s.last_responded, sm.ping_number);
+  for (auto& rec : s.window) {
+    if (rec.number == sm.ping_number) {
+      rec.responded = true;
+      rec.rtt = rtt;
+      rec.out_of_order = out_of_order;
+      break;
+    }
+  }
+
+  s.consecutive_misses = 0;
+  // Relax the interval back toward the configured base.
+  s.ping_interval = std::min(config_.ping_interval, s.ping_interval * 2);
+  const bool was_down = s.suspected || s.failed;
+  s.suspected = false;
+  s.failed = false;
+
+  TracePayload p;
+  p.type = TraceType::kAllsWell;
+  p.entity_id = s.entity_id;
+  if (was_down) p.detail = "entity responsive again";
+  publish_trace(s, std::move(p));
+}
+
+void TracingBrokerService::on_metrics_timer(const Uuid& session_id) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+
+  if (!s.window.empty()) {
+    NetworkMetrics metrics;
+    std::size_t responded = 0, ooo = 0;
+    double rtt_sum = 0;
+    for (const auto& rec : s.window) {
+      // Pings still outstanding aren't losses yet.
+      if (rec.responded) {
+        ++responded;
+        rtt_sum += to_millis(rec.rtt);
+        if (rec.out_of_order) ++ooo;
+      }
+    }
+    const std::size_t settled =
+        s.window.size() - s.outstanding.size();
+    if (settled > 0) {
+      metrics.loss_rate =
+          static_cast<double>(settled - responded) / settled;
+    }
+    if (responded > 0) {
+      metrics.mean_rtt_ms = rtt_sum / static_cast<double>(responded);
+      metrics.out_of_order_rate =
+          static_cast<double>(ooo) / static_cast<double>(responded);
+    }
+
+    TracePayload p;
+    p.type = TraceType::kNetworkMetrics;
+    p.entity_id = s.entity_id;
+    p.metrics = metrics;
+    publish_trace(s, std::move(p));
+  }
+
+  const Uuid sid = s.session_id;
+  s.metrics_timer = broker_.backend().schedule(
+      broker_.node(), config_.metrics_interval,
+      [this, sid] { on_metrics_timer(sid); });
+}
+
+void TracingBrokerService::on_gauge_timer(const Uuid& session_id) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  ++s.gauge_round;
+
+  TracePayload p;
+  p.type = TraceType::kGaugeInterest;
+  p.entity_id = s.entity_id;
+  p.secured = s.secure;  // §5.1: flag that traces will be encrypted
+  // The gauge probe itself rides the Interest topic unencrypted and, like
+  // all broker-generated traces, carries the token (§5.1).
+  pubsub::Message m;
+  m.topic = tt::gauge_interest(s.trace_topic);
+  m.payload = p.serialize();
+  m.publisher = broker_.name();
+  m.sequence = ++trace_sequence_;
+  m.timestamp = broker_.backend().now();
+  m.auth_token = s.token.serialize();
+  m.signature = s.delegate_key.sign(m.signable_bytes());
+  broker_.publish_from_broker(std::move(m));
+
+  const Uuid sid = s.session_id;
+  s.gauge_timer = broker_.backend().schedule(
+      broker_.node(), config_.gauge_interval,
+      [this, sid] { on_gauge_timer(sid); });
+}
+
+void TracingBrokerService::handle_interest_response(const Uuid& session_id,
+                                                    const pubsub::Message& m) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+
+  InterestResponse resp;
+  try {
+    resp = InterestResponse::deserialize(m.payload);
+  } catch (const SerializeError&) {
+    return;
+  }
+  const TimePoint now = broker_.backend().now();
+  // Trackers authenticate their interest (§5.1: "interested trackers ...
+  // respond ... by including their credentials").
+  if (!resp.credential.verify(anchors_.ca_key, now).is_ok() ||
+      resp.credential.subject() != resp.tracker_id ||
+      !resp.credential.public_key().verify(m.signable_bytes(), m.signature)) {
+    return;
+  }
+  ++stats_.interest_responses;
+  s.interests[resp.tracker_id] =
+      TrackerInterest{resp.categories, s.gauge_round};
+
+  if (s.secure && !resp.key_delivery_topic.empty() && !s.trace_key.empty()) {
+    deliver_trace_key(s, resp);
+  }
+}
+
+void TracingBrokerService::deliver_trace_key(Session& s,
+                                             const InterestResponse& resp) {
+  // §5.1: seal {key, algorithm, padding} to the tracker's credential.
+  const SealedEnvelope env =
+      SealedEnvelope::seal(s.trace_key.serialize(),
+                           resp.credential.public_key(), rng_,
+                           config_.symmetric_alg);
+  pubsub::Message m;
+  m.topic = resp.key_delivery_topic;
+  m.payload = env.serialize();
+  m.encrypted = true;
+  broker_.publish_from_broker(std::move(m));
+  ++stats_.keys_distributed;
+}
+
+std::uint8_t TracingBrokerService::effective_interest(
+    const Session& s) const {
+  std::uint8_t mask = 0;
+  for (const auto& [tracker, rec] : s.interests) {
+    if (rec.last_round + config_.interest_ttl_rounds >= s.gauge_round) {
+      mask |= rec.mask;
+    }
+  }
+  return mask;
+}
+
+void TracingBrokerService::publish_trace(Session& s, TracePayload payload) {
+  if (s.token.empty()) return;  // delegation not complete yet
+  const std::uint8_t category = category_of(payload.type);
+  if (category == 0) return;  // GAUGE_INTEREST goes through on_gauge_timer
+  // §3.5: traces are issued only when some tracker wants the category.
+  if ((effective_interest(s) & category) == 0) {
+    ++stats_.traces_suppressed_no_interest;
+    return;
+  }
+
+  payload.issued_at = broker_.backend().now();
+  payload.secured = s.secure;
+
+  pubsub::Message m;
+  m.topic = tt::trace_publication(s.trace_topic, category_suffix(category));
+  Bytes body = payload.serialize();
+  if (s.secure) {
+    m.payload = s.trace_key.encrypt(body, rng_);
+    m.encrypted = true;
+  } else {
+    m.payload = std::move(body);
+  }
+  m.publisher = broker_.name();
+  m.sequence = ++trace_sequence_;
+  m.timestamp = payload.issued_at;
+  m.auth_token = s.token.serialize();
+  // §4.3: broker-generated traces are signed with the delegate key so any
+  // routing broker can verify authorization without learning which broker
+  // hosts the entity.
+  m.signature = s.delegate_key.sign(m.signable_bytes());
+  broker_.publish_from_broker(std::move(m));
+  ++stats_.traces_published;
+}
+
+void TracingBrokerService::remove_session(Session& s) {
+  broker_.backend().cancel(s.ping_timer);
+  broker_.backend().cancel(s.gauge_timer);
+  broker_.backend().cancel(s.metrics_timer);
+  s.ping_timer = s.gauge_timer = s.metrics_timer = 0;
+}
+
+}  // namespace et::tracing

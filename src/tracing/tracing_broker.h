@@ -1,0 +1,158 @@
+// The tracing service hosted on a broker (paper §3.2/§3.3/§3.5/§5.1).
+//
+// "In addition to the traced entity and the trackers ... there is an
+// additional component: the broker which the traced entity is connected
+// to. This broker is responsible for polling — the pull part — the traced
+// entity at regular intervals and for generating — the push part — traces
+// for the traced entity."
+//
+// Attach a TracingBrokerService to any pubsub::Broker to make it a hosting
+// broker. The service:
+//   * verifies trace registrations (credential chain + proof of
+//     possession + advertisement provenance) and mints sessions with
+//     hybrid-encrypted responses (§3.2);
+//   * pings each traced entity on an adaptive interval, maintains the
+//     last-10-pings window, and escalates FAILURE_SUSPICION -> FAILED on
+//     consecutive misses (§3.3);
+//   * publishes traces on the per-category derived topics, every one
+//     carrying the entity's authorization token and a delegate-key
+//     signature (§4.3);
+//   * gauges tracker interest periodically and publishes a category only
+//     while some tracker wants it (§3.5); unsolicited interest responses
+//     are also accepted (extension, documented in DESIGN.md);
+//   * distributes the secret trace key to authorized trackers via sealed
+//     envelopes and encrypts traces with it when the entity asked for
+//     confidentiality (§5.1).
+//
+// All state is touched in the broker's node context only.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/common/uuid.h"
+#include "src/pubsub/broker.h"
+#include "src/tracing/authorization_token.h"
+#include "src/tracing/config.h"
+#include "src/tracing/registration.h"
+#include "src/tracing/trace_message.h"
+
+namespace et::tracing {
+
+/// Counters for tests and benchmarks.
+struct TracingBrokerStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t rejected_registrations = 0;
+  std::uint64_t pings_sent = 0;
+  std::uint64_t ping_responses = 0;
+  std::uint64_t rejected_session_messages = 0;
+  std::uint64_t traces_published = 0;
+  std::uint64_t traces_suppressed_no_interest = 0;
+  std::uint64_t suspicions = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t keys_distributed = 0;
+  std::uint64_t interest_responses = 0;
+};
+
+class TracingBrokerService {
+ public:
+  TracingBrokerService(pubsub::Broker& broker, TrustAnchors anchors,
+                       TracingConfig config, std::uint64_t seed);
+
+  TracingBrokerService(const TracingBrokerService&) = delete;
+  TracingBrokerService& operator=(const TracingBrokerService&) = delete;
+
+  [[nodiscard]] const TracingBrokerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t active_sessions() const { return sessions_.size(); }
+  [[nodiscard]] bool has_session_for(const std::string& entity_id) const;
+
+  /// Ping-window diagnostics for one traced entity (tests).
+  struct SessionView {
+    bool exists = false;
+    bool suspected = false;
+    bool failed = false;
+    Duration current_ping_interval = 0;
+    std::uint8_t effective_interest = 0;
+    bool secure = false;
+  };
+  [[nodiscard]] SessionView session_view(const std::string& entity_id) const;
+
+ private:
+  struct PingRecord {
+    std::uint64_t number = 0;
+    TimePoint sent_at = 0;
+    bool responded = false;
+    Duration rtt = 0;
+    bool out_of_order = false;
+  };
+  struct TrackerInterest {
+    std::uint8_t mask = 0;
+    std::uint64_t last_round = 0;
+  };
+  struct Session {
+    Uuid session_id;
+    std::string entity_id;
+    std::string trace_topic;  // UUID string
+    crypto::Credential credential;
+    discovery::TopicAdvertisement advertisement;
+    crypto::SecretKey session_key;
+    AuthorizationToken token;
+    crypto::RsaPrivateKey delegate_key;
+    crypto::SecretKey trace_key;
+    bool secure = false;
+    bool join_published = false;
+
+    Duration ping_interval = 0;
+    std::uint64_t next_ping_number = 1;
+    std::uint64_t last_responded = 0;
+    int consecutive_misses = 0;
+    bool suspected = false;
+    bool failed = false;
+    std::deque<PingRecord> window;  // last N pings
+    std::map<std::uint64_t, TimePoint> outstanding;
+
+    std::uint64_t gauge_round = 0;
+    std::map<std::string, TrackerInterest> interests;
+
+    transport::TimerId ping_timer = 0;
+    transport::TimerId gauge_timer = 0;
+    transport::TimerId metrics_timer = 0;
+  };
+
+  void handle_registration(const pubsub::Message& m);
+  void handle_session_message(const Uuid& session_id,
+                              const pubsub::Message& m);
+  void handle_interest_response(const Uuid& session_id,
+                                const pubsub::Message& m);
+  void on_ping_timer(const Uuid& session_id);
+  void on_gauge_timer(const Uuid& session_id);
+  void on_metrics_timer(const Uuid& session_id);
+  void handle_ping_response(Session& s, const SessionMessage& sm);
+  void handle_token_delivery(Session& s, const SessionMessage& sm);
+  void deliver_trace_key(Session& s, const InterestResponse& resp);
+  void publish_trace(Session& s, TracePayload payload);
+  void publish_registration_error(const std::string& entity_id,
+                                  std::uint64_t request_id,
+                                  const std::string& error);
+  void remove_session(Session& s);
+  [[nodiscard]] std::uint8_t effective_interest(const Session& s) const;
+
+  /// Decrypts/authenticates an entity->broker session message per the
+  /// configured signing mode. Returns the decoded message or an error.
+  Result<SessionMessage> authenticate_session_message(
+      Session& s, const pubsub::Message& m) const;
+
+  pubsub::Broker& broker_;
+  TrustAnchors anchors_;
+  TracingConfig config_;
+  Rng rng_;
+  std::map<Uuid, Session> sessions_;
+  std::map<std::string, Uuid> by_entity_;
+  TracingBrokerStats stats_;
+  std::uint64_t trace_sequence_ = 0;
+};
+
+}  // namespace et::tracing

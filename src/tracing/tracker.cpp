@@ -1,0 +1,219 @@
+#include "src/tracing/tracker.h"
+
+#include "src/common/logging.h"
+#include "src/pubsub/constrained_topic.h"
+
+namespace et::tracing {
+
+namespace tt = pubsub::trace_topics;
+
+Tracker::Tracker(transport::NetworkBackend& backend, crypto::Identity identity,
+                 TrustAnchors anchors, std::uint64_t seed)
+    : backend_(backend),
+      identity_(std::move(identity)),
+      anchors_(std::move(anchors)),
+      rng_(seed),
+      client_(backend, identity_.id),
+      disc_(backend, identity_) {}
+
+void Tracker::attach_tdn(transport::NodeId tdn,
+                         const transport::LinkParams& params) {
+  disc_.attach_tdn(tdn, params);
+}
+
+void Tracker::connect_broker(transport::NodeId broker,
+                             const transport::LinkParams& params) {
+  client_.connect(broker, params);
+}
+
+std::string Tracker::key_topic_for(const Tracked& t) const {
+  return "Constrained/Traces/" + identity_.id + "/Subscribe-Only/TraceKeys/" +
+         t.trace_topic;
+}
+
+void Tracker::track(const std::string& entity_id, std::uint8_t categories,
+                    TraceHandler handler, ReadyCallback on_ready) {
+  // §3.4: authorized discovery by entity id.
+  disc_.discover(
+      "Liveness/" + entity_id,
+      [this, entity_id, categories, handler = std::move(handler),
+       on_ready = std::move(on_ready)](
+          Result<std::vector<discovery::TopicAdvertisement>> result) mutable {
+        backend_.post(client_.node(), [this, entity_id, categories,
+                                       handler = std::move(handler),
+                                       on_ready = std::move(on_ready),
+                                       result = std::move(result)]() mutable {
+          if (!result.ok()) {
+            if (on_ready) on_ready(result.status());
+            return;
+          }
+          if (result->empty()) {
+            if (on_ready) on_ready(not_found("no advertisement returned"));
+            return;
+          }
+          // Verify provenance before trusting the advertisement.
+          const discovery::TopicAdvertisement& ad = result->front();
+          if (const Status s = ad.verify(anchors_.tdn_key, backend_.now());
+              !s.is_ok()) {
+            if (on_ready) on_ready(s);
+            return;
+          }
+          Tracked t;
+          t.entity_id = entity_id;
+          t.advertisement = ad;
+          t.trace_topic = ad.topic().to_string();
+          t.categories = categories;
+          t.handler = std::move(handler);
+          begin_subscriptions(std::move(t), std::move(on_ready));
+        });
+      });
+}
+
+void Tracker::begin_subscriptions(Tracked t, ReadyCallback on_ready) {
+  const std::string trace_topic = t.trace_topic;
+
+  // Per-category derived topics (§3.3 Table 2): subscribe selectively.
+  for (const std::uint8_t bit :
+       {std::uint8_t(kCatChangeNotifications), std::uint8_t(kCatAllUpdates),
+        std::uint8_t(kCatStateTransitions), std::uint8_t(kCatLoad),
+        std::uint8_t(kCatNetworkMetrics)}) {
+    if ((t.categories & bit) == 0) continue;
+    client_.subscribe(
+        tt::trace_publication(trace_topic, category_suffix(bit)),
+        [this, trace_topic](const pubsub::Message& m) {
+          on_trace(trace_topic, m);
+        });
+  }
+  // GAUGE_INTEREST probes (§3.5).
+  client_.subscribe(tt::gauge_interest(trace_topic),
+                    [this, trace_topic](const pubsub::Message& m) {
+                      on_trace(trace_topic, m);
+                    });
+  // Sealed trace-key deliveries (§5.1).
+  client_.subscribe(key_topic_for(t),
+                    [this, trace_topic](const pubsub::Message& m) {
+                      on_key_delivery(trace_topic, m);
+                    });
+
+  tracked_.emplace(trace_topic, std::move(t));
+
+  // Announce interest immediately rather than waiting for the next gauge
+  // round (accepted by the broker as an unsolicited interest response —
+  // extension documented in DESIGN.md).
+  auto& entry = tracked_.at(trace_topic);
+  respond_interest(entry, /*secured=*/true);
+
+  if (on_ready) on_ready(Status::ok());
+}
+
+void Tracker::untrack(const std::string& entity_id) {
+  backend_.post(client_.node(), [this, entity_id] {
+    for (auto it = tracked_.begin(); it != tracked_.end(); ++it) {
+      if (it->second.entity_id != entity_id) continue;
+      const Tracked& t = it->second;
+      for (const std::uint8_t bit :
+           {std::uint8_t(kCatChangeNotifications),
+            std::uint8_t(kCatAllUpdates), std::uint8_t(kCatStateTransitions),
+            std::uint8_t(kCatLoad), std::uint8_t(kCatNetworkMetrics)}) {
+        if ((t.categories & bit) == 0) continue;
+        client_.unsubscribe(
+            tt::trace_publication(t.trace_topic, category_suffix(bit)));
+      }
+      client_.unsubscribe(tt::gauge_interest(t.trace_topic));
+      client_.unsubscribe(key_topic_for(t));
+      tracked_.erase(it);
+      return;
+    }
+  });
+}
+
+void Tracker::on_trace(const std::string& trace_topic,
+                       const pubsub::Message& m) {
+  const auto it = tracked_.find(trace_topic);
+  if (it == tracked_.end()) return;
+  Tracked& t = it->second;
+
+  // End-to-end verification (§4.3): token chain + delegate signature. The
+  // broker network already filtered, but a tracker must not trust its
+  // access link.
+  AuthorizationToken token;
+  try {
+    token = AuthorizationToken::deserialize(m.auth_token);
+  } catch (const std::exception&) {
+    ++stats_.traces_rejected;
+    return;
+  }
+  if (!token.verify(anchors_.tdn_key, anchors_.ca_key, backend_.now())
+           .is_ok() ||
+      token.trace_topic().to_string() != trace_topic ||
+      !token.verify_delegate_signature(m.signable_bytes(), m.signature)) {
+    ++stats_.traces_rejected;
+    return;
+  }
+
+  Bytes body = m.payload;
+  if (m.encrypted) {
+    if (t.trace_key.empty()) {
+      ++stats_.undecryptable;
+      return;
+    }
+    try {
+      body = t.trace_key.decrypt(body);
+    } catch (const std::exception&) {
+      ++stats_.undecryptable;
+      return;
+    }
+  }
+  TracePayload payload;
+  try {
+    payload = TracePayload::deserialize(body);
+  } catch (const SerializeError&) {
+    ++stats_.traces_rejected;
+    return;
+  }
+
+  if (payload.type == TraceType::kGaugeInterest) {
+    ++stats_.gauges_answered;
+    respond_interest(t, payload.secured);
+    return;
+  }
+  ++stats_.traces_received;
+  if (t.handler) t.handler(payload, m);
+}
+
+void Tracker::respond_interest(Tracked& t, bool secured) {
+  // §3.5/§5.1: outline our interests; include credential and (for secured
+  // sessions) the topic we expect the sealed key on.
+  InterestResponse resp;
+  resp.tracker_id = identity_.id;
+  resp.credential = identity_.credential;
+  resp.categories = t.categories;
+  if (secured && t.trace_key.empty()) {
+    resp.key_delivery_topic = key_topic_for(t);
+  }
+
+  pubsub::Message m;
+  m.topic = tt::interest_response(t.trace_topic);
+  m.payload = resp.serialize();
+  m.publisher = identity_.id;
+  m.sequence = ++sequence_;
+  m.timestamp = backend_.now();
+  m.signature = identity_.keys.private_key.sign(m.signable_bytes());
+  client_.publish(std::move(m));
+}
+
+void Tracker::on_key_delivery(const std::string& trace_topic,
+                              const pubsub::Message& m) {
+  const auto it = tracked_.find(trace_topic);
+  if (it == tracked_.end()) return;
+  try {
+    const SealedEnvelope env = SealedEnvelope::deserialize(m.payload);
+    it->second.trace_key =
+        crypto::SecretKey::deserialize(env.open(identity_.keys.private_key));
+    ++stats_.keys_received;
+  } catch (const std::exception& e) {
+    ET_LOG(kDebug) << identity_.id << ": bad key delivery: " << e.what();
+  }
+}
+
+}  // namespace et::tracing

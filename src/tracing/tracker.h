@@ -1,0 +1,103 @@
+// The tracker client (paper §3.4/§3.5/§5.1).
+//
+// "Trackers interested in receiving traces corresponding to an entity must
+// first discover the trace topic that has been registered by that entity."
+// A tracker:
+//   * runs the authorized discovery query (/Liveness/<entity-id>) — if it
+//     is not on the entity's discovery-restriction list the TDN stays
+//     silent and tracking fails with kNotFound;
+//   * subscribes selectively to the per-category derived topics;
+//   * verifies every received trace end-to-end (token chain + delegate
+//     signature) before surfacing it;
+//   * answers GAUGE_INTEREST probes with its interest set and credential,
+//     and requests/uses the sealed trace key when traces are encrypted.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/crypto/credential.h"
+#include "src/crypto/secret_key.h"
+#include "src/discovery/discovery_client.h"
+#include "src/pubsub/client.h"
+#include "src/tracing/authorization_token.h"
+#include "src/tracing/config.h"
+#include "src/tracing/registration.h"
+#include "src/tracing/trace_message.h"
+
+namespace et::tracing {
+
+/// Counters for tests/benches.
+struct TrackerStats {
+  std::uint64_t traces_received = 0;   // after verification
+  std::uint64_t traces_rejected = 0;   // failed token/signature checks
+  std::uint64_t undecryptable = 0;     // encrypted, no (valid) key yet
+  std::uint64_t gauges_answered = 0;
+  std::uint64_t keys_received = 0;
+};
+
+class Tracker {
+ public:
+  /// Delivered for every verified (and, when needed, decrypted) trace.
+  using TraceHandler =
+      std::function<void(const TracePayload&, const pubsub::Message&)>;
+
+  Tracker(transport::NetworkBackend& backend, crypto::Identity identity,
+          TrustAnchors anchors, std::uint64_t seed);
+
+  Tracker(const Tracker&) = delete;
+  Tracker& operator=(const Tracker&) = delete;
+
+  void attach_tdn(transport::NodeId tdn, const transport::LinkParams& params);
+  void connect_broker(transport::NodeId broker,
+                      const transport::LinkParams& params);
+
+  using ReadyCallback = std::function<void(const Status&)>;
+
+  /// Starts tracking `entity_id` for the given TraceCategory mask.
+  /// Discovery failure (unauthorized/unknown) reports kNotFound.
+  void track(const std::string& entity_id, std::uint8_t categories,
+             TraceHandler handler, ReadyCallback on_ready = nullptr);
+
+  /// Stops tracking `entity_id`: unsubscribes every associated topic and
+  /// stops answering its gauge probes, so the broker's interest record
+  /// for this tracker expires after the TTL (§3.5).
+  void untrack(const std::string& entity_id);
+
+  /// Number of entities currently tracked.
+  [[nodiscard]] std::size_t tracked_count() const { return tracked_.size(); }
+
+  [[nodiscard]] const std::string& tracker_id() const { return identity_.id; }
+  [[nodiscard]] const TrackerStats& stats() const { return stats_; }
+  [[nodiscard]] pubsub::Client& client() { return client_; }
+
+ private:
+  struct Tracked {
+    std::string entity_id;
+    discovery::TopicAdvertisement advertisement;
+    std::string trace_topic;  // UUID string
+    std::uint8_t categories = 0;
+    TraceHandler handler;
+    crypto::SecretKey trace_key;
+  };
+
+  void begin_subscriptions(Tracked t, ReadyCallback on_ready);
+  void on_trace(const std::string& trace_topic, const pubsub::Message& m);
+  void respond_interest(Tracked& t, bool secured);
+  void on_key_delivery(const std::string& trace_topic,
+                       const pubsub::Message& m);
+  [[nodiscard]] std::string key_topic_for(const Tracked& t) const;
+
+  transport::NetworkBackend& backend_;
+  crypto::Identity identity_;
+  TrustAnchors anchors_;
+  Rng rng_;
+  pubsub::Client client_;
+  discovery::DiscoveryClient disc_;
+  std::map<std::string, Tracked> tracked_;  // keyed by trace-topic string
+  std::uint64_t sequence_ = 0;
+  TrackerStats stats_;
+};
+
+}  // namespace et::tracing

@@ -1,0 +1,72 @@
+#include "src/transport/link.h"
+
+#include <algorithm>
+
+namespace et::transport {
+
+LinkParams LinkParams::tcp_profile() {
+  LinkParams p;
+  p.base_latency = 1500 * kMicrosecond;
+  p.jitter_stddev = 120 * kMicrosecond;
+  p.loss_probability = 0.005;  // surfaces as retransmit latency
+  p.reliable = true;
+  p.ordered = true;
+  p.bytes_per_us = 12.5;  // 100 Mbps
+  return p;
+}
+
+LinkParams LinkParams::udp_profile() {
+  LinkParams p;
+  p.base_latency = 1300 * kMicrosecond;
+  p.jitter_stddev = 150 * kMicrosecond;
+  p.loss_probability = 0.005;
+  p.reliable = false;
+  p.ordered = false;
+  p.bytes_per_us = 12.5;
+  return p;
+}
+
+LinkParams LinkParams::ideal_profile() {
+  LinkParams p;
+  p.base_latency = 0;
+  p.jitter_stddev = 0;
+  p.loss_probability = 0.0;
+  p.reliable = true;
+  p.ordered = true;
+  p.bytes_per_us = 0.0;
+  return p;
+}
+
+Duration LinkState::sample_delay(std::size_t size, TimePoint now, Rng& rng) {
+  ++sent_;
+  Duration delay = params_.base_latency;
+
+  if (params_.bytes_per_us > 0.0) {
+    delay += static_cast<Duration>(static_cast<double>(size) /
+                                   params_.bytes_per_us);
+  }
+  if (params_.jitter_stddev > 0) {
+    const double jitter = rng.next_gaussian(
+        0.0, static_cast<double>(params_.jitter_stddev));
+    delay += static_cast<Duration>(jitter);
+    delay = std::max<Duration>(delay, params_.base_latency / 2);
+  }
+  if (params_.loss_probability > 0.0 &&
+      rng.next_double() < params_.loss_probability) {
+    if (!params_.reliable) {
+      ++lost_;
+      return kPacketLost;
+    }
+    // Reliable link: model one retransmission timeout.
+    delay += params_.base_latency * 2;
+  }
+
+  if (params_.ordered) {
+    const TimePoint delivery = std::max(now + delay, last_delivery_);
+    last_delivery_ = delivery;
+    return delivery - now;
+  }
+  return delay;
+}
+
+}  // namespace et::transport

@@ -1,0 +1,73 @@
+// Link model: latency, jitter, loss, ordering and bandwidth.
+//
+// The paper's brokers were "hosted on a 100 Mbps LAN" with "per-hop
+// communications latency around 1-2 milliseconds in cluster settings"
+// (§6.1). A `LinkParams` captures one directed link's behaviour; the
+// `tcp_profile()` / `udp_profile()` constructors mirror the two transports
+// the paper benchmarks:
+//   * TCP-like — reliable and ordered; losses surface as retransmission
+//     latency rather than drops; slightly higher base latency.
+//   * UDP-like — unreliable and unordered; packets may be dropped or
+//     reordered by jitter; slightly lower base latency.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace et::transport {
+
+/// Behavioural parameters for a directed link.
+struct LinkParams {
+  /// Fixed one-way propagation delay.
+  Duration base_latency = 1500 * kMicrosecond;
+  /// Gaussian jitter stddev added to each packet's delay (clamped >= 0).
+  Duration jitter_stddev = 120 * kMicrosecond;
+  /// Probability a packet is lost (unreliable links only).
+  double loss_probability = 0.0;
+  /// Reliable links never drop; a "lost" packet instead costs an extra
+  /// retransmission delay (latency doubles for that packet).
+  bool reliable = true;
+  /// Ordered links deliver FIFO per direction (delivery times are clamped
+  /// to be non-decreasing). Unordered links may reorder under jitter.
+  bool ordered = true;
+  /// Throughput model: transmission delay = bytes / bytes_per_us.
+  /// 100 Mbps = 12.5 bytes/us. Zero disables the bandwidth term.
+  double bytes_per_us = 12.5;
+
+  /// Paper-faithful TCP-like profile (1.5 ms/hop nominal).
+  static LinkParams tcp_profile();
+  /// Paper-faithful UDP-like profile (slightly faster, 0.5% loss).
+  static LinkParams udp_profile();
+  /// Zero-latency lossless profile for logic-only unit tests.
+  static LinkParams ideal_profile();
+};
+
+/// Per-direction mutable link state: computes each packet's delivery delay.
+class LinkState {
+ public:
+  explicit LinkState(LinkParams params) : params_(params) {}
+
+  /// Samples the delay for a packet of `size` bytes sent at `now`.
+  /// Returns a negative duration when the packet is lost (unreliable link).
+  [[nodiscard]] Duration sample_delay(std::size_t size, TimePoint now,
+                                      Rng& rng);
+
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+
+  /// Running delivery statistics (used by NETWORK_METRICS traces).
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t packets_lost() const { return lost_; }
+
+ private:
+  LinkParams params_;
+  TimePoint last_delivery_ = 0;  // FIFO clamp for ordered links
+  std::uint64_t sent_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+/// Sentinel returned by LinkState::sample_delay for dropped packets.
+constexpr Duration kPacketLost = -1;
+
+}  // namespace et::transport

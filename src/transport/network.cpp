@@ -1,0 +1,5 @@
+#include "src/transport/network.h"
+
+// Interface-only translation unit; anchors the NetworkBackend vtable.
+
+namespace et::transport {}  // namespace et::transport

@@ -1,0 +1,259 @@
+#include "src/transport/realtime_network.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace et::transport {
+
+RealTimeNetwork::RealTimeNetwork(std::uint64_t seed) : rng_(seed) {
+  timer_thread_ = std::thread([this] { timer_loop(); });
+}
+
+RealTimeNetwork::~RealTimeNetwork() { stop(); }
+
+void RealTimeNetwork::stop() {
+  {
+    std::lock_guard lock(timer_mu_);
+    stopping_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+
+  // Stop node workers after the timer thread so no new tasks arrive.
+  std::vector<NodeActor*> actors;
+  {
+    std::lock_guard lock(nodes_mu_);
+    for (auto& n : nodes_) actors.push_back(n.get());
+  }
+  for (auto* a : actors) {
+    {
+      std::lock_guard lock(a->mu);
+      a->stopping = true;
+      a->inbox.clear();  // queued tasks may capture soon-dead objects
+    }
+    a->cv.notify_all();
+  }
+  for (auto* a : actors) {
+    if (a->worker.joinable()) a->worker.join();
+  }
+}
+
+NodeId RealTimeNetwork::add_node(std::string name, PacketHandler handler) {
+  std::lock_guard lock(nodes_mu_);
+  auto actor = std::make_unique<NodeActor>();
+  actor->name = std::move(name);
+  actor->handler = std::move(handler);
+  NodeActor* raw = actor.get();
+  actor->worker = std::thread([this, raw] { node_loop(raw); });
+  nodes_.push_back(std::move(actor));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void RealTimeNetwork::node_loop(NodeActor* actor) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(actor->mu);
+      actor->cv.wait(lock,
+                     [&] { return actor->stopping || !actor->inbox.empty(); });
+      if (actor->stopping && actor->inbox.empty()) return;
+      task = std::move(actor->inbox.front());
+      actor->inbox.pop_front();
+      actor->busy = true;
+    }
+    task();
+    {
+      std::lock_guard lock(actor->mu);
+      actor->busy = false;
+    }
+    actor->cv.notify_all();  // wake drain() waiters
+  }
+}
+
+void RealTimeNetwork::enqueue(NodeId node, Task task) {
+  NodeActor* actor;
+  {
+    std::lock_guard lock(nodes_mu_);
+    if (node >= nodes_.size()) return;  // node gone; drop silently
+    actor = nodes_[node].get();
+  }
+  {
+    std::lock_guard lock(actor->mu);
+    if (actor->stopping) return;
+    actor->inbox.push_back(std::move(task));
+  }
+  actor->cv.notify_one();
+}
+
+void RealTimeNetwork::link(NodeId a, NodeId b, const LinkParams& params) {
+  if (a == b) throw std::invalid_argument("RealTimeNetwork::link: self link");
+  std::lock_guard lock(links_mu_);
+  links_.insert_or_assign(key(a, b), LinkState(params));
+  links_.insert_or_assign(key(b, a), LinkState(params));
+}
+
+void RealTimeNetwork::unlink(NodeId a, NodeId b) {
+  std::lock_guard lock(links_mu_);
+  links_.erase(key(a, b));
+  links_.erase(key(b, a));
+}
+
+void RealTimeNetwork::detach(NodeId node) {
+  // Swap the handler under nodes_mu_ (delivery tasks copy it under the
+  // same lock), then wait until the node's worker finishes any handler
+  // invocation already in progress.
+  NodeActor* actor = nullptr;
+  {
+    std::lock_guard lock(nodes_mu_);
+    if (node >= nodes_.size()) return;
+    nodes_[node]->handler = [](NodeId, Bytes) {};
+    actor = nodes_[node].get();
+  }
+  // Must not be called from the node's own context (it would self-wait).
+  for (;;) {
+    {
+      std::lock_guard lock(actor->mu);
+      if (!actor->busy) {
+        // Queued tasks may capture the retiring actor; drop them too.
+        actor->inbox.clear();
+        return;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+bool RealTimeNetwork::linked(NodeId a, NodeId b) const {
+  std::lock_guard lock(links_mu_);
+  return links_.contains(key(a, b));
+}
+
+std::string RealTimeNetwork::node_name(NodeId id) const {
+  std::lock_guard lock(nodes_mu_);
+  return id < nodes_.size() ? nodes_[id]->name : "<invalid>";
+}
+
+Status RealTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
+  // The delivery timestamp must be computed exactly once against the same
+  // clock reading the link's FIFO clamp used: re-reading the clock when
+  // scheduling would let a preempted sender invert the order of two
+  // packets on an ordered link.
+  Duration delay;
+  TimePoint sent_at;
+  {
+    std::lock_guard lock(links_mu_);
+    const auto it = links_.find(key(from, to));
+    if (it == links_.end()) {
+      return unavailable("no link " + std::to_string(from) + " -> " +
+                         std::to_string(to));
+    }
+    sent_at = now();
+    delay = it->second.sample_delay(payload.size(), sent_at, rng_);
+  }
+  if (delay == kPacketLost) return Status::ok();
+
+  auto shared = std::make_shared<Bytes>(std::move(payload));
+  Task deliver = [this, from, to, shared] {
+    PacketHandler handler;
+    {
+      std::lock_guard lock(nodes_mu_);
+      if (to >= nodes_.size()) return;
+      handler = nodes_[to]->handler;
+    }
+    {
+      // Link may have been removed while in flight (disconnect semantics).
+      std::lock_guard lock(links_mu_);
+      if (!links_.contains(key(from, to))) return;
+    }
+    handler(from, std::move(*shared));
+  };
+  schedule_at(to, sent_at + delay, std::move(deliver), 0);
+  return Status::ok();
+}
+
+void RealTimeNetwork::post(NodeId node, Task task) {
+  enqueue(node, std::move(task));
+}
+
+TimerId RealTimeNetwork::schedule(NodeId node, Duration delay, Task task) {
+  TimerId id;
+  {
+    std::lock_guard lock(timer_mu_);
+    id = next_timer_++;
+  }
+  return schedule_at(node, now() + delay, std::move(task), id);
+}
+
+TimerId RealTimeNetwork::schedule_at(NodeId node, TimePoint at, Task task,
+                                     TimerId id) {
+  {
+    std::lock_guard lock(timer_mu_);
+    timers_.push(TimedTask{at, next_seq_++, id, node,
+                           std::make_shared<Task>(std::move(task))});
+  }
+  timer_cv_.notify_all();
+  return id;
+}
+
+void RealTimeNetwork::cancel(TimerId id) {
+  if (id == 0) return;
+  std::lock_guard lock(timer_mu_);
+  cancelled_.insert(id);
+}
+
+void RealTimeNetwork::timer_loop() {
+  std::unique_lock lock(timer_mu_);
+  for (;;) {
+    if (stopping_) return;
+    if (timers_.empty()) {
+      timer_cv_.wait(lock, [&] { return stopping_ || !timers_.empty(); });
+      continue;
+    }
+    const TimePoint due = timers_.top().at;
+    const TimePoint current = clock_.now();
+    if (current < due) {
+      timer_cv_.wait_for(lock, std::chrono::microseconds(due - current));
+      continue;  // re-check: new earlier timer or stop may have arrived
+    }
+    TimedTask t = timers_.top();
+    timers_.pop();
+    if (t.timer_id != 0) {
+      const auto it = cancelled_.find(t.timer_id);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+    }
+    dispatching_.fetch_add(1, std::memory_order_acq_rel);
+    lock.unlock();
+    enqueue(t.node, std::move(*t.task));
+    dispatching_.fetch_sub(1, std::memory_order_acq_rel);
+    lock.lock();
+  }
+}
+
+void RealTimeNetwork::drain(Duration grace) {
+  for (;;) {
+    bool idle = dispatching_.load(std::memory_order_acquire) == 0;
+    if (idle) {
+      std::lock_guard tlock(timer_mu_);
+      if (!timers_.empty() && timers_.top().at <= clock_.now() + grace) {
+        idle = false;
+      }
+    }
+    if (idle) {
+      std::lock_guard lock(nodes_mu_);
+      for (auto& n : nodes_) {
+        std::lock_guard nlock(n->mu);
+        if (!n->inbox.empty() || n->busy) {
+          idle = false;
+          break;
+        }
+      }
+    }
+    if (idle) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace et::transport

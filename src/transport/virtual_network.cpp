@@ -1,0 +1,126 @@
+#include "src/transport/virtual_network.h"
+
+#include <stdexcept>
+
+namespace et::transport {
+
+VirtualTimeNetwork::VirtualTimeNetwork(std::uint64_t seed) : rng_(seed) {}
+
+NodeId VirtualTimeNetwork::add_node(std::string name, PacketHandler handler) {
+  nodes_.push_back(Node{std::move(name), std::move(handler)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void VirtualTimeNetwork::link(NodeId a, NodeId b, const LinkParams& params) {
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) {
+    throw std::invalid_argument("VirtualTimeNetwork::link: bad node ids");
+  }
+  links_.insert_or_assign(key(a, b), LinkState(params));
+  links_.insert_or_assign(key(b, a), LinkState(params));
+}
+
+void VirtualTimeNetwork::unlink(NodeId a, NodeId b) {
+  links_.erase(key(a, b));
+  links_.erase(key(b, a));
+}
+
+void VirtualTimeNetwork::detach(NodeId node) {
+  if (node < nodes_.size()) {
+    nodes_[node].handler = [](NodeId, Bytes) {};
+  }
+}
+
+bool VirtualTimeNetwork::linked(NodeId a, NodeId b) const {
+  return links_.contains(key(a, b));
+}
+
+std::string VirtualTimeNetwork::node_name(NodeId id) const {
+  return id < nodes_.size() ? nodes_[id].name : "<invalid>";
+}
+
+Status VirtualTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
+  const auto it = links_.find(key(from, to));
+  if (it == links_.end()) {
+    return unavailable("no link " + node_name(from) + " -> " + node_name(to));
+  }
+  ++sent_;
+  bytes_sent_ += payload.size();
+  const Duration delay = it->second.sample_delay(payload.size(), now(), rng_);
+  if (delay == kPacketLost) {
+    ++lost_;
+    return Status::ok();  // silent loss, like the wire
+  }
+  // Capture by value; the link may be removed before delivery.
+  auto shared = std::make_shared<Bytes>(std::move(payload));
+  push_event(now() + delay, 0, [this, from, to, shared] {
+    if (!links_.contains(key(from, to))) return;  // link went away in flight
+    ++delivered_;
+    nodes_[to].handler(from, std::move(*shared));
+  });
+  return Status::ok();
+}
+
+void VirtualTimeNetwork::post(NodeId node, Task task) {
+  if (node >= nodes_.size()) {
+    throw std::invalid_argument("VirtualTimeNetwork::post: bad node id");
+  }
+  push_event(now(), 0, std::move(task));
+}
+
+TimerId VirtualTimeNetwork::schedule(NodeId node, Duration delay, Task task) {
+  if (node >= nodes_.size()) {
+    throw std::invalid_argument("VirtualTimeNetwork::schedule: bad node id");
+  }
+  const TimerId id = next_timer_++;
+  push_event(now() + delay, id, std::move(task));
+  return id;
+}
+
+void VirtualTimeNetwork::cancel(TimerId id) {
+  if (id != 0) cancelled_[id] = true;
+}
+
+void VirtualTimeNetwork::push_event(TimePoint at, TimerId timer_id,
+                                    Task task) {
+  queue_.push(Event{at, next_seq_++, timer_id, std::move(task)});
+}
+
+bool VirtualTimeNetwork::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; copy the small fields, move via const_cast
+    // is UB — instead pop into a local by re-pushing pattern. We store tasks
+    // in shared_ptr-free Events, so copy the task (std::function copy).
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.timer_id != 0) {
+      const auto it = cancelled_.find(ev.timer_id);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;  // skip cancelled timer
+      }
+    }
+    clock_.set(ev.at);
+    ev.task();
+    return true;
+  }
+  return false;
+}
+
+std::size_t VirtualTimeNetwork::run_until_idle() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t VirtualTimeNetwork::run_for(Duration d) {
+  const TimePoint deadline = now() + d;
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    ++n;
+  }
+  clock_.set(deadline);
+  return n;
+}
+
+}  // namespace et::transport

@@ -1,0 +1,71 @@
+#include "src/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+TEST(BytesTest, RoundTripString) {
+  const std::string s = "hello, tracing";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(BytesTest, EmptyString) {
+  EXPECT_TRUE(to_bytes("").empty());
+  EXPECT_EQ(to_string(Bytes{}), "");
+}
+
+TEST(BytesTest, HexEncode) {
+  EXPECT_EQ(hex_encode(Bytes{0x00, 0xFF, 0x1a}), "00ff1a");
+  EXPECT_EQ(hex_encode(Bytes{}), "");
+}
+
+TEST(BytesTest, HexDecode) {
+  EXPECT_EQ(hex_decode("00ff1a"), (Bytes{0x00, 0xFF, 0x1a}));
+  EXPECT_EQ(hex_decode("00FF1A"), (Bytes{0x00, 0xFF, 0x1a}));
+  EXPECT_TRUE(hex_decode("").empty());
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b;
+  for (int i = 0; i < 256; ++i) b.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(hex_decode(hex_encode(b)), b);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 3};
+  const Bytes c{1, 2, 4};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+}
+
+TEST(BytesTest, ConstantTimeEqualLengthMismatch) {
+  EXPECT_FALSE(constant_time_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, ConstantTimeEqualEmpty) {
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(BytesTest, Append) {
+  Bytes dst{1, 2};
+  append(dst, Bytes{3, 4});
+  EXPECT_EQ(dst, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(BytesTest, Concat) {
+  const Bytes a{1}, b{2, 3}, c{};
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace et

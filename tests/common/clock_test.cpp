@@ -1,0 +1,54 @@
+#include "src/common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace et {
+namespace {
+
+TEST(ClockTest, ManualClockStartsAtGivenTime) {
+  ManualClock c(1000);
+  EXPECT_EQ(c.now(), 1000);
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock c;
+  c.advance(5 * kMillisecond);
+  EXPECT_EQ(c.now(), 5000);
+  c.advance(1);
+  EXPECT_EQ(c.now(), 5001);
+}
+
+TEST(ClockTest, ManualClockSet) {
+  ManualClock c;
+  c.set(123456);
+  EXPECT_EQ(c.now(), 123456);
+}
+
+TEST(ClockTest, SystemClockMonotone) {
+  SystemClock c;
+  const TimePoint a = c.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const TimePoint b = c.now();
+  EXPECT_GE(b - a, 1 * kMillisecond);
+}
+
+TEST(ClockTest, SkewedClockAppliesOffset) {
+  ManualClock base(1000);
+  SkewedClock ahead(base, 50 * kMillisecond);
+  SkewedClock behind(base, -30 * kMillisecond);
+  EXPECT_EQ(ahead.now(), 1000 + 50 * kMillisecond);
+  EXPECT_EQ(behind.now(), 1000 - 30 * kMillisecond);
+  base.advance(10);
+  EXPECT_EQ(ahead.now(), 1010 + 50 * kMillisecond);
+}
+
+TEST(ClockTest, ToMillisConversion) {
+  EXPECT_DOUBLE_EQ(to_millis(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_millis(0), 0.0);
+}
+
+}  // namespace
+}  // namespace et

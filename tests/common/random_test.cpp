@@ -1,0 +1,104 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace et {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(13);
+  std::vector<bool> hit(7, false);
+  for (int i = 0; i < 500; ++i) hit[rng.next_below(7)] = true;
+  EXPECT_TRUE(std::all_of(hit.begin(), hit.end(), [](bool b) { return b; }));
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(19);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  constexpr int kN = 20000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.next_gaussian(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, NextBytesLengths) {
+  Rng rng(29);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 16u, 33u}) {
+    EXPECT_EQ(rng.next_bytes(n).size(), n);
+  }
+}
+
+TEST(RngTest, NextBytesNotConstant) {
+  Rng rng(31);
+  const Bytes b = rng.next_bytes(64);
+  EXPECT_NE(b, Bytes(64, b[0]));
+}
+
+TEST(RngTest, FromEntropyProducesDistinctStreams) {
+  Rng a = Rng::from_entropy();
+  Rng b = Rng::from_entropy();
+  // Overwhelmingly likely to differ.
+  bool differ = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a.next_u64() != b.next_u64()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // must compile and not crash
+  EXPECT_EQ(v.size(), 5u);
+}
+
+}  // namespace
+}  // namespace et

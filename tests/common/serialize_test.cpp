@@ -1,0 +1,121 @@
+#include "src/common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace et {
+namespace {
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+  const Bytes buf = std::move(w).take();
+
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  r.expect_done();
+}
+
+TEST(SerializeTest, StringAndBytesRoundTrip) {
+  Writer w;
+  w.str("availability");
+  w.bytes(Bytes{9, 8, 7});
+  w.str("");
+  const Bytes buf = std::move(w).take();
+
+  Reader r(buf);
+  EXPECT_EQ(r.str(), "availability");
+  EXPECT_EQ(r.bytes(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.str(), "");
+  r.expect_done();
+}
+
+TEST(SerializeTest, RawRoundTrip) {
+  Writer w;
+  w.raw(Bytes{1, 2, 3, 4});
+  const Bytes buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_EQ(r.raw(4), (Bytes{1, 2, 3, 4}));
+  r.expect_done();
+}
+
+TEST(SerializeTest, BigEndianLayout) {
+  Writer w;
+  w.u32(0x01020304u);
+  const Bytes buf = std::move(w).take();
+  EXPECT_EQ(buf, (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(SerializeTest, TruncatedScalarThrows) {
+  const Bytes buf{0x01, 0x02};
+  Reader r(buf);
+  EXPECT_THROW(r.u32(), SerializeError);
+}
+
+TEST(SerializeTest, TruncatedBytesThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  w.raw(Bytes{1, 2, 3});
+  const Bytes buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_THROW(r.bytes(), SerializeError);
+}
+
+TEST(SerializeTest, OverlongLengthRejected) {
+  Writer w;
+  w.u32(0xF0000000u);  // 3.75 GiB claim
+  const Bytes buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_THROW(r.bytes(), SerializeError);
+}
+
+TEST(SerializeTest, TrailingGarbageDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  const Bytes buf = std::move(w).take();
+  Reader r(buf);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), SerializeError);
+}
+
+TEST(SerializeTest, RemainingCountsDown) {
+  Writer w;
+  w.u32(7);
+  const Bytes buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u16();
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_FALSE(r.done());
+  r.u16();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerializeTest, F64SpecialValues) {
+  Writer w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  const Bytes buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), -0.0);
+}
+
+}  // namespace
+}  // namespace et

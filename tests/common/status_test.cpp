@@ -1,0 +1,66 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = permission_denied("no publish rights");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kPermissionDenied);
+  EXPECT_EQ(s.message(), "no publish rights");
+  EXPECT_EQ(s.to_string(), "PERMISSION_DENIED: no publish rights");
+}
+
+TEST(StatusTest, AllConstructorsSetCodes) {
+  EXPECT_EQ(invalid_argument("x").code(), Code::kInvalidArgument);
+  EXPECT_EQ(not_found("x").code(), Code::kNotFound);
+  EXPECT_EQ(permission_denied("x").code(), Code::kPermissionDenied);
+  EXPECT_EQ(unauthenticated("x").code(), Code::kUnauthenticated);
+  EXPECT_EQ(expired("x").code(), Code::kExpired);
+  EXPECT_EQ(already_exists("x").code(), Code::kAlreadyExists);
+  EXPECT_EQ(unavailable("x").code(), Code::kUnavailable);
+  EXPECT_EQ(internal_error("x").code(), Code::kInternal);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(code_name(Code::kOk), "OK");
+  EXPECT_EQ(code_name(Code::kUnauthenticated), "UNAUTHENTICATED");
+  EXPECT_EQ(code_name(Code::kExpired), "EXPIRED");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(not_found("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace et

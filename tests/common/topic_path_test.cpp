@@ -1,0 +1,85 @@
+#include "src/common/topic_path.h"
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+TEST(TopicPathTest, SplitBasic) {
+  EXPECT_EQ(split_topic("a/b/c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TopicPathTest, SplitLeadingSlash) {
+  EXPECT_EQ(split_topic("/Constrained/Traces"),
+            (std::vector<std::string>{"Constrained", "Traces"}));
+}
+
+TEST(TopicPathTest, SplitCollapsesEmptySegments) {
+  EXPECT_EQ(split_topic("a//b/"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TopicPathTest, SplitEmpty) {
+  EXPECT_TRUE(split_topic("").empty());
+  EXPECT_TRUE(split_topic("/").empty());
+}
+
+TEST(TopicPathTest, JoinRoundTrip) {
+  const std::string t = "StockQuotes/Companies/Adobe";
+  EXPECT_EQ(join_topic(split_topic(t)), t);
+}
+
+TEST(TopicPathTest, NormalizeStripsSlashes) {
+  EXPECT_EQ(normalize_topic("/a/b/"), "a/b");
+  EXPECT_EQ(normalize_topic("a//b"), "a/b");
+}
+
+TEST(TopicPathTest, PrefixMatch) {
+  EXPECT_TRUE(topic_has_prefix("a/b/c", "a/b"));
+  EXPECT_TRUE(topic_has_prefix("a/b", "a/b"));
+  EXPECT_TRUE(topic_has_prefix("/a/b", "a"));
+  EXPECT_FALSE(topic_has_prefix("a/b", "a/b/c"));
+  EXPECT_FALSE(topic_has_prefix("ab/c", "a"));
+}
+
+TEST(TopicPathTest, ExactMatching) {
+  EXPECT_TRUE(topic_matches("a/b", "a/b"));
+  EXPECT_TRUE(topic_matches("a/b", "/a/b/"));  // normalization applies
+  EXPECT_FALSE(topic_matches("a/b", "a/b/c"));
+  EXPECT_FALSE(topic_matches("a/b/c", "a/b"));
+  EXPECT_FALSE(topic_matches("a/B", "a/b"));  // case-sensitive
+}
+
+TEST(TopicPathTest, SingleSegmentWildcard) {
+  EXPECT_TRUE(topic_matches("a/*/c", "a/b/c"));
+  EXPECT_TRUE(topic_matches("*/b", "a/b"));
+  EXPECT_FALSE(topic_matches("a/*", "a/b/c"));
+  EXPECT_FALSE(topic_matches("a/*/c", "a/c"));
+}
+
+TEST(TopicPathTest, MultiSegmentWildcard) {
+  EXPECT_TRUE(topic_matches("a/#", "a/b/c"));
+  EXPECT_TRUE(topic_matches("a/#", "a"));  // '#' matches zero segments
+  EXPECT_TRUE(topic_matches("#", "anything/at/all"));
+  EXPECT_FALSE(topic_matches("a/#/c", "a/b/c"));  // '#' only valid last
+}
+
+TEST(TopicPathTest, TraceTopicShapes) {
+  // The shapes used by the tracing scheme must match exactly.
+  const std::string trace =
+      "Constrained/Traces/Broker/Publish-Only/"
+      "9f2c1d34-aaaa-4bbb-8ccc-123456789abc/ChangeNotifications";
+  EXPECT_TRUE(topic_matches(trace, "/" + trace));
+  EXPECT_TRUE(topic_has_prefix(trace, "Constrained/Traces"));
+}
+
+TEST(TopicPathTest, Validity) {
+  EXPECT_TRUE(is_valid_topic("Availability/Traces/entity-42"));
+  EXPECT_FALSE(is_valid_topic(""));
+  EXPECT_FALSE(is_valid_topic("/"));
+  EXPECT_FALSE(is_valid_topic("a b/c"));
+  EXPECT_FALSE(is_valid_topic(std::string("a\tb")));
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,82 @@
+#include "src/common/uuid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace et {
+namespace {
+
+TEST(UuidTest, NilByDefault) {
+  Uuid u;
+  EXPECT_TRUE(u.is_nil());
+  EXPECT_EQ(u.to_string(), "00000000-0000-0000-0000-000000000000");
+}
+
+TEST(UuidTest, GenerateIsVersion4) {
+  Rng rng(1);
+  const Uuid u = Uuid::generate(rng);
+  const Bytes b = u.to_bytes();
+  EXPECT_EQ(b[6] & 0xF0, 0x40);           // version nibble
+  EXPECT_EQ(b[8] & 0xC0, 0x80);           // variant bits
+  EXPECT_FALSE(u.is_nil());
+}
+
+TEST(UuidTest, GenerateUnique) {
+  Rng rng(2);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(Uuid::generate(rng).to_string());
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(UuidTest, ParseRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Uuid u = Uuid::generate(rng);
+    EXPECT_EQ(Uuid::parse(u.to_string()), u);
+  }
+}
+
+TEST(UuidTest, BytesRoundTrip) {
+  Rng rng(4);
+  const Uuid u = Uuid::generate(rng);
+  EXPECT_EQ(Uuid::from_bytes(u.to_bytes()), u);
+}
+
+TEST(UuidTest, ParseRejectsMalformed) {
+  EXPECT_THROW(Uuid::parse(""), std::invalid_argument);
+  EXPECT_THROW(Uuid::parse("not-a-uuid"), std::invalid_argument);
+  EXPECT_THROW(Uuid::parse("00000000+0000-0000-0000-000000000000"),
+               std::invalid_argument);
+  EXPECT_THROW(Uuid::parse("0000000g-0000-0000-0000-000000000000"),
+               std::invalid_argument);
+}
+
+TEST(UuidTest, FromBytesRejectsWrongLength) {
+  EXPECT_THROW(Uuid::from_bytes(Bytes(15)), std::invalid_argument);
+  EXPECT_THROW(Uuid::from_bytes(Bytes(17)), std::invalid_argument);
+}
+
+TEST(UuidTest, DeterministicWithSeed) {
+  Rng a(99), b(99);
+  EXPECT_EQ(Uuid::generate(a), Uuid::generate(b));
+}
+
+TEST(UuidTest, HashUsableInUnorderedSet) {
+  Rng rng(5);
+  std::unordered_set<Uuid> set;
+  for (int i = 0; i < 100; ++i) set.insert(Uuid::generate(rng));
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(UuidTest, Ordering) {
+  const Uuid a = Uuid::from_bytes(Bytes(16, 0x01));
+  const Uuid b = Uuid::from_bytes(Bytes(16, 0x02));
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace et

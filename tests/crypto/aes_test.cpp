@@ -1,0 +1,143 @@
+#include "src/crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/bytes.h"
+#include "src/common/random.h"
+
+namespace et::crypto {
+namespace {
+
+// FIPS 197 Appendix C known-answer tests.
+
+TEST(AesBlockTest, Fips197Aes128) {
+  const Bytes key = hex_decode("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = hex_decode("00112233445566778899aabbccddeeff");
+  Aes cipher(key);
+  std::uint8_t block[16];
+  std::memcpy(block, pt.data(), 16);
+  cipher.encrypt_block(block);
+  EXPECT_EQ(hex_encode(BytesView(block, 16)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+  cipher.decrypt_block(block);
+  EXPECT_EQ(Bytes(block, block + 16), pt);
+}
+
+TEST(AesBlockTest, Fips197Aes192) {
+  const Bytes key =
+      hex_decode("000102030405060708090a0b0c0d0e0f1011121314151617");
+  const Bytes pt = hex_decode("00112233445566778899aabbccddeeff");
+  Aes cipher(key);
+  EXPECT_EQ(cipher.key_bits(), 192u);
+  std::uint8_t block[16];
+  std::memcpy(block, pt.data(), 16);
+  cipher.encrypt_block(block);
+  EXPECT_EQ(hex_encode(BytesView(block, 16)),
+            "dda97ca4864cdfe06eaf70a0ec0d7191");
+  cipher.decrypt_block(block);
+  EXPECT_EQ(Bytes(block, block + 16), pt);
+}
+
+TEST(AesBlockTest, Fips197Aes256) {
+  const Bytes key = hex_decode(
+      "000102030405060708090a0b0c0d0e0f"
+      "101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = hex_decode("00112233445566778899aabbccddeeff");
+  Aes cipher(key);
+  std::uint8_t block[16];
+  std::memcpy(block, pt.data(), 16);
+  cipher.encrypt_block(block);
+  EXPECT_EQ(hex_encode(BytesView(block, 16)),
+            "8ea2b7ca516745bfeafc49904b496089");
+  cipher.decrypt_block(block);
+  EXPECT_EQ(Bytes(block, block + 16), pt);
+}
+
+TEST(AesTest, RejectsBadKeyLengths) {
+  EXPECT_THROW(Aes(Bytes(15)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(17)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(0)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(33)), std::invalid_argument);
+}
+
+class AesCbcTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AesCbcTest, RoundTripVariousLengths) {
+  Rng rng(101);
+  const Bytes key = rng.next_bytes(24);
+  const Aes cipher(key);
+  const Bytes pt = rng.next_bytes(GetParam());
+  const Bytes ct = aes_cbc_encrypt(cipher, pt, rng);
+  EXPECT_EQ(aes_cbc_decrypt(cipher, ct), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AesCbcTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 100, 512,
+                                           4096));
+
+TEST(AesCbcTest, CiphertextIsIvPlusPaddedBlocks) {
+  Rng rng(102);
+  const Aes cipher(rng.next_bytes(16));
+  // 16-byte plaintext pads to 32 bytes, plus 16-byte IV.
+  const Bytes ct = aes_cbc_encrypt(cipher, Bytes(16, 0x42), rng);
+  EXPECT_EQ(ct.size(), 48u);
+}
+
+TEST(AesCbcTest, DistinctIvsGiveDistinctCiphertexts) {
+  Rng rng(103);
+  const Aes cipher(rng.next_bytes(24));
+  const Bytes pt = to_bytes("same plaintext every time");
+  const Bytes c1 = aes_cbc_encrypt(cipher, pt, rng);
+  const Bytes c2 = aes_cbc_encrypt(cipher, pt, rng);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(aes_cbc_decrypt(cipher, c1), aes_cbc_decrypt(cipher, c2));
+}
+
+TEST(AesCbcTest, WrongKeyFailsToDecrypt) {
+  Rng rng(104);
+  const Aes k1(rng.next_bytes(24));
+  const Aes k2(rng.next_bytes(24));
+  const Bytes ct = aes_cbc_encrypt(k1, to_bytes("confidential trace"), rng);
+  // Either throws on padding or yields different plaintext.
+  try {
+    const Bytes pt = aes_cbc_decrypt(k2, ct);
+    EXPECT_NE(pt, to_bytes("confidential trace"));
+  } catch (const std::invalid_argument&) {
+    SUCCEED();
+  }
+}
+
+TEST(AesCbcTest, TamperedCiphertextDetectedOrGarbled) {
+  Rng rng(105);
+  const Aes cipher(rng.next_bytes(24));
+  const Bytes pt = to_bytes("availability trace payload xxxx");
+  Bytes ct = aes_cbc_encrypt(cipher, pt, rng);
+  ct[20] ^= 0x80;
+  try {
+    EXPECT_NE(aes_cbc_decrypt(cipher, ct), pt);
+  } catch (const std::invalid_argument&) {
+    SUCCEED();
+  }
+}
+
+TEST(AesCbcTest, RejectsShortOrMisalignedCiphertext) {
+  Rng rng(106);
+  const Aes cipher(rng.next_bytes(16));
+  EXPECT_THROW(aes_cbc_decrypt(cipher, Bytes(16)), std::invalid_argument);
+  EXPECT_THROW(aes_cbc_decrypt(cipher, Bytes(33)), std::invalid_argument);
+  EXPECT_THROW(aes_cbc_decrypt(cipher, Bytes{}), std::invalid_argument);
+}
+
+TEST(AesCbcTest, AllKeySizesInterop) {
+  Rng rng(107);
+  for (std::size_t len : {16u, 24u, 32u}) {
+    const Aes cipher(rng.next_bytes(len));
+    const Bytes pt = rng.next_bytes(200);
+    EXPECT_EQ(aes_cbc_decrypt(cipher, aes_cbc_encrypt(cipher, pt, rng)), pt);
+  }
+}
+
+}  // namespace
+}  // namespace et::crypto

@@ -1,0 +1,224 @@
+#include "src/crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace et::crypto {
+namespace {
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_TRUE(z.to_bytes().empty());
+}
+
+TEST(BigIntTest, SmallValues) {
+  EXPECT_EQ(BigInt(1).to_string(), "1");
+  EXPECT_EQ(BigInt(0xFFFFFFFFull).bit_length(), 32u);
+  EXPECT_EQ(BigInt(0x100000000ull).bit_length(), 33u);
+  EXPECT_EQ(BigInt(12345678901234567ull).to_string(), "12345678901234567");
+}
+
+TEST(BigIntTest, ParseDecimalAndHex) {
+  EXPECT_EQ(BigInt::parse("12345678901234567890123456789").to_string(),
+            "12345678901234567890123456789");
+  EXPECT_EQ(BigInt::parse("0xff").to_u64(), 255u);
+  EXPECT_EQ(BigInt::parse("0xDEADBEEFCAFE").to_hex(), "deadbeefcafe");
+  EXPECT_THROW(BigInt::parse(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::parse("12a"), std::invalid_argument);
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const BigInt v = BigInt::random_bits(rng, 1 + rng.next_below(512));
+    EXPECT_EQ(BigInt::from_bytes(v.to_bytes()), v);
+  }
+}
+
+TEST(BigIntTest, FromBytesIgnoresLeadingZeros) {
+  const Bytes with_zeros{0x00, 0x00, 0x01, 0x02};
+  const Bytes minimal{0x01, 0x02};
+  EXPECT_EQ(BigInt::from_bytes(with_zeros), BigInt::from_bytes(minimal));
+}
+
+TEST(BigIntTest, ToBytesPadsToMinLen) {
+  const Bytes b = BigInt(0x0102).to_bytes(4);
+  EXPECT_EQ(b, (Bytes{0x00, 0x00, 0x01, 0x02}));
+}
+
+TEST(BigIntTest, AdditionWithCarryChain) {
+  const BigInt a = BigInt::parse("0xffffffffffffffffffffffff");
+  EXPECT_EQ((a + BigInt(1)).to_hex(), "1000000000000000000000000");
+}
+
+TEST(BigIntTest, SubtractionWithBorrow) {
+  const BigInt a = BigInt::parse("0x10000000000000000");
+  EXPECT_EQ((a - BigInt(1)).to_hex(), "ffffffffffffffff");
+  EXPECT_THROW(BigInt(1) - BigInt(2), std::underflow_error);
+}
+
+TEST(BigIntTest, MultiplicationKnownProduct) {
+  const BigInt a = BigInt::parse("123456789012345678901234567890");
+  const BigInt b = BigInt::parse("987654321098765432109876543210");
+  EXPECT_EQ((a * b).to_string(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, MultiplyByZeroAndOne) {
+  const BigInt a = BigInt::parse("0xabcdef0123456789");
+  EXPECT_TRUE((a * BigInt()).is_zero());
+  EXPECT_EQ(a * BigInt(1), a);
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  Rng rng(2);
+  for (std::size_t shift : {1u, 31u, 32u, 33u, 100u}) {
+    const BigInt v = BigInt::random_bits(rng, 200) + BigInt(1);
+    EXPECT_EQ((v << shift) >> shift, v) << "shift=" << shift;
+  }
+}
+
+TEST(BigIntTest, DivModIdentity) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::random_bits(rng, 256);
+    const BigInt b = BigInt::random_bits(rng, 1 + rng.next_below(200)) +
+                     BigInt(1);
+    const auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigIntTest, DivModSmallerDividend) {
+  const BigInt a(5), b(7);
+  const auto [q, r] = a.divmod(b);
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, a);
+}
+
+TEST(BigIntTest, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(5) / BigInt(), std::domain_error);
+  EXPECT_THROW(BigInt(5) % BigInt(), std::domain_error);
+}
+
+TEST(BigIntTest, KnuthDCornerCase) {
+  // Exercises the "add back" branch probabilistically: many divisions with
+  // divisors having a high top limb.
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const BigInt b = (BigInt(1) << 95) + BigInt::random_bits(rng, 64);
+    const BigInt a = BigInt::random_bits(rng, 192);
+    const auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigIntTest, Comparison) {
+  EXPECT_LT(BigInt(1), BigInt(2));
+  EXPECT_GT(BigInt::parse("0x100000000"), BigInt(0xFFFFFFFFull));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+}
+
+TEST(BigIntTest, ModExpSmallKnown) {
+  // 4^13 mod 497 = 445 (classic example).
+  EXPECT_EQ(BigInt(4).mod_exp(BigInt(13), BigInt(497)).to_u64(), 445u);
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(BigInt(2).mod_exp(BigInt(1000002), BigInt(1000003)).to_u64(), 1u);
+}
+
+TEST(BigIntTest, ModExpEvenModulus) {
+  // 3^5 mod 100 = 43 (non-Montgomery path).
+  EXPECT_EQ(BigInt(3).mod_exp(BigInt(5), BigInt(100)).to_u64(), 43u);
+}
+
+TEST(BigIntTest, ModExpZeroExponent) {
+  EXPECT_EQ(BigInt(12345).mod_exp(BigInt(), BigInt(97)).to_u64(), 1u);
+}
+
+TEST(BigIntTest, MontgomeryMatchesClassical) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    BigInt n = BigInt::random_bits(rng, 128);
+    if (!n.is_odd()) n = n + BigInt(1);
+    if (n.bit_length() < 2) continue;
+    const BigInt base = BigInt::random_bits(rng, 128);
+    const BigInt exp = BigInt::random_bits(rng, 40);
+    // Classical reference via repeated reduction.
+    BigInt acc(1);
+    BigInt b = base % n;
+    for (std::size_t bit = exp.bit_length(); bit-- > 0;) {
+      acc = (acc * acc) % n;
+      if (exp.bit(bit)) acc = (acc * b) % n;
+    }
+    EXPECT_EQ(base.mod_exp(exp, n), acc);
+  }
+}
+
+TEST(BigIntTest, GcdKnown) {
+  EXPECT_EQ(BigInt::gcd(BigInt(48), BigInt(18)).to_u64(), 6u);
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).to_u64(), 1u);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_u64(), 5u);
+}
+
+TEST(BigIntTest, ModInverse) {
+  // 3 * 7 = 21 = 1 mod 10.
+  EXPECT_EQ(BigInt(3).mod_inverse(BigInt(10)).to_u64(), 7u);
+  Rng rng(6);
+  const BigInt m = BigInt::generate_prime(rng, 64, 16);
+  for (int i = 0; i < 10; ++i) {
+    const BigInt a = BigInt::random_below(rng, m - BigInt(1)) + BigInt(1);
+    const BigInt inv = a.mod_inverse(m);
+    EXPECT_EQ((a * inv) % m, BigInt(1));
+  }
+}
+
+TEST(BigIntTest, ModInverseNonCoprimeThrows) {
+  EXPECT_THROW(BigInt(4).mod_inverse(BigInt(8)), std::domain_error);
+}
+
+TEST(BigIntTest, PrimalityKnownPrimes) {
+  Rng rng(7);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 97ull, 65537ull, 4294967291ull}) {
+    EXPECT_TRUE(BigInt(p).is_probable_prime(rng)) << p;
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownComposites) {
+  Rng rng(8);
+  // Includes Carmichael numbers 561 and 41041.
+  for (std::uint64_t c : {1ull, 4ull, 100ull, 561ull, 41041ull,
+                          4294967295ull}) {
+    EXPECT_FALSE(BigInt(c).is_probable_prime(rng)) << c;
+  }
+}
+
+TEST(BigIntTest, GeneratePrimeHasExactBitLength) {
+  Rng rng(9);
+  const BigInt p = BigInt::generate_prime(rng, 96, 16);
+  EXPECT_EQ(p.bit_length(), 96u);
+  EXPECT_TRUE(p.is_odd());
+  EXPECT_TRUE(p.is_probable_prime(rng, 16));
+}
+
+TEST(BigIntTest, RandomBelowIsBelow) {
+  Rng rng(10);
+  const BigInt bound = BigInt::parse("1000000007");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigInt::random_below(rng, bound), bound);
+  }
+}
+
+TEST(BigIntTest, DecimalStringLarge) {
+  const BigInt v = BigInt::parse("340282366920938463463374607431768211456");
+  EXPECT_EQ(v, BigInt(1) << 128);
+  EXPECT_EQ(v.to_string(), "340282366920938463463374607431768211456");
+}
+
+}  // namespace
+}  // namespace et::crypto

@@ -1,0 +1,115 @@
+#include "src/crypto/credential.h"
+
+#include <gtest/gtest.h>
+
+namespace et::crypto {
+namespace {
+
+class CredentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(777);
+    ca_ = new CertificateAuthority("test-ca", *rng_, 512);
+    other_ca_ = new CertificateAuthority("rogue-ca", *rng_, 512);
+  }
+  static void TearDownTestSuite() {
+    delete ca_;
+    delete other_ca_;
+    delete rng_;
+    ca_ = other_ca_ = nullptr;
+    rng_ = nullptr;
+  }
+  static Rng* rng_;
+  static CertificateAuthority* ca_;
+  static CertificateAuthority* other_ca_;
+};
+
+Rng* CredentialTest::rng_ = nullptr;
+CertificateAuthority* CredentialTest::ca_ = nullptr;
+CertificateAuthority* CredentialTest::other_ca_ = nullptr;
+
+TEST_F(CredentialTest, IssueAndVerify) {
+  const Identity id =
+      Identity::create("service-7", *ca_, *rng_, /*now=*/1000, 60 * kSecond,
+                       512);
+  EXPECT_EQ(id.credential.subject(), "service-7");
+  EXPECT_EQ(id.credential.issuer(), "test-ca");
+  EXPECT_TRUE(id.credential.verify(ca_->public_key(), 1000).is_ok());
+  EXPECT_TRUE(id.credential.verify(ca_->public_key(), 1000 + 59 * kSecond)
+                  .is_ok());
+}
+
+TEST_F(CredentialTest, RejectsWrongCa) {
+  const Identity id = Identity::create("svc", *ca_, *rng_, 0, kSecond, 512);
+  const Status s = id.credential.verify(other_ca_->public_key(), 0);
+  EXPECT_EQ(s.code(), Code::kUnauthenticated);
+}
+
+TEST_F(CredentialTest, RejectsExpired) {
+  const Identity id = Identity::create("svc", *ca_, *rng_, 0, kSecond, 512);
+  const Status s = id.credential.verify(ca_->public_key(), 2 * kSecond);
+  EXPECT_EQ(s.code(), Code::kExpired);
+}
+
+TEST_F(CredentialTest, RejectsNotYetValid) {
+  const Credential c =
+      ca_->issue("svc", ca_->public_key(), 10 * kSecond, kSecond);
+  const Status s = c.verify(ca_->public_key(), 5 * kSecond);
+  EXPECT_EQ(s.code(), Code::kExpired);
+}
+
+TEST_F(CredentialTest, SerializationRoundTrip) {
+  const Identity id = Identity::create("node-42", *ca_, *rng_, 500,
+                                       10 * kSecond, 512);
+  const Credential parsed =
+      Credential::deserialize(id.credential.serialize());
+  EXPECT_EQ(parsed.subject(), "node-42");
+  EXPECT_EQ(parsed.public_key(), id.keys.public_key);
+  EXPECT_EQ(parsed.not_before(), 500);
+  EXPECT_TRUE(parsed.verify(ca_->public_key(), 600).is_ok());
+}
+
+TEST_F(CredentialTest, TamperedSubjectFailsVerification) {
+  const Identity id = Identity::create("alice", *ca_, *rng_, 0, kSecond, 512);
+  // Re-assemble a credential claiming a different subject with the same
+  // signature.
+  const Credential forged("mallory", id.credential.public_key(),
+                          id.credential.issuer(), id.credential.not_before(),
+                          id.credential.not_after(),
+                          id.credential.signature());
+  EXPECT_EQ(forged.verify(ca_->public_key(), 0).code(),
+            Code::kUnauthenticated);
+}
+
+TEST_F(CredentialTest, TamperedKeyFailsVerification) {
+  const Identity victim = Identity::create("victim", *ca_, *rng_, 0, kSecond,
+                                           512);
+  const Identity attacker = Identity::create("attacker", *ca_, *rng_, 0,
+                                             kSecond, 512);
+  // Attacker substitutes their key under the victim's subject.
+  const Credential forged("victim", attacker.keys.public_key, "test-ca",
+                          victim.credential.not_before(),
+                          victim.credential.not_after(),
+                          victim.credential.signature());
+  EXPECT_FALSE(forged.verify(ca_->public_key(), 0).is_ok());
+}
+
+TEST_F(CredentialTest, EmptyCredentialRejected) {
+  Credential empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.verify(ca_->public_key(), 0).is_ok());
+}
+
+TEST_F(CredentialTest, ProofOfPossessionFlow) {
+  // The §3.2 registration check: sign a message, verify with the
+  // credential's embedded key.
+  const Identity id = Identity::create("entity-9", *ca_, *rng_, 0,
+                                       kSecond, 512);
+  const Bytes msg = to_bytes("registration request body");
+  const Bytes sig = id.keys.private_key.sign(msg);
+  ASSERT_TRUE(id.credential.verify(ca_->public_key(), 0).is_ok());
+  EXPECT_TRUE(id.credential.public_key().verify(msg, sig));
+}
+
+}  // namespace
+}  // namespace et::crypto

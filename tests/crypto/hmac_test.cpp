@@ -1,0 +1,89 @@
+#include "src/crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+
+namespace et::crypto {
+namespace {
+
+// RFC 2202 (HMAC-SHA1) and RFC 4231 (HMAC-SHA256) test vectors.
+
+TEST(HmacSha1Test, Rfc2202Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_encode(hmac_sha1(key, to_bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1Test, Rfc2202Case2) {
+  EXPECT_EQ(hex_encode(hmac_sha1(to_bytes("Jefe"),
+                                 to_bytes("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1Test, Rfc2202Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_encode(hmac_sha1(key, data)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1Test, LongKeyIsHashed) {
+  // RFC 2202 case 6: 80-byte key (> block size).
+  const Bytes key(80, 0xaa);
+  EXPECT_EQ(hex_encode(hmac_sha1(
+                key, to_bytes("Test Using Larger Than Block-Size Key - Hash "
+                              "Key First"))),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha256Test, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(
+      hex_encode(hmac_sha256(key, to_bytes("Hi There"))),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  EXPECT_EQ(
+      hex_encode(hmac_sha256(to_bytes("Jefe"),
+                             to_bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, VerifyAcceptsValidTag) {
+  const Bytes key = to_bytes("secret");
+  const Bytes msg = to_bytes("ALLS_WELL trace payload");
+  EXPECT_TRUE(hmac_sha1_verify(key, msg, hmac_sha1(key, msg)));
+  EXPECT_TRUE(hmac_sha256_verify(key, msg, hmac_sha256(key, msg)));
+}
+
+TEST(HmacTest, VerifyRejectsTamperedMessage) {
+  const Bytes key = to_bytes("secret");
+  const Bytes tag = hmac_sha1(key, to_bytes("original"));
+  EXPECT_FALSE(hmac_sha1_verify(key, to_bytes("tampered"), tag));
+}
+
+TEST(HmacTest, VerifyRejectsWrongKey) {
+  const Bytes msg = to_bytes("msg");
+  const Bytes tag = hmac_sha256(to_bytes("key1"), msg);
+  EXPECT_FALSE(hmac_sha256_verify(to_bytes("key2"), msg, tag));
+}
+
+TEST(HmacTest, VerifyRejectsTruncatedTag) {
+  const Bytes key = to_bytes("k");
+  const Bytes msg = to_bytes("m");
+  Bytes tag = hmac_sha1(key, msg);
+  tag.pop_back();
+  EXPECT_FALSE(hmac_sha1_verify(key, msg, tag));
+}
+
+TEST(HmacTest, EmptyKeyAndMessage) {
+  // Must not crash; produces a fixed value.
+  const Bytes tag = hmac_sha1({}, {});
+  EXPECT_EQ(tag.size(), 20u);
+  EXPECT_TRUE(hmac_sha1_verify({}, {}, tag));
+}
+
+}  // namespace
+}  // namespace et::crypto

@@ -1,0 +1,81 @@
+#include "src/crypto/secret_key.h"
+
+#include <gtest/gtest.h>
+
+namespace et::crypto {
+namespace {
+
+TEST(SecretKeyTest, GenerateDefaultsToAes192) {
+  Rng rng(1);
+  const SecretKey k = SecretKey::generate(rng);
+  EXPECT_EQ(k.algorithm(), SymmetricAlg::kAes192Cbc);
+  EXPECT_EQ(k.material().size(), 24u);
+  EXPECT_EQ(k.padding(), PaddingScheme::kPkcs7);
+  EXPECT_FALSE(k.empty());
+}
+
+TEST(SecretKeyTest, KeyLengths) {
+  EXPECT_EQ(symmetric_key_len(SymmetricAlg::kAes128Cbc), 16u);
+  EXPECT_EQ(symmetric_key_len(SymmetricAlg::kAes192Cbc), 24u);
+  EXPECT_EQ(symmetric_key_len(SymmetricAlg::kAes256Cbc), 32u);
+}
+
+TEST(SecretKeyTest, AlgNames) {
+  EXPECT_EQ(symmetric_alg_name(SymmetricAlg::kAes192Cbc), "AES-192/CBC");
+}
+
+TEST(SecretKeyTest, EncryptDecryptRoundTrip) {
+  Rng rng(2);
+  for (auto alg : {SymmetricAlg::kAes128Cbc, SymmetricAlg::kAes192Cbc,
+                   SymmetricAlg::kAes256Cbc}) {
+    const SecretKey k = SecretKey::generate(rng, alg);
+    const Bytes pt = to_bytes("ALLS_WELL heartbeat #42");
+    EXPECT_EQ(k.decrypt(k.encrypt(pt, rng)), pt);
+  }
+}
+
+TEST(SecretKeyTest, DistinctKeysCannotDecrypt) {
+  Rng rng(3);
+  const SecretKey a = SecretKey::generate(rng);
+  const SecretKey b = SecretKey::generate(rng);
+  const Bytes ct = a.encrypt(to_bytes("secret trace"), rng);
+  try {
+    EXPECT_NE(b.decrypt(ct), to_bytes("secret trace"));
+  } catch (const std::invalid_argument&) {
+    SUCCEED();
+  }
+}
+
+TEST(SecretKeyTest, SerializationRoundTrip) {
+  Rng rng(4);
+  const SecretKey k = SecretKey::generate(rng, SymmetricAlg::kAes256Cbc);
+  const SecretKey parsed = SecretKey::deserialize(k.serialize());
+  EXPECT_EQ(parsed, k);
+  // Interop: parsed key decrypts original's output.
+  const Bytes ct = k.encrypt(to_bytes("payload"), rng);
+  EXPECT_EQ(parsed.decrypt(ct), to_bytes("payload"));
+}
+
+TEST(SecretKeyTest, FromMaterialValidatesLength) {
+  EXPECT_THROW(
+      SecretKey::from_material(Bytes(16), SymmetricAlg::kAes192Cbc),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      SecretKey::from_material(Bytes(24), SymmetricAlg::kAes192Cbc));
+}
+
+TEST(SecretKeyTest, EmptyKeyThrowsOnUse) {
+  Rng rng(5);
+  SecretKey k;
+  EXPECT_TRUE(k.empty());
+  EXPECT_THROW((void)k.encrypt(to_bytes("x"), rng), std::logic_error);
+  EXPECT_THROW((void)k.decrypt(Bytes(32)), std::logic_error);
+}
+
+TEST(SecretKeyTest, DeterministicGenerationWithSeed) {
+  Rng a(6), b(6);
+  EXPECT_EQ(SecretKey::generate(a), SecretKey::generate(b));
+}
+
+}  // namespace
+}  // namespace et::crypto

@@ -1,0 +1,244 @@
+// TDN behaviour: authenticated topic creation, UUID minting, restricted
+// discovery (silence for unauthorized), lifetimes, replication across TDNs
+// and broker discovery.
+#include "src/discovery/tdn.h"
+
+#include <gtest/gtest.h>
+
+#include "src/discovery/discovery_client.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::discovery {
+namespace {
+
+constexpr std::size_t kBits = 512;
+
+transport::LinkParams fast() {
+  transport::LinkParams p = transport::LinkParams::ideal_profile();
+  p.base_latency = 1 * kMillisecond;
+  return p;
+}
+
+struct TdnFixture : ::testing::Test {
+  TdnFixture()
+      : rng(11), ca("ca", rng, kBits) {
+    auto tdn_id = crypto::Identity::create("tdn-0", ca, rng, net.now(),
+                                           3600 * kSecond, kBits);
+    tdn_key = tdn_id.keys.public_key;
+    tdn = std::make_unique<Tdn>(net, std::move(tdn_id), ca.public_key(), 5);
+  }
+
+  crypto::Identity identity(const std::string& id) {
+    return crypto::Identity::create(id, ca, rng, net.now(), 3600 * kSecond,
+                                    kBits);
+  }
+
+  std::unique_ptr<DiscoveryClient> client(const std::string& id) {
+    auto c = std::make_unique<DiscoveryClient>(net, identity(id));
+    c->attach_tdn(tdn->node(), fast());
+    return c;
+  }
+
+  Result<TopicAdvertisement> create(DiscoveryClient& c,
+                                    const std::string& descriptor,
+                                    DiscoveryRestrictions r = {},
+                                    Duration lifetime = 3600 * kSecond) {
+    Result<TopicAdvertisement> out(internal_error("no callback"));
+    c.create_topic(descriptor, std::move(r), lifetime,
+                   [&](Result<TopicAdvertisement> res) { out = std::move(res); });
+    net.run_until_idle();
+    return out;
+  }
+
+  Result<std::vector<TopicAdvertisement>> discover(DiscoveryClient& c,
+                                                   const std::string& query) {
+    Result<std::vector<TopicAdvertisement>> out(internal_error("no cb"));
+    c.discover(query, [&](Result<std::vector<TopicAdvertisement>> res) {
+      out = std::move(res);
+    });
+    net.run_until_idle();
+    return out;
+  }
+
+  transport::VirtualTimeNetwork net{3};
+  Rng rng;
+  crypto::CertificateAuthority ca;
+  crypto::RsaPublicKey tdn_key;
+  std::unique_ptr<Tdn> tdn;
+};
+
+TEST_F(TdnFixture, CreateTopicMintsSignedAdvertisement) {
+  auto c = client("entity-1");
+  const auto result = create(*c, "Availability/Traces/entity-1");
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const TopicAdvertisement& ad = *result;
+  EXPECT_FALSE(ad.topic().is_nil());
+  EXPECT_EQ(ad.descriptor(), "Availability/Traces/entity-1");
+  EXPECT_EQ(ad.owner().subject(), "entity-1");
+  EXPECT_EQ(ad.issuing_tdn(), "tdn-0");
+  EXPECT_TRUE(ad.verify(tdn_key, net.now()).is_ok());
+  EXPECT_EQ(tdn->stats().topics_created, 1u);
+}
+
+TEST_F(TdnFixture, DistinctTopicsForDistinctRequests) {
+  auto c = client("entity-2");
+  const auto a = create(*c, "Availability/Traces/entity-2");
+  const auto b = create(*c, "Availability/Traces/entity-2");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->topic(), b->topic());  // UUIDs are minted fresh each time
+}
+
+TEST_F(TdnFixture, UntrustedCredentialRejected) {
+  Rng rogue_rng(3);
+  crypto::CertificateAuthority rogue("rogue", rogue_rng, kBits);
+  auto ident = crypto::Identity::create("imp", rogue, rogue_rng, net.now(),
+                                        kSecond * 3600, kBits);
+  DiscoveryClient c(net, std::move(ident));
+  c.attach_tdn(tdn->node(), fast());
+  Result<TopicAdvertisement> out(internal_error("no cb"));
+  c.create_topic("Availability/Traces/imp", {}, kSecond,
+                 [&](Result<TopicAdvertisement> r) { out = std::move(r); });
+  net.run_until_idle();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), Code::kUnauthenticated);
+  EXPECT_EQ(tdn->stats().topics_created, 0u);
+}
+
+TEST_F(TdnFixture, NonPositiveLifetimeRejected) {
+  auto c = client("entity-3");
+  const auto out = create(*c, "Availability/Traces/entity-3", {}, 0);
+  ASSERT_FALSE(out.ok());
+}
+
+TEST_F(TdnFixture, DiscoveryByLivenessQuery) {
+  auto owner = client("entity-4");
+  ASSERT_TRUE(create(*owner, "Availability/Traces/entity-4").ok());
+
+  auto seeker = client("tracker-1");
+  const auto found = discover(*seeker, "Liveness/entity-4");
+  ASSERT_TRUE(found.ok()) << found.status().to_string();
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ(found->front().descriptor(), "Availability/Traces/entity-4");
+  EXPECT_TRUE(found->front().verify(tdn_key, net.now()).is_ok());
+}
+
+TEST_F(TdnFixture, DiscoveryByDescriptorQuery) {
+  auto owner = client("entity-5");
+  ASSERT_TRUE(create(*owner, "Availability/Traces/entity-5").ok());
+  auto seeker = client("tracker-2");
+  const auto found = discover(*seeker, "Availability/Traces/entity-5");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->size(), 1u);
+}
+
+TEST_F(TdnFixture, UnknownTopicTimesOutSilently) {
+  auto seeker = client("tracker-3");
+  const auto found = discover(*seeker, "Liveness/ghost");
+  ASSERT_FALSE(found.ok());
+  EXPECT_EQ(found.status().code(), Code::kNotFound);
+  EXPECT_GT(tdn->stats().discoveries_ignored, 0u);
+}
+
+TEST_F(TdnFixture, RestrictedDiscoveryIgnoresUnauthorized) {
+  auto owner = client("entity-6");
+  DiscoveryRestrictions r;
+  r.authorized_subjects = {"friend"};
+  ASSERT_TRUE(create(*owner, "Availability/Traces/entity-6", r).ok());
+
+  auto enemy = client("enemy");
+  const auto denied = discover(*enemy, "Liveness/entity-6");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), Code::kNotFound);
+
+  auto friendly = client("friend");
+  const auto granted = discover(*friendly, "Liveness/entity-6");
+  ASSERT_TRUE(granted.ok());
+  EXPECT_EQ(granted->size(), 1u);
+}
+
+TEST_F(TdnFixture, ExpiredAdvertisementNotDiscoverable) {
+  auto owner = client("entity-7");
+  ASSERT_TRUE(
+      create(*owner, "Availability/Traces/entity-7", {}, 50 * kMillisecond)
+          .ok());
+  net.run_for(100 * kMillisecond);  // lifetime elapses
+  auto seeker = client("tracker-4");
+  const auto found = discover(*seeker, "Liveness/entity-7");
+  EXPECT_FALSE(found.ok());
+}
+
+TEST_F(TdnFixture, ReplicationToPeerTdnSurvivesPrimaryLoss) {
+  // Second TDN sharing the deployment's CA trust.
+  auto tdn2_id = crypto::Identity::create("tdn-1", ca, rng, net.now(),
+                                          3600 * kSecond, kBits);
+  Tdn tdn2(net, std::move(tdn2_id), ca.public_key(), 6);
+  net.link(tdn->node(), tdn2.node(), fast());
+  tdn->peer(tdn2.node());
+
+  auto owner = client("entity-8");
+  ASSERT_TRUE(create(*owner, "Availability/Traces/entity-8").ok());
+  net.run_until_idle();
+  EXPECT_EQ(tdn2.stats().replicas_stored, 1u);
+  EXPECT_EQ(tdn2.advertisement_count(), 1u);
+
+  // Tracker asks the replica: the advertisement is discoverable there.
+  auto seeker = std::make_unique<DiscoveryClient>(net, identity("tracker-5"));
+  seeker->attach_tdn(tdn2.node(), fast());
+  Result<std::vector<TopicAdvertisement>> out(internal_error("no cb"));
+  seeker->discover("Liveness/entity-8",
+                   [&](Result<std::vector<TopicAdvertisement>> r) {
+                     out = std::move(r);
+                   });
+  net.run_until_idle();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+}
+
+TEST_F(TdnFixture, BrokerRegistryRoundTrip) {
+  auto registrar = client("broker-owner");
+  const crypto::Identity broker_id = identity("broker-7");
+  registrar->register_broker("broker-7", 1234, broker_id.credential);
+  net.run_until_idle();
+
+  auto seeker = client("entity-9");
+  Result<BrokerLocation> out(internal_error("no cb"));
+  seeker->find_broker([&](Result<BrokerLocation> r) { out = std::move(r); });
+  net.run_until_idle();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->name, "broker-7");
+  EXPECT_EQ(out->node, 1234u);
+}
+
+TEST_F(TdnFixture, BrokerQueryWithEmptyRegistryFails) {
+  auto seeker = client("entity-10");
+  Result<BrokerLocation> out(internal_error("no cb"));
+  seeker->find_broker([&](Result<BrokerLocation> r) { out = std::move(r); });
+  net.run_until_idle();
+  EXPECT_FALSE(out.ok());
+}
+
+TEST_F(TdnFixture, AdvertisementSerializationRoundTrip) {
+  auto c = client("entity-11");
+  const auto result = create(*c, "Availability/Traces/entity-11");
+  ASSERT_TRUE(result.ok());
+  const TopicAdvertisement parsed =
+      TopicAdvertisement::deserialize(result->serialize());
+  EXPECT_EQ(parsed.topic(), result->topic());
+  EXPECT_EQ(parsed.descriptor(), result->descriptor());
+  EXPECT_TRUE(parsed.verify(tdn_key, net.now()).is_ok());
+}
+
+TEST_F(TdnFixture, TamperedAdvertisementFailsVerification) {
+  auto c = client("entity-12");
+  const auto result = create(*c, "Availability/Traces/entity-12");
+  ASSERT_TRUE(result.ok());
+  // Flip a byte of the topic UUID, which sits at the start of the signed
+  // (tbs) region — right after its 4-byte length prefix.
+  Bytes wire = result->serialize();
+  wire[5] ^= 0x01;
+  const TopicAdvertisement forged = TopicAdvertisement::deserialize(wire);
+  EXPECT_FALSE(forged.verify(tdn_key, net.now()).is_ok());
+}
+
+}  // namespace
+}  // namespace et::discovery

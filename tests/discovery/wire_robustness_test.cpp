@@ -1,0 +1,186 @@
+// Discovery wire-format round trips for every frame type, plus parser and
+// TDN robustness against hostile bytes.
+#include <gtest/gtest.h>
+
+#include "src/discovery/discovery_client.h"
+#include "src/discovery/tdn.h"
+#include "src/discovery/wire.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::discovery {
+namespace {
+
+constexpr std::size_t kBits = 384;
+
+struct WireFixture : ::testing::Test {
+  WireFixture() : rng(2024), ca("ca", rng, kBits) {
+    owner = crypto::Identity::create("owner", ca, rng, 0, 3600 * kSecond,
+                                     kBits);
+    tdn_keys = crypto::rsa_generate(rng, kBits);
+    Uuid topic = Uuid::generate(rng);
+    TopicAdvertisement unsigned_ad(topic, "Availability/Traces/owner",
+                                   owner.credential, {}, 0, 3600 * kSecond,
+                                   "tdn-0", {});
+    ad = TopicAdvertisement(topic, "Availability/Traces/owner",
+                            owner.credential, {}, 0, 3600 * kSecond, "tdn-0",
+                            tdn_keys.private_key.sign(unsigned_ad.tbs()));
+  }
+
+  Rng rng;
+  crypto::CertificateAuthority ca;
+  crypto::Identity owner;
+  crypto::RsaKeyPair tdn_keys;
+  TopicAdvertisement ad;
+};
+
+TEST_F(WireFixture, TopicCreateRoundTrip) {
+  TopicCreateRequest req;
+  req.credential = owner.credential;
+  req.descriptor = "Availability/Traces/owner";
+  req.restrictions.authorized_subjects = {"alice", "bob"};
+  req.lifetime = 120 * kSecond;
+  req.request_id = 99;
+  req.signature = owner.keys.private_key.sign(req.signable_bytes());
+
+  DiscFrame f;
+  f.type = DiscFrameType::kTopicCreate;
+  f.request_id = 99;
+  f.create = req;
+
+  const DiscFrame g = DiscFrame::deserialize(f.serialize());
+  ASSERT_EQ(g.type, DiscFrameType::kTopicCreate);
+  ASSERT_TRUE(g.create);
+  EXPECT_EQ(g.create->descriptor, req.descriptor);
+  EXPECT_EQ(g.create->restrictions.authorized_subjects,
+            req.restrictions.authorized_subjects);
+  EXPECT_EQ(g.create->lifetime, req.lifetime);
+  EXPECT_EQ(g.create->request_id, 99u);
+  // Signature still verifies after the round trip.
+  EXPECT_TRUE(g.create->credential.public_key().verify(
+      g.create->signable_bytes(), g.create->signature));
+}
+
+TEST_F(WireFixture, DiscoverRoundTrip) {
+  DiscoverRequest req;
+  req.credential = owner.credential;
+  req.query = "Liveness/owner";
+  req.request_id = 7;
+  req.signature = owner.keys.private_key.sign(req.signable_bytes());
+
+  DiscFrame f;
+  f.type = DiscFrameType::kDiscover;
+  f.request_id = 7;
+  f.discover = req;
+  const DiscFrame g = DiscFrame::deserialize(f.serialize());
+  ASSERT_TRUE(g.discover);
+  EXPECT_EQ(g.discover->query, "Liveness/owner");
+  EXPECT_TRUE(g.discover->credential.public_key().verify(
+      g.discover->signable_bytes(), g.discover->signature));
+}
+
+TEST_F(WireFixture, ResponseWithAdvertisementsRoundTrip) {
+  DiscFrame f;
+  f.type = DiscFrameType::kDiscoverResp;
+  f.request_id = 3;
+  f.advertisements.push_back(ad);
+  f.advertisements.push_back(ad);
+  const DiscFrame g = DiscFrame::deserialize(f.serialize());
+  ASSERT_EQ(g.advertisements.size(), 2u);
+  EXPECT_EQ(g.advertisements[0].topic(), ad.topic());
+  EXPECT_TRUE(g.advertisements[1].verify(tdn_keys.public_key, 1).is_ok());
+}
+
+TEST_F(WireFixture, BrokerFramesRoundTrip) {
+  DiscFrame f;
+  f.type = DiscFrameType::kBrokerRegister;
+  f.broker_name = "broker-7";
+  f.broker_node = 1234;
+  f.credential_bytes = owner.credential.serialize();
+  const DiscFrame g = DiscFrame::deserialize(f.serialize());
+  EXPECT_EQ(g.broker_name, "broker-7");
+  EXPECT_EQ(g.broker_node, 1234u);
+  EXPECT_EQ(crypto::Credential::deserialize(g.credential_bytes).subject(),
+            "owner");
+}
+
+TEST_F(WireFixture, ErrorResponseRoundTrip) {
+  DiscFrame f;
+  f.type = DiscFrameType::kTopicCreateResp;
+  f.request_id = 11;
+  f.status = 1;
+  f.detail = "credential: expired";
+  const DiscFrame g = DiscFrame::deserialize(f.serialize());
+  EXPECT_EQ(g.status, 1u);
+  EXPECT_EQ(g.detail, "credential: expired");
+}
+
+TEST_F(WireFixture, WrongMagicRejected) {
+  DiscFrame f;
+  f.type = DiscFrameType::kBrokerQuery;
+  Bytes wire = f.serialize();
+  wire[0] ^= 0x01;
+  EXPECT_THROW(DiscFrame::deserialize(wire), SerializeError);
+}
+
+TEST_F(WireFixture, UnknownTypeRejected) {
+  DiscFrame f;
+  f.type = DiscFrameType::kBrokerQuery;
+  Bytes wire = f.serialize();
+  wire[1] = 99;
+  EXPECT_THROW(DiscFrame::deserialize(wire), SerializeError);
+}
+
+TEST_F(WireFixture, TruncationsThrow) {
+  DiscFrame f;
+  f.type = DiscFrameType::kDiscoverResp;
+  f.advertisements.push_back(ad);
+  const Bytes wire = f.serialize();
+  for (std::size_t cut = 0; cut < wire.size(); cut += 7) {
+    EXPECT_THROW(DiscFrame::deserialize(BytesView(wire.data(), cut)),
+                 SerializeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST_F(WireFixture, RandomGarbageNeverCrashes) {
+  Rng garbage_rng(4040);
+  for (int i = 0; i < 300; ++i) {
+    const Bytes garbage = garbage_rng.next_bytes(garbage_rng.next_below(200));
+    try {
+      (void)DiscFrame::deserialize(garbage);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST_F(WireFixture, TdnSurvivesGarbageAndStaysFunctional) {
+  transport::VirtualTimeNetwork net(5);
+  crypto::Identity tdn_identity =
+      crypto::Identity::create("tdn-0", ca, rng, net.now(), 3600 * kSecond,
+                               kBits);
+  const crypto::RsaPublicKey tdn_pub = tdn_identity.keys.public_key;
+  Tdn tdn(net, std::move(tdn_identity), ca.public_key(), 6);
+
+  const transport::NodeId hose =
+      net.add_node("hose", [](transport::NodeId, Bytes) {});
+  net.link(hose, tdn.node(), transport::LinkParams::ideal_profile());
+  Rng garbage_rng(6);
+  for (int i = 0; i < 200; ++i) {
+    (void)net.send(hose, tdn.node(),
+                   garbage_rng.next_bytes(garbage_rng.next_below(150)));
+  }
+  net.run_until_idle();
+  EXPECT_GT(tdn.stats().rejected_requests, 0u);
+
+  // Legit topic creation still works afterwards.
+  DiscoveryClient dc(net, owner);
+  dc.attach_tdn(tdn.node(), transport::LinkParams::ideal_profile());
+  bool ok = false;
+  dc.create_topic("Availability/Traces/owner", {}, kSecond,
+                  [&](Result<TopicAdvertisement> r) { ok = r.ok(); });
+  net.run_until_idle();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace et::discovery

@@ -1,0 +1,159 @@
+// Multi-TDN integration: "since a given topic advertisement will be
+// stored at multiple TDN nodes, this scheme sustains the loss of TDN
+// nodes" (paper §2.2). The traced entity creates its topic at one TDN;
+// the tracker discovers it through a replica — including after the
+// primary TDN is gone.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/crypto/credential.h"
+#include "src/discovery/tdn.h"
+#include "src/pubsub/topology.h"
+#include "src/tracing/trace_filter.h"
+#include "src/tracing/traced_entity.h"
+#include "src/tracing/tracing_broker.h"
+#include "src/tracing/tracker.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::tracing {
+namespace {
+
+constexpr std::size_t kBits = 512;
+
+transport::LinkParams lan() {
+  transport::LinkParams p = transport::LinkParams::ideal_profile();
+  p.base_latency = 1 * kMillisecond;
+  return p;
+}
+
+struct MultiTdnFixture : ::testing::Test {
+  MultiTdnFixture() : rng(808), ca("ca", rng, kBits) {
+    // Both TDNs share one signing key pair (a deployment-level identity),
+    // so advertisements verify against a single trust anchor regardless
+    // of which TDN minted or served them.
+    const crypto::RsaKeyPair tdn_keys = crypto::rsa_generate(rng, kBits);
+    auto tdn_identity = [&](const std::string& id) {
+      crypto::Identity ident;
+      ident.id = id;
+      ident.keys = tdn_keys;
+      ident.credential =
+          ca.issue(id, tdn_keys.public_key, net.now(), 3600 * kSecond);
+      return ident;
+    };
+    anchors = TrustAnchors{ca.public_key(), tdn_keys.public_key};
+    tdn0 = std::make_unique<discovery::Tdn>(net, tdn_identity("tdn-0"),
+                                            ca.public_key(), 1);
+    tdn1 = std::make_unique<discovery::Tdn>(net, tdn_identity("tdn-1"),
+                                            ca.public_key(), 2);
+    net.link(tdn0->node(), tdn1->node(), lan());
+    tdn0->peer(tdn1->node());
+    tdn1->peer(tdn0->node());
+
+    config.ping_interval = 100 * kMillisecond;
+    config.gauge_interval = 300 * kMillisecond;
+    config.delegate_key_bits = kBits;
+
+    topo = std::make_unique<pubsub::Topology>(net);
+    brokers = topo->make_chain(2, lan());
+    for (auto* b : brokers) {
+      install_trace_filter(*b, anchors);
+      services.push_back(
+          std::make_unique<TracingBrokerService>(*b, anchors, config, 7));
+    }
+  }
+
+  crypto::Identity identity(const std::string& id) {
+    return crypto::Identity::create(id, ca, rng, net.now(), 3600 * kSecond,
+                                    kBits);
+  }
+
+  transport::VirtualTimeNetwork net{808};
+  Rng rng;
+  crypto::CertificateAuthority ca;
+  TrustAnchors anchors;
+  TracingConfig config;
+  std::unique_ptr<discovery::Tdn> tdn0, tdn1;
+  std::unique_ptr<pubsub::Topology> topo;
+  std::vector<pubsub::Broker*> brokers;
+  std::vector<std::unique_ptr<TracingBrokerService>> services;
+};
+
+TEST_F(MultiTdnFixture, TrackerDiscoversThroughReplicaTdn) {
+  // Entity uses tdn-0; tracker uses tdn-1.
+  TracedEntity entity(net, identity("svc"), anchors, config, 11);
+  entity.attach_tdn(tdn0->node(), lan());
+  entity.connect_broker(brokers[0]->node(), lan());
+  Status entity_status = internal_error("pending");
+  entity.start_tracing({}, [&](const Status& s) { entity_status = s; });
+  net.run_for(500 * kMillisecond);
+  ASSERT_TRUE(entity_status.is_ok()) << entity_status.to_string();
+  EXPECT_EQ(tdn1->advertisement_count(), 1u);  // replication happened
+
+  Tracker tracker(net, identity("watcher"), anchors, 12);
+  tracker.attach_tdn(tdn1->node(), lan());
+  tracker.connect_broker(brokers[1]->node(), lan());
+  int received = 0;
+  Status track_status = internal_error("pending");
+  tracker.track("svc", kCatAllUpdates,
+                [&](const TracePayload&, const pubsub::Message&) {
+                  ++received;
+                },
+                [&](const Status& s) { track_status = s; });
+  net.run_for(1 * kSecond);
+  ASSERT_TRUE(track_status.is_ok()) << track_status.to_string();
+  EXPECT_GT(received, 3);
+  EXPECT_EQ(tracker.stats().traces_rejected, 0u);
+  EXPECT_GT(tdn1->stats().discoveries_answered, 0u);
+}
+
+TEST_F(MultiTdnFixture, DiscoverySurvivesPrimaryTdnLoss) {
+  TracedEntity entity(net, identity("svc2"), anchors, config, 13);
+  entity.attach_tdn(tdn0->node(), lan());
+  entity.connect_broker(brokers[0]->node(), lan());
+  entity.start_tracing({}, [](const Status&) {});
+  net.run_for(500 * kMillisecond);
+
+  // The minting TDN vanishes (link severed = node unreachable).
+  net.unlink(tdn0->node(), tdn1->node());
+  net.detach(tdn0->node());
+
+  Tracker tracker(net, identity("late-watcher"), anchors, 14);
+  tracker.attach_tdn(tdn1->node(), lan());
+  tracker.connect_broker(brokers[1]->node(), lan());
+  int received = 0;
+  Status track_status = internal_error("pending");
+  tracker.track("svc2", kCatAllUpdates,
+                [&](const TracePayload&, const pubsub::Message&) {
+                  ++received;
+                },
+                [&](const Status& s) { track_status = s; });
+  net.run_for(1 * kSecond);
+  ASSERT_TRUE(track_status.is_ok()) << track_status.to_string();
+  EXPECT_GT(received, 3);
+}
+
+TEST_F(MultiTdnFixture, RestrictionsEnforcedAtReplicaToo) {
+  TracedEntity entity(net, identity("svc3"), anchors, config, 15);
+  entity.attach_tdn(tdn0->node(), lan());
+  entity.connect_broker(brokers[0]->node(), lan());
+  discovery::DiscoveryRestrictions only_friend;
+  only_friend.authorized_subjects = {"friend"};
+  entity.start_tracing(only_friend, [](const Status&) {});
+  net.run_for(500 * kMillisecond);
+
+  // A stranger querying the REPLICA is ignored just like at the primary.
+  Tracker stranger(net, identity("stranger"), anchors, 16);
+  stranger.attach_tdn(tdn1->node(), lan());
+  stranger.connect_broker(brokers[1]->node(), lan());
+  Status denied = Status::ok();
+  stranger.track("svc3", kCatAllUpdates,
+                 [](const TracePayload&, const pubsub::Message&) {},
+                 [&](const Status& s) { denied = s; });
+  net.run_for(3 * kSecond);
+  EXPECT_EQ(denied.code(), Code::kNotFound);
+  EXPECT_GT(tdn1->stats().discoveries_ignored, 0u);
+}
+
+}  // namespace
+}  // namespace et::tracing

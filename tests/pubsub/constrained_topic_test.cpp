@@ -1,0 +1,213 @@
+#include "src/pubsub/constrained_topic.h"
+
+#include <gtest/gtest.h>
+
+namespace et::pubsub {
+namespace {
+
+TEST(ConstrainedTopicTest, NonConstrainedReturnsNullopt) {
+  EXPECT_FALSE(ConstrainedTopic::parse("StockQuotes/Companies/Adobe"));
+  EXPECT_FALSE(ConstrainedTopic::parse(""));
+  EXPECT_FALSE(is_constrained_topic("a/Constrained/b"));
+  EXPECT_TRUE(is_constrained_topic("/Constrained/Traces"));
+}
+
+TEST(ConstrainedTopicTest, FullyExplicitForm) {
+  const auto ct = ConstrainedTopic::parse(
+      "/Constrained/Traces/Broker/Subscribe-Only/Limited/Trace-Topic");
+  ASSERT_TRUE(ct);
+  EXPECT_EQ(ct->event_type, "Traces");
+  EXPECT_EQ(ct->constrainer, "Broker");
+  EXPECT_TRUE(ct->constrainer_is_broker());
+  EXPECT_EQ(ct->allowed, AllowedActions::kSubscribeOnly);
+  EXPECT_EQ(ct->distribution, Distribution::kDisseminate);
+  EXPECT_EQ(ct->suffixes,
+            (std::vector<std::string>{"Limited", "Trace-Topic"}));
+}
+
+TEST(ConstrainedTopicTest, PaperEquivalenceExample) {
+  // §3.1: /Constrained/Traces/Broker/PublishSubscribe/Limited and
+  // /Constrained/Traces/Limited are equivalent topics.
+  const auto full = ConstrainedTopic::parse(
+      "/Constrained/Traces/Broker/PublishSubscribe/Limited");
+  const auto elided = ConstrainedTopic::parse("/Constrained/Traces/Limited");
+  ASSERT_TRUE(full);
+  ASSERT_TRUE(elided);
+  EXPECT_EQ(full->event_type, elided->event_type);
+  EXPECT_EQ(full->constrainer, elided->constrainer);
+  EXPECT_EQ(full->allowed, elided->allowed);
+  EXPECT_EQ(full->distribution, elided->distribution);
+  EXPECT_EQ(full->suffixes, elided->suffixes);
+  EXPECT_EQ(full->to_topic(), elided->to_topic());
+}
+
+TEST(ConstrainedTopicTest, DefaultsWhenAllOmitted) {
+  const auto ct = ConstrainedTopic::parse("/Constrained");
+  ASSERT_TRUE(ct);
+  EXPECT_EQ(ct->event_type, "RealTime");
+  EXPECT_EQ(ct->constrainer, "Broker");
+  EXPECT_EQ(ct->allowed, AllowedActions::kPublishSubscribe);
+  EXPECT_EQ(ct->distribution, Distribution::kDisseminate);
+}
+
+TEST(ConstrainedTopicTest, EntityConstrainer) {
+  const auto ct = ConstrainedTopic::parse(
+      "Constrained/Traces/entity-42/Subscribe-Only/uuid/session");
+  ASSERT_TRUE(ct);
+  EXPECT_EQ(ct->constrainer, "entity-42");
+  EXPECT_FALSE(ct->constrainer_is_broker());
+  EXPECT_EQ(ct->allowed, AllowedActions::kSubscribeOnly);
+}
+
+TEST(ConstrainedTopicTest, BrokerOnlyShortForm) {
+  const auto ct =
+      ConstrainedTopic::parse("Constrained/Broker/Publish-Only/x");
+  ASSERT_TRUE(ct);
+  EXPECT_EQ(ct->event_type, "RealTime");  // omitted
+  EXPECT_EQ(ct->constrainer, "Broker");
+  EXPECT_EQ(ct->allowed, AllowedActions::kPublishOnly);
+  EXPECT_EQ(ct->suffixes, (std::vector<std::string>{"x"}));
+}
+
+TEST(ConstrainedTopicTest, SuppressDistribution) {
+  const auto ct = ConstrainedTopic::parse(
+      "Constrained/Traces/Broker/Publish-Only/Suppress/x");
+  ASSERT_TRUE(ct);
+  EXPECT_EQ(ct->distribution, Distribution::kSuppress);
+  EXPECT_EQ(ct->suffixes, (std::vector<std::string>{"x"}));
+}
+
+TEST(ConstrainedTopicTest, DistributionWithoutAction) {
+  const auto ct =
+      ConstrainedTopic::parse("Constrained/Traces/Broker/Suppress/x");
+  ASSERT_TRUE(ct);
+  EXPECT_EQ(ct->allowed, AllowedActions::kPublishSubscribe);  // default
+  EXPECT_EQ(ct->distribution, Distribution::kSuppress);
+}
+
+TEST(ConstrainedTopicTest, RoundTripThroughToTopic) {
+  const auto ct = ConstrainedTopic::parse(
+      "Constrained/Traces/Broker/Publish-Only/abc/ChangeNotifications");
+  ASSERT_TRUE(ct);
+  const auto again = ConstrainedTopic::parse(ct->to_topic());
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->event_type, ct->event_type);
+  EXPECT_EQ(again->constrainer, ct->constrainer);
+  EXPECT_EQ(again->allowed, ct->allowed);
+  EXPECT_EQ(again->suffixes, ct->suffixes);
+}
+
+// --- action checks -------------------------------------------------------
+
+TEST(ConstrainedActionTest, UnconstrainedTopicAllowsEverything) {
+  EXPECT_TRUE(check_constrained_action("news/sports", TopicAction::kPublish,
+                                       false, "anyone")
+                  .is_ok());
+  EXPECT_TRUE(check_constrained_action("news/sports",
+                                       TopicAction::kSubscribe, false, "x")
+                  .is_ok());
+}
+
+TEST(ConstrainedActionTest, PublishOnlyReservesPublishForBroker) {
+  const std::string topic =
+      "Constrained/Traces/Broker/Publish-Only/uuid/AllUpdates";
+  // Broker publishes: OK. Client publishes: denied. Anyone subscribes: OK.
+  EXPECT_TRUE(check_constrained_action(topic, TopicAction::kPublish, true, "")
+                  .is_ok());
+  EXPECT_EQ(check_constrained_action(topic, TopicAction::kPublish, false,
+                                     "client")
+                .code(),
+            Code::kPermissionDenied);
+  EXPECT_TRUE(
+      check_constrained_action(topic, TopicAction::kSubscribe, false, "c")
+          .is_ok());
+}
+
+TEST(ConstrainedActionTest, SubscribeOnlyReservesSubscribe) {
+  const std::string topic =
+      "Constrained/Traces/Broker/Subscribe-Only/Registration";
+  // Only brokers subscribe; clients may publish (to reach the broker).
+  EXPECT_TRUE(
+      check_constrained_action(topic, TopicAction::kSubscribe, true, "")
+          .is_ok());
+  EXPECT_FALSE(
+      check_constrained_action(topic, TopicAction::kSubscribe, false, "c")
+          .is_ok());
+  EXPECT_TRUE(check_constrained_action(topic, TopicAction::kPublish, false,
+                                       "entity")
+                  .is_ok());
+}
+
+TEST(ConstrainedActionTest, EntityConstrainerMatchesById) {
+  const std::string topic =
+      "Constrained/Traces/entity-7/Subscribe-Only/uuid/sess";
+  EXPECT_TRUE(check_constrained_action(topic, TopicAction::kSubscribe, false,
+                                       "entity-7")
+                  .is_ok());
+  EXPECT_FALSE(check_constrained_action(topic, TopicAction::kSubscribe,
+                                        false, "entity-8")
+                   .is_ok());
+  // A broker is NOT the entity; it may publish (complement) but not
+  // subscribe.
+  EXPECT_FALSE(
+      check_constrained_action(topic, TopicAction::kSubscribe, true, "")
+          .is_ok());
+  EXPECT_TRUE(check_constrained_action(topic, TopicAction::kPublish, true, "")
+                  .is_ok());
+}
+
+TEST(ConstrainedActionTest, PublishSubscribeReservesBoth) {
+  const std::string topic = "Constrained/Admin/Broker/PublishSubscribe/ctl";
+  EXPECT_FALSE(
+      check_constrained_action(topic, TopicAction::kPublish, false, "c")
+          .is_ok());
+  EXPECT_FALSE(
+      check_constrained_action(topic, TopicAction::kSubscribe, false, "c")
+          .is_ok());
+  EXPECT_TRUE(check_constrained_action(topic, TopicAction::kPublish, true, "")
+                  .is_ok());
+}
+
+// --- tracing topic builders ----------------------------------------------
+
+TEST(TraceTopicsTest, BuildersProduceParseableTopics) {
+  const std::string uuid = "9f2c1d34-aaaa-4bbb-8ccc-123456789abc";
+  const auto reg = ConstrainedTopic::parse(trace_topics::registration());
+  ASSERT_TRUE(reg);
+  EXPECT_EQ(reg->allowed, AllowedActions::kSubscribeOnly);
+
+  const auto e2b =
+      ConstrainedTopic::parse(trace_topics::entity_to_broker(uuid, "s1"));
+  ASSERT_TRUE(e2b);
+  EXPECT_TRUE(e2b->constrainer_is_broker());
+  EXPECT_EQ(e2b->allowed, AllowedActions::kSubscribeOnly);
+
+  const auto b2e = ConstrainedTopic::parse(
+      trace_topics::broker_to_entity("entity-1", uuid, "s1"));
+  ASSERT_TRUE(b2e);
+  EXPECT_EQ(b2e->constrainer, "entity-1");
+
+  const auto pub = ConstrainedTopic::parse(
+      trace_topics::trace_publication(uuid, "AllUpdates"));
+  ASSERT_TRUE(pub);
+  EXPECT_EQ(pub->allowed, AllowedActions::kPublishOnly);
+  ASSERT_EQ(pub->suffixes.size(), 2u);
+  EXPECT_EQ(pub->suffixes[0], uuid);
+  EXPECT_EQ(pub->suffixes[1], "AllUpdates");
+}
+
+TEST(TraceTopicsTest, GaugeAndResponseTopicsDiffer) {
+  const std::string uuid = "9f2c1d34-aaaa-4bbb-8ccc-123456789abc";
+  EXPECT_NE(trace_topics::gauge_interest(uuid),
+            trace_topics::interest_response(uuid));
+  // Gauge: broker publishes. Response: broker subscribes.
+  const auto gauge = ConstrainedTopic::parse(trace_topics::gauge_interest(uuid));
+  const auto resp =
+      ConstrainedTopic::parse(trace_topics::interest_response(uuid));
+  ASSERT_TRUE(gauge && resp);
+  EXPECT_EQ(gauge->allowed, AllowedActions::kPublishOnly);
+  EXPECT_EQ(resp->allowed, AllowedActions::kSubscribeOnly);
+}
+
+}  // namespace
+}  // namespace et::pubsub

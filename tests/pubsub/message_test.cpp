@@ -1,0 +1,132 @@
+#include "src/pubsub/message.h"
+
+#include <gtest/gtest.h>
+
+namespace et::pubsub {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.topic = "Constrained/Traces/Broker/Publish-Only/uuid/AllUpdates";
+  m.payload = to_bytes("trace body");
+  m.publisher = "broker-3";
+  m.sequence = 77;
+  m.timestamp = 123456789;
+  m.auth_token = to_bytes("token-bytes");
+  m.signature = to_bytes("sig-bytes");
+  m.encrypted = true;
+  return m;
+}
+
+TEST(MessageTest, FrameRoundTripPublish) {
+  const Frame f = make_publish(sample_message());
+  const Frame g = Frame::deserialize(f.serialize());
+  ASSERT_EQ(g.type, FrameType::kPublish);
+  ASSERT_TRUE(g.message);
+  EXPECT_EQ(g.message->topic, f.message->topic);
+  EXPECT_EQ(g.message->payload, f.message->payload);
+  EXPECT_EQ(g.message->publisher, "broker-3");
+  EXPECT_EQ(g.message->sequence, 77u);
+  EXPECT_EQ(g.message->timestamp, 123456789);
+  EXPECT_EQ(g.message->auth_token, to_bytes("token-bytes"));
+  EXPECT_EQ(g.message->signature, to_bytes("sig-bytes"));
+  EXPECT_TRUE(g.message->encrypted);
+}
+
+TEST(MessageTest, FrameRoundTripControlVerbs) {
+  {
+    const Frame g =
+        Frame::deserialize(make_connect("entity-1", 42).serialize());
+    EXPECT_EQ(g.type, FrameType::kConnect);
+    EXPECT_EQ(g.text, "entity-1");
+    EXPECT_EQ(g.request_id, 42u);
+  }
+  {
+    const Frame g = Frame::deserialize(make_subscribe("a/b/#", 7).serialize());
+    EXPECT_EQ(g.type, FrameType::kSubscribe);
+    EXPECT_EQ(g.text, "a/b/#");
+  }
+  {
+    const Frame g = Frame::deserialize(make_unsubscribe("a/b").serialize());
+    EXPECT_EQ(g.type, FrameType::kUnsubscribe);
+  }
+  {
+    const Frame g =
+        Frame::deserialize(make_error(2, "denied", 9).serialize());
+    EXPECT_EQ(g.type, FrameType::kError);
+    EXPECT_EQ(g.status, 2u);
+    EXPECT_EQ(g.detail, "denied");
+    EXPECT_EQ(g.request_id, 9u);
+  }
+}
+
+TEST(MessageTest, SignableBytesExcludesSignature) {
+  Message a = sample_message();
+  Message b = sample_message();
+  b.signature = to_bytes("different signature");
+  EXPECT_EQ(a.signable_bytes(), b.signable_bytes());
+}
+
+TEST(MessageTest, SignableBytesCoversEveryOtherField) {
+  const Message base = sample_message();
+  Message m = base;
+  m.topic += "x";
+  EXPECT_NE(m.signable_bytes(), base.signable_bytes());
+  m = base;
+  m.payload.push_back(0);
+  EXPECT_NE(m.signable_bytes(), base.signable_bytes());
+  m = base;
+  m.publisher = "other";
+  EXPECT_NE(m.signable_bytes(), base.signable_bytes());
+  m = base;
+  ++m.sequence;
+  EXPECT_NE(m.signable_bytes(), base.signable_bytes());
+  m = base;
+  ++m.timestamp;
+  EXPECT_NE(m.signable_bytes(), base.signable_bytes());
+  m = base;
+  m.auth_token.push_back(1);
+  EXPECT_NE(m.signable_bytes(), base.signable_bytes());
+  m = base;
+  m.encrypted = !m.encrypted;
+  EXPECT_NE(m.signable_bytes(), base.signable_bytes());
+}
+
+TEST(MessageTest, DeserializeRejectsWrongMagic) {
+  Bytes b = make_unsubscribe("x").serialize();
+  b[0] ^= 0xFF;
+  EXPECT_THROW(Frame::deserialize(b), SerializeError);
+}
+
+TEST(MessageTest, DeserializeRejectsUnknownType) {
+  Bytes b = make_unsubscribe("x").serialize();
+  b[1] = 200;
+  EXPECT_THROW(Frame::deserialize(b), SerializeError);
+}
+
+TEST(MessageTest, DeserializeRejectsTruncation) {
+  const Bytes b = make_publish(sample_message()).serialize();
+  for (std::size_t cut : {std::size_t{1}, b.size() / 2, b.size() - 1}) {
+    EXPECT_THROW(Frame::deserialize(BytesView(b.data(), cut)),
+                 SerializeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(MessageTest, DeserializeRejectsTrailingGarbage) {
+  Bytes b = make_unsubscribe("x").serialize();
+  b.push_back(0xAA);
+  EXPECT_THROW(Frame::deserialize(b), SerializeError);
+}
+
+TEST(MessageTest, EmptyMessageRoundTrip) {
+  Message empty;
+  const Frame g = Frame::deserialize(make_publish(empty).serialize());
+  ASSERT_TRUE(g.message);
+  EXPECT_EQ(g.message->topic, "");
+  EXPECT_TRUE(g.message->payload.empty());
+  EXPECT_FALSE(g.message->encrypted);
+}
+
+}  // namespace
+}  // namespace et::pubsub

@@ -1,0 +1,90 @@
+#include "src/pubsub/subscription.h"
+
+#include <gtest/gtest.h>
+
+namespace et::pubsub {
+namespace {
+
+TEST(SubscriptionTableTest, AddReturnsTrueOnFirstSubscriber) {
+  SubscriptionTable t;
+  EXPECT_TRUE(t.add("a/b", 1));
+  EXPECT_FALSE(t.add("a/b", 2));
+  EXPECT_TRUE(t.add("a/c", 1));
+  EXPECT_EQ(t.pattern_count(), 2u);
+}
+
+TEST(SubscriptionTableTest, NormalizesPatterns) {
+  SubscriptionTable t;
+  EXPECT_TRUE(t.add("/a/b/", 1));
+  EXPECT_FALSE(t.add("a//b", 2));  // same pattern after normalization
+  EXPECT_EQ(t.pattern_count(), 1u);
+}
+
+TEST(SubscriptionTableTest, MatchCollectsAllEndpoints) {
+  SubscriptionTable t;
+  t.add("a/b", 1);
+  t.add("a/b", 2);
+  t.add("a/*", 3);
+  t.add("a/c", 4);
+  const auto m = t.match("a/b");
+  EXPECT_EQ(m, (std::set<transport::NodeId>{1, 2, 3}));
+}
+
+TEST(SubscriptionTableTest, MatchWithMultiLevelWildcard) {
+  SubscriptionTable t;
+  t.add("Constrained/Traces/#", 9);
+  EXPECT_TRUE(t.match("Constrained/Traces/Broker/Publish-Only/x").contains(9));
+  EXPECT_TRUE(t.match("Constrained/Traces").contains(9));
+  EXPECT_TRUE(t.match("Other/Topic").empty());
+}
+
+TEST(SubscriptionTableTest, RemoveReturnsTrueWhenEmptied) {
+  SubscriptionTable t;
+  t.add("a/b", 1);
+  t.add("a/b", 2);
+  EXPECT_FALSE(t.remove("a/b", 1));
+  EXPECT_TRUE(t.remove("a/b", 2));
+  EXPECT_EQ(t.pattern_count(), 0u);
+}
+
+TEST(SubscriptionTableTest, RemoveUnknownPatternIsNoop) {
+  SubscriptionTable t;
+  EXPECT_FALSE(t.remove("nope", 1));
+}
+
+TEST(SubscriptionTableTest, RemoveEndpointDropsEverything) {
+  SubscriptionTable t;
+  t.add("a", 1);
+  t.add("b", 1);
+  t.add("b", 2);
+  const auto emptied = t.remove_endpoint(1);
+  EXPECT_EQ(emptied, (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(t.match("a").empty());
+  EXPECT_TRUE(t.match("b").contains(2));
+}
+
+TEST(SubscriptionTableTest, AnyMatch) {
+  SubscriptionTable t;
+  t.add("x/*/z", 1);
+  EXPECT_TRUE(t.any_match("x/y/z"));
+  EXPECT_FALSE(t.any_match("x/y"));
+}
+
+TEST(SubscriptionTableTest, EndpointMatches) {
+  SubscriptionTable t;
+  t.add("a/#", 1);
+  t.add("b", 2);
+  EXPECT_TRUE(t.endpoint_matches(1, "a/deep/topic"));
+  EXPECT_FALSE(t.endpoint_matches(2, "a/deep/topic"));
+}
+
+TEST(SubscriptionTableTest, PatternsEnumeration) {
+  SubscriptionTable t;
+  t.add("b", 1);
+  t.add("a", 1);
+  const auto p = t.patterns();
+  EXPECT_EQ(p, (std::vector<std::string>{"a", "b"}));  // map order
+}
+
+}  // namespace
+}  // namespace et::pubsub

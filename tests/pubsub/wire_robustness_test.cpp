@@ -1,0 +1,142 @@
+// Robustness of the pub/sub wire format and the broker's handling of
+// hostile bytes: random mutations must never crash a parser — they either
+// round-trip to an equivalent frame or throw SerializeError, and brokers
+// survive arbitrary garbage.
+#include <gtest/gtest.h>
+
+#include "src/pubsub/broker.h"
+#include "src/pubsub/client.h"
+#include "src/pubsub/message.h"
+#include "src/pubsub/topology.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::pubsub {
+namespace {
+
+Message random_message(Rng& rng) {
+  Message m;
+  const char* topics[] = {
+      "a/b/c",
+      "Constrained/Traces/Broker/Publish-Only/uuid/AllUpdates",
+      "Constrained/Traces/entity/Subscribe-Only/uuid/sess",
+      "x",
+  };
+  m.topic = topics[rng.next_below(4)];
+  m.payload = rng.next_bytes(rng.next_below(200));
+  m.publisher = "pub" + std::to_string(rng.next_below(10));
+  m.sequence = rng.next_u64();
+  m.timestamp = static_cast<TimePoint>(rng.next_u64() >> 1);
+  m.auth_token = rng.next_bytes(rng.next_below(64));
+  m.signature = rng.next_bytes(rng.next_below(64));
+  m.encrypted = rng.next_below(2) == 1;
+  return m;
+}
+
+TEST(WireRobustnessTest, RandomMessagesRoundTrip) {
+  Rng rng(1001);
+  for (int i = 0; i < 200; ++i) {
+    const Message m = random_message(rng);
+    const Frame parsed = Frame::deserialize(make_publish(m).serialize());
+    ASSERT_TRUE(parsed.message);
+    EXPECT_EQ(parsed.message->topic, m.topic);
+    EXPECT_EQ(parsed.message->payload, m.payload);
+    EXPECT_EQ(parsed.message->publisher, m.publisher);
+    EXPECT_EQ(parsed.message->sequence, m.sequence);
+    EXPECT_EQ(parsed.message->timestamp, m.timestamp);
+    EXPECT_EQ(parsed.message->auth_token, m.auth_token);
+    EXPECT_EQ(parsed.message->signature, m.signature);
+    EXPECT_EQ(parsed.message->encrypted, m.encrypted);
+  }
+}
+
+TEST(WireRobustnessTest, SingleByteMutationsNeverCrash) {
+  Rng rng(1002);
+  const Bytes wire = make_publish(random_message(rng)).serialize();
+  int parsed_ok = 0, rejected = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (const std::uint8_t delta : {0x01, 0x80, 0xFF}) {
+      Bytes mutated = wire;
+      mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ delta);
+      try {
+        (void)Frame::deserialize(mutated);
+        ++parsed_ok;
+      } catch (const SerializeError&) {
+        ++rejected;
+      }
+    }
+  }
+  // Both outcomes occur; what matters is the absence of crashes/UB.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(parsed_ok + rejected, 0);
+}
+
+TEST(WireRobustnessTest, RandomGarbageNeverCrashesParser) {
+  Rng rng(1003);
+  for (int i = 0; i < 500; ++i) {
+    const Bytes garbage = rng.next_bytes(rng.next_below(300));
+    try {
+      (void)Frame::deserialize(garbage);
+    } catch (const SerializeError&) {
+      // expected for nearly everything
+    }
+  }
+}
+
+TEST(WireRobustnessTest, TruncationsAllThrow) {
+  Rng rng(1004);
+  const Bytes wire = make_publish(random_message(rng)).serialize();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_THROW((void)Frame::deserialize(BytesView(wire.data(), cut)),
+                 SerializeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(WireRobustnessTest, BrokerSurvivesGarbageFlood) {
+  transport::VirtualTimeNetwork net(1005);
+  Topology topo(net);
+  Broker& b = topo.add_broker("b0", /*misbehaviour_threshold=*/1000);
+  Rng rng(1006);
+
+  const transport::NodeId hose =
+      net.add_node("firehose", [](transport::NodeId, Bytes) {});
+  net.link(hose, b.node(), transport::LinkParams::ideal_profile());
+  for (int i = 0; i < 300; ++i) {
+    (void)net.send(hose, b.node(), rng.next_bytes(rng.next_below(120)));
+  }
+  net.run_until_idle();
+
+  // Broker still functions for legitimate clients.
+  Client pub(net, "p"), sub(net, "s");
+  pub.connect(b.node(), transport::LinkParams::ideal_profile());
+  sub.connect(b.node(), transport::LinkParams::ideal_profile());
+  int got = 0;
+  sub.subscribe("still/alive", [&](const Message&) { ++got; });
+  net.run_until_idle();
+  pub.publish("still/alive", to_bytes("yes"));
+  net.run_until_idle();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(WireRobustnessTest, ClientSurvivesGarbageFromBroker) {
+  transport::VirtualTimeNetwork net(1007);
+  Topology topo(net);
+  Broker& b = topo.add_broker("b0");
+  Client c(net, "victim");
+  c.connect(b.node(), transport::LinkParams::ideal_profile());
+  net.run_until_idle();
+
+  // A malicious "broker" node sprays garbage straight at the client.
+  Rng rng(1008);
+  const transport::NodeId evil =
+      net.add_node("evil", [](transport::NodeId, Bytes) {});
+  net.link(evil, c.node(), transport::LinkParams::ideal_profile());
+  for (int i = 0; i < 200; ++i) {
+    (void)net.send(evil, c.node(), rng.next_bytes(rng.next_below(100)));
+  }
+  net.run_until_idle();
+  EXPECT_TRUE(c.connected());  // unshaken
+}
+
+}  // namespace
+}  // namespace et::pubsub

@@ -1,0 +1,148 @@
+// Shared test fixture assembling a complete tracing deployment on the
+// deterministic virtual-time backend: CA, TDN, broker chain with tracing
+// services and trace filters, plus factory helpers for entities/trackers.
+//
+// Uses 512-bit RSA keys to keep the suite fast; the protocol logic is key
+// size independent.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/crypto/credential.h"
+#include "src/discovery/tdn.h"
+#include "src/pubsub/topology.h"
+#include "src/tracing/config.h"
+#include "src/tracing/trace_filter.h"
+#include "src/tracing/traced_entity.h"
+#include "src/tracing/tracing_broker.h"
+#include "src/tracing/tracker.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::tracing::testing {
+
+inline constexpr std::size_t kTestKeyBits = 512;
+
+/// A ready-to-use deployment.
+class TracingHarness {
+ public:
+  explicit TracingHarness(std::size_t broker_count = 1,
+                          TracingConfig config = fast_config(),
+                          std::uint64_t seed = 1234)
+      : net(seed),
+        rng(seed),
+        ca("test-ca", rng, kTestKeyBits),
+        config_(config) {
+    // TDN identity + node.
+    crypto::Identity tdn_identity =
+        crypto::Identity::create("tdn-0", ca, rng, net.now(),
+                                 3600 * kSecond, kTestKeyBits);
+    anchors.ca_key = ca.public_key();
+    anchors.tdn_key = tdn_identity.keys.public_key;
+    tdn = std::make_unique<discovery::Tdn>(net, std::move(tdn_identity),
+                                           ca.public_key(), seed + 1);
+
+    // Broker chain with tracing services and filters everywhere.
+    topology = std::make_unique<pubsub::Topology>(net);
+    brokers = topology->make_chain(broker_count, link());
+    for (std::size_t i = 0; i < brokers.size(); ++i) {
+      install_trace_filter(*brokers[i], anchors);
+      services.push_back(std::make_unique<TracingBrokerService>(
+          *brokers[i], anchors, config_, seed + 100 + i));
+    }
+  }
+
+  /// Fast-turnaround config for tests.
+  static TracingConfig fast_config() {
+    TracingConfig c;
+    c.ping_interval = 100 * kMillisecond;
+    c.min_ping_interval = 20 * kMillisecond;
+    c.gauge_interval = 300 * kMillisecond;
+    c.metrics_interval = 250 * kMillisecond;
+    c.delegate_key_bits = kTestKeyBits;
+    return c;
+  }
+
+  /// Default low-latency link for tests.
+  static transport::LinkParams link() {
+    transport::LinkParams p = transport::LinkParams::ideal_profile();
+    p.base_latency = 1 * kMillisecond;
+    return p;
+  }
+
+  crypto::Identity make_identity(const std::string& id) {
+    return crypto::Identity::create(id, ca, rng, net.now(), 3600 * kSecond,
+                                    kTestKeyBits);
+  }
+
+  // NOTE: the deployment contains self-rescheduling timers (pings,
+  // gauges), so run_until_idle would never return once a session exists.
+  // All helpers advance bounded virtual time with run_for instead.
+
+  /// Entity attached to `broker_index`, TDN wired.
+  std::unique_ptr<TracedEntity> make_entity(const std::string& id,
+                                            std::size_t broker_index = 0) {
+    auto e = std::make_unique<TracedEntity>(net, make_identity(id), anchors,
+                                            config_, rng.next_u64());
+    e->attach_tdn(tdn->node(), link());
+    e->connect_broker(brokers.at(broker_index)->node(), link());
+    net.run_for(20 * kMillisecond);
+    return e;
+  }
+
+  /// Tracker attached to `broker_index`, TDN wired.
+  std::unique_ptr<Tracker> make_tracker(const std::string& id,
+                                        std::size_t broker_index = 0) {
+    auto t = std::make_unique<Tracker>(net, make_identity(id), anchors,
+                                       rng.next_u64());
+    t->attach_tdn(tdn->node(), link());
+    t->connect_broker(brokers.at(broker_index)->node(), link());
+    net.run_for(20 * kMillisecond);
+    return t;
+  }
+
+  /// Runs start_tracing to completion; returns the outcome.
+  Status start_tracing(TracedEntity& e,
+                       discovery::DiscoveryRestrictions restrictions = {}) {
+    Status out = internal_error("callback never ran");
+    bool done = false;
+    e.start_tracing(std::move(restrictions), [&](const Status& s) {
+      out = s;
+      done = true;
+    });
+    for (int i = 0; i < 100 && !done; ++i) net.run_for(50 * kMillisecond);
+    return out;
+  }
+
+  /// Runs track() to completion; returns the outcome.
+  Status track(Tracker& t, const std::string& entity_id,
+               std::uint8_t categories, Tracker::TraceHandler handler) {
+    Status out = internal_error("callback never ran");
+    bool done = false;
+    t.track(entity_id, categories, std::move(handler), [&](const Status& s) {
+      out = s;
+      done = true;
+    });
+    for (int i = 0; i < 100 && !done; ++i) net.run_for(50 * kMillisecond);
+    // Let the unsolicited interest response reach the hosting broker.
+    net.run_for(20 * kMillisecond);
+    return out;
+  }
+
+  transport::VirtualTimeNetwork net;
+  Rng rng;
+  crypto::CertificateAuthority ca;
+  TrustAnchors anchors;
+  std::unique_ptr<discovery::Tdn> tdn;
+  std::unique_ptr<pubsub::Topology> topology;
+  std::vector<pubsub::Broker*> brokers;
+  std::vector<std::unique_ptr<TracingBrokerService>> services;
+
+ private:
+  TracingConfig config_;
+};
+
+}  // namespace et::tracing::testing

@@ -1,0 +1,146 @@
+// Interest-gauging behaviour (§3.5): selective categories, interest TTL
+// expiry after trackers vanish, multiple trackers with disjoint interests,
+// and the "no traces without trackers" economy property.
+#include <gtest/gtest.h>
+
+#include "tests/tracing/harness.h"
+
+namespace et::tracing {
+namespace {
+
+using testing::TracingHarness;
+
+TEST(InterestTest, DisjointCategoriesDeliveredSelectively) {
+  TracingHarness h;
+  auto entity = h.make_entity("svc-multi");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+
+  auto heart_watcher = h.make_tracker("hearts");
+  auto load_watcher = h.make_tracker("loads");
+  int hearts_hb = 0, hearts_load = 0, loads_hb = 0, loads_load = 0;
+  ASSERT_TRUE(h.track(*heart_watcher, "svc-multi", kCatAllUpdates,
+                      [&](const TracePayload& p, const pubsub::Message&) {
+                        if (p.type == TraceType::kAllsWell) ++hearts_hb;
+                        if (p.type == TraceType::kLoadInformation)
+                          ++hearts_load;
+                      })
+                  .is_ok());
+  ASSERT_TRUE(h.track(*load_watcher, "svc-multi", kCatLoad,
+                      [&](const TracePayload& p, const pubsub::Message&) {
+                        if (p.type == TraceType::kAllsWell) ++loads_hb;
+                        if (p.type == TraceType::kLoadInformation)
+                          ++loads_load;
+                      })
+                  .is_ok());
+
+  h.net.run_for(500 * kMillisecond);
+  LoadInfo info;
+  info.cpu_utilization = 0.5;
+  entity->report_load(info);
+  h.net.run_for(500 * kMillisecond);
+
+  EXPECT_GT(hearts_hb, 0);
+  EXPECT_EQ(hearts_load, 0);
+  EXPECT_EQ(loads_hb, 0);
+  EXPECT_EQ(loads_load, 1);
+}
+
+TEST(InterestTest, UnionOfInterestsPublished) {
+  TracingHarness h;
+  auto entity = h.make_entity("svc-union");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+  auto a = h.make_tracker("a");
+  auto b = h.make_tracker("b");
+  ASSERT_TRUE(h.track(*a, "svc-union", kCatAllUpdates,
+                      [](const TracePayload&, const pubsub::Message&) {})
+                  .is_ok());
+  ASSERT_TRUE(h.track(*b, "svc-union", kCatNetworkMetrics,
+                      [](const TracePayload&, const pubsub::Message&) {})
+                  .is_ok());
+  h.net.run_for(400 * kMillisecond);
+  const auto view = h.services[0]->session_view("svc-union");
+  EXPECT_EQ(view.effective_interest, kCatAllUpdates | kCatNetworkMetrics);
+}
+
+TEST(InterestTest, InterestExpiresWhenTrackerStopsResponding) {
+  // Gauge rounds run every 300 ms (fast_config); TTL = 3 rounds. A tracker
+  // that disappears stops renewing, and after TTL rounds the broker stops
+  // publishing its categories.
+  TracingHarness h;
+  auto entity = h.make_entity("svc-ttl");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+
+  {
+    auto tracker = h.make_tracker("ephemeral");
+    ASSERT_TRUE(h.track(*tracker, "svc-ttl", kCatAllUpdates,
+                        [](const TracePayload&, const pubsub::Message&) {})
+                    .is_ok());
+    h.net.run_for(500 * kMillisecond);
+    EXPECT_NE(h.services[0]->session_view("svc-ttl").effective_interest, 0);
+    // Tracker object destroyed here — it will never answer another gauge.
+    // (Its subscriptions survive at the broker, but interest renewals
+    // stop, which is what the TTL protects against.)
+  }
+
+  // Run long enough for several gauge rounds beyond the TTL.
+  h.net.run_for(3 * kSecond);
+  EXPECT_EQ(h.services[0]->session_view("svc-ttl").effective_interest, 0);
+
+  const std::uint64_t published_before =
+      h.services[0]->stats().traces_published;
+  h.net.run_for(1 * kSecond);
+  // No interested trackers left: nothing new is published.
+  EXPECT_EQ(h.services[0]->stats().traces_published, published_before);
+  EXPECT_GT(h.services[0]->stats().traces_suppressed_no_interest, 0u);
+}
+
+TEST(InterestTest, GaugeProbesCarryTokensAndVerify) {
+  TracingHarness h;
+  auto entity = h.make_entity("svc-gauge");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+  auto tracker = h.make_tracker("gauged");
+  ASSERT_TRUE(h.track(*tracker, "svc-gauge", kCatAllUpdates,
+                      [](const TracePayload&, const pubsub::Message&) {})
+                  .is_ok());
+  // Several gauge rounds must be answered without any rejections.
+  h.net.run_for(2 * kSecond);
+  EXPECT_GT(tracker->stats().gauges_answered, 2u);
+  EXPECT_EQ(tracker->stats().traces_rejected, 0u);
+  EXPECT_GT(h.services[0]->stats().interest_responses, 2u);
+}
+
+TEST(InterestTest, LateTrackerStartsReceivingMidStream) {
+  TracingHarness h;
+  auto entity = h.make_entity("svc-late");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+  h.net.run_for(1 * kSecond);  // traces suppressed so far
+
+  auto tracker = h.make_tracker("latecomer");
+  int got = 0;
+  ASSERT_TRUE(h.track(*tracker, "svc-late", kCatAllUpdates,
+                      [&](const TracePayload&, const pubsub::Message&) {
+                        ++got;
+                      })
+                  .is_ok());
+  h.net.run_for(1 * kSecond);
+  EXPECT_GT(got, 3);
+}
+
+TEST(InterestTest, SecuredFlagPropagatesInGauge) {
+  TracingConfig c = TracingHarness::fast_config();
+  c.secure_traces = true;
+  TracingHarness h(1, c);
+  auto entity = h.make_entity("svc-sec-gauge");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+  auto tracker = h.make_tracker("sec-tracker");
+  ASSERT_TRUE(h.track(*tracker, "svc-sec-gauge", kCatAllUpdates,
+                      [](const TracePayload&, const pubsub::Message&) {})
+                  .is_ok());
+  h.net.run_for(1 * kSecond);
+  // The tracker received the key exactly once even though multiple gauge
+  // rounds ran (it stops requesting once it has the key).
+  EXPECT_EQ(tracker->stats().keys_received, 1u);
+}
+
+}  // namespace
+}  // namespace et::tracing

@@ -1,0 +1,160 @@
+// Lifecycle features: token renewal (§4.3), DISCONNECT traces (Table 1)
+// and tracker untrack.
+#include <gtest/gtest.h>
+
+#include "tests/tracing/harness.h"
+
+namespace et::tracing {
+namespace {
+
+using testing::TracingHarness;
+
+TEST(LifecycleTest, TokenRenewalKeepsTracesVerifiable) {
+  TracingConfig c = TracingHarness::fast_config();
+  c.token_lifetime = 700 * kMillisecond;
+  c.auto_renew_tokens = true;  // default, explicit for contrast
+  TracingHarness h(1, c);
+  auto entity = h.make_entity("svc-renewing");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+
+  auto tracker = h.make_tracker("long-watcher");
+  int received = 0;
+  ASSERT_TRUE(h.track(*tracker, "svc-renewing", kCatAllUpdates,
+                      [&](const TracePayload&, const pubsub::Message&) {
+                        ++received;
+                      })
+                  .is_ok());
+
+  // Run far past several token lifetimes: renewals must keep every trace
+  // verifiable with zero rejections.
+  h.net.run_for(4 * kSecond);
+  EXPECT_GT(received, 20);
+  EXPECT_EQ(tracker->stats().traces_rejected, 0u);
+
+  const int before = received;
+  h.net.run_for(1 * kSecond);
+  EXPECT_GT(received, before);  // still flowing after ~7 lifetimes
+}
+
+TEST(LifecycleTest, ManualRenewalReplacesDelegation) {
+  TracingHarness h;
+  auto entity = h.make_entity("svc-manual");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+  auto tracker = h.make_tracker("observer");
+  int received = 0;
+  ASSERT_TRUE(h.track(*tracker, "svc-manual", kCatAllUpdates,
+                      [&](const TracePayload&, const pubsub::Message&) {
+                        ++received;
+                      })
+                  .is_ok());
+  h.net.run_for(500 * kMillisecond);
+  const int before = received;
+
+  entity->renew_token();
+  h.net.run_for(1 * kSecond);
+  // Traces continue under the new delegation without rejections.
+  EXPECT_GT(received, before);
+  EXPECT_EQ(tracker->stats().traces_rejected, 0u);
+}
+
+TEST(LifecycleTest, AbruptDisconnectPublishesDisconnectTrace) {
+  TracingHarness h;
+  auto entity = h.make_entity("svc-vanishing");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+
+  auto tracker = h.make_tracker("watcher");
+  bool disconnect_seen = false;
+  bool failed_seen = false;
+  ASSERT_TRUE(h.track(*tracker, "svc-vanishing", kCatChangeNotifications,
+                      [&](const TracePayload& p, const pubsub::Message&) {
+                        if (p.type == TraceType::kDisconnect) {
+                          disconnect_seen = true;
+                        }
+                        if (p.type == TraceType::kFailed) failed_seen = true;
+                      })
+                  .is_ok());
+  h.net.run_for(300 * kMillisecond);
+
+  entity->disconnect();  // sever the link with no notice
+  h.net.run_for(2 * kSecond);
+
+  // The broker notices on its next ping delivery attempt and reports
+  // DISCONNECT (not FAILED — the link event preempts the miss counter).
+  EXPECT_TRUE(disconnect_seen);
+  EXPECT_FALSE(failed_seen);
+  EXPECT_FALSE(h.services[0]->has_session_for("svc-vanishing"));
+}
+
+TEST(LifecycleTest, DisconnectWithNoTrackersIsQuiet) {
+  TracingHarness h;
+  auto entity = h.make_entity("svc-unseen");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+  h.net.run_for(200 * kMillisecond);
+  entity->disconnect();
+  h.net.run_for(2 * kSecond);
+  // Session torn down, nothing published (no interest).
+  EXPECT_FALSE(h.services[0]->has_session_for("svc-unseen"));
+  EXPECT_EQ(h.services[0]->stats().traces_published, 0u);
+}
+
+TEST(LifecycleTest, UntrackStopsDeliveryAndInterestExpires) {
+  TracingHarness h;
+  auto entity = h.make_entity("svc-watched");
+  ASSERT_TRUE(h.start_tracing(*entity).is_ok());
+  auto tracker = h.make_tracker("fickle");
+  int received = 0;
+  ASSERT_TRUE(h.track(*tracker, "svc-watched", kCatAllUpdates,
+                      [&](const TracePayload&, const pubsub::Message&) {
+                        ++received;
+                      })
+                  .is_ok());
+  h.net.run_for(500 * kMillisecond);
+  EXPECT_GT(received, 0);
+  EXPECT_EQ(tracker->tracked_count(), 1u);
+
+  tracker->untrack("svc-watched");
+  h.net.run_for(100 * kMillisecond);
+  EXPECT_EQ(tracker->tracked_count(), 0u);
+  const int at_untrack = received;
+  h.net.run_for(500 * kMillisecond);
+  EXPECT_EQ(received, at_untrack);  // no further deliveries
+
+  // After TTL gauge rounds with no interest responses, the broker stops
+  // publishing entirely.
+  h.net.run_for(2 * kSecond);
+  const std::uint64_t published = h.services[0]->stats().traces_published;
+  h.net.run_for(1 * kSecond);
+  EXPECT_EQ(h.services[0]->stats().traces_published, published);
+}
+
+TEST(LifecycleTest, UntrackOneOfTwoKeepsTheOther) {
+  TracingHarness h;
+  auto e1 = h.make_entity("svc-a");
+  auto e2 = h.make_entity("svc-b");
+  ASSERT_TRUE(h.start_tracing(*e1).is_ok());
+  ASSERT_TRUE(h.start_tracing(*e2).is_ok());
+  auto tracker = h.make_tracker("dual");
+  int a_count = 0, b_count = 0;
+  ASSERT_TRUE(h.track(*tracker, "svc-a", kCatAllUpdates,
+                      [&](const TracePayload&, const pubsub::Message&) {
+                        ++a_count;
+                      })
+                  .is_ok());
+  ASSERT_TRUE(h.track(*tracker, "svc-b", kCatAllUpdates,
+                      [&](const TracePayload&, const pubsub::Message&) {
+                        ++b_count;
+                      })
+                  .is_ok());
+  h.net.run_for(500 * kMillisecond);
+  tracker->untrack("svc-a");
+  h.net.run_for(100 * kMillisecond);
+  const int a_frozen = a_count;
+  const int b_so_far = b_count;
+  h.net.run_for(500 * kMillisecond);
+  EXPECT_EQ(a_count, a_frozen);
+  EXPECT_GT(b_count, b_so_far);
+  EXPECT_EQ(tracker->tracked_count(), 1u);
+}
+
+}  // namespace
+}  // namespace et::tracing

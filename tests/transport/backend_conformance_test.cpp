@@ -1,0 +1,164 @@
+// NetworkBackend conformance: the same contract checks run against both
+// backends through a small driver that knows how to "advance" each one
+// (virtual time steps vs. wall-clock sleeps). Protocol code relies on
+// exactly these properties being backend-independent.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/transport/realtime_network.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::transport {
+namespace {
+
+template <typename Backend>
+struct Driver;
+
+template <>
+struct Driver<VirtualTimeNetwork> {
+  static void settle(VirtualTimeNetwork& net, Duration virtual_time) {
+    net.run_for(virtual_time);
+  }
+};
+
+template <>
+struct Driver<RealTimeNetwork> {
+  static void settle(RealTimeNetwork&, Duration virtual_time) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(virtual_time + 30 * kMillisecond));
+  }
+};
+
+template <typename Backend>
+class BackendConformanceTest : public ::testing::Test {
+ protected:
+  Backend net{77};
+  void settle(Duration d) { Driver<Backend>::settle(net, d); }
+
+  static LinkParams fast() {
+    LinkParams p = LinkParams::ideal_profile();
+    p.base_latency = 1 * kMillisecond;
+    return p;
+  }
+};
+
+using Backends = ::testing::Types<VirtualTimeNetwork, RealTimeNetwork>;
+TYPED_TEST_SUITE(BackendConformanceTest, Backends);
+
+TYPED_TEST(BackendConformanceTest, DeliversWithSourceIdentity) {
+  std::atomic<int> got{0};
+  std::atomic<NodeId> from_seen{kInvalidNode};
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId from, Bytes payload) {
+    from_seen.store(from);
+    if (to_string(payload) == "payload") got.fetch_add(1);
+  });
+  this->net.link(a, b, this->fast());
+  ASSERT_TRUE(this->net.send(a, b, to_bytes("payload")).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got.load(), 1);
+  EXPECT_EQ(from_seen.load(), a);
+}
+
+TYPED_TEST(BackendConformanceTest, SendWithoutLinkIsUnavailable) {
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node("b", [](NodeId, Bytes) {});
+  EXPECT_EQ(this->net.send(a, b, Bytes{}).code(), Code::kUnavailable);
+}
+
+TYPED_TEST(BackendConformanceTest, OrderedLinkPreservesFifo) {
+  std::vector<int> order;
+  std::mutex mu;
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId, Bytes p) {
+    std::lock_guard lock(mu);
+    order.push_back(p[0]);
+  });
+  this->net.link(a, b, this->fast());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        this->net.send(a, b, Bytes{static_cast<std::uint8_t>(i)}).is_ok());
+  }
+  this->settle(10 * kMillisecond);
+  std::lock_guard lock(mu);
+  ASSERT_EQ(order.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(order[i], i);
+}
+
+TYPED_TEST(BackendConformanceTest, TimerFiresOnceAndCancelWorks) {
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  std::atomic<int> fired{0};
+  std::atomic<int> cancelled_fired{0};
+  this->net.schedule(a, 2 * kMillisecond, [&] { fired.fetch_add(1); });
+  const TimerId id = this->net.schedule(a, 2 * kMillisecond, [&] {
+    cancelled_fired.fetch_add(1);
+  });
+  this->net.cancel(id);
+  this->settle(20 * kMillisecond);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(cancelled_fired.load(), 0);
+}
+
+TYPED_TEST(BackendConformanceTest, PostRunsInNodeContext) {
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  std::atomic<bool> ran{false};
+  this->net.post(a, [&] { ran.store(true); });
+  this->settle(1 * kMillisecond);
+  EXPECT_TRUE(ran.load());
+}
+
+TYPED_TEST(BackendConformanceTest, UnlinkDropsInFlight) {
+  std::atomic<int> got{0};
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId, Bytes) {
+    got.fetch_add(1);
+  });
+  LinkParams slow = this->fast();
+  slow.base_latency = 20 * kMillisecond;
+  this->net.link(a, b, slow);
+  ASSERT_TRUE(this->net.send(a, b, Bytes(4)).is_ok());
+  this->net.unlink(a, b);
+  this->settle(50 * kMillisecond);
+  EXPECT_EQ(got.load(), 0);
+  EXPECT_FALSE(this->net.linked(a, b));
+}
+
+TYPED_TEST(BackendConformanceTest, DetachSilencesNode) {
+  std::atomic<int> got{0};
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId, Bytes) {
+    got.fetch_add(1);
+  });
+  this->net.link(a, b, this->fast());
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got.load(), 1);
+
+  this->net.detach(b);
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got.load(), 1);  // handler replaced; no further invocations
+}
+
+TYPED_TEST(BackendConformanceTest, NodeNamesAreStable) {
+  const NodeId a = this->net.add_node("alpha", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node("beta", [](NodeId, Bytes) {});
+  EXPECT_EQ(this->net.node_name(a), "alpha");
+  EXPECT_EQ(this->net.node_name(b), "beta");
+  EXPECT_EQ(this->net.node_name(kInvalidNode), "<invalid>");
+}
+
+TYPED_TEST(BackendConformanceTest, ClockAdvancesAcrossDeliveries) {
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node("b", [](NodeId, Bytes) {});
+  this->net.link(a, b, this->fast());
+  const TimePoint before = this->net.now();
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_GT(this->net.now(), before);
+}
+
+}  // namespace
+}  // namespace et::transport

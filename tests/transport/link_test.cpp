@@ -1,0 +1,127 @@
+#include "src/transport/link.h"
+
+#include <gtest/gtest.h>
+
+namespace et::transport {
+namespace {
+
+TEST(LinkParamsTest, TcpProfileIsReliableOrdered) {
+  const LinkParams p = LinkParams::tcp_profile();
+  EXPECT_TRUE(p.reliable);
+  EXPECT_TRUE(p.ordered);
+  EXPECT_GT(p.base_latency, 0);
+}
+
+TEST(LinkParamsTest, UdpProfileIsUnreliableUnordered) {
+  const LinkParams p = LinkParams::udp_profile();
+  EXPECT_FALSE(p.reliable);
+  EXPECT_FALSE(p.ordered);
+  EXPECT_GT(p.loss_probability, 0.0);
+}
+
+TEST(LinkParamsTest, UdpFasterThanTcp) {
+  // The paper's Figure 2 shape depends on this ordering.
+  EXPECT_LT(LinkParams::udp_profile().base_latency,
+            LinkParams::tcp_profile().base_latency);
+}
+
+TEST(LinkStateTest, IdealLinkHasZeroDelayNoLoss) {
+  LinkState link(LinkParams::ideal_profile());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(link.sample_delay(100, i, rng), 0);
+  }
+  EXPECT_EQ(link.packets_lost(), 0u);
+  EXPECT_EQ(link.packets_sent(), 100u);
+}
+
+TEST(LinkStateTest, DelayNearBaseLatency) {
+  LinkParams p;
+  p.base_latency = 1500;
+  p.jitter_stddev = 0;
+  p.loss_probability = 0;
+  p.bytes_per_us = 0;
+  LinkState link(p);
+  Rng rng(2);
+  EXPECT_EQ(link.sample_delay(0, 0, rng), 1500);
+}
+
+TEST(LinkStateTest, BandwidthAddsTransmissionDelay) {
+  LinkParams p;
+  p.base_latency = 1000;
+  p.jitter_stddev = 0;
+  p.loss_probability = 0;
+  p.bytes_per_us = 12.5;  // 100 Mbps
+  LinkState link(p);
+  Rng rng(3);
+  // 1250 bytes at 12.5 B/us = 100 us extra.
+  EXPECT_EQ(link.sample_delay(1250, 0, rng), 1100);
+}
+
+TEST(LinkStateTest, UnreliableLinkDropsApproximatelyAtRate) {
+  LinkParams p = LinkParams::udp_profile();
+  p.loss_probability = 0.2;
+  LinkState link(p);
+  Rng rng(4);
+  int lost = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    if (link.sample_delay(64, i, rng) == kPacketLost) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kN, 0.2, 0.03);
+  EXPECT_EQ(link.packets_lost(), static_cast<std::uint64_t>(lost));
+}
+
+TEST(LinkStateTest, ReliableLinkNeverDropsButPaysRetransmit) {
+  LinkParams p = LinkParams::tcp_profile();
+  p.loss_probability = 1.0;  // every packet "lost" once
+  p.jitter_stddev = 0;
+  p.bytes_per_us = 0;
+  LinkState link(p);
+  Rng rng(5);
+  const Duration d = link.sample_delay(0, 0, rng);
+  EXPECT_EQ(d, p.base_latency * 3);  // base + 2x retransmit penalty
+  EXPECT_EQ(link.packets_lost(), 0u);
+}
+
+TEST(LinkStateTest, OrderedLinkClampsFifo) {
+  LinkParams p;
+  p.base_latency = 1000;
+  p.jitter_stddev = 500;  // heavy jitter would reorder without the clamp
+  p.loss_probability = 0;
+  p.ordered = true;
+  p.bytes_per_us = 0;
+  LinkState link(p);
+  Rng rng(6);
+  TimePoint now = 0;
+  TimePoint last_delivery = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Duration d = link.sample_delay(0, now, rng);
+    const TimePoint delivery = now + d;
+    EXPECT_GE(delivery, last_delivery);
+    last_delivery = delivery;
+    now += 10;  // closely spaced sends
+  }
+}
+
+TEST(LinkStateTest, JitterProducesVariedDelays) {
+  LinkParams p;
+  p.base_latency = 1000;
+  p.jitter_stddev = 200;
+  p.loss_probability = 0;
+  p.ordered = false;
+  p.bytes_per_us = 0;
+  LinkState link(p);
+  Rng rng(7);
+  Duration min_d = 1 << 30, max_d = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Duration d = link.sample_delay(0, 0, rng);
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+    EXPECT_GE(d, p.base_latency / 2);  // clamped floor
+  }
+  EXPECT_LT(min_d, max_d);
+}
+
+}  // namespace
+}  // namespace et::transport

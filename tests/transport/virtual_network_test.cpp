@@ -1,0 +1,207 @@
+#include "src/transport/virtual_network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace et::transport {
+namespace {
+
+LinkParams fixed_latency(Duration latency) {
+  LinkParams p = LinkParams::ideal_profile();
+  p.base_latency = latency;
+  return p;
+}
+
+TEST(VirtualNetworkTest, DeliversAlongLink) {
+  VirtualTimeNetwork net;
+  std::vector<std::string> received;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = net.add_node("b", [&](NodeId from, Bytes payload) {
+    received.push_back(net.node_name(from) + ":" + to_string(payload));
+  });
+  net.link(a, b, fixed_latency(1000));
+  ASSERT_TRUE(net.send(a, b, to_bytes("ping")).is_ok());
+  net.run_until_idle();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "a:ping");
+  EXPECT_EQ(net.now(), 1000);
+}
+
+TEST(VirtualNetworkTest, SendWithoutLinkFails) {
+  VirtualTimeNetwork net;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = net.add_node("b", [](NodeId, Bytes) {});
+  const Status s = net.send(a, b, to_bytes("x"));
+  EXPECT_EQ(s.code(), Code::kUnavailable);
+}
+
+TEST(VirtualNetworkTest, UnlinkStopsTraffic) {
+  VirtualTimeNetwork net;
+  int delivered = 0;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = net.add_node("b", [&](NodeId, Bytes) { ++delivered; });
+  net.link(a, b, fixed_latency(10));
+  ASSERT_TRUE(net.send(a, b, to_bytes("1")).is_ok());
+  net.run_until_idle();
+  net.unlink(a, b);
+  EXPECT_FALSE(net.send(a, b, to_bytes("2")).is_ok());
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(VirtualNetworkTest, InFlightPacketsDroppedOnUnlink) {
+  VirtualTimeNetwork net;
+  int delivered = 0;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = net.add_node("b", [&](NodeId, Bytes) { ++delivered; });
+  net.link(a, b, fixed_latency(1000));
+  ASSERT_TRUE(net.send(a, b, to_bytes("x")).is_ok());
+  net.unlink(a, b);  // before delivery time
+  net.run_until_idle();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(VirtualNetworkTest, LatencyAccumulatesAcrossHops) {
+  VirtualTimeNetwork net;
+  // a -> b -> c relay chain with 1 ms per hop.
+  TimePoint arrival = -1;
+  const NodeId c = net.add_node("c", [&](NodeId, Bytes) {
+    arrival = net.now();
+  });
+  NodeId b_id = kInvalidNode;
+  const NodeId b = net.add_node("b", [&](NodeId, Bytes payload) {
+    net.send(b_id, c, std::move(payload));
+  });
+  b_id = b;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  net.link(a, b, fixed_latency(1000));
+  net.link(b, c, fixed_latency(1000));
+  ASSERT_TRUE(net.send(a, b, to_bytes("relay")).is_ok());
+  net.run_until_idle();
+  EXPECT_EQ(arrival, 2000);
+}
+
+TEST(VirtualNetworkTest, FifoOrderOnOrderedLink) {
+  VirtualTimeNetwork net;
+  std::vector<int> order;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = net.add_node("b", [&](NodeId, Bytes p) {
+    order.push_back(p[0]);
+  });
+  LinkParams params = fixed_latency(1000);
+  params.jitter_stddev = 900;  // would reorder if unordered
+  net.link(a, b, params);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(net.send(a, b, Bytes{static_cast<std::uint8_t>(i)}).is_ok());
+  }
+  net.run_until_idle();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(VirtualNetworkTest, TimersFireInOrder) {
+  VirtualTimeNetwork net;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  std::vector<int> fired;
+  net.schedule(a, 300, [&] { fired.push_back(3); });
+  net.schedule(a, 100, [&] { fired.push_back(1); });
+  net.schedule(a, 200, [&] { fired.push_back(2); });
+  net.run_until_idle();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(net.now(), 300);
+}
+
+TEST(VirtualNetworkTest, CancelledTimerDoesNotFire) {
+  VirtualTimeNetwork net;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  bool fired = false;
+  const TimerId id = net.schedule(a, 100, [&] { fired = true; });
+  net.cancel(id);
+  net.run_until_idle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(VirtualNetworkTest, PostRunsAtCurrentTime) {
+  VirtualTimeNetwork net;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  net.run_for(500);
+  TimePoint when = -1;
+  net.post(a, [&] { when = net.now(); });
+  net.run_until_idle();
+  EXPECT_EQ(when, 500);
+}
+
+TEST(VirtualNetworkTest, RunForStopsAtDeadline) {
+  VirtualTimeNetwork net;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  bool early = false, late = false;
+  net.schedule(a, 100, [&] { early = true; });
+  net.schedule(a, 10000, [&] { late = true; });
+  net.run_for(1000);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(net.now(), 1000);
+  net.run_until_idle();
+  EXPECT_TRUE(late);
+}
+
+TEST(VirtualNetworkTest, RepeatingTimerChain) {
+  VirtualTimeNetwork net;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) net.schedule(a, 100, tick);
+  };
+  net.schedule(a, 100, tick);
+  net.run_until_idle();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(net.now(), 500);
+}
+
+TEST(VirtualNetworkTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    VirtualTimeNetwork net(seed);
+    std::vector<TimePoint> deliveries;
+    const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+    const NodeId b = net.add_node("b", [&](NodeId, Bytes) {
+      deliveries.push_back(net.now());
+    });
+    LinkParams p = LinkParams::udp_profile();
+    net.link(a, b, p);
+    for (int i = 0; i < 100; ++i) (void)net.send(a, b, Bytes(32));
+    net.run_until_idle();
+    return deliveries;
+  };
+  EXPECT_EQ(run(12345), run(12345));
+  EXPECT_NE(run(12345), run(54321));
+}
+
+TEST(VirtualNetworkTest, CountersTrackTraffic) {
+  VirtualTimeNetwork net(1);
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = net.add_node("b", [](NodeId, Bytes) {});
+  LinkParams p = LinkParams::udp_profile();
+  p.loss_probability = 0.5;
+  net.link(a, b, p);
+  for (int i = 0; i < 200; ++i) (void)net.send(a, b, Bytes(10));
+  net.run_until_idle();
+  EXPECT_EQ(net.packets_sent(), 200u);
+  EXPECT_EQ(net.bytes_sent(), 2000u);
+  EXPECT_EQ(net.packets_delivered() + net.packets_lost(), 200u);
+  EXPECT_GT(net.packets_lost(), 50u);
+  EXPECT_GT(net.packets_delivered(), 50u);
+}
+
+TEST(VirtualNetworkTest, BadNodeIdsThrow) {
+  VirtualTimeNetwork net;
+  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  EXPECT_THROW(net.link(a, 99, LinkParams{}), std::invalid_argument);
+  EXPECT_THROW(net.link(a, a, LinkParams{}), std::invalid_argument);
+  EXPECT_THROW(net.post(99, [] {}), std::invalid_argument);
+  EXPECT_THROW(net.schedule(99, 1, [] {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace et::transport
