@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crypto_ops.dir/bench_crypto_ops.cpp.o"
+  "CMakeFiles/bench_crypto_ops.dir/bench_crypto_ops.cpp.o.d"
+  "bench_crypto_ops"
+  "bench_crypto_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crypto_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

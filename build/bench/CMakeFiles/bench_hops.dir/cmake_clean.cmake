@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hops.dir/bench_hops.cpp.o"
+  "CMakeFiles/bench_hops.dir/bench_hops.cpp.o.d"
+  "bench_hops"
+  "bench_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

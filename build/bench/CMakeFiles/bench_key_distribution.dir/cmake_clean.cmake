@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_key_distribution.dir/bench_key_distribution.cpp.o"
+  "CMakeFiles/bench_key_distribution.dir/bench_key_distribution.cpp.o.d"
+  "bench_key_distribution"
+  "bench_key_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_key_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

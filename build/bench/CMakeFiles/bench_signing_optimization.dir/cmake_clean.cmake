@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signing_optimization.dir/bench_signing_optimization.cpp.o"
+  "CMakeFiles/bench_signing_optimization.dir/bench_signing_optimization.cpp.o.d"
+  "bench_signing_optimization"
+  "bench_signing_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signing_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

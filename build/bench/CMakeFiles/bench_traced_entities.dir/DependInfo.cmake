@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_traced_entities.cpp" "bench/CMakeFiles/bench_traced_entities.dir/bench_traced_entities.cpp.o" "gcc" "bench/CMakeFiles/bench_traced_entities.dir/bench_traced_entities.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracing/CMakeFiles/et_tracing.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/et_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/et_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/et_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/et_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/et_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

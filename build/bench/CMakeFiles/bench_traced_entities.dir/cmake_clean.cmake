@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traced_entities.dir/bench_traced_entities.cpp.o"
+  "CMakeFiles/bench_traced_entities.dir/bench_traced_entities.cpp.o.d"
+  "bench_traced_entities"
+  "bench_traced_entities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traced_entities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trackers.dir/bench_trackers.cpp.o"
+  "CMakeFiles/bench_trackers.dir/bench_trackers.cpp.o.d"
+  "bench_trackers"
+  "bench_trackers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_aware_dispatch.dir/load_aware_dispatch.cpp.o"
+  "CMakeFiles/load_aware_dispatch.dir/load_aware_dispatch.cpp.o.d"
+  "load_aware_dispatch"
+  "load_aware_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_aware_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_restricted_tracing.dir/secure_restricted_tracing.cpp.o"
+  "CMakeFiles/secure_restricted_tracing.dir/secure_restricted_tracing.cpp.o.d"
+  "secure_restricted_tracing"
+  "secure_restricted_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_restricted_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

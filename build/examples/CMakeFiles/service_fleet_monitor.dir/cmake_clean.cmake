@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_fleet_monitor.dir/service_fleet_monitor.cpp.o"
+  "CMakeFiles/service_fleet_monitor.dir/service_fleet_monitor.cpp.o.d"
+  "service_fleet_monitor"
+  "service_fleet_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_fleet_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/allpairs_heartbeat.cpp" "src/baseline/CMakeFiles/et_baseline.dir/allpairs_heartbeat.cpp.o" "gcc" "src/baseline/CMakeFiles/et_baseline.dir/allpairs_heartbeat.cpp.o.d"
+  "/root/repo/src/baseline/gossip_detector.cpp" "src/baseline/CMakeFiles/et_baseline.dir/gossip_detector.cpp.o" "gcc" "src/baseline/CMakeFiles/et_baseline.dir/gossip_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/et_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_baseline.dir/allpairs_heartbeat.cpp.o"
+  "CMakeFiles/et_baseline.dir/allpairs_heartbeat.cpp.o.d"
+  "CMakeFiles/et_baseline.dir/gossip_detector.cpp.o"
+  "CMakeFiles/et_baseline.dir/gossip_detector.cpp.o.d"
+  "libet_baseline.a"
+  "libet_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

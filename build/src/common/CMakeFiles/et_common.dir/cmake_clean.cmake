@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_common.dir/bytes.cpp.o"
+  "CMakeFiles/et_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/et_common.dir/clock.cpp.o"
+  "CMakeFiles/et_common.dir/clock.cpp.o.d"
+  "CMakeFiles/et_common.dir/logging.cpp.o"
+  "CMakeFiles/et_common.dir/logging.cpp.o.d"
+  "CMakeFiles/et_common.dir/random.cpp.o"
+  "CMakeFiles/et_common.dir/random.cpp.o.d"
+  "CMakeFiles/et_common.dir/serialize.cpp.o"
+  "CMakeFiles/et_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/et_common.dir/stats.cpp.o"
+  "CMakeFiles/et_common.dir/stats.cpp.o.d"
+  "CMakeFiles/et_common.dir/status.cpp.o"
+  "CMakeFiles/et_common.dir/status.cpp.o.d"
+  "CMakeFiles/et_common.dir/topic_path.cpp.o"
+  "CMakeFiles/et_common.dir/topic_path.cpp.o.d"
+  "CMakeFiles/et_common.dir/uuid.cpp.o"
+  "CMakeFiles/et_common.dir/uuid.cpp.o.d"
+  "libet_common.a"
+  "libet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

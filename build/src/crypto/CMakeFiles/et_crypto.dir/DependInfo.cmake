@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/et_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/et_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/et_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/et_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/credential.cpp" "src/crypto/CMakeFiles/et_crypto.dir/credential.cpp.o" "gcc" "src/crypto/CMakeFiles/et_crypto.dir/credential.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/et_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/et_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/et_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/et_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/secret_key.cpp" "src/crypto/CMakeFiles/et_crypto.dir/secret_key.cpp.o" "gcc" "src/crypto/CMakeFiles/et_crypto.dir/secret_key.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/et_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/et_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/et_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/et_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

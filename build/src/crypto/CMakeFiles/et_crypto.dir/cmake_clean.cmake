@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_crypto.dir/aes.cpp.o"
+  "CMakeFiles/et_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/et_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/et_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/et_crypto.dir/credential.cpp.o"
+  "CMakeFiles/et_crypto.dir/credential.cpp.o.d"
+  "CMakeFiles/et_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/et_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/et_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/et_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/et_crypto.dir/secret_key.cpp.o"
+  "CMakeFiles/et_crypto.dir/secret_key.cpp.o.d"
+  "CMakeFiles/et_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/et_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/et_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/et_crypto.dir/sha256.cpp.o.d"
+  "libet_crypto.a"
+  "libet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/advertisement.cpp" "src/discovery/CMakeFiles/et_discovery.dir/advertisement.cpp.o" "gcc" "src/discovery/CMakeFiles/et_discovery.dir/advertisement.cpp.o.d"
+  "/root/repo/src/discovery/discovery_client.cpp" "src/discovery/CMakeFiles/et_discovery.dir/discovery_client.cpp.o" "gcc" "src/discovery/CMakeFiles/et_discovery.dir/discovery_client.cpp.o.d"
+  "/root/repo/src/discovery/tdn.cpp" "src/discovery/CMakeFiles/et_discovery.dir/tdn.cpp.o" "gcc" "src/discovery/CMakeFiles/et_discovery.dir/tdn.cpp.o.d"
+  "/root/repo/src/discovery/wire.cpp" "src/discovery/CMakeFiles/et_discovery.dir/wire.cpp.o" "gcc" "src/discovery/CMakeFiles/et_discovery.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/et_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/et_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_discovery.dir/advertisement.cpp.o"
+  "CMakeFiles/et_discovery.dir/advertisement.cpp.o.d"
+  "CMakeFiles/et_discovery.dir/discovery_client.cpp.o"
+  "CMakeFiles/et_discovery.dir/discovery_client.cpp.o.d"
+  "CMakeFiles/et_discovery.dir/tdn.cpp.o"
+  "CMakeFiles/et_discovery.dir/tdn.cpp.o.d"
+  "CMakeFiles/et_discovery.dir/wire.cpp.o"
+  "CMakeFiles/et_discovery.dir/wire.cpp.o.d"
+  "libet_discovery.a"
+  "libet_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/broker.cpp" "src/pubsub/CMakeFiles/et_pubsub.dir/broker.cpp.o" "gcc" "src/pubsub/CMakeFiles/et_pubsub.dir/broker.cpp.o.d"
+  "/root/repo/src/pubsub/client.cpp" "src/pubsub/CMakeFiles/et_pubsub.dir/client.cpp.o" "gcc" "src/pubsub/CMakeFiles/et_pubsub.dir/client.cpp.o.d"
+  "/root/repo/src/pubsub/constrained_topic.cpp" "src/pubsub/CMakeFiles/et_pubsub.dir/constrained_topic.cpp.o" "gcc" "src/pubsub/CMakeFiles/et_pubsub.dir/constrained_topic.cpp.o.d"
+  "/root/repo/src/pubsub/message.cpp" "src/pubsub/CMakeFiles/et_pubsub.dir/message.cpp.o" "gcc" "src/pubsub/CMakeFiles/et_pubsub.dir/message.cpp.o.d"
+  "/root/repo/src/pubsub/subscription.cpp" "src/pubsub/CMakeFiles/et_pubsub.dir/subscription.cpp.o" "gcc" "src/pubsub/CMakeFiles/et_pubsub.dir/subscription.cpp.o.d"
+  "/root/repo/src/pubsub/topology.cpp" "src/pubsub/CMakeFiles/et_pubsub.dir/topology.cpp.o" "gcc" "src/pubsub/CMakeFiles/et_pubsub.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/et_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_pubsub.dir/broker.cpp.o"
+  "CMakeFiles/et_pubsub.dir/broker.cpp.o.d"
+  "CMakeFiles/et_pubsub.dir/client.cpp.o"
+  "CMakeFiles/et_pubsub.dir/client.cpp.o.d"
+  "CMakeFiles/et_pubsub.dir/constrained_topic.cpp.o"
+  "CMakeFiles/et_pubsub.dir/constrained_topic.cpp.o.d"
+  "CMakeFiles/et_pubsub.dir/message.cpp.o"
+  "CMakeFiles/et_pubsub.dir/message.cpp.o.d"
+  "CMakeFiles/et_pubsub.dir/subscription.cpp.o"
+  "CMakeFiles/et_pubsub.dir/subscription.cpp.o.d"
+  "CMakeFiles/et_pubsub.dir/topology.cpp.o"
+  "CMakeFiles/et_pubsub.dir/topology.cpp.o.d"
+  "libet_pubsub.a"
+  "libet_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libet_pubsub.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracing/authorization_token.cpp" "src/tracing/CMakeFiles/et_tracing.dir/authorization_token.cpp.o" "gcc" "src/tracing/CMakeFiles/et_tracing.dir/authorization_token.cpp.o.d"
+  "/root/repo/src/tracing/registration.cpp" "src/tracing/CMakeFiles/et_tracing.dir/registration.cpp.o" "gcc" "src/tracing/CMakeFiles/et_tracing.dir/registration.cpp.o.d"
+  "/root/repo/src/tracing/trace_filter.cpp" "src/tracing/CMakeFiles/et_tracing.dir/trace_filter.cpp.o" "gcc" "src/tracing/CMakeFiles/et_tracing.dir/trace_filter.cpp.o.d"
+  "/root/repo/src/tracing/trace_message.cpp" "src/tracing/CMakeFiles/et_tracing.dir/trace_message.cpp.o" "gcc" "src/tracing/CMakeFiles/et_tracing.dir/trace_message.cpp.o.d"
+  "/root/repo/src/tracing/trace_types.cpp" "src/tracing/CMakeFiles/et_tracing.dir/trace_types.cpp.o" "gcc" "src/tracing/CMakeFiles/et_tracing.dir/trace_types.cpp.o.d"
+  "/root/repo/src/tracing/traced_entity.cpp" "src/tracing/CMakeFiles/et_tracing.dir/traced_entity.cpp.o" "gcc" "src/tracing/CMakeFiles/et_tracing.dir/traced_entity.cpp.o.d"
+  "/root/repo/src/tracing/tracing_broker.cpp" "src/tracing/CMakeFiles/et_tracing.dir/tracing_broker.cpp.o" "gcc" "src/tracing/CMakeFiles/et_tracing.dir/tracing_broker.cpp.o.d"
+  "/root/repo/src/tracing/tracker.cpp" "src/tracing/CMakeFiles/et_tracing.dir/tracker.cpp.o" "gcc" "src/tracing/CMakeFiles/et_tracing.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/et_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/et_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/et_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/et_discovery.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

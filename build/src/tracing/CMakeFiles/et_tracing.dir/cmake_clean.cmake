@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_tracing.dir/authorization_token.cpp.o"
+  "CMakeFiles/et_tracing.dir/authorization_token.cpp.o.d"
+  "CMakeFiles/et_tracing.dir/registration.cpp.o"
+  "CMakeFiles/et_tracing.dir/registration.cpp.o.d"
+  "CMakeFiles/et_tracing.dir/trace_filter.cpp.o"
+  "CMakeFiles/et_tracing.dir/trace_filter.cpp.o.d"
+  "CMakeFiles/et_tracing.dir/trace_message.cpp.o"
+  "CMakeFiles/et_tracing.dir/trace_message.cpp.o.d"
+  "CMakeFiles/et_tracing.dir/trace_types.cpp.o"
+  "CMakeFiles/et_tracing.dir/trace_types.cpp.o.d"
+  "CMakeFiles/et_tracing.dir/traced_entity.cpp.o"
+  "CMakeFiles/et_tracing.dir/traced_entity.cpp.o.d"
+  "CMakeFiles/et_tracing.dir/tracing_broker.cpp.o"
+  "CMakeFiles/et_tracing.dir/tracing_broker.cpp.o.d"
+  "CMakeFiles/et_tracing.dir/tracker.cpp.o"
+  "CMakeFiles/et_tracing.dir/tracker.cpp.o.d"
+  "libet_tracing.a"
+  "libet_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/link.cpp" "src/transport/CMakeFiles/et_transport.dir/link.cpp.o" "gcc" "src/transport/CMakeFiles/et_transport.dir/link.cpp.o.d"
+  "/root/repo/src/transport/network.cpp" "src/transport/CMakeFiles/et_transport.dir/network.cpp.o" "gcc" "src/transport/CMakeFiles/et_transport.dir/network.cpp.o.d"
+  "/root/repo/src/transport/realtime_network.cpp" "src/transport/CMakeFiles/et_transport.dir/realtime_network.cpp.o" "gcc" "src/transport/CMakeFiles/et_transport.dir/realtime_network.cpp.o.d"
+  "/root/repo/src/transport/virtual_network.cpp" "src/transport/CMakeFiles/et_transport.dir/virtual_network.cpp.o" "gcc" "src/transport/CMakeFiles/et_transport.dir/virtual_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

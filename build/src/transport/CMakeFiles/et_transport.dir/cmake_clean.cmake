@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_transport.dir/link.cpp.o"
+  "CMakeFiles/et_transport.dir/link.cpp.o.d"
+  "CMakeFiles/et_transport.dir/network.cpp.o"
+  "CMakeFiles/et_transport.dir/network.cpp.o.d"
+  "CMakeFiles/et_transport.dir/realtime_network.cpp.o"
+  "CMakeFiles/et_transport.dir/realtime_network.cpp.o.d"
+  "CMakeFiles/et_transport.dir/virtual_network.cpp.o"
+  "CMakeFiles/et_transport.dir/virtual_network.cpp.o.d"
+  "libet_transport.a"
+  "libet_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

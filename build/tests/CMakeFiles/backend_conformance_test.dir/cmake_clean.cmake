@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_conformance_test.dir/transport/backend_conformance_test.cpp.o"
+  "CMakeFiles/backend_conformance_test.dir/transport/backend_conformance_test.cpp.o.d"
+  "backend_conformance_test"
+  "backend_conformance_test.pdb"
+  "backend_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

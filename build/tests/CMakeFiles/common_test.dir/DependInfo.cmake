@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/common_test.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/bytes_test.cpp.o.d"
+  "/root/repo/tests/common/clock_test.cpp" "tests/CMakeFiles/common_test.dir/common/clock_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/clock_test.cpp.o.d"
+  "/root/repo/tests/common/random_test.cpp" "tests/CMakeFiles/common_test.dir/common/random_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/random_test.cpp.o.d"
+  "/root/repo/tests/common/serialize_test.cpp" "tests/CMakeFiles/common_test.dir/common/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/serialize_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/status_test.cpp" "tests/CMakeFiles/common_test.dir/common/status_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cpp.o.d"
+  "/root/repo/tests/common/topic_path_test.cpp" "tests/CMakeFiles/common_test.dir/common/topic_path_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/topic_path_test.cpp.o.d"
+  "/root/repo/tests/common/uuid_test.cpp" "tests/CMakeFiles/common_test.dir/common/uuid_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/uuid_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/bytes_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/bytes_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/clock_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/clock_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/random_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/random_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/serialize_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/serialize_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/stats_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/status_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/status_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/topic_path_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/topic_path_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/uuid_test.cpp.o"
+  "CMakeFiles/common_test.dir/common/uuid_test.cpp.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_robustness_test.dir/discovery/wire_robustness_test.cpp.o"
+  "CMakeFiles/discovery_robustness_test.dir/discovery/wire_robustness_test.cpp.o.d"
+  "discovery_robustness_test"
+  "discovery_robustness_test.pdb"
+  "discovery_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tdn_test.dir/integration/multi_tdn_test.cpp.o"
+  "CMakeFiles/multi_tdn_test.dir/integration/multi_tdn_test.cpp.o.d"
+  "multi_tdn_test"
+  "multi_tdn_test.pdb"
+  "multi_tdn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_robustness_test.dir/pubsub/wire_robustness_test.cpp.o"
+  "CMakeFiles/pubsub_robustness_test.dir/pubsub/wire_robustness_test.cpp.o.d"
+  "pubsub_robustness_test"
+  "pubsub_robustness_test.pdb"
+  "pubsub_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pubsub/broker_test.cpp" "tests/CMakeFiles/pubsub_test.dir/pubsub/broker_test.cpp.o" "gcc" "tests/CMakeFiles/pubsub_test.dir/pubsub/broker_test.cpp.o.d"
+  "/root/repo/tests/pubsub/constrained_topic_test.cpp" "tests/CMakeFiles/pubsub_test.dir/pubsub/constrained_topic_test.cpp.o" "gcc" "tests/CMakeFiles/pubsub_test.dir/pubsub/constrained_topic_test.cpp.o.d"
+  "/root/repo/tests/pubsub/message_test.cpp" "tests/CMakeFiles/pubsub_test.dir/pubsub/message_test.cpp.o" "gcc" "tests/CMakeFiles/pubsub_test.dir/pubsub/message_test.cpp.o.d"
+  "/root/repo/tests/pubsub/subscription_test.cpp" "tests/CMakeFiles/pubsub_test.dir/pubsub/subscription_test.cpp.o" "gcc" "tests/CMakeFiles/pubsub_test.dir/pubsub/subscription_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pubsub/CMakeFiles/et_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/et_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_integration_test.dir/integration/realtime_tracing_test.cpp.o"
+  "CMakeFiles/realtime_integration_test.dir/integration/realtime_tracing_test.cpp.o.d"
+  "realtime_integration_test"
+  "realtime_integration_test.pdb"
+  "realtime_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

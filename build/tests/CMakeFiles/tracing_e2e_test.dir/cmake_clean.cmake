@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracing_e2e_test.dir/tracing/end_to_end_test.cpp.o"
+  "CMakeFiles/tracing_e2e_test.dir/tracing/end_to_end_test.cpp.o.d"
+  "tracing_e2e_test"
+  "tracing_e2e_test.pdb"
+  "tracing_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracing_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracing_interest_test.dir/tracing/interest_test.cpp.o"
+  "CMakeFiles/tracing_interest_test.dir/tracing/interest_test.cpp.o.d"
+  "tracing_interest_test"
+  "tracing_interest_test.pdb"
+  "tracing_interest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracing_interest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

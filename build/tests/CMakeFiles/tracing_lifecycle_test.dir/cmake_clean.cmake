@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracing_lifecycle_test.dir/tracing/lifecycle_test.cpp.o"
+  "CMakeFiles/tracing_lifecycle_test.dir/tracing/lifecycle_test.cpp.o.d"
+  "tracing_lifecycle_test"
+  "tracing_lifecycle_test.pdb"
+  "tracing_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracing_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracing_security_test.dir/tracing/security_test.cpp.o"
+  "CMakeFiles/tracing_security_test.dir/tracing/security_test.cpp.o.d"
+  "tracing_security_test"
+  "tracing_security_test.pdb"
+  "tracing_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracing_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracing_unit_test.dir/tracing/token_test.cpp.o"
+  "CMakeFiles/tracing_unit_test.dir/tracing/token_test.cpp.o.d"
+  "tracing_unit_test"
+  "tracing_unit_test.pdb"
+  "tracing_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracing_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport/link_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/link_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/link_test.cpp.o.d"
+  "/root/repo/tests/transport/realtime_network_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/realtime_network_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/realtime_network_test.cpp.o.d"
+  "/root/repo/tests/transport/virtual_network_test.cpp" "tests/CMakeFiles/transport_test.dir/transport/virtual_network_test.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/virtual_network_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/et_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

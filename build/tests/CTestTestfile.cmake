@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/tracing_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/tracing_security_test[1]_include.cmake")
+include("/root/repo/build/tests/pubsub_test[1]_include.cmake")
+include("/root/repo/build/tests/discovery_test[1]_include.cmake")
+include("/root/repo/build/tests/tracing_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_property_test[1]_include.cmake")
+include("/root/repo/build/tests/pubsub_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/tracing_interest_test[1]_include.cmake")
+include("/root/repo/build/tests/realtime_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tracing_lifecycle_test[1]_include.cmake")
+include("/root/repo/build/tests/discovery_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_tdn_test[1]_include.cmake")
