@@ -79,6 +79,24 @@ class PaperTable {
     std::fflush(stdout);
   }
 
+  /// Machine-readable mirror of print(): one JSON object per line, so a
+  /// BENCH_<name>.json trajectory can be scraped from stdout. All values
+  /// are milliseconds.
+  void print_json(const std::string& bench) const {
+    std::printf("{\"bench\":\"%s\",\"title\":\"%s\",\"rows\":[",
+                bench.c_str(), title_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const auto& [label, s] = rows_[i];
+      std::printf(
+          "%s{\"label\":\"%s\",\"mean_ms\":%.6f,\"stddev_ms\":%.6f,"
+          "\"stderr_ms\":%.6f,\"n\":%zu}",
+          i ? "," : "", label.c_str(), s.mean(), s.stddev(),
+          s.stderr_of_mean(), s.count());
+    }
+    std::printf("]}\n");
+    std::fflush(stdout);
+  }
+
  private:
   std::string title_;
   std::vector<std::pair<std::string, RunningStats>> rows_;
@@ -129,7 +147,8 @@ class Deployment {
                    ? topology_->make_chain(broker_count, link_)
                    : topology_->make_star(broker_count - 1, link_);
     for (std::size_t i = 0; i < brokers_.size(); ++i) {
-      tracing::install_trace_filter(*brokers_[i], anchors_);
+      token_caches_.push_back(
+          tracing::install_trace_filter(*brokers_[i], anchors_, config_));
       services_.push_back(std::make_unique<tracing::TracingBrokerService>(
           *brokers_[i], anchors_, config_, seed + 100 + i));
     }
@@ -214,6 +233,11 @@ class Deployment {
   [[nodiscard]] tracing::TracingBrokerService& service(std::size_t i) {
     return *services_[i];
   }
+  /// Broker i's token-verification cache (nullptr when disabled).
+  [[nodiscard]] const std::shared_ptr<tracing::TokenVerifyCache>&
+  token_cache(std::size_t i) const {
+    return token_caches_.at(i);
+  }
   [[nodiscard]] const tracing::TrustAnchors& anchors() const {
     return anchors_;
   }
@@ -239,6 +263,7 @@ class Deployment {
   std::unique_ptr<pubsub::Topology> topology_;
   std::vector<pubsub::Broker*> brokers_;
   std::vector<std::unique_ptr<tracing::TracingBrokerService>> services_;
+  std::vector<std::shared_ptr<tracing::TokenVerifyCache>> token_caches_;
 };
 
 /// Measures end-to-end trace latency: the entity flips its state, and we

@@ -41,9 +41,9 @@ bool topic_has_prefix(std::string_view topic, std::string_view prefix) {
   return true;
 }
 
-bool topic_matches(std::string_view pattern, std::string_view topic) {
-  const auto p = split_topic(pattern);
-  const auto t = split_topic(topic);
+bool topic_matches(const TopicPath& pattern, const TopicPath& topic) {
+  const auto& p = pattern.segments();
+  const auto& t = topic.segments();
   std::size_t i = 0;
   for (; i < p.size(); ++i) {
     if (p[i] == "#") {
@@ -56,6 +56,10 @@ bool topic_matches(std::string_view pattern, std::string_view topic) {
     if (p[i] != t[i]) return false;
   }
   return i == t.size();
+}
+
+bool topic_matches(std::string_view pattern, std::string_view topic) {
+  return topic_matches(TopicPath(pattern), TopicPath(topic));
 }
 
 bool is_valid_topic(std::string_view topic) {

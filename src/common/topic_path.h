@@ -7,6 +7,11 @@
 // wildcard matching. The constrained-topic *grammar* (element defaults,
 // allowed actions) lives in src/pubsub/constrained_topic.h; this file is
 // pure string mechanics.
+//
+// Hot-path note: matching a topic against N registered patterns used to
+// re-split the topic string N times. `TopicPath` is the split-once form —
+// brokers parse each inbound topic (and each registered pattern) exactly
+// once and match segment vectors from then on.
 #pragma once
 
 #include <string>
@@ -25,6 +30,34 @@ std::string join_topic(const std::vector<std::string>& segments);
 /// Canonical form: segments joined with '/', no leading/trailing slash.
 std::string normalize_topic(std::string_view topic);
 
+/// A topic (or subscription pattern) split into segments exactly once.
+/// Equal topics have equal segment vectors regardless of leading/doubled
+/// slashes in the source string.
+class TopicPath {
+ public:
+  TopicPath() = default;
+  explicit TopicPath(std::string_view topic) : segments_(split_topic(topic)) {}
+  explicit TopicPath(std::vector<std::string> segments)
+      : segments_(std::move(segments)) {}
+
+  [[nodiscard]] const std::vector<std::string>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] std::size_t size() const { return segments_.size(); }
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+  [[nodiscard]] const std::string& operator[](std::size_t i) const {
+    return segments_[i];
+  }
+
+  /// Canonical string form (equals normalize_topic of the source).
+  [[nodiscard]] std::string canonical() const { return join_topic(segments_); }
+
+  friend bool operator==(const TopicPath&, const TopicPath&) = default;
+
+ private:
+  std::vector<std::string> segments_;
+};
+
 /// True when `topic` equals or is hierarchically below `prefix`
 /// (segment-wise; "a/b" is under "a", "ab" is not).
 bool topic_has_prefix(std::string_view topic, std::string_view prefix);
@@ -33,6 +66,7 @@ bool topic_has_prefix(std::string_view topic, std::string_view prefix);
 ///   `*`  matches exactly one segment,
 ///   `#`  (only as the last segment) matches zero or more segments.
 /// Exact segments match case-sensitively.
+bool topic_matches(const TopicPath& pattern, const TopicPath& topic);
 bool topic_matches(std::string_view pattern, std::string_view topic);
 
 /// True when every segment is non-empty printable ASCII without whitespace.

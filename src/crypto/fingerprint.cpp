@@ -1,0 +1,20 @@
+#include "src/crypto/fingerprint.h"
+
+#include <algorithm>
+
+#include "src/crypto/sha256.h"
+
+namespace et::crypto {
+
+std::string Fingerprint256::to_hex() const {
+  return hex_encode(BytesView(bytes.data(), bytes.size()));
+}
+
+Fingerprint256 fingerprint(BytesView data) {
+  const Bytes digest = Sha256::digest(data);
+  Fingerprint256 fp;
+  std::copy(digest.begin(), digest.end(), fp.bytes.begin());
+  return fp;
+}
+
+}  // namespace et::crypto

@@ -1,0 +1,45 @@
+// Content fingerprints: fixed-size SHA-256 digests usable as map keys.
+//
+// The tracing layer keys its per-hop token-verification cache by the
+// fingerprint of the raw serialized token, so byte-identical tokens —
+// the common case for every trace a hosting broker emits during one
+// validity window — collapse onto a single cache entry. A fingerprint
+// commits to the exact bytes: two tokens differing in any bit (including
+// a tampered signature) get different fingerprints, so a forged variant
+// can never alias a genuine token's cached verdict.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace et::crypto {
+
+/// 256-bit content fingerprint (a SHA-256 digest) with value semantics.
+struct Fingerprint256 {
+  std::array<std::uint8_t, 32> bytes{};
+
+  friend bool operator==(const Fingerprint256&,
+                         const Fingerprint256&) = default;
+
+  /// Lower-case hex rendering (for logs and stats dumps).
+  [[nodiscard]] std::string to_hex() const;
+};
+
+/// Fingerprints `data` with SHA-256.
+[[nodiscard]] Fingerprint256 fingerprint(BytesView data);
+
+/// Hasher for unordered containers. The digest is already uniformly
+/// distributed, so the first eight bytes serve directly as the hash.
+struct Fingerprint256Hash {
+  std::size_t operator()(const Fingerprint256& f) const noexcept {
+    std::uint64_t h;
+    std::memcpy(&h, f.bytes.data(), sizeof(h));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace et::crypto

@@ -22,8 +22,9 @@ void Broker::peer(NodeId other) { neighbours_.insert(other); }
 
 void Broker::subscribe_local(const std::string& pattern, LocalHandler handler,
                              bool local_only) {
-  const std::string norm = normalize_topic(pattern);
-  local_services_.emplace_back(norm, std::move(handler));
+  TopicPath compiled(pattern);
+  const std::string norm = compiled.canonical();
+  local_services_.push_back({norm, std::move(compiled), std::move(handler)});
   // Register interest network-wide so remote publications reach us. The
   // broker itself is the subscriber; constrained Subscribe-Only/Broker
   // topics permit exactly this. Suppressed subscriptions stay local.
@@ -206,7 +207,11 @@ void Broker::handle_publish(NodeId from, Frame f) {
     return;
   }
   Message& m = *f.message;
-  m.topic = normalize_topic(m.topic);
+  // Split and grammar-parse the topic exactly once; every downstream step
+  // (edge enforcement, suppress check, routing) reuses the parsed forms.
+  const TopicPath path(m.topic);
+  m.topic = path.canonical();
+  const std::optional<ConstrainedTopic> ct = ConstrainedTopic::parse(path);
 
   const bool from_broker = is_neighbour(from);
   if (!from_broker) {
@@ -218,7 +223,7 @@ void Broker::handle_publish(NodeId from, Frame f) {
       return;
     }
     const Status allowed = check_constrained_action(
-        m.topic, TopicAction::kPublish, /*actor_is_broker=*/false, actor);
+        ct, TopicAction::kPublish, /*actor_is_broker=*/false, actor);
     if (!allowed.is_ok()) {
       ++stats_.discarded;
       send_frame(from, make_error(2, allowed.to_string(), 0));
@@ -240,10 +245,17 @@ void Broker::handle_publish(NodeId from, Frame f) {
   }
 
   ++stats_.published;
-  route(m, from);
+  route(m, from, path, ct);
 }
 
 void Broker::route(const Message& m, NodeId arrived_from) {
+  const TopicPath path(m.topic);
+  route(m, arrived_from, path, ConstrainedTopic::parse(path));
+}
+
+void Broker::route(const Message& m, NodeId arrived_from,
+                   const TopicPath& path,
+                   const std::optional<ConstrainedTopic>& ct) {
   // Local services (tracing broker, etc.). Handlers may register further
   // local services while running (a trace registration subscribes the
   // session topics), so iterate by index and copy the handler: the vector
@@ -251,14 +263,14 @@ void Broker::route(const Message& m, NodeId arrived_from) {
   // the current message.
   const std::size_t service_count = local_services_.size();
   for (std::size_t i = 0; i < service_count; ++i) {
-    if (topic_matches(local_services_[i].first, m.topic)) {
-      LocalHandler handler = local_services_[i].second;
+    if (topic_matches(local_services_[i].compiled, path)) {
+      LocalHandler handler = local_services_[i].handler;
       handler(m);
     }
   }
 
   // Local clients.
-  for (const NodeId client : local_subs_.match(m.topic)) {
+  for (const NodeId client : local_subs_.match(path)) {
     if (client == node_ || client == arrived_from) continue;
     ++stats_.delivered_local;
     send_frame(client, make_publish(m));
@@ -266,14 +278,13 @@ void Broker::route(const Message& m, NodeId arrived_from) {
 
   // Suppress distribution: a constrainer's Publish-Only publications stay
   // on this broker.
-  if (const auto ct = ConstrainedTopic::parse(m.topic);
-      ct && ct->distribution == Distribution::kSuppress &&
+  if (ct && ct->distribution == Distribution::kSuppress &&
       ct->allowed == AllowedActions::kPublishOnly) {
     return;
   }
 
   // Neighbour brokers with matching interest (split horizon).
-  for (const NodeId n : remote_subs_.match(m.topic)) {
+  for (const NodeId n : remote_subs_.match(path)) {
     if (n == arrived_from) continue;
     ++stats_.forwarded;
     send_frame(n, make_publish(m));

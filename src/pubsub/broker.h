@@ -29,10 +29,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/common/topic_path.h"
 #include "src/pubsub/constrained_topic.h"
 #include "src/pubsub/message.h"
 #include "src/pubsub/subscription.h"
@@ -120,6 +122,11 @@ class Broker {
   void handle_unsubscribe(transport::NodeId from, const Frame& f);
   void handle_publish(transport::NodeId from, Frame f);
   void route(const Message& m, transport::NodeId arrived_from);
+  /// Hot-path routing over a topic that was split and grammar-parsed once
+  /// by the caller (handle_publish); the plain overload computes both.
+  void route(const Message& m, transport::NodeId arrived_from,
+             const TopicPath& path,
+             const std::optional<ConstrainedTopic>& ct);
   void send_frame(transport::NodeId to, const Frame& f);
   [[nodiscard]] bool is_neighbour(transport::NodeId id) const {
     return neighbours_.contains(id);
@@ -134,7 +141,12 @@ class Broker {
   std::map<transport::NodeId, std::string> clients_;  // node -> entity id
   SubscriptionTable local_subs_;   // clients attached here
   SubscriptionTable remote_subs_;  // neighbour brokers' interest
-  std::vector<std::pair<std::string, LocalHandler>> local_services_;
+  struct LocalService {
+    std::string pattern;
+    TopicPath compiled;  // pattern split once at registration
+    LocalHandler handler;
+  };
+  std::vector<LocalService> local_services_;
   MessageFilter filter_;
   ClientUnreachableHandler unreachable_handler_;
   std::map<transport::NodeId, int> strikes_;

@@ -58,7 +58,12 @@ bool is_constrained_topic(std::string_view topic) {
 
 std::optional<ConstrainedTopic> ConstrainedTopic::parse(
     std::string_view topic) {
-  const auto segs = split_topic(topic);
+  return parse(TopicPath(topic));
+}
+
+std::optional<ConstrainedTopic> ConstrainedTopic::parse(
+    const TopicPath& topic) {
+  const auto& segs = topic.segments();
   if (segs.empty() || segs[0] != kKeyword) return std::nullopt;
 
   ConstrainedTopic ct;
@@ -137,7 +142,13 @@ std::string ConstrainedTopic::to_topic() const {
 Status check_constrained_action(std::string_view topic, TopicAction action,
                                 bool actor_is_broker,
                                 std::string_view actor_id) {
-  const auto ct = ConstrainedTopic::parse(topic);
+  return check_constrained_action(ConstrainedTopic::parse(topic), action,
+                                  actor_is_broker, actor_id);
+}
+
+Status check_constrained_action(const std::optional<ConstrainedTopic>& ct,
+                                TopicAction action, bool actor_is_broker,
+                                std::string_view actor_id) {
   if (!ct) return Status::ok();  // unconstrained topic
 
   const bool actor_is_constrainer =

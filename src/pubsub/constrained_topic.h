@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/topic_path.h"
 
 namespace et::pubsub {
 
@@ -72,6 +73,10 @@ struct ConstrainedTopic {
   /// Parses `topic`. Returns nullopt when the topic is not constrained
   /// (doesn't start with the `Constrained` keyword).
   static std::optional<ConstrainedTopic> parse(std::string_view topic);
+
+  /// Same grammar over an already-split topic (the broker's hot path
+  /// splits each inbound topic once and reuses the TopicPath everywhere).
+  static std::optional<ConstrainedTopic> parse(const TopicPath& topic);
 };
 
 /// True when `topic` starts with the Constrained keyword.
@@ -85,6 +90,12 @@ enum class TopicAction : std::uint8_t { kPublish, kSubscribe };
 /// claimed entity id. Non-constrained topics always allow.
 Status check_constrained_action(std::string_view topic, TopicAction action,
                                 bool actor_is_broker,
+                                std::string_view actor_id);
+
+/// Same decision over a pre-parsed topic (nullopt = unconstrained, always
+/// allowed); avoids re-running the grammar when the caller already has it.
+Status check_constrained_action(const std::optional<ConstrainedTopic>& ct,
+                                TopicAction action, bool actor_is_broker,
                                 std::string_view actor_id);
 
 /// Builders for the specific constrained topics the tracing scheme uses.

@@ -1,14 +1,15 @@
 #include "src/pubsub/subscription.h"
 
-#include "src/common/topic_path.h"
-
 namespace et::pubsub {
 
 bool SubscriptionTable::add(const std::string& pattern,
                             transport::NodeId endpoint) {
-  auto& subs = table_[normalize_topic(pattern)];
-  const bool first = subs.empty();
-  subs.insert(endpoint);
+  TopicPath compiled(pattern);
+  std::string norm = compiled.canonical();
+  auto [it, inserted] = table_.try_emplace(std::move(norm));
+  if (inserted) it->second.compiled = std::move(compiled);
+  const bool first = it->second.subs.empty();
+  it->second.subs.insert(endpoint);
   return first;
 }
 
@@ -16,8 +17,8 @@ bool SubscriptionTable::remove(const std::string& pattern,
                                transport::NodeId endpoint) {
   const auto it = table_.find(normalize_topic(pattern));
   if (it == table_.end()) return false;
-  it->second.erase(endpoint);
-  if (it->second.empty()) {
+  it->second.subs.erase(endpoint);
+  if (it->second.subs.empty()) {
     table_.erase(it);
     return true;
   }
@@ -28,8 +29,8 @@ std::vector<std::string> SubscriptionTable::remove_endpoint(
     transport::NodeId endpoint) {
   std::vector<std::string> emptied;
   for (auto it = table_.begin(); it != table_.end();) {
-    it->second.erase(endpoint);
-    if (it->second.empty()) {
+    it->second.subs.erase(endpoint);
+    if (it->second.subs.empty()) {
       emptied.push_back(it->first);
       it = table_.erase(it);
     } else {
@@ -40,19 +41,19 @@ std::vector<std::string> SubscriptionTable::remove_endpoint(
 }
 
 std::set<transport::NodeId> SubscriptionTable::match(
-    std::string_view topic) const {
+    const TopicPath& topic) const {
   std::set<transport::NodeId> out;
-  for (const auto& [pattern, subs] : table_) {
-    if (topic_matches(pattern, topic)) {
-      out.insert(subs.begin(), subs.end());
+  for (const auto& [pattern, entry] : table_) {
+    if (topic_matches(entry.compiled, topic)) {
+      out.insert(entry.subs.begin(), entry.subs.end());
     }
   }
   return out;
 }
 
-bool SubscriptionTable::any_match(std::string_view topic) const {
-  for (const auto& [pattern, subs] : table_) {
-    if (topic_matches(pattern, topic)) return true;
+bool SubscriptionTable::any_match(const TopicPath& topic) const {
+  for (const auto& [pattern, entry] : table_) {
+    if (topic_matches(entry.compiled, topic)) return true;
   }
   return false;
 }
@@ -60,14 +61,16 @@ bool SubscriptionTable::any_match(std::string_view topic) const {
 std::vector<std::string> SubscriptionTable::patterns() const {
   std::vector<std::string> out;
   out.reserve(table_.size());
-  for (const auto& [pattern, subs] : table_) out.push_back(pattern);
+  for (const auto& [pattern, entry] : table_) out.push_back(pattern);
   return out;
 }
 
 bool SubscriptionTable::endpoint_matches(transport::NodeId endpoint,
-                                         std::string_view topic) const {
-  for (const auto& [pattern, subs] : table_) {
-    if (subs.contains(endpoint) && topic_matches(pattern, topic)) return true;
+                                         const TopicPath& topic) const {
+  for (const auto& [pattern, entry] : table_) {
+    if (entry.subs.contains(endpoint) && topic_matches(entry.compiled, topic)) {
+      return true;
+    }
   }
   return false;
 }

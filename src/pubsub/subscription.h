@@ -7,9 +7,12 @@
 //     used by reverse-path forwarding over the (acyclic) broker overlay.
 //
 // Patterns are hierarchical topics with optional wildcards (see
-// common/topic_path.h). Matching walks all registered patterns; broker
-// fan-outs in this system are small enough that an index is unnecessary
-// (the micro benchmark bench_micro tracks the cost).
+// common/topic_path.h). Each pattern is split into segments once, at
+// registration; matching walks the precompiled patterns against a
+// split-once TopicPath of the inbound topic, so routing one message
+// across all tables splits the topic exactly once (bench_micro tracks
+// the cost). Broker fan-outs are small enough that a trie/index is still
+// unnecessary.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/topic_path.h"
 #include "src/transport/network.h"
 
 namespace et::pubsub {
@@ -39,11 +43,17 @@ class SubscriptionTable {
   std::vector<std::string> remove_endpoint(transport::NodeId endpoint);
 
   /// All endpoints whose patterns match `topic` (deduplicated).
+  [[nodiscard]] std::set<transport::NodeId> match(const TopicPath& topic) const;
   [[nodiscard]] std::set<transport::NodeId> match(
-      std::string_view topic) const;
+      std::string_view topic) const {
+    return match(TopicPath(topic));
+  }
 
   /// True when at least one pattern matches `topic`.
-  [[nodiscard]] bool any_match(std::string_view topic) const;
+  [[nodiscard]] bool any_match(const TopicPath& topic) const;
+  [[nodiscard]] bool any_match(std::string_view topic) const {
+    return any_match(TopicPath(topic));
+  }
 
   /// All patterns currently registered (for interest propagation to a
   /// newly joined neighbour).
@@ -51,12 +61,21 @@ class SubscriptionTable {
 
   /// True when `endpoint` holds a subscription matching `topic`.
   [[nodiscard]] bool endpoint_matches(transport::NodeId endpoint,
-                                      std::string_view topic) const;
+                                      const TopicPath& topic) const;
+  [[nodiscard]] bool endpoint_matches(transport::NodeId endpoint,
+                                      std::string_view topic) const {
+    return endpoint_matches(endpoint, TopicPath(topic));
+  }
 
   [[nodiscard]] std::size_t pattern_count() const { return table_.size(); }
 
  private:
-  std::map<std::string, std::set<transport::NodeId>> table_;
+  struct Entry {
+    TopicPath compiled;  // pattern split once at registration
+    std::set<transport::NodeId> subs;
+  };
+
+  std::map<std::string, Entry> table_;
 };
 
 }  // namespace et::pubsub

@@ -68,6 +68,17 @@ struct TracingConfig {
   bool auto_renew_tokens = true;
   /// Trace-topic advertisement lifetime at the TDN.
   Duration topic_lifetime = 3600 * kSecond;
+  /// Per-hop token-verification cache capacity (distinct tokens). The
+  /// paper notes brokers may "keep track of previously computed
+  /// verifications" (§4.3); 0 disables the cache and every trace pays the
+  /// full RSA chain again.
+  std::size_t token_cache_capacity = 1024;
+  /// Upper bound on reusing a cached verification verdict without
+  /// re-running the full chain. Bounds the window during which an
+  /// advertisement or credential that expired *after* the token was
+  /// verified could still be honoured; token windows themselves are
+  /// re-checked on every hit.
+  Duration token_cache_ttl = 60 * kSecond;
 };
 
 }  // namespace et::tracing

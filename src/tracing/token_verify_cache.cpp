@@ -1,0 +1,93 @@
+#include "src/tracing/token_verify_cache.h"
+
+namespace et::tracing {
+
+TokenVerifyCache::Lookup TokenVerifyCache::lookup(
+    const crypto::Fingerprint256& fp, TimePoint now, Duration skew) {
+  Lookup out;
+  const auto it = index_.find(fp);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return out;
+  }
+  Entry& e = *it->second;
+  // TTL bound: after `stale_at` the verdict must be recomputed from
+  // scratch (bounds how long an upstream revocation can be missed).
+  if (now >= e.stale_at) {
+    ++stats_.expired;
+    entries_.erase(it->second);
+    index_.erase(it);
+    return out;
+  }
+  if (e.ok) {
+    // The token's own validity window is re-evaluated on every hit with
+    // the same skew rule as AuthorizationToken::verify. A lapsed window
+    // drops the entry: the caller's full re-verification produces the
+    // authoritative "expired" rejection.
+    if (now + skew < e.token.valid_from() ||
+        now - skew >= e.token.valid_until()) {
+      ++stats_.expired;
+      entries_.erase(it->second);
+      index_.erase(it);
+      return out;
+    }
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it->second);  // touch LRU
+    out.kind = Lookup::Kind::kOk;
+    out.token = &entries_.front().token;
+    return out;
+  }
+  ++stats_.negative_hits;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  out.kind = Lookup::Kind::kRejected;
+  out.status = entries_.front().verdict;
+  return out;
+}
+
+const AuthorizationToken* TokenVerifyCache::store_ok(
+    const crypto::Fingerprint256& fp, AuthorizationToken token,
+    TimePoint now) {
+  if (capacity_ == 0) return nullptr;
+  Entry e;
+  e.fp = fp;
+  e.ok = true;
+  e.token = std::move(token);
+  e.stale_at = now + ttl_;
+  if (const auto it = index_.find(fp); it != index_.end()) {
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+  entries_.push_front(std::move(e));
+  index_[fp] = entries_.begin();
+  ++stats_.insertions;
+  evict_to_capacity();
+  return &entries_.front().token;
+}
+
+void TokenVerifyCache::store_rejected(const crypto::Fingerprint256& fp,
+                                      Status verdict, TimePoint now) {
+  if (capacity_ == 0) return;
+  Entry e;
+  e.fp = fp;
+  e.ok = false;
+  e.verdict = std::move(verdict);
+  e.stale_at = now + ttl_;
+  if (const auto it = index_.find(fp); it != index_.end()) {
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+  entries_.push_front(std::move(e));
+  index_[fp] = entries_.begin();
+  ++stats_.insertions;
+  evict_to_capacity();
+}
+
+void TokenVerifyCache::evict_to_capacity() {
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().fp);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace et::tracing

@@ -1,13 +1,38 @@
 #include "src/tracing/trace_filter.h"
 
+#include <utility>
+
+#include "src/crypto/fingerprint.h"
 #include "src/tracing/authorization_token.h"
 
 namespace et::tracing {
 
+namespace {
+
+// May this rejection be replayed for a byte-identical resend? Signature
+// -chain failures (unauthenticated / permission-denied) are deterministic
+// over the bytes and the (fixed) trust anchors. Of the time-dependent
+// kExpired rejections only a lapsed token window is monotonic — a
+// not-yet-valid token or a transiently out-of-window credential must be
+// re-verified later, so those are never cached.
+bool rejection_is_deterministic(const Status& s, const AuthorizationToken& t,
+                                TimePoint now, Duration skew) {
+  if (s.code() != Code::kExpired) return true;
+  return now - skew >= t.valid_until();
+}
+
+}  // namespace
+
 pubsub::MessageFilter make_trace_filter(const TrustAnchors& anchors,
                                         transport::NetworkBackend& backend) {
-  return [anchors, &backend](const pubsub::Message& m,
-                             transport::NodeId) -> Status {
+  return make_trace_filter(anchors, backend, nullptr);
+}
+
+pubsub::MessageFilter make_trace_filter(
+    const TrustAnchors& anchors, transport::NetworkBackend& backend,
+    std::shared_ptr<TokenVerifyCache> cache) {
+  return [anchors, &backend, cache = std::move(cache)](
+             const pubsub::Message& m, transport::NodeId) -> Status {
     const auto ct = pubsub::ConstrainedTopic::parse(m.topic);
     if (!ct || ct->event_type != "Traces" || !ct->constrainer_is_broker() ||
         ct->allowed != pubsub::AllowedActions::kPublishOnly) {
@@ -17,36 +42,76 @@ pubsub::MessageFilter make_trace_filter(const TrustAnchors& anchors,
     if (m.auth_token.empty()) {
       return unauthenticated("trace message without authorization token");
     }
-    AuthorizationToken token;
-    try {
-      token = AuthorizationToken::deserialize(m.auth_token);
-    } catch (const SerializeError& e) {
-      return unauthenticated(std::string("malformed token: ") + e.what());
+
+    const TimePoint now = backend.now();
+    const AuthorizationToken* token = nullptr;
+    AuthorizationToken parsed;
+    crypto::Fingerprint256 fp;
+    if (cache) {
+      fp = crypto::fingerprint(m.auth_token);
+      const TokenVerifyCache::Lookup cached = cache->lookup(fp, now);
+      if (cached.kind == TokenVerifyCache::Lookup::Kind::kRejected) {
+        return cached.status;
+      }
+      if (cached.kind == TokenVerifyCache::Lookup::Kind::kOk) {
+        token = cached.token;
+      }
     }
-    if (const Status s =
-            token.verify(anchors.tdn_key, anchors.ca_key, backend.now());
-        !s.is_ok()) {
-      return s;
+
+    if (token == nullptr) {
+      try {
+        parsed = AuthorizationToken::deserialize(m.auth_token);
+      } catch (const SerializeError& e) {
+        // Malformed bytes are never cached: rejecting them is already
+        // cheap, and an attacker flooding garbage must not be able to
+        // thrash good entries out of the LRU.
+        return unauthenticated(std::string("malformed token: ") + e.what());
+      }
+      if (const Status s =
+              parsed.verify(anchors.tdn_key, anchors.ca_key, now);
+          !s.is_ok()) {
+        if (cache && rejection_is_deterministic(s, parsed, now,
+                                                kDefaultSkewAllowance)) {
+          cache->store_rejected(fp, s, now);
+        }
+        return s;
+      }
+      if (cache && cache->capacity() > 0) {
+        token = cache->store_ok(fp, std::move(parsed), now);
+      } else {
+        token = &parsed;
+      }
     }
-    if (token.rights() != TokenRights::kPublish) {
+
+    // Per-message checks: cheap, and dependent on the message rather than
+    // the token bytes alone, so they run on cache hits too.
+    if (token->rights() != TokenRights::kPublish) {
       return permission_denied("token does not grant publish rights");
     }
     // The token must authorize THIS topic: the first suffix segment of a
     // trace-publication topic is the trace-topic UUID.
     if (ct->suffixes.empty() ||
-        ct->suffixes.front() != token.trace_topic().to_string()) {
+        ct->suffixes.front() != token->trace_topic().to_string()) {
       return permission_denied("token is for a different trace topic");
     }
-    if (!token.verify_delegate_signature(m.signable_bytes(), m.signature)) {
+    if (!token->verify_delegate_signature(m.signable_bytes(), m.signature)) {
       return unauthenticated("trace message not signed by the delegate key");
     }
     return Status::ok();
   };
 }
 
-void install_trace_filter(pubsub::Broker& broker,
-                          const TrustAnchors& anchors) {
-  broker.set_message_filter(make_trace_filter(anchors, broker.backend()));
+std::shared_ptr<TokenVerifyCache> install_trace_filter(
+    pubsub::Broker& broker, const TrustAnchors& anchors,
+    const TracingConfig& config) {
+  std::shared_ptr<TokenVerifyCache> cache;
+  if (config.token_cache_capacity > 0) {
+    cache = std::make_shared<TokenVerifyCache>(config.token_cache_capacity,
+                                               config.token_cache_ttl);
+  }
+  broker.set_message_filter(
+      make_trace_filter(anchors, broker.backend(), cache));
+  return cache;
 }
 
 }  // namespace et::tracing

@@ -9,18 +9,43 @@
 //   * whose delegate key verifies the message signature.
 // Anything else is discarded and counted as misbehaviour of the sending
 // peer — repeated offences get the peer disconnected by the broker.
+//
+// Per-hop fast path: the first three bullet points depend only on the
+// token bytes, which are identical for every trace a hosting broker emits
+// during one validity window. With a TokenVerifyCache installed, the RSA
+// chain (advertisement, credential, owner signature) runs once per
+// (token, validity window) and only the per-message delegate-signature
+// check runs for each trace. See token_verify_cache.h for the caching
+// rules that keep this safe.
 #pragma once
+
+#include <memory>
 
 #include "src/pubsub/broker.h"
 #include "src/tracing/config.h"
+#include "src/tracing/token_verify_cache.h"
 
 namespace et::tracing {
 
-/// Builds the filter; `backend` supplies the verification clock.
+/// Builds the uncached (reference) filter; `backend` supplies the
+/// verification clock. Every message pays the full verification chain.
 pubsub::MessageFilter make_trace_filter(const TrustAnchors& anchors,
                                         transport::NetworkBackend& backend);
 
-/// Convenience: installs make_trace_filter on `broker`.
-void install_trace_filter(pubsub::Broker& broker, const TrustAnchors& anchors);
+/// Builds the filter with a token-verification cache. `cache` may be
+/// nullptr (equivalent to the uncached filter). The cache must outlive
+/// the filter and, like the broker it serves, is touched only from that
+/// broker's node context.
+pubsub::MessageFilter make_trace_filter(
+    const TrustAnchors& anchors, transport::NetworkBackend& backend,
+    std::shared_ptr<TokenVerifyCache> cache);
+
+/// Convenience: installs make_trace_filter on `broker`, sized per
+/// `config` (token_cache_capacity / token_cache_ttl). Returns the
+/// broker's cache so callers can read its stats alongside BrokerStats;
+/// nullptr when the config disables caching.
+std::shared_ptr<TokenVerifyCache> install_trace_filter(
+    pubsub::Broker& broker, const TrustAnchors& anchors,
+    const TracingConfig& config = {});
 
 }  // namespace et::tracing

@@ -1,6 +1,7 @@
 #include "src/tracing/traced_entity.h"
 
 #include <memory>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/pubsub/constrained_topic.h"
@@ -56,14 +57,20 @@ void TracedEntity::start_tracing(discovery::DiscoveryRestrictions restrictions,
 }
 
 void TracedEntity::register_with_broker(ReadyCallback on_ready) {
-  // Step 2 prep: listen for the response before asking (§3.2).
-  const std::string response_topic = "Constrained/Traces/" + identity_.id +
-                                     "/Subscribe-Only/RegistrationResponse";
-  auto shared_ready = std::make_shared<ReadyCallback>(std::move(on_ready));
-  client_.subscribe(response_topic,
-                    [this, shared_ready](const pubsub::Message& m) {
-                      on_registration_response(m, *shared_ready);
-                    });
+  // A re-registration abandons any registration still in flight; its
+  // callback must not fire later against a response meant for this one.
+  pending_ready_ = std::move(on_ready);
+  // Step 2 prep: listen for the response before asking (§3.2). Subscribe
+  // once — the client keeps every handler ever registered for a pattern,
+  // so re-subscribing here would replay responses into stale callbacks.
+  if (!registration_subscribed_) {
+    registration_subscribed_ = true;
+    const std::string response_topic = "Constrained/Traces/" + identity_.id +
+                                       "/Subscribe-Only/RegistrationResponse";
+    client_.subscribe(response_topic, [this](const pubsub::Message& m) {
+      on_registration_response(m);
+    });
+  }
 
   RegistrationRequest req;
   req.entity_id = identity_.id;
@@ -83,8 +90,7 @@ void TracedEntity::register_with_broker(ReadyCallback on_ready) {
   client_.publish(std::move(m));
 }
 
-void TracedEntity::on_registration_response(const pubsub::Message& m,
-                                            ReadyCallback on_ready) {
+void TracedEntity::on_registration_response(const pubsub::Message& m) {
   if (active_) return;  // duplicate delivery after success
   if (!m.encrypted) {
     // Plaintext responses are error reports {request_id, message}.
@@ -94,7 +100,9 @@ void TracedEntity::on_registration_response(const pubsub::Message& m,
       const std::string error = r.str();
       if (req_id != registration_request_id_) return;
       ET_LOG(kInfo) << identity_.id << ": registration rejected: " << error;
-      if (on_ready) on_ready(unauthenticated(error));
+      if (auto cb = std::exchange(pending_ready_, nullptr)) {
+        cb(unauthenticated(error));
+      }
     } catch (const SerializeError&) {
     }
     return;
@@ -120,7 +128,7 @@ void TracedEntity::on_registration_response(const pubsub::Message& m,
                            session_id_.to_string()),
       [this](const pubsub::Message& ping) { on_ping(ping); });
 
-  deliver_delegation(std::move(on_ready));
+  deliver_delegation(std::exchange(pending_ready_, nullptr));
 }
 
 void TracedEntity::deliver_delegation(ReadyCallback on_ready) {

@@ -101,8 +101,7 @@ class TracedEntity {
 
  private:
   void register_with_broker(ReadyCallback on_ready);
-  void on_registration_response(const pubsub::Message& m,
-                                ReadyCallback on_ready);
+  void on_registration_response(const pubsub::Message& m);
   void deliver_delegation(ReadyCallback on_ready);
   void on_ping(const pubsub::Message& m);
   /// Sends a session message, authenticated per the configured mode.
@@ -123,6 +122,10 @@ class TracedEntity {
   crypto::SecretKey session_key_;
   crypto::SecretKey trace_key_;
   std::uint64_t registration_request_id_ = 0;
+  /// Completion callback of the registration in flight; consumed exactly
+  /// once per attempt (re-registration replaces it).
+  ReadyCallback pending_ready_;
+  bool registration_subscribed_ = false;
   std::uint64_t sequence_ = 0;
   transport::TimerId renewal_timer_ = 0;
   bool active_ = false;

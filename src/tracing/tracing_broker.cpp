@@ -263,9 +263,13 @@ void TracingBrokerService::handle_session_message(const Uuid& session_id,
       p.type = TraceType::kRevertingToSilentMode;
       p.entity_id = s.entity_id;
       publish_trace(s, std::move(p));
-      remove_session(s);
-      by_entity_.erase(s.entity_id);
-      sessions_.erase(session_id);
+      // The publish may reentrantly tear down this session (see
+      // on_ping_timer); only tear down here if it is still live.
+      if (sessions_.contains(session_id)) {
+        remove_session(s);
+        by_entity_.erase(s.entity_id);
+        sessions_.erase(session_id);
+      }
       break;
     }
     default:
@@ -370,6 +374,12 @@ void TracingBrokerService::on_ping_timer(const Uuid& session_id) {
   broker_.publish_from_broker(std::move(m));
   ++stats_.pings_sent;
 
+  // Delivering to a client whose link just vanished reentrantly fires the
+  // unreachable handler, which may erase this very session; `s` would
+  // dangle (other map entries are unaffected — std::map references are
+  // stable across foreign erases).
+  if (!sessions_.contains(session_id)) return;
+
   s.outstanding[ping.ping_number] = now;
   s.window.push_back(PingRecord{ping.ping_number, now, false, 0, false});
   while (s.window.size() > static_cast<std::size_t>(config_.ping_history)) {
@@ -451,6 +461,9 @@ void TracingBrokerService::on_metrics_timer(const Uuid& session_id) {
     p.entity_id = s.entity_id;
     p.metrics = metrics;
     publish_trace(s, std::move(p));
+    // The publish may reentrantly tear down this session (see
+    // on_ping_timer); do not touch `s` again if it did.
+    if (!sessions_.contains(session_id)) return;
   }
 
   const Uuid sid = s.session_id;
@@ -480,6 +493,9 @@ void TracingBrokerService::on_gauge_timer(const Uuid& session_id) {
   m.auth_token = s.token.serialize();
   m.signature = s.delegate_key.sign(m.signable_bytes());
   broker_.publish_from_broker(std::move(m));
+  // The publish may reentrantly tear down this session (see
+  // on_ping_timer); do not touch `s` again if it did.
+  if (!sessions_.contains(session_id)) return;
 
   const Uuid sid = s.session_id;
   s.gauge_timer = broker_.backend().schedule(

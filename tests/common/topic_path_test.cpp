@@ -73,6 +73,25 @@ TEST(TopicPathTest, TraceTopicShapes) {
   EXPECT_TRUE(topic_has_prefix(trace, "Constrained/Traces"));
 }
 
+TEST(TopicPathTest, SplitOnceViewMatchesStringSemantics) {
+  const TopicPath pattern("a/*/c");
+  const TopicPath topic("/a//b/c");
+  EXPECT_EQ(topic.segments(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(topic.canonical(), "a/b/c");
+  EXPECT_TRUE(topic_matches(pattern, topic));
+  EXPECT_FALSE(topic_matches(pattern, TopicPath("a/b/d")));
+  EXPECT_TRUE(topic_matches(TopicPath("a/#"), TopicPath("a")));
+  EXPECT_FALSE(topic_matches(TopicPath("a/#/c"), TopicPath("a/b/c")));
+}
+
+TEST(TopicPathTest, TopicPathEqualityIgnoresSourceSlashes) {
+  EXPECT_EQ(TopicPath("/a/b/"), TopicPath("a//b"));
+  EXPECT_NE(TopicPath("a/b"), TopicPath("a/b/c"));
+  EXPECT_TRUE(TopicPath("").empty());
+  EXPECT_EQ(TopicPath("a/b").size(), 2u);
+  EXPECT_EQ(TopicPath("a/b")[1], "b");
+}
+
 TEST(TopicPathTest, Validity) {
   EXPECT_TRUE(is_valid_topic("Availability/Traces/entity-42"));
   EXPECT_FALSE(is_valid_topic(""));

@@ -78,6 +78,27 @@ TEST(SubscriptionTableTest, EndpointMatches) {
   EXPECT_FALSE(t.endpoint_matches(2, "a/deep/topic"));
 }
 
+TEST(SubscriptionTableTest, PrecompiledPathOverloadsAgreeWithStrings) {
+  SubscriptionTable t;
+  t.add("x/*/z", 1);
+  t.add("x/#", 2);
+  const TopicPath topic("x/y/z");
+  EXPECT_EQ(t.match(topic), t.match("x/y/z"));
+  EXPECT_EQ(t.match(topic), (std::set<transport::NodeId>{1, 2}));
+  EXPECT_TRUE(t.any_match(topic));
+  EXPECT_FALSE(t.any_match(TopicPath("a/b")));
+  EXPECT_TRUE(t.endpoint_matches(2, TopicPath("x/deep/under")));
+  EXPECT_FALSE(t.endpoint_matches(1, TopicPath("x/deep/under")));
+}
+
+TEST(SubscriptionTableTest, AddNormalizesPatternOnce) {
+  SubscriptionTable t;
+  EXPECT_TRUE(t.add("/a/b/", 1));
+  EXPECT_FALSE(t.add("a//b", 2));  // same pattern after normalization
+  EXPECT_EQ(t.pattern_count(), 1u);
+  EXPECT_EQ(t.match("a/b"), (std::set<transport::NodeId>{1, 2}));
+}
+
 TEST(SubscriptionTableTest, PatternsEnumeration) {
   SubscriptionTable t;
   t.add("b", 1);

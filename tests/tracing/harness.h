@@ -49,7 +49,8 @@ class TracingHarness {
     topology = std::make_unique<pubsub::Topology>(net);
     brokers = topology->make_chain(broker_count, link());
     for (std::size_t i = 0; i < brokers.size(); ++i) {
-      install_trace_filter(*brokers[i], anchors);
+      token_caches.push_back(install_trace_filter(*brokers[i], anchors,
+                                                  config_));
       services.push_back(std::make_unique<TracingBrokerService>(
           *brokers[i], anchors, config_, seed + 100 + i));
     }
@@ -140,6 +141,9 @@ class TracingHarness {
   std::unique_ptr<pubsub::Topology> topology;
   std::vector<pubsub::Broker*> brokers;
   std::vector<std::unique_ptr<TracingBrokerService>> services;
+  /// Per-broker token-verification caches (parallel to `brokers`; entries
+  /// are nullptr when the config disables caching).
+  std::vector<std::shared_ptr<TokenVerifyCache>> token_caches;
 
  private:
   TracingConfig config_;
