@@ -162,9 +162,8 @@ void BM_SubscriptionMatch(benchmark::State& state) {
               static_cast<transport::NodeId>(i));
   }
   Rng probe_rng(10);
-  const std::string hit = "Constrained/Traces/Broker/Publish-Only/" +
-                          Uuid::generate(probe_rng).to_string() +
-                          "/AllUpdates";
+  const TopicPath hit("Constrained/Traces/Broker/Publish-Only/" +
+                      Uuid::generate(probe_rng).to_string() + "/AllUpdates");
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.match(hit));
   }

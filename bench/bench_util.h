@@ -121,7 +121,7 @@ class Deployment {
 
   Deployment(std::size_t broker_count, const transport::LinkParams& link,
              tracing::TracingConfig config, Shape shape = Shape::kChain,
-             std::uint64_t seed = 4242)
+             std::uint64_t seed = 4242, int match_threads = 0)
       : net(seed),
         link_(link),
         config_(config),
@@ -143,12 +143,21 @@ class Deployment {
                                             ca_.public_key(), seed + 1);
 
     topology_ = std::make_unique<pubsub::Topology>(net);
+    // Filters ride the broker construction path (Broker::Options).
+    const pubsub::BrokerOptionsFn opts = [&](const std::string& name) {
+      pubsub::Broker::Options o;
+      o.name = name;
+      o.match_threads = match_threads;
+      filters_.push_back(
+          tracing::install_trace_filter(o, anchors_, net, config_));
+      token_caches_.push_back(filters_.back().cache());
+      return o;
+    };
     brokers_ = (shape == Shape::kChain)
-                   ? topology_->make_chain(broker_count, link_)
-                   : topology_->make_star(broker_count - 1, link_);
+                   ? topology_->make_chain(broker_count, link_, "broker", opts)
+                   : topology_->make_star(broker_count - 1, link_, "broker",
+                                          opts);
     for (std::size_t i = 0; i < brokers_.size(); ++i) {
-      token_caches_.push_back(
-          tracing::install_trace_filter(*brokers_[i], anchors_, config_));
       services_.push_back(std::make_unique<tracing::TracingBrokerService>(
           *brokers_[i], anchors_, config_, seed + 100 + i));
     }
@@ -238,6 +247,11 @@ class Deployment {
   token_cache(std::size_t i) const {
     return token_caches_.at(i);
   }
+  /// Broker i's trace-filter handle (verdict counters + cache stats).
+  [[nodiscard]] const tracing::TraceFilterHandle& filter(
+      std::size_t i) const {
+    return filters_.at(i);
+  }
   [[nodiscard]] const tracing::TrustAnchors& anchors() const {
     return anchors_;
   }
@@ -263,6 +277,7 @@ class Deployment {
   std::unique_ptr<pubsub::Topology> topology_;
   std::vector<pubsub::Broker*> brokers_;
   std::vector<std::unique_ptr<tracing::TracingBrokerService>> services_;
+  std::vector<tracing::TraceFilterHandle> filters_;
   std::vector<std::shared_ptr<tracing::TokenVerifyCache>> token_caches_;
 };
 

@@ -41,8 +41,10 @@ int main() {
 
   const transport::LinkParams lan = transport::LinkParams::tcp_profile();
   pubsub::Topology topology(net);
-  pubsub::Broker& broker = topology.add_broker("broker-0");
-  tracing::install_trace_filter(broker, anchors);
+  pubsub::Broker::Options broker_opts;
+  broker_opts.name = "broker-0";
+  tracing::install_trace_filter(broker_opts, anchors, net);
+  pubsub::Broker& broker = topology.add_broker(std::move(broker_opts));
   tracing::TracingBrokerService service(broker, anchors, config, 17);
 
   // --- three workers --------------------------------------------------------

@@ -44,8 +44,10 @@ int main() {
   config.ping_interval = 500 * kMillisecond;
   config.gauge_interval = 2 * kSecond;
   pubsub::Topology topology(net);
-  pubsub::Broker& broker = topology.add_broker("broker-0");
-  tracing::install_trace_filter(broker, anchors);
+  pubsub::Broker::Options broker_opts;
+  broker_opts.name = "broker-0";
+  tracing::install_trace_filter(broker_opts, anchors, net);
+  pubsub::Broker& broker = topology.add_broker(std::move(broker_opts));
   tracing::TracingBrokerService service(broker, anchors, config, 42);
 
   transport::LinkParams lan = transport::LinkParams::tcp_profile();

@@ -40,9 +40,13 @@ int main() {
 
   const transport::LinkParams lan = transport::LinkParams::tcp_profile();
   pubsub::Topology topology(net);
-  auto brokers = topology.make_chain(2, lan);
-  tracing::install_trace_filter(*brokers[0], anchors);
-  tracing::install_trace_filter(*brokers[1], anchors);
+  auto brokers =
+      topology.make_chain(2, lan, "broker", [&](const std::string& name) {
+        pubsub::Broker::Options o;
+        o.name = name;
+        tracing::install_trace_filter(o, anchors, net);
+        return o;
+      });
   tracing::TracingBrokerService svc0(*brokers[0], anchors, config, 5);
   tracing::TracingBrokerService svc1(*brokers[1], anchors, config, 6);
 

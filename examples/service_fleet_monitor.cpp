@@ -67,10 +67,15 @@ int main() {
 
   const transport::LinkParams lan = transport::LinkParams::tcp_profile();
   pubsub::Topology topology(net);
-  auto brokers = topology.make_chain(kBrokers, lan);
+  auto brokers =
+      topology.make_chain(kBrokers, lan, "broker", [&](const std::string& name) {
+        pubsub::Broker::Options o;
+        o.name = name;
+        tracing::install_trace_filter(o, anchors, net);
+        return o;
+      });
   std::vector<std::unique_ptr<tracing::TracingBrokerService>> services;
   for (std::size_t i = 0; i < brokers.size(); ++i) {
-    tracing::install_trace_filter(*brokers[i], anchors);
     services.push_back(std::make_unique<tracing::TracingBrokerService>(
         *brokers[i], anchors, config, 1000 + i));
   }

@@ -1,0 +1,73 @@
+// Atomic shared_ptr slot: lock-free in normal builds, mutex under TSan.
+//
+// libstdc++'s std::atomic<std::shared_ptr<T>> (_Sp_atomic, GCC 12)
+// packs a spin lock into the control-block pointer's low bit and
+// unlocks the read side with a *relaxed* RMW, so the plain read of the
+// guarded pointer has no formal happens-before edge to the next
+// writer's store. That is correct on real hardware but ThreadSanitizer
+// (which checks the formal model) reports the library-internal access
+// as a data race on every concurrent load/store pair. Under
+// -fsanitize=thread this wrapper substitutes a plain mutex — which TSan
+// models exactly, keeping it effective on *our* code (races on the
+// pointed-to data are still caught) — while every other build keeps the
+// lock-free fast path the RCU-style readers rely on.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#if defined(__SANITIZE_THREAD__)
+#define ET_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ET_TSAN 1
+#endif
+#endif
+
+#ifdef ET_TSAN
+#include <mutex>
+#endif
+
+namespace et {
+
+/// Holder for an RCU-style published pointer: writers `store` a new
+/// immutable object, readers `load` the current one with one atomic op.
+template <typename T>
+class AtomicSharedPtr {
+ public:
+  AtomicSharedPtr() = default;
+  AtomicSharedPtr(const AtomicSharedPtr&) = delete;
+  AtomicSharedPtr& operator=(const AtomicSharedPtr&) = delete;
+
+#ifdef ET_TSAN
+  [[nodiscard]] std::shared_ptr<T> load(
+      std::memory_order = std::memory_order_acquire) const {
+    std::lock_guard lock(mu_);
+    return ptr_;
+  }
+  void store(std::shared_ptr<T> p,
+             std::memory_order = std::memory_order_release) {
+    std::lock_guard lock(mu_);
+    ptr_ = std::move(p);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<T> ptr_;
+#else
+  [[nodiscard]] std::shared_ptr<T> load(
+      std::memory_order order = std::memory_order_acquire) const {
+    return ptr_.load(order);
+  }
+  void store(std::shared_ptr<T> p,
+             std::memory_order order = std::memory_order_release) {
+    ptr_.store(std::move(p), order);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<T>> ptr_;
+#endif
+};
+
+}  // namespace et

@@ -6,11 +6,40 @@
 // supports percentile reporting for the ablation benches.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace et {
+
+/// Monotonic event counter readable from any thread.
+///
+/// Stats structs (BrokerStats, trace-filter counters) are incremented from
+/// a node's execution context but read by benchmarks and tests from the
+/// main thread while the network is still running. Relaxed atomics make
+/// those cross-thread reads well-defined without imposing ordering on the
+/// hot path; counters are independent, so callers wanting one coherent
+/// view take a snapshot struct of plain integers.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  /// Copying snapshots the current value (for aggregate/snapshot structs).
+  RelaxedCounter(const RelaxedCounter& other) : v_(other.get()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    v_.store(other.get(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t get() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
 
 /// Welford online mean/variance accumulator.
 class RunningStats {

@@ -2,6 +2,15 @@
 
 namespace et {
 
+std::uint64_t segment_hash(std::string_view segment) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64-bit offset basis
+  for (const char c : segment) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;  // FNV-1a 64-bit prime
+  }
+  return h;
+}
+
 std::vector<std::string> split_topic(std::string_view topic) {
   std::vector<std::string> out;
   std::size_t start = 0;

@@ -14,11 +14,30 @@
 // once and match segment vectors from then on.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace et {
+
+/// Wildcard segment literals recognized by topic_matches.
+inline constexpr std::string_view kSingleLevelWildcard = "*";
+inline constexpr std::string_view kMultiLevelWildcard = "#";
+
+/// True when `segment` is one of the wildcard literals. A pattern whose
+/// FIRST segment is a wildcard can match topics under any top-level
+/// segment, which is what decides wildcard-bucket placement in sharded
+/// subscription tables.
+[[nodiscard]] inline bool is_wildcard_segment(std::string_view segment) {
+  return segment == kSingleLevelWildcard || segment == kMultiLevelWildcard;
+}
+
+/// Deterministic FNV-1a hash of one topic segment. Stable across runs,
+/// platforms and library versions (unlike std::hash), so structures
+/// sharded on it — and any execution order derived from them — stay
+/// reproducible in the deterministic virtual-time simulations.
+[[nodiscard]] std::uint64_t segment_hash(std::string_view segment);
 
 /// Splits on '/', dropping empty segments (so a leading '/' is ignored and
 /// `a//b` equals `a/b`).

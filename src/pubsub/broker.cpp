@@ -1,5 +1,11 @@
 #include "src/pubsub/broker.h"
 
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
 #include "src/common/logging.h"
 #include "src/common/topic_path.h"
 
@@ -7,15 +13,118 @@ namespace et::pubsub {
 
 using transport::NodeId;
 
-Broker::Broker(transport::NetworkBackend& backend, std::string name,
-               int misbehaviour_threshold)
+// ---------------------------------------------------------------------------
+// Match worker pool
+//
+// Workers pull inbound publishes off a shared queue, run the (read-only)
+// match stage against table snapshots, and post the send stage back into
+// the broker's node context. The pool holds no broker state of its own.
+
+class Broker::MatchPool {
+ public:
+  struct Job {
+    Message m;
+    NodeId from;
+    TopicPath path;
+    std::optional<ConstrainedTopic> ct;
+  };
+
+  MatchPool(Broker& broker, int threads) : broker_(broker) {
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { loop(); });
+    }
+  }
+
+  ~MatchPool() {
+    {
+      std::lock_guard lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  void submit(Job job) {
+    {
+      std::lock_guard lock(mu_);
+      queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+  }
+
+  [[nodiscard]] int threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping; drop the backlog
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      MatchPlan plan = broker_.compute_match(job.path, job.ct);
+      // The send stage mutates sessions/counters, so it must run in the
+      // node context. std::function requires copyable captures; Message
+      // and MatchPlan both are.
+      broker_.backend_.post(
+          broker_.node_,
+          [b = &broker_, m = std::move(job.m), from = job.from,
+           plan = std::move(plan)] { b->execute_send(m, from, plan); });
+    }
+  }
+
+  Broker& broker_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// ---------------------------------------------------------------------------
+// Broker
+
+Broker::Broker(transport::NetworkBackend& backend, Options options)
     : backend_(backend),
-      name_(std::move(name)),
-      misbehaviour_threshold_(misbehaviour_threshold) {
+      name_(std::move(options.name)),
+      misbehaviour_threshold_(options.misbehaviour_threshold),
+      filter_(std::move(options.message_filter)),
+      unreachable_handler_(std::move(options.client_unreachable_handler)) {
+  local_services_.store(std::make_shared<const ServiceList>(),
+                        std::memory_order_release);
   node_ = backend_.add_node(
       name_, [this](NodeId from, Bytes payload) {
         on_packet(from, std::move(payload));
       });
+  // Worker-pool matching requires thread-safe post(); on single-threaded
+  // backends (VirtualTimeNetwork) clamp to the inline path so simulations
+  // stay deterministic no matter what the caller asked for.
+  if (options.match_threads > 0 && backend_.concurrent_dispatch()) {
+    match_pool_ = std::make_unique<MatchPool>(*this, options.match_threads);
+  }
+}
+
+Broker::Broker(transport::NetworkBackend& backend, std::string name,
+               int misbehaviour_threshold)
+    : Broker(backend, [&] {
+        Options o;
+        o.name = std::move(name);
+        o.misbehaviour_threshold = misbehaviour_threshold;
+        return o;
+      }()) {}
+
+Broker::~Broker() = default;
+
+int Broker::match_threads() const {
+  return match_pool_ ? match_pool_->threads() : 0;
 }
 
 void Broker::peer(NodeId other) { neighbours_.insert(other); }
@@ -24,11 +133,16 @@ void Broker::subscribe_local(const std::string& pattern, LocalHandler handler,
                              bool local_only) {
   TopicPath compiled(pattern);
   const std::string norm = compiled.canonical();
-  local_services_.push_back({norm, std::move(compiled), std::move(handler)});
+  // Republish the service list RCU-style: node-context writers only, but
+  // match stages on worker threads may be reading the old list right now.
+  const auto cur = local_services_.load(std::memory_order_acquire);
+  auto next = std::make_shared<ServiceList>(*cur);
+  next->push_back({norm, compiled, std::move(handler)});
+  local_services_.store(std::move(next), std::memory_order_release);
   // Register interest network-wide so remote publications reach us. The
   // broker itself is the subscriber; constrained Subscribe-Only/Broker
   // topics permit exactly this. Suppressed subscriptions stay local.
-  if (local_subs_.add(norm, node_) && !local_only) {
+  if (local_subs_.add(compiled, node_) && !local_only) {
     for (const NodeId n : neighbours_) {
       send_frame(n, make_subscribe(norm, 0));
     }
@@ -39,8 +153,8 @@ void Broker::publish_from_broker(Message m) {
   if (m.publisher.empty()) m.publisher = name_;
   if (m.sequence == 0) m.sequence = ++sequence_;
   if (m.timestamp == 0) m.timestamp = backend_.now();
-  ++stats_.published;
-  route(m, transport::kInvalidNode);
+  counters_.published.inc();
+  route(std::move(m), transport::kInvalidNode);
 }
 
 void Broker::set_message_filter(MessageFilter filter) {
@@ -69,7 +183,7 @@ void Broker::report_misbehaviour(NodeId endpoint, const std::string& why) {
   if (strikes >= misbehaviour_threshold_ && !blacklist_.contains(endpoint)) {
     // §5.2: terminate communications with the offender.
     blacklist_.insert(endpoint);
-    ++stats_.disconnects;
+    counters_.disconnects.inc();
     clients_.erase(endpoint);
     local_subs_.remove_endpoint(endpoint);
     remote_subs_.remove_endpoint(endpoint);
@@ -140,7 +254,9 @@ void Broker::handle_connect(NodeId from, const Frame& f) {
 }
 
 void Broker::handle_subscribe(NodeId from, const Frame& f) {
-  const std::string pattern = normalize_topic(f.text);
+  // Compile the pattern once; every check below reuses the split form.
+  const TopicPath compiled(f.text);
+  const std::string pattern = compiled.canonical();
   if (pattern.empty()) {
     send_frame(from, make_error(1, "empty pattern", f.request_id));
     return;
@@ -149,7 +265,7 @@ void Broker::handle_subscribe(NodeId from, const Frame& f) {
   const bool from_broker = is_neighbour(from);
   if (from_broker) {
     // Neighbour interest: record and keep propagating (split horizon).
-    if (remote_subs_.add(pattern, from) && !local_subs_.any_match(pattern)) {
+    if (remote_subs_.add(compiled, from) && !local_subs_.any_match(compiled)) {
       for (const NodeId n : neighbours_) {
         if (n != from) send_frame(n, make_subscribe(pattern, 0));
       }
@@ -162,13 +278,13 @@ void Broker::handle_subscribe(NodeId from, const Frame& f) {
   const Status allowed = check_constrained_action(
       pattern, TopicAction::kSubscribe, /*actor_is_broker=*/false, actor);
   if (!allowed.is_ok()) {
-    ++stats_.discarded;
+    counters_.discarded.inc();
     send_frame(from, make_error(2, allowed.to_string(), f.request_id));
     report_misbehaviour(from, "unauthorized subscribe to " + pattern);
     return;
   }
 
-  bool propagate = local_subs_.add(pattern, from);
+  bool propagate = local_subs_.add(compiled, from);
   // Suppress distribution: the constrainer's subscriptions stay local.
   if (const auto ct = ConstrainedTopic::parse(pattern);
       ct && ct->distribution == Distribution::kSuppress &&
@@ -189,12 +305,13 @@ void Broker::handle_subscribe(NodeId from, const Frame& f) {
 }
 
 void Broker::handle_unsubscribe(NodeId from, const Frame& f) {
-  const std::string pattern = normalize_topic(f.text);
+  const TopicPath compiled(f.text);
+  const std::string pattern = compiled.canonical();
   const bool emptied = is_neighbour(from)
-                           ? remote_subs_.remove(pattern, from)
-                           : local_subs_.remove(pattern, from);
-  if (emptied && !local_subs_.any_match(pattern) &&
-      !remote_subs_.any_match(pattern)) {
+                           ? remote_subs_.remove(compiled, from)
+                           : local_subs_.remove(compiled, from);
+  if (emptied && !local_subs_.any_match(compiled) &&
+      !remote_subs_.any_match(compiled)) {
     for (const NodeId n : neighbours_) {
       if (n != from) send_frame(n, make_unsubscribe(pattern));
     }
@@ -209,23 +326,23 @@ void Broker::handle_publish(NodeId from, Frame f) {
   Message& m = *f.message;
   // Split and grammar-parse the topic exactly once; every downstream step
   // (edge enforcement, suppress check, routing) reuses the parsed forms.
-  const TopicPath path(m.topic);
+  TopicPath path(m.topic);
   m.topic = path.canonical();
-  const std::optional<ConstrainedTopic> ct = ConstrainedTopic::parse(path);
+  std::optional<ConstrainedTopic> ct = ConstrainedTopic::parse(path);
 
   const bool from_broker = is_neighbour(from);
   if (!from_broker) {
     // Edge enforcement: may this client publish here?
     const std::string actor = client_identity(from);
     if (actor.empty()) {
-      ++stats_.discarded;
+      counters_.discarded.inc();
       report_misbehaviour(from, "publish before connect");
       return;
     }
     const Status allowed = check_constrained_action(
         ct, TopicAction::kPublish, /*actor_is_broker=*/false, actor);
     if (!allowed.is_ok()) {
-      ++stats_.discarded;
+      counters_.discarded.inc();
       send_frame(from, make_error(2, allowed.to_string(), 0));
       report_misbehaviour(from, "unauthorized publish to " + m.topic);
       return;
@@ -238,55 +355,73 @@ void Broker::handle_publish(NodeId from, Frame f) {
   if (filter_) {
     const Status ok = filter_(m, from);
     if (!ok.is_ok()) {
-      ++stats_.discarded;
+      counters_.discarded.inc();
       report_misbehaviour(from, "filter rejected message: " + ok.message());
       return;
     }
   }
 
-  ++stats_.published;
-  route(m, from, path, ct);
+  counters_.published.inc();
+  route(std::move(m), from, std::move(path), std::move(ct));
 }
 
-void Broker::route(const Message& m, NodeId arrived_from) {
-  const TopicPath path(m.topic);
-  route(m, arrived_from, path, ConstrainedTopic::parse(path));
+void Broker::route(Message m, NodeId arrived_from) {
+  TopicPath path(m.topic);
+  std::optional<ConstrainedTopic> ct = ConstrainedTopic::parse(path);
+  route(std::move(m), arrived_from, std::move(path), std::move(ct));
 }
 
-void Broker::route(const Message& m, NodeId arrived_from,
-                   const TopicPath& path,
-                   const std::optional<ConstrainedTopic>& ct) {
-  // Local services (tracing broker, etc.). Handlers may register further
-  // local services while running (a trace registration subscribes the
-  // session topics), so iterate by index and copy the handler: the vector
-  // can reallocate mid-loop. Services appended during routing do not see
-  // the current message.
-  const std::size_t service_count = local_services_.size();
-  for (std::size_t i = 0; i < service_count; ++i) {
-    if (topic_matches(local_services_[i].compiled, path)) {
-      LocalHandler handler = local_services_[i].handler;
-      handler(m);
+void Broker::route(Message m, NodeId arrived_from, TopicPath path,
+                   std::optional<ConstrainedTopic> ct) {
+  if (match_pool_) {
+    match_pool_->submit({std::move(m), arrived_from, std::move(path),
+                         std::move(ct)});
+    return;
+  }
+  const MatchPlan plan = compute_match(path, ct);
+  execute_send(m, arrived_from, plan);
+}
+
+Broker::MatchPlan Broker::compute_match(
+    const TopicPath& path, const std::optional<ConstrainedTopic>& ct) const {
+  MatchPlan plan;
+  plan.services = local_services_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < plan.services->size(); ++i) {
+    if (topic_matches((*plan.services)[i].compiled, path)) {
+      plan.matched_services.push_back(i);
     }
+  }
+  plan.local_targets = local_subs_.match(path);
+  // Suppress distribution: a constrainer's Publish-Only publications stay
+  // on this broker — don't even look at neighbour interest.
+  const bool suppress = ct && ct->distribution == Distribution::kSuppress &&
+                        ct->allowed == AllowedActions::kPublishOnly;
+  if (!suppress) plan.remote_targets = remote_subs_.match(path);
+  return plan;
+}
+
+void Broker::execute_send(const Message& m, NodeId arrived_from,
+                          const MatchPlan& plan) {
+  // Local services (tracing broker, etc.). Handlers may register further
+  // services while running (a trace registration subscribes the session
+  // topics); the plan's snapshot pins the list iterated here, so newly
+  // appended services never see the current message.
+  for (const std::size_t i : plan.matched_services) {
+    (*plan.services)[i].handler(m);
   }
 
   // Local clients.
-  for (const NodeId client : local_subs_.match(path)) {
+  for (const NodeId client : plan.local_targets) {
     if (client == node_ || client == arrived_from) continue;
-    ++stats_.delivered_local;
+    counters_.delivered_local.inc();
     send_frame(client, make_publish(m));
   }
 
-  // Suppress distribution: a constrainer's Publish-Only publications stay
-  // on this broker.
-  if (ct && ct->distribution == Distribution::kSuppress &&
-      ct->allowed == AllowedActions::kPublishOnly) {
-    return;
-  }
-
-  // Neighbour brokers with matching interest (split horizon).
-  for (const NodeId n : remote_subs_.match(path)) {
+  // Neighbour brokers with matching interest (split horizon). Empty when
+  // the match stage determined suppress-distribution applies.
+  for (const NodeId n : plan.remote_targets) {
     if (n == arrived_from) continue;
-    ++stats_.forwarded;
+    counters_.forwarded.inc();
     send_frame(n, make_publish(m));
   }
 }

@@ -20,9 +20,29 @@
 //     threshold are disconnected (paper §5.2: "the broker will terminate
 //     communications with such an entity").
 //
+// Routing is split into two stages (DESIGN.md §9):
+//   * match — resolve the inbound topic against immutable snapshots of
+//     the subscription tables and local-service list. Touches no mutable
+//     broker state, so it can run on any thread.
+//   * send  — invoke matched local services and emit frames. Runs in the
+//     broker's node context, which remains the only mutator of sessions,
+//     strikes and tables.
+// With Options::match_threads > 0 (honoured only on backends reporting
+// concurrent_dispatch(), i.e. RealTimeNetwork) the match stage of each
+// inbound publish is offloaded to a small worker pool and the send stage
+// is posted back to the node context — the node thread stays free to
+// accept further traffic while workers match. Relative delivery order of
+// concurrently matched messages is then unspecified (per-message delivery
+// stays intact); leave match_threads at 0 where ordering or determinism
+// matters. With match_threads == 0 both stages run inline, byte-for-byte
+// identical to the single-context behaviour.
+//
 // Threading: all mutable state is touched only from the broker's node
-// context (its packet handler and timers). Setup calls (peer,
-// subscribe_local, set_message_filter) must complete before traffic starts.
+// context (its packet handler and timers). Stats counters are relaxed
+// atomics and may be read from any thread. Setup calls (peer,
+// subscribe_local, set_message_filter) must complete before traffic
+// starts. Like packet handlers, in-flight match jobs reference the
+// broker: stop the network before destroying it.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +54,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/atomic_shared_ptr.h"
+#include "src/common/stats.h"
 #include "src/common/topic_path.h"
 #include "src/pubsub/constrained_topic.h"
 #include "src/pubsub/message.h"
@@ -58,7 +80,7 @@ using MessageFilter =
 using ClientUnreachableHandler =
     std::function<void(const std::string& entity_id)>;
 
-/// Counters exposed for benchmarks and tests.
+/// One consistent read of a broker's counters (see Broker::stats()).
 struct BrokerStats {
   std::uint64_t published = 0;        // messages entering routing here
   std::uint64_t forwarded = 0;        // copies sent to neighbour brokers
@@ -67,15 +89,59 @@ struct BrokerStats {
   std::uint64_t disconnects = 0;      // endpoints dropped for misbehaviour
 };
 
+/// The live counters behind BrokerStats: relaxed atomics, incremented
+/// from the broker's contexts and readable from any thread. snapshot()
+/// is the consistent accessor benches and tests should use.
+struct BrokerCounters {
+  RelaxedCounter published;
+  RelaxedCounter forwarded;
+  RelaxedCounter delivered_local;
+  RelaxedCounter discarded;
+  RelaxedCounter disconnects;
+
+  [[nodiscard]] BrokerStats snapshot() const {
+    return {published.get(), forwarded.get(), delivered_local.get(),
+            discarded.get(), disconnects.get()};
+  }
+};
+
 class Broker {
  public:
-  /// Registers the broker on `backend`. `name` doubles as its publisher
-  /// id for broker-generated messages.
+  /// Everything a broker can be configured with, in one place. The
+  /// setters set_message_filter / set_client_unreachable_handler remain
+  /// as thin shims for wiring up an already-constructed broker; new code
+  /// should construct from Options.
+  struct Options {
+    /// Broker name; doubles as its publisher id for broker-generated
+    /// messages.
+    std::string name;
+    /// Strikes before an endpoint is disconnected (paper §5.2).
+    int misbehaviour_threshold = 5;
+    /// Inbound filter (tracing-token verification); may be empty.
+    MessageFilter message_filter;
+    /// Dead-client callback (fires once per vanished client); may be
+    /// empty.
+    ClientUnreachableHandler client_unreachable_handler;
+    /// Worker threads for the match stage of routing. 0 = match inline
+    /// in the node context (required for deterministic VirtualTimeNetwork
+    /// runs; the broker clamps to 0 on backends without
+    /// concurrent_dispatch()).
+    int match_threads = 0;
+  };
+
+  /// Registers the broker on `backend`, fully configured.
+  Broker(transport::NetworkBackend& backend, Options options);
+
+  /// Shim: name + threshold only (filter/handler via the setters).
   Broker(transport::NetworkBackend& backend, std::string name,
          int misbehaviour_threshold = 5);
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
+
+  /// Joins the match worker pool. The network must already be stopped
+  /// (or this broker's node quiesced) — see the threading note above.
+  ~Broker();
 
   /// Declares `other` a neighbour broker reachable over an existing link.
   /// Call on both brokers (see connect_brokers in topology.h).
@@ -94,16 +160,21 @@ class Broker {
   /// allowed). Enters normal routing.
   void publish_from_broker(Message m);
 
-  /// Installs the inbound filter (tracing-token verification).
+  /// Shim for Options::message_filter on an existing broker. Must
+  /// complete before traffic starts.
   void set_message_filter(MessageFilter filter);
 
-  /// Installs the dead-client callback (fires once per vanished client).
+  /// Shim for Options::client_unreachable_handler on an existing broker.
+  /// Must complete before traffic starts.
   void set_client_unreachable_handler(ClientUnreachableHandler handler);
 
   [[nodiscard]] transport::NodeId node() const { return node_; }
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] const BrokerStats& stats() const { return stats_; }
+  /// Consistent counter snapshot; safe from any thread.
+  [[nodiscard]] BrokerStats stats() const { return counters_.snapshot(); }
   [[nodiscard]] transport::NetworkBackend& backend() { return backend_; }
+  /// Match-stage worker threads actually in use (0 after clamping).
+  [[nodiscard]] int match_threads() const;
 
   /// Claimed entity id of a connected client ("" when unknown).
   [[nodiscard]] std::string client_identity(transport::NodeId id) const;
@@ -116,17 +187,44 @@ class Broker {
                            const std::string& why);
 
  private:
+  struct LocalService {
+    std::string pattern;
+    TopicPath compiled;  // pattern split once at registration
+    LocalHandler handler;
+  };
+  using ServiceList = std::vector<LocalService>;
+
+  /// Result of the match stage: everything the send stage needs, resolved
+  /// entirely from immutable snapshots (safe to compute on any thread).
+  struct MatchPlan {
+    std::shared_ptr<const ServiceList> services;  // pins handler lifetimes
+    std::vector<std::size_t> matched_services;    // indices into *services
+    std::set<transport::NodeId> local_targets;
+    std::set<transport::NodeId> remote_targets;
+  };
+
+  class MatchPool;
+
   void on_packet(transport::NodeId from, Bytes payload);
   void handle_connect(transport::NodeId from, const Frame& f);
   void handle_subscribe(transport::NodeId from, const Frame& f);
   void handle_unsubscribe(transport::NodeId from, const Frame& f);
   void handle_publish(transport::NodeId from, Frame f);
-  void route(const Message& m, transport::NodeId arrived_from);
-  /// Hot-path routing over a topic that was split and grammar-parsed once
-  /// by the caller (handle_publish); the plain overload computes both.
-  void route(const Message& m, transport::NodeId arrived_from,
-             const TopicPath& path,
-             const std::optional<ConstrainedTopic>& ct);
+
+  /// Plain-path routing: splits and grammar-parses the topic, then
+  /// matches + sends inline.
+  void route(Message m, transport::NodeId arrived_from);
+  /// Hot-path routing over a topic split and grammar-parsed once by the
+  /// caller. Dispatches to the worker pool when one is configured.
+  void route(Message m, transport::NodeId arrived_from, TopicPath path,
+             std::optional<ConstrainedTopic> ct);
+  /// Match stage; const and snapshot-only — thread-safe by construction.
+  [[nodiscard]] MatchPlan compute_match(
+      const TopicPath& path, const std::optional<ConstrainedTopic>& ct) const;
+  /// Send stage; node context only.
+  void execute_send(const Message& m, transport::NodeId arrived_from,
+                    const MatchPlan& plan);
+
   void send_frame(transport::NodeId to, const Frame& f);
   [[nodiscard]] bool is_neighbour(transport::NodeId id) const {
     return neighbours_.contains(id);
@@ -141,18 +239,18 @@ class Broker {
   std::map<transport::NodeId, std::string> clients_;  // node -> entity id
   SubscriptionTable local_subs_;   // clients attached here
   SubscriptionTable remote_subs_;  // neighbour brokers' interest
-  struct LocalService {
-    std::string pattern;
-    TopicPath compiled;  // pattern split once at registration
-    LocalHandler handler;
-  };
-  std::vector<LocalService> local_services_;
+  /// Immutable snapshot of local services; republished on subscribe_local
+  /// (RCU like the subscription tables, and for the same reason: the
+  /// match stage may read it from a worker thread, and handlers may
+  /// register further services while a send stage iterates it).
+  AtomicSharedPtr<const ServiceList> local_services_;
   MessageFilter filter_;
   ClientUnreachableHandler unreachable_handler_;
   std::map<transport::NodeId, int> strikes_;
   std::set<transport::NodeId> blacklist_;
-  BrokerStats stats_;
+  BrokerCounters counters_;
   std::uint64_t sequence_ = 0;
+  std::unique_ptr<MatchPool> match_pool_;  // null when match_threads == 0
 };
 
 }  // namespace et::pubsub

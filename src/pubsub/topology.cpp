@@ -4,12 +4,18 @@
 
 namespace et::pubsub {
 
-Broker& Topology::add_broker(const std::string& name,
-                             int misbehaviour_threshold) {
-  brokers_.push_back(
-      std::make_unique<Broker>(backend_, name, misbehaviour_threshold));
+Broker& Topology::add_broker(Broker::Options options) {
+  brokers_.push_back(std::make_unique<Broker>(backend_, std::move(options)));
   union_find_.push_back(union_find_.size());
   return *brokers_.back();
+}
+
+Broker& Topology::add_broker(const std::string& name,
+                             int misbehaviour_threshold) {
+  Broker::Options o;
+  o.name = name;
+  o.misbehaviour_threshold = misbehaviour_threshold;
+  return add_broker(std::move(o));
 }
 
 std::size_t Topology::index_of(const Broker& b) const {
@@ -44,12 +50,25 @@ void Topology::connect_brokers(Broker& a, Broker& b,
   b.peer(a.node());
 }
 
+namespace {
+
+Broker::Options options_for(const BrokerOptionsFn& options,
+                            std::string name) {
+  Broker::Options o = options ? options(name) : Broker::Options{};
+  o.name = std::move(name);  // keep overlay naming uniform
+  return o;
+}
+
+}  // namespace
+
 std::vector<Broker*> Topology::make_chain(std::size_t n,
                                           const transport::LinkParams& params,
-                                          const std::string& prefix) {
+                                          const std::string& prefix,
+                                          const BrokerOptionsFn& options) {
   std::vector<Broker*> out;
   for (std::size_t i = 0; i < n; ++i) {
-    out.push_back(&add_broker(prefix + std::to_string(i)));
+    out.push_back(
+        &add_broker(options_for(options, prefix + std::to_string(i))));
     if (i > 0) connect_brokers(*out[i - 1], *out[i], params);
   }
   return out;
@@ -57,11 +76,13 @@ std::vector<Broker*> Topology::make_chain(std::size_t n,
 
 std::vector<Broker*> Topology::make_star(std::size_t leaves,
                                          const transport::LinkParams& params,
-                                         const std::string& prefix) {
+                                         const std::string& prefix,
+                                         const BrokerOptionsFn& options) {
   std::vector<Broker*> out;
-  out.push_back(&add_broker(prefix + "-hub"));
+  out.push_back(&add_broker(options_for(options, prefix + "-hub")));
   for (std::size_t i = 0; i < leaves; ++i) {
-    out.push_back(&add_broker(prefix + std::to_string(i)));
+    out.push_back(
+        &add_broker(options_for(options, prefix + std::to_string(i))));
     connect_brokers(*out[0], *out.back(), params);
   }
   return out;

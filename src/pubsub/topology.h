@@ -7,6 +7,7 @@
 // Figure 3: a star of brokers around the traced entity's broker).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,13 +17,24 @@
 
 namespace et::pubsub {
 
+/// Per-broker configuration hook for make_chain/make_star: called with
+/// each broker's generated name, returns the Options to construct it with
+/// (the name is stamped on afterwards so overlay naming stays uniform).
+/// This is how deployments attach per-broker state — e.g. the tracing
+/// trace filter, whose install_trace_filter(Options&, ...) overload fills
+/// in Options::message_filter and hands back a stats handle.
+using BrokerOptionsFn = std::function<Broker::Options(const std::string&)>;
+
 /// Owns brokers and guarantees the overlay stays a tree.
 class Topology {
  public:
   explicit Topology(transport::NetworkBackend& backend)
       : backend_(backend) {}
 
-  /// Creates a broker named `name` (unconnected).
+  /// Creates a fully configured broker (unconnected).
+  Broker& add_broker(Broker::Options options);
+
+  /// Shim: creates a broker named `name` (unconnected).
   Broker& add_broker(const std::string& name,
                      int misbehaviour_threshold = 5);
 
@@ -32,15 +44,18 @@ class Topology {
                        const transport::LinkParams& params);
 
   /// Builds a chain b0 - b1 - ... - b{n-1}; returns the brokers in order.
+  /// `options`, when given, configures each broker (see BrokerOptionsFn).
   std::vector<Broker*> make_chain(std::size_t n,
                                   const transport::LinkParams& params,
-                                  const std::string& prefix = "broker");
+                                  const std::string& prefix = "broker",
+                                  const BrokerOptionsFn& options = {});
 
   /// Builds a star: hub plus `leaves` brokers each linked to the hub.
   /// Returns {hub, leaf0, leaf1, ...}.
   std::vector<Broker*> make_star(std::size_t leaves,
                                  const transport::LinkParams& params,
-                                 const std::string& prefix = "broker");
+                                 const std::string& prefix = "broker",
+                                 const BrokerOptionsFn& options = {});
 
   [[nodiscard]] std::size_t size() const { return brokers_.size(); }
   [[nodiscard]] Broker& broker(std::size_t i) { return *brokers_.at(i); }

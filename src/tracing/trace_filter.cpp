@@ -1,5 +1,6 @@
 #include "src/tracing/trace_filter.h"
 
+#include <optional>
 #include <utility>
 
 #include "src/crypto/fingerprint.h"
@@ -30,13 +31,14 @@ pubsub::MessageFilter make_trace_filter(const TrustAnchors& anchors,
 
 pubsub::MessageFilter make_trace_filter(
     const TrustAnchors& anchors, transport::NetworkBackend& backend,
-    std::shared_ptr<TokenVerifyCache> cache) {
-  return [anchors, &backend, cache = std::move(cache)](
-             const pubsub::Message& m, transport::NodeId) -> Status {
+    std::shared_ptr<TokenVerifyCache> cache,
+    std::shared_ptr<internal::FilterCounters> counters) {
+  auto verify = [anchors, &backend, cache = std::move(cache)](
+                    const pubsub::Message& m) -> std::optional<Status> {
     const auto ct = pubsub::ConstrainedTopic::parse(m.topic);
     if (!ct || ct->event_type != "Traces" || !ct->constrainer_is_broker() ||
         ct->allowed != pubsub::AllowedActions::kPublishOnly) {
-      return Status::ok();  // not a trace publication; other rules apply
+      return std::nullopt;  // not a trace publication; other rules apply
     }
 
     if (m.auth_token.empty()) {
@@ -99,19 +101,55 @@ pubsub::MessageFilter make_trace_filter(
     }
     return Status::ok();
   };
+
+  return [verify = std::move(verify), counters = std::move(counters)](
+             const pubsub::Message& m, transport::NodeId) -> Status {
+    const std::optional<Status> verdict = verify(m);
+    if (counters) {
+      if (!verdict) {
+        counters->passthrough.inc();
+      } else {
+        counters->checked.inc();
+        (verdict->is_ok() ? counters->accepted : counters->rejected).inc();
+      }
+    }
+    return verdict.value_or(Status::ok());
+  };
 }
 
-std::shared_ptr<TokenVerifyCache> install_trace_filter(
-    pubsub::Broker& broker, const TrustAnchors& anchors,
-    const TracingConfig& config) {
+namespace {
+
+TraceFilterHandle build_filter(pubsub::MessageFilter& out,
+                               const TrustAnchors& anchors,
+                               transport::NetworkBackend& backend,
+                               const TracingConfig& config) {
   std::shared_ptr<TokenVerifyCache> cache;
   if (config.token_cache_capacity > 0) {
     cache = std::make_shared<TokenVerifyCache>(config.token_cache_capacity,
                                                config.token_cache_ttl);
   }
-  broker.set_message_filter(
-      make_trace_filter(anchors, broker.backend(), cache));
-  return cache;
+  auto counters = std::make_shared<internal::FilterCounters>();
+  out = make_trace_filter(anchors, backend, cache, counters);
+  return {std::move(cache), std::move(counters)};
+}
+
+}  // namespace
+
+TraceFilterHandle install_trace_filter(pubsub::Broker::Options& options,
+                                       const TrustAnchors& anchors,
+                                       transport::NetworkBackend& backend,
+                                       const TracingConfig& config) {
+  return build_filter(options.message_filter, anchors, backend, config);
+}
+
+TraceFilterHandle install_trace_filter(pubsub::Broker& broker,
+                                       const TrustAnchors& anchors,
+                                       const TracingConfig& config) {
+  pubsub::MessageFilter filter;
+  TraceFilterHandle handle =
+      build_filter(filter, anchors, broker.backend(), config);
+  broker.set_message_filter(std::move(filter));
+  return handle;
 }
 
 }  // namespace et::tracing

@@ -17,35 +17,117 @@
 // (token, validity window) and only the per-message delegate-signature
 // check runs for each trace. See token_verify_cache.h for the caching
 // rules that keep this safe.
+//
+// Installation: the preferred path fills in Broker::Options before the
+// broker exists —
+//
+//   pubsub::Broker::Options opts{.name = "broker-0"};
+//   auto handle = install_trace_filter(opts, anchors, net, config);
+//   pubsub::Broker broker(net, std::move(opts));
+//
+// — and hands back a TraceFilterHandle for reading cache and filter
+// statistics. A shim overload wires an already-constructed broker via
+// Broker::set_message_filter. Future verification-stage stats (e.g. the
+// planned batch signature verification, ROADMAP) extend the handle
+// instead of changing these signatures again.
 #pragma once
 
 #include <memory>
 
+#include "src/common/stats.h"
 #include "src/pubsub/broker.h"
 #include "src/tracing/config.h"
 #include "src/tracing/token_verify_cache.h"
 
 namespace et::tracing {
 
+/// One consistent read of a trace filter's counters.
+struct TraceFilterStats {
+  std::uint64_t passthrough = 0;  // non-trace topics (other rules apply)
+  std::uint64_t checked = 0;      // trace publications inspected
+  std::uint64_t accepted = 0;     // full verification (or cache) passed
+  std::uint64_t rejected = 0;     // discarded as unauthorized/invalid
+};
+
+namespace internal {
+/// Live counters shared between the filter closure and its handle.
+struct FilterCounters {
+  RelaxedCounter passthrough;
+  RelaxedCounter checked;
+  RelaxedCounter accepted;
+  RelaxedCounter rejected;
+
+  [[nodiscard]] TraceFilterStats snapshot() const {
+    return {passthrough.get(), checked.get(), accepted.get(),
+            rejected.get()};
+  }
+};
+}  // namespace internal
+
+/// Handle returned by install_trace_filter: one place to observe a
+/// broker's per-hop verification (filter verdict counters + the token
+/// cache and its hit rates). Copyable; default-constructed handles read
+/// as empty. The cache pointer is nullptr when the config disables
+/// caching.
+class TraceFilterHandle {
+ public:
+  TraceFilterHandle() = default;
+  TraceFilterHandle(std::shared_ptr<TokenVerifyCache> cache,
+                    std::shared_ptr<internal::FilterCounters> counters)
+      : cache_(std::move(cache)), counters_(std::move(counters)) {}
+
+  /// The broker's token-verification cache (nullptr when disabled).
+  [[nodiscard]] const std::shared_ptr<TokenVerifyCache>& cache() const {
+    return cache_;
+  }
+
+  /// Cache counters; zeros when caching is disabled. NOTE: the cache is
+  /// touched only from its broker's node context — read after quiescing
+  /// (or accept slightly stale values).
+  [[nodiscard]] TokenCacheStats cache_stats() const {
+    return cache_ ? cache_->stats() : TokenCacheStats{};
+  }
+
+  /// Filter verdict counters; safe from any thread.
+  [[nodiscard]] TraceFilterStats stats() const {
+    return counters_ ? counters_->snapshot() : TraceFilterStats{};
+  }
+
+  /// True when this handle observes an installed filter.
+  [[nodiscard]] explicit operator bool() const { return counters_ != nullptr; }
+
+ private:
+  std::shared_ptr<TokenVerifyCache> cache_;
+  std::shared_ptr<internal::FilterCounters> counters_;
+};
+
 /// Builds the uncached (reference) filter; `backend` supplies the
 /// verification clock. Every message pays the full verification chain.
 pubsub::MessageFilter make_trace_filter(const TrustAnchors& anchors,
                                         transport::NetworkBackend& backend);
 
-/// Builds the filter with a token-verification cache. `cache` may be
-/// nullptr (equivalent to the uncached filter). The cache must outlive
-/// the filter and, like the broker it serves, is touched only from that
-/// broker's node context.
+/// Builds the filter with a token-verification cache and optional verdict
+/// counters. `cache` may be nullptr (equivalent to the uncached filter);
+/// it must outlive the filter and, like the broker it serves, is touched
+/// only from that broker's node context. `counters`, when given, is
+/// incremented per verdict (relaxed atomics, readable anywhere).
 pubsub::MessageFilter make_trace_filter(
     const TrustAnchors& anchors, transport::NetworkBackend& backend,
-    std::shared_ptr<TokenVerifyCache> cache);
+    std::shared_ptr<TokenVerifyCache> cache,
+    std::shared_ptr<internal::FilterCounters> counters = nullptr);
 
-/// Convenience: installs make_trace_filter on `broker`, sized per
-/// `config` (token_cache_capacity / token_cache_ttl). Returns the
-/// broker's cache so callers can read its stats alongside BrokerStats;
-/// nullptr when the config disables caching.
-std::shared_ptr<TokenVerifyCache> install_trace_filter(
-    pubsub::Broker& broker, const TrustAnchors& anchors,
-    const TracingConfig& config = {});
+/// Construction path: fills `options.message_filter` with a trace filter
+/// sized per `config` (token_cache_capacity / token_cache_ttl), for a
+/// broker about to be constructed on `backend`. Returns the stats handle.
+TraceFilterHandle install_trace_filter(pubsub::Broker::Options& options,
+                                       const TrustAnchors& anchors,
+                                       transport::NetworkBackend& backend,
+                                       const TracingConfig& config = {});
+
+/// Shim: installs the filter on an already-constructed broker via
+/// Broker::set_message_filter (must complete before traffic starts).
+TraceFilterHandle install_trace_filter(pubsub::Broker& broker,
+                                       const TrustAnchors& anchors,
+                                       const TracingConfig& config = {});
 
 }  // namespace et::tracing

@@ -55,9 +55,14 @@ struct MultiTdnFixture : ::testing::Test {
     config.delegate_key_bits = kBits;
 
     topo = std::make_unique<pubsub::Topology>(net);
-    brokers = topo->make_chain(2, lan());
+    brokers =
+        topo->make_chain(2, lan(), "broker", [&](const std::string& name) {
+          pubsub::Broker::Options o;
+          o.name = name;
+          install_trace_filter(o, anchors, net);
+          return o;
+        });
     for (auto* b : brokers) {
-      install_trace_filter(*b, anchors);
       services.push_back(
           std::make_unique<TracingBrokerService>(*b, anchors, config, 7));
     }

@@ -36,9 +36,14 @@ struct RealTimeFixture : ::testing::Test {
     config.delegate_key_bits = kBits;
 
     topo = std::make_unique<pubsub::Topology>(net);
-    brokers = topo->make_chain(2, link());
+    brokers =
+        topo->make_chain(2, link(), "broker", [&](const std::string& name) {
+          pubsub::Broker::Options o;
+          o.name = name;
+          install_trace_filter(o, anchors, net);
+          return o;
+        });
     for (auto* b : brokers) {
-      install_trace_filter(*b, anchors);
       services.push_back(std::make_unique<TracingBrokerService>(
           *b, anchors, config, 321));
     }

@@ -45,12 +45,19 @@ class TracingHarness {
     tdn = std::make_unique<discovery::Tdn>(net, std::move(tdn_identity),
                                            ca.public_key(), seed + 1);
 
-    // Broker chain with tracing services and filters everywhere.
+    // Broker chain with tracing services and filters everywhere. Filters
+    // ride the construction path: install_trace_filter fills the broker
+    // Options before each broker is built.
     topology = std::make_unique<pubsub::Topology>(net);
-    brokers = topology->make_chain(broker_count, link());
+    brokers = topology->make_chain(
+        broker_count, link(), "broker", [&](const std::string& name) {
+          pubsub::Broker::Options o;
+          o.name = name;
+          filters.push_back(install_trace_filter(o, anchors, net, config_));
+          token_caches.push_back(filters.back().cache());
+          return o;
+        });
     for (std::size_t i = 0; i < brokers.size(); ++i) {
-      token_caches.push_back(install_trace_filter(*brokers[i], anchors,
-                                                  config_));
       services.push_back(std::make_unique<TracingBrokerService>(
           *brokers[i], anchors, config_, seed + 100 + i));
     }
@@ -141,6 +148,8 @@ class TracingHarness {
   std::unique_ptr<pubsub::Topology> topology;
   std::vector<pubsub::Broker*> brokers;
   std::vector<std::unique_ptr<TracingBrokerService>> services;
+  /// Per-broker trace-filter handles (parallel to `brokers`).
+  std::vector<TraceFilterHandle> filters;
   /// Per-broker token-verification caches (parallel to `brokers`; entries
   /// are nullptr when the config disables caching).
   std::vector<std::shared_ptr<TokenVerifyCache>> token_caches;
