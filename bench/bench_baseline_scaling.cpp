@@ -71,10 +71,14 @@ std::uint64_t run_tracing(std::size_t n) {
   config.delegate_key_bits = 512;
 
   pubsub::Topology topo(net);
-  auto brokers = topo.make_chain(4, lan());
+  auto brokers =
+      topo.make_chain(4, lan(), "broker", [&](const std::string&) {
+        pubsub::Broker::Options o;
+        install_trace_filter(o, anchors, net);
+        return o;
+      });
   std::vector<std::unique_ptr<TracingBrokerService>> services;
   for (std::size_t i = 0; i < brokers.size(); ++i) {
-    install_trace_filter(*brokers[i], anchors);
     services.push_back(std::make_unique<TracingBrokerService>(
         *brokers[i], anchors, config, 100 + i));
   }

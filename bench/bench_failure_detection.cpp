@@ -60,8 +60,12 @@ TrialResult run(bool adaptive) {
     lan.base_latency = 1500;
 
     pubsub::Topology topo(net);
-    auto brokers = topo.make_chain(1, lan);
-    install_trace_filter(*brokers[0], anchors);
+    auto brokers =
+        topo.make_chain(1, lan, "broker", [&](const std::string&) {
+          pubsub::Broker::Options o;
+          install_trace_filter(o, anchors, net);
+          return o;
+        });
     TracingBrokerService service(*brokers[0], anchors, config, 9);
 
     const crypto::Identity entity_id = crypto::Identity::create(

@@ -41,6 +41,35 @@ class RelaxedCounter {
   std::atomic<std::uint64_t> v_{0};
 };
 
+/// Monotonic high-water mark readable from any thread (e.g. the deepest
+/// verification backlog a drain pass has observed). Same memory-order
+/// contract as RelaxedCounter: relaxed CAS, no ordering imposed on the
+/// writer's hot path.
+class RelaxedMaxGauge {
+ public:
+  RelaxedMaxGauge() = default;
+  RelaxedMaxGauge(const RelaxedMaxGauge& other) : v_(other.get()) {}
+  RelaxedMaxGauge& operator=(const RelaxedMaxGauge& other) {
+    v_.store(other.get(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Raises the recorded maximum to `candidate` if it is larger.
+  void observe(std::uint64_t candidate) {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (candidate > cur &&
+           !v_.compare_exchange_weak(cur, candidate,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t get() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
 /// Welford online mean/variance accumulator.
 class RunningStats {
  public:

@@ -119,6 +119,48 @@ RsaPublicKey RsaPublicKey::deserialize(BytesView b) {
 
 Bytes RsaPublicKey::fingerprint() const { return Sha1::digest(serialize()); }
 
+RsaVerifyContext::RsaVerifyContext(const RsaPublicKey& key) : key_(key) {
+  if (key_.empty()) return;
+  modulus_len_ = key_.modulus_len();
+  if (key_.n().is_odd()) mont_ = std::make_unique<Montgomery>(key_.n());
+}
+
+bool RsaVerifyContext::verify(BytesView message, BytesView signature,
+                              HashAlg alg) const {
+  if (key_.empty()) return false;
+  if (signature.size() != modulus_len_) return false;
+  const BigInt s = BigInt::from_bytes(signature);
+  if (s >= key_.n()) return false;
+
+  BigInt m;
+  if (mont_) {
+    // Public exponents are sparse (65537, 17, 3): a left-to-right
+    // square-and-multiply costs bit_length-1 squarings plus one multiply
+    // per set bit, beating the window ladder's table build by ~2x.
+    const BigInt& e = key_.e();
+    const std::size_t bits = e.bit_length();
+    if (bits == 0) return false;  // e = 0 is not a valid public exponent
+    const BigInt base = mont_->to_mont(s);
+    BigInt acc = base;
+    for (std::size_t i = bits - 1; i-- > 0;) {
+      acc = mont_->mul(acc, acc);
+      if (e.bit(i)) acc = mont_->mul(acc, base);
+    }
+    m = mont_->from_mont(acc);
+  } else {
+    m = s.mod_exp(key_.e(), key_.n());
+  }
+
+  const Bytes em = m.to_bytes(modulus_len_);
+  Bytes expected;
+  try {
+    expected = emsa_encode(message, alg, modulus_len_);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return constant_time_equal(em, expected);
+}
+
 BigInt RsaPrivateKey::private_op(const BigInt& c) const {
   // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv*(m1-m2) mod p,
   // m = m2 + h*q.

@@ -96,8 +96,11 @@ Broker::Broker(transport::NetworkBackend& backend, Options options)
     : backend_(backend),
       name_(std::move(options.name)),
       misbehaviour_threshold_(options.misbehaviour_threshold),
-      filter_(std::move(options.message_filter)),
-      unreachable_handler_(std::move(options.client_unreachable_handler)) {
+      filter_(std::move(options.message_filter)) {
+  if (options.client_unreachable_handler) {
+    unreachable_listeners_.push_back(
+        std::move(options.client_unreachable_handler));
+  }
   local_services_.store(std::make_shared<const ServiceList>(),
                         std::memory_order_release);
   node_ = backend_.add_node(
@@ -111,15 +114,6 @@ Broker::Broker(transport::NetworkBackend& backend, Options options)
     match_pool_ = std::make_unique<MatchPool>(*this, options.match_threads);
   }
 }
-
-Broker::Broker(transport::NetworkBackend& backend, std::string name,
-               int misbehaviour_threshold)
-    : Broker(backend, [&] {
-        Options o;
-        o.name = std::move(name);
-        o.misbehaviour_threshold = misbehaviour_threshold;
-        return o;
-      }()) {}
 
 Broker::~Broker() = default;
 
@@ -157,13 +151,19 @@ void Broker::publish_from_broker(Message m) {
   route(std::move(m), transport::kInvalidNode);
 }
 
-void Broker::set_message_filter(MessageFilter filter) {
-  filter_ = std::move(filter);
+void Broker::add_client_unreachable_listener(
+    ClientUnreachableHandler handler) {
+  if (handler) unreachable_listeners_.push_back(std::move(handler));
 }
 
-void Broker::set_client_unreachable_handler(
-    ClientUnreachableHandler handler) {
-  unreachable_handler_ = std::move(handler);
+void Broker::release_deferred(Message m, NodeId from) {
+  counters_.published.inc();
+  route(std::move(m), from);
+}
+
+void Broker::reject_deferred(NodeId from, const Status& why) {
+  counters_.discarded.inc();
+  report_misbehaviour(from, "filter rejected message: " + why.message());
 }
 
 std::string Broker::client_identity(NodeId id) const {
@@ -206,7 +206,9 @@ void Broker::send_frame(NodeId to, const Frame& f) {
       const std::string entity_id = it->second;
       clients_.erase(it);
       local_subs_.remove_endpoint(to);
-      if (unreachable_handler_) unreachable_handler_(entity_id);
+      for (const auto& listener : unreachable_listeners_) {
+        listener(entity_id);
+      }
     }
   }
 }
@@ -351,14 +353,17 @@ void Broker::handle_publish(NodeId from, Frame f) {
 
   // Tracing-layer filter (token verification). Applies to all inbound
   // messages; broker-originated traces go through publish_from_broker and
-  // are the local broker's own responsibility.
+  // are the local broker's own responsibility. A deferring filter takes
+  // the message and resolves it later via release/reject_deferred.
   if (filter_) {
-    const Status ok = filter_(m, from);
-    if (!ok.is_ok()) {
+    const FilterVerdict verdict = filter_(*this, m, from);
+    if (verdict.rejected()) {
       counters_.discarded.inc();
-      report_misbehaviour(from, "filter rejected message: " + ok.message());
+      report_misbehaviour(from,
+                          "filter rejected message: " + verdict.status.message());
       return;
     }
+    if (verdict.deferred()) return;  // the filter owns the message now
   }
 
   counters_.published.inc();

@@ -40,9 +40,10 @@
 // Threading: all mutable state is touched only from the broker's node
 // context (its packet handler and timers). Stats counters are relaxed
 // atomics and may be read from any thread. Setup calls (peer,
-// subscribe_local, set_message_filter) must complete before traffic
-// starts. Like packet handlers, in-flight match jobs reference the
-// broker: stop the network before destroying it.
+// subscribe_local, add_client_unreachable_listener) must complete before
+// traffic starts. Like packet handlers, in-flight match jobs and deferred
+// filter verdicts reference the broker: stop the network before
+// destroying it.
 #pragma once
 
 #include <cstdint>
@@ -64,14 +65,43 @@
 
 namespace et::pubsub {
 
+class Broker;
+
 /// Callback for broker-local services (tracing) receiving matched messages.
 using LocalHandler = std::function<void(const Message&)>;
 
+/// Verdict of an inbound-message filter.
+///
+/// kDefer is the asynchronous-verification hook: the filter takes the
+/// message (moving it out of the `msg` reference it was handed) and
+/// promises to resolve it later through exactly one of the broker's
+/// deferred-verdict entry points — Broker::release_deferred to admit it
+/// into routing, or Broker::reject_deferred to apply the same discard +
+/// misbehaviour accounting an inline rejection gets.
+struct FilterVerdict {
+  enum class Action : std::uint8_t { kAccept, kReject, kDefer };
+
+  Action action = Action::kAccept;
+  Status status = Status::ok();  // rejection reason when kReject
+
+  static FilterVerdict accept() { return {}; }
+  static FilterVerdict reject(Status why) {
+    return {Action::kReject, std::move(why)};
+  }
+  static FilterVerdict defer() { return {Action::kDefer, Status::ok()}; }
+
+  [[nodiscard]] bool accepted() const { return action == Action::kAccept; }
+  [[nodiscard]] bool rejected() const { return action == Action::kReject; }
+  [[nodiscard]] bool deferred() const { return action == Action::kDefer; }
+};
+
 /// Inbound filter: inspects a message arriving from a neighbour broker or
-/// client before routing. Return a non-OK status to discard (counted as
-/// misbehaviour of the sender).
-using MessageFilter =
-    std::function<Status(const Message& msg, transport::NodeId from)>;
+/// client before routing. Runs in the broker's node context. `self` is the
+/// invoking broker — filters that defer keep it for the later
+/// release_deferred/reject_deferred call; inline filters ignore it. On
+/// kDefer the filter must have moved the message out of `msg`.
+using MessageFilter = std::function<FilterVerdict(
+    Broker& self, Message& msg, transport::NodeId from)>;
 
 /// Invoked (in the broker's context) when a delivery to a directly
 /// connected client fails because its link is gone — the pub/sub-level
@@ -107,10 +137,12 @@ struct BrokerCounters {
 
 class Broker {
  public:
-  /// Everything a broker can be configured with, in one place. The
-  /// setters set_message_filter / set_client_unreachable_handler remain
-  /// as thin shims for wiring up an already-constructed broker; new code
-  /// should construct from Options.
+  /// Everything a broker can be configured with, in one place.
+  /// Construction from Options is the only configuration path — the
+  /// legacy name/threshold constructor and the set_message_filter /
+  /// set_client_unreachable_handler shims were retired; broker-local
+  /// services needing disconnect notifications register listeners via
+  /// add_client_unreachable_listener instead.
   struct Options {
     /// Broker name; doubles as its publisher id for broker-generated
     /// messages.
@@ -120,7 +152,8 @@ class Broker {
     /// Inbound filter (tracing-token verification); may be empty.
     MessageFilter message_filter;
     /// Dead-client callback (fires once per vanished client); may be
-    /// empty.
+    /// empty. Further listeners can be appended after construction with
+    /// add_client_unreachable_listener.
     ClientUnreachableHandler client_unreachable_handler;
     /// Worker threads for the match stage of routing. 0 = match inline
     /// in the node context (required for deterministic VirtualTimeNetwork
@@ -131,10 +164,6 @@ class Broker {
 
   /// Registers the broker on `backend`, fully configured.
   Broker(transport::NetworkBackend& backend, Options options);
-
-  /// Shim: name + threshold only (filter/handler via the setters).
-  Broker(transport::NetworkBackend& backend, std::string name,
-         int misbehaviour_threshold = 5);
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
@@ -160,13 +189,25 @@ class Broker {
   /// allowed). Enters normal routing.
   void publish_from_broker(Message m);
 
-  /// Shim for Options::message_filter on an existing broker. Must
-  /// complete before traffic starts.
-  void set_message_filter(MessageFilter filter);
+  /// Appends a dead-client listener (fires after any handler given in
+  /// Options, in registration order). A setup call like subscribe_local:
+  /// must complete before traffic starts.
+  void add_client_unreachable_listener(ClientUnreachableHandler handler);
 
-  /// Shim for Options::client_unreachable_handler on an existing broker.
-  /// Must complete before traffic starts.
-  void set_client_unreachable_handler(ClientUnreachableHandler handler);
+  // --- deferred-verdict hooks (node context only) -------------------------
+  // A message filter that answered FilterVerdict::defer() resolves the
+  // parked message through exactly one of these. Both must be invoked in
+  // this broker's node context (post() back if the decision was computed
+  // on another thread).
+
+  /// Admits a previously deferred message into routing, as if the filter
+  /// had accepted it inline.
+  void release_deferred(Message m, transport::NodeId from);
+
+  /// Discards a previously deferred message: counted against the sender
+  /// exactly like an inline filter rejection (discard + misbehaviour
+  /// strike, disconnecting repeat offenders).
+  void reject_deferred(transport::NodeId from, const Status& why);
 
   [[nodiscard]] transport::NodeId node() const { return node_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -245,7 +286,7 @@ class Broker {
   /// register further services while a send stage iterates it).
   AtomicSharedPtr<const ServiceList> local_services_;
   MessageFilter filter_;
-  ClientUnreachableHandler unreachable_handler_;
+  std::vector<ClientUnreachableHandler> unreachable_listeners_;
   std::map<transport::NodeId, int> strikes_;
   std::set<transport::NodeId> blacklist_;
   BrokerCounters counters_;

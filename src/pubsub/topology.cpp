@@ -10,14 +10,6 @@ Broker& Topology::add_broker(Broker::Options options) {
   return *brokers_.back();
 }
 
-Broker& Topology::add_broker(const std::string& name,
-                             int misbehaviour_threshold) {
-  Broker::Options o;
-  o.name = name;
-  o.misbehaviour_threshold = misbehaviour_threshold;
-  return add_broker(std::move(o));
-}
-
 std::size_t Topology::index_of(const Broker& b) const {
   for (std::size_t i = 0; i < brokers_.size(); ++i) {
     if (brokers_[i].get() == &b) return i;

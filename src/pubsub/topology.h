@@ -31,12 +31,10 @@ class Topology {
   explicit Topology(transport::NetworkBackend& backend)
       : backend_(backend) {}
 
-  /// Creates a fully configured broker (unconnected).
+  /// Creates a fully configured broker (unconnected). Designated
+  /// initializers keep simple call sites terse:
+  ///   topo.add_broker({.name = "b0"});
   Broker& add_broker(Broker::Options options);
-
-  /// Shim: creates a broker named `name` (unconnected).
-  Broker& add_broker(const std::string& name,
-                     int misbehaviour_threshold = 5);
 
   /// Links two brokers and registers them as peers. Throws
   /// std::invalid_argument if the edge would create a cycle.

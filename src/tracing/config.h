@@ -68,17 +68,59 @@ struct TracingConfig {
   bool auto_renew_tokens = true;
   /// Trace-topic advertisement lifetime at the TDN.
   Duration topic_lifetime = 3600 * kSecond;
-  /// Per-hop token-verification cache capacity (distinct tokens). The
-  /// paper notes brokers may "keep track of previously computed
-  /// verifications" (§4.3); 0 disables the cache and every trace pays the
-  /// full RSA chain again.
+
+  /// Per-hop verification knobs: the token-verdict cache plus the batched
+  /// verification pipeline that drains each broker's trace backlog in
+  /// key-grouped passes (DESIGN.md §10).
+  struct Verification {
+    /// Token-verification cache capacity (distinct tokens). The paper
+    /// notes brokers may "keep track of previously computed verifications"
+    /// (§4.3); 0 disables the cache and every trace pays the full RSA
+    /// chain again.
+    std::size_t cache_capacity = 1024;
+    /// Upper bound on reusing a cached verification verdict without
+    /// re-running the full chain. Bounds the window during which an
+    /// advertisement or credential that expired *after* the token was
+    /// verified could still be honoured; token windows themselves are
+    /// re-checked on every hit.
+    Duration cache_ttl = 60 * kSecond;
+    /// Worker threads for the pipeline's drain stage. Honoured only on
+    /// backends reporting concurrent_dispatch() (RealTimeNetwork); on
+    /// VirtualTimeNetwork the queue drains inline in the broker's node
+    /// context at the same virtual timestamp, so simulations stay
+    /// bit-for-bit deterministic. 0 = drain in the node context.
+    int threads = 0;
+    /// Most messages one drain pass takes off the queue; on concurrent
+    /// backends reaching this backlog triggers an immediate drain.
+    std::size_t batch_max = 64;
+    /// Accumulation window on concurrent backends. 0 (default) drains as
+    /// soon as the stage is idle — sparse traffic pays no added wait, and
+    /// bursts still batch because messages arriving while a drain is busy
+    /// queue up for the next pass (group-commit style). A positive value
+    /// deliberately holds the queue up to this long to build deeper
+    /// batches; it bounds the extra latency a queued trace can see.
+    Duration batch_delay = 0;
+  };
+  Verification verification;
+
+  /// Deprecated aliases for Verification::cache_capacity / cache_ttl,
+  /// kept for one release. A value changed from its default overrides the
+  /// nested field (see effective_verification()); new code sets
+  /// `verification.cache_capacity` / `verification.cache_ttl` directly.
   std::size_t token_cache_capacity = 1024;
-  /// Upper bound on reusing a cached verification verdict without
-  /// re-running the full chain. Bounds the window during which an
-  /// advertisement or credential that expired *after* the token was
-  /// verified could still be honoured; token windows themselves are
-  /// re-checked on every hit.
   Duration token_cache_ttl = 60 * kSecond;
+
+  /// Verification knobs with the deprecated flat aliases folded in.
+  [[nodiscard]] Verification effective_verification() const {
+    Verification v = verification;
+    if (token_cache_capacity != TracingConfig{}.token_cache_capacity) {
+      v.cache_capacity = token_cache_capacity;
+    }
+    if (token_cache_ttl != TracingConfig{}.token_cache_ttl) {
+      v.cache_ttl = token_cache_ttl;
+    }
+    return v;
+  }
 };
 
 }  // namespace et::tracing

@@ -7,14 +7,14 @@ TokenVerifyCache::Lookup TokenVerifyCache::lookup(
   Lookup out;
   const auto it = index_.find(fp);
   if (it == index_.end()) {
-    ++stats_.misses;
+    counters_.misses.inc();
     return out;
   }
   Entry& e = *it->second;
   // TTL bound: after `stale_at` the verdict must be recomputed from
   // scratch (bounds how long an upstream revocation can be missed).
   if (now >= e.stale_at) {
-    ++stats_.expired;
+    counters_.expired.inc();
     entries_.erase(it->second);
     index_.erase(it);
     return out;
@@ -26,18 +26,18 @@ TokenVerifyCache::Lookup TokenVerifyCache::lookup(
     // authoritative "expired" rejection.
     if (now + skew < e.token.valid_from() ||
         now - skew >= e.token.valid_until()) {
-      ++stats_.expired;
+      counters_.expired.inc();
       entries_.erase(it->second);
       index_.erase(it);
       return out;
     }
-    ++stats_.hits;
+    counters_.hits.inc();
     entries_.splice(entries_.begin(), entries_, it->second);  // touch LRU
     out.kind = Lookup::Kind::kOk;
     out.token = &entries_.front().token;
     return out;
   }
-  ++stats_.negative_hits;
+  counters_.negative_hits.inc();
   entries_.splice(entries_.begin(), entries_, it->second);
   out.kind = Lookup::Kind::kRejected;
   out.status = entries_.front().verdict;
@@ -59,7 +59,7 @@ const AuthorizationToken* TokenVerifyCache::store_ok(
   }
   entries_.push_front(std::move(e));
   index_[fp] = entries_.begin();
-  ++stats_.insertions;
+  counters_.insertions.inc();
   evict_to_capacity();
   return &entries_.front().token;
 }
@@ -78,7 +78,7 @@ void TokenVerifyCache::store_rejected(const crypto::Fingerprint256& fp,
   }
   entries_.push_front(std::move(e));
   index_[fp] = entries_.begin();
-  ++stats_.insertions;
+  counters_.insertions.inc();
   evict_to_capacity();
 }
 
@@ -86,7 +86,7 @@ void TokenVerifyCache::evict_to_capacity() {
   while (entries_.size() > capacity_) {
     index_.erase(entries_.back().fp);
     entries_.pop_back();
-    ++stats_.evictions;
+    counters_.evictions.inc();
   }
 }
 

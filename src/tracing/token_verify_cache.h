@@ -37,13 +37,17 @@
 #include <unordered_map>
 
 #include "src/common/clock.h"
+#include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/crypto/fingerprint.h"
 #include "src/tracing/authorization_token.h"
 
 namespace et::tracing {
 
-/// Counters exported alongside BrokerStats for benches and tests.
+/// Counter snapshot exported alongside BrokerStats for benches and tests.
+/// Returned by value from TokenVerifyCache::stats(), which may be called
+/// from any thread while the owning broker keeps verifying (the counters
+/// are relaxed atomics, same discipline as internal::FilterCounters).
 struct TokenCacheStats {
   std::uint64_t hits = 0;           // cached OK served
   std::uint64_t negative_hits = 0;  // cached rejection served
@@ -101,7 +105,19 @@ class TokenVerifyCache {
   void store_rejected(const crypto::Fingerprint256& fp, Status verdict,
                       TimePoint now);
 
-  [[nodiscard]] const TokenCacheStats& stats() const { return stats_; }
+  /// Snapshot of the counters. Safe to call from any thread (counters are
+  /// relaxed atomics); the structural accessors below are still
+  /// single-context like the rest of the cache.
+  [[nodiscard]] TokenCacheStats stats() const {
+    TokenCacheStats s;
+    s.hits = counters_.hits.get();
+    s.negative_hits = counters_.negative_hits.get();
+    s.misses = counters_.misses.get();
+    s.expired = counters_.expired.get();
+    s.insertions = counters_.insertions.get();
+    s.evictions = counters_.evictions.get();
+    return s;
+  }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
@@ -114,6 +130,17 @@ class TokenVerifyCache {
     TimePoint stale_at = 0;  // full verification required after this
   };
 
+  /// Live counters; relaxed because each is independent and readers only
+  /// ever want monotonic totals.
+  struct Counters {
+    RelaxedCounter hits;
+    RelaxedCounter negative_hits;
+    RelaxedCounter misses;
+    RelaxedCounter expired;
+    RelaxedCounter insertions;
+    RelaxedCounter evictions;
+  };
+
   using Lru = std::list<Entry>;
 
   void evict_to_capacity();
@@ -124,7 +151,7 @@ class TokenVerifyCache {
   std::unordered_map<crypto::Fingerprint256, Lru::iterator,
                      crypto::Fingerprint256Hash>
       index_;
-  TokenCacheStats stats_;
+  Counters counters_;
 };
 
 }  // namespace et::tracing

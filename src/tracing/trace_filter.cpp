@@ -1,6 +1,7 @@
 #include "src/tracing/trace_filter.h"
 
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "src/crypto/fingerprint.h"
@@ -22,6 +23,18 @@ bool rejection_is_deterministic(const Status& s, const AuthorizationToken& t,
   return now - skew >= t.valid_until();
 }
 
+/// Is `m` a trace publication this filter polices? Returns the parsed
+/// topic when yes.
+std::optional<pubsub::ConstrainedTopic> trace_publication(
+    const pubsub::Message& m) {
+  auto ct = pubsub::ConstrainedTopic::parse(m.topic);
+  if (!ct || ct->event_type != "Traces" || !ct->constrainer_is_broker() ||
+      ct->allowed != pubsub::AllowedActions::kPublishOnly) {
+    return std::nullopt;  // not a trace publication; other rules apply
+  }
+  return ct;
+}
+
 }  // namespace
 
 pubsub::MessageFilter make_trace_filter(const TrustAnchors& anchors,
@@ -35,11 +48,8 @@ pubsub::MessageFilter make_trace_filter(
     std::shared_ptr<internal::FilterCounters> counters) {
   auto verify = [anchors, &backend, cache = std::move(cache)](
                     const pubsub::Message& m) -> std::optional<Status> {
-    const auto ct = pubsub::ConstrainedTopic::parse(m.topic);
-    if (!ct || ct->event_type != "Traces" || !ct->constrainer_is_broker() ||
-        ct->allowed != pubsub::AllowedActions::kPublishOnly) {
-      return std::nullopt;  // not a trace publication; other rules apply
-    }
+    const auto ct = trace_publication(m);
+    if (!ct) return std::nullopt;
 
     if (m.auth_token.empty()) {
       return unauthenticated("trace message without authorization token");
@@ -103,7 +113,8 @@ pubsub::MessageFilter make_trace_filter(
   };
 
   return [verify = std::move(verify), counters = std::move(counters)](
-             const pubsub::Message& m, transport::NodeId) -> Status {
+             pubsub::Broker&, pubsub::Message& m,
+             transport::NodeId) -> pubsub::FilterVerdict {
     const std::optional<Status> verdict = verify(m);
     if (counters) {
       if (!verdict) {
@@ -113,43 +124,57 @@ pubsub::MessageFilter make_trace_filter(
         (verdict->is_ok() ? counters->accepted : counters->rejected).inc();
       }
     }
-    return verdict.value_or(Status::ok());
+    if (verdict && !verdict->is_ok()) {
+      return pubsub::FilterVerdict::reject(*verdict);
+    }
+    return pubsub::FilterVerdict::accept();
   };
 }
-
-namespace {
-
-TraceFilterHandle build_filter(pubsub::MessageFilter& out,
-                               const TrustAnchors& anchors,
-                               transport::NetworkBackend& backend,
-                               const TracingConfig& config) {
-  std::shared_ptr<TokenVerifyCache> cache;
-  if (config.token_cache_capacity > 0) {
-    cache = std::make_shared<TokenVerifyCache>(config.token_cache_capacity,
-                                               config.token_cache_ttl);
-  }
-  auto counters = std::make_shared<internal::FilterCounters>();
-  out = make_trace_filter(anchors, backend, cache, counters);
-  return {std::move(cache), std::move(counters)};
-}
-
-}  // namespace
 
 TraceFilterHandle install_trace_filter(pubsub::Broker::Options& options,
                                        const TrustAnchors& anchors,
                                        transport::NetworkBackend& backend,
                                        const TracingConfig& config) {
-  return build_filter(options.message_filter, anchors, backend, config);
-}
+  const TracingConfig::Verification verification =
+      config.effective_verification();
+  std::shared_ptr<TokenVerifyCache> cache;
+  if (verification.cache_capacity > 0) {
+    cache = std::make_shared<TokenVerifyCache>(verification.cache_capacity,
+                                               verification.cache_ttl);
+  }
+  auto counters = std::make_shared<internal::FilterCounters>();
+  auto pipeline = std::make_shared<VerifyPipeline>(
+      anchors, backend, cache, verification,
+      [counters](bool accepted) {
+        (accepted ? counters->accepted : counters->rejected).inc();
+      });
 
-TraceFilterHandle install_trace_filter(pubsub::Broker& broker,
-                                       const TrustAnchors& anchors,
-                                       const TracingConfig& config) {
-  pubsub::MessageFilter filter;
-  TraceFilterHandle handle =
-      build_filter(filter, anchors, broker.backend(), config);
-  broker.set_message_filter(std::move(filter));
-  return handle;
+  // The filter does only the cheap gates inline; everything that costs an
+  // RSA operation is deferred into the pipeline and resolved through the
+  // broker's deferred-verdict hooks.
+  options.message_filter =
+      [counters, pipeline](pubsub::Broker& self, pubsub::Message& m,
+                           transport::NodeId from) -> pubsub::FilterVerdict {
+    const auto ct = trace_publication(m);
+    if (!ct) {
+      counters->passthrough.inc();
+      return pubsub::FilterVerdict::accept();
+    }
+    counters->checked.inc();
+    if (m.auth_token.empty()) {
+      counters->rejected.inc();
+      return pubsub::FilterVerdict::reject(
+          unauthenticated("trace message without authorization token"));
+    }
+    // The first suffix segment is the trace-topic UUID the token must
+    // authorize; an empty suffix list can never match one, and the batch
+    // stage rejects it with the same status the inline filter uses.
+    std::string expected =
+        ct->suffixes.empty() ? std::string() : ct->suffixes.front();
+    pipeline->admit(self, std::move(m), std::move(expected), from);
+    return pubsub::FilterVerdict::defer();
+  };
+  return {std::move(cache), std::move(counters), std::move(pipeline)};
 }
 
 }  // namespace et::tracing

@@ -10,26 +10,26 @@
 // Anything else is discarded and counted as misbehaviour of the sending
 // peer — repeated offences get the peer disconnected by the broker.
 //
-// Per-hop fast path: the first three bullet points depend only on the
-// token bytes, which are identical for every trace a hosting broker emits
-// during one validity window. With a TokenVerifyCache installed, the RSA
-// chain (advertisement, credential, owner signature) runs once per
-// (token, validity window) and only the per-message delegate-signature
-// check runs for each trace. See token_verify_cache.h for the caching
-// rules that keep this safe.
-//
-// Installation: the preferred path fills in Broker::Options before the
-// broker exists —
+// Installation — the only path is filling in Broker::Options before the
+// broker exists:
 //
 //   pubsub::Broker::Options opts{.name = "broker-0"};
 //   auto handle = install_trace_filter(opts, anchors, net, config);
 //   pubsub::Broker broker(net, std::move(opts));
 //
-// — and hands back a TraceFilterHandle for reading cache and filter
-// statistics. A shim overload wires an already-constructed broker via
-// Broker::set_message_filter. Future verification-stage stats (e.g. the
-// planned batch signature verification, ROADMAP) extend the handle
-// instead of changing these signatures again.
+// The installed filter is the *batched pipeline*: it performs only the
+// cheap gates inline (topic grammar, token presence), defers the message
+// into a VerifyPipeline and resolves it through the broker's
+// deferred-verdict hooks — see verify_pipeline.h for the batching,
+// ordering and determinism rules. The returned TraceFilterHandle is the
+// one place to observe the broker's per-hop verification: filter verdict
+// counters, the token cache and its hit rates, and the pipeline's
+// batch-stage counters.
+//
+// make_trace_filter() still builds the *inline* reference filter — every
+// message fully verified on the spot, no deferral — which benches compare
+// the pipeline against and tests use to exercise verification without a
+// running overlay.
 #pragma once
 
 #include <memory>
@@ -38,6 +38,7 @@
 #include "src/pubsub/broker.h"
 #include "src/tracing/config.h"
 #include "src/tracing/token_verify_cache.h"
+#include "src/tracing/verify_pipeline.h"
 
 namespace et::tracing {
 
@@ -66,31 +67,48 @@ struct FilterCounters {
 
 /// Handle returned by install_trace_filter: one place to observe a
 /// broker's per-hop verification (filter verdict counters + the token
-/// cache and its hit rates). Copyable; default-constructed handles read
-/// as empty. The cache pointer is nullptr when the config disables
-/// caching.
+/// cache and its hit rates + the verification pipeline's batch counters).
+/// Copyable; default-constructed handles read as empty. The cache pointer
+/// is nullptr when the config disables caching.
 class TraceFilterHandle {
  public:
   TraceFilterHandle() = default;
   TraceFilterHandle(std::shared_ptr<TokenVerifyCache> cache,
-                    std::shared_ptr<internal::FilterCounters> counters)
-      : cache_(std::move(cache)), counters_(std::move(counters)) {}
+                    std::shared_ptr<internal::FilterCounters> counters,
+                    std::shared_ptr<VerifyPipeline> pipeline = nullptr)
+      : cache_(std::move(cache)),
+        counters_(std::move(counters)),
+        pipeline_(std::move(pipeline)) {}
 
   /// The broker's token-verification cache (nullptr when disabled).
   [[nodiscard]] const std::shared_ptr<TokenVerifyCache>& cache() const {
     return cache_;
   }
 
-  /// Cache counters; zeros when caching is disabled. NOTE: the cache is
-  /// touched only from its broker's node context — read after quiescing
-  /// (or accept slightly stale values).
+  /// Cache counters; zeros when caching is disabled. Safe from any thread
+  /// (relaxed atomics).
   [[nodiscard]] TokenCacheStats cache_stats() const {
     return cache_ ? cache_->stats() : TokenCacheStats{};
   }
 
-  /// Filter verdict counters; safe from any thread.
+  /// Filter verdict counters; safe from any thread. For messages the
+  /// pipeline defers, accepted/rejected tick when the verdict is applied,
+  /// not at admission — quiesce (pipeline()->idle()) before asserting
+  /// exact totals.
   [[nodiscard]] TraceFilterStats stats() const {
     return counters_ ? counters_->snapshot() : TraceFilterStats{};
+  }
+
+  /// Batch-stage counters; zeros when this handle observes an inline
+  /// filter. Safe from any thread.
+  [[nodiscard]] VerifyPipelineStats pipeline_stats() const {
+    return pipeline_ ? pipeline_->stats() : VerifyPipelineStats{};
+  }
+
+  /// The verification pipeline (nullptr for inline filters) — tests poll
+  /// pipeline()->idle() to synchronize with deferred verdicts.
+  [[nodiscard]] const std::shared_ptr<VerifyPipeline>& pipeline() const {
+    return pipeline_;
   }
 
   /// True when this handle observes an installed filter.
@@ -99,35 +117,31 @@ class TraceFilterHandle {
  private:
   std::shared_ptr<TokenVerifyCache> cache_;
   std::shared_ptr<internal::FilterCounters> counters_;
+  std::shared_ptr<VerifyPipeline> pipeline_;
 };
 
-/// Builds the uncached (reference) filter; `backend` supplies the
+/// Builds the uncached inline (reference) filter; `backend` supplies the
 /// verification clock. Every message pays the full verification chain.
 pubsub::MessageFilter make_trace_filter(const TrustAnchors& anchors,
                                         transport::NetworkBackend& backend);
 
-/// Builds the filter with a token-verification cache and optional verdict
-/// counters. `cache` may be nullptr (equivalent to the uncached filter);
-/// it must outlive the filter and, like the broker it serves, is touched
-/// only from that broker's node context. `counters`, when given, is
-/// incremented per verdict (relaxed atomics, readable anywhere).
+/// Builds the inline filter with a token-verification cache and optional
+/// verdict counters. `cache` may be nullptr (equivalent to the uncached
+/// filter); it must outlive the filter and, like the broker it serves, is
+/// touched only from that broker's node context. `counters`, when given,
+/// is incremented per verdict (relaxed atomics, readable anywhere).
 pubsub::MessageFilter make_trace_filter(
     const TrustAnchors& anchors, transport::NetworkBackend& backend,
     std::shared_ptr<TokenVerifyCache> cache,
     std::shared_ptr<internal::FilterCounters> counters = nullptr);
 
-/// Construction path: fills `options.message_filter` with a trace filter
-/// sized per `config` (token_cache_capacity / token_cache_ttl), for a
-/// broker about to be constructed on `backend`. Returns the stats handle.
+/// Fills `options.message_filter` with the pipeline-backed trace filter
+/// for a broker about to be constructed on `backend`, sized per
+/// `config.effective_verification()` (cache capacity/TTL + batch knobs).
+/// Returns the stats handle.
 TraceFilterHandle install_trace_filter(pubsub::Broker::Options& options,
                                        const TrustAnchors& anchors,
                                        transport::NetworkBackend& backend,
-                                       const TracingConfig& config = {});
-
-/// Shim: installs the filter on an already-constructed broker via
-/// Broker::set_message_filter (must complete before traffic starts).
-TraceFilterHandle install_trace_filter(pubsub::Broker& broker,
-                                       const TrustAnchors& anchors,
                                        const TracingConfig& config = {});
 
 }  // namespace et::tracing

@@ -26,7 +26,7 @@ TracingBrokerService::TracingBrokerService(pubsub::Broker& broker,
       /*local_only=*/true);
   // A client whose link vanished without a silent-mode request gets a
   // DISCONNECT trace (paper Table 1) and its session torn down.
-  broker_.set_client_unreachable_handler([this](const std::string& entity) {
+  broker_.add_client_unreachable_listener([this](const std::string& entity) {
     const auto it = by_entity_.find(entity);
     if (it == by_entity_.end()) return;
     const auto sit = sessions_.find(it->second);

@@ -25,7 +25,7 @@ struct BrokerFixture : ::testing::Test {
 };
 
 TEST_F(BrokerFixture, ClientConnectAck) {
-  Broker& b = topo.add_broker("b0");
+  Broker& b = topo.add_broker({.name = "b0"});
   Client c(net, "client-1");
   Status connect_status = internal_error("no callback");
   c.connect(b.node(), fast(), [&](const Status& s) { connect_status = s; });
@@ -36,7 +36,7 @@ TEST_F(BrokerFixture, ClientConnectAck) {
 }
 
 TEST_F(BrokerFixture, PubSubDeliveryOnOneBroker) {
-  Broker& b = topo.add_broker("b0");
+  Broker& b = topo.add_broker({.name = "b0"});
   Client pub(net, "producer");
   Client sub(net, "consumer");
   pub.connect(b.node(), fast());
@@ -54,7 +54,7 @@ TEST_F(BrokerFixture, PubSubDeliveryOnOneBroker) {
 }
 
 TEST_F(BrokerFixture, WildcardSubscription) {
-  Broker& b = topo.add_broker("b0");
+  Broker& b = topo.add_broker({.name = "b0"});
   Client pub(net, "p");
   Client sub(net, "s");
   pub.connect(b.node(), fast());
@@ -70,7 +70,7 @@ TEST_F(BrokerFixture, WildcardSubscription) {
 }
 
 TEST_F(BrokerFixture, PublisherDoesNotReceiveOwnMessageUnlessSubscribed) {
-  Broker& b = topo.add_broker("b0");
+  Broker& b = topo.add_broker({.name = "b0"});
   Client c(net, "both");
   c.connect(b.node(), fast());
   int got = 0;
@@ -133,7 +133,7 @@ TEST_F(BrokerFixture, StarTopologyFanOut) {
 }
 
 TEST_F(BrokerFixture, UnsubscribeStopsDelivery) {
-  Broker& b = topo.add_broker("b0");
+  Broker& b = topo.add_broker({.name = "b0"});
   Client pub(net, "p");
   Client sub(net, "s");
   pub.connect(b.node(), fast());
@@ -170,7 +170,7 @@ TEST_F(BrokerFixture, InterestPropagationAfterLateSubscribe) {
 }
 
 TEST_F(BrokerFixture, ConstrainedPublishRejectedAtEdge) {
-  Broker& b = topo.add_broker("b0");
+  Broker& b = topo.add_broker({.name = "b0"});
   Client c(net, "mallory");
   c.connect(b.node(), fast());
   Status err = Status::ok();
@@ -185,7 +185,7 @@ TEST_F(BrokerFixture, ConstrainedPublishRejectedAtEdge) {
 }
 
 TEST_F(BrokerFixture, ConstrainedSubscribeRejectedAtEdge) {
-  Broker& b = topo.add_broker("b0");
+  Broker& b = topo.add_broker({.name = "b0"});
   Client c(net, "nosy");
   c.connect(b.node(), fast());
   Status sub_status = Status::ok();
@@ -197,7 +197,7 @@ TEST_F(BrokerFixture, ConstrainedSubscribeRejectedAtEdge) {
 }
 
 TEST_F(BrokerFixture, EntityConstrainerMaySubscribeItsOwnTopic) {
-  Broker& b = topo.add_broker("b0");
+  Broker& b = topo.add_broker({.name = "b0"});
   Client c(net, "entity-1");
   c.connect(b.node(), fast());
   Status sub_status = internal_error("no callback");
@@ -235,11 +235,16 @@ TEST_F(BrokerFixture, SuppressedPublicationStaysLocal) {
 }
 
 TEST_F(BrokerFixture, MessageFilterDiscardsAndStrikes) {
-  Broker& b = topo.add_broker("b0", /*misbehaviour_threshold=*/3);
-  b.set_message_filter([](const Message& m, transport::NodeId) -> Status {
-    if (m.topic == "poison") return unauthenticated("poisoned");
-    return Status::ok();
-  });
+  Broker::Options o;
+  o.name = "b0";
+  o.misbehaviour_threshold = 3;
+  o.message_filter = [](Broker&, Message& m,
+                        transport::NodeId) -> FilterVerdict {
+    if (m.topic == "poison")
+      return FilterVerdict::reject(unauthenticated("poisoned"));
+    return FilterVerdict::accept();
+  };
+  Broker& b = topo.add_broker(std::move(o));
   Client c(net, "c");
   c.connect(b.node(), fast());
   net.run_until_idle();
@@ -252,7 +257,8 @@ TEST_F(BrokerFixture, MessageFilterDiscardsAndStrikes) {
 }
 
 TEST_F(BrokerFixture, MalformedFrameCountsAsMisbehaviour) {
-  Broker& b = topo.add_broker("b0", 2);
+  Broker& b =
+      topo.add_broker({.name = "b0", .misbehaviour_threshold = 2});
   const transport::NodeId garbler =
       net.add_node("garbler", [](transport::NodeId, Bytes) {});
   net.link(garbler, b.node(), fast());
@@ -270,13 +276,13 @@ TEST_F(BrokerFixture, TopologyRejectsCycles) {
 
 TEST_F(BrokerFixture, TopologyRejectsForeignBroker) {
   Topology other(net);
-  Broker& a = topo.add_broker("mine");
-  Broker& b = other.add_broker("theirs");
+  Broker& a = topo.add_broker({.name = "mine"});
+  Broker& b = other.add_broker({.name = "theirs"});
   EXPECT_THROW(topo.connect_brokers(a, b, fast()), std::invalid_argument);
 }
 
 TEST_F(BrokerFixture, BrokerLocalServiceReceivesMatchingMessages) {
-  Broker& b = topo.add_broker("b0");
+  Broker& b = topo.add_broker({.name = "b0"});
   std::vector<std::string> service_got;
   b.subscribe_local("svc/input/#", [&](const Message& m) {
     service_got.push_back(et::to_string(m.payload));
@@ -309,9 +315,11 @@ TEST_F(BrokerFixture, OptionsConstructionWiresFilterAndHandler) {
   Broker::Options o;
   o.name = "b0";
   o.misbehaviour_threshold = 2;
-  o.message_filter = [](const Message& m, transport::NodeId) -> Status {
-    if (m.topic == "poison") return unauthenticated("poisoned");
-    return Status::ok();
+  o.message_filter = [](Broker&, Message& m,
+                        transport::NodeId) -> FilterVerdict {
+    if (m.topic == "poison")
+      return FilterVerdict::reject(unauthenticated("poisoned"));
+    return FilterVerdict::accept();
   };
   Broker& b = topo.add_broker(std::move(o));
   EXPECT_EQ(b.name(), "b0");

@@ -95,7 +95,7 @@ TEST(WireRobustnessTest, TruncationsAllThrow) {
 TEST(WireRobustnessTest, BrokerSurvivesGarbageFlood) {
   transport::VirtualTimeNetwork net(1005);
   Topology topo(net);
-  Broker& b = topo.add_broker("b0", /*misbehaviour_threshold=*/1000);
+  Broker& b = topo.add_broker({.name = "b0", .misbehaviour_threshold = 1000});
   Rng rng(1006);
 
   const transport::NodeId hose =
@@ -121,7 +121,7 @@ TEST(WireRobustnessTest, BrokerSurvivesGarbageFlood) {
 TEST(WireRobustnessTest, ClientSurvivesGarbageFromBroker) {
   transport::VirtualTimeNetwork net(1007);
   Topology topo(net);
-  Broker& b = topo.add_broker("b0");
+  Broker& b = topo.add_broker({.name = "b0"});
   Client c(net, "victim");
   c.connect(b.node(), transport::LinkParams::ideal_profile());
   net.run_until_idle();

@@ -70,6 +70,15 @@ struct CachedFilterFixture : ::testing::Test {
     return trace_message(t, ad);
   }
 
+  /// Drives a filter the way a broker would and folds the verdict back to
+  /// a Status (the inline filter never defers). Copies the message: the
+  /// new MessageFilter signature mutates its argument on deferral.
+  Status run(const pubsub::MessageFilter& f, pubsub::Message m) {
+    const pubsub::FilterVerdict v = f(broker, m, 0);
+    return v.accepted() ? Status::ok() : v.status;
+  }
+  Status run(pubsub::Message m) { return run(filter, std::move(m)); }
+
   Rng rng;
   crypto::CertificateAuthority ca;
   transport::VirtualTimeNetwork net;
@@ -80,13 +89,14 @@ struct CachedFilterFixture : ::testing::Test {
   TrustAnchors anchors;
   std::shared_ptr<TokenVerifyCache> cache;
   pubsub::MessageFilter filter;
+  pubsub::Broker broker{net, {.name = "fixture-broker"}};
 };
 
 TEST_F(CachedFilterFixture, SteadyStateHitsAfterOneMiss) {
   const AuthorizationToken t = make_token();
   const pubsub::Message m = trace_message(t);
   for (int i = 0; i < 100; ++i) {
-    ASSERT_TRUE(filter(m, 0).is_ok()) << "round " << i;
+    ASSERT_TRUE(run(m).is_ok()) << "round " << i;
   }
   EXPECT_EQ(cache->stats().misses, 1u);
   EXPECT_EQ(cache->stats().hits, 99u);
@@ -97,18 +107,18 @@ TEST_F(CachedFilterFixture, SteadyStateHitsAfterOneMiss) {
 TEST_F(CachedFilterFixture, CachedOkIsReRejectedAfterExpiry) {
   const AuthorizationToken t = make_token(0, 2 * kSecond);
   const pubsub::Message m = trace_message(t);
-  EXPECT_TRUE(filter(m, 0).is_ok());  // miss: full chain
-  EXPECT_TRUE(filter(m, 0).is_ok());  // hit
+  EXPECT_TRUE(run(m).is_ok());  // miss: full chain
+  EXPECT_TRUE(run(m).is_ok());  // hit
   ASSERT_EQ(cache->stats().hits, 1u);
 
   // Advance the virtual clock past the validity window (plus skew): the
   // cached OK must die with the token.
   net.run_for(3 * kSecond);
-  EXPECT_EQ(filter(m, 0).code(), Code::kExpired);
+  EXPECT_EQ(run(m).code(), Code::kExpired);
   EXPECT_GE(cache->stats().expired, 1u);
   // The lapsed window is monotonic, so the rejection is now cacheable:
   // byte-identical resends are turned away without any RSA work.
-  EXPECT_EQ(filter(m, 0).code(), Code::kExpired);
+  EXPECT_EQ(run(m).code(), Code::kExpired);
   EXPECT_GE(cache->stats().negative_hits, 1u);
 }
 
@@ -122,9 +132,9 @@ TEST_F(CachedFilterFixture, BadSignatureNeverServedOkOnResend) {
       ad, delegate.public_key, TokenRights::kPublish, 0, 600 * kSecond,
       mallory.keys.private_key);
   const pubsub::Message m = trace_message(forged);
-  EXPECT_EQ(filter(m, 0).code(), Code::kUnauthenticated);
+  EXPECT_EQ(run(m).code(), Code::kUnauthenticated);
   // Byte-identical resend: served the cached rejection, never OK.
-  EXPECT_EQ(filter(m, 0).code(), Code::kUnauthenticated);
+  EXPECT_EQ(run(m).code(), Code::kUnauthenticated);
   EXPECT_EQ(cache->stats().hits, 0u);
   EXPECT_GE(cache->stats().negative_hits, 1u);
 }
@@ -132,15 +142,15 @@ TEST_F(CachedFilterFixture, BadSignatureNeverServedOkOnResend) {
 TEST_F(CachedFilterFixture, TamperedTokenCannotAliasCachedVerdict) {
   const AuthorizationToken good = make_token();
   const pubsub::Message m = trace_message(good);
-  ASSERT_TRUE(filter(m, 0).is_ok());
+  ASSERT_TRUE(run(m).is_ok());
 
   // Flip one bit of the attached token: the fingerprint changes, so the
   // tampered bytes cannot ride the good token's cached OK.
   pubsub::Message tampered = m;
   tampered.auth_token.back() ^= 0x01;
-  EXPECT_FALSE(filter(tampered, 0).is_ok());
+  EXPECT_FALSE(run(tampered).is_ok());
   // And the good token still verifies from the cache.
-  EXPECT_TRUE(filter(m, 0).is_ok());
+  EXPECT_TRUE(run(m).is_ok());
   EXPECT_GE(cache->stats().hits, 1u);
 }
 
@@ -148,8 +158,8 @@ TEST_F(CachedFilterFixture, MalformedTokensAreNotCached) {
   const AuthorizationToken t = make_token();
   pubsub::Message m = trace_message(t);
   m.auth_token = to_bytes("garbage-not-a-token");
-  EXPECT_EQ(filter(m, 0).code(), Code::kUnauthenticated);
-  EXPECT_EQ(filter(m, 0).code(), Code::kUnauthenticated);
+  EXPECT_EQ(run(m).code(), Code::kUnauthenticated);
+  EXPECT_EQ(run(m).code(), Code::kUnauthenticated);
   EXPECT_EQ(cache->stats().insertions, 0u);
   EXPECT_EQ(cache->size(), 0u);
 }
@@ -158,32 +168,32 @@ TEST_F(CachedFilterFixture, NotYetValidIsNotNegativelyCached) {
   const AuthorizationToken t =
       make_token(5 * kSecond, 600 * kSecond);
   const pubsub::Message m = trace_message(t);
-  EXPECT_EQ(filter(m, 0).code(), Code::kExpired);  // "not yet valid"
+  EXPECT_EQ(run(m).code(), Code::kExpired);  // "not yet valid"
   EXPECT_EQ(cache->stats().insertions, 0u);
   // Once the window opens the same bytes must verify.
   net.run_for(6 * kSecond);
-  EXPECT_TRUE(filter(m, 0).is_ok());
+  EXPECT_TRUE(run(m).is_ok());
 }
 
 TEST_F(CachedFilterFixture, CachedTokenStillRejectsWrongTopic) {
   const AuthorizationToken t = make_token();
-  ASSERT_TRUE(filter(trace_message(t), 0).is_ok());  // cached OK
+  ASSERT_TRUE(run(trace_message(t)).is_ok());  // cached OK
 
   // Same (cached) token attached to a publication on a different trace
   // topic: the per-message topic check must still reject.
   const discovery::TopicAdvertisement other_ad =
       make_advertisement(Uuid::generate(rng));
   pubsub::Message wrong = trace_message(t, other_ad);
-  EXPECT_EQ(filter(wrong, 0).code(), Code::kPermissionDenied);
+  EXPECT_EQ(run(wrong).code(), Code::kPermissionDenied);
 }
 
 TEST_F(CachedFilterFixture, CachedTokenStillChecksDelegateSignature) {
   const AuthorizationToken t = make_token();
-  ASSERT_TRUE(filter(trace_message(t), 0).is_ok());  // cached OK
+  ASSERT_TRUE(run(trace_message(t)).is_ok());  // cached OK
 
   pubsub::Message m = trace_message(t);
   m.payload.push_back(0xFF);  // bit-flip after signing
-  EXPECT_EQ(filter(m, 0).code(), Code::kUnauthenticated);
+  EXPECT_EQ(run(m).code(), Code::kUnauthenticated);
 }
 
 TEST_F(CachedFilterFixture, EvictionAtCapacityKeepsFilterCorrect) {
@@ -202,7 +212,7 @@ TEST_F(CachedFilterFixture, EvictionAtCapacityKeepsFilterCorrect) {
   }
   for (int round = 0; round < 3; ++round) {
     for (int i = 0; i < 3; ++i) {
-      EXPECT_TRUE(f(trace_message(tokens[i], ads[i]), 0).is_ok())
+      EXPECT_TRUE(run(f, trace_message(tokens[i], ads[i])).is_ok())
           << "round " << round << " token " << i;
     }
   }
@@ -216,13 +226,13 @@ TEST_F(CachedFilterFixture, ZeroCapacityDisablesStorageNotCorrectness) {
   auto f = make_trace_filter(anchors, net, disabled);
   const AuthorizationToken t = make_token();
   const pubsub::Message m = trace_message(t);
-  EXPECT_TRUE(f(m, 0).is_ok());
-  EXPECT_TRUE(f(m, 0).is_ok());
+  EXPECT_TRUE(run(f, m).is_ok());
+  EXPECT_TRUE(run(f, m).is_ok());
   EXPECT_EQ(disabled->stats().hits, 0u);
   EXPECT_EQ(disabled->size(), 0u);
   pubsub::Message bad = m;
   bad.payload.push_back(0x01);
-  EXPECT_FALSE(f(bad, 0).is_ok());
+  EXPECT_FALSE(run(f, bad).is_ok());
 }
 
 TEST_F(CachedFilterFixture, TtlForcesFullReverification) {
@@ -231,10 +241,10 @@ TEST_F(CachedFilterFixture, TtlForcesFullReverification) {
   auto f = make_trace_filter(anchors, net, short_ttl);
   const AuthorizationToken t = make_token();
   const pubsub::Message m = trace_message(t);
-  EXPECT_TRUE(f(m, 0).is_ok());  // miss
-  EXPECT_TRUE(f(m, 0).is_ok());  // hit
+  EXPECT_TRUE(run(f, m).is_ok());  // miss
+  EXPECT_TRUE(run(f, m).is_ok());  // hit
   net.run_for(2 * kSecond);      // past the TTL, token still valid
-  EXPECT_TRUE(f(m, 0).is_ok());  // full chain re-ran
+  EXPECT_TRUE(run(f, m).is_ok());  // full chain re-ran
   EXPECT_GE(short_ttl->stats().expired, 1u);
   EXPECT_EQ(short_ttl->stats().misses, 1u);
   EXPECT_EQ(short_ttl->stats().insertions, 2u);
@@ -279,7 +289,7 @@ TEST(TokenCacheE2eTest, DownstreamBrokerCacheReachesSteadyState) {
   // Broker 1 receives every trace from its neighbour and must verify the
   // (byte-identical) token each time: one full chain, the rest cache hits.
   ASSERT_NE(h.token_caches.at(1), nullptr);
-  const TokenCacheStats& s = h.token_caches[1]->stats();
+  const TokenCacheStats s = h.token_caches[1]->stats();
   EXPECT_GE(s.hits, 5u);
   EXPECT_LE(s.misses, 2u);  // first trace (+ a renewal at most)
   EXPECT_GT(s.hit_rate(), 0.8);

@@ -159,37 +159,46 @@ struct FilterFixture : TokenFixture {
     return m;
   }
 
+  /// Drives the filter the way a broker would and folds the verdict back
+  /// to a Status (the inline filter never defers). Copies the message:
+  /// MessageFilter mutates its argument on deferral.
+  Status run(pubsub::Message m) {
+    const pubsub::FilterVerdict v = filter(broker, m, 0);
+    return v.accepted() ? Status::ok() : v.status;
+  }
+
   transport::VirtualTimeNetwork net{9};
   TrustAnchors anchors;
   pubsub::MessageFilter filter;
+  pubsub::Broker broker{net, {.name = "fixture-broker"}};
 };
 
 TEST_F(FilterFixture, AcceptsProperlyTokenedTrace) {
   const AuthorizationToken t = make_token();
   const pubsub::Message m = trace_message(t, delegate.private_key);
-  EXPECT_TRUE(filter(m, 0).is_ok());
+  EXPECT_TRUE(run(m).is_ok());
 }
 
 TEST_F(FilterFixture, IgnoresNonTraceTopics) {
   pubsub::Message m;
   m.topic = "plain/topic";
-  EXPECT_TRUE(filter(m, 0).is_ok());
+  EXPECT_TRUE(run(m).is_ok());
   m.topic = "Constrained/Traces/Broker/Subscribe-Only/Registration";
-  EXPECT_TRUE(filter(m, 0).is_ok());  // Subscribe-Only: not a publication
+  EXPECT_TRUE(run(m).is_ok());  // Subscribe-Only: not a publication
 }
 
 TEST_F(FilterFixture, RejectsMissingToken) {
   const AuthorizationToken t = make_token();
   pubsub::Message m = trace_message(t, delegate.private_key);
   m.auth_token.clear();
-  EXPECT_EQ(filter(m, 0).code(), Code::kUnauthenticated);
+  EXPECT_EQ(run(m).code(), Code::kUnauthenticated);
 }
 
 TEST_F(FilterFixture, RejectsGarbageToken) {
   const AuthorizationToken t = make_token();
   pubsub::Message m = trace_message(t, delegate.private_key);
   m.auth_token = to_bytes("garbage");
-  EXPECT_FALSE(filter(m, 0).is_ok());
+  EXPECT_FALSE(run(m).is_ok());
 }
 
 TEST_F(FilterFixture, RejectsWrongTopicToken) {
@@ -206,13 +215,13 @@ TEST_F(FilterFixture, RejectsWrongTopicToken) {
       600 * kSecond, owner.keys.private_key);
   pubsub::Message m = trace_message(t, delegate.private_key);
   // m.topic still names the original ad's UUID.
-  EXPECT_EQ(filter(m, 0).code(), Code::kPermissionDenied);
+  EXPECT_EQ(run(m).code(), Code::kPermissionDenied);
 }
 
 TEST_F(FilterFixture, RejectsWrongSigner) {
   const AuthorizationToken t = make_token();
   const pubsub::Message m = trace_message(t, owner.keys.private_key);
-  EXPECT_EQ(filter(m, 0).code(), Code::kUnauthenticated);
+  EXPECT_EQ(run(m).code(), Code::kUnauthenticated);
 }
 
 TEST_F(FilterFixture, RejectsSubscribeRightsToken) {
@@ -220,14 +229,14 @@ TEST_F(FilterFixture, RejectsSubscribeRightsToken) {
       ad, delegate.public_key, TokenRights::kSubscribe, 0, 600 * kSecond,
       owner.keys.private_key);
   const pubsub::Message m = trace_message(t, delegate.private_key);
-  EXPECT_EQ(filter(m, 0).code(), Code::kPermissionDenied);
+  EXPECT_EQ(run(m).code(), Code::kPermissionDenied);
 }
 
 TEST_F(FilterFixture, RejectsTamperedPayload) {
   const AuthorizationToken t = make_token();
   pubsub::Message m = trace_message(t, delegate.private_key);
   m.payload.push_back(0xFF);  // bit-flip after signing
-  EXPECT_EQ(filter(m, 0).code(), Code::kUnauthenticated);
+  EXPECT_EQ(run(m).code(), Code::kUnauthenticated);
 }
 
 // --- payload serialization -------------------------------------------------
