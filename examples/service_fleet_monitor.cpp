@@ -6,8 +6,12 @@
 //
 // Twelve services spread over a 4-broker chain; an operations monitor
 // tracks all of them from the far end, keeps an availability board, and
-// "restarts" (recovers) services it sees FAILED. Random crashes are
-// injected. Deterministic virtual-time simulation.
+// "restarts" (recovers) services it sees FAILED. Random service crashes
+// are injected — and then an entire broker is killed mid-run: the
+// services it hosted detect the silence, fail over to surviving brokers
+// (find_broker -> re-register -> re-mint, DESIGN.md §11) and the board
+// shows them RECOVERING -> READY without operator involvement.
+// Deterministic virtual-time simulation.
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -15,6 +19,7 @@
 #include <vector>
 
 #include "src/crypto/credential.h"
+#include "src/discovery/discovery_client.h"
 #include "src/discovery/tdn.h"
 #include "src/pubsub/topology.h"
 #include "src/tracing/trace_filter.h"
@@ -64,6 +69,16 @@ int main() {
   config.failed_misses = 4;
   config.gauge_interval = 2 * kSecond;
   config.delegate_key_bits = 512;  // demo speed
+  // Failure recovery (DESIGN.md §11): presumed-departed teardown after 8
+  // total misses, and entity-side failover when the hosting broker goes
+  // silent for 2 s.
+  config.disconnect_misses = 8;
+  config.broker_silence_timeout = 2 * kSecond;
+  config.retry.max_attempts = 0;  // keep hunting for a broker, forever
+  config.retry.initial_backoff = 100 * kMillisecond;
+  config.retry.max_backoff = kSecond;
+  config.retry.deadline = 10 * kSecond;
+  config.recovery_announce_delay = 2500 * kMillisecond;
 
   const transport::LinkParams lan = transport::LinkParams::tcp_profile();
   pubsub::Topology topology(net);
@@ -79,6 +94,21 @@ int main() {
     services.push_back(std::make_unique<tracing::TracingBrokerService>(
         *brokers[i], anchors, config, 1000 + i));
   }
+
+  // Enroll every broker in the TDN's registry so failing-over services
+  // can rediscover a host.
+  discovery::DiscoveryClient registrar(
+      net, crypto::Identity::create("registrar", ca, rng, net.now(),
+                                    24 * 3600 * kSecond, 512));
+  registrar.attach_tdn(tdn.node(), lan);
+  for (auto* b : brokers) {
+    registrar.register_broker(
+        b->name(), b->node(),
+        crypto::Identity::create(b->name(), ca, rng, net.now(),
+                                 24 * 3600 * kSecond, 512)
+            .credential);
+  }
+  net.run_for(50 * kMillisecond);
 
   // The fleet: services attach to brokers round-robin.
   std::vector<std::unique_ptr<tracing::TracedEntity>> fleet;
@@ -136,18 +166,26 @@ int main() {
               ++board.failures_seen;
               std::printf("[monitor] t=%.1fs %s FAILED — issuing restart\n",
                           to_millis(net.now()) / 1000.0, name.c_str());
-              // Remedial action: "restart" the service after a delay.
+              // Remedial action: "restart" the service after a delay,
+              // then declare it healthy once warm-up completes.
               net.schedule(monitor.client().node(), 800 * kMillisecond,
                            [svc] {
                              svc->set_responsive(true);
                              svc->set_state(
                                  tracing::EntityState::kRecovering);
                            });
+              net.schedule(monitor.client().node(), 2500 * kMillisecond,
+                           [svc] {
+                             svc->set_state(tracing::EntityState::kReady);
+                           });
               break;
             }
             case tracing::TraceType::kRecovering:
               board.status[name] = "RECOVERING";
               ++board.recoveries_seen;
+              break;
+            case tracing::TraceType::kDisconnect:
+              board.status[name] = "DISCONNECTED";
               break;
             default:
               break;
@@ -172,10 +210,36 @@ int main() {
   net.run_for(4 * kSecond);
   board.print(net.now());
 
-  std::printf("\n== run complete: %d failures detected, %d recoveries ==\n",
-              board.failures_seen, board.recoveries_seen);
+  // Act two: kill an entire broker. broker-0 hosts svc-0, svc-4 and
+  // svc-8; the frozen process stops answering pings, the services'
+  // silence watchdogs fire, and each one rediscovers a surviving broker
+  // through the TDN, re-registers and re-mints its delegation token. The
+  // monitor's board goes RECOVERING -> READY with no operator action.
+  std::printf("\n[chaos  ] t=%.1fs killing broker-0 (hosts svc-0/4/8)\n",
+              to_millis(net.now()) / 1000.0);
+  topology.crash(*brokers[0]);
+  net.run_for(15 * kSecond);
+  board.print(net.now());
+
+  std::uint64_t failovers = 0;
+  for (const auto& e : fleet) failovers += e->stats().failovers;
+  std::printf("\n[ops    ] t=%.1fs %llu services failed over; "
+              "restarting broker-0\n",
+              to_millis(net.now()) / 1000.0, (unsigned long long)failovers);
+  topology.restart(*brokers[0]);
+  net.run_for(3 * kSecond);
+  board.print(net.now());
+
+  int ready = 0;
+  for (const auto& [name, s] : board.status) ready += (s == "READY");
+  std::printf("\n== run complete: %d failures detected, %d recoveries, "
+              "%llu broker failovers, %d/%zu READY ==\n",
+              board.failures_seen, board.recoveries_seen,
+              (unsigned long long)failovers, ready, kServices);
   std::printf("system messages: %llu sent, %llu delivered\n",
               (unsigned long long)net.packets_sent(),
               (unsigned long long)net.packets_delivered());
-  return board.failures_seen >= 3 && board.recoveries_seen >= 3 ? 0 : 1;
+  const bool ok = board.failures_seen >= 3 && board.recoveries_seen >= 3 &&
+                  failovers >= 3 && ready == static_cast<int>(kServices);
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,36 @@
+#include "src/common/retry.h"
+
+namespace et {
+
+bool RetryState::next_delay(TimePoint now, Rng& rng, Duration* delay) {
+  if (policy_.max_attempts > 0 && attempts_ >= policy_.max_attempts) {
+    return false;
+  }
+  if (policy_.deadline > 0 && now >= started_at_ + policy_.deadline) {
+    return false;
+  }
+  // Decorrelated jitter: uniform in [base, max(base, 3 * previous)],
+  // clamped to max_backoff. First retry waits exactly the base delay.
+  Duration d = policy_.initial_backoff;
+  if (prev_ > 0) {
+    const Duration hi = prev_ * 3;
+    if (hi > d) {
+      d += static_cast<Duration>(
+          rng.next_below(static_cast<std::uint64_t>(hi - d) + 1));
+    }
+  }
+  if (d > policy_.max_backoff) d = policy_.max_backoff;
+  if (d < 1) d = 1;
+  // Never sleep past the deadline: the final attempt fires right at it.
+  if (policy_.deadline > 0) {
+    const TimePoint cutoff = started_at_ + policy_.deadline;
+    if (now + d > cutoff) d = cutoff - now;
+    if (d < 1) return false;
+  }
+  prev_ = d;
+  ++attempts_;
+  *delay = d;
+  return true;
+}
+
+}  // namespace et

@@ -1,0 +1,71 @@
+// Shared retry policy: exponential backoff with decorrelated jitter.
+//
+// Used wherever the system re-attempts an operation against a possibly
+// partitioned or crashed peer — TDN queries, broker registration, entity
+// failover. The jitter follows the "decorrelated" scheme (each delay is
+// uniform in [base, 3 * previous]), which avoids synchronized retry storms
+// when many entities lose the same broker at once while still growing the
+// delay exponentially in expectation.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace et {
+
+struct RetryPolicy {
+  /// Total attempts allowed (the first try counts). <= 0 means unbounded.
+  int max_attempts = 1;
+  /// First backoff delay, and the floor of every jittered delay.
+  Duration initial_backoff = 200 * kMillisecond;
+  /// Ceiling on any single backoff delay.
+  Duration max_backoff = 5 * kSecond;
+  /// Overall deadline measured from RetryState construction; once elapsed
+  /// no further attempt is scheduled. 0 means no deadline.
+  Duration deadline = 0;
+
+  /// Single attempt, no retries — the pre-retry behaviour.
+  static RetryPolicy none() { return RetryPolicy{}; }
+
+  /// Sensible default for discovery/registration traffic: retry for up to
+  /// ~30 s with delays growing 200 ms -> 5 s.
+  static RetryPolicy standard() {
+    RetryPolicy p;
+    p.max_attempts = 0;
+    p.initial_backoff = 200 * kMillisecond;
+    p.max_backoff = 5 * kSecond;
+    p.deadline = 30 * kSecond;
+    return p;
+  }
+};
+
+/// Per-operation retry progress. Construct when the operation starts;
+/// call `next_delay` after each failed attempt.
+class RetryState {
+ public:
+  RetryState(const RetryPolicy& policy, TimePoint started_at)
+      : policy_(policy), started_at_(started_at), prev_(0) {}
+
+  /// Decides whether another attempt may run. Returns false when the
+  /// attempt cap or the deadline is exhausted; otherwise stores the next
+  /// backoff delay (decorrelated jitter, clamped to the deadline) in
+  /// `*delay` and returns true.
+  bool next_delay(TimePoint now, Rng& rng, Duration* delay);
+
+  /// Attempts started so far (the caller's first attempt counts once
+  /// next_delay has been consulted for it).
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+  [[nodiscard]] TimePoint started_at() const { return started_at_; }
+
+ private:
+  RetryPolicy policy_;
+  TimePoint started_at_;
+  Duration prev_;  // previous delay, drives the decorrelated jitter
+  int attempts_ = 1;
+};
+
+}  // namespace et

@@ -6,9 +6,27 @@ namespace et::discovery {
 
 using transport::NodeId;
 
+namespace {
+
+/// Stable string hash (FNV-1a) for seeding the jitter Rng: std::hash is
+/// not guaranteed stable across implementations, and the virtual-time
+/// chaos tests need identical retry schedules run-to-run.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 DiscoveryClient::DiscoveryClient(transport::NetworkBackend& backend,
                                  crypto::Identity identity)
-    : backend_(backend), identity_(std::move(identity)) {
+    : backend_(backend),
+      identity_(std::move(identity)),
+      jitter_rng_(fnv1a(identity_.id)) {
   node_ = backend_.add_node(
       identity_.id + ".disc", [this](NodeId from, Bytes payload) {
         on_packet(from, std::move(payload));
@@ -16,8 +34,8 @@ DiscoveryClient::DiscoveryClient(transport::NetworkBackend& backend,
 }
 
 DiscoveryClient::~DiscoveryClient() {
-  for (auto& [id, pending] : pending_) {
-    backend_.cancel(pending.timeout_timer);
+  for (auto& [id, op] : ops_) {
+    backend_.cancel(op.timer);
   }
   backend_.detach(node_);
 }
@@ -25,124 +43,162 @@ DiscoveryClient::~DiscoveryClient() {
 void DiscoveryClient::attach_tdn(NodeId tdn,
                                  const transport::LinkParams& params) {
   backend_.link(node_, tdn, params);
-  tdn_ = tdn;
+  tdns_.push_back(tdn);
 }
 
 void DiscoveryClient::create_topic(const std::string& descriptor,
                                    DiscoveryRestrictions restrictions,
                                    Duration lifetime, CreateCallback cb,
                                    Duration timeout) {
-  backend_.post(node_, [this, descriptor, restrictions = std::move(restrictions),
-                        lifetime, cb = std::move(cb), timeout]() mutable {
-    const std::uint64_t req_id = next_request_++;
-    TopicCreateRequest req;
-    req.credential = identity_.credential;
-    req.descriptor = descriptor;
-    req.restrictions = std::move(restrictions);
-    req.lifetime = lifetime;
-    req.request_id = req_id;
-    req.signature = identity_.keys.private_key.sign(req.signable_bytes());
-
-    DiscFrame f;
-    f.type = DiscFrameType::kTopicCreate;
-    f.request_id = req_id;
-    f.create = std::move(req);
-
-    Pending p;
-    p.on_create = std::move(cb);
-    p.timeout_timer = backend_.schedule(node_, timeout, [this, req_id] {
-      const auto it = pending_.find(req_id);
-      if (it == pending_.end()) return;
-      auto on_create = std::move(it->second.on_create);
-      pending_.erase(it);
-      if (on_create) on_create(unavailable("topic creation timed out"));
-    });
-    pending_.emplace(req_id, std::move(p));
-
-    if (tdn_ == transport::kInvalidNode ||
-        !backend_.send(node_, tdn_, f.serialize()).is_ok()) {
-      const auto it = pending_.find(req_id);
-      if (it != pending_.end()) {
-        backend_.cancel(it->second.timeout_timer);
-        auto on_create = std::move(it->second.on_create);
-        pending_.erase(it);
-        if (on_create) on_create(unavailable("no TDN attached"));
-      }
-    }
+  backend_.post(node_, [this, descriptor,
+                        restrictions = std::move(restrictions), lifetime,
+                        cb = std::move(cb), timeout]() mutable {
+    Op op;
+    op.type = DiscFrameType::kTopicCreate;
+    op.on_create = std::move(cb);
+    op.descriptor = descriptor;
+    op.restrictions = std::move(restrictions);
+    op.lifetime = lifetime;
+    op.timeout = timeout;
+    start_op(std::move(op));
   });
 }
 
 void DiscoveryClient::discover(const std::string& query, DiscoverCallback cb,
                                Duration timeout) {
   backend_.post(node_, [this, query, cb = std::move(cb), timeout]() mutable {
-    const std::uint64_t req_id = next_request_++;
-    DiscoverRequest req;
-    req.credential = identity_.credential;
-    req.query = query;
-    req.request_id = req_id;
-    req.signature = identity_.keys.private_key.sign(req.signable_bytes());
-
-    DiscFrame f;
-    f.type = DiscFrameType::kDiscover;
-    f.request_id = req_id;
-    f.discover = std::move(req);
-
-    Pending p;
-    p.on_discover = std::move(cb);
-    p.timeout_timer = backend_.schedule(node_, timeout, [this, req_id] {
-      const auto it = pending_.find(req_id);
-      if (it == pending_.end()) return;
-      auto on_discover = std::move(it->second.on_discover);
-      pending_.erase(it);
-      // Silence from the TDN means "not discoverable for you" (§3.4).
-      if (on_discover) {
-        on_discover(not_found("discovery query went unanswered"));
-      }
-    });
-    pending_.emplace(req_id, std::move(p));
-
-    if (tdn_ == transport::kInvalidNode ||
-        !backend_.send(node_, tdn_, f.serialize()).is_ok()) {
-      const auto it = pending_.find(req_id);
-      if (it != pending_.end()) {
-        backend_.cancel(it->second.timeout_timer);
-        auto on_discover = std::move(it->second.on_discover);
-        pending_.erase(it);
-        if (on_discover) on_discover(unavailable("no TDN attached"));
-      }
-    }
+    Op op;
+    op.type = DiscFrameType::kDiscover;
+    op.on_discover = std::move(cb);
+    op.query = query;
+    op.timeout = timeout;
+    start_op(std::move(op));
   });
 }
 
 void DiscoveryClient::find_broker(BrokerCallback cb, Duration timeout) {
   backend_.post(node_, [this, cb = std::move(cb), timeout]() mutable {
-    const std::uint64_t req_id = next_request_++;
-    DiscFrame f;
-    f.type = DiscFrameType::kBrokerQuery;
-    f.request_id = req_id;
-
-    Pending p;
-    p.on_broker = std::move(cb);
-    p.timeout_timer = backend_.schedule(node_, timeout, [this, req_id] {
-      const auto it = pending_.find(req_id);
-      if (it == pending_.end()) return;
-      auto on_broker = std::move(it->second.on_broker);
-      pending_.erase(it);
-      if (on_broker) on_broker(unavailable("broker query timed out"));
-    });
-    pending_.emplace(req_id, std::move(p));
-
-    if (tdn_ == transport::kInvalidNode ||
-        !backend_.send(node_, tdn_, f.serialize()).is_ok()) {
-      const auto it = pending_.find(req_id);
-      if (it != pending_.end()) {
-        backend_.cancel(it->second.timeout_timer);
-        auto on_broker = std::move(it->second.on_broker);
-        pending_.erase(it);
-        if (on_broker) on_broker(unavailable("no TDN attached"));
-      }
-    }
+    Op op;
+    op.type = DiscFrameType::kBrokerQuery;
+    op.on_broker = std::move(cb);
+    op.timeout = timeout;
+    start_op(std::move(op));
   });
+}
+
+void DiscoveryClient::start_op(Op op) {
+  // Runs in the node context (posted by the public entry points).
+  if (tdns_.empty()) {
+    resolve_failure(std::move(op));
+    return;
+  }
+  op.retry = RetryState(policy_, backend_.now());
+  const std::uint64_t op_id = next_op_++;
+  ops_.emplace(op_id, std::move(op));
+  send_attempt(op_id);
+}
+
+void DiscoveryClient::send_attempt(std::uint64_t op_id) {
+  const auto it = ops_.find(op_id);
+  if (it == ops_.end()) return;
+  Op& op = it->second;
+
+  const std::uint64_t req_id = next_request_++;
+  op.request_ids.push_back(req_id);
+  request_to_op_.emplace(req_id, op_id);
+
+  DiscFrame f;
+  f.type = op.type;
+  f.request_id = req_id;
+  switch (op.type) {
+    case DiscFrameType::kTopicCreate: {
+      TopicCreateRequest req;
+      req.credential = identity_.credential;
+      req.descriptor = op.descriptor;
+      req.restrictions = op.restrictions;
+      req.lifetime = op.lifetime;
+      req.request_id = req_id;
+      req.signature = identity_.keys.private_key.sign(req.signable_bytes());
+      f.create = std::move(req);
+      break;
+    }
+    case DiscFrameType::kDiscover: {
+      DiscoverRequest req;
+      req.credential = identity_.credential;
+      req.query = op.query;
+      req.request_id = req_id;
+      req.signature = identity_.keys.private_key.sign(req.signable_bytes());
+      f.discover = std::move(req);
+      break;
+    }
+    default:
+      break;  // kBrokerQuery carries only the request id
+  }
+
+  const NodeId tdn = tdns_[op.tdn_cursor % tdns_.size()];
+  op.timer = backend_.schedule(node_, op.timeout,
+                               [this, op_id] { attempt_failed(op_id); });
+  if (!backend_.send(node_, tdn, f.serialize()).is_ok()) {
+    // Unreachable replica: fail the attempt now instead of waiting out
+    // the timeout (the backoff/rotation logic is shared).
+    backend_.cancel(op.timer);
+    op.timer = 0;
+    attempt_failed(op_id);
+  }
+}
+
+void DiscoveryClient::attempt_failed(std::uint64_t op_id) {
+  const auto it = ops_.find(op_id);
+  if (it == ops_.end()) return;
+  Op& op = it->second;
+  op.timer = 0;
+  Duration backoff = 0;
+  if (op.retry.next_delay(backend_.now(), jitter_rng_, &backoff)) {
+    // Rotate to the next replica; the old attempt's request id stays
+    // mapped so a straggling reply can still resolve the operation.
+    ++op.tdn_cursor;
+    op.timer = backend_.schedule(node_, backoff,
+                                 [this, op_id] { send_attempt(op_id); });
+    return;
+  }
+  resolve_failure(take_op(op_id));
+}
+
+DiscoveryClient::Op DiscoveryClient::take_op(std::uint64_t op_id) {
+  auto node = ops_.extract(op_id);
+  Op op = std::move(node.mapped());
+  for (const std::uint64_t req_id : op.request_ids) {
+    request_to_op_.erase(req_id);
+  }
+  backend_.cancel(op.timer);
+  op.timer = 0;
+  return op;
+}
+
+void DiscoveryClient::resolve_failure(Op op) {
+  switch (op.type) {
+    case DiscFrameType::kTopicCreate:
+      if (op.on_create) {
+        op.on_create(tdns_.empty()
+                         ? unavailable("no TDN attached")
+                         : unavailable("topic creation timed out"));
+      }
+      break;
+    case DiscFrameType::kDiscover:
+      if (op.on_discover) {
+        // Silence from the TDN means "not discoverable for you" (§3.4).
+        op.on_discover(tdns_.empty()
+                           ? unavailable("no TDN attached")
+                           : not_found("discovery query went unanswered"));
+      }
+      break;
+    default:
+      if (op.on_broker) {
+        op.on_broker(tdns_.empty() ? unavailable("no TDN attached")
+                                   : unavailable("broker query timed out"));
+      }
+      break;
+  }
 }
 
 void DiscoveryClient::register_broker(
@@ -155,8 +211,9 @@ void DiscoveryClient::register_broker(
     f.broker_name = broker_name;
     f.broker_node = broker_node;
     f.credential_bytes = cred;
-    if (tdn_ != transport::kInvalidNode) {
-      (void)backend_.send(node_, tdn_, f.serialize());
+    const Bytes wire = f.serialize();
+    for (const NodeId tdn : tdns_) {
+      (void)backend_.send(node_, tdn, wire);
     }
   });
 }
@@ -169,35 +226,35 @@ void DiscoveryClient::on_packet(NodeId from, Bytes payload) {
   } catch (const SerializeError&) {
     return;
   }
-  const auto it = pending_.find(f.request_id);
-  if (it == pending_.end()) return;
-  Pending p = std::move(it->second);
-  pending_.erase(it);
-  backend_.cancel(p.timeout_timer);
+  // Late or duplicate replies (an earlier attempt answering after the
+  // retry fired, or after the op resolved) miss this map and are dropped.
+  const auto rit = request_to_op_.find(f.request_id);
+  if (rit == request_to_op_.end()) return;
+  Op op = take_op(rit->second);
 
   switch (f.type) {
     case DiscFrameType::kTopicCreateResp: {
-      if (!p.on_create) break;
+      if (!op.on_create) break;
       if (f.status != 0) {
-        p.on_create(unauthenticated(f.detail));
+        op.on_create(unauthenticated(f.detail));
       } else if (f.advertisements.empty()) {
-        p.on_create(internal_error("create response without advertisement"));
+        op.on_create(internal_error("create response without advertisement"));
       } else {
-        p.on_create(std::move(f.advertisements.front()));
+        op.on_create(std::move(f.advertisements.front()));
       }
       break;
     }
     case DiscFrameType::kDiscoverResp: {
-      if (!p.on_discover) break;
-      p.on_discover(std::move(f.advertisements));
+      if (!op.on_discover) break;
+      op.on_discover(std::move(f.advertisements));
       break;
     }
     case DiscFrameType::kBrokerQueryResp: {
-      if (!p.on_broker) break;
+      if (!op.on_broker) break;
       if (f.status != 0) {
-        p.on_broker(not_found(f.detail));
+        op.on_broker(not_found(f.detail));
       } else {
-        p.on_broker(BrokerLocation{f.broker_name, f.broker_node});
+        op.on_broker(BrokerLocation{f.broker_name, f.broker_node});
       }
       break;
     }

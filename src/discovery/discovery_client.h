@@ -1,13 +1,25 @@
 // Client-side API of the discovery protocol.
 //
-// Wraps one backend node, talks to a TDN, and exposes the asynchronous
-// operations entities perform before tracing starts:
+// Wraps one backend node, talks to one or more replica TDNs, and exposes
+// the asynchronous operations entities perform before tracing starts:
 //   * create_topic   — the traced entity's first step (§3.1);
 //   * discover       — how trackers find a trace topic (§3.4); resolves
-//     with kNotFound after `timeout` because unauthorized queries are
-//     silently ignored by the TDN;
+//     with kNotFound after the retry budget because unauthorized queries
+//     are silently ignored by the TDN;
 //   * find_broker    — secure broker discovery (Ref [3] substitute);
-//   * register_broker — used by brokers to enroll in the registry.
+//   * register_broker — used by brokers to enroll in the registry
+//     (broadcast to every attached replica; registrations are not
+//     replicated TDN-to-TDN the way topic advertisements are).
+//
+// Operations run under a RetryPolicy (default: single attempt, matching
+// the paper's fire-and-wait behaviour). With a policy installed via
+// set_retry_policy, a timed-out attempt backs off with decorrelated
+// jitter, rotates to the next replica TDN, re-signs the request with a
+// fresh request id and tries again until the attempt cap or deadline is
+// exhausted. Every attempt of an operation stays resolvable: a reply to
+// attempt #1 arriving while attempt #2 is in flight completes the
+// operation (resolution is idempotent — late replies to an operation that
+// already resolved, timed out or was torn down are ignored).
 //
 // Callbacks run in the client's node context.
 #pragma once
@@ -15,7 +27,9 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "src/common/retry.h"
 #include "src/crypto/credential.h"
 #include "src/discovery/advertisement.h"
 #include "src/discovery/wire.h"
@@ -38,11 +52,17 @@ class DiscoveryClient {
   DiscoveryClient(const DiscoveryClient&) = delete;
   DiscoveryClient& operator=(const DiscoveryClient&) = delete;
 
-  /// Cancels pending timeout timers and detaches the node handler.
+  /// Cancels pending timers and detaches the node handler; operations
+  /// still in flight are dropped without invoking their callbacks.
   ~DiscoveryClient();
 
-  /// Links to a TDN; all subsequent requests go there.
+  /// Links to a TDN. May be called repeatedly: each call appends a
+  /// replica; requests round-robin across replicas on retry.
   void attach_tdn(transport::NodeId tdn, const transport::LinkParams& params);
+
+  /// Installs the retry policy for subsequent operations. The default is
+  /// RetryPolicy::none() — one attempt, preserving single-shot semantics.
+  void set_retry_policy(RetryPolicy policy) { policy_ = policy; }
 
   using CreateCallback = std::function<void(Result<TopicAdvertisement>)>;
   using DiscoverCallback =
@@ -55,38 +75,63 @@ class DiscoveryClient {
                     CreateCallback cb,
                     Duration timeout = 2 * kSecond);
 
-  /// Issues a discovery query (e.g. "Liveness/entity-7"). Times out with
-  /// kNotFound when the TDN stays silent.
+  /// Issues a discovery query (e.g. "Liveness/entity-7"). Resolves with
+  /// kNotFound when every attempt goes unanswered.
   void discover(const std::string& query, DiscoverCallback cb,
                 Duration timeout = 2 * kSecond);
 
   /// Asks the TDN for an available broker.
   void find_broker(BrokerCallback cb, Duration timeout = 2 * kSecond);
 
-  /// Enrolls a broker in the TDN's registry (called by broker owners).
+  /// Enrolls a broker in every attached TDN's registry.
   void register_broker(const std::string& broker_name,
                        transport::NodeId broker_node,
                        const crypto::Credential& broker_credential);
 
   [[nodiscard]] transport::NodeId node() const { return node_; }
 
+  /// Operations still awaiting a reply or a retry slot (diagnostics).
+  [[nodiscard]] std::size_t inflight() const { return ops_.size(); }
+
  private:
+  /// One logical operation; may span several request attempts.
+  struct Op {
+    CreateCallback on_create;
+    DiscoverCallback on_discover;
+    BrokerCallback on_broker;
+    // Request state, re-signed fresh for every attempt.
+    std::string descriptor;
+    DiscoveryRestrictions restrictions;
+    Duration lifetime = 0;
+    std::string query;
+    DiscFrameType type = DiscFrameType::kBrokerQuery;
+    Duration timeout = 0;
+    RetryState retry = RetryState(RetryPolicy::none(), 0);
+    transport::TimerId timer = 0;  // pending timeout OR backoff timer
+    std::vector<std::uint64_t> request_ids;  // every attempt, oldest first
+    std::size_t tdn_cursor = 0;
+  };
+
+  void start_op(Op op);
+  void send_attempt(std::uint64_t op_id);
+  void attempt_failed(std::uint64_t op_id);
+  /// Removes the op and all its request-id mappings, cancels its timer
+  /// and hands back the callbacks. Safe against reentrancy: by the time a
+  /// callback runs, no trace of the op remains.
+  Op take_op(std::uint64_t op_id);
+  void resolve_failure(Op op);
   void on_packet(transport::NodeId from, Bytes payload);
-  std::uint64_t arm_timeout(Duration timeout, std::function<void()> on_fire);
 
   transport::NetworkBackend& backend_;
   crypto::Identity identity_;
   transport::NodeId node_;
-  transport::NodeId tdn_ = transport::kInvalidNode;
+  std::vector<transport::NodeId> tdns_;
+  RetryPolicy policy_ = RetryPolicy::none();
+  Rng jitter_rng_;
   std::uint64_t next_request_ = 1;
-
-  struct Pending {
-    CreateCallback on_create;
-    DiscoverCallback on_discover;
-    BrokerCallback on_broker;
-    transport::TimerId timeout_timer = 0;
-  };
-  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_op_ = 1;
+  std::map<std::uint64_t, Op> ops_;                    // op id -> op
+  std::map<std::uint64_t, std::uint64_t> request_to_op_;
 };
 
 }  // namespace et::discovery

@@ -1,5 +1,7 @@
 #include "src/pubsub/client.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/common/topic_path.h"
 
@@ -63,6 +65,20 @@ void Client::unsubscribe(const std::string& pattern) {
                   [&](const auto& p) { return p.first == norm; });
     if (broker_ != transport::kInvalidNode) {
       (void)backend_.send(node_, broker_, make_unsubscribe(norm).serialize());
+    }
+  });
+}
+
+void Client::resubscribe_all() {
+  in_context([this] {
+    if (broker_ == transport::kInvalidNode) return;
+    std::vector<std::string> sent;
+    for (const auto& [pattern, handler] : handlers_) {
+      if (std::find(sent.begin(), sent.end(), pattern) != sent.end()) continue;
+      sent.push_back(pattern);
+      const std::uint64_t req = next_request_++;
+      (void)backend_.send(node_, broker_,
+                          make_subscribe(pattern, req).serialize());
     }
   });
 }

@@ -53,6 +53,13 @@ class Client {
   /// Removes local handlers for `pattern` and tells the broker.
   void unsubscribe(const std::string& pattern);
 
+  /// Replays a subscribe frame for every locally registered pattern to the
+  /// *current* broker. Broker-side subscription state is per-broker, so a
+  /// client that failed over to a new broker must call this after the
+  /// connect ack — local handlers are kept, only the broker is told.
+  /// Duplicate patterns are sent once (the broker's table dedups anyway).
+  void resubscribe_all();
+
   /// Publishes topic+payload with this client's identity stamped on.
   void publish(const std::string& topic, Bytes payload);
 

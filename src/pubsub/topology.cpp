@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/transport/fault_injector.h"
+
 namespace et::pubsub {
 
 Broker& Topology::add_broker(Broker::Options options) {
@@ -65,6 +67,24 @@ std::vector<Broker*> Topology::make_chain(std::size_t n,
   }
   return out;
 }
+
+void Topology::partition(const std::vector<std::vector<Broker*>>& groups) {
+  std::vector<std::vector<transport::NodeId>> node_groups;
+  node_groups.reserve(groups.size());
+  for (const auto& group : groups) {
+    std::vector<transport::NodeId> nodes;
+    nodes.reserve(group.size());
+    for (const Broker* b : group) nodes.push_back(b->node());
+    node_groups.push_back(std::move(nodes));
+  }
+  backend_.faults().partition(std::move(node_groups));
+}
+
+void Topology::heal() { backend_.faults().heal(); }
+
+void Topology::crash(Broker& b) { backend_.faults().crash(b.node()); }
+
+void Topology::restart(Broker& b) { backend_.faults().restart(b.node()); }
 
 std::vector<Broker*> Topology::make_star(std::size_t leaves,
                                          const transport::LinkParams& params,

@@ -58,6 +58,23 @@ class Topology {
   [[nodiscard]] std::size_t size() const { return brokers_.size(); }
   [[nodiscard]] Broker& broker(std::size_t i) { return *brokers_.at(i); }
 
+  // --- chaos helpers (delegate to the backend's FaultInjector) ----------
+
+  /// Partitions the overlay into isolated broker groups, e.g.
+  /// `topo.partition({{b0, b1}, {b2}})`. Broker-to-broker packets that
+  /// cross a boundary are silently dropped; unlisted nodes (clients,
+  /// TDNs) keep their direct links to both sides — isolate them by
+  /// listing their node ids via the backend's injector directly.
+  void partition(const std::vector<std::vector<Broker*>>& groups);
+
+  /// Removes the partition (per-link faults and crashes persist).
+  void heal();
+
+  /// Isolates one broker entirely (frozen-process model: its timers and
+  /// state survive and resume on restart()).
+  void crash(Broker& b);
+  void restart(Broker& b);
+
  private:
   [[nodiscard]] std::size_t index_of(const Broker& b) const;
   [[nodiscard]] std::size_t find_root(std::size_t i);

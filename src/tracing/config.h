@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "src/common/clock.h"
+#include "src/common/retry.h"
 #include "src/crypto/rsa.h"
 #include "src/crypto/secret_key.h"
 
@@ -68,6 +69,36 @@ struct TracingConfig {
   bool auto_renew_tokens = true;
   /// Trace-topic advertisement lifetime at the TDN.
   Duration topic_lifetime = 3600 * kSecond;
+
+  // --- failure recovery (DESIGN.md §11) ---------------------------------
+
+  /// Broker-side final escalation: total consecutive unanswered pings
+  /// after which a FAILED entity is presumed departed — the broker
+  /// publishes DISCONNECT and drops the session, forcing an explicit
+  /// re-registration (RECOVERING -> READY) instead of a silent revival.
+  /// Must exceed failed_misses to fire after the FAILED stage. 0 (the
+  /// default) keeps the pre-recovery behaviour: probe forever.
+  int disconnect_misses = 0;
+
+  /// Entity-side broker-silence watchdog: when no broker traffic (pings,
+  /// registration responses) has arrived for this long, the entity
+  /// presumes its hosting broker dead and fails over — re-runs
+  /// find_broker, re-registers and re-mints its delegation under `retry`.
+  /// 0 (the default) disables failover.
+  Duration broker_silence_timeout = 0;
+
+  /// Retry policy installed on the entity's discovery client and used to
+  /// pace the failover loop. The default single-attempt policy preserves
+  /// the paper's fire-and-wait discovery behaviour; deployments that
+  /// enable failover typically install RetryPolicy::standard().
+  RetryPolicy retry = RetryPolicy::none();
+
+  /// After a completed failover the entity announces RECOVERING at once
+  /// but holds the resumed (READY) report for this long, giving trackers
+  /// a gauge round to register interest with the new hosting broker and
+  /// observe the RECOVERING -> READY transition. 0 = announce both
+  /// back-to-back.
+  Duration recovery_announce_delay = 0;
 
   /// Per-hop verification knobs: the token-verdict cache plus the batched
   /// verification pipeline that drains each broker's trace backlog in

@@ -37,6 +37,8 @@ struct TracedEntityStats {
   std::uint64_t pings_received = 0;
   std::uint64_t pings_answered = 0;
   std::uint64_t reports_sent = 0;
+  std::uint64_t failover_attempts = 0;  // find_broker rounds started
+  std::uint64_t failovers = 0;          // completed re-registrations
 };
 
 class TracedEntity {
@@ -88,6 +90,10 @@ class TracedEntity {
   /// broker's suspicion/failure escalation.
   void set_responsive(bool responsive);
 
+  /// True while the entity is hunting for a replacement broker after its
+  /// hosting broker went silent (TracingConfig::broker_silence_timeout).
+  [[nodiscard]] bool failing_over() const { return failing_over_; }
+
   [[nodiscard]] const std::string& entity_id() const { return identity_.id; }
   [[nodiscard]] const Uuid& trace_topic() const { return trace_topic_; }
   [[nodiscard]] const Uuid& session_id() const { return session_id_; }
@@ -104,6 +110,13 @@ class TracedEntity {
   void on_registration_response(const pubsub::Message& m);
   void deliver_delegation(ReadyCallback on_ready);
   void on_ping(const pubsub::Message& m);
+  // Broker-silence failover (DESIGN.md §11). All run in the client context.
+  void arm_watchdog();
+  void on_watchdog();
+  void begin_failover();
+  void attempt_failover();
+  void failover_backoff();
+  void finish_failover();
   /// Sends a session message, authenticated per the configured mode.
   /// Token/key deliveries are always encrypted regardless of mode.
   void send_session_message(const SessionMessage& sm, bool force_encrypt);
@@ -130,6 +143,15 @@ class TracedEntity {
   transport::TimerId renewal_timer_ = 0;
   bool active_ = false;
   bool responsive_ = true;
+  // Failover state. `failover_gen_` versions the in-flight attempt so
+  // stale discovery/connect/registration callbacks are ignored.
+  transport::LinkParams broker_params_{};
+  TimePoint last_broker_activity_ = 0;
+  transport::TimerId watchdog_timer_ = 0;
+  transport::TimerId failover_timer_ = 0;  // backoff OR per-attempt timeout
+  bool failing_over_ = false;
+  std::uint64_t failover_gen_ = 0;
+  RetryState failover_retry_ = RetryState(RetryPolicy::none(), 0);
   EntityState state_ = EntityState::kInitializing;
   TracedEntityStats stats_;
 };

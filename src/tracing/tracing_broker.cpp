@@ -230,6 +230,7 @@ void TracingBrokerService::handle_session_message(const Uuid& session_id,
       break;
     case SessionMsgType::kStateReport: {
       if (!sm->state) break;
+      s.last_state = sm->state;
       TracePayload p;
       p.type = state_trace_type(*sm->state);
       p.entity_id = s.entity_id;
@@ -357,6 +358,31 @@ void TracingBrokerService::on_ping_timer(const Uuid& session_id) {
                  " consecutive pings unanswered";
       publish_trace(s, std::move(p));
     }
+  }
+
+  // Final escalation: once an entity has stayed FAILED long enough
+  // (disconnect_misses total consecutive misses), presume departure —
+  // publish DISCONNECT and drop the session instead of probing forever.
+  // The entity must then re-register, so trackers observe an explicit
+  // RECOVERING -> READY transition rather than an unexplained revival.
+  if (config_.disconnect_misses > 0 && s.failed &&
+      s.consecutive_misses >= config_.disconnect_misses) {
+    ++stats_.disconnects;
+    TracePayload p;
+    p.type = TraceType::kDisconnect;
+    p.entity_id = s.entity_id;
+    p.detail = "presumed departed: " + std::to_string(s.consecutive_misses) +
+               " consecutive pings unanswered";
+    publish_trace(s, std::move(p));
+    // The publish may have reentrantly torn the session down already.
+    const auto sit = sessions_.find(session_id);
+    if (sit != sessions_.end()) {
+      const std::string entity = sit->second.entity_id;
+      remove_session(sit->second);
+      sessions_.erase(sit);
+      by_entity_.erase(entity);
+    }
+    return;
   }
 
   // Issue the next ping (§3.3: monotonically increasing number + broker
@@ -524,8 +550,22 @@ void TracingBrokerService::handle_interest_response(const Uuid& session_id,
     return;
   }
   ++stats_.interest_responses;
+  const bool first_interest = effective_interest(s) == 0;
   s.interests[resp.tracker_id] =
       TrackerInterest{resp.categories, s.gauge_round};
+
+  // Interest edge 0 -> nonzero: replay the entity's current state so a
+  // tracker that registers after a suppressed report (typically the
+  // RECOVERING announcement of a failed-over session) still observes it.
+  if (first_interest && s.last_state &&
+      (effective_interest(s) & kCatStateTransitions) != 0) {
+    TracePayload p;
+    p.type = state_trace_type(*s.last_state);
+    p.entity_id = s.entity_id;
+    p.state = s.last_state;
+    p.detail = "state replayed on interest";
+    publish_trace(s, std::move(p));
+  }
 
   if (s.secure && !resp.key_delivery_topic.empty() && !s.trace_key.empty()) {
     deliver_trace_key(s, resp);

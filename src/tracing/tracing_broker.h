@@ -53,6 +53,7 @@ struct TracingBrokerStats {
   std::uint64_t traces_suppressed_no_interest = 0;
   std::uint64_t suspicions = 0;
   std::uint64_t failures = 0;
+  std::uint64_t disconnects = 0;  // ping-loop "presumed departed" teardowns
   std::uint64_t keys_distributed = 0;
   std::uint64_t interest_responses = 0;
 };
@@ -104,6 +105,11 @@ class TracingBrokerService {
     crypto::SecretKey trace_key;
     bool secure = false;
     bool join_published = false;
+    /// Last state the entity reported; replayed to the first tracker whose
+    /// interest arrives after the report was suppressed (a session minted
+    /// by broker failover has no recorded interest yet, and its
+    /// RECOVERING announcement must not vanish).
+    std::optional<EntityState> last_state;
 
     Duration ping_interval = 0;
     std::uint64_t next_ping_number = 1;

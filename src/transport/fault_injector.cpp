@@ -1,0 +1,185 @@
+#include "src/transport/fault_injector.h"
+
+namespace et::transport {
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::reseed(std::uint64_t seed) {
+  std::lock_guard lock(mu_);
+  rng_ = Rng(seed);
+}
+
+void FaultInjector::partition(std::vector<std::vector<NodeId>> groups) {
+  std::lock_guard lock(mu_);
+  group_.clear();
+  for (std::uint32_t g = 0; g < groups.size(); ++g) {
+    for (NodeId n : groups[g]) group_[n] = g;
+  }
+  partitioned_ = !group_.empty();
+  rearm_locked();
+}
+
+void FaultInjector::heal() {
+  std::lock_guard lock(mu_);
+  group_.clear();
+  partitioned_ = false;
+  rearm_locked();
+}
+
+FaultInjector::PairFault& FaultInjector::pair_locked(NodeId a, NodeId b) {
+  return pairs_[pair_key(a, b)];
+}
+
+void FaultInjector::blackhole(NodeId a, NodeId b) {
+  std::lock_guard lock(mu_);
+  pair_locked(a, b).blackholed = true;
+  rearm_locked();
+}
+
+void FaultInjector::flap(NodeId a, NodeId b, Duration down_for,
+                         Duration up_for, TimePoint start) {
+  std::lock_guard lock(mu_);
+  PairFault& f = pair_locked(a, b);
+  f.flap_down = down_for;
+  f.flap_up = up_for;
+  f.flap_start = start;
+  rearm_locked();
+}
+
+void FaultInjector::drop_next(NodeId a, NodeId b, int n) {
+  std::lock_guard lock(mu_);
+  pair_locked(a, b).drop_burst += n;
+  rearm_locked();
+}
+
+void FaultInjector::duplicate_probability(NodeId a, NodeId b, double p) {
+  std::lock_guard lock(mu_);
+  pair_locked(a, b).duplicate_p = p;
+  rearm_locked();
+}
+
+void FaultInjector::corrupt_probability(NodeId a, NodeId b, double p) {
+  std::lock_guard lock(mu_);
+  pair_locked(a, b).corrupt_p = p;
+  rearm_locked();
+}
+
+void FaultInjector::restore(NodeId a, NodeId b) {
+  std::lock_guard lock(mu_);
+  pairs_.erase(pair_key(a, b));
+  rearm_locked();
+}
+
+void FaultInjector::crash(NodeId node) {
+  std::lock_guard lock(mu_);
+  crashed_.insert(node);
+  rearm_locked();
+}
+
+void FaultInjector::restart(NodeId node) {
+  std::lock_guard lock(mu_);
+  crashed_.erase(node);
+  rearm_locked();
+}
+
+bool FaultInjector::crashed(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return crashed_.contains(node);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard lock(mu_);
+  group_.clear();
+  partitioned_ = false;
+  crashed_.clear();
+  pairs_.clear();
+  rearm_locked();
+}
+
+void FaultInjector::rearm_locked() {
+  bool armed = partitioned_ || !crashed_.empty();
+  if (!armed) {
+    for (const auto& [key, f] : pairs_) {
+      if (!f.empty()) {
+        armed = true;
+        break;
+      }
+    }
+  }
+  armed_.store(armed, std::memory_order_release);
+}
+
+bool FaultInjector::cut_locked(NodeId from, NodeId to, TimePoint now) const {
+  if (crashed_.contains(from) || crashed_.contains(to)) return true;
+  if (partitioned_) {
+    // Unlisted nodes are unrestricted; only listed-to-listed pairs in
+    // different groups are severed.
+    const auto a = group_.find(from);
+    const auto b = group_.find(to);
+    if (a != group_.end() && b != group_.end() && a->second != b->second) {
+      return true;
+    }
+  }
+  const auto it = pairs_.find(pair_key(from, to));
+  if (it != pairs_.end()) {
+    const PairFault& f = it->second;
+    if (f.blackholed) return true;
+    if (f.flap_down > 0 && now >= f.flap_start) {
+      const Duration period = f.flap_down + f.flap_up;
+      if (period == 0 || (now - f.flap_start) % period < f.flap_down) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::cut(NodeId from, NodeId to, TimePoint now) const {
+  std::lock_guard lock(mu_);
+  return cut_locked(from, to, now);
+}
+
+FaultInjector::Verdict FaultInjector::judge(NodeId from, NodeId to,
+                                            TimePoint now, Bytes& payload) {
+  std::lock_guard lock(mu_);
+  Verdict v;
+  if (cut_locked(from, to, now)) {
+    ++stats_.dropped;
+    v.deliver = false;
+    return v;
+  }
+  const auto it = pairs_.find(pair_key(from, to));
+  if (it == pairs_.end()) return v;
+  PairFault& f = it->second;
+  if (f.drop_burst > 0) {
+    --f.drop_burst;
+    ++stats_.dropped;
+    v.deliver = false;
+    return v;
+  }
+  if (f.corrupt_p > 0.0 && !payload.empty() &&
+      rng_.next_double() < f.corrupt_p) {
+    // Flip 1-4 consecutive (hence distinct) bytes, each XORed with a
+    // non-zero mask, so the payload is guaranteed to differ.
+    std::size_t flips = 1 + rng_.next_below(4);
+    if (flips > payload.size()) flips = payload.size();
+    const std::size_t base = rng_.next_below(payload.size());
+    for (std::size_t i = 0; i < flips; ++i) {
+      payload[(base + i) % payload.size()] ^=
+          static_cast<std::uint8_t>(1 + rng_.next_below(255));
+    }
+    ++stats_.corrupted;
+  }
+  if (f.duplicate_p > 0.0 && rng_.next_double() < f.duplicate_p) {
+    ++stats_.duplicated;
+    v.duplicate = true;
+  }
+  return v;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace et::transport

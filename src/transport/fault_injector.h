@@ -1,0 +1,168 @@
+// Backend-agnostic fault plan for chaos testing the transport.
+//
+// The paper's system exists to report *availability*, so the reproduction
+// must be able to take availability away: partitions, flapping links,
+// packet corruption and node crashes. A `FaultInjector` holds the active
+// fault plan for one backend; both `VirtualTimeNetwork` and
+// `RealTimeNetwork` consult it on every send (drop / duplicate / corrupt)
+// and again at delivery time (so a partition that starts while a packet is
+// in flight still swallows it, like a cable pulled mid-transfer).
+//
+// Semantics are deliberately those of a real network, not an RPC stack:
+// every injected fault is a *silent* drop — `send` still returns OK. Only
+// an explicit `NetworkBackend::unlink` produces kUnavailable, because that
+// models the peer actively tearing the connection down. Brokers rely on
+// this distinction: kUnavailable triggers the client-unreachable teardown
+// path, whereas a partitioned entity must be detected by missed pings.
+//
+// Determinism: all probabilistic decisions draw from the injector's own
+// seeded Rng, and the Rng is consulted only for pairs that actually have a
+// probabilistic fault configured, so arming a fault on link A↔B never
+// perturbs the delay sampling of unrelated links. On VirtualTimeNetwork
+// the same seed + the same fault schedule replays bit-for-bit.
+//
+// Thread-safety: all methods are safe from any thread (internal mutex).
+// On RealTimeNetwork the backends call judge()/cut() while holding their
+// link mutex; the lock order is always backend mutex -> injector mutex and
+// the injector never calls back into the backend, so no cycle exists.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace et::transport {
+
+using NodeId = std::uint32_t;  // mirrors network.h (kept header-cycle-free)
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0x6661756C74u);
+
+  /// Re-seeds the fault Rng (backends forward their own seed so one seed
+  /// value reproduces the whole run, faults included).
+  void reseed(std::uint64_t seed);
+
+  // --- fault plan -------------------------------------------------------
+
+  /// Splits the node set into isolated groups: packets crossing group
+  /// boundaries are dropped both at send and at delivery (in-flight).
+  /// Nodes not mentioned in any group are unrestricted: they reach every
+  /// group (think brokers partitioned while their clients and the TDN
+  /// keep their direct links). List a node to isolate it. Replaces any
+  /// previous partition.
+  void partition(std::vector<std::vector<NodeId>> groups);
+
+  /// Removes the partition (only); per-link faults and crashes persist.
+  void heal();
+
+  /// Drops every packet between `a` and `b` (both directions) until
+  /// restore(). The link itself stays up — `linked()` still reports true.
+  void blackhole(NodeId a, NodeId b);
+
+  /// Periodically blackholes a<->b: down for `down_for`, then up for
+  /// `up_for`, phase-aligned to `start`. Before `start` the link is up.
+  void flap(NodeId a, NodeId b, Duration down_for, Duration up_for,
+            TimePoint start);
+
+  /// Drops the next `n` packets between `a` and `b` (either direction).
+  void drop_next(NodeId a, NodeId b, int n);
+
+  /// Each a<->b packet is delivered twice with probability `p`.
+  void duplicate_probability(NodeId a, NodeId b, double p);
+
+  /// Each a<->b packet has its payload corrupted with probability `p`
+  /// (1-4 byte flips; the payload is guaranteed to differ from the
+  /// original). Wire decoders must reject, not crash.
+  void corrupt_probability(NodeId a, NodeId b, double p);
+
+  /// Clears every per-link fault on a<->b (blackhole, flap, burst,
+  /// duplicate and corrupt probabilities).
+  void restore(NodeId a, NodeId b);
+
+  /// Isolates `node` entirely: every packet to or from it is dropped.
+  /// Models a frozen/killed process whose host stays routable — timers and
+  /// object state survive, so restart() resumes the node where it was.
+  void crash(NodeId node);
+
+  /// Reconnects a crashed node.
+  void restart(NodeId node);
+
+  [[nodiscard]] bool crashed(NodeId node) const;
+
+  /// Removes every fault (partition, crashes, per-link faults).
+  void clear();
+
+  // --- backend hooks ----------------------------------------------------
+
+  /// Cheap pre-check: false while no fault is configured, letting the
+  /// backends skip the injector mutex entirely on the happy path.
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  struct Verdict {
+    bool deliver = true;    // false: silently drop (send still returns OK)
+    bool duplicate = false; // deliver a second, independently-delayed copy
+  };
+
+  /// Send-time decision for one packet; may mutate `payload` (corruption)
+  /// and consumes Rng only for pairs with probabilistic faults configured.
+  Verdict judge(NodeId from, NodeId to, TimePoint now, Bytes& payload);
+
+  /// Delivery-time re-check: true when the packet must be swallowed
+  /// because a partition/blackhole/flap/crash now separates the pair.
+  [[nodiscard]] bool cut(NodeId from, NodeId to, TimePoint now) const;
+
+  struct Stats {
+    std::uint64_t dropped = 0;     // send-time injected drops
+    std::uint64_t duplicated = 0;  // extra copies scheduled
+    std::uint64_t corrupted = 0;   // payloads mutated
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct PairFault {
+    bool blackholed = false;
+    Duration flap_down = 0;
+    Duration flap_up = 0;
+    TimePoint flap_start = 0;
+    int drop_burst = 0;
+    double duplicate_p = 0.0;
+    double corrupt_p = 0.0;
+
+    [[nodiscard]] bool empty() const {
+      return !blackholed && flap_down == 0 && drop_burst == 0 &&
+             duplicate_p == 0.0 && corrupt_p == 0.0;
+    }
+  };
+
+  /// Undirected pair key: faults apply to both directions.
+  static std::uint64_t pair_key(NodeId a, NodeId b) {
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  [[nodiscard]] bool cut_locked(NodeId from, NodeId to, TimePoint now) const;
+  void rearm_locked();
+  PairFault& pair_locked(NodeId a, NodeId b);
+
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  Rng rng_;
+  bool partitioned_ = false;
+  std::unordered_map<NodeId, std::uint32_t> group_;  // node -> group index
+  std::unordered_set<NodeId> crashed_;
+  std::unordered_map<std::uint64_t, PairFault> pairs_;
+  Stats stats_;
+};
+
+}  // namespace et::transport

@@ -1,5 +1,12 @@
 #include "src/transport/network.h"
 
-// Interface-only translation unit; anchors the NetworkBackend vtable.
+#include "src/transport/fault_injector.h"
 
-namespace et::transport {}  // namespace et::transport
+namespace et::transport {
+
+NetworkBackend::NetworkBackend()
+    : faults_(std::make_shared<FaultInjector>()) {}
+
+NetworkBackend::~NetworkBackend() = default;
+
+}  // namespace et::transport

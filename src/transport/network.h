@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "src/common/bytes.h"
@@ -28,6 +29,8 @@
 #include "src/transport/link.h"
 
 namespace et::transport {
+
+class FaultInjector;
 
 /// Opaque node handle assigned by the backend.
 using NodeId = std::uint32_t;
@@ -47,7 +50,8 @@ using TimerId = std::uint64_t;
 /// (`add_node`, `link`) must happen before traffic starts.
 class NetworkBackend {
  public:
-  virtual ~NetworkBackend() = default;
+  NetworkBackend();
+  virtual ~NetworkBackend();
 
   /// Registers a node; `handler` runs in the node's context per packet.
   virtual NodeId add_node(std::string name, PacketHandler handler) = 0;
@@ -94,6 +98,15 @@ class NetworkBackend {
 
   /// Human-readable node name (diagnostics).
   [[nodiscard]] virtual std::string node_name(NodeId id) const = 0;
+
+  /// The backend's fault plan (chaos testing). Both backends consult it on
+  /// every send and delivery; see fault_injector.h for semantics. Safe to
+  /// mutate from any thread at any time.
+  [[nodiscard]] FaultInjector& faults() { return *faults_; }
+  [[nodiscard]] const FaultInjector& faults() const { return *faults_; }
+
+ protected:
+  std::shared_ptr<FaultInjector> faults_;
 };
 
 }  // namespace et::transport

@@ -3,9 +3,12 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "src/transport/fault_injector.h"
+
 namespace et::transport {
 
 RealTimeNetwork::RealTimeNetwork(std::uint64_t seed) : rng_(seed) {
+  faults_->reseed(seed ^ 0x9E3779B97F4A7C15ull);
   timer_thread_ = std::thread([this] { timer_loop(); });
 }
 
@@ -139,6 +142,7 @@ Status RealTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
   // scheduling would let a preempted sender invert the order of two
   // packets on an ordered link.
   Duration delay;
+  Duration dup_delay = kPacketLost;
   TimePoint sent_at;
   {
     std::lock_guard lock(links_mu_);
@@ -148,26 +152,43 @@ Status RealTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
                          std::to_string(to));
     }
     sent_at = now();
+    if (faults_->armed()) {
+      // Lock order is always links_mu_ -> injector mutex; the injector
+      // never calls back into the backend, so the order cannot invert.
+      const auto verdict = faults_->judge(from, to, sent_at, payload);
+      if (!verdict.deliver) return Status::ok();  // silent injected drop
+      if (verdict.duplicate) {
+        dup_delay = it->second.sample_delay(payload.size(), sent_at, rng_);
+      }
+    }
     delay = it->second.sample_delay(payload.size(), sent_at, rng_);
   }
   if (delay == kPacketLost) return Status::ok();
 
-  auto shared = std::make_shared<Bytes>(std::move(payload));
-  Task deliver = [this, from, to, shared] {
-    PacketHandler handler;
-    {
-      std::lock_guard lock(nodes_mu_);
-      if (to >= nodes_.size()) return;
-      handler = nodes_[to]->handler;
-    }
-    {
-      // Link may have been removed while in flight (disconnect semantics).
-      std::lock_guard lock(links_mu_);
-      if (!links_.contains(key(from, to))) return;
-    }
-    handler(from, std::move(*shared));
+  auto make_deliver = [this, from, to](std::shared_ptr<Bytes> body) {
+    return [this, from, to, body] {
+      PacketHandler handler;
+      {
+        std::lock_guard lock(nodes_mu_);
+        if (to >= nodes_.size()) return;
+        handler = nodes_[to]->handler;
+      }
+      {
+        // Link may have been removed while in flight (disconnect
+        // semantics), or a partition may have started since the send.
+        std::lock_guard lock(links_mu_);
+        if (!links_.contains(key(from, to))) return;
+      }
+      if (faults_->armed() && faults_->cut(from, to, now())) return;
+      handler(from, std::move(*body));
+    };
   };
-  schedule_at(to, sent_at + delay, std::move(deliver), 0);
+  if (dup_delay != kPacketLost) {
+    schedule_at(to, sent_at + dup_delay,
+                make_deliver(std::make_shared<Bytes>(payload)), 0);
+  }
+  schedule_at(to, sent_at + delay,
+              make_deliver(std::make_shared<Bytes>(std::move(payload))), 0);
   return Status::ok();
 }
 

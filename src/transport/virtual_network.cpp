@@ -2,9 +2,14 @@
 
 #include <stdexcept>
 
+#include "src/transport/fault_injector.h"
+
 namespace et::transport {
 
-VirtualTimeNetwork::VirtualTimeNetwork(std::uint64_t seed) : rng_(seed) {}
+VirtualTimeNetwork::VirtualTimeNetwork(std::uint64_t seed) : rng_(seed) {
+  // One seed reproduces the whole run, injected faults included.
+  faults_->reseed(seed ^ 0x9E3779B97F4A7C15ull);
+}
 
 NodeId VirtualTimeNetwork::add_node(std::string name, PacketHandler handler) {
   nodes_.push_back(Node{std::move(name), std::move(handler)});
@@ -45,6 +50,17 @@ Status VirtualTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
   }
   ++sent_;
   bytes_sent_ += payload.size();
+  bool duplicate = false;
+  if (faults_->armed()) {
+    // Injected drops are silent (return OK): a partitioned peer looks
+    // exactly like a dead one, which is what the failure detector must see.
+    const auto verdict = faults_->judge(from, to, now(), payload);
+    if (!verdict.deliver) {
+      ++lost_;
+      return Status::ok();
+    }
+    duplicate = verdict.duplicate;
+  }
   const Duration delay = it->second.sample_delay(payload.size(), now(), rng_);
   if (delay == kPacketLost) {
     ++lost_;
@@ -54,9 +70,29 @@ Status VirtualTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
   auto shared = std::make_shared<Bytes>(std::move(payload));
   push_event(now() + delay, 0, [this, from, to, shared] {
     if (!links_.contains(key(from, to))) return;  // link went away in flight
+    if (faults_->armed() && faults_->cut(from, to, now())) {
+      ++lost_;  // partition started while the packet was in flight
+      return;
+    }
     ++delivered_;
     nodes_[to].handler(from, std::move(*shared));
   });
+  if (duplicate) {
+    const Duration dup_delay =
+        it->second.sample_delay(shared->size(), now(), rng_);
+    if (dup_delay != kPacketLost) {
+      auto copy = std::make_shared<Bytes>(*shared);
+      push_event(now() + dup_delay, 0, [this, from, to, copy] {
+        if (!links_.contains(key(from, to))) return;
+        if (faults_->armed() && faults_->cut(from, to, now())) {
+          ++lost_;
+          return;
+        }
+        ++delivered_;
+        nodes_[to].handler(from, std::move(*copy));
+      });
+    }
+  }
   return Status::ok();
 }
 

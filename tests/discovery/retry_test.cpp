@@ -1,0 +1,268 @@
+// DiscoveryClient retry/backoff and late-reply hygiene.
+//
+// The seed client had a race: a TDN reply arriving after the client's
+// timeout timer fired would find the pending-request entry already
+// consumed and, in the worst interleavings, resolve the operation a
+// second time. These tests pin the repaired contract: every operation
+// resolves exactly once, late replies are dropped, and with a
+// RetryPolicy installed the client rotates across replica TDNs until
+// the attempt cap or deadline is spent.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/retry.h"
+#include "src/discovery/discovery_client.h"
+#include "src/discovery/tdn.h"
+#include "src/transport/fault_injector.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::discovery {
+namespace {
+
+constexpr std::size_t kBits = 512;
+
+transport::LinkParams fast() {
+  transport::LinkParams p = transport::LinkParams::ideal_profile();
+  p.base_latency = 1 * kMillisecond;
+  return p;
+}
+
+// One-way latency high enough that a round trip (160ms) outlives the
+// 100ms operation timeouts used below: replies always arrive "late".
+transport::LinkParams slow() {
+  transport::LinkParams p = transport::LinkParams::ideal_profile();
+  p.base_latency = 80 * kMillisecond;
+  return p;
+}
+
+struct RetryFixture : ::testing::Test {
+  RetryFixture() : rng(29), ca("ca", rng, kBits) {
+    tdn0 = make_tdn("tdn-0", 5);
+    tdn1 = make_tdn("tdn-1", 6);
+  }
+
+  std::unique_ptr<Tdn> make_tdn(const std::string& id, std::uint64_t seed) {
+    return std::make_unique<Tdn>(net, identity(id), ca.public_key(), seed);
+  }
+
+  crypto::Identity identity(const std::string& id) {
+    return crypto::Identity::create(id, ca, rng, net.now(), 3600 * kSecond,
+                                    kBits);
+  }
+
+  std::unique_ptr<DiscoveryClient> client(
+      const std::string& id, const transport::LinkParams& link0,
+      bool attach_replica = false) {
+    auto c = std::make_unique<DiscoveryClient>(net, identity(id));
+    c->attach_tdn(tdn0->node(), link0);
+    if (attach_replica) c->attach_tdn(tdn1->node(), fast());
+    return c;
+  }
+
+  transport::VirtualTimeNetwork net{3};
+  Rng rng;
+  crypto::CertificateAuthority ca;
+  std::unique_ptr<Tdn> tdn0;
+  std::unique_ptr<Tdn> tdn1;
+};
+
+TEST_F(RetryFixture, LateReplyAfterTimeoutResolvesExactlyOnce) {
+  auto c = client("entity-1", slow());
+  int calls = 0;
+  Status last = Status::ok();
+  c->create_topic("Availability/Traces/entity-1", {}, 3600 * kSecond,
+                  [&](Result<TopicAdvertisement> r) {
+                    ++calls;
+                    last = r.status();
+                  },
+                  100 * kMillisecond);
+  net.run_until_idle();  // timeout at 100ms, TDN reply lands at ~160ms
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(last.is_ok());
+  EXPECT_EQ(c->inflight(), 0u);
+  // The TDN did process the request; only the client-side op is gone.
+  EXPECT_EQ(tdn0->stats().topics_created, 1u);
+}
+
+TEST_F(RetryFixture, LateDiscoverReplyDoesNotResurface) {
+  auto owner = client("entity-2", fast());
+  owner->create_topic("Availability/Traces/entity-2", {}, 3600 * kSecond,
+                      [](Result<TopicAdvertisement>) {});
+  net.run_until_idle();
+
+  auto seeker = client("tracker-1", slow());
+  int calls = 0;
+  bool ok = false;
+  seeker->discover("Liveness/entity-2",
+                   [&](Result<std::vector<TopicAdvertisement>> r) {
+                     ++calls;
+                     ok = r.ok();
+                   },
+                   100 * kMillisecond);
+  net.run_until_idle();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(ok);  // timed out before the (matching) reply arrived
+  EXPECT_EQ(seeker->inflight(), 0u);
+}
+
+TEST_F(RetryFixture, ReplyToEarlierAttemptResolvesRetriedOp) {
+  // Attempt #1 times out at 100ms and attempt #2 goes out after a short
+  // backoff — but attempt #1's reply (in flight since t=0) arrives at
+  // ~160ms and must complete the operation. Attempt #2's reply at
+  // ~310ms+ must then be dropped.
+  auto c = client("entity-3", slow());
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.initial_backoff = 20 * kMillisecond;
+  p.max_backoff = 50 * kMillisecond;
+  p.deadline = 10 * kSecond;
+  c->set_retry_policy(p);
+
+  int calls = 0;
+  Result<TopicAdvertisement> out(internal_error("no callback"));
+  c->create_topic("Availability/Traces/entity-3", {}, 3600 * kSecond,
+                  [&](Result<TopicAdvertisement> r) {
+                    ++calls;
+                    out = std::move(r);
+                  },
+                  100 * kMillisecond);
+  net.run_until_idle();
+  EXPECT_EQ(calls, 1);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(out->descriptor(), "Availability/Traces/entity-3");
+  EXPECT_EQ(c->inflight(), 0u);
+  // Both attempts reached the TDN; the duplicate-minted topic is merely
+  // never claimed.
+  EXPECT_GE(tdn0->stats().topics_created, 2u);
+}
+
+TEST_F(RetryFixture, RetryRotatesToReplicaTdnAfterCrash) {
+  // tdn-0 is crashed (sends into it vanish); with a retry policy the
+  // second attempt must rotate to the healthy replica and succeed.
+  net.faults().crash(tdn0->node());
+  auto c = client("entity-4", fast(), /*attach_replica=*/true);
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff = 20 * kMillisecond;
+  p.max_backoff = 100 * kMillisecond;
+  p.deadline = 10 * kSecond;
+  c->set_retry_policy(p);
+
+  int calls = 0;
+  Result<TopicAdvertisement> out(internal_error("no callback"));
+  c->create_topic("Availability/Traces/entity-4", {}, 3600 * kSecond,
+                  [&](Result<TopicAdvertisement> r) {
+                    ++calls;
+                    out = std::move(r);
+                  },
+                  100 * kMillisecond);
+  net.run_until_idle();
+  EXPECT_EQ(calls, 1);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(out->issuing_tdn(), "tdn-1");
+  EXPECT_EQ(tdn0->stats().topics_created, 0u);
+  EXPECT_EQ(tdn1->stats().topics_created, 1u);
+}
+
+TEST_F(RetryFixture, FindBrokerFailsOverToReplica) {
+  // Brokers enroll with every attached replica, so the registry survives
+  // the loss of tdn-0 and find_broker succeeds via tdn-1 on retry.
+  auto registrar = client("broker-x", fast(), /*attach_replica=*/true);
+  const crypto::Identity broker_ident = identity("broker-x-node");
+  registrar->register_broker("broker-x", 42, broker_ident.credential);
+  net.run_until_idle();
+
+  net.faults().crash(tdn0->node());
+  auto c = client("tracker-2", fast(), /*attach_replica=*/true);
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.initial_backoff = 20 * kMillisecond;
+  p.max_backoff = 100 * kMillisecond;
+  p.deadline = 10 * kSecond;
+  c->set_retry_policy(p);
+
+  int calls = 0;
+  Result<BrokerLocation> out(internal_error("no callback"));
+  c->find_broker(
+      [&](Result<BrokerLocation> r) {
+        ++calls;
+        out = std::move(r);
+      },
+      100 * kMillisecond);
+  net.run_until_idle();
+  EXPECT_EQ(calls, 1);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(out->name, "broker-x");
+  EXPECT_EQ(out->node, 42u);
+}
+
+TEST_F(RetryFixture, ExhaustedRetriesRespectDeadline) {
+  net.faults().crash(tdn0->node());
+  auto c = client("entity-5", fast());
+  RetryPolicy p;
+  p.max_attempts = 0;  // unbounded; only the deadline stops us
+  p.initial_backoff = 50 * kMillisecond;
+  p.max_backoff = 200 * kMillisecond;
+  p.deadline = 2 * kSecond;
+  c->set_retry_policy(p);
+
+  int calls = 0;
+  Status last = Status::ok();
+  const TimePoint started = net.now();
+  c->discover("Liveness/ghost",
+              [&](Result<std::vector<TopicAdvertisement>> r) {
+                ++calls;
+                last = r.status();
+              },
+              100 * kMillisecond);
+  net.run_until_idle();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last.code(), Code::kNotFound);
+  const Duration elapsed = net.now() - started;
+  // Gave it a real try (most of the deadline) but stopped soon after:
+  // at worst deadline + one final attempt timeout + scheduling slack.
+  EXPECT_GE(elapsed, p.deadline / 2);
+  EXPECT_LE(elapsed, p.deadline + 100 * kMillisecond + p.max_backoff);
+}
+
+TEST_F(RetryFixture, DestructionWithInflightOpsIsSafe) {
+  net.faults().crash(tdn0->node());
+  auto c = client("entity-6", fast());
+  RetryPolicy p;
+  p.max_attempts = 0;
+  p.initial_backoff = 50 * kMillisecond;
+  p.max_backoff = 200 * kMillisecond;
+  p.deadline = 30 * kSecond;
+  c->set_retry_policy(p);
+
+  int calls = 0;
+  c->create_topic("Availability/Traces/entity-6", {}, 3600 * kSecond,
+                  [&](Result<TopicAdvertisement>) { ++calls; },
+                  100 * kMillisecond);
+  c->find_broker([&](Result<BrokerLocation>) { ++calls; },
+                 100 * kMillisecond);
+  net.run_for(150 * kMillisecond);  // first attempts in flight / retried
+  c.reset();  // tears down timers + node; callbacks must never fire
+  net.run_until_idle();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(RetryFixture, NoTdnAttachedStillFailsFast) {
+  DiscoveryClient c(net, identity("entity-7"));
+  c.set_retry_policy(RetryPolicy::standard());
+  int calls = 0;
+  Status last = Status::ok();
+  c.find_broker([&](Result<BrokerLocation> r) {
+    ++calls;
+    last = r.status();
+  });
+  net.run_until_idle();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last.code(), Code::kUnavailable);
+}
+
+}  // namespace
+}  // namespace et::discovery

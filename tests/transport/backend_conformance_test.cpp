@@ -7,6 +7,8 @@
 #include <atomic>
 #include <thread>
 
+#include "src/pubsub/message.h"
+#include "src/transport/fault_injector.h"
 #include "src/transport/realtime_network.h"
 #include "src/transport/virtual_network.h"
 
@@ -158,6 +160,217 @@ TYPED_TEST(BackendConformanceTest, ClockAdvancesAcrossDeliveries) {
   ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
   this->settle(5 * kMillisecond);
   EXPECT_GT(this->net.now(), before);
+}
+
+// --- FaultInjector conformance: every primitive must behave identically
+// on both backends. Injected faults are always *silent*: send returns OK
+// and only delivery is affected. -----------------------------------------
+
+TYPED_TEST(BackendConformanceTest, PartitionDropsCrossGroupTrafficOnly) {
+  std::atomic<int> got_b{0}, got_c{0};
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node(
+      "b", [&](NodeId, Bytes) { got_b.fetch_add(1); });
+  const NodeId c = this->net.add_node(
+      "c", [&](NodeId, Bytes) { got_c.fetch_add(1); });
+  this->net.link(a, b, this->fast());
+  this->net.link(b, c, this->fast());
+
+  // d is unlisted: it must keep reaching both sides of the partition.
+  const NodeId d = this->net.add_node("d", [](NodeId, Bytes) {});
+  this->net.link(d, a, this->fast());
+  this->net.link(d, b, this->fast());
+
+  this->net.faults().partition({{a}, {b, c}});
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());  // crosses the cut
+  ASSERT_TRUE(this->net.send(b, c, Bytes(1)).is_ok());  // intra-group
+  ASSERT_TRUE(this->net.send(d, b, Bytes(1)).is_ok());  // unlisted sender
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got_b.load(), 1);  // only d's packet arrived
+  EXPECT_EQ(got_c.load(), 1);
+
+  this->net.faults().heal();
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got_b.load(), 2);
+}
+
+TYPED_TEST(BackendConformanceTest, PartitionSwallowsInFlightPackets) {
+  std::atomic<int> got{0};
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node(
+      "b", [&](NodeId, Bytes) { got.fetch_add(1); });
+  LinkParams slow = this->fast();
+  slow.base_latency = 50 * kMillisecond;
+  this->net.link(a, b, slow);
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  // Cut the pair while the packet is still on the wire.
+  this->net.faults().partition({{a}, {b}});
+  this->settle(100 * kMillisecond);
+  EXPECT_EQ(got.load(), 0);
+}
+
+TYPED_TEST(BackendConformanceTest, BlackholeAndRestore) {
+  std::atomic<int> got{0};
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node(
+      "b", [&](NodeId, Bytes) { got.fetch_add(1); });
+  this->net.link(a, b, this->fast());
+  this->net.faults().blackhole(a, b);
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  ASSERT_TRUE(this->net.send(b, a, Bytes(1)).is_ok());  // both directions
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got.load(), 0);
+  EXPECT_TRUE(this->net.linked(a, b));  // the link itself stays up
+
+  this->net.faults().restore(a, b);
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got.load(), 1);
+}
+
+TYPED_TEST(BackendConformanceTest, FlapTogglesWithPhase) {
+  std::atomic<int> got{0};
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node(
+      "b", [&](NodeId, Bytes) { got.fetch_add(1); });
+  this->net.link(a, b, this->fast());
+  // Down for 300 ms, up for 300 ms, starting now: the first send falls in
+  // the down window, a send after ~350 ms falls in the up window (wide
+  // margins keep the real-time variant immune to scheduler jitter).
+  this->net.faults().flap(a, b, 300 * kMillisecond, 300 * kMillisecond,
+                          this->net.now());
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  this->settle(350 * kMillisecond);
+  EXPECT_EQ(got.load(), 0);
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got.load(), 1);
+}
+
+TYPED_TEST(BackendConformanceTest, DropBurstConsumesExactly) {
+  std::atomic<int> got{0};
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node(
+      "b", [&](NodeId, Bytes) { got.fetch_add(1); });
+  this->net.link(a, b, this->fast());
+  this->net.faults().drop_next(a, b, 2);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  }
+  this->settle(10 * kMillisecond);
+  EXPECT_EQ(got.load(), 1);
+  EXPECT_EQ(this->net.faults().stats().dropped, 2u);
+}
+
+TYPED_TEST(BackendConformanceTest, DuplicateDeliversTwice) {
+  std::atomic<int> got{0};
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId, Bytes p) {
+    if (to_string(p) == "dup-me") got.fetch_add(1);
+  });
+  this->net.link(a, b, this->fast());
+  this->net.faults().duplicate_probability(a, b, 1.0);
+  ASSERT_TRUE(this->net.send(a, b, to_bytes("dup-me")).is_ok());
+  this->settle(10 * kMillisecond);
+  EXPECT_EQ(got.load(), 2);
+  EXPECT_EQ(this->net.faults().stats().duplicated, 1u);
+}
+
+TYPED_TEST(BackendConformanceTest, CorruptMutatesPayloadPreservingSize) {
+  std::atomic<bool> delivered{false};
+  std::atomic<bool> same_size{false};
+  std::atomic<bool> differs{false};
+  const Bytes original = to_bytes("pristine-payload-bytes");
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId, Bytes p) {
+    delivered.store(true);
+    same_size.store(p.size() == original.size());
+    differs.store(p != original);
+  });
+  this->net.link(a, b, this->fast());
+  this->net.faults().corrupt_probability(a, b, 1.0);
+  ASSERT_TRUE(this->net.send(a, b, original).is_ok());
+  this->settle(10 * kMillisecond);
+  EXPECT_TRUE(delivered.load());
+  EXPECT_TRUE(same_size.load());
+  EXPECT_TRUE(differs.load());
+  EXPECT_EQ(this->net.faults().stats().corrupted, 1u);
+}
+
+TYPED_TEST(BackendConformanceTest, CrashIsolatesBothDirectionsUntilRestart) {
+  std::atomic<int> got_a{0}, got_b{0};
+  const NodeId a = this->net.add_node(
+      "a", [&](NodeId, Bytes) { got_a.fetch_add(1); });
+  const NodeId b = this->net.add_node(
+      "b", [&](NodeId, Bytes) { got_b.fetch_add(1); });
+  this->net.link(a, b, this->fast());
+  this->net.faults().crash(b);
+  EXPECT_TRUE(this->net.faults().crashed(b));
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  ASSERT_TRUE(this->net.send(b, a, Bytes(1)).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got_a.load(), 0);
+  EXPECT_EQ(got_b.load(), 0);
+
+  // Frozen-process model: a crashed node's timers keep running (its state
+  // is intact, only its network is gone) so a restart resumes seamlessly.
+  std::atomic<int> timer_fired{0};
+  this->net.schedule(b, 1 * kMillisecond, [&] { timer_fired.fetch_add(1); });
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(timer_fired.load(), 1);
+
+  this->net.faults().restart(b);
+  EXPECT_FALSE(this->net.faults().crashed(b));
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got_b.load(), 1);
+}
+
+TYPED_TEST(BackendConformanceTest, ClearRemovesEveryFault) {
+  std::atomic<int> got{0};
+  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId b = this->net.add_node(
+      "b", [&](NodeId, Bytes) { got.fetch_add(1); });
+  this->net.link(a, b, this->fast());
+  this->net.faults().partition({{a}, {b}});
+  this->net.faults().blackhole(a, b);
+  this->net.faults().crash(a);
+  this->net.faults().clear();
+  EXPECT_FALSE(this->net.faults().armed());
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got.load(), 1);
+}
+
+// Satellite: wire decoders must reject — never crash on — packets the
+// injector corrupted. Runs the corruption path many times over a real
+// serialized pubsub frame and feeds every mutation to the decoder.
+TYPED_TEST(BackendConformanceTest, CorruptedFramesRejectedByDecoder) {
+  pubsub::Message m;
+  m.topic = "Availability/Traces/entity-7/ChangeNotifications";
+  m.publisher = "entity-7";
+  m.sequence = 41;
+  m.timestamp = 123456789;
+  m.payload = to_bytes("state transition: READY");
+  const Bytes wire = pubsub::make_publish(std::move(m)).serialize();
+
+  FaultInjector fi(2026);
+  fi.corrupt_probability(1, 2, 1.0);
+  int rejected = 0, accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    Bytes mutated = wire;
+    (void)fi.judge(1, 2, 0, mutated);
+    ASSERT_NE(mutated, wire);
+    try {
+      (void)pubsub::Frame::deserialize(mutated);
+      ++accepted;  // flip hit a don't-care byte; must still not crash
+    } catch (const SerializeError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected + accepted, 200);
+  EXPECT_GT(rejected, 0);
 }
 
 }  // namespace
