@@ -1,0 +1,264 @@
+// E14: detection latency, false-suspicion rate and availability error as
+// a function of overlay diameter (DESIGN.md experiment index, ROADMAP
+// "large-scale topology sweeps on the fault layer").
+//
+// Sweeps overlay shapes (chain, balanced tree, cluster-of-stars at 32 and
+// 128 brokers) against three failure schedules:
+//
+//   * hosting-crash — the entity's hosting broker dies and later returns;
+//     detection surfaces through failover + the post-recovery RECOVERING
+//     announcement, so latency includes broker re-discovery;
+//   * entity-silence — the entity's access link is black-holed; the
+//     hosting broker's K-missed-pings detector escalates and the
+//     suspicion traces cross the full overlay to the tracker — the purest
+//     diameter-vs-latency signal;
+//   * link-flap — a duty-cycled fault on the entity's first overlay hop;
+//     measures how much flapping distorts observed availability and
+//     whether it ever induces false suspicions.
+//
+// Runs on VirtualTimeNetwork: deterministic, and 128-broker cells cost
+// seconds instead of minutes. Each cell runs over several seeds; the
+// paper-style table reports tracker-observed detection latency, and the
+// detail table adds false suspicions and availability error per cell.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/chaos/oracle.h"
+#include "src/chaos/scenario.h"
+#include "src/chaos/schedule.h"
+#include "src/common/stats.h"
+#include "src/transport/fault_injector.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::chaos {
+namespace {
+
+using transport::VirtualTimeNetwork;
+
+/// One overlay shape under test: where the entity and tracker live and
+/// which overlay edge carries the entity's first hop (flap target).
+struct ShapeCell {
+  std::string label;
+  OverlaySpec overlay;
+  std::size_t entity_broker;
+  std::size_t tracker_broker;
+  std::size_t first_hop_a;  // overlay edge hosting-broker <-> parent
+  std::size_t first_hop_b;
+};
+
+enum class ScheduleKind { kHostingCrash, kEntitySilence, kLinkFlap };
+
+const char* schedule_name(ScheduleKind k) {
+  switch (k) {
+    case ScheduleKind::kHostingCrash: return "hosting-crash";
+    case ScheduleKind::kEntitySilence: return "entity-silence";
+    case ScheduleKind::kLinkFlap: return "link-flap";
+  }
+  return "?";
+}
+
+struct CellResult {
+  std::size_t diameter = 0;
+  RunningStats detection_ms;      // per-seed mean detection latency
+  RunningStats availability_err;  // per-seed |observed - truth|
+  std::uint64_t false_suspicions = 0;
+  std::uint64_t detected_edges = 0;
+  std::uint64_t truth_edges = 0;
+};
+
+void drive(VirtualTimeNetwork& net, bool& done) {
+  for (int i = 0; i < 100 && !done; ++i) net.run_for(50 * kMillisecond);
+}
+
+/// Runs one (shape, schedule, seed) scenario for 14 s of virtual time and
+/// folds the oracle's pair report into `out`.
+void run_cell(const ShapeCell& cell, ScheduleKind kind, std::uint64_t seed,
+              CellResult& out) {
+  VirtualTimeNetwork net(seed);
+  ScenarioDeployment::Options opts;
+  opts.overlay = cell.overlay;
+  opts.seed = seed;
+  ScenarioDeployment dep(net, opts);
+  dep.register_brokers();
+  net.run_for(20 * kMillisecond);
+
+  tracing::TracedEntity& entity = dep.add_entity("entity", cell.entity_broker);
+  net.run_for(20 * kMillisecond);
+  tracing::Tracker& tracker = dep.add_tracker("tracker", cell.tracker_broker);
+  net.run_for(20 * kMillisecond);
+
+  bool started = false;
+  entity.start_tracing({}, [&](const Status& s) { started = s.is_ok(); });
+  drive(net, started);
+  if (!started) {
+    std::fprintf(stderr, "FATAL: start_tracing failed in %s\n",
+                 cell.label.c_str());
+    std::abort();
+  }
+  AvailabilityOracle oracle;
+  bool tracked = false;
+  tracker.track(entity.entity_id(), tracing::kCatAll,
+                oracle.tap(tracker.tracker_id(), entity.entity_id(), net),
+                [&](const Status& s) { tracked = s.is_ok(); });
+  drive(net, tracked);
+  if (!tracked) {
+    std::fprintf(stderr, "FATAL: track failed in %s\n", cell.label.c_str());
+    std::abort();
+  }
+
+  // Fault plan: injected at t+1s, cleared at t+6s, observed until t+14s.
+  const transport::NodeId entity_node = entity.client().node();
+  const transport::NodeId hosting = dep.broker(cell.entity_broker).node();
+  ScheduleEngine engine(net, dep.topology());
+  FailureSchedule schedule;
+  switch (kind) {
+    case ScheduleKind::kHostingCrash:
+      schedule.crash(1 * kSecond, {cell.entity_broker})
+          .restart(6 * kSecond, {cell.entity_broker});
+      break;
+    case ScheduleKind::kEntitySilence:
+      break;  // access-link fault, driven below (entities aren't brokers)
+    case ScheduleKind::kLinkFlap:
+      schedule.flapping_link(1 * kSecond, cell.first_hop_a, cell.first_hop_b,
+                             350 * kMillisecond, 650 * kMillisecond,
+                             5 * kSecond);
+      break;
+  }
+  engine.run(schedule);
+
+  const Duration slice = 50 * kMillisecond;
+  dep.sample_truth(oracle, net.now());
+  for (Duration t = 0; t < 14 * kSecond; t += slice) {
+    if (kind == ScheduleKind::kEntitySilence) {
+      if (t == 1 * kSecond) net.faults().blackhole(entity_node, hosting);
+      if (t == 6 * kSecond) net.faults().restore(entity_node, hosting);
+    }
+    net.run_for(slice);
+    dep.sample_truth(oracle, net.now());
+  }
+
+  const OracleReport report = oracle.report(net.now(), 2 * kSecond);
+  out.diameter = dep.topology().diameter();
+  for (const PairReport& p : report.pairs) {
+    if (p.detected_down_edges > 0) {
+      out.detection_ms.add(p.mean_detection_latency_us / 1000.0);
+    }
+    out.availability_err.add(p.availability_error);
+    out.false_suspicions += p.false_suspicions;
+    out.detected_edges += p.detected_down_edges;
+    out.truth_edges += p.truth_down_edges;
+  }
+}
+
+}  // namespace
+}  // namespace et::chaos
+
+int main() {
+  using namespace et;
+  using namespace et::chaos;
+
+  std::vector<ShapeCell> shapes;
+  {
+    ShapeCell c;
+    c.label = "chain-16";
+    c.overlay.shape = OverlaySpec::Shape::kChain;
+    c.overlay.brokers = 16;
+    c.entity_broker = 0;
+    c.tracker_broker = 15;
+    c.first_hop_a = 0;
+    c.first_hop_b = 1;
+    shapes.push_back(c);
+  }
+  {
+    ShapeCell c;
+    c.label = "tree-31";
+    c.overlay.shape = OverlaySpec::Shape::kTree;
+    c.overlay.brokers = 31;
+    c.overlay.arity = 2;
+    c.entity_broker = 15;   // leftmost leaf
+    c.tracker_broker = 30;  // rightmost leaf, across the root
+    c.first_hop_a = 7;      // parent of 15
+    c.first_hop_b = 15;
+    shapes.push_back(c);
+  }
+  {
+    ShapeCell c;
+    c.label = "clusters-32";
+    c.overlay.shape = OverlaySpec::Shape::kClusters;
+    c.overlay.brokers = 32;  // 8 cores x (1 + 3 leaves)
+    c.overlay.leaves_per_core = 3;
+    c.entity_broker = 8;     // first leaf of rack 0
+    c.tracker_broker = 29;   // first leaf of rack 7
+    c.first_hop_a = 0;       // core 0 <-> its first leaf
+    c.first_hop_b = 8;
+    shapes.push_back(c);
+  }
+  {
+    ShapeCell c;
+    c.label = "clusters-128";
+    c.overlay.shape = OverlaySpec::Shape::kClusters;
+    c.overlay.brokers = 128;  // 32 cores x (1 + 3 leaves)
+    c.overlay.leaves_per_core = 3;
+    c.entity_broker = 32;     // first leaf of rack 0
+    c.tracker_broker = 125;   // first leaf of rack 31
+    c.first_hop_a = 0;
+    c.first_hop_b = 32;
+    shapes.push_back(c);
+  }
+  const ScheduleKind kinds[] = {ScheduleKind::kHostingCrash,
+                                ScheduleKind::kEntitySilence,
+                                ScheduleKind::kLinkFlap};
+  const std::uint64_t seeds[] = {101, 202, 303};
+
+  struct Row {
+    std::string label;
+    CellResult r;
+  };
+  std::vector<Row> rows;
+  bench::PaperTable table(
+      "E14: tracker-observed detection latency vs overlay diameter (ms)");
+  for (const ShapeCell& shape : shapes) {
+    for (const ScheduleKind kind : kinds) {
+      CellResult r;
+      for (const std::uint64_t seed : seeds) run_cell(shape, kind, seed, r);
+      const std::string label = shape.label + " d=" +
+                                std::to_string(r.diameter) + " " +
+                                schedule_name(kind);
+      table.add_row(label, r.detection_ms);
+      rows.push_back({label, r});
+      std::fprintf(stderr, "done: %s\n", label.c_str());
+    }
+  }
+
+  table.print();
+  table.print_json("topology_sweep");
+
+  std::printf("\nE14 detail (per cell, %zu seeds)\n",
+              std::size(seeds));
+  std::printf("%-34s %9s %9s %12s %10s\n", "Cell", "detected", "false-sus",
+              "avail-error", "diameter");
+  for (const Row& row : rows) {
+    std::printf("%-34s %5llu/%-3llu %9llu %12.3f %10zu\n", row.label.c_str(),
+                static_cast<unsigned long long>(row.r.detected_edges),
+                static_cast<unsigned long long>(row.r.truth_edges),
+                static_cast<unsigned long long>(row.r.false_suspicions),
+                row.r.availability_err.mean(), row.r.diameter);
+  }
+  std::printf("{\"bench\":\"topology_sweep_detail\",\"rows\":[");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf(
+        "%s{\"label\":\"%s\",\"diameter\":%zu,\"detected\":%llu,"
+        "\"truth_edges\":%llu,\"false_suspicions\":%llu,"
+        "\"availability_error\":%.6f}",
+        i ? "," : "", row.label.c_str(), row.r.diameter,
+        static_cast<unsigned long long>(row.r.detected_edges),
+        static_cast<unsigned long long>(row.r.truth_edges),
+        static_cast<unsigned long long>(row.r.false_suspicions),
+        row.r.availability_err.mean());
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Staged CI driver. Stages:
+#
+#   fast   — build + every test that is not labelled `chaos` (quick signal)
+#   chaos  — the labelled fault-injection soaks and scenario sweeps,
+#            scheduled separately because they simulate tens of seconds of
+#            virtual/wall time (each already carries a 300 s ctest timeout)
+#   tsan   — ET_SANITIZE=thread build running the concurrency-sensitive
+#            suites, including the RealTimeNetwork chaos scenario smoke
+#
+# Usage: scripts/ci.sh [fast|chaos|tsan|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+configure() { # build-dir extra-cmake-args...
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+}
+
+run_fast() {
+  configure build
+  ctest --test-dir build -LE chaos --output-on-failure -j "$jobs"
+}
+
+run_chaos() {
+  configure build
+  ctest --test-dir build -L chaos --output-on-failure --timeout 300
+}
+
+run_tsan() {
+  configure build-tsan -DET_SANITIZE=thread -DET_BUILD_BENCHMARKS=OFF \
+    -DET_BUILD_EXAMPLES=OFF
+  # Threaded/wall-clock suites where TSan has something to bite on; the
+  # chaos scenario binary includes the RealTimeNetwork schedule smoke.
+  ctest --test-dir build-tsan --output-on-failure --timeout 300 -R \
+    'Realtime|RealTime|ChaosRealTimeSmoke|Threaded|backend_conformance'
+}
+
+case "$stage" in
+  fast)  run_fast ;;
+  chaos) run_chaos ;;
+  tsan)  run_tsan ;;
+  all)   run_fast; run_chaos; run_tsan ;;
+  *) echo "unknown stage: $stage (want fast|chaos|tsan|all)" >&2; exit 2 ;;
+esac

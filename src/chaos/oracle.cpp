@@ -1,0 +1,291 @@
+#include "src/chaos/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace et::chaos {
+
+bool availability_signal(tracing::TraceType t) {
+  using tracing::TraceType;
+  return t == TraceType::kAllsWell || t == TraceType::kReady ||
+         t == TraceType::kJoin || t == TraceType::kInitializing;
+}
+
+namespace {
+
+bool suspicion_signal(tracing::TraceType t) {
+  using tracing::TraceType;
+  return t == TraceType::kFailureSuspicion || t == TraceType::kFailed ||
+         t == TraceType::kDisconnect;
+}
+
+// First evidence a tracker gets of a failure episode. Suspicion traces
+// cover unresponsive-entity failures; RECOVERING covers hosting-broker
+// loss, where no broker is alive to publish a suspicion and the episode
+// surfaces only through the entity's post-failover announcement.
+bool detection_signal(tracing::TraceType t) {
+  return suspicion_signal(t) || t == tracing::TraceType::kRecovering;
+}
+
+}  // namespace
+
+double OracleReport::max_detection_latency_us() const {
+  double out = 0.0;
+  for (const auto& p : pairs) {
+    out = std::max(out, p.max_detection_latency_us);
+  }
+  return out;
+}
+
+double OracleReport::mean_detection_latency_us() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : pairs) {
+    if (p.detected_down_edges == 0) continue;
+    sum += p.mean_detection_latency_us *
+           static_cast<double>(p.detected_down_edges);
+    n += p.detected_down_edges;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::size_t OracleReport::false_suspicions() const {
+  std::size_t out = 0;
+  for (const auto& p : pairs) out += p.false_suspicions;
+  return out;
+}
+
+double OracleReport::mean_availability_error() const {
+  if (pairs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : pairs) sum += p.availability_error;
+  return sum / static_cast<double>(pairs.size());
+}
+
+tracing::Tracker::TraceHandler AvailabilityOracle::tap(
+    const std::string& tracker_id, const std::string& entity_id,
+    transport::NetworkBackend& backend, tracing::Tracker::TraceHandler inner) {
+  return [this, tracker_id, entity_id, &backend,
+          inner = std::move(inner)](const tracing::TracePayload& p,
+                                    const pubsub::Message& m) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pairs_[{tracker_id, entity_id}].observed.push_back(
+          {backend.now(), p.type});
+    }
+    if (inner) inner(p, m);
+  };
+}
+
+void AvailabilityOracle::set_truth(const std::string& tracker_id,
+                                   const std::string& entity_id, bool up,
+                                   TimePoint at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& truth = pairs_[{tracker_id, entity_id}].truth;
+  if (!truth.empty() && truth.back().up == up) return;
+  truth.push_back({at, up});
+}
+
+void AvailabilityOracle::note_failover(const std::string& entity_id,
+                                       std::uint64_t count, TimePoint at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& fo = failovers_[entity_id];
+  if (!fo.empty() && fo.back().count >= count) return;
+  fo.push_back({count, at});
+}
+
+std::vector<std::string> AvailabilityOracle::timeline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [key, pair] : pairs_) {
+    const std::string head = key.first + "/" + key.second + " t=";
+    // Merge truth edges and observations by time; truth sorts first at
+    // equal instants (it was set by the scenario before the slice ran).
+    std::size_t ti = 0;
+    std::size_t oi = 0;
+    while (ti < pair.truth.size() || oi < pair.observed.size()) {
+      const bool take_truth =
+          oi >= pair.observed.size() ||
+          (ti < pair.truth.size() &&
+           pair.truth[ti].at <= pair.observed[oi].at);
+      if (take_truth) {
+        out.push_back(head + std::to_string(pair.truth[ti].at) +
+                      " truth=" + (pair.truth[ti].up ? "up" : "down"));
+        ++ti;
+      } else {
+        out.push_back(
+            head + std::to_string(pair.observed[oi].at) + " obs=" +
+            std::string(trace_type_name(pair.observed[oi].type)));
+        ++oi;
+      }
+    }
+  }
+  return out;
+}
+
+OracleReport AvailabilityOracle::report(TimePoint end, Duration grace) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  OracleReport out;
+  for (const auto& [key, pair] : pairs_) {
+    PairReport r;
+    r.tracker_id = key.first;
+    r.entity_id = key.second;
+
+    // Integrates truth up-time over [from, end].
+    auto truth_up_fraction = [&](TimePoint from) -> double {
+      if (end <= from || pair.truth.empty()) return 0.0;
+      Duration up_time = 0;
+      for (std::size_t i = 0; i < pair.truth.size(); ++i) {
+        if (!pair.truth[i].up) continue;
+        const TimePoint seg_start = std::max(pair.truth[i].at, from);
+        const TimePoint seg_end = i + 1 < pair.truth.size()
+                                      ? std::min(pair.truth[i + 1].at, end)
+                                      : end;
+        if (seg_end > seg_start) up_time += seg_end - seg_start;
+      }
+      return static_cast<double>(up_time) / static_cast<double>(end - from);
+    };
+
+    // True when truth was continuously up over [t - grace, t].
+    auto solidly_up = [&](TimePoint t) -> bool {
+      bool up = true;  // before the first sample the pair is nominal
+      for (const auto& e : pair.truth) {
+        if (e.at > t) break;
+        up = e.up;
+        if (!e.up && e.at > t - grace) return false;
+      }
+      return up;
+    };
+
+    // Detection latency per truth down-edge. The window for attributing
+    // a detection signal runs until the *next* down-edge (or `end`):
+    // suspicion traces land during the outage, while a RECOVERING after
+    // the heal still unambiguously reports the previous episode.
+    for (std::size_t i = 0; i < pair.truth.size(); ++i) {
+      if (pair.truth[i].up) continue;
+      if (i == 0) continue;  // no preceding up state: not an edge
+      const TimePoint down_at = pair.truth[i].at;
+      // Truth entries alternate after collapsing, so the next down-edge
+      // (if any) is at i + 2.
+      const TimePoint window_end =
+          i + 2 < pair.truth.size() ? pair.truth[i + 2].at : end;
+      ++r.truth_down_edges;
+      for (const auto& o : pair.observed) {
+        if (o.at < down_at || !detection_signal(o.type)) continue;
+        if (o.at >= window_end) break;
+        const double latency = static_cast<double>(o.at - down_at);
+        ++r.detected_down_edges;
+        r.mean_detection_latency_us += latency;
+        r.max_detection_latency_us =
+            std::max(r.max_detection_latency_us, latency);
+        break;
+      }
+    }
+    if (r.detected_down_edges > 0) {
+      r.mean_detection_latency_us /=
+          static_cast<double>(r.detected_down_edges);
+    }
+
+    // Suspicion accounting.
+    for (const auto& o : pair.observed) {
+      if (!suspicion_signal(o.type)) continue;
+      ++r.suspicion_signals;
+      if (solidly_up(o.at)) ++r.false_suspicions;
+    }
+
+    // Availability: observed state machine starts at the first
+    // availability/suspicion signal; types that carry no liveness verdict
+    // (load, metrics, gauge) leave the state unchanged.
+    TimePoint obs_start = 0;
+    bool have_obs = false;
+    bool obs_up = false;
+    Duration obs_up_time = 0;
+    TimePoint last_change = 0;
+    for (const auto& o : pair.observed) {
+      const bool up_sig = availability_signal(o.type);
+      const bool down_sig = suspicion_signal(o.type);
+      if (!up_sig && !down_sig) continue;
+      if (!have_obs) {
+        have_obs = true;
+        obs_start = o.at;
+        obs_up = up_sig;
+        last_change = o.at;
+        continue;
+      }
+      if (up_sig == obs_up) continue;
+      if (obs_up) obs_up_time += o.at - last_change;
+      obs_up = up_sig;
+      last_change = o.at;
+    }
+    if (have_obs && end > obs_start) {
+      if (obs_up && end > last_change) obs_up_time += end - last_change;
+      r.observed_availability = static_cast<double>(obs_up_time) /
+                                static_cast<double>(end - obs_start);
+      r.truth_availability = truth_up_fraction(
+          pair.truth.empty() ? obs_start : pair.truth.front().at);
+      const double truth_same_window = truth_up_fraction(obs_start);
+      r.availability_error =
+          std::abs(r.observed_availability - truth_same_window);
+    } else if (!pair.truth.empty()) {
+      r.truth_availability = truth_up_fraction(pair.truth.front().at);
+    }
+
+    out.pairs.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<std::string> AvailabilityOracle::check_invariants(
+    Duration detection_bound, Duration grace) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [key, pair] : pairs_) {
+    const std::string head = key.first + "/" + key.second + ": ";
+
+    // I1: no availability signal while truth has been down longer than
+    // the detection bound plus grace.
+    for (const auto& o : pair.observed) {
+      if (!availability_signal(o.type)) continue;
+      bool up = true;
+      TimePoint down_since = 0;
+      for (const auto& e : pair.truth) {
+        if (e.at > o.at) break;
+        up = e.up;
+        down_since = e.at;
+      }
+      if (!up && o.at - down_since > detection_bound + grace) {
+        out.push_back(head + "I1: " +
+                      std::string(trace_type_name(o.type)) + " at t=" +
+                      std::to_string(o.at) + " but truth down since t=" +
+                      std::to_string(down_since));
+      }
+    }
+
+    // I2: the r-th RECOVERING trace needs >= r real failovers by then.
+    auto fit = failovers_.find(key.second);
+    std::uint64_t rec_seen = 0;
+    for (const auto& o : pair.observed) {
+      if (o.type != tracing::TraceType::kRecovering) continue;
+      ++rec_seen;
+      bool backed = false;
+      if (fit != failovers_.end()) {
+        for (const auto& f : fit->second) {
+          if (f.count >= rec_seen && f.at <= o.at + grace) {
+            backed = true;
+            break;
+          }
+        }
+      }
+      if (!backed) {
+        out.push_back(head + "I2: RECOVERING #" +
+                      std::to_string(rec_seen) + " at t=" +
+                      std::to_string(o.at) +
+                      " has no backing failover");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace et::chaos

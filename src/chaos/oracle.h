@@ -1,0 +1,131 @@
+// Availability oracle: ground truth vs tracker-observed state.
+//
+// A chaos scenario knows the truth — it injected the faults, so it can
+// compute whether each (tracker, entity) pair is genuinely connected at
+// any instant. The oracle records that truth timeline alongside every
+// verified trace each tracker receives, then answers the paper's
+// evaluation questions (§6): how long after a real failure does a tracker
+// learn of it (detection latency), how often does it cry wolf (false
+// suspicions), and how far off is its integrated availability estimate
+// (observed-availability error)? It also checks two safety invariants the
+// regression tests pin:
+//
+//   I1  no availability signal (ALLS_WELL / READY / JOIN / INITIALIZING)
+//       may arrive while the pair's truth has been down for longer than
+//       the detection bound plus a propagation grace;
+//   I2  every RECOVERING trace must be backed by a real failover the
+//       entity actually performed by that time.
+//
+// Thread-safety: all methods lock an internal mutex — tracker callbacks
+// run in tracker-node contexts, which on RealTimeNetwork are real threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/tracing/trace_types.h"
+#include "src/tracing/tracker.h"
+
+namespace et::chaos {
+
+/// True for trace types that assert the entity is alive and reachable.
+[[nodiscard]] bool availability_signal(tracing::TraceType t);
+
+/// Per-(tracker, entity) evaluation results. Latencies in microseconds.
+struct PairReport {
+  std::string tracker_id;
+  std::string entity_id;
+  std::size_t truth_down_edges = 0;     // real up->down transitions
+  std::size_t detected_down_edges = 0;  // episodes surfaced to the tracker
+                                        // (suspicion trace, or RECOVERING
+                                        // when the hosting broker died)
+  double mean_detection_latency_us = 0.0;  // over detected edges
+  double max_detection_latency_us = 0.0;
+  std::size_t false_suspicions = 0;   // suspicion signals while truth up
+  std::size_t suspicion_signals = 0;  // all suspicion/failed/disconnect
+  double truth_availability = 0.0;    // fraction of window truth was up
+  double observed_availability = 0.0; // fraction observed up
+  double availability_error = 0.0;    // |observed - truth|
+};
+
+struct OracleReport {
+  std::vector<PairReport> pairs;
+  std::vector<std::string> invariant_violations;  // empty = all hold
+
+  [[nodiscard]] double max_detection_latency_us() const;
+  [[nodiscard]] double mean_detection_latency_us() const;  // over all pairs
+  [[nodiscard]] std::size_t false_suspicions() const;
+  [[nodiscard]] double mean_availability_error() const;
+};
+
+class AvailabilityOracle {
+ public:
+  /// Wraps `inner` (may be null) into a TraceHandler that records every
+  /// verified trace `tracker` receives about `entity` before forwarding.
+  /// Pass the result to Tracker::track.
+  [[nodiscard]] tracing::Tracker::TraceHandler tap(
+      const std::string& tracker_id, const std::string& entity_id,
+      transport::NetworkBackend& backend,
+      tracing::Tracker::TraceHandler inner = nullptr);
+
+  /// Records the ground-truth connectivity of (tracker, entity) at `at`.
+  /// Repeated equal states collapse; the scenario calls this every sample
+  /// slice after recomputing reachability from the fault plan.
+  void set_truth(const std::string& tracker_id, const std::string& entity_id,
+                 bool up, TimePoint at);
+
+  /// Records that `entity` completed its n-th failover at (or before) `at`.
+  /// Invariant I2 admits a RECOVERING trace only when a failover with an
+  /// equal or earlier timestamp exists.
+  void note_failover(const std::string& entity_id, std::uint64_t count,
+                     TimePoint at);
+
+  /// Deterministic rendering of every pair's merged truth + observation
+  /// timeline, sorted by (tracker, entity, time, kind). Byte-identical
+  /// across same-seed virtual-time runs.
+  [[nodiscard]] std::vector<std::string> timeline() const;
+
+  /// Computes per-pair metrics over [first truth sample, end]. A
+  /// suspicion signal counts as *false* only when the pair's truth was up
+  /// continuously over [t - grace, t] — grace absorbs the propagation
+  /// window in which a suspicion about an already-healed outage is stale
+  /// but honest.
+  [[nodiscard]] OracleReport report(TimePoint end, Duration grace = 0) const;
+
+  /// Checks I1/I2 and returns violation descriptions (empty = pass).
+  /// `detection_bound` is the configured worst-case detection time
+  /// (roughly disconnect_misses * ping_interval); `grace` absorbs overlay
+  /// propagation delay and truth-sampling quantization.
+  [[nodiscard]] std::vector<std::string> check_invariants(
+      Duration detection_bound, Duration grace) const;
+
+ private:
+  struct TruthEdge {
+    TimePoint at = 0;
+    bool up = true;
+  };
+  struct Observation {
+    TimePoint at = 0;
+    tracing::TraceType type{};
+  };
+  struct Pair {
+    std::vector<TruthEdge> truth;
+    std::vector<Observation> observed;
+  };
+  struct Failover {
+    std::uint64_t count = 0;
+    TimePoint at = 0;
+  };
+
+  using Key = std::pair<std::string, std::string>;  // tracker, entity
+
+  mutable std::mutex mu_;
+  std::map<Key, Pair> pairs_;
+  std::map<std::string, std::vector<Failover>> failovers_;  // by entity
+};
+
+}  // namespace et::chaos

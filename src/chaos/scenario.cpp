@@ -1,0 +1,307 @@
+#include "src/chaos/scenario.h"
+
+#include <queue>
+#include <stdexcept>
+
+#include "src/transport/fault_injector.h"
+
+namespace et::chaos {
+
+std::string OverlaySpec::describe() const {
+  switch (shape) {
+    case Shape::kChain:
+      return "chain-" + std::to_string(brokers);
+    case Shape::kRing:
+      return "ring-" + std::to_string(brokers);
+    case Shape::kTree:
+      return "tree" + std::to_string(arity) + "-" +
+             std::to_string(brokers);
+    case Shape::kClusters:
+      return "clusters" + std::to_string(leaves_per_core) + "-" +
+             std::to_string(brokers);
+    case Shape::kRandomTree:
+      return "random" + std::to_string(max_degree) + "-" +
+             std::to_string(brokers);
+  }
+  return "?";
+}
+
+tracing::TracingConfig chaos_config() {
+  tracing::TracingConfig c;
+  c.ping_interval = 100 * kMillisecond;
+  c.min_ping_interval = 20 * kMillisecond;
+  c.gauge_interval = 300 * kMillisecond;
+  c.metrics_interval = 250 * kMillisecond;
+  c.delegate_key_bits = 512;
+  c.suspicion_misses = 3;
+  c.failed_misses = 6;
+  c.disconnect_misses = 9;
+  c.broker_silence_timeout = 600 * kMillisecond;
+  RetryPolicy r;
+  r.max_attempts = 0;  // an availability reporter never gives up
+  r.initial_backoff = 50 * kMillisecond;
+  r.max_backoff = 400 * kMillisecond;
+  r.deadline = 10 * kSecond;
+  c.retry = r;
+  c.recovery_announce_delay = 700 * kMillisecond;
+  return c;
+}
+
+Duration detection_bound(const tracing::TracingConfig& c) {
+  const int misses =
+      c.disconnect_misses > 0 ? c.disconnect_misses : c.failed_misses;
+  const Duration broker_side =
+      static_cast<Duration>(misses) * c.ping_interval;
+  return std::max(broker_side, c.broker_silence_timeout);
+}
+
+transport::LinkParams ScenarioDeployment::link() {
+  transport::LinkParams p = transport::LinkParams::ideal_profile();
+  p.base_latency = 1 * kMillisecond;
+  return p;
+}
+
+ScenarioDeployment::ScenarioDeployment(transport::NetworkBackend& backend,
+                                       Options opts)
+    : backend_(backend),
+      config_(opts.config),
+      key_bits_(opts.key_bits),
+      rng_(opts.seed),
+      ca_("chaos-ca", rng_, key_bits_),
+      // One long-term keypair shared by every scenario identity: CA
+      // enrolment is one signature, which is what makes 128-broker
+      // overlays build in test time.
+      shared_keys_(crypto::rsa_generate(rng_, key_bits_)) {
+  config_.delegate_key_bits = key_bits_;
+
+  // TDN replicas share one signing keypair: the TrustAnchors carry a
+  // single tdn_key, so the replica set presents as one logical service.
+  const crypto::RsaKeyPair tdn_keys = crypto::rsa_generate(rng_, key_bits_);
+  anchors_.ca_key = ca_.public_key();
+  anchors_.tdn_key = tdn_keys.public_key;
+  const std::size_t replicas = std::max<std::size_t>(1, opts.tdn_replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    crypto::Identity ident;
+    ident.id = "tdn-" + std::to_string(i);
+    ident.keys = tdn_keys;
+    ident.credential = ca_.issue(ident.id, tdn_keys.public_key,
+                                 backend_.now(), 24 * 3600 * kSecond);
+    tdns_.push_back(std::make_unique<discovery::Tdn>(
+        backend_, std::move(ident), ca_.public_key(), opts.seed + 1 + i));
+  }
+  // Full-mesh replication links between the replicas.
+  for (std::size_t i = 0; i < tdns_.size(); ++i) {
+    for (std::size_t j = i + 1; j < tdns_.size(); ++j) {
+      backend_.link(tdns_[i]->node(), tdns_[j]->node(), link());
+      tdns_[i]->peer(tdns_[j]->node());
+      tdns_[j]->peer(tdns_[i]->node());
+    }
+  }
+
+  topology_ = std::make_unique<pubsub::Topology>(backend_);
+  const pubsub::BrokerOptionsFn brokeropts = [&](const std::string& name) {
+    pubsub::Broker::Options o;
+    o.name = name;
+    filters_.push_back(
+        tracing::install_trace_filter(o, anchors_, backend_, config_));
+    return o;
+  };
+  const OverlaySpec& ov = opts.overlay;
+  switch (ov.shape) {
+    case OverlaySpec::Shape::kChain:
+      brokers_ = topology_->make_chain(ov.brokers, link(), "broker",
+                                       brokeropts);
+      break;
+    case OverlaySpec::Shape::kRing:
+      brokers_ =
+          topology_->make_ring(ov.brokers, link(), "broker", brokeropts);
+      break;
+    case OverlaySpec::Shape::kTree:
+      brokers_ = topology_->make_tree(ov.brokers, ov.arity, link(),
+                                      "broker", brokeropts);
+      break;
+    case OverlaySpec::Shape::kClusters: {
+      const std::size_t cores = std::max<std::size_t>(
+          1, ov.brokers / (1 + ov.leaves_per_core));
+      brokers_ = topology_->make_clusters(cores, ov.leaves_per_core, link(),
+                                          "broker", brokeropts);
+      for (std::size_t c = 0; c < cores; ++c) {
+        std::vector<std::size_t> rack{c};
+        for (std::size_t l = 0; l < ov.leaves_per_core; ++l) {
+          rack.push_back(cores + c * ov.leaves_per_core + l);
+        }
+        racks_.push_back(std::move(rack));
+      }
+      break;
+    }
+    case OverlaySpec::Shape::kRandomTree:
+      brokers_ = topology_->make_random_tree(ov.brokers, ov.max_degree,
+                                             ov.shape_seed, link(), "broker",
+                                             brokeropts);
+      break;
+  }
+  for (std::size_t i = 0; i < brokers_.size(); ++i) {
+    services_.push_back(std::make_unique<tracing::TracingBrokerService>(
+        *brokers_[i], anchors_, config_, opts.seed + 100 + i));
+  }
+}
+
+crypto::Identity ScenarioDeployment::make_identity(const std::string& id) {
+  crypto::Identity ident;
+  ident.id = id;
+  ident.keys = shared_keys_;
+  ident.credential = ca_.issue(id, shared_keys_.public_key, backend_.now(),
+                               24 * 3600 * kSecond);
+  return ident;
+}
+
+void ScenarioDeployment::register_brokers() {
+  registrar_ = std::make_unique<discovery::DiscoveryClient>(
+      backend_, make_identity("registrar"));
+  for (const auto& tdn : tdns_) {
+    registrar_->attach_tdn(tdn->node(), link());
+  }
+  for (pubsub::Broker* b : brokers_) {
+    registrar_->register_broker(b->name(), b->node(),
+                                make_identity(b->name()).credential);
+  }
+}
+
+tracing::TracedEntity& ScenarioDeployment::add_entity(
+    const std::string& id, std::size_t broker_index) {
+  auto e = std::make_unique<tracing::TracedEntity>(
+      backend_, make_identity(id), anchors_, config_, rng_.next_u64());
+  for (const auto& tdn : tdns_) e->attach_tdn(tdn->node(), link());
+  e->connect_broker(brokers_.at(broker_index)->node(), link());
+  entities_.push_back(std::move(e));
+  entity_home_.push_back(broker_index);
+  last_failovers_.push_back(0);
+  return *entities_.back();
+}
+
+tracing::Tracker& ScenarioDeployment::add_tracker(const std::string& id,
+                                                  std::size_t broker_index) {
+  auto t = std::make_unique<tracing::Tracker>(backend_, make_identity(id),
+                                              anchors_, rng_.next_u64());
+  for (const auto& tdn : tdns_) t->attach_tdn(tdn->node(), link());
+  t->connect_broker(brokers_.at(broker_index)->node(), link());
+  trackers_.push_back(std::move(t));
+  tracker_home_.push_back(broker_index);
+  return *trackers_.back();
+}
+
+std::size_t ScenarioDeployment::broker_index_of(
+    transport::NodeId node) const {
+  for (std::size_t i = 0; i < brokers_.size(); ++i) {
+    if (brokers_[i]->node() == node) return i;
+  }
+  return SIZE_MAX;
+}
+
+namespace {
+
+/// BFS over the peered overlay using only hops the fault plan currently
+/// lets packets through.
+bool overlay_path(const std::vector<pubsub::Broker*>& brokers,
+                  const std::vector<std::pair<std::size_t, std::size_t>>&
+                      edges,
+                  const transport::FaultInjector& faults, std::size_t from,
+                  std::size_t to, TimePoint now) {
+  if (from == to) return !faults.cut(brokers[from]->node(),
+                                     brokers[from]->node(), now);
+  std::vector<std::vector<std::size_t>> adj(brokers.size());
+  for (const auto& [a, b] : edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<bool> seen(brokers.size(), false);
+  std::queue<std::size_t> q;
+  seen[from] = true;
+  q.push(from);
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (const std::size_t v : adj[u]) {
+      if (seen[v]) continue;
+      if (faults.cut(brokers[u]->node(), brokers[v]->node(), now)) continue;
+      if (v == to) return true;
+      seen[v] = true;
+      q.push(v);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ScenarioDeployment::reachable(std::size_t tracker_index,
+                                   std::size_t entity_index, TimePoint now) {
+  tracing::TracedEntity& e = *entities_.at(entity_index);
+  const transport::NodeId hosting = e.client().broker();
+  const std::size_t host_index = broker_index_of(hosting);
+  if (host_index == SIZE_MAX) return false;  // mid-failover, unhosted
+  if (e.failing_over() || !e.tracing_active()) return false;
+  const transport::FaultInjector& faults = backend_.faults();
+  if (faults.cut(e.client().node(), hosting, now)) return false;
+  tracing::Tracker& t = *trackers_.at(tracker_index);
+  const std::size_t t_home = tracker_home_.at(tracker_index);
+  if (faults.cut(t.client().node(), brokers_[t_home]->node(), now)) {
+    return false;
+  }
+  return overlay_path(brokers_, topology_->edges(), faults, t_home,
+                      host_index, now);
+}
+
+void ScenarioDeployment::sample_truth(AvailabilityOracle& oracle,
+                                      TimePoint now) {
+  for (std::size_t t = 0; t < trackers_.size(); ++t) {
+    for (std::size_t e = 0; e < entities_.size(); ++e) {
+      oracle.set_truth(trackers_[t]->tracker_id(),
+                       entities_[e]->entity_id(), reachable(t, e, now), now);
+    }
+  }
+  for (std::size_t e = 0; e < entities_.size(); ++e) {
+    const std::uint64_t fo = entities_[e]->stats().failovers;
+    if (fo > last_failovers_[e]) {
+      oracle.note_failover(entities_[e]->entity_id(), fo, now);
+      last_failovers_[e] = fo;
+    }
+  }
+}
+
+bool ScenarioDeployment::reachable_static(std::size_t tracker_index,
+                                          std::size_t entity_index,
+                                          TimePoint now) const {
+  const std::size_t e_home = entity_home_.at(entity_index);
+  const std::size_t t_home = tracker_home_.at(tracker_index);
+  const transport::FaultInjector& faults = backend_.faults();
+  // Home-broker table and client node ids are immutable after creation,
+  // so this is safe while RealTimeNetwork actors run.
+  if (faults.cut(entities_.at(entity_index)->client().node(),
+                 brokers_[e_home]->node(), now)) {
+    return false;
+  }
+  if (faults.cut(trackers_.at(tracker_index)->client().node(),
+                 brokers_[t_home]->node(), now)) {
+    return false;
+  }
+  return overlay_path(brokers_, topology_->edges(), faults, t_home, e_home,
+                      now);
+}
+
+void ScenarioDeployment::sample_truth_static(AvailabilityOracle& oracle,
+                                             TimePoint now) const {
+  for (std::size_t t = 0; t < trackers_.size(); ++t) {
+    for (std::size_t e = 0; e < entities_.size(); ++e) {
+      oracle.set_truth(trackers_[t]->tracker_id(),
+                       entities_[e]->entity_id(),
+                       reachable_static(t, e, now), now);
+    }
+  }
+}
+
+std::vector<std::size_t> ScenarioDeployment::rack(std::size_t r) const {
+  return racks_.at(r);
+}
+
+}  // namespace et::chaos

@@ -1,0 +1,177 @@
+// Parameterized chaos deployments: overlay shape x tracing stack x TDN
+// replica set, plus the ground-truth reachability the oracle needs.
+//
+// A `ScenarioDeployment` stands up a complete tracing system on either
+// backend: a CA, `tdn_replicas` TDNs sharing one signing keypair (the
+// TrustAnchors carry a single tdn_key, mirroring the paper's model of
+// TDN replicas as one logical service), a broker overlay built from an
+// `OverlaySpec`, tracing services + trace filters on every broker, and
+// factory methods for traced entities and trackers using one shared
+// long-term keypair (CA enrolment is one signature per identity, which
+// is what keeps 128-broker scenarios affordable).
+//
+// Ground truth: `reachable(t, e, now)` runs a BFS over the peered overlay
+// edges, asking the backend's FaultInjector whether each hop is currently
+// severed — the same cut() predicate both backends consult at delivery
+// time, so truth and behaviour can never disagree about the fault plan.
+// `sample_truth` feeds that into an AvailabilityOracle for every
+// (tracker, entity) pair; scenarios call it once per time slice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/oracle.h"
+#include "src/crypto/credential.h"
+#include "src/discovery/discovery_client.h"
+#include "src/discovery/tdn.h"
+#include "src/pubsub/topology.h"
+#include "src/tracing/config.h"
+#include "src/tracing/trace_filter.h"
+#include "src/tracing/traced_entity.h"
+#include "src/tracing/tracing_broker.h"
+#include "src/tracing/tracker.h"
+#include "src/transport/network.h"
+
+namespace et::chaos {
+
+/// Overlay shape + size for one scenario cell.
+struct OverlaySpec {
+  enum class Shape : std::uint8_t {
+    kChain,       // maximal diameter
+    kRing,        // spanning chain + standby closing link
+    kTree,        // balanced arity-ary tree: logarithmic diameter
+    kClusters,    // cluster-of-stars racks behind a core chain
+    kRandomTree,  // degree-bounded random attachment
+  };
+
+  Shape shape = Shape::kChain;
+  std::size_t brokers = 8;          // total broker budget
+  std::size_t arity = 2;            // kTree fan-out
+  std::size_t leaves_per_core = 3;  // kClusters rack size; core count is
+                                    // brokers / (1 + leaves_per_core)
+  std::size_t max_degree = 4;       // kRandomTree degree bound
+  std::uint64_t shape_seed = 1;     // kRandomTree attachment seed
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Tracing configuration tuned for chaos runs: fast pings, bounded
+/// escalation, broker-silence failover armed, retries on discovery.
+[[nodiscard]] tracing::TracingConfig chaos_config();
+
+/// Worst-case failure-detection bound for a config: the silence a broker
+/// tolerates before escalating to DISCONNECT, plus the entity-side
+/// broker-silence window (whichever path applies, this covers it).
+[[nodiscard]] Duration detection_bound(const tracing::TracingConfig& c);
+
+class ScenarioDeployment {
+ public:
+  struct Options {
+    OverlaySpec overlay;
+    tracing::TracingConfig config = chaos_config();
+    std::size_t tdn_replicas = 1;
+    std::uint64_t seed = 1234;
+    std::size_t key_bits = 512;  // protocol logic is key-size independent
+  };
+
+  ScenarioDeployment(transport::NetworkBackend& backend, Options opts);
+
+  ScenarioDeployment(const ScenarioDeployment&) = delete;
+  ScenarioDeployment& operator=(const ScenarioDeployment&) = delete;
+
+  /// Low-latency LAN link profile used for every scenario link.
+  [[nodiscard]] static transport::LinkParams link();
+
+  /// Identity backed by the shared keypair (one CA signature).
+  [[nodiscard]] crypto::Identity make_identity(const std::string& id);
+
+  /// Entity homed on broker `broker_index`, attached to every TDN.
+  tracing::TracedEntity& add_entity(const std::string& id,
+                                    std::size_t broker_index);
+  /// Tracker homed on broker `broker_index`, attached to every TDN.
+  tracing::Tracker& add_tracker(const std::string& id,
+                                std::size_t broker_index);
+
+  // --- ground truth -----------------------------------------------------
+
+  /// True when tracker `t` can currently exchange packets with entity
+  /// `e`: tracker -> home broker -> overlay path -> entity's *current*
+  /// hosting broker -> entity, with no hop severed by the fault plan.
+  [[nodiscard]] bool reachable(std::size_t tracker_index,
+                               std::size_t entity_index, TimePoint now);
+
+  /// Records truth for every (tracker, entity) pair and the entities'
+  /// failover counters. Call once per time slice, from the driving
+  /// thread on VirtualTimeNetwork; on RealTimeNetwork reading entity
+  /// state mid-run is racy, so RT scenarios sample only static truth
+  /// (see reachable_static below).
+  void sample_truth(AvailabilityOracle& oracle, TimePoint now);
+
+  /// Like reachable(), but assumes entities never left their home broker
+  /// (no failover). Safe on RealTimeNetwork while actors run, because it
+  /// reads only the immutable home-broker table and the fault plan.
+  [[nodiscard]] bool reachable_static(std::size_t tracker_index,
+                                      std::size_t entity_index,
+                                      TimePoint now) const;
+  void sample_truth_static(AvailabilityOracle& oracle, TimePoint now) const;
+
+  // --- accessors --------------------------------------------------------
+
+  [[nodiscard]] pubsub::Topology& topology() { return *topology_; }
+  [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }
+  [[nodiscard]] pubsub::Broker& broker(std::size_t i) { return *brokers_[i]; }
+  [[nodiscard]] std::size_t tdn_count() const { return tdns_.size(); }
+  [[nodiscard]] discovery::Tdn& tdn(std::size_t i) { return *tdns_.at(i); }
+  [[nodiscard]] const tracing::TrustAnchors& anchors() const {
+    return anchors_;
+  }
+  [[nodiscard]] const tracing::TracingConfig& config() const {
+    return config_;
+  }
+  [[nodiscard]] std::size_t entity_count() const { return entities_.size(); }
+  [[nodiscard]] tracing::TracedEntity& entity(std::size_t i) {
+    return *entities_.at(i);
+  }
+  [[nodiscard]] std::size_t tracker_count() const { return trackers_.size(); }
+  [[nodiscard]] tracing::Tracker& tracker(std::size_t i) {
+    return *trackers_.at(i);
+  }
+  /// Broker indices of rack `r` (kClusters shapes only): the core plus
+  /// its leaves — the unit a rack_loss schedule takes down.
+  [[nodiscard]] std::vector<std::size_t> rack(std::size_t r) const;
+  [[nodiscard]] std::size_t rack_count() const { return racks_.size(); }
+
+  /// Enrolls every broker with every TDN replica; the caller must settle
+  /// the network afterwards (run_for / sleep) before failover relies on
+  /// the registry.
+  void register_brokers();
+
+ private:
+  [[nodiscard]] std::size_t broker_index_of(transport::NodeId node) const;
+
+  transport::NetworkBackend& backend_;
+  tracing::TracingConfig config_;
+  std::size_t key_bits_;
+  Rng rng_;
+  crypto::CertificateAuthority ca_;
+  crypto::RsaKeyPair shared_keys_;
+  tracing::TrustAnchors anchors_;
+  std::vector<std::unique_ptr<discovery::Tdn>> tdns_;
+  std::unique_ptr<pubsub::Topology> topology_;
+  std::vector<pubsub::Broker*> brokers_;
+  std::vector<std::unique_ptr<tracing::TracingBrokerService>> services_;
+  std::vector<tracing::TraceFilterHandle> filters_;
+  std::unique_ptr<discovery::DiscoveryClient> registrar_;
+  std::vector<std::vector<std::size_t>> racks_;  // kClusters only
+
+  std::vector<std::unique_ptr<tracing::TracedEntity>> entities_;
+  std::vector<std::size_t> entity_home_;  // broker index at creation
+  std::vector<std::unique_ptr<tracing::Tracker>> trackers_;
+  std::vector<std::size_t> tracker_home_;
+  std::vector<std::uint64_t> last_failovers_;  // per entity, for sampling
+};
+
+}  // namespace et::chaos

@@ -1,0 +1,288 @@
+#include "src/chaos/schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/transport/fault_injector.h"
+
+namespace et::chaos {
+
+FailureSchedule& FailureSchedule::crash(Duration at,
+                                        std::vector<std::size_t> brokers) {
+  ScheduleStep s;
+  s.kind = ScheduleStep::Kind::kCrash;
+  s.at = at;
+  s.brokers = std::move(brokers);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::restart(Duration at,
+                                          std::vector<std::size_t> brokers) {
+  ScheduleStep s;
+  s.kind = ScheduleStep::Kind::kRestart;
+  s.at = at;
+  s.brokers = std::move(brokers);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::partition(
+    Duration at, std::vector<std::vector<std::size_t>> groups) {
+  ScheduleStep s;
+  s.kind = ScheduleStep::Kind::kPartition;
+  s.at = at;
+  s.groups = std::move(groups);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::heal(Duration at) {
+  ScheduleStep s;
+  s.kind = ScheduleStep::Kind::kHeal;
+  s.at = at;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::link_blackhole(Duration at, std::size_t a,
+                                                 std::size_t b) {
+  ScheduleStep s;
+  s.kind = ScheduleStep::Kind::kLinkBlackhole;
+  s.at = at;
+  s.link_a = a;
+  s.link_b = b;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::link_restore(Duration at, std::size_t a,
+                                               std::size_t b) {
+  ScheduleStep s;
+  s.kind = ScheduleStep::Kind::kLinkRestore;
+  s.at = at;
+  s.link_a = a;
+  s.link_b = b;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::rack_loss(Duration at,
+                                            const std::vector<std::size_t>& rack,
+                                            Duration outage) {
+  crash(at, rack);
+  if (outage > 0) restart(at + outage, rack);
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::rolling_restart(
+    Duration start, const std::vector<std::size_t>& brokers, Duration stagger,
+    Duration down_for) {
+  for (std::size_t i = 0; i < brokers.size(); ++i) {
+    const Duration down_at = start + static_cast<Duration>(i) * stagger;
+    crash(down_at, {brokers[i]});
+    restart(down_at + down_for, {brokers[i]});
+  }
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::flapping_link(Duration start, std::size_t a,
+                                                std::size_t b,
+                                                Duration down_for,
+                                                Duration up_for,
+                                                Duration stop) {
+  ScheduleStep s;
+  s.kind = ScheduleStep::Kind::kLinkFlap;
+  s.at = start;
+  s.link_a = a;
+  s.link_b = b;
+  s.down_for = down_for;
+  s.up_for = up_for;
+  steps_.push_back(std::move(s));
+  if (stop > 0) link_restore(start + stop, a, b);
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::cascading_partition(
+    Duration start, const std::vector<std::vector<std::size_t>>& groups,
+    Duration stagger, Duration heal_after) {
+  if (groups.size() < 2) {
+    throw std::invalid_argument(
+        "FailureSchedule::cascading_partition: need >= 2 groups");
+  }
+  // Wave i isolates groups[0..i] from each other and from the remainder;
+  // the remainder (everything not yet split off) is implicit — nodes not
+  // listed in any group are unrestricted, so each wave must list the
+  // still-together tail as one group to keep it separated from the
+  // already-isolated heads.
+  Duration last = start;
+  for (std::size_t wave = 0; wave + 1 < groups.size(); ++wave) {
+    std::vector<std::vector<std::size_t>> split;
+    for (std::size_t g = 0; g <= wave; ++g) split.push_back(groups[g]);
+    std::vector<std::size_t> tail;
+    for (std::size_t g = wave + 1; g < groups.size(); ++g) {
+      tail.insert(tail.end(), groups[g].begin(), groups[g].end());
+    }
+    split.push_back(std::move(tail));
+    last = start + static_cast<Duration>(wave) * stagger;
+    partition(last, std::move(split));
+  }
+  if (heal_after > 0) heal(last + heal_after);
+  return *this;
+}
+
+std::vector<std::string> FailureSchedule::describe() const {
+  // Stable sort by time keeps same-instant steps in build order, so the
+  // rendering is a pure function of the builder calls.
+  std::vector<const ScheduleStep*> ordered;
+  ordered.reserve(steps_.size());
+  for (const auto& s : steps_) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ScheduleStep* a, const ScheduleStep* b) {
+                     return a->at < b->at;
+                   });
+  std::vector<std::string> out;
+  out.reserve(ordered.size());
+  for (const ScheduleStep* s : ordered) {
+    std::string line = "t=" + std::to_string(s->at) + " ";
+    auto list = [](const std::vector<std::size_t>& v) {
+      std::string r = "[";
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) r += ",";
+        r += std::to_string(v[i]);
+      }
+      return r + "]";
+    };
+    switch (s->kind) {
+      case ScheduleStep::Kind::kCrash:
+        line += "crash " + list(s->brokers);
+        break;
+      case ScheduleStep::Kind::kRestart:
+        line += "restart " + list(s->brokers);
+        break;
+      case ScheduleStep::Kind::kPartition: {
+        line += "partition ";
+        for (std::size_t g = 0; g < s->groups.size(); ++g) {
+          if (g > 0) line += "|";
+          line += list(s->groups[g]);
+        }
+        break;
+      }
+      case ScheduleStep::Kind::kHeal:
+        line += "heal";
+        break;
+      case ScheduleStep::Kind::kLinkBlackhole:
+        line += "blackhole " + std::to_string(s->link_a) + "-" +
+                std::to_string(s->link_b);
+        break;
+      case ScheduleStep::Kind::kLinkRestore:
+        line += "restore " + std::to_string(s->link_a) + "-" +
+                std::to_string(s->link_b);
+        break;
+      case ScheduleStep::Kind::kLinkFlap:
+        line += "flap " + std::to_string(s->link_a) + "-" +
+                std::to_string(s->link_b) + " down=" +
+                std::to_string(s->down_for) + " up=" +
+                std::to_string(s->up_for);
+        break;
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+ScheduleEngine::ScheduleEngine(transport::NetworkBackend& backend,
+                               pubsub::Topology& topo)
+    : backend_(backend), topo_(topo) {
+  node_ = backend_.add_node("chaos-engine",
+                            [](transport::NodeId, Bytes) {});
+}
+
+void ScheduleEngine::run(const FailureSchedule& schedule) {
+  // Steps are armed as independent timers in the engine node's context;
+  // same-instant steps keep build order because timers at equal deadlines
+  // fire FIFO on both backends.
+  std::vector<const ScheduleStep*> ordered;
+  ordered.reserve(schedule.steps().size());
+  for (const auto& s : schedule.steps()) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ScheduleStep* a, const ScheduleStep* b) {
+                     return a->at < b->at;
+                   });
+  for (const ScheduleStep* s : ordered) {
+    const ScheduleStep step = *s;  // engine outlives run(); schedule may not
+    backend_.schedule(node_, step.at, [this, step] { apply(step); });
+  }
+}
+
+void ScheduleEngine::apply(const ScheduleStep& s) {
+  switch (s.kind) {
+    case ScheduleStep::Kind::kCrash:
+      for (const std::size_t i : s.brokers) topo_.crash(topo_.broker(i));
+      break;
+    case ScheduleStep::Kind::kRestart:
+      for (const std::size_t i : s.brokers) topo_.restart(topo_.broker(i));
+      break;
+    case ScheduleStep::Kind::kPartition: {
+      std::vector<std::vector<pubsub::Broker*>> groups;
+      groups.reserve(s.groups.size());
+      for (const auto& g : s.groups) {
+        std::vector<pubsub::Broker*> group;
+        group.reserve(g.size());
+        for (const std::size_t i : g) group.push_back(&topo_.broker(i));
+        groups.push_back(std::move(group));
+      }
+      topo_.partition(groups);
+      break;
+    }
+    case ScheduleStep::Kind::kHeal:
+      topo_.heal();
+      break;
+    case ScheduleStep::Kind::kLinkBlackhole:
+      backend_.faults().blackhole(topo_.broker(s.link_a).node(),
+                                  topo_.broker(s.link_b).node());
+      break;
+    case ScheduleStep::Kind::kLinkRestore:
+      backend_.faults().restore(topo_.broker(s.link_a).node(),
+                                topo_.broker(s.link_b).node());
+      break;
+    case ScheduleStep::Kind::kLinkFlap:
+      backend_.faults().flap(topo_.broker(s.link_a).node(),
+                             topo_.broker(s.link_b).node(), s.down_for,
+                             s.up_for, backend_.now());
+      break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.push_back("t=" + std::to_string(backend_.now()) + " " +
+                 describe_step(s));
+}
+
+std::string ScheduleEngine::describe_step(const ScheduleStep& s) const {
+  switch (s.kind) {
+    case ScheduleStep::Kind::kCrash:
+      return "crash x" + std::to_string(s.brokers.size());
+    case ScheduleStep::Kind::kRestart:
+      return "restart x" + std::to_string(s.brokers.size());
+    case ScheduleStep::Kind::kPartition:
+      return "partition groups=" + std::to_string(s.groups.size());
+    case ScheduleStep::Kind::kHeal:
+      return "heal";
+    case ScheduleStep::Kind::kLinkBlackhole:
+      return "blackhole " + std::to_string(s.link_a) + "-" +
+             std::to_string(s.link_b);
+    case ScheduleStep::Kind::kLinkRestore:
+      return "restore " + std::to_string(s.link_a) + "-" +
+             std::to_string(s.link_b);
+    case ScheduleStep::Kind::kLinkFlap:
+      return "flap " + std::to_string(s.link_a) + "-" +
+             std::to_string(s.link_b);
+  }
+  return "?";
+}
+
+std::vector<std::string> ScheduleEngine::action_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+}  // namespace et::chaos

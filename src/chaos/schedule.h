@@ -1,0 +1,127 @@
+// Declarative failure schedules for chaos topology sweeps (DESIGN.md §12).
+//
+// Correlated failures — rack loss, rolling restarts, flapping links,
+// cascading partitions — are what break availability tracking in practice;
+// one-off faults rarely do. A `FailureSchedule` is pure data: high-level
+// builders expand the correlated patterns into primitive timed steps at
+// build time, so the same schedule value always compiles to the same
+// action sequence. A `ScheduleEngine` executes the steps against a broker
+// overlay: it registers its own node on the backend and schedules every
+// step as a timer in that node's context, which makes the whole schedule
+// a deterministic function of (backend seed, schedule) on
+// VirtualTimeNetwork and a plain concurrent actor on RealTimeNetwork.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/pubsub/topology.h"
+#include "src/transport/network.h"
+
+namespace et::chaos {
+
+/// One primitive timed step. All times are relative to the engine's
+/// run() instant; brokers are indices into the overlay's Topology.
+struct ScheduleStep {
+  enum class Kind : std::uint8_t {
+    kCrash,          // crash every broker in `brokers`
+    kRestart,        // restart every broker in `brokers`
+    kPartition,      // partition the overlay into `groups`
+    kHeal,           // remove the partition
+    kLinkBlackhole,  // cut the overlay link a<->b
+    kLinkRestore,    // clear per-link faults on a<->b
+    kLinkFlap,       // duty-cycled blackhole on a<->b from `at`
+  };
+
+  Kind kind = Kind::kCrash;
+  Duration at = 0;
+  std::vector<std::size_t> brokers;
+  std::vector<std::vector<std::size_t>> groups;
+  std::size_t link_a = 0;
+  std::size_t link_b = 0;
+  Duration down_for = 0;  // kLinkFlap duty cycle
+  Duration up_for = 0;
+};
+
+/// Builder for correlated failure schedules. Steps accumulate in call
+/// order; the engine sorts by time at compile, so builders may be chained
+/// in any order.
+class FailureSchedule {
+ public:
+  // --- primitives -------------------------------------------------------
+  FailureSchedule& crash(Duration at, std::vector<std::size_t> brokers);
+  FailureSchedule& restart(Duration at, std::vector<std::size_t> brokers);
+  FailureSchedule& partition(Duration at,
+                             std::vector<std::vector<std::size_t>> groups);
+  FailureSchedule& heal(Duration at);
+  FailureSchedule& link_blackhole(Duration at, std::size_t a, std::size_t b);
+  FailureSchedule& link_restore(Duration at, std::size_t a, std::size_t b);
+
+  // --- correlated patterns ---------------------------------------------
+  /// Rack loss: every broker of `rack` crashes together at `at`.
+  /// `outage` > 0 restarts the whole rack at `at + outage`; 0 is a
+  /// permanent loss.
+  FailureSchedule& rack_loss(Duration at, const std::vector<std::size_t>& rack,
+                             Duration outage = 0);
+  /// Rolling restart: brokers[i] goes down at `start + i*stagger` and
+  /// comes back `down_for` later — the classic deploy wave.
+  FailureSchedule& rolling_restart(Duration start,
+                                   const std::vector<std::size_t>& brokers,
+                                   Duration stagger, Duration down_for);
+  /// Flapping link: a<->b cycles down `down_for` / up `up_for` starting
+  /// at `start`; `stop` > 0 restores the link for good at `start + stop`.
+  FailureSchedule& flapping_link(Duration start, std::size_t a, std::size_t b,
+                                 Duration down_for, Duration up_for,
+                                 Duration stop = 0);
+  /// Cascading partition: groups split off one at a time, every `stagger`
+  /// — group[0] isolates at `start`, then group[0]|group[1]|rest, and so
+  /// on (each step replaces the previous partition). `heal_after` > 0
+  /// heals everything that long after the last split.
+  FailureSchedule& cascading_partition(
+      Duration start, const std::vector<std::vector<std::size_t>>& groups,
+      Duration stagger, Duration heal_after = 0);
+
+  [[nodiscard]] const std::vector<ScheduleStep>& steps() const {
+    return steps_;
+  }
+
+  /// Deterministic one-line-per-step rendering, in time order — the
+  /// determinism tests compare it across runs.
+  [[nodiscard]] std::vector<std::string> describe() const;
+
+ private:
+  std::vector<ScheduleStep> steps_;
+};
+
+/// Executes a schedule against an overlay. One engine per run.
+class ScheduleEngine {
+ public:
+  ScheduleEngine(transport::NetworkBackend& backend, pubsub::Topology& topo);
+
+  ScheduleEngine(const ScheduleEngine&) = delete;
+  ScheduleEngine& operator=(const ScheduleEngine&) = delete;
+
+  /// Compiles `schedule` relative to backend.now() and arms one timer per
+  /// step. Call once; the engine must outlive the run.
+  void run(const FailureSchedule& schedule);
+
+  /// Timestamped log of executed actions ("t=<us> <description>"), in
+  /// execution order. Identical across same-seed virtual-time runs. Safe
+  /// to read from any thread; on RealTimeNetwork read it after stop().
+  [[nodiscard]] std::vector<std::string> action_log() const;
+
+ private:
+  void apply(const ScheduleStep& s);
+  [[nodiscard]] std::string describe_step(const ScheduleStep& s) const;
+
+  transport::NetworkBackend& backend_;
+  pubsub::Topology& topo_;
+  transport::NodeId node_;
+  mutable std::mutex mu_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace et::chaos

@@ -64,6 +64,9 @@ class Tdn {
   [[nodiscard]] std::size_t advertisement_count() const {
     return ads_.size();
   }
+  /// Size of the broker registry (registrations are idempotent by name,
+  /// so re-registering after a partition heal must not grow this).
+  [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }
 
   /// Direct lookup for tests (bypasses authorization).
   [[nodiscard]] const TopicAdvertisement* find_by_descriptor(

@@ -1,7 +1,10 @@
 #include "src/pubsub/topology.h"
 
+#include <algorithm>
+#include <queue>
 #include <stdexcept>
 
+#include "src/common/random.h"
 #include "src/transport/fault_injector.h"
 
 namespace et::pubsub {
@@ -39,9 +42,40 @@ void Topology::connect_brokers(Broker& a, Broker& b,
         " would create a cycle in the broker overlay");
   }
   union_find_[ra] = rb;
+  edges_.emplace_back(ia, ib);
   backend_.link(a.node(), b.node(), params);
   a.peer(b.node());
   b.peer(a.node());
+}
+
+std::size_t Topology::diameter() const {
+  const std::size_t n = brokers_.size();
+  if (n < 2) return 0;
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& [a, b] : edges_) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::size_t best = 0;
+  std::vector<std::size_t> dist(n);
+  for (std::size_t start = 0; start < n; ++start) {
+    std::fill(dist.begin(), dist.end(), SIZE_MAX);
+    dist[start] = 0;
+    std::queue<std::size_t> q;
+    q.push(start);
+    while (!q.empty()) {
+      const std::size_t u = q.front();
+      q.pop();
+      best = std::max(best, dist[u]);
+      for (const std::size_t v : adj[u]) {
+        if (dist[v] == SIZE_MAX) {
+          dist[v] = dist[u] + 1;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return best;
 }
 
 namespace {
@@ -96,6 +130,88 @@ std::vector<Broker*> Topology::make_star(std::size_t leaves,
     out.push_back(
         &add_broker(options_for(options, prefix + std::to_string(i))));
     connect_brokers(*out[0], *out.back(), params);
+  }
+  return out;
+}
+
+std::vector<Broker*> Topology::make_ring(std::size_t n,
+                                         const transport::LinkParams& params,
+                                         const std::string& prefix,
+                                         const BrokerOptionsFn& options) {
+  std::vector<Broker*> out = make_chain(n, params, prefix, options);
+  if (n >= 3) {
+    // Close the physical ring, but keep the overlay the spanning chain:
+    // the standby edge is linked on the backend and never peered.
+    backend_.link(out.back()->node(), out.front()->node(), params);
+  }
+  return out;
+}
+
+std::vector<Broker*> Topology::make_tree(std::size_t n, std::size_t arity,
+                                         const transport::LinkParams& params,
+                                         const std::string& prefix,
+                                         const BrokerOptionsFn& options) {
+  if (arity == 0) {
+    throw std::invalid_argument("Topology::make_tree: arity must be >= 1");
+  }
+  std::vector<Broker*> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(
+        &add_broker(options_for(options, prefix + std::to_string(i))));
+    if (i > 0) connect_brokers(*out[(i - 1) / arity], *out[i], params);
+  }
+  return out;
+}
+
+std::vector<Broker*> Topology::make_clusters(
+    std::size_t cores, std::size_t leaves_per_core,
+    const transport::LinkParams& params, const std::string& prefix,
+    const BrokerOptionsFn& options) {
+  std::vector<Broker*> out;
+  for (std::size_t c = 0; c < cores; ++c) {
+    out.push_back(
+        &add_broker(options_for(options, prefix + "-core" +
+                                             std::to_string(c))));
+    if (c > 0) connect_brokers(*out[c - 1], *out[c], params);
+  }
+  for (std::size_t c = 0; c < cores; ++c) {
+    for (std::size_t l = 0; l < leaves_per_core; ++l) {
+      out.push_back(&add_broker(options_for(
+          options, prefix + "-r" + std::to_string(c) + "n" +
+                       std::to_string(l))));
+      connect_brokers(*out[c], *out.back(), params);
+    }
+  }
+  return out;
+}
+
+std::vector<Broker*> Topology::make_random_tree(
+    std::size_t n, std::size_t max_degree, std::uint64_t seed,
+    const transport::LinkParams& params, const std::string& prefix,
+    const BrokerOptionsFn& options) {
+  if (max_degree < 2) {
+    throw std::invalid_argument(
+        "Topology::make_random_tree: max_degree must be >= 2");
+  }
+  Rng rng(seed);
+  std::vector<Broker*> out;
+  std::vector<std::size_t> degree;
+  std::vector<std::size_t> open;  // indices with degree < max_degree
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(
+        &add_broker(options_for(options, prefix + std::to_string(i))));
+    degree.push_back(0);
+    if (i > 0) {
+      const std::size_t pick =
+          open[static_cast<std::size_t>(rng.next_below(open.size()))];
+      connect_brokers(*out[pick], *out[i], params);
+      degree[pick] += 1;
+      degree[i] += 1;
+      if (degree[pick] >= max_degree) {
+        open.erase(std::find(open.begin(), open.end(), pick));
+      }
+    }
+    if (degree[i] < max_degree) open.push_back(i);
   }
   return out;
 }

@@ -2,14 +2,21 @@
 //
 // The interest-propagation protocol requires an acyclic broker overlay
 // (reverse-path forwarding has no duplicate suppression). `Topology` owns
-// a set of brokers and wires them into chains, stars or balanced trees —
-// the shapes the paper's benchmarks use (Figure 1: a chain of brokers;
-// Figure 3: a star of brokers around the traced entity's broker).
+// a set of brokers and wires them into the shapes the paper's benchmarks
+// use (Figure 1: a chain of brokers; Figure 3: a star of brokers around
+// the traced entity's broker) plus the large-overlay shapes the chaos
+// sweeps drive (DESIGN.md §12): rings, balanced k-ary trees,
+// cluster-of-stars "racks" and degree-bounded random trees. Every
+// generator keeps the peered overlay a spanning tree; shapes that are
+// cyclic in the physical world (the ring's closing edge) carry the extra
+// edge as a cold standby transport link that is never peered.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/pubsub/broker.h"
@@ -55,8 +62,61 @@ class Topology {
                                  const std::string& prefix = "broker",
                                  const BrokerOptionsFn& options = {});
 
+  /// Builds a physical ring of `n` brokers. The peered overlay must stay
+  /// acyclic, so it is the ring's spanning chain b0 - ... - b{n-1}; the
+  /// closing edge b{n-1} - b0 exists only as an unpeered standby
+  /// transport link (chaos schedules flap/cut physical adjacency, and a
+  /// future repair protocol could activate it). Returns brokers in ring
+  /// order.
+  std::vector<Broker*> make_ring(std::size_t n,
+                                 const transport::LinkParams& params,
+                                 const std::string& prefix = "broker",
+                                 const BrokerOptionsFn& options = {});
+
+  /// Builds a balanced `arity`-ary tree of `n` brokers in breadth-first
+  /// order: out[i]'s parent is out[(i-1)/arity]. Diameter grows
+  /// logarithmically in n — the low-diameter end of the sweep axis.
+  std::vector<Broker*> make_tree(std::size_t n, std::size_t arity,
+                                 const transport::LinkParams& params,
+                                 const std::string& prefix = "broker",
+                                 const BrokerOptionsFn& options = {});
+
+  /// Builds a cluster-of-stars overlay: `cores` core brokers in a chain,
+  /// each fronting a "rack" of `leaves_per_core` leaf brokers. Returns
+  /// cores first (indices 0..cores-1), then leaves grouped by rack: leaf
+  /// j of rack i is at index cores + i*leaves_per_core + j. Total size
+  /// cores * (1 + leaves_per_core).
+  std::vector<Broker*> make_clusters(std::size_t cores,
+                                     std::size_t leaves_per_core,
+                                     const transport::LinkParams& params,
+                                     const std::string& prefix = "broker",
+                                     const BrokerOptionsFn& options = {});
+
+  /// Builds a degree-bounded random spanning tree — the acyclic skeleton
+  /// of a random-regular overlay (a true random-regular graph is cyclic,
+  /// which reverse-path forwarding cannot route). Each new broker
+  /// attaches to a uniformly random existing broker whose degree is
+  /// still below `max_degree` (>= 2). Deterministic in `seed`.
+  std::vector<Broker*> make_random_tree(std::size_t n,
+                                        std::size_t max_degree,
+                                        std::uint64_t seed,
+                                        const transport::LinkParams& params,
+                                        const std::string& prefix = "broker",
+                                        const BrokerOptionsFn& options = {});
+
   [[nodiscard]] std::size_t size() const { return brokers_.size(); }
   [[nodiscard]] Broker& broker(std::size_t i) { return *brokers_.at(i); }
+
+  /// Peered overlay edges as (index, index) pairs, in creation order.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
+  edges() const {
+    return edges_;
+  }
+
+  /// Hop diameter of the peered overlay: the longest shortest path over
+  /// any connected broker pair (0 for <= 1 broker; disconnected pairs are
+  /// ignored, so a forest reports its widest tree).
+  [[nodiscard]] std::size_t diameter() const;
 
   // --- chaos helpers (delegate to the backend's FaultInjector) ----------
 
@@ -82,6 +142,7 @@ class Topology {
   transport::NetworkBackend& backend_;
   std::vector<std::unique_ptr<Broker>> brokers_;
   std::vector<std::size_t> union_find_;  // cycle detection
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
 };
 
 }  // namespace et::pubsub

@@ -256,10 +256,11 @@ void VerifyPipeline::run_drain() {
     for (std::size_t h = 0; h < helpers; ++h) {
       pool_->submit([&] {
         work();
-        {
-          std::lock_guard<std::mutex> lock(join_mu);
-          ++done;
-        }
+        // Notify while holding the lock: the coordinator destroys these
+        // stack-local join primitives as soon as its wait returns, so the
+        // notify must complete before the mutex is released.
+        std::lock_guard<std::mutex> lock(join_mu);
+        ++done;
         join_cv.notify_one();
       });
     }

@@ -1,0 +1,224 @@
+// TDN replica-quorum behaviour across partitions: a discovery client on
+// the minority side of a split must fail over to reachable replicas, a
+// late heal must not resurrect expired (stale) state, and re-registering
+// after the heal must be idempotent — the registry converges instead of
+// accumulating duplicates.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/discovery/discovery_client.h"
+#include "src/discovery/tdn.h"
+#include "src/transport/fault_injector.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::discovery {
+namespace {
+
+constexpr std::size_t kBits = 512;
+constexpr std::size_t kReplicas = 3;
+
+transport::LinkParams fast() {
+  transport::LinkParams p = transport::LinkParams::ideal_profile();
+  p.base_latency = 1 * kMillisecond;
+  return p;
+}
+
+struct TdnQuorumFixture : ::testing::Test {
+  TdnQuorumFixture() : rng(17), ca("ca", rng, kBits) {
+    // Replicas share one signing keypair: they present as one logical
+    // discovery service behind a single trusted tdn_key.
+    const crypto::RsaKeyPair shared = crypto::rsa_generate(rng, kBits);
+    for (std::size_t i = 0; i < kReplicas; ++i) {
+      crypto::Identity ident;
+      ident.id = "tdn-" + std::to_string(i);
+      ident.keys = shared;
+      ident.credential = ca.issue(ident.id, shared.public_key, net.now(),
+                                  3600 * kSecond);
+      tdns.push_back(std::make_unique<Tdn>(net, std::move(ident),
+                                           ca.public_key(), 5 + i));
+    }
+    for (std::size_t i = 0; i < kReplicas; ++i) {
+      for (std::size_t j = i + 1; j < kReplicas; ++j) {
+        net.link(tdns[i]->node(), tdns[j]->node(), fast());
+        tdns[i]->peer(tdns[j]->node());
+        tdns[j]->peer(tdns[i]->node());
+      }
+    }
+  }
+
+  crypto::Identity identity(const std::string& id) {
+    return crypto::Identity::create(id, ca, rng, net.now(), 3600 * kSecond,
+                                    kBits);
+  }
+
+  /// Client attached to every replica (tdn-0 first, so a partitioned
+  /// tdn-0 is what the first attempt hits), retries enabled.
+  std::unique_ptr<DiscoveryClient> client(const std::string& id) {
+    auto c = std::make_unique<DiscoveryClient>(net, identity(id));
+    for (const auto& t : tdns) c->attach_tdn(t->node(), fast());
+    RetryPolicy p;
+    p.max_attempts = 6;
+    p.initial_backoff = 50 * kMillisecond;
+    p.max_backoff = 200 * kMillisecond;
+    p.deadline = 15 * kSecond;
+    c->set_retry_policy(p);
+    return c;
+  }
+
+  Result<TopicAdvertisement> create(DiscoveryClient& c,
+                                    const std::string& descriptor,
+                                    Duration lifetime = 3600 * kSecond) {
+    Result<TopicAdvertisement> out(internal_error("no callback"));
+    c.create_topic(descriptor, {}, lifetime,
+                   [&](Result<TopicAdvertisement> r) { out = std::move(r); });
+    net.run_until_idle();
+    return out;
+  }
+
+  Result<std::vector<TopicAdvertisement>> discover(DiscoveryClient& c,
+                                                   const std::string& query) {
+    Result<std::vector<TopicAdvertisement>> out(internal_error("no cb"));
+    c.discover(query, [&](Result<std::vector<TopicAdvertisement>> r) {
+      out = std::move(r);
+    });
+    net.run_until_idle();
+    return out;
+  }
+
+  Result<BrokerLocation> find_broker(DiscoveryClient& c) {
+    Result<BrokerLocation> out(internal_error("no cb"));
+    c.find_broker([&](Result<BrokerLocation> r) { out = std::move(r); });
+    net.run_until_idle();
+    return out;
+  }
+
+  /// Splits replica 0 into the minority side; everything in `majority`
+  /// (the other replicas plus any client nodes that must stay on the
+  /// majority side) loses its path to it. The injector only severs
+  /// listed-to-listed pairs, so clients must be listed explicitly.
+  void split_minority(std::vector<transport::NodeId> majority = {}) {
+    majority.push_back(tdns[1]->node());
+    majority.push_back(tdns[2]->node());
+    net.faults().partition({{tdns[0]->node()}, std::move(majority)});
+  }
+  void heal() { net.faults().heal(); }
+
+  transport::VirtualTimeNetwork net{1234};
+  Rng rng;
+  crypto::CertificateAuthority ca;
+  std::vector<std::unique_ptr<Tdn>> tdns;
+};
+
+TEST_F(TdnQuorumFixture, MinorityDiscoveryFailsOverToMajority) {
+  auto owner = client("entity-1");
+  ASSERT_TRUE(create(*owner, "Availability/Traces/entity-1").ok());
+  auto reg = client("registrar");
+  const transport::NodeId broker =
+      net.add_node("broker-0", [](transport::NodeId, Bytes) {});
+  reg->register_broker("broker-0", broker,
+                       identity("broker-0").credential);
+  net.run_until_idle();
+  for (const auto& t : tdns) EXPECT_EQ(t->broker_count(), 1u);
+
+  // Replica 0 — the one every client tries first — ends up on the wrong
+  // side of the split from both clients below.
+  auto seeker = client("tracker-1");
+  auto stuck = std::make_unique<DiscoveryClient>(net, identity("stuck"));
+  stuck->attach_tdn(tdns[0]->node(), fast());
+  split_minority({seeker->node(), stuck->node()});
+
+  const auto found = discover(*seeker, "Liveness/entity-1");
+  ASSERT_TRUE(found.ok())
+      << "rotation to a majority replica should answer: "
+      << found.status().to_string();
+  ASSERT_EQ(found.value().size(), 1u);
+  EXPECT_EQ(found.value()[0].descriptor(), "Availability/Traces/entity-1");
+
+  const auto loc = find_broker(*seeker);
+  ASSERT_TRUE(loc.ok()) << loc.status().to_string();
+  EXPECT_EQ(loc->node, broker);
+
+  // Without retries there is no rotation: a client whose only replica is
+  // on the minority side stays unanswered (silence, kNotFound).
+  const auto nothing = discover(*stuck, "Liveness/entity-1");
+  ASSERT_FALSE(nothing.ok());
+  EXPECT_EQ(nothing.status().code(), Code::kNotFound);
+}
+
+TEST_F(TdnQuorumFixture, LateHealDoesNotResurrectExpiredState) {
+  // A short-lived topic is replicated everywhere, then the replica set
+  // splits and the advertisement expires during the partition.
+  auto owner = client("entity-2");
+  ASSERT_TRUE(create(*owner, "Availability/Traces/entity-2",
+                     2 * kSecond).ok());
+  for (const auto& t : tdns) EXPECT_EQ(t->advertisement_count(), 1u);
+
+  split_minority();
+  net.run_for(3 * kSecond);  // outlives the advertisement
+  heal();
+
+  // The heal must not resurrect the expired advertisement on any side —
+  // a minority-only client and a majority client both get silence.
+  auto minority = std::make_unique<DiscoveryClient>(net, identity("m"));
+  minority->attach_tdn(tdns[0]->node(), fast());
+  EXPECT_FALSE(discover(*minority, "Liveness/entity-2").ok());
+  auto majority = client("M");
+  EXPECT_FALSE(discover(*majority, "Liveness/entity-2").ok());
+
+  // A topic minted on the majority during the partition never reached
+  // replica 0 (replication is push-at-create; there is deliberately no
+  // anti-entropy on heal), yet replica rotation still serves it.
+  auto owner2 = client("entity-3");
+  split_minority({owner2->node()});
+  ASSERT_TRUE(create(*owner2, "Availability/Traces/entity-3").ok());
+  heal();
+  EXPECT_EQ(tdns[0]->advertisement_count(), 1u);  // only the expired one
+  EXPECT_EQ(tdns[1]->advertisement_count(), 2u);
+  auto seeker = client("tracker-3");
+  EXPECT_TRUE(discover(*seeker, "Liveness/entity-3").ok());
+}
+
+TEST_F(TdnQuorumFixture, RemintAfterHealIsIdempotent) {
+  auto reg = client("registrar");
+  const transport::NodeId old_node =
+      net.add_node("broker-1@old", [](transport::NodeId, Bytes) {});
+  reg->register_broker("broker-1", old_node,
+                       identity("broker-1").credential);
+  net.run_until_idle();
+  for (const auto& t : tdns) ASSERT_EQ(t->broker_count(), 1u);
+
+  // The broker restarts on a new node while replica 0 is partitioned
+  // away: the majority learns the new address, the minority keeps the
+  // stale one.
+  split_minority({reg->node()});
+  const transport::NodeId new_node =
+      net.add_node("broker-1@new", [](transport::NodeId, Bytes) {});
+  reg->register_broker("broker-1", new_node,
+                       identity("broker-1").credential);
+  net.run_until_idle();
+
+  // Re-minting the registration after the heal converges every replica
+  // onto the new address without duplicating the entry.
+  heal();
+  reg->register_broker("broker-1", new_node,
+                       identity("broker-1").credential);
+  net.run_until_idle();
+  for (const auto& t : tdns) EXPECT_EQ(t->broker_count(), 1u);
+
+  // Every replica now hands out the new address — including the healed
+  // minority, whose stale registration must not resurface.
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    auto probe = std::make_unique<DiscoveryClient>(
+        net, identity("probe-" + std::to_string(i)));
+    probe->attach_tdn(tdns[i]->node(), fast());
+    const auto loc = find_broker(*probe);
+    ASSERT_TRUE(loc.ok()) << loc.status().to_string();
+    EXPECT_EQ(loc->node, new_node) << "replica " << i;
+  }
+}
+
+}  // namespace
+}  // namespace et::discovery

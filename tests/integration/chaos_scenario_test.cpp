@@ -1,0 +1,451 @@
+// Chaos scenario tests (ctest -L chaos): declarative failure schedules
+// driven through ScenarioDeployment overlays with the availability oracle
+// checking ground truth against what trackers actually observed.
+//
+//   * oracle invariants (I1: no availability signal while partitioned
+//     past the detection bound; I2: RECOVERING implies a real failover)
+//     pinned on three small topologies;
+//   * seed determinism: same seed => byte-identical oracle timeline and
+//     schedule action log across independent runs;
+//   * the 128-broker cluster-of-stars rack-loss sweep from the ROADMAP,
+//     deterministic and invariant-clean;
+//   * a RealTimeNetwork smoke of the same schedule shape (TSan-clean).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/chaos/oracle.h"
+#include "src/chaos/scenario.h"
+#include "src/chaos/schedule.h"
+#include "src/transport/fault_injector.h"
+#include "src/transport/realtime_network.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::chaos {
+namespace {
+
+using transport::VirtualTimeNetwork;
+
+/// Drives start_tracing to completion on the virtual clock.
+void start_tracing(VirtualTimeNetwork& net, tracing::TracedEntity& e) {
+  Status out = internal_error("callback never ran");
+  bool done = false;
+  e.start_tracing({}, [&](const Status& s) {
+    out = s;
+    done = true;
+  });
+  for (int i = 0; i < 100 && !done; ++i) net.run_for(50 * kMillisecond);
+  ASSERT_TRUE(done && out.is_ok()) << out.to_string();
+}
+
+/// Drives track() to completion on the virtual clock.
+void track(VirtualTimeNetwork& net, tracing::Tracker& t,
+           const std::string& entity_id, tracing::Tracker::TraceHandler h) {
+  Status out = internal_error("callback never ran");
+  bool done = false;
+  t.track(entity_id, tracing::kCatAll, std::move(h), [&](const Status& s) {
+    out = s;
+    done = true;
+  });
+  for (int i = 0; i < 100 && !done; ++i) net.run_for(50 * kMillisecond);
+  net.run_for(20 * kMillisecond);
+  ASSERT_TRUE(done && out.is_ok()) << out.to_string();
+}
+
+/// Result of one deterministic virtual-time scenario run.
+struct RunResult {
+  std::vector<std::string> timeline;
+  std::vector<std::string> actions;
+  OracleReport report;
+  std::vector<std::string> violations;
+  std::size_t diameter = 0;
+};
+
+/// Builds the deployment, wires tracker[i] to every entity, runs the
+/// schedule while sampling truth every `slice`, and reports. Entities sit
+/// on `entity_brokers`, trackers on `tracker_brokers`.
+RunResult run_scenario(const OverlaySpec& overlay,
+                       const FailureSchedule& schedule, std::uint64_t seed,
+                       const std::vector<std::size_t>& entity_brokers,
+                       const std::vector<std::size_t>& tracker_brokers,
+                       Duration total, Duration slice = 50 * kMillisecond,
+                       std::size_t tdn_replicas = 1) {
+  VirtualTimeNetwork net(seed);
+  ScenarioDeployment::Options opts;
+  opts.overlay = overlay;
+  opts.seed = seed;
+  opts.tdn_replicas = tdn_replicas;
+  ScenarioDeployment dep(net, opts);
+  dep.register_brokers();
+  net.run_for(20 * kMillisecond);
+
+  for (std::size_t i = 0; i < entity_brokers.size(); ++i) {
+    dep.add_entity("entity-" + std::to_string(i), entity_brokers[i]);
+    net.run_for(20 * kMillisecond);
+  }
+  for (std::size_t i = 0; i < tracker_brokers.size(); ++i) {
+    dep.add_tracker("tracker-" + std::to_string(i), tracker_brokers[i]);
+    net.run_for(20 * kMillisecond);
+  }
+  for (std::size_t e = 0; e < dep.entity_count(); ++e) {
+    start_tracing(net, dep.entity(e));
+  }
+  AvailabilityOracle oracle;
+  for (std::size_t t = 0; t < dep.tracker_count(); ++t) {
+    for (std::size_t e = 0; e < dep.entity_count(); ++e) {
+      track(net, dep.tracker(t), dep.entity(e).entity_id(),
+            oracle.tap(dep.tracker(t).tracker_id(),
+                       dep.entity(e).entity_id(), net));
+    }
+  }
+
+  ScheduleEngine engine(net, dep.topology());
+  engine.run(schedule);
+  dep.sample_truth(oracle, net.now());
+  for (Duration t = 0; t < total; t += slice) {
+    net.run_for(slice);
+    dep.sample_truth(oracle, net.now());
+  }
+
+  RunResult out;
+  out.timeline = oracle.timeline();
+  out.actions = engine.action_log();
+  out.report = oracle.report(net.now(), 2 * kSecond);
+  // Grace: one sampling slice for truth quantization plus overlay
+  // propagation plus the post-failover announcement delay.
+  const Duration grace =
+      slice + 2 * kSecond + dep.config().recovery_announce_delay;
+  out.violations =
+      oracle.check_invariants(detection_bound(dep.config()), grace);
+  out.diameter = dep.topology().diameter();
+  return out;
+}
+
+// --- invariant pins on three small topologies ---------------------------
+
+/// Crash-and-restart of the entity's hosting broker on a given shape:
+/// invariants must hold, the episode must be detected, and the entity
+/// must have failed over (RECOVERING backed by a real failover).
+void pin_invariants_on(const OverlaySpec& overlay, std::size_t entity_broker,
+                       std::size_t tracker_broker) {
+  FailureSchedule schedule;
+  schedule.crash(1 * kSecond, {entity_broker});
+  schedule.restart(6 * kSecond, {entity_broker});
+  RunResult r = run_scenario(overlay, schedule, 9001, {entity_broker},
+                             {tracker_broker}, 14 * kSecond);
+  EXPECT_TRUE(r.violations.empty())
+      << r.violations.front() << " (+" << r.violations.size() - 1
+      << " more)";
+  ASSERT_EQ(r.report.pairs.size(), 1u);
+  const PairReport& p = r.report.pairs[0];
+  EXPECT_GE(p.truth_down_edges, 1u);
+  EXPECT_GE(p.detected_down_edges, 1u);
+  EXPECT_GT(p.mean_detection_latency_us, 0.0);
+  // The tracker's availability estimate must roughly follow the truth.
+  EXPECT_LT(p.availability_error, 0.35);
+}
+
+TEST(ChaosInvariants, ChainHostingBrokerLoss) {
+  OverlaySpec ov;
+  ov.shape = OverlaySpec::Shape::kChain;
+  ov.brokers = 4;
+  pin_invariants_on(ov, 0, 3);
+}
+
+TEST(ChaosInvariants, TreeHostingBrokerLoss) {
+  OverlaySpec ov;
+  ov.shape = OverlaySpec::Shape::kTree;
+  ov.brokers = 7;
+  ov.arity = 2;
+  pin_invariants_on(ov, 3, 6);  // leaf to leaf across the root
+}
+
+TEST(ChaosInvariants, ClustersHostingBrokerLoss) {
+  OverlaySpec ov;
+  ov.shape = OverlaySpec::Shape::kClusters;
+  ov.brokers = 8;  // 2 cores x (1 + 3 leaves)
+  ov.leaves_per_core = 3;
+  pin_invariants_on(ov, 2, 5);  // rack-0 leaf to rack-1 leaf
+}
+
+/// I1 pinned directly: a partition that outlives the detection bound must
+/// not let the tracker keep believing READY — after the bound, zero
+/// availability signals may arrive on the tracker side.
+TEST(ChaosInvariants, NoReadyBeyondDetectionBoundWhilePartitioned) {
+  OverlaySpec ov;
+  ov.shape = OverlaySpec::Shape::kChain;
+  ov.brokers = 4;
+  FailureSchedule schedule;
+  // Split tracker side {2,3} from entity side {0,1} for far longer than
+  // the K-ping detection bound, then heal.
+  schedule.partition(1 * kSecond, {{0, 1}, {2, 3}}).heal(9 * kSecond);
+  RunResult r =
+      run_scenario(ov, schedule, 4242, {0}, {3}, 13 * kSecond);
+  EXPECT_TRUE(r.violations.empty())
+      << r.violations.front() << " (+" << r.violations.size() - 1
+      << " more)";
+  ASSERT_EQ(r.report.pairs.size(), 1u);
+  // The long partition is a real down edge; silence (not stale READY) is
+  // the only acceptable tracker-side behaviour while it lasts.
+  EXPECT_GE(r.report.pairs[0].truth_down_edges, 1u);
+}
+
+// --- seed determinism ----------------------------------------------------
+
+TEST(ChaosDeterminism, SameSeedSameTimelinesAcrossRuns) {
+  OverlaySpec ov;
+  ov.shape = OverlaySpec::Shape::kClusters;
+  ov.brokers = 8;
+  ov.leaves_per_core = 3;
+  FailureSchedule schedule;
+  schedule.rack_loss(1 * kSecond, {0, 2, 3, 4}, 4 * kSecond)
+      .flapping_link(2 * kSecond, 0, 1, 200 * kMillisecond,
+                     300 * kMillisecond, 3 * kSecond);
+  const auto a = run_scenario(ov, schedule, 777, {2}, {5}, 10 * kSecond);
+  const auto b = run_scenario(ov, schedule, 777, {2}, {5}, 10 * kSecond);
+  // Byte-identical oracle timelines and schedule action logs.
+  EXPECT_EQ(a.timeline, b.timeline);
+  EXPECT_EQ(a.actions, b.actions);
+  ASSERT_FALSE(a.timeline.empty());
+  ASSERT_FALSE(a.actions.empty());
+
+  // A different seed perturbs delivery sampling enough to diverge.
+  const auto c = run_scenario(ov, schedule, 778, {2}, {5}, 10 * kSecond);
+  EXPECT_NE(a.timeline, c.timeline);
+}
+
+TEST(ChaosDeterminism, ScheduleDescribeIsStable) {
+  FailureSchedule s;
+  s.rolling_restart(1 * kSecond, {0, 1, 2}, 500 * kMillisecond,
+                    250 * kMillisecond)
+      .cascading_partition(4 * kSecond, {{0}, {1}, {2, 3}},
+                           300 * kMillisecond, 2 * kSecond)
+      .flapping_link(8 * kSecond, 0, 3, 100 * kMillisecond,
+                     100 * kMillisecond);
+  const std::vector<std::string> expect = {
+      "t=1000000 crash [0]",
+      "t=1250000 restart [0]",
+      "t=1500000 crash [1]",
+      "t=1750000 restart [1]",
+      "t=2000000 crash [2]",
+      "t=2250000 restart [2]",
+      "t=4000000 partition [0]|[1,2,3]",
+      "t=4300000 partition [0]|[1]|[2,3]",
+      "t=6300000 heal",
+      "t=8000000 flap 0-3 down=100000 up=100000",
+  };
+  EXPECT_EQ(s.describe(), expect);
+}
+
+// --- the ROADMAP 128-broker sweep ----------------------------------------
+
+TEST(ChaosSweep, RackLossOn128BrokerClusterOfStarsIsDeterministic) {
+  OverlaySpec ov;
+  ov.shape = OverlaySpec::Shape::kClusters;
+  ov.brokers = 128;  // 32 cores x (1 + 3 leaves)
+  ov.leaves_per_core = 3;
+
+  auto run_once = [&](std::uint64_t seed) {
+    VirtualTimeNetwork net(seed);
+    ScenarioDeployment::Options opts;
+    opts.overlay = ov;
+    opts.seed = seed;
+    ScenarioDeployment dep(net, opts);
+    EXPECT_EQ(dep.broker_count(), 128u);
+    EXPECT_EQ(dep.rack_count(), 32u);
+    dep.register_brokers();
+    net.run_for(20 * kMillisecond);
+
+    // Entities on leaves of racks 0 and 31, trackers on leaves at the
+    // other end of the core chain — traces cross the full diameter.
+    dep.add_entity("entity-0", dep.rack(0)[1]);
+    net.run_for(20 * kMillisecond);
+    dep.add_entity("entity-1", dep.rack(31)[1]);
+    net.run_for(20 * kMillisecond);
+    dep.add_tracker("tracker-0", dep.rack(31)[2]);
+    net.run_for(20 * kMillisecond);
+    dep.add_tracker("tracker-1", dep.rack(15)[1]);
+    net.run_for(20 * kMillisecond);
+    start_tracing(net, dep.entity(0));
+    start_tracing(net, dep.entity(1));
+
+    AvailabilityOracle oracle;
+    for (std::size_t t = 0; t < 2; ++t) {
+      for (std::size_t e = 0; e < 2; ++e) {
+        track(net, dep.tracker(t), dep.entity(e).entity_id(),
+              oracle.tap(dep.tracker(t).tracker_id(),
+                         dep.entity(e).entity_id(), net));
+      }
+    }
+
+    // Rack 0 (entity-0's whole rack, core included) dies at t+1s and
+    // comes back 4s later; rack 8 is collateral noise.
+    FailureSchedule schedule;
+    schedule.rack_loss(1 * kSecond, dep.rack(0), 4 * kSecond);
+    schedule.rack_loss(2 * kSecond, dep.rack(8), 2 * kSecond);
+    ScheduleEngine engine(net, dep.topology());
+    engine.run(schedule);
+
+    dep.sample_truth(oracle, net.now());
+    for (int i = 0; i < 280; ++i) {  // 14 s in 50 ms slices
+      net.run_for(50 * kMillisecond);
+      dep.sample_truth(oracle, net.now());
+    }
+
+    RunResult out;
+    out.timeline = oracle.timeline();
+    out.actions = engine.action_log();
+    out.report = oracle.report(net.now(), 2 * kSecond);
+    out.violations = oracle.check_invariants(
+        detection_bound(dep.config()),
+        50 * kMillisecond + 2 * kSecond +
+            dep.config().recovery_announce_delay);
+    out.diameter = dep.topology().diameter();
+    return out;
+  };
+
+  const RunResult a = run_once(31337);
+  EXPECT_EQ(a.diameter, 33u);  // 31 core hops + 2 leaf hops
+  EXPECT_TRUE(a.violations.empty())
+      << a.violations.front() << " (+" << a.violations.size() - 1
+      << " more)";
+  ASSERT_EQ(a.report.pairs.size(), 4u);
+  // entity-0 lost its rack: every tracker saw a real down edge, and the
+  // episode surfaced (suspicion or post-failover RECOVERING).
+  std::size_t entity0_down = 0;
+  std::size_t entity0_detected = 0;
+  for (const auto& p : a.report.pairs) {
+    if (p.entity_id == "entity-0") {
+      entity0_down += p.truth_down_edges;
+      entity0_detected += p.detected_down_edges;
+    }
+  }
+  EXPECT_GE(entity0_down, 2u);
+  EXPECT_GE(entity0_detected, 2u);
+
+  // Determinism at full scale: an identical second run reproduces the
+  // oracle timeline byte for byte.
+  const RunResult b = run_once(31337);
+  EXPECT_EQ(a.timeline, b.timeline);
+  EXPECT_EQ(a.actions, b.actions);
+}
+
+// --- TDN replicas split across a partition -------------------------------
+
+TEST(ChaosSweep, EntityFailoverSurvivesTdnReplicaPartition) {
+  // Two TDN replicas; the partition isolates replica 0 with the dying
+  // broker while the entity keeps a path to replica 1 — failover must
+  // succeed via the reachable replica (DiscoveryClient rotates replicas
+  // under its retry policy).
+  OverlaySpec ov;
+  ov.shape = OverlaySpec::Shape::kChain;
+  ov.brokers = 4;
+  VirtualTimeNetwork net(2024);
+  ScenarioDeployment::Options opts;
+  opts.overlay = ov;
+  opts.seed = 2024;
+  opts.tdn_replicas = 2;
+  ScenarioDeployment dep(net, opts);
+  ASSERT_EQ(dep.tdn_count(), 2u);
+  dep.register_brokers();
+  net.run_for(20 * kMillisecond);
+
+  tracing::TracedEntity& entity = dep.add_entity("entity-0", 0);
+  net.run_for(20 * kMillisecond);
+  dep.add_tracker("tracker-0", 3);
+  net.run_for(20 * kMillisecond);
+  start_tracing(net, entity);
+  AvailabilityOracle oracle;
+  track(net, dep.tracker(0), entity.entity_id(),
+        oracle.tap(dep.tracker(0).tracker_id(), entity.entity_id(), net));
+
+  // Replica 0 goes down with the same failure domain as the hosting
+  // broker (crash fully isolates a node; a bare partition group would
+  // still let unlisted client nodes through).
+  net.faults().crash(dep.tdn(0).node());
+  dep.topology().crash(dep.topology().broker(0));
+
+  const std::uint64_t before = entity.stats().failovers;
+  for (int i = 0; i < 200 && entity.stats().failovers == before; ++i) {
+    net.run_for(100 * kMillisecond);
+  }
+  EXPECT_GT(entity.stats().failovers, before)
+      << "failover should complete via the reachable TDN replica";
+  // The new hosting broker is one that is still up.
+  EXPECT_NE(entity.client().broker(), dep.broker(0).node());
+}
+
+// --- RealTimeNetwork smoke (runs under TSan in the tsan CI stage) --------
+
+TEST(ChaosRealTimeSmoke, PartitionScheduleIsRaceFree) {
+  // Same schedule shape as the virtual runs, on real threads. Entities
+  // keep their home brokers (partition-only schedule, no failover), so
+  // static truth sampling is safe while actors run. TSan must stay
+  // silent; invariants must hold.
+  transport::RealTimeNetwork net(99);
+  OverlaySpec ov;
+  ov.shape = OverlaySpec::Shape::kClusters;
+  ov.brokers = 8;
+  ov.leaves_per_core = 3;
+  ScenarioDeployment::Options opts;
+  opts.overlay = ov;
+  opts.seed = 99;
+  {
+    ScenarioDeployment dep(net, opts);
+    dep.register_brokers();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    tracing::TracedEntity& entity = dep.add_entity("entity-0", 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    dep.add_tracker("tracker-0", 5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::atomic<bool> ok{false};
+    entity.start_tracing({}, [&](const Status& s) { ok = s.is_ok(); });
+    for (int i = 0; i < 100 && !ok; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_TRUE(ok);
+    AvailabilityOracle oracle;
+    std::atomic<bool> tracked{false};
+    dep.tracker(0).track(
+        entity.entity_id(), tracing::kCatAll,
+        oracle.tap(dep.tracker(0).tracker_id(), entity.entity_id(), net),
+        [&](const Status& s) { tracked = s.is_ok(); });
+    for (int i = 0; i < 100 && !tracked; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_TRUE(tracked);
+
+    FailureSchedule schedule;
+    // Rack 0 (core 0 + its leaves) splits from rack 1 for 1.2 s, with a
+    // flapping core link after the heal.
+    schedule.partition(300 * kMillisecond, {{0, 2, 3, 4}, {1, 5, 6, 7}})
+        .heal(1500 * kMillisecond)
+        .flapping_link(1600 * kMillisecond, 0, 1, 50 * kMillisecond,
+                       100 * kMillisecond, 600 * kMillisecond);
+    ScheduleEngine engine(net, dep.topology());
+    engine.run(schedule);
+
+    dep.sample_truth_static(oracle, net.now());
+    for (int i = 0; i < 30; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      dep.sample_truth_static(oracle, net.now());
+    }
+
+    net.stop();  // halt actors before reading entity/tracker state
+    const auto violations = oracle.check_invariants(
+        detection_bound(dep.config()), 3 * kSecond);
+    EXPECT_TRUE(violations.empty())
+        << violations.front() << " (+" << violations.size() - 1 << " more)";
+    EXPECT_FALSE(engine.action_log().empty());
+    EXPECT_GT(dep.tracker(0).stats().traces_received, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace et::chaos

@@ -113,6 +113,9 @@ TEST_F(RealTimeFixture, FullPipelineUnderRealThreads) {
   EXPECT_GT(heartbeats.load(), 3);
   EXPECT_EQ(ready_states.load(), 1);
   EXPECT_EQ(tracker.stats().traces_rejected, 0u);
+  // Halt network threads before the test-local entity/tracker are
+  // destroyed; the fixture's stop() only protects fixture members.
+  net.stop();
 }
 
 TEST_F(RealTimeFixture, ManyEntitiesRegisterConcurrently) {
@@ -132,6 +135,7 @@ TEST_F(RealTimeFixture, ManyEntitiesRegisterConcurrently) {
   }
   EXPECT_EQ(services[0]->active_sessions() + services[1]->active_sessions(),
             static_cast<std::size_t>(kEntities));
+  net.stop();  // before the test-local entities are destroyed
 }
 
 TEST_F(RealTimeFixture, FailureDetectionOnWallClock) {
@@ -158,6 +162,7 @@ TEST_F(RealTimeFixture, FailureDetectionOnWallClock) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_TRUE(failed.load());
+  net.stop();  // before the test-local entity/tracker are destroyed
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+// Backend conformance for the chaos-sweep overlay generators
+// (Topology::make_ring/make_tree/make_clusters/make_random_tree): the
+// same structural guarantees — spanning-tree overlay, recorded edges,
+// diameter, naming, end-to-end routing — must hold on both backends.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "src/pubsub/client.h"
+#include "src/pubsub/topology.h"
+#include "src/transport/realtime_network.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::pubsub {
+namespace {
+
+template <typename Backend>
+struct Driver;
+
+template <>
+struct Driver<transport::VirtualTimeNetwork> {
+  static void settle(transport::VirtualTimeNetwork& net, Duration d) {
+    net.run_for(d);
+  }
+  static void teardown(transport::VirtualTimeNetwork&) {}
+};
+
+template <>
+struct Driver<transport::RealTimeNetwork> {
+  static void settle(transport::RealTimeNetwork&, Duration d) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(d + 30 * kMillisecond));
+  }
+  // Halt network threads before fixture members (brokers) are destroyed.
+  static void teardown(transport::RealTimeNetwork& net) { net.stop(); }
+};
+
+template <typename Backend>
+class TopologyShapesTest : public ::testing::Test {
+ protected:
+  Backend net{77};
+  Topology topo{net};
+
+  ~TopologyShapesTest() override { Driver<Backend>::teardown(this->net); }
+
+  void settle(Duration d) { Driver<Backend>::settle(net, d); }
+
+  static transport::LinkParams fast() {
+    transport::LinkParams p = transport::LinkParams::ideal_profile();
+    p.base_latency = 1 * kMillisecond;
+    return p;
+  }
+};
+
+using Backends =
+    ::testing::Types<transport::VirtualTimeNetwork,
+                     transport::RealTimeNetwork>;
+TYPED_TEST_SUITE(TopologyShapesTest, Backends);
+
+TYPED_TEST(TopologyShapesTest, RingIsSpanningChainPlusStandbyLink) {
+  auto ring = this->topo.make_ring(6, this->fast());
+  ASSERT_EQ(ring.size(), 6u);
+  // Peered overlay: the spanning chain (5 edges, acyclic).
+  EXPECT_EQ(this->topo.edges().size(), 5u);
+  EXPECT_EQ(this->topo.diameter(), 5u);
+  // The closing edge exists on the transport but is never peered.
+  EXPECT_TRUE(this->net.linked(ring.back()->node(), ring.front()->node()));
+}
+
+TYPED_TEST(TopologyShapesTest, SmallRingSkipsStandbyLink) {
+  auto ring = this->topo.make_ring(2, this->fast());
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_EQ(this->topo.edges().size(), 1u);
+}
+
+TYPED_TEST(TopologyShapesTest, TreeHasLogDiameterAndBfsParents) {
+  auto tree = this->topo.make_tree(7, 2, this->fast());
+  ASSERT_EQ(tree.size(), 7u);
+  EXPECT_EQ(this->topo.edges().size(), 6u);
+  // Balanced binary tree of 7: leaf -> root -> leaf = 4 hops.
+  EXPECT_EQ(this->topo.diameter(), 4u);
+  // Parent of out[i] is out[(i-1)/arity].
+  for (const auto& [a, b] : this->topo.edges()) {
+    EXPECT_EQ(a, (b - 1) / 2);
+  }
+  EXPECT_THROW(this->topo.make_tree(3, 0, this->fast()),
+               std::invalid_argument);
+}
+
+TYPED_TEST(TopologyShapesTest, ClustersLayoutCoresThenRacks) {
+  auto all = this->topo.make_clusters(3, 2, this->fast(), "b");
+  ASSERT_EQ(all.size(), 9u);  // 3 cores * (1 + 2 leaves)
+  EXPECT_EQ(this->topo.edges().size(), 8u);
+  EXPECT_EQ(all[0]->name(), "b-core0");
+  EXPECT_EQ(all[2]->name(), "b-core2");
+  // Leaf j of rack i sits at index cores + i*leaves_per_core + j.
+  EXPECT_EQ(all[3]->name(), "b-r0n0");
+  EXPECT_EQ(all[8]->name(), "b-r2n1");
+  // Worst pair: leaf of rack 0 to leaf of rack 2 = 1 + 2 + 1 hops.
+  EXPECT_EQ(this->topo.diameter(), 4u);
+}
+
+TYPED_TEST(TopologyShapesTest, RandomTreeRespectsDegreeBoundAndSeed) {
+  auto brokers = this->topo.make_random_tree(24, 3, 42, this->fast());
+  ASSERT_EQ(brokers.size(), 24u);
+  ASSERT_EQ(this->topo.edges().size(), 23u);
+  std::vector<std::size_t> degree(24, 0);
+  for (const auto& [a, b] : this->topo.edges()) {
+    ++degree[a];
+    ++degree[b];
+  }
+  for (const std::size_t d : degree) EXPECT_LE(d, 3u);
+
+  // Same seed reproduces the same attachment sequence; different seed
+  // diverges (24 nodes make a collision implausible). The attachment Rng
+  // is backend-independent, so the comparison builds run on their own
+  // virtual net (keeps RealTimeNetwork teardown out of the picture).
+  transport::VirtualTimeNetwork scratch(1);
+  Topology again(scratch);
+  again.make_random_tree(24, 3, 42, this->fast(), "again");
+  EXPECT_EQ(again.edges(), this->topo.edges());
+  Topology other(scratch);
+  other.make_random_tree(24, 3, 43, this->fast(), "other");
+  EXPECT_NE(other.edges(), this->topo.edges());
+
+  EXPECT_THROW(this->topo.make_random_tree(3, 1, 1, this->fast()),
+               std::invalid_argument);
+}
+
+TYPED_TEST(TopologyShapesTest, OptionsLambdaSeesEveryGeneratedName) {
+  std::set<std::string> names;
+  this->topo.make_clusters(2, 1, this->fast(), "x",
+                           [&](const std::string& name) {
+                             names.insert(name);
+                             Broker::Options o;
+                             o.name = name;
+                             return o;
+                           });
+  EXPECT_EQ(names, (std::set<std::string>{"x-core0", "x-core1", "x-r0n0",
+                                          "x-r1n0"}));
+}
+
+TYPED_TEST(TopologyShapesTest, RoutesAcrossGeneratedShapes) {
+  // One pub/sub exchange across the widest pair of each shape proves the
+  // generated overlay actually forwards interest and messages.
+  auto all = this->topo.make_clusters(3, 2, this->fast());
+  Client sub(this->net, "sub");
+  Client pub(this->net, "pub");
+  sub.connect(all[3]->node(), this->fast());   // leaf of rack 0
+  pub.connect(all[8]->node(), this->fast());   // leaf of rack 2
+  this->settle(30 * kMillisecond);
+  std::atomic<int> got{0};
+  sub.subscribe("chaos/route", [&](const Message&) { got.fetch_add(1); });
+  this->settle(30 * kMillisecond);
+  pub.publish("chaos/route", to_bytes("hello"));
+  this->settle(50 * kMillisecond);
+  EXPECT_EQ(got.load(), 1);
+}
+
+}  // namespace
+}  // namespace et::pubsub
