@@ -79,9 +79,9 @@ class FilterMicro {
   }
 
   /// Drives the filter the way a broker would (the inline filter never
-  /// defers). Copies the message: MessageFilter mutates its argument.
-  bool accepts(const pubsub::MessageFilter& f, pubsub::Message m) {
-    return f(broker_, m, 0).accepted();
+  /// defers); the filter sees a view of `m`, as it would a wire frame.
+  bool accepts(const pubsub::MessageFilter& f, const pubsub::Message& m) {
+    return f(broker_, m.as_view(), 0).accepted();
   }
 
  private:

@@ -11,7 +11,7 @@ AllPairsNode::AllPairsNode(transport::VirtualTimeNetwork& net,
       name_(std::move(name)),
       interval_(heartbeat_interval),
       timeout_(failure_timeout) {
-  node_ = net_.add_node(name_, [this](NodeId from, Bytes payload) {
+  node_ = net_.add_node(name_, [this](NodeId from, BytesView payload) {
     on_packet(from, payload);
   });
 }
@@ -47,7 +47,7 @@ void AllPairsNode::tick() {
   net_.schedule(node_, interval_, [this] { tick(); });
 }
 
-void AllPairsNode::on_packet(NodeId from, const Bytes&) {
+void AllPairsNode::on_packet(NodeId from, BytesView) {
   const auto it = peers_.find(from);
   if (it == peers_.end()) return;
   it->second.last_heard = net_.now();

@@ -51,7 +51,7 @@ class AllPairsNode {
 
  private:
   void tick();
-  void on_packet(transport::NodeId from, const Bytes& payload);
+  void on_packet(transport::NodeId from, BytesView payload);
 
   transport::VirtualTimeNetwork& net_;
   std::string name_;

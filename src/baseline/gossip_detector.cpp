@@ -15,7 +15,7 @@ GossipNode::GossipNode(transport::VirtualTimeNetwork& net, std::string name,
       timeout_(failure_timeout),
       fanout_(fanout),
       rng_(seed) {
-  node_ = net_.add_node(name_, [this](NodeId from, Bytes payload) {
+  node_ = net_.add_node(name_, [this](NodeId from, BytesView payload) {
     on_packet(from, payload);
   });
   table_[name_] = Entry{0, 0, false};
@@ -81,7 +81,7 @@ void GossipNode::tick() {
   net_.schedule(node_, interval_, [this] { tick(); });
 }
 
-void GossipNode::on_packet(NodeId, const Bytes& payload) {
+void GossipNode::on_packet(NodeId, BytesView payload) {
   const TimePoint now = net_.now();
   try {
     Reader r(payload);

@@ -50,7 +50,7 @@ class GossipNode {
   };
 
   void tick();
-  void on_packet(transport::NodeId from, const Bytes& payload);
+  void on_packet(transport::NodeId from, BytesView payload);
   [[nodiscard]] Bytes encode_table() const;
 
   transport::VirtualTimeNetwork& net_;

@@ -195,7 +195,7 @@ ScheduleEngine::ScheduleEngine(transport::NetworkBackend& backend,
                                pubsub::Topology& topo)
     : backend_(backend), topo_(topo) {
   node_ = backend_.add_node("chaos-engine",
-                            [](transport::NodeId, Bytes) {});
+                            [](transport::NodeId, BytesView) {});
 }
 
 void ScheduleEngine::run(const FailureSchedule& schedule) {

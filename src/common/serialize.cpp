@@ -122,6 +122,27 @@ Bytes Reader::raw(std::size_t n) {
   return out;
 }
 
+BytesView Reader::bytes_view() {
+  const std::uint32_t n = u32();
+  if (n > kMaxFieldLength) {
+    throw SerializeError("field length " + std::to_string(n) +
+                         " exceeds sanity cap");
+  }
+  return raw_view(n);
+}
+
+std::string_view Reader::str_view() {
+  const BytesView b = bytes_view();
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+BytesView Reader::raw_view(std::size_t n) {
+  need(n);
+  const BytesView out = buf_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 void Reader::expect_done() const {
   if (!done()) {
     throw SerializeError("trailing bytes after message: " +

@@ -27,6 +27,11 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Pre-sizes the underlying buffer. Encoders that know (or can bound)
+  /// their encoded size call this once up front so the hot path appends
+  /// without repeated geometric growth.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -71,6 +76,19 @@ class Reader {
   std::string str();
   /// Exactly `n` raw octets.
   Bytes raw(std::size_t n);
+
+  // --- borrowed reads (zero-copy decode layer) ---------------------------
+  // View variants return spans/string_views into the Reader's underlying
+  // buffer — typically a receive arena — instead of owning copies. They are
+  // valid only as long as that buffer is; decoders that outlive the buffer
+  // must materialize (see pubsub::MessageView::materialize).
+
+  /// Length-prefixed octet string as a borrowed view.
+  BytesView bytes_view();
+  /// Length-prefixed character string as a borrowed view.
+  std::string_view str_view();
+  /// Exactly `n` raw octets as a borrowed view.
+  BytesView raw_view(std::size_t n);
 
   [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
   [[nodiscard]] bool done() const { return remaining() == 0; }

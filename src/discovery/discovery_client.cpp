@@ -28,8 +28,8 @@ DiscoveryClient::DiscoveryClient(transport::NetworkBackend& backend,
       identity_(std::move(identity)),
       jitter_rng_(fnv1a(identity_.id)) {
   node_ = backend_.add_node(
-      identity_.id + ".disc", [this](NodeId from, Bytes payload) {
-        on_packet(from, std::move(payload));
+      identity_.id + ".disc", [this](NodeId from, BytesView payload) {
+        on_packet(from, payload);
       });
 }
 
@@ -218,7 +218,7 @@ void DiscoveryClient::register_broker(
   });
 }
 
-void DiscoveryClient::on_packet(NodeId from, Bytes payload) {
+void DiscoveryClient::on_packet(NodeId from, BytesView payload) {
   (void)from;
   DiscFrame f;
   try {

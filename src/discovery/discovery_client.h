@@ -120,7 +120,7 @@ class DiscoveryClient {
   /// callback runs, no trace of the op remains.
   Op take_op(std::uint64_t op_id);
   void resolve_failure(Op op);
-  void on_packet(transport::NodeId from, Bytes payload);
+  void on_packet(transport::NodeId from, BytesView payload);
 
   transport::NetworkBackend& backend_;
   crypto::Identity identity_;

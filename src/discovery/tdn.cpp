@@ -14,8 +14,8 @@ Tdn::Tdn(transport::NetworkBackend& backend, crypto::Identity identity,
       ca_key_(std::move(ca_key)),
       rng_(seed) {
   node_ = backend_.add_node(
-      identity_.id, [this](NodeId from, Bytes payload) {
-        on_packet(from, std::move(payload));
+      identity_.id, [this](NodeId from, BytesView payload) {
+        on_packet(from, payload);
       });
 }
 
@@ -33,7 +33,7 @@ void Tdn::respond(NodeId to, const DiscFrame& f) {
   (void)backend_.send(node_, to, f.serialize());
 }
 
-void Tdn::on_packet(NodeId from, Bytes payload) {
+void Tdn::on_packet(NodeId from, BytesView payload) {
   DiscFrame f;
   try {
     f = DiscFrame::deserialize(payload);

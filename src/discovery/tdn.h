@@ -73,7 +73,7 @@ class Tdn {
       const std::string& descriptor) const;
 
  private:
-  void on_packet(transport::NodeId from, Bytes payload);
+  void on_packet(transport::NodeId from, BytesView payload);
   void handle_topic_create(transport::NodeId from, DiscFrame f);
   void handle_discover(transport::NodeId from, const DiscFrame& f);
   void handle_replicate(const DiscFrame& f);

@@ -13,6 +13,31 @@ namespace et::pubsub {
 
 using transport::NodeId;
 
+namespace {
+
+// True when `topic` is already the '/'-joined canonical form of `path` —
+// the common case, which lets the broker forward the original wire bytes.
+// Non-canonical spellings (stray or doubled slashes) need an owning
+// rewrite. Equivalent to `path.canonical() == topic` without allocating.
+bool topic_is_canonical(const TopicPath& path, std::string_view topic) {
+  std::size_t want = path.empty() ? 0 : path.size() - 1;
+  for (const auto& seg : path.segments()) want += seg.size();
+  if (topic.size() != want) return false;
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) {
+      if (topic[off] != '/') return false;
+      ++off;
+    }
+    const std::string& seg = path[i];
+    if (topic.compare(off, seg.size(), seg) != 0) return false;
+    off += seg.size();
+  }
+  return true;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Match worker pool
 //
@@ -104,8 +129,8 @@ Broker::Broker(transport::NetworkBackend& backend, Options options)
   local_services_.store(std::make_shared<const ServiceList>(),
                         std::memory_order_release);
   node_ = backend_.add_node(
-      name_, [this](NodeId from, Bytes payload) {
-        on_packet(from, std::move(payload));
+      name_, [this](NodeId from, BytesView payload) {
+        on_packet(from, payload);
       });
   // Worker-pool matching requires thread-safe post(); on single-threaded
   // backends (VirtualTimeNetwork) clamp to the inline path so simulations
@@ -194,7 +219,14 @@ void Broker::report_misbehaviour(NodeId endpoint, const std::string& why) {
 }
 
 void Broker::send_frame(NodeId to, const Frame& f) {
-  const Status s = backend_.send(node_, to, f.serialize());
+  note_send_status(to, backend_.send(node_, to, f.serialize()));
+}
+
+void Broker::send_wire(NodeId to, transport::SharedPayload wire) {
+  note_send_status(to, backend_.send(node_, to, std::move(wire)));
+}
+
+void Broker::note_send_status(NodeId to, const Status& s) {
   if (s.is_ok()) return;
   ET_LOG(kDebug) << name_ << ": send to " << backend_.node_name(to)
                  << " failed: " << s.to_string();
@@ -213,11 +245,13 @@ void Broker::send_frame(NodeId to, const Frame& f) {
   }
 }
 
-void Broker::on_packet(NodeId from, Bytes payload) {
+void Broker::on_packet(NodeId from, BytesView payload) {
   if (blacklist_.contains(from)) return;
-  Frame f;
+  // Borrowed decode: every frame field is a view into `payload`, valid for
+  // the duration of this call. Paths that outlive it materialize.
+  FrameView f;
   try {
-    f = Frame::deserialize(payload);
+    f = FrameView::parse(payload);
   } catch (const SerializeError& e) {
     report_misbehaviour(from, std::string("malformed frame: ") + e.what());
     return;
@@ -233,21 +267,21 @@ void Broker::on_packet(NodeId from, Bytes payload) {
       handle_unsubscribe(from, f);
       break;
     case FrameType::kPublish:
-      handle_publish(from, std::move(f));
+      handle_publish(from, f);
       break;
     default:
       break;  // acks/errors are for clients; ignore here
   }
 }
 
-void Broker::handle_connect(NodeId from, const Frame& f) {
+void Broker::handle_connect(NodeId from, const FrameView& f) {
   if (f.text.empty()) {
     send_frame(from, make_error(1, "connect requires an entity id",
                                 f.request_id));
     report_misbehaviour(from, "connect without entity id");
     return;
   }
-  clients_[from] = f.text;
+  clients_[from] = std::string(f.text);
   Frame ack;
   ack.type = FrameType::kConnectAck;
   ack.text = name_;
@@ -255,7 +289,7 @@ void Broker::handle_connect(NodeId from, const Frame& f) {
   send_frame(from, ack);
 }
 
-void Broker::handle_subscribe(NodeId from, const Frame& f) {
+void Broker::handle_subscribe(NodeId from, const FrameView& f) {
   // Compile the pattern once; every check below reuses the split form.
   const TopicPath compiled(f.text);
   const std::string pattern = compiled.canonical();
@@ -306,7 +340,7 @@ void Broker::handle_subscribe(NodeId from, const Frame& f) {
   send_frame(from, ack);
 }
 
-void Broker::handle_unsubscribe(NodeId from, const Frame& f) {
+void Broker::handle_unsubscribe(NodeId from, const FrameView& f) {
   const TopicPath compiled(f.text);
   const std::string pattern = compiled.canonical();
   const bool emptied = is_neighbour(from)
@@ -320,16 +354,15 @@ void Broker::handle_unsubscribe(NodeId from, const Frame& f) {
   }
 }
 
-void Broker::handle_publish(NodeId from, Frame f) {
+void Broker::handle_publish(NodeId from, const FrameView& f) {
   if (!f.message) {
     report_misbehaviour(from, "publish frame without message");
     return;
   }
-  Message& m = *f.message;
+  const MessageView& mv = *f.message;
   // Split and grammar-parse the topic exactly once; every downstream step
   // (edge enforcement, suppress check, routing) reuses the parsed forms.
-  TopicPath path(m.topic);
-  m.topic = path.canonical();
+  TopicPath path(mv.topic);
   std::optional<ConstrainedTopic> ct = ConstrainedTopic::parse(path);
 
   const bool from_broker = is_neighbour(from);
@@ -346,28 +379,41 @@ void Broker::handle_publish(NodeId from, Frame f) {
     if (!allowed.is_ok()) {
       counters_.discarded.inc();
       send_frame(from, make_error(2, allowed.to_string(), 0));
-      report_misbehaviour(from, "unauthorized publish to " + m.topic);
+      report_misbehaviour(from,
+                          "unauthorized publish to " + std::string(mv.topic));
       return;
     }
   }
 
   // Tracing-layer filter (token verification). Applies to all inbound
   // messages; broker-originated traces go through publish_from_broker and
-  // are the local broker's own responsibility. A deferring filter takes
-  // the message and resolves it later via release/reject_deferred.
+  // are the local broker's own responsibility. A deferring filter
+  // materializes the message itself and resolves it later via
+  // release/reject_deferred.
   if (filter_) {
-    const FilterVerdict verdict = filter_(*this, m, from);
+    const FilterVerdict verdict = filter_(*this, mv, from);
     if (verdict.rejected()) {
       counters_.discarded.inc();
       report_misbehaviour(from,
                           "filter rejected message: " + verdict.status.message());
       return;
     }
-    if (verdict.deferred()) return;  // the filter owns the message now
+    if (verdict.deferred()) return;  // the filter parked an owning copy
   }
 
   counters_.published.inc();
-  route(std::move(m), from, std::move(path), std::move(ct));
+
+  // Non-canonical topic spellings must be rewritten so subscribers and
+  // downstream hops see the canonical form — the wire bytes can't be
+  // forwarded verbatim. Rare; take the owning slow path.
+  if (!topic_is_canonical(path, mv.topic)) {
+    counters_.materialized.inc();
+    Message m = mv.materialize();
+    m.topic = path.canonical();
+    route(std::move(m), from, std::move(path), std::move(ct));
+    return;
+  }
+  route(f, from, std::move(path), std::move(ct));
 }
 
 void Broker::route(Message m, NodeId arrived_from) {
@@ -385,6 +431,21 @@ void Broker::route(Message m, NodeId arrived_from, TopicPath path,
   }
   const MatchPlan plan = compute_match(path, ct);
   execute_send(m, arrived_from, plan);
+}
+
+void Broker::route(const FrameView& f, NodeId arrived_from, TopicPath path,
+                   std::optional<ConstrainedTopic> ct) {
+  if (match_pool_) {
+    // Worker-pool jobs outlive this packet handler call — and with it the
+    // wire buffer the view borrows from — so materialize now. TopicPath
+    // and ConstrainedTopic own their strings and cross safely.
+    counters_.materialized.inc();
+    match_pool_->submit({f.message->materialize(), arrived_from,
+                         std::move(path), std::move(ct)});
+    return;
+  }
+  const MatchPlan plan = compute_match(path, ct);
+  execute_send(f, arrived_from, plan);
 }
 
 Broker::MatchPlan Broker::compute_match(
@@ -415,11 +476,19 @@ void Broker::execute_send(const Message& m, NodeId arrived_from,
     (*plan.services)[i].handler(m);
   }
 
+  // Serialize the publish frame once per fan-out; every destination
+  // shares the same buffer.
+  transport::SharedPayload wire;
+  const auto encoded = [&]() -> const transport::SharedPayload& {
+    if (!wire) wire = transport::share_payload(encode_publish_frame(m));
+    return wire;
+  };
+
   // Local clients.
   for (const NodeId client : plan.local_targets) {
     if (client == node_ || client == arrived_from) continue;
     counters_.delivered_local.inc();
-    send_frame(client, make_publish(m));
+    send_wire(client, encoded());
   }
 
   // Neighbour brokers with matching interest (split horizon). Empty when
@@ -427,7 +496,44 @@ void Broker::execute_send(const Message& m, NodeId arrived_from,
   for (const NodeId n : plan.remote_targets) {
     if (n == arrived_from) continue;
     counters_.forwarded.inc();
-    send_frame(n, make_publish(m));
+    send_wire(n, encoded());
+  }
+}
+
+void Broker::execute_send(const FrameView& f, NodeId arrived_from,
+                          const MatchPlan& plan) {
+  // Local services take an owning Message; pay for the copy only when one
+  // actually matched.
+  if (!plan.matched_services.empty()) {
+    counters_.materialized.inc();
+    const Message m = f.message->materialize();
+    for (const std::size_t i : plan.matched_services) {
+      (*plan.services)[i].handler(m);
+    }
+  }
+
+  // Pure forwarding re-sends the original wire bytes: one buffer copy out
+  // of the receive view, shared by every destination — zero owning
+  // Message copies and zero re-serializations.
+  transport::SharedPayload wire;
+  const auto shared_wire = [&]() -> const transport::SharedPayload& {
+    if (!wire) {
+      wire = std::make_shared<const Bytes>(f.wire.begin(), f.wire.end());
+    }
+    return wire;
+  };
+
+  for (const NodeId client : plan.local_targets) {
+    if (client == node_ || client == arrived_from) continue;
+    counters_.delivered_local.inc();
+    counters_.view_forwards.inc();
+    send_wire(client, shared_wire());
+  }
+  for (const NodeId n : plan.remote_targets) {
+    if (n == arrived_from) continue;
+    counters_.forwarded.inc();
+    counters_.view_forwards.inc();
+    send_wire(n, shared_wire());
   }
 }
 

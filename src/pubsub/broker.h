@@ -72,12 +72,13 @@ using LocalHandler = std::function<void(const Message&)>;
 
 /// Verdict of an inbound-message filter.
 ///
-/// kDefer is the asynchronous-verification hook: the filter takes the
-/// message (moving it out of the `msg` reference it was handed) and
-/// promises to resolve it later through exactly one of the broker's
-/// deferred-verdict entry points — Broker::release_deferred to admit it
-/// into routing, or Broker::reject_deferred to apply the same discard +
-/// misbehaviour accounting an inline rejection gets.
+/// kDefer is the asynchronous-verification hook: the filter materializes
+/// the view it was handed (MessageView::materialize — the view dies with
+/// the packet handler call) and promises to resolve the owning copy later
+/// through exactly one of the broker's deferred-verdict entry points —
+/// Broker::release_deferred to admit it into routing, or
+/// Broker::reject_deferred to apply the same discard + misbehaviour
+/// accounting an inline rejection gets.
 struct FilterVerdict {
   enum class Action : std::uint8_t { kAccept, kReject, kDefer };
 
@@ -98,10 +99,12 @@ struct FilterVerdict {
 /// Inbound filter: inspects a message arriving from a neighbour broker or
 /// client before routing. Runs in the broker's node context. `self` is the
 /// invoking broker — filters that defer keep it for the later
-/// release_deferred/reject_deferred call; inline filters ignore it. On
-/// kDefer the filter must have moved the message out of `msg`.
+/// release_deferred/reject_deferred call; inline filters ignore it. The
+/// message is a borrowed view into the wire bytes (valid only for this
+/// call): accept/reject verdicts cost no copy, and a deferring filter
+/// materializes exactly the messages it parks.
 using MessageFilter = std::function<FilterVerdict(
-    Broker& self, Message& msg, transport::NodeId from)>;
+    Broker& self, const MessageView& msg, transport::NodeId from)>;
 
 /// Invoked (in the broker's context) when a delivery to a directly
 /// connected client fails because its link is gone — the pub/sub-level
@@ -117,6 +120,14 @@ struct BrokerStats {
   std::uint64_t delivered_local = 0;  // copies delivered to local clients
   std::uint64_t discarded = 0;        // filter/constraint rejections
   std::uint64_t disconnects = 0;      // endpoints dropped for misbehaviour
+  /// Owning Message copies built out of wire views (slow-path decodes:
+  /// local-service delivery, deferred verification, worker-pool jobs,
+  /// non-canonical topics). The copies-per-hop measure E15 reports: a
+  /// pure-forward hop contributes 0 here.
+  std::uint64_t materialized = 0;
+  /// Frames forwarded by re-sending the original wire bytes (no owning
+  /// Message, no re-serialization).
+  std::uint64_t view_forwards = 0;
 };
 
 /// The live counters behind BrokerStats: relaxed atomics, incremented
@@ -128,10 +139,13 @@ struct BrokerCounters {
   RelaxedCounter delivered_local;
   RelaxedCounter discarded;
   RelaxedCounter disconnects;
+  RelaxedCounter materialized;
+  RelaxedCounter view_forwards;
 
   [[nodiscard]] BrokerStats snapshot() const {
-    return {published.get(), forwarded.get(), delivered_local.get(),
-            discarded.get(), disconnects.get()};
+    return {published.get(),  forwarded.get(),    delivered_local.get(),
+            discarded.get(),  disconnects.get(),  materialized.get(),
+            view_forwards.get()};
   }
 };
 
@@ -246,27 +260,42 @@ class Broker {
 
   class MatchPool;
 
-  void on_packet(transport::NodeId from, Bytes payload);
-  void handle_connect(transport::NodeId from, const Frame& f);
-  void handle_subscribe(transport::NodeId from, const Frame& f);
-  void handle_unsubscribe(transport::NodeId from, const Frame& f);
-  void handle_publish(transport::NodeId from, Frame f);
+  void on_packet(transport::NodeId from, BytesView payload);
+  void handle_connect(transport::NodeId from, const FrameView& f);
+  void handle_subscribe(transport::NodeId from, const FrameView& f);
+  void handle_unsubscribe(transport::NodeId from, const FrameView& f);
+  void handle_publish(transport::NodeId from, const FrameView& f);
 
   /// Plain-path routing: splits and grammar-parses the topic, then
   /// matches + sends inline.
   void route(Message m, transport::NodeId arrived_from);
-  /// Hot-path routing over a topic split and grammar-parsed once by the
-  /// caller. Dispatches to the worker pool when one is configured.
+  /// Owning-message routing over a topic split and grammar-parsed once by
+  /// the caller (broker-originated and deferred-release messages).
+  /// Dispatches to the worker pool when one is configured.
   void route(Message m, transport::NodeId arrived_from, TopicPath path,
              std::optional<ConstrainedTopic> ct);
+  /// View hot path: routes the inbound frame without materializing unless
+  /// a consumer needs an owning Message (worker-pool job, local service).
+  void route(const FrameView& f, transport::NodeId arrived_from,
+             TopicPath path, std::optional<ConstrainedTopic> ct);
   /// Match stage; const and snapshot-only — thread-safe by construction.
   [[nodiscard]] MatchPlan compute_match(
       const TopicPath& path, const std::optional<ConstrainedTopic>& ct) const;
-  /// Send stage; node context only.
+  /// Send stage (owning path); node context only. Serializes the publish
+  /// frame once and shares the buffer across every destination.
   void execute_send(const Message& m, transport::NodeId arrived_from,
+                    const MatchPlan& plan);
+  /// Send stage (view path): forwards the original wire bytes; the only
+  /// materialization is one owning copy when a local service matched.
+  void execute_send(const FrameView& f, transport::NodeId arrived_from,
                     const MatchPlan& plan);
 
   void send_frame(transport::NodeId to, const Frame& f);
+  /// Sends pre-serialized frame bytes (shared across a fan-out) with the
+  /// same unreachable-client bookkeeping as send_frame.
+  void send_wire(transport::NodeId to, transport::SharedPayload wire);
+  /// Common kUnavailable teardown for send_frame/send_wire.
+  void note_send_status(transport::NodeId to, const Status& s);
   [[nodiscard]] bool is_neighbour(transport::NodeId id) const {
     return neighbours_.contains(id);
   }

@@ -12,8 +12,8 @@ using transport::NodeId;
 Client::Client(transport::NetworkBackend& backend, std::string entity_id)
     : backend_(backend), entity_id_(std::move(entity_id)) {
   node_ = backend_.add_node(
-      entity_id_, [this](NodeId from, Bytes payload) {
-        on_packet(from, std::move(payload));
+      entity_id_, [this](NodeId from, BytesView payload) {
+        on_packet(from, payload);
       });
 }
 
@@ -109,11 +109,11 @@ void Client::set_error_handler(StatusHandler handler) {
   });
 }
 
-void Client::on_packet(NodeId from, Bytes payload) {
+void Client::on_packet(NodeId from, BytesView payload) {
   (void)from;
-  Frame f;
+  FrameView f;
   try {
-    f = Frame::deserialize(payload);
+    f = FrameView::parse(payload);
   } catch (const SerializeError&) {
     return;  // garbage from the wire; clients just drop it
   }
@@ -137,18 +137,20 @@ void Client::on_packet(NodeId from, Bytes payload) {
     }
     case FrameType::kPublish: {
       if (!f.message) break;
-      bool matched = false;
+      // Handlers take an owning Message; materialize once, and only when
+      // at least one subscription actually matches.
+      std::optional<Message> owned;
       for (const auto& [pattern, handler] : handlers_) {
         if (topic_matches(pattern, f.message->topic)) {
-          matched = true;
-          handler(*f.message);
+          if (!owned) owned = f.message->materialize();
+          handler(*owned);
         }
       }
-      if (matched) ++delivered_;
+      if (owned) ++delivered_;
       break;
     }
     case FrameType::kError: {
-      const Status s = permission_denied(f.detail);
+      const Status s = permission_denied(std::string(f.detail));
       if (const auto it = pending_.find(f.request_id);
           f.request_id != 0 && it != pending_.end()) {
         auto cb = std::move(it->second);

@@ -80,7 +80,7 @@ class Client {
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
 
  private:
-  void on_packet(transport::NodeId from, Bytes payload);
+  void on_packet(transport::NodeId from, BytesView payload);
   void in_context(transport::Task task);
 
   transport::NetworkBackend& backend_;

@@ -133,25 +133,6 @@ struct TracingConfig {
     Duration batch_delay = 0;
   };
   Verification verification;
-
-  /// Deprecated aliases for Verification::cache_capacity / cache_ttl,
-  /// kept for one release. A value changed from its default overrides the
-  /// nested field (see effective_verification()); new code sets
-  /// `verification.cache_capacity` / `verification.cache_ttl` directly.
-  std::size_t token_cache_capacity = 1024;
-  Duration token_cache_ttl = 60 * kSecond;
-
-  /// Verification knobs with the deprecated flat aliases folded in.
-  [[nodiscard]] Verification effective_verification() const {
-    Verification v = verification;
-    if (token_cache_capacity != TracingConfig{}.token_cache_capacity) {
-      v.cache_capacity = token_cache_capacity;
-    }
-    if (token_cache_ttl != TracingConfig{}.token_cache_ttl) {
-      v.cache_ttl = token_cache_ttl;
-    }
-    return v;
-  }
 };
 
 }  // namespace et::tracing

@@ -23,11 +23,11 @@ bool rejection_is_deterministic(const Status& s, const AuthorizationToken& t,
   return now - skew >= t.valid_until();
 }
 
-/// Is `m` a trace publication this filter polices? Returns the parsed
+/// Is `topic` a trace publication this filter polices? Returns the parsed
 /// topic when yes.
 std::optional<pubsub::ConstrainedTopic> trace_publication(
-    const pubsub::Message& m) {
-  auto ct = pubsub::ConstrainedTopic::parse(m.topic);
+    std::string_view topic) {
+  auto ct = pubsub::ConstrainedTopic::parse(topic);
   if (!ct || ct->event_type != "Traces" || !ct->constrainer_is_broker() ||
       ct->allowed != pubsub::AllowedActions::kPublishOnly) {
     return std::nullopt;  // not a trace publication; other rules apply
@@ -47,8 +47,8 @@ pubsub::MessageFilter make_trace_filter(
     std::shared_ptr<TokenVerifyCache> cache,
     std::shared_ptr<internal::FilterCounters> counters) {
   auto verify = [anchors, &backend, cache = std::move(cache)](
-                    const pubsub::Message& m) -> std::optional<Status> {
-    const auto ct = trace_publication(m);
+                    const pubsub::MessageView& m) -> std::optional<Status> {
+    const auto ct = trace_publication(m.topic);
     if (!ct) return std::nullopt;
 
     if (m.auth_token.empty()) {
@@ -113,7 +113,7 @@ pubsub::MessageFilter make_trace_filter(
   };
 
   return [verify = std::move(verify), counters = std::move(counters)](
-             pubsub::Broker&, pubsub::Message& m,
+             pubsub::Broker&, const pubsub::MessageView& m,
              transport::NodeId) -> pubsub::FilterVerdict {
     const std::optional<Status> verdict = verify(m);
     if (counters) {
@@ -135,8 +135,7 @@ TraceFilterHandle install_trace_filter(pubsub::Broker::Options& options,
                                        const TrustAnchors& anchors,
                                        transport::NetworkBackend& backend,
                                        const TracingConfig& config) {
-  const TracingConfig::Verification verification =
-      config.effective_verification();
+  const TracingConfig::Verification& verification = config.verification;
   std::shared_ptr<TokenVerifyCache> cache;
   if (verification.cache_capacity > 0) {
     cache = std::make_shared<TokenVerifyCache>(verification.cache_capacity,
@@ -153,9 +152,9 @@ TraceFilterHandle install_trace_filter(pubsub::Broker::Options& options,
   // RSA operation is deferred into the pipeline and resolved through the
   // broker's deferred-verdict hooks.
   options.message_filter =
-      [counters, pipeline](pubsub::Broker& self, pubsub::Message& m,
+      [counters, pipeline](pubsub::Broker& self, const pubsub::MessageView& m,
                            transport::NodeId from) -> pubsub::FilterVerdict {
-    const auto ct = trace_publication(m);
+    const auto ct = trace_publication(m.topic);
     if (!ct) {
       counters->passthrough.inc();
       return pubsub::FilterVerdict::accept();
@@ -171,7 +170,9 @@ TraceFilterHandle install_trace_filter(pubsub::Broker::Options& options,
     // stage rejects it with the same status the inline filter uses.
     std::string expected =
         ct->suffixes.empty() ? std::string() : ct->suffixes.front();
-    pipeline->admit(self, std::move(m), std::move(expected), from);
+    // The pipeline parks the message past this packet-handler call, so it
+    // gets an owning copy — the one materialization on the deferred path.
+    pipeline->admit(self, m.materialize(), std::move(expected), from);
     return pubsub::FilterVerdict::defer();
   };
   return {std::move(cache), std::move(counters), std::move(pipeline)};

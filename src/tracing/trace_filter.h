@@ -137,8 +137,8 @@ pubsub::MessageFilter make_trace_filter(
 
 /// Fills `options.message_filter` with the pipeline-backed trace filter
 /// for a broker about to be constructed on `backend`, sized per
-/// `config.effective_verification()` (cache capacity/TTL + batch knobs).
-/// Returns the stats handle.
+/// `config.verification` (cache capacity/TTL + batch knobs). Returns the
+/// stats handle.
 TraceFilterHandle install_trace_filter(pubsub::Broker::Options& options,
                                        const TrustAnchors& anchors,
                                        transport::NetworkBackend& backend,

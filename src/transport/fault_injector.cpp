@@ -139,6 +139,19 @@ bool FaultInjector::cut(NodeId from, NodeId to, TimePoint now) const {
   return cut_locked(from, to, now);
 }
 
+void FaultInjector::corrupt_locked(Bytes& payload) {
+  // Flip 1-4 consecutive (hence distinct) bytes, each XORed with a
+  // non-zero mask, so the payload is guaranteed to differ.
+  std::size_t flips = 1 + rng_.next_below(4);
+  if (flips > payload.size()) flips = payload.size();
+  const std::size_t base = rng_.next_below(payload.size());
+  for (std::size_t i = 0; i < flips; ++i) {
+    payload[(base + i) % payload.size()] ^=
+        static_cast<std::uint8_t>(1 + rng_.next_below(255));
+  }
+  ++stats_.corrupted;
+}
+
 FaultInjector::Verdict FaultInjector::judge(NodeId from, NodeId to,
                                             TimePoint now, Bytes& payload) {
   std::lock_guard lock(mu_);
@@ -159,16 +172,40 @@ FaultInjector::Verdict FaultInjector::judge(NodeId from, NodeId to,
   }
   if (f.corrupt_p > 0.0 && !payload.empty() &&
       rng_.next_double() < f.corrupt_p) {
-    // Flip 1-4 consecutive (hence distinct) bytes, each XORed with a
-    // non-zero mask, so the payload is guaranteed to differ.
-    std::size_t flips = 1 + rng_.next_below(4);
-    if (flips > payload.size()) flips = payload.size();
-    const std::size_t base = rng_.next_below(payload.size());
-    for (std::size_t i = 0; i < flips; ++i) {
-      payload[(base + i) % payload.size()] ^=
-          static_cast<std::uint8_t>(1 + rng_.next_below(255));
-    }
-    ++stats_.corrupted;
+    corrupt_locked(payload);
+  }
+  if (f.duplicate_p > 0.0 && rng_.next_double() < f.duplicate_p) {
+    ++stats_.duplicated;
+    v.duplicate = true;
+  }
+  return v;
+}
+
+FaultInjector::Verdict FaultInjector::judge(NodeId from, NodeId to,
+                                            TimePoint now,
+                                            SharedPayload& payload) {
+  std::lock_guard lock(mu_);
+  Verdict v;
+  if (cut_locked(from, to, now)) {
+    ++stats_.dropped;
+    v.deliver = false;
+    return v;
+  }
+  const auto it = pairs_.find(pair_key(from, to));
+  if (it == pairs_.end()) return v;
+  PairFault& f = it->second;
+  if (f.drop_burst > 0) {
+    --f.drop_burst;
+    ++stats_.dropped;
+    v.deliver = false;
+    return v;
+  }
+  if (f.corrupt_p > 0.0 && payload && !payload->empty() &&
+      rng_.next_double() < f.corrupt_p) {
+    // Copy-on-corrupt: fan-out siblings sharing the frame stay pristine.
+    auto mutated = std::make_shared<Bytes>(*payload);
+    corrupt_locked(*mutated);
+    payload = std::move(mutated);
   }
   if (f.duplicate_p > 0.0 && rng_.next_double() < f.duplicate_p) {
     ++stats_.duplicated;

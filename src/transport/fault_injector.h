@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -41,6 +42,7 @@
 namespace et::transport {
 
 using NodeId = std::uint32_t;  // mirrors network.h (kept header-cycle-free)
+using SharedPayload = std::shared_ptr<const Bytes>;  // mirrors network.h
 
 class FaultInjector {
  public:
@@ -117,6 +119,12 @@ class FaultInjector {
   /// and consumes Rng only for pairs with probabilistic faults configured.
   Verdict judge(NodeId from, NodeId to, TimePoint now, Bytes& payload);
 
+  /// Shared-payload variant: the buffer behind `payload` is never mutated
+  /// in place — when corruption fires, the pointer is swapped for a
+  /// mutated private copy, so other deliveries sharing the original frame
+  /// still see pristine bytes (copy-on-corrupt).
+  Verdict judge(NodeId from, NodeId to, TimePoint now, SharedPayload& payload);
+
   /// Delivery-time re-check: true when the packet must be swallowed
   /// because a partition/blackhole/flap/crash now separates the pair.
   [[nodiscard]] bool cut(NodeId from, NodeId to, TimePoint now) const;
@@ -154,6 +162,7 @@ class FaultInjector {
   [[nodiscard]] bool cut_locked(NodeId from, NodeId to, TimePoint now) const;
   void rearm_locked();
   PairFault& pair_locked(NodeId a, NodeId b);
+  void corrupt_locked(Bytes& payload);
 
   mutable std::mutex mu_;
   std::atomic<bool> armed_{false};

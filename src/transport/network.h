@@ -12,6 +12,16 @@
 //   * VirtualTimeNetwork — single-threaded deterministic discrete-event
 //     simulation; time advances only through the event queue. Used by unit
 //     tests, property tests and large-scale message-count experiments.
+//   * SocketNetwork — real nonblocking TCP over OS sockets with an epoll
+//     readiness loop (socket_network.h); the backend the honest wire
+//     throughput/latency numbers come from, deployable multi-process.
+//
+// Payload ownership: `send` takes a `std::shared_ptr<const Bytes>` so one
+// serialized frame can fan out to N destinations without N deep copies —
+// backends hold a reference per in-flight delivery instead of a buffer.
+// Handlers receive a `BytesView` borrowed for the duration of the call
+// (the view points into the backend's delivery buffer or receive arena);
+// a handler that needs the bytes past its return must copy them.
 //
 // Nodes are actors: every handler and timer callback for a node runs in
 // that node's execution context, serialized — node-local state needs no
@@ -36,8 +46,18 @@ class FaultInjector;
 using NodeId = std::uint32_t;
 constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
 
-/// Invoked in the destination node's context when a packet arrives.
-using PacketHandler = std::function<void(NodeId from, Bytes payload)>;
+/// Invoked in the destination node's context when a packet arrives. The
+/// payload view is valid only for the duration of the call.
+using PacketHandler = std::function<void(NodeId from, BytesView payload)>;
+
+/// Immutable wire payload shared across fan-out sends and in-flight
+/// duplicates.
+using SharedPayload = std::shared_ptr<const Bytes>;
+
+/// Wraps an owning buffer for the shared-payload send path.
+inline SharedPayload share_payload(Bytes b) {
+  return std::make_shared<const Bytes>(std::move(b));
+}
 
 /// Deferred work in a node's context.
 using Task = std::function<void()>;
@@ -68,8 +88,16 @@ class NetworkBackend {
   virtual void detach(NodeId node) = 0;
 
   /// Sends a packet along an existing link. Unlinked destinations return
-  /// kUnavailable. Loss on unreliable links is silent (returns OK).
-  virtual Status send(NodeId from, NodeId to, Bytes payload) = 0;
+  /// kUnavailable. Loss on unreliable links is silent (returns OK). The
+  /// payload is shared, not copied: callers fanning one frame out to many
+  /// destinations serialize once and pass the same pointer to each send.
+  /// Backends never mutate the buffer (injected corruption copies first).
+  virtual Status send(NodeId from, NodeId to, SharedPayload payload) = 0;
+
+  /// Owning-buffer convenience over the shared-payload path.
+  Status send(NodeId from, NodeId to, Bytes payload) {
+    return send(from, to, share_payload(std::move(payload)));
+  }
 
   /// Runs `task` in `node`'s context as soon as possible.
   virtual void post(NodeId node, Task task) = 0;

@@ -109,7 +109,7 @@ void RealTimeNetwork::detach(NodeId node) {
   {
     std::lock_guard lock(nodes_mu_);
     if (node >= nodes_.size()) return;
-    nodes_[node]->handler = [](NodeId, Bytes) {};
+    nodes_[node]->handler = [](NodeId, BytesView) {};
     actor = nodes_[node].get();
   }
   // Must not be called from the node's own context (it would self-wait).
@@ -136,7 +136,7 @@ std::string RealTimeNetwork::node_name(NodeId id) const {
   return id < nodes_.size() ? nodes_[id]->name : "<invalid>";
 }
 
-Status RealTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
+Status RealTimeNetwork::send(NodeId from, NodeId to, SharedPayload payload) {
   // The delivery timestamp must be computed exactly once against the same
   // clock reading the link's FIFO clamp used: re-reading the clock when
   // scheduling would let a preempted sender invert the order of two
@@ -158,14 +158,14 @@ Status RealTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
       const auto verdict = faults_->judge(from, to, sent_at, payload);
       if (!verdict.deliver) return Status::ok();  // silent injected drop
       if (verdict.duplicate) {
-        dup_delay = it->second.sample_delay(payload.size(), sent_at, rng_);
+        dup_delay = it->second.sample_delay(payload->size(), sent_at, rng_);
       }
     }
-    delay = it->second.sample_delay(payload.size(), sent_at, rng_);
+    delay = it->second.sample_delay(payload->size(), sent_at, rng_);
   }
   if (delay == kPacketLost) return Status::ok();
 
-  auto make_deliver = [this, from, to](std::shared_ptr<Bytes> body) {
+  auto make_deliver = [this, from, to](SharedPayload body) {
     return [this, from, to, body] {
       PacketHandler handler;
       {
@@ -180,15 +180,14 @@ Status RealTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
         if (!links_.contains(key(from, to))) return;
       }
       if (faults_->armed() && faults_->cut(from, to, now())) return;
-      handler(from, std::move(*body));
+      handler(from, BytesView(*body));
     };
   };
   if (dup_delay != kPacketLost) {
-    schedule_at(to, sent_at + dup_delay,
-                make_deliver(std::make_shared<Bytes>(payload)), 0);
+    // The duplicate shares the sender's buffer too — no deep copy.
+    schedule_at(to, sent_at + dup_delay, make_deliver(payload), 0);
   }
-  schedule_at(to, sent_at + delay,
-              make_deliver(std::make_shared<Bytes>(std::move(payload))), 0);
+  schedule_at(to, sent_at + delay, make_deliver(std::move(payload)), 0);
   return Status::ok();
 }
 

@@ -37,7 +37,8 @@ class RealTimeNetwork final : public NetworkBackend {
   void link(NodeId a, NodeId b, const LinkParams& params) override;
   void unlink(NodeId a, NodeId b) override;
   void detach(NodeId node) override;
-  Status send(NodeId from, NodeId to, Bytes payload) override;
+  using NetworkBackend::send;
+  Status send(NodeId from, NodeId to, SharedPayload payload) override;
   void post(NodeId node, Task task) override;
   TimerId schedule(NodeId node, Duration delay, Task task) override;
   void cancel(TimerId id) override;

@@ -1,0 +1,715 @@
+#include "src/transport/socket_network.h"
+
+#include <arpa/inet.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/serialize.h"
+#include "src/transport/fault_injector.h"
+
+namespace et::transport {
+
+namespace {
+
+// First frame on every connection: identifies which node pair the socket
+// serves. "ETSK" = Entity Tracking SocKet.
+constexpr std::array<std::uint8_t, 4> kHelloMagic = {'E', 'T', 'S', 'K'};
+constexpr std::uint16_t kHelloVersion = 1;
+
+Bytes encode_hello(const std::string& from, const std::string& to) {
+  Writer w;
+  w.reserve(4 + 2 + 8 + from.size() + to.size());
+  w.raw(BytesView(kHelloMagic));
+  w.u16(kHelloVersion);
+  w.str(from);
+  w.str(to);
+  return std::move(w).take();
+}
+
+void set_nonblocking_nodelay(int fd) {
+  int one = 1;
+  // Nagle would batch our small frames behind delayed ACKs; the latency
+  // model already decides when bytes hit the wire.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+SocketNetwork::SocketNetwork(std::uint64_t seed, std::uint16_t port)
+    : rng_(seed) {
+  faults_->reseed(seed ^ 0x9E3779B97F4A7C15ull);
+
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (epfd_ < 0 || wake_fd_ < 0 || timer_fd_ < 0 || listen_fd_ < 0) {
+    throw std::runtime_error("SocketNetwork: fd setup failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, SOMAXCONN) != 0) {
+    throw std::runtime_error("SocketNetwork: bind/listen failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_port_ = ntohs(addr.sin_port);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  (void)::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ev.data.fd = timer_fd_;
+  (void)::epoll_ctl(epfd_, EPOLL_CTL_ADD, timer_fd_, &ev);
+  ev.data.fd = listen_fd_;
+  (void)::epoll_ctl(epfd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+SocketNetwork::~SocketNetwork() { stop(); }
+
+void SocketNetwork::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_ && !loop_thread_.joinable()) return;
+    stopping_ = true;
+  }
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& [fd, conn] : conns_) (void)::close(fd);
+  conns_.clear();
+  pair_conns_.clear();
+  for (int fd : doomed_) (void)::close(fd);
+  doomed_.clear();
+  for (int* fd : {&listen_fd_, &timer_fd_, &wake_fd_, &epfd_}) {
+    if (*fd >= 0) {
+      (void)::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+void SocketNetwork::wake() {
+  const std::uint64_t one = 1;
+  if (wake_fd_ >= 0) {
+    (void)!::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+NodeId SocketNetwork::register_node_locked(Node node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  names_[node.name] = id;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+NodeId SocketNetwork::add_node(std::string name, PacketHandler handler) {
+  std::lock_guard lock(mu_);
+  Node n;
+  n.name = std::move(name);
+  n.handler = std::move(handler);
+  return register_node_locked(std::move(n));
+}
+
+NodeId SocketNetwork::add_remote(std::string name, const std::string& host,
+                                 std::uint16_t port) {
+  std::lock_guard lock(mu_);
+  Node n;
+  n.name = std::move(name);
+  n.remote = true;
+  n.has_addr = true;
+  n.addr = loopback_addr(port);
+  if (::inet_pton(AF_INET, host.c_str(), &n.addr.sin_addr) != 1) {
+    throw std::invalid_argument("SocketNetwork::add_remote: bad host " + host);
+  }
+  return register_node_locked(std::move(n));
+}
+
+NodeId SocketNetwork::add_remote(std::string name) {
+  std::lock_guard lock(mu_);
+  Node n;
+  n.name = std::move(name);
+  n.remote = true;
+  return register_node_locked(std::move(n));
+}
+
+void SocketNetwork::link(NodeId a, NodeId b, const LinkParams& params) {
+  std::lock_guard lock(mu_);
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) {
+    throw std::invalid_argument("SocketNetwork::link: bad node ids");
+  }
+  // Connections are dialed lazily at the first frame release; link() only
+  // records the latency/loss model, mirroring the simulated backends.
+  links_.insert_or_assign(key(a, b), LinkState(params));
+  links_.insert_or_assign(key(b, a), LinkState(params));
+}
+
+void SocketNetwork::unlink(NodeId a, NodeId b) {
+  {
+    std::lock_guard lock(mu_);
+    links_.erase(key(a, b));
+    links_.erase(key(b, a));
+    if (stopping_) return;
+  }
+  // Tear the sockets down on the loop thread; frames still queued or in
+  // the kernel are dropped, and the receive path's link re-check swallows
+  // anything that slips through first.
+  push_timer(now(), 0, [this, a, b] {
+    for (const LinkKey k : {key(a, b), key(b, a)}) {
+      const auto it = pair_conns_.find(k);
+      if (it == pair_conns_.end()) continue;
+      const auto cit = conns_.find(it->second);
+      if (cit != conns_.end()) close_conn(cit->second.get());
+    }
+  });
+}
+
+void SocketNetwork::detach(NodeId node) {
+  {
+    std::lock_guard lock(mu_);
+    if (node >= nodes_.size()) return;
+    nodes_[node].handler = [](NodeId, BytesView) {};
+  }
+  // Wait until the loop is not mid-dispatch so a handler copied before
+  // the swap cannot still be running when we return. Must not be called
+  // from the loop thread itself (it would self-wait).
+  if (std::this_thread::get_id() == loop_thread_.get_id()) return;
+  while (dispatching_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+bool SocketNetwork::linked(NodeId a, NodeId b) const {
+  std::lock_guard lock(mu_);
+  return links_.contains(key(a, b));
+}
+
+std::string SocketNetwork::node_name(NodeId id) const {
+  std::lock_guard lock(mu_);
+  return id < nodes_.size() ? nodes_[id].name : "<invalid>";
+}
+
+Status SocketNetwork::send(NodeId from, NodeId to, SharedPayload payload) {
+  Duration delay;
+  Duration dup_delay = kPacketLost;
+  TimePoint sent_at;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = links_.find(key(from, to));
+    if (it == links_.end()) {
+      return unavailable("no link " + std::to_string(from) + " -> " +
+                         std::to_string(to));
+    }
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(payload->size(), std::memory_order_relaxed);
+    sent_at = now();
+    if (faults_->armed()) {
+      // Silent injected drop: send still returns OK (fault_injector.h).
+      // Corruption swaps `payload` for a mutated copy here, before the
+      // frame is queued — the corrupted bytes really cross the socket.
+      const auto verdict = faults_->judge(from, to, sent_at, payload);
+      if (!verdict.deliver) return Status::ok();
+      if (verdict.duplicate) {
+        dup_delay = it->second.sample_delay(payload->size(), sent_at, rng_);
+      }
+    }
+    delay = it->second.sample_delay(payload->size(), sent_at, rng_);
+  }
+  if (delay == kPacketLost) return Status::ok();  // modeled loss, like the wire
+
+  // Delayed release: the frame is held for the sampled link latency, then
+  // written to the socket — so unlink/partition mid-flight still swallow
+  // it, and modeled latency dominates the (much smaller) loopback RTT.
+  if (dup_delay != kPacketLost) {
+    SharedPayload copy = payload;
+    push_timer(sent_at + dup_delay, 0, [this, from, to, copy] {
+      queue_frame(from, to, copy);
+    });
+  }
+  push_timer(sent_at + delay, 0,
+             [this, from, to, payload] { queue_frame(from, to, payload); });
+  return Status::ok();
+}
+
+void SocketNetwork::connect_peer(NodeId from, NodeId to) {
+  // ensure_conn touches loop-thread-only state; run it there.
+  post(from, [this, from, to] { (void)ensure_conn(from, to); });
+}
+
+void SocketNetwork::post(NodeId node, Task task) {
+  (void)node;  // all node contexts share the loop thread
+  push_timer(now(), 0, std::move(task));
+}
+
+TimerId SocketNetwork::schedule(NodeId node, Duration delay, Task task) {
+  (void)node;
+  TimerId id;
+  {
+    std::lock_guard lock(mu_);
+    id = next_timer_++;
+  }
+  push_timer(now() + delay, id, std::move(task));
+  return id;
+}
+
+void SocketNetwork::cancel(TimerId id) {
+  if (id == 0) return;
+  std::lock_guard lock(mu_);
+  cancelled_.insert(id);
+}
+
+void SocketNetwork::push_timer(TimePoint at, TimerId id, Task task) {
+  {
+    std::lock_guard lock(mu_);
+    timers_.push(
+        TimedTask{at, next_seq_++, id, std::make_shared<Task>(std::move(task))});
+  }
+  wake();
+}
+
+// --- event loop -----------------------------------------------------------
+
+void SocketNetwork::arm_timerfd(TimePoint next) {
+  itimerspec spec{};
+  if (next >= 0) {
+    Duration delta = next - now();
+    if (delta < 1) delta = 1;  // 0 disarms; fire "immediately" instead
+    spec.it_value.tv_sec = delta / kSecond;
+    spec.it_value.tv_nsec = (delta % kSecond) * 1000;
+  }
+  (void)::timerfd_settime(timer_fd_, 0, &spec, nullptr);
+}
+
+void SocketNetwork::loop() {
+  std::array<epoll_event, 64> events{};
+  std::vector<std::shared_ptr<Task>> due;
+  for (;;) {
+    TimePoint next = -1;
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) return;
+      const TimePoint current = clock_.now();
+      while (!timers_.empty() && timers_.top().at <= current) {
+        TimedTask t = timers_.top();
+        timers_.pop();
+        if (t.timer_id != 0) {
+          const auto it = cancelled_.find(t.timer_id);
+          if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+          }
+        }
+        due.push_back(std::move(t.task));
+      }
+      if (!timers_.empty()) next = timers_.top().at;
+    }
+    if (!due.empty()) {
+      dispatching_.fetch_add(1, std::memory_order_acq_rel);
+      for (auto& t : due) (*t)();
+      reap_doomed();
+      dispatching_.fetch_sub(1, std::memory_order_acq_rel);
+      due.clear();
+      continue;  // tasks may have queued earlier timers or writes
+    }
+    arm_timerfd(next);
+    const int n = ::epoll_wait(epfd_, events.data(),
+                               static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd gone: stop() is tearing us down
+    }
+    if (n > 0) {
+      dispatching_.fetch_add(1, std::memory_order_acq_rel);
+      for (int i = 0; i < n; ++i) {
+        handle_event(events[static_cast<std::size_t>(i)].events,
+                     events[static_cast<std::size_t>(i)].data.fd);
+      }
+      reap_doomed();
+      dispatching_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+void SocketNetwork::handle_event(std::uint32_t ev, int fd) {
+  if (fd == wake_fd_) {
+    std::uint64_t junk;
+    while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
+    }
+    return;
+  }
+  if (fd == timer_fd_) {
+    std::uint64_t junk;
+    while (::read(timer_fd_, &junk, sizeof(junk)) > 0) {
+    }
+    return;
+  }
+  if (fd == listen_fd_) {
+    accept_ready();
+    return;
+  }
+  const auto it = conns_.find(fd);
+  if (it == conns_.end() || it->second->dead) return;
+  Conn* c = it->second.get();
+  if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
+    close_conn(c);
+    return;
+  }
+  if ((ev & EPOLLOUT) != 0) conn_writable(c);
+  if (c->dead) return;
+  if ((ev & EPOLLIN) != 0) conn_readable(c);
+}
+
+void SocketNetwork::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for next event
+    set_nonblocking_nodelay(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    // Identity arrives with the hello frame; until then the conn only
+    // reads.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    (void)::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+SocketNetwork::Conn* SocketNetwork::dial(NodeId from, NodeId to,
+                                         const sockaddr_in& addr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  set_nonblocking_nodelay(fd);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    (void)::close(fd);
+    return nullptr;
+  }
+  auto conn = std::make_unique<Conn>();
+  Conn* c = conn.get();
+  c->fd = fd;
+  c->local = from;
+  c->peer = to;
+  c->peer_known = true;  // dialer knows both ends
+  c->connecting = (rc != 0);
+  std::string from_name;
+  std::string to_name;
+  {
+    std::lock_guard lock(mu_);
+    from_name = nodes_[from].name;
+    to_name = nodes_[to].name;
+  }
+  Bytes hello = encode_hello(from_name, to_name);
+  OutFrame f;
+  f.hdr = frame_header(static_cast<std::uint32_t>(hello.size()));
+  f.body = share_payload(std::move(hello));
+  c->outq.push_back(std::move(f));
+  pending_out_.fetch_add(1, std::memory_order_relaxed);
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.fd = fd;
+  c->want_write = true;
+  (void)::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  conns_.emplace(fd, std::move(conn));
+  pair_conns_.emplace(key(from, to), fd);
+  return c;
+}
+
+SocketNetwork::Conn* SocketNetwork::ensure_conn(NodeId from, NodeId to) {
+  const auto it = pair_conns_.find(key(from, to));
+  if (it != pair_conns_.end()) {
+    const auto cit = conns_.find(it->second);
+    if (cit != conns_.end() && !cit->second->dead) return cit->second.get();
+    pair_conns_.erase(it);
+  }
+  sockaddr_in addr{};
+  {
+    std::lock_guard lock(mu_);
+    if (to >= nodes_.size()) return nullptr;
+    const Node& dst = nodes_[to];
+    if (!dst.remote) {
+      addr = loopback_addr(listen_port_);  // in-process: dial ourselves
+    } else if (dst.has_addr) {
+      addr = dst.addr;
+    } else {
+      return nullptr;  // passive remote: it must dial us
+    }
+  }
+  return dial(from, to, addr);
+}
+
+void SocketNetwork::queue_frame(NodeId from, NodeId to, SharedPayload payload) {
+  {
+    std::lock_guard lock(mu_);
+    if (!links_.contains(key(from, to))) return;  // unlinked in flight
+  }
+  if (faults_->armed() && faults_->cut(from, to, now())) return;
+  OutFrame f;
+  f.hdr = frame_header(static_cast<std::uint32_t>(payload->size()));
+  f.body = std::move(payload);
+  Conn* c = ensure_conn(from, to);
+  if (c == nullptr) {
+    // A passive remote we cannot dial: park the frame until its hello
+    // lands (control traffic like interest propagation would otherwise be
+    // lost forever to a peer that is merely slow to start). Bounded; a
+    // genuine dial failure still drops like a lost packet.
+    bool passive;
+    {
+      std::lock_guard lock(mu_);
+      passive = to < nodes_.size() && nodes_[to].remote && !nodes_[to].has_addr;
+    }
+    if (passive) {
+      auto& parked = parked_[key(from, to)];
+      constexpr std::size_t kMaxParkedPerPeer = 1024;
+      if (parked.size() < kMaxParkedPerPeer) parked.push_back(std::move(f));
+    }
+    return;
+  }
+  c->outq.push_back(std::move(f));
+  pending_out_.fetch_add(1, std::memory_order_relaxed);
+  if (!c->connecting) flush(c);
+}
+
+void SocketNetwork::flush(Conn* c) {
+  while (!c->outq.empty()) {
+    std::array<iovec, 32> iov{};
+    std::size_t niov = 0;
+    for (const OutFrame& f : c->outq) {
+      if (niov + 2 > iov.size()) break;
+      std::size_t off = f.off;
+      if (off < f.hdr.size()) {
+        iov[niov].iov_base =
+            const_cast<std::uint8_t*>(f.hdr.data()) + off;
+        iov[niov].iov_len = f.hdr.size() - off;
+        ++niov;
+        off = 0;
+      } else {
+        off -= f.hdr.size();
+      }
+      if (off < f.body->size()) {
+        iov[niov].iov_base = const_cast<std::uint8_t*>(f.body->data()) + off;
+        iov[niov].iov_len = f.body->size() - off;
+        ++niov;
+      }
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(c->fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      close_conn(c);
+      return;
+    }
+    std::size_t written = static_cast<std::size_t>(n);
+    while (written > 0 && !c->outq.empty()) {
+      OutFrame& f = c->outq.front();
+      const std::size_t total = f.hdr.size() + f.body->size();
+      const std::size_t rem = total - f.off;
+      if (written >= rem) {
+        written -= rem;
+        c->outq.pop_front();
+        pending_out_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        f.off += written;
+        written = 0;
+      }
+    }
+  }
+  update_interest(c);
+}
+
+void SocketNetwork::update_interest(Conn* c) {
+  const bool want = !c->outq.empty() || c->connecting;
+  if (want == c->want_write) return;
+  c->want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = c->fd;
+  (void)::epoll_ctl(epfd_, EPOLL_CTL_MOD, c->fd, &ev);
+}
+
+void SocketNetwork::conn_writable(Conn* c) {
+  if (c->connecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    (void)::getsockopt(c->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close_conn(c);
+      return;
+    }
+    c->connecting = false;
+  }
+  flush(c);
+}
+
+void SocketNetwork::conn_readable(Conn* c) {
+  std::array<std::uint8_t, 64 * 1024> buf;
+  for (;;) {
+    const ssize_t n = ::recv(c->fd, buf.data(), buf.size(), 0);
+    if (n > 0) {
+      try {
+        c->assembler.feed(BytesView(buf.data(), static_cast<std::size_t>(n)),
+                          [this, c](BytesView frame) { on_frame(c, frame); });
+      } catch (const SerializeError&) {
+        // Oversized header or malformed hello: the stream lost sync or
+        // the peer is misbehaving; there is no way to resynchronize.
+        close_conn(c);
+        return;
+      }
+      if (c->dead) return;
+      continue;
+    }
+    if (n == 0) {
+      close_conn(c);  // orderly shutdown from the peer
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    close_conn(c);
+    return;
+  }
+}
+
+void SocketNetwork::on_frame(Conn* c, BytesView frame) {
+  if (!c->peer_known) {
+    handle_hello(c, frame);  // throws SerializeError on a bad hello
+    return;
+  }
+  const NodeId from = c->peer;
+  const NodeId to = c->local;
+  PacketHandler handler;
+  {
+    std::lock_guard lock(mu_);
+    // Same delivery-time re-checks as the simulated backends: the link
+    // may have been removed or a partition begun while the frame sat in
+    // the kernel's buffers.
+    if (!links_.contains(key(from, to))) return;
+    if (to >= nodes_.size() || !nodes_[to].handler) return;
+    handler = nodes_[to].handler;
+  }
+  if (faults_->armed() && faults_->cut(from, to, now())) return;
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  // Zero-copy handoff: `frame` borrows the connection's reassembly arena
+  // for the duration of the call (network.h handler contract).
+  handler(from, frame);
+}
+
+void SocketNetwork::handle_hello(Conn* c, BytesView frame) {
+  Reader r(frame);
+  const BytesView magic = r.raw_view(4);
+  if (!std::equal(magic.begin(), magic.end(), kHelloMagic.begin())) {
+    throw SerializeError("socket hello: bad magic");
+  }
+  if (r.u16() != kHelloVersion) {
+    throw SerializeError("socket hello: unsupported version");
+  }
+  const std::string from_name{r.str()};
+  const std::string to_name{r.str()};
+  r.expect_done();
+  NodeId from;
+  NodeId to;
+  {
+    std::lock_guard lock(mu_);
+    const auto tit = names_.find(to_name);
+    if (tit == names_.end() || nodes_[tit->second].remote) {
+      throw SerializeError("socket hello: unknown local node " + to_name);
+    }
+    to = tit->second;
+    const auto fit = names_.find(from_name);
+    if (fit != names_.end()) {
+      from = fit->second;
+    } else {
+      // First contact from an unannounced process: auto-register so the
+      // handler sees a stable NodeId and node_name() resolves.
+      Node n;
+      n.name = from_name;
+      n.remote = true;
+      from = register_node_locked(std::move(n));
+    }
+  }
+  c->local = to;
+  c->peer = from;
+  c->peer_known = true;
+  // Replies to the dialer reuse this socket (first conn for a pair wins).
+  pair_conns_.emplace(key(to, from), c->fd);
+  // Frames parked while this peer was passive-and-unconnected go out now.
+  if (const auto pit = parked_.find(key(to, from)); pit != parked_.end()) {
+    for (OutFrame& f : pit->second) {
+      c->outq.push_back(std::move(f));
+      pending_out_.fetch_add(1, std::memory_order_relaxed);
+    }
+    parked_.erase(pit);
+    flush(c);
+  }
+}
+
+void SocketNetwork::close_conn(Conn* c) {
+  if (c->dead) return;
+  c->dead = true;
+  pending_out_.fetch_sub(static_cast<std::int64_t>(c->outq.size()),
+                         std::memory_order_relaxed);
+  c->outq.clear();
+  for (auto it = pair_conns_.begin(); it != pair_conns_.end();) {
+    it = it->second == c->fd ? pair_conns_.erase(it) : std::next(it);
+  }
+  (void)::epoll_ctl(epfd_, EPOLL_CTL_DEL, c->fd, nullptr);
+  // Defer ::close to the end of the event batch so a stale event in the
+  // same epoll_wait return cannot hit a recycled fd.
+  doomed_.push_back(c->fd);
+}
+
+void SocketNetwork::reap_doomed() {
+  for (const int fd : doomed_) {
+    (void)::close(fd);
+    conns_.erase(fd);
+  }
+  doomed_.clear();
+}
+
+void SocketNetwork::drain(Duration grace) {
+  const auto quiet = [&] {
+    if (dispatching_.load(std::memory_order_acquire) != 0) return false;
+    if (pending_out_.load(std::memory_order_acquire) != 0) return false;
+    std::lock_guard lock(mu_);
+    return timers_.empty() || timers_.top().at > clock_.now() + grace;
+  };
+  for (;;) {
+    if (quiet()) {
+      // Frames already written may still sit in the kernel's loopback
+      // buffer; give the receive path a beat, then confirm.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      if (quiet()) return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace et::transport

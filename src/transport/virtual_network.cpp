@@ -31,7 +31,7 @@ void VirtualTimeNetwork::unlink(NodeId a, NodeId b) {
 
 void VirtualTimeNetwork::detach(NodeId node) {
   if (node < nodes_.size()) {
-    nodes_[node].handler = [](NodeId, Bytes) {};
+    nodes_[node].handler = [](NodeId, BytesView) {};
   }
 }
 
@@ -43,13 +43,13 @@ std::string VirtualTimeNetwork::node_name(NodeId id) const {
   return id < nodes_.size() ? nodes_[id].name : "<invalid>";
 }
 
-Status VirtualTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
+Status VirtualTimeNetwork::send(NodeId from, NodeId to, SharedPayload payload) {
   const auto it = links_.find(key(from, to));
   if (it == links_.end()) {
     return unavailable("no link " + node_name(from) + " -> " + node_name(to));
   }
   ++sent_;
-  bytes_sent_ += payload.size();
+  bytes_sent_ += payload->size();
   bool duplicate = false;
   if (faults_->armed()) {
     // Injected drops are silent (return OK): a partitioned peer looks
@@ -61,35 +61,34 @@ Status VirtualTimeNetwork::send(NodeId from, NodeId to, Bytes payload) {
     }
     duplicate = verdict.duplicate;
   }
-  const Duration delay = it->second.sample_delay(payload.size(), now(), rng_);
+  const Duration delay = it->second.sample_delay(payload->size(), now(), rng_);
   if (delay == kPacketLost) {
     ++lost_;
     return Status::ok();  // silent loss, like the wire
   }
-  // Capture by value; the link may be removed before delivery.
-  auto shared = std::make_shared<Bytes>(std::move(payload));
-  push_event(now() + delay, 0, [this, from, to, shared] {
+  // The event holds a reference, not a copy; fan-out sends of the same
+  // frame all share one buffer. The link may be removed before delivery.
+  push_event(now() + delay, 0, [this, from, to, payload] {
     if (!links_.contains(key(from, to))) return;  // link went away in flight
     if (faults_->armed() && faults_->cut(from, to, now())) {
       ++lost_;  // partition started while the packet was in flight
       return;
     }
     ++delivered_;
-    nodes_[to].handler(from, std::move(*shared));
+    nodes_[to].handler(from, BytesView(*payload));
   });
   if (duplicate) {
     const Duration dup_delay =
-        it->second.sample_delay(shared->size(), now(), rng_);
+        it->second.sample_delay(payload->size(), now(), rng_);
     if (dup_delay != kPacketLost) {
-      auto copy = std::make_shared<Bytes>(*shared);
-      push_event(now() + dup_delay, 0, [this, from, to, copy] {
+      push_event(now() + dup_delay, 0, [this, from, to, payload] {
         if (!links_.contains(key(from, to))) return;
         if (faults_->armed() && faults_->cut(from, to, now())) {
           ++lost_;
           return;
         }
         ++delivered_;
-        nodes_[to].handler(from, std::move(*copy));
+        nodes_[to].handler(from, BytesView(*payload));
       });
     }
   }

@@ -1,0 +1,47 @@
+#include "src/transport/wire_framing.h"
+
+#include <string>
+
+namespace et::transport {
+
+std::array<std::uint8_t, 4> frame_header(std::uint32_t len) {
+  return {static_cast<std::uint8_t>(len >> 24),
+          static_cast<std::uint8_t>(len >> 16),
+          static_cast<std::uint8_t>(len >> 8), static_cast<std::uint8_t>(len)};
+}
+
+void FrameAssembler::feed(BytesView chunk,
+                          const std::function<void(BytesView)>& sink) {
+  arena_.insert(arena_.end(), chunk.begin(), chunk.end());
+  for (;;) {
+    const std::size_t avail = arena_.size() - pos_;
+    if (avail < 4) break;  // truncated prefix: wait for more stream
+    const std::uint32_t len =
+        (static_cast<std::uint32_t>(arena_[pos_]) << 24) |
+        (static_cast<std::uint32_t>(arena_[pos_ + 1]) << 16) |
+        (static_cast<std::uint32_t>(arena_[pos_ + 2]) << 8) |
+        static_cast<std::uint32_t>(arena_[pos_ + 3]);
+    if (len > max_frame_) {
+      throw SerializeError("framed length " + std::to_string(len) +
+                           " exceeds max frame " + std::to_string(max_frame_));
+    }
+    if (avail - 4 < len) break;  // frame split across reads: keep buffering
+    const std::size_t body = pos_ + 4;
+    pos_ = body + len;
+    sink(BytesView(arena_).subspan(body, len));
+    // `sink` may have appended nothing — but it must not touch the arena;
+    // re-read size each iteration anyway for clarity.
+  }
+  // Compact once per feed so a long session cannot grow the arena without
+  // bound; memmove of the (usually tiny) partial tail, not per-frame.
+  if (pos_ == arena_.size()) {
+    arena_.clear();
+    pos_ = 0;
+  } else if (pos_ > 0) {
+    arena_.erase(arena_.begin(),
+                 arena_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+}  // namespace et::transport

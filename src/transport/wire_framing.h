@@ -1,0 +1,69 @@
+// Length-prefixed stream framing for the socket transport.
+//
+// TCP is a byte stream: one `write` on the sender can surface as several
+// `read`s on the receiver (and vice versa), so the socket backend brackets
+// every frame with a 4-byte big-endian length prefix. `FrameAssembler`
+// performs the inverse — it accepts arbitrary stream fragments and emits
+// complete frames — and is deliberately socket-free so the codec-edge
+// tests (truncated prefix, frames split at every byte boundary, overlong
+// declared lengths, injected corruption) can drive it directly under
+// AddressSanitizer without opening a single fd.
+//
+// Safety contract: a malformed stream NEVER crashes or over-reads. A
+// declared length above `max_frame` throws SerializeError, which the
+// socket backend treats as a poisoned connection (close it; the peer is
+// misbehaving or the stream lost sync — there is no way to resynchronize
+// a length-prefixed stream after a bad header).
+//
+// Frames emitted by `feed` are views into the assembler's internal
+// reassembly arena, valid only during the sink callback — the zero-copy
+// handoff the packet-handler API (network.h) is specified around.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "src/common/bytes.h"
+#include "src/common/serialize.h"
+
+namespace et::transport {
+
+/// Upper bound on one framed payload. Matches the spirit of the Reader's
+/// per-field sanity cap: nothing in this system sends frames this large;
+/// a bigger header is corruption, an attack, or lost stream sync.
+constexpr std::uint32_t kMaxWireFrame = 64u * 1024u * 1024u;
+
+/// Encodes the 4-byte big-endian length prefix for a `len`-byte payload.
+[[nodiscard]] std::array<std::uint8_t, 4> frame_header(std::uint32_t len);
+
+/// Incremental decoder: buffers stream fragments and emits each complete
+/// length-prefixed frame exactly once, in order.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_frame = kMaxWireFrame)
+      : max_frame_(max_frame) {}
+
+  /// Consumes one stream fragment, invoking `sink(payload)` once per
+  /// completed frame. The payload view borrows the assembler's arena and
+  /// is invalidated by the next `feed` (or `reset`). Throws
+  /// SerializeError if a header declares a length above `max_frame`; the
+  /// assembler is unusable afterwards until `reset`.
+  void feed(BytesView chunk, const std::function<void(BytesView)>& sink);
+
+  /// Bytes buffered waiting for the rest of a frame (0 when aligned).
+  [[nodiscard]] std::size_t pending() const { return arena_.size() - pos_; }
+
+  /// Discards any partial frame (connection teardown / reuse).
+  void reset() {
+    arena_.clear();
+    pos_ = 0;
+  }
+
+ private:
+  std::size_t max_frame_;
+  Bytes arena_;       // unconsumed stream bytes [pos_, arena_.size())
+  std::size_t pos_ = 0;
+};
+
+}  // namespace et::transport

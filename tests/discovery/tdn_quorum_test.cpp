@@ -117,7 +117,7 @@ TEST_F(TdnQuorumFixture, MinorityDiscoveryFailsOverToMajority) {
   ASSERT_TRUE(create(*owner, "Availability/Traces/entity-1").ok());
   auto reg = client("registrar");
   const transport::NodeId broker =
-      net.add_node("broker-0", [](transport::NodeId, Bytes) {});
+      net.add_node("broker-0", [](transport::NodeId, BytesView) {});
   reg->register_broker("broker-0", broker,
                        identity("broker-0").credential);
   net.run_until_idle();
@@ -184,7 +184,7 @@ TEST_F(TdnQuorumFixture, LateHealDoesNotResurrectExpiredState) {
 TEST_F(TdnQuorumFixture, RemintAfterHealIsIdempotent) {
   auto reg = client("registrar");
   const transport::NodeId old_node =
-      net.add_node("broker-1@old", [](transport::NodeId, Bytes) {});
+      net.add_node("broker-1@old", [](transport::NodeId, BytesView) {});
   reg->register_broker("broker-1", old_node,
                        identity("broker-1").credential);
   net.run_until_idle();
@@ -195,7 +195,7 @@ TEST_F(TdnQuorumFixture, RemintAfterHealIsIdempotent) {
   // stale one.
   split_minority({reg->node()});
   const transport::NodeId new_node =
-      net.add_node("broker-1@new", [](transport::NodeId, Bytes) {});
+      net.add_node("broker-1@new", [](transport::NodeId, BytesView) {});
   reg->register_broker("broker-1", new_node,
                        identity("broker-1").credential);
   net.run_until_idle();

@@ -162,7 +162,7 @@ TEST_F(WireFixture, TdnSurvivesGarbageAndStaysFunctional) {
   Tdn tdn(net, std::move(tdn_identity), ca.public_key(), 6);
 
   const transport::NodeId hose =
-      net.add_node("hose", [](transport::NodeId, Bytes) {});
+      net.add_node("hose", [](transport::NodeId, BytesView) {});
   net.link(hose, tdn.node(), transport::LinkParams::ideal_profile());
   Rng garbage_rng(6);
   for (int i = 0; i < 200; ++i) {

@@ -37,7 +37,7 @@ TEST(DegradationTest, BlacklistPersistsAcrossPartitionAndHeal) {
   Broker::Options o;
   o.name = "b0";
   o.misbehaviour_threshold = 3;
-  o.message_filter = [](Broker&, Message& m,
+  o.message_filter = [](Broker&, const MessageView& m,
                         transport::NodeId) -> FilterVerdict {
     if (m.topic == "poison") {
       return FilterVerdict::reject(unauthenticated("poisoned"));
@@ -92,10 +92,10 @@ TEST(DegradationTest, RejectDeferredDuringPartitionFeedsMisbehaviour) {
   Broker::Options o;
   o.name = "b1";
   o.misbehaviour_threshold = 2;
-  o.message_filter = [&parked](Broker&, Message& m,
+  o.message_filter = [&parked](Broker&, const MessageView& m,
                                transport::NodeId from) -> FilterVerdict {
     if (m.topic == "suspicious") {
-      parked.emplace_back(std::move(m), from);
+      parked.emplace_back(m.materialize(), from);
       return FilterVerdict::defer();
     }
     return FilterVerdict::accept();
@@ -152,9 +152,9 @@ TEST(DegradationTest, ReleaseDeferredDuringPartitionStillRoutes) {
   std::vector<std::pair<Message, transport::NodeId>> parked;
   Broker::Options o;
   o.name = "b1";
-  o.message_filter = [&parked](Broker&, Message& m,
+  o.message_filter = [&parked](Broker&, const MessageView& m,
                                transport::NodeId from) -> FilterVerdict {
-    parked.emplace_back(std::move(m), from);
+    parked.emplace_back(m.materialize(), from);
     return FilterVerdict::defer();
   };
   Broker& b1 = topo.add_broker(std::move(o));

@@ -238,7 +238,7 @@ TEST_F(BrokerFixture, MessageFilterDiscardsAndStrikes) {
   Broker::Options o;
   o.name = "b0";
   o.misbehaviour_threshold = 3;
-  o.message_filter = [](Broker&, Message& m,
+  o.message_filter = [](Broker&, const MessageView& m,
                         transport::NodeId) -> FilterVerdict {
     if (m.topic == "poison")
       return FilterVerdict::reject(unauthenticated("poisoned"));
@@ -260,7 +260,7 @@ TEST_F(BrokerFixture, MalformedFrameCountsAsMisbehaviour) {
   Broker& b =
       topo.add_broker({.name = "b0", .misbehaviour_threshold = 2});
   const transport::NodeId garbler =
-      net.add_node("garbler", [](transport::NodeId, Bytes) {});
+      net.add_node("garbler", [](transport::NodeId, BytesView) {});
   net.link(garbler, b.node(), fast());
   (void)net.send(garbler, b.node(), to_bytes("not a frame"));
   (void)net.send(garbler, b.node(), to_bytes("still not a frame"));
@@ -315,7 +315,7 @@ TEST_F(BrokerFixture, OptionsConstructionWiresFilterAndHandler) {
   Broker::Options o;
   o.name = "b0";
   o.misbehaviour_threshold = 2;
-  o.message_filter = [](Broker&, Message& m,
+  o.message_filter = [](Broker&, const MessageView& m,
                         transport::NodeId) -> FilterVerdict {
     if (m.topic == "poison")
       return FilterVerdict::reject(unauthenticated("poisoned"));

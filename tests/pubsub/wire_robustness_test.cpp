@@ -99,7 +99,7 @@ TEST(WireRobustnessTest, BrokerSurvivesGarbageFlood) {
   Rng rng(1006);
 
   const transport::NodeId hose =
-      net.add_node("firehose", [](transport::NodeId, Bytes) {});
+      net.add_node("firehose", [](transport::NodeId, BytesView) {});
   net.link(hose, b.node(), transport::LinkParams::ideal_profile());
   for (int i = 0; i < 300; ++i) {
     (void)net.send(hose, b.node(), rng.next_bytes(rng.next_below(120)));
@@ -129,7 +129,7 @@ TEST(WireRobustnessTest, ClientSurvivesGarbageFromBroker) {
   // A malicious "broker" node sprays garbage straight at the client.
   Rng rng(1008);
   const transport::NodeId evil =
-      net.add_node("evil", [](transport::NodeId, Bytes) {});
+      net.add_node("evil", [](transport::NodeId, BytesView) {});
   net.link(evil, c.node(), transport::LinkParams::ideal_profile());
   for (int i = 0; i < 200; ++i) {
     (void)net.send(evil, c.node(), rng.next_bytes(rng.next_below(100)));

@@ -71,10 +71,10 @@ struct CachedFilterFixture : ::testing::Test {
   }
 
   /// Drives a filter the way a broker would and folds the verdict back to
-  /// a Status (the inline filter never defers). Copies the message: the
-  /// new MessageFilter signature mutates its argument on deferral.
+  /// a Status (the inline filter never defers). The filter sees a view of
+  /// `m`, exactly as it would see a decoded wire frame.
   Status run(const pubsub::MessageFilter& f, pubsub::Message m) {
-    const pubsub::FilterVerdict v = f(broker, m, 0);
+    const pubsub::FilterVerdict v = f(broker, m.as_view(), 0);
     return v.accepted() ? Status::ok() : v.status;
   }
   Status run(pubsub::Message m) { return run(filter, std::move(m)); }

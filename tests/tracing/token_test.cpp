@@ -160,10 +160,10 @@ struct FilterFixture : TokenFixture {
   }
 
   /// Drives the filter the way a broker would and folds the verdict back
-  /// to a Status (the inline filter never defers). Copies the message:
-  /// MessageFilter mutates its argument on deferral.
+  /// to a Status (the inline filter never defers). The filter sees a view
+  /// of `m`, exactly as it would see a decoded wire frame.
   Status run(pubsub::Message m) {
-    const pubsub::FilterVerdict v = filter(broker, m, 0);
+    const pubsub::FilterVerdict v = filter(broker, m.as_view(), 0);
     return v.accepted() ? Status::ok() : v.status;
   }
 

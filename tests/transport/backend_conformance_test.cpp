@@ -4,12 +4,14 @@
 // exactly these properties being backend-independent.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
 #include "src/pubsub/message.h"
 #include "src/transport/fault_injector.h"
 #include "src/transport/realtime_network.h"
+#include "src/transport/socket_network.h"
 #include "src/transport/virtual_network.h"
 
 namespace et::transport {
@@ -33,6 +35,16 @@ struct Driver<RealTimeNetwork> {
   }
 };
 
+template <>
+struct Driver<SocketNetwork> {
+  static void settle(SocketNetwork&, Duration virtual_time) {
+    // Real TCP over loopback: modeled latency plus a margin for the
+    // kernel round trip, same shape as the RealTimeNetwork driver.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(virtual_time + 30 * kMillisecond));
+  }
+};
+
 template <typename Backend>
 class BackendConformanceTest : public ::testing::Test {
  protected:
@@ -46,14 +58,15 @@ class BackendConformanceTest : public ::testing::Test {
   }
 };
 
-using Backends = ::testing::Types<VirtualTimeNetwork, RealTimeNetwork>;
+using Backends =
+    ::testing::Types<VirtualTimeNetwork, RealTimeNetwork, SocketNetwork>;
 TYPED_TEST_SUITE(BackendConformanceTest, Backends);
 
 TYPED_TEST(BackendConformanceTest, DeliversWithSourceIdentity) {
   std::atomic<int> got{0};
   std::atomic<NodeId> from_seen{kInvalidNode};
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = this->net.add_node("b", [&](NodeId from, Bytes payload) {
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId from, BytesView payload) {
     from_seen.store(from);
     if (to_string(payload) == "payload") got.fetch_add(1);
   });
@@ -65,16 +78,16 @@ TYPED_TEST(BackendConformanceTest, DeliversWithSourceIdentity) {
 }
 
 TYPED_TEST(BackendConformanceTest, SendWithoutLinkIsUnavailable) {
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = this->net.add_node("b", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = this->net.add_node("b", [](NodeId, BytesView) {});
   EXPECT_EQ(this->net.send(a, b, Bytes{}).code(), Code::kUnavailable);
 }
 
 TYPED_TEST(BackendConformanceTest, OrderedLinkPreservesFifo) {
   std::vector<int> order;
   std::mutex mu;
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = this->net.add_node("b", [&](NodeId, Bytes p) {
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId, BytesView p) {
     std::lock_guard lock(mu);
     order.push_back(p[0]);
   });
@@ -90,7 +103,7 @@ TYPED_TEST(BackendConformanceTest, OrderedLinkPreservesFifo) {
 }
 
 TYPED_TEST(BackendConformanceTest, TimerFiresOnceAndCancelWorks) {
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
   std::atomic<int> fired{0};
   std::atomic<int> cancelled_fired{0};
   this->net.schedule(a, 2 * kMillisecond, [&] { fired.fetch_add(1); });
@@ -104,7 +117,7 @@ TYPED_TEST(BackendConformanceTest, TimerFiresOnceAndCancelWorks) {
 }
 
 TYPED_TEST(BackendConformanceTest, PostRunsInNodeContext) {
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
   std::atomic<bool> ran{false};
   this->net.post(a, [&] { ran.store(true); });
   this->settle(1 * kMillisecond);
@@ -113,8 +126,8 @@ TYPED_TEST(BackendConformanceTest, PostRunsInNodeContext) {
 
 TYPED_TEST(BackendConformanceTest, UnlinkDropsInFlight) {
   std::atomic<int> got{0};
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = this->net.add_node("b", [&](NodeId, Bytes) {
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId, BytesView) {
     got.fetch_add(1);
   });
   LinkParams slow = this->fast();
@@ -129,8 +142,8 @@ TYPED_TEST(BackendConformanceTest, UnlinkDropsInFlight) {
 
 TYPED_TEST(BackendConformanceTest, DetachSilencesNode) {
   std::atomic<int> got{0};
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = this->net.add_node("b", [&](NodeId, Bytes) {
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId, BytesView) {
     got.fetch_add(1);
   });
   this->net.link(a, b, this->fast());
@@ -145,16 +158,16 @@ TYPED_TEST(BackendConformanceTest, DetachSilencesNode) {
 }
 
 TYPED_TEST(BackendConformanceTest, NodeNamesAreStable) {
-  const NodeId a = this->net.add_node("alpha", [](NodeId, Bytes) {});
-  const NodeId b = this->net.add_node("beta", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("alpha", [](NodeId, BytesView) {});
+  const NodeId b = this->net.add_node("beta", [](NodeId, BytesView) {});
   EXPECT_EQ(this->net.node_name(a), "alpha");
   EXPECT_EQ(this->net.node_name(b), "beta");
   EXPECT_EQ(this->net.node_name(kInvalidNode), "<invalid>");
 }
 
 TYPED_TEST(BackendConformanceTest, ClockAdvancesAcrossDeliveries) {
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = this->net.add_node("b", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = this->net.add_node("b", [](NodeId, BytesView) {});
   this->net.link(a, b, this->fast());
   const TimePoint before = this->net.now();
   ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
@@ -168,16 +181,16 @@ TYPED_TEST(BackendConformanceTest, ClockAdvancesAcrossDeliveries) {
 
 TYPED_TEST(BackendConformanceTest, PartitionDropsCrossGroupTrafficOnly) {
   std::atomic<int> got_b{0}, got_c{0};
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
   const NodeId b = this->net.add_node(
-      "b", [&](NodeId, Bytes) { got_b.fetch_add(1); });
+      "b", [&](NodeId, BytesView) { got_b.fetch_add(1); });
   const NodeId c = this->net.add_node(
-      "c", [&](NodeId, Bytes) { got_c.fetch_add(1); });
+      "c", [&](NodeId, BytesView) { got_c.fetch_add(1); });
   this->net.link(a, b, this->fast());
   this->net.link(b, c, this->fast());
 
   // d is unlisted: it must keep reaching both sides of the partition.
-  const NodeId d = this->net.add_node("d", [](NodeId, Bytes) {});
+  const NodeId d = this->net.add_node("d", [](NodeId, BytesView) {});
   this->net.link(d, a, this->fast());
   this->net.link(d, b, this->fast());
 
@@ -197,9 +210,9 @@ TYPED_TEST(BackendConformanceTest, PartitionDropsCrossGroupTrafficOnly) {
 
 TYPED_TEST(BackendConformanceTest, PartitionSwallowsInFlightPackets) {
   std::atomic<int> got{0};
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
   const NodeId b = this->net.add_node(
-      "b", [&](NodeId, Bytes) { got.fetch_add(1); });
+      "b", [&](NodeId, BytesView) { got.fetch_add(1); });
   LinkParams slow = this->fast();
   slow.base_latency = 50 * kMillisecond;
   this->net.link(a, b, slow);
@@ -212,9 +225,9 @@ TYPED_TEST(BackendConformanceTest, PartitionSwallowsInFlightPackets) {
 
 TYPED_TEST(BackendConformanceTest, BlackholeAndRestore) {
   std::atomic<int> got{0};
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
   const NodeId b = this->net.add_node(
-      "b", [&](NodeId, Bytes) { got.fetch_add(1); });
+      "b", [&](NodeId, BytesView) { got.fetch_add(1); });
   this->net.link(a, b, this->fast());
   this->net.faults().blackhole(a, b);
   ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());
@@ -231,9 +244,9 @@ TYPED_TEST(BackendConformanceTest, BlackholeAndRestore) {
 
 TYPED_TEST(BackendConformanceTest, FlapTogglesWithPhase) {
   std::atomic<int> got{0};
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
   const NodeId b = this->net.add_node(
-      "b", [&](NodeId, Bytes) { got.fetch_add(1); });
+      "b", [&](NodeId, BytesView) { got.fetch_add(1); });
   this->net.link(a, b, this->fast());
   // Down for 300 ms, up for 300 ms, starting now: the first send falls in
   // the down window, a send after ~350 ms falls in the up window (wide
@@ -250,9 +263,9 @@ TYPED_TEST(BackendConformanceTest, FlapTogglesWithPhase) {
 
 TYPED_TEST(BackendConformanceTest, DropBurstConsumesExactly) {
   std::atomic<int> got{0};
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
   const NodeId b = this->net.add_node(
-      "b", [&](NodeId, Bytes) { got.fetch_add(1); });
+      "b", [&](NodeId, BytesView) { got.fetch_add(1); });
   this->net.link(a, b, this->fast());
   this->net.faults().drop_next(a, b, 2);
   for (int i = 0; i < 3; ++i) {
@@ -265,8 +278,8 @@ TYPED_TEST(BackendConformanceTest, DropBurstConsumesExactly) {
 
 TYPED_TEST(BackendConformanceTest, DuplicateDeliversTwice) {
   std::atomic<int> got{0};
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = this->net.add_node("b", [&](NodeId, Bytes p) {
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId, BytesView p) {
     if (to_string(p) == "dup-me") got.fetch_add(1);
   });
   this->net.link(a, b, this->fast());
@@ -282,11 +295,12 @@ TYPED_TEST(BackendConformanceTest, CorruptMutatesPayloadPreservingSize) {
   std::atomic<bool> same_size{false};
   std::atomic<bool> differs{false};
   const Bytes original = to_bytes("pristine-payload-bytes");
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = this->net.add_node("b", [&](NodeId, Bytes p) {
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = this->net.add_node("b", [&](NodeId, BytesView p) {
     delivered.store(true);
     same_size.store(p.size() == original.size());
-    differs.store(p != original);
+    differs.store(!std::equal(p.begin(), p.end(), original.begin(),
+                              original.end()));
   });
   this->net.link(a, b, this->fast());
   this->net.faults().corrupt_probability(a, b, 1.0);
@@ -301,9 +315,9 @@ TYPED_TEST(BackendConformanceTest, CorruptMutatesPayloadPreservingSize) {
 TYPED_TEST(BackendConformanceTest, CrashIsolatesBothDirectionsUntilRestart) {
   std::atomic<int> got_a{0}, got_b{0};
   const NodeId a = this->net.add_node(
-      "a", [&](NodeId, Bytes) { got_a.fetch_add(1); });
+      "a", [&](NodeId, BytesView) { got_a.fetch_add(1); });
   const NodeId b = this->net.add_node(
-      "b", [&](NodeId, Bytes) { got_b.fetch_add(1); });
+      "b", [&](NodeId, BytesView) { got_b.fetch_add(1); });
   this->net.link(a, b, this->fast());
   this->net.faults().crash(b);
   EXPECT_TRUE(this->net.faults().crashed(b));
@@ -329,9 +343,9 @@ TYPED_TEST(BackendConformanceTest, CrashIsolatesBothDirectionsUntilRestart) {
 
 TYPED_TEST(BackendConformanceTest, ClearRemovesEveryFault) {
   std::atomic<int> got{0};
-  const NodeId a = this->net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
   const NodeId b = this->net.add_node(
-      "b", [&](NodeId, Bytes) { got.fetch_add(1); });
+      "b", [&](NodeId, BytesView) { got.fetch_add(1); });
   this->net.link(a, b, this->fast());
   this->net.faults().partition({{a}, {b}});
   this->net.faults().blackhole(a, b);

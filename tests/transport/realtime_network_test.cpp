@@ -20,8 +20,8 @@ LinkParams fast_link() {
 TEST(RealTimeNetworkTest, DeliversPacket) {
   RealTimeNetwork net;
   std::atomic<int> got{0};
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [&](NodeId, Bytes p) {
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [&](NodeId, BytesView p) {
     if (to_string(p) == "hello") got.fetch_add(1);
   });
   net.link(a, b, fast_link());
@@ -33,8 +33,8 @@ TEST(RealTimeNetworkTest, DeliversPacket) {
 TEST(RealTimeNetworkTest, MeasuredLatencyMatchesLinkModel) {
   RealTimeNetwork net;
   std::atomic<TimePoint> arrival{0};
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [&](NodeId, Bytes) {
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [&](NodeId, BytesView) {
     arrival.store(net.now());
   });
   LinkParams p = LinkParams::ideal_profile();
@@ -54,8 +54,8 @@ TEST(RealTimeNetworkTest, MeasuredLatencyMatchesLinkModel) {
 
 TEST(RealTimeNetworkTest, SendWithoutLinkFails) {
   RealTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [](NodeId, BytesView) {});
   EXPECT_EQ(net.send(a, b, Bytes{}).code(), Code::kUnavailable);
 }
 
@@ -63,8 +63,8 @@ TEST(RealTimeNetworkTest, HandlersForOneNodeAreSerialized) {
   RealTimeNetwork net;
   int counter = 0;  // deliberately unsynchronized; actor must serialize
   std::atomic<int> done{0};
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [&](NodeId, Bytes) {
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [&](NodeId, BytesView) {
     const int v = counter;
     std::this_thread::sleep_for(std::chrono::microseconds(100));
     counter = v + 1;
@@ -80,7 +80,7 @@ TEST(RealTimeNetworkTest, HandlersForOneNodeAreSerialized) {
 
 TEST(RealTimeNetworkTest, TimerFiresApproximatelyOnTime) {
   RealTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
   std::atomic<Duration> elapsed{-1};
   const TimePoint start = net.now();
   net.schedule(a, 10 * kMillisecond, [&] { elapsed.store(net.now() - start); });
@@ -91,7 +91,7 @@ TEST(RealTimeNetworkTest, TimerFiresApproximatelyOnTime) {
 
 TEST(RealTimeNetworkTest, CancelledTimerDoesNotFire) {
   RealTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
   std::atomic<bool> fired{false};
   const TimerId id = net.schedule(a, 20 * kMillisecond, [&] {
     fired.store(true);
@@ -104,7 +104,7 @@ TEST(RealTimeNetworkTest, CancelledTimerDoesNotFire) {
 
 TEST(RealTimeNetworkTest, PostRunsSoon) {
   RealTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
   std::atomic<bool> ran{false};
   net.post(a, [&] { ran.store(true); });
   net.drain();
@@ -114,14 +114,14 @@ TEST(RealTimeNetworkTest, PostRunsSoon) {
 TEST(RealTimeNetworkTest, ConcurrentSendsFromManyNodes) {
   RealTimeNetwork net;
   std::atomic<int> received{0};
-  const NodeId hub = net.add_node("hub", [&](NodeId, Bytes) {
+  const NodeId hub = net.add_node("hub", [&](NodeId, BytesView) {
     received.fetch_add(1);
   });
   constexpr int kSpokes = 8;
   std::vector<NodeId> spokes;
   for (int i = 0; i < kSpokes; ++i) {
     spokes.push_back(
-        net.add_node("spoke" + std::to_string(i), [](NodeId, Bytes) {}));
+        net.add_node("spoke" + std::to_string(i), [](NodeId, BytesView) {}));
     net.link(spokes.back(), hub, fast_link());
   }
   for (int round = 0; round < 10; ++round) {
@@ -136,7 +136,7 @@ TEST(RealTimeNetworkTest, ConcurrentSendsFromManyNodes) {
 TEST(RealTimeNetworkTest, CleanShutdownWithPendingTimers) {
   // Destructor must not hang or crash with queued work.
   auto net = std::make_unique<RealTimeNetwork>();
-  const NodeId a = net->add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net->add_node("a", [](NodeId, BytesView) {});
   for (int i = 0; i < 10; ++i) {
     net->schedule(a, (i + 1) * kSecond, [] {});
   }
@@ -147,8 +147,8 @@ TEST(RealTimeNetworkTest, CleanShutdownWithPendingTimers) {
 TEST(RealTimeNetworkTest, UnlinkedInFlightDropped) {
   RealTimeNetwork net;
   std::atomic<int> got{0};
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [&](NodeId, Bytes) { got.fetch_add(1); });
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [&](NodeId, BytesView) { got.fetch_add(1); });
   LinkParams p = LinkParams::ideal_profile();
   p.base_latency = 50 * kMillisecond;
   net.link(a, b, p);

@@ -18,8 +18,8 @@ LinkParams fixed_latency(Duration latency) {
 TEST(VirtualNetworkTest, DeliversAlongLink) {
   VirtualTimeNetwork net;
   std::vector<std::string> received;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [&](NodeId from, Bytes payload) {
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [&](NodeId from, BytesView payload) {
     received.push_back(net.node_name(from) + ":" + to_string(payload));
   });
   net.link(a, b, fixed_latency(1000));
@@ -32,8 +32,8 @@ TEST(VirtualNetworkTest, DeliversAlongLink) {
 
 TEST(VirtualNetworkTest, SendWithoutLinkFails) {
   VirtualTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [](NodeId, BytesView) {});
   const Status s = net.send(a, b, to_bytes("x"));
   EXPECT_EQ(s.code(), Code::kUnavailable);
 }
@@ -41,8 +41,8 @@ TEST(VirtualNetworkTest, SendWithoutLinkFails) {
 TEST(VirtualNetworkTest, UnlinkStopsTraffic) {
   VirtualTimeNetwork net;
   int delivered = 0;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [&](NodeId, Bytes) { ++delivered; });
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [&](NodeId, BytesView) { ++delivered; });
   net.link(a, b, fixed_latency(10));
   ASSERT_TRUE(net.send(a, b, to_bytes("1")).is_ok());
   net.run_until_idle();
@@ -54,8 +54,8 @@ TEST(VirtualNetworkTest, UnlinkStopsTraffic) {
 TEST(VirtualNetworkTest, InFlightPacketsDroppedOnUnlink) {
   VirtualTimeNetwork net;
   int delivered = 0;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [&](NodeId, Bytes) { ++delivered; });
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [&](NodeId, BytesView) { ++delivered; });
   net.link(a, b, fixed_latency(1000));
   ASSERT_TRUE(net.send(a, b, to_bytes("x")).is_ok());
   net.unlink(a, b);  // before delivery time
@@ -67,15 +67,15 @@ TEST(VirtualNetworkTest, LatencyAccumulatesAcrossHops) {
   VirtualTimeNetwork net;
   // a -> b -> c relay chain with 1 ms per hop.
   TimePoint arrival = -1;
-  const NodeId c = net.add_node("c", [&](NodeId, Bytes) {
+  const NodeId c = net.add_node("c", [&](NodeId, BytesView) {
     arrival = net.now();
   });
   NodeId b_id = kInvalidNode;
-  const NodeId b = net.add_node("b", [&](NodeId, Bytes payload) {
-    net.send(b_id, c, std::move(payload));
+  const NodeId b = net.add_node("b", [&](NodeId, BytesView payload) {
+    net.send(b_id, c, Bytes(payload.begin(), payload.end()));
   });
   b_id = b;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
   net.link(a, b, fixed_latency(1000));
   net.link(b, c, fixed_latency(1000));
   ASSERT_TRUE(net.send(a, b, to_bytes("relay")).is_ok());
@@ -86,8 +86,8 @@ TEST(VirtualNetworkTest, LatencyAccumulatesAcrossHops) {
 TEST(VirtualNetworkTest, FifoOrderOnOrderedLink) {
   VirtualTimeNetwork net;
   std::vector<int> order;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [&](NodeId, Bytes p) {
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [&](NodeId, BytesView p) {
     order.push_back(p[0]);
   });
   LinkParams params = fixed_latency(1000);
@@ -103,7 +103,7 @@ TEST(VirtualNetworkTest, FifoOrderOnOrderedLink) {
 
 TEST(VirtualNetworkTest, TimersFireInOrder) {
   VirtualTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
   std::vector<int> fired;
   net.schedule(a, 300, [&] { fired.push_back(3); });
   net.schedule(a, 100, [&] { fired.push_back(1); });
@@ -115,7 +115,7 @@ TEST(VirtualNetworkTest, TimersFireInOrder) {
 
 TEST(VirtualNetworkTest, CancelledTimerDoesNotFire) {
   VirtualTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
   bool fired = false;
   const TimerId id = net.schedule(a, 100, [&] { fired = true; });
   net.cancel(id);
@@ -125,7 +125,7 @@ TEST(VirtualNetworkTest, CancelledTimerDoesNotFire) {
 
 TEST(VirtualNetworkTest, PostRunsAtCurrentTime) {
   VirtualTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
   net.run_for(500);
   TimePoint when = -1;
   net.post(a, [&] { when = net.now(); });
@@ -135,7 +135,7 @@ TEST(VirtualNetworkTest, PostRunsAtCurrentTime) {
 
 TEST(VirtualNetworkTest, RunForStopsAtDeadline) {
   VirtualTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
   bool early = false, late = false;
   net.schedule(a, 100, [&] { early = true; });
   net.schedule(a, 10000, [&] { late = true; });
@@ -149,7 +149,7 @@ TEST(VirtualNetworkTest, RunForStopsAtDeadline) {
 
 TEST(VirtualNetworkTest, RepeatingTimerChain) {
   VirtualTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
   int count = 0;
   std::function<void()> tick = [&] {
     if (++count < 5) net.schedule(a, 100, tick);
@@ -164,8 +164,8 @@ TEST(VirtualNetworkTest, DeterministicAcrossRuns) {
   auto run = [](std::uint64_t seed) {
     VirtualTimeNetwork net(seed);
     std::vector<TimePoint> deliveries;
-    const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-    const NodeId b = net.add_node("b", [&](NodeId, Bytes) {
+    const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+    const NodeId b = net.add_node("b", [&](NodeId, BytesView) {
       deliveries.push_back(net.now());
     });
     LinkParams p = LinkParams::udp_profile();
@@ -180,8 +180,8 @@ TEST(VirtualNetworkTest, DeterministicAcrossRuns) {
 
 TEST(VirtualNetworkTest, CountersTrackTraffic) {
   VirtualTimeNetwork net(1);
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
-  const NodeId b = net.add_node("b", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
+  const NodeId b = net.add_node("b", [](NodeId, BytesView) {});
   LinkParams p = LinkParams::udp_profile();
   p.loss_probability = 0.5;
   net.link(a, b, p);
@@ -196,7 +196,7 @@ TEST(VirtualNetworkTest, CountersTrackTraffic) {
 
 TEST(VirtualNetworkTest, BadNodeIdsThrow) {
   VirtualTimeNetwork net;
-  const NodeId a = net.add_node("a", [](NodeId, Bytes) {});
+  const NodeId a = net.add_node("a", [](NodeId, BytesView) {});
   EXPECT_THROW(net.link(a, 99, LinkParams{}), std::invalid_argument);
   EXPECT_THROW(net.link(a, a, LinkParams{}), std::invalid_argument);
   EXPECT_THROW(net.post(99, [] {}), std::invalid_argument);
