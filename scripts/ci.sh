@@ -13,8 +13,11 @@
 #   tsan    — ET_SANITIZE=thread build running the concurrency-sensitive
 #             suites, including the socket backend and the RealTimeNetwork
 #             chaos scenario smoke
+#   scale   — the E16 100k-entity smoke (bench_entity_scale --smoke):
+#             asserts the §14 resource floors (interest edges and armed
+#             timers each >= 100x fewer than entities, RSS under 512 MB)
 #
-# Usage: scripts/ci.sh [fast|chaos|sockets|asan|tsan|all]   (default: all)
+# Usage: scripts/ci.sh [fast|chaos|sockets|asan|tsan|scale|all]  (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -87,13 +90,21 @@ run_tsan() {
   ctest --test-dir build-tsan --output-on-failure --timeout 300 -R "$filter"
 }
 
+run_scale() {
+  configure build
+  # Virtual-time 10^5-entity deployment; exits non-zero if any §14
+  # resource floor regresses. Completes in seconds of wall time.
+  ./build/bench/bench_entity_scale --smoke
+}
+
 case "$stage" in
   fast)    run_fast ;;
   chaos)   run_chaos ;;
   sockets) run_sockets ;;
   asan)    run_asan ;;
   tsan)    run_tsan ;;
-  all)     run_fast; run_chaos; run_sockets; run_asan; run_tsan ;;
-  *) echo "unknown stage: $stage (want fast|chaos|sockets|asan|tsan|all)" >&2
+  scale)   run_scale ;;
+  all)     run_fast; run_chaos; run_sockets; run_asan; run_tsan; run_scale ;;
+  *) echo "unknown stage: $stage (want fast|chaos|sockets|asan|tsan|scale|all)" >&2
      exit 2 ;;
 esac

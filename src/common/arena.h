@@ -1,0 +1,169 @@
+// Slab arena with stable 32-bit index handles.
+//
+// Broker-side per-entity records (sessions, interest rows, roster slots)
+// used to be node-allocated map entries — one allocation and ~100 bytes of
+// bookkeeping per entity, which is what caps the virtual-time sweeps well
+// short of the paper's "millions of entities" claim. `SlotArena` packs
+// them into fixed-size slabs addressed by index handles instead:
+//
+//   * O(1) emplace/erase through an intrusive free list,
+//   * handles stay valid across any sequence of other insertions/erasures
+//     (slabs never move or shrink),
+//   * `bytes()` reports the arena's true footprint so benches can state
+//     broker memory in bytes/entity rather than allocations/entity.
+//
+// Handles are indices, not pointers: 4 bytes each, trivially serializable,
+// and safe to store inside other arena records (SoA cross-links). A handle
+// is NOT generation-checked — erasing a slot and reusing it hands out the
+// same handle value again, so owners must not retain handles past erase
+// (the same discipline the session maps already required for ids).
+//
+// Not thread-safe; confine each arena to one node context like any other
+// actor state.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace et {
+
+template <typename T>
+class SlotArena {
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kNullHandle = 0xFFFFFFFFu;
+
+  explicit SlotArena(std::size_t slab_capacity = 1024)
+      : slab_capacity_(slab_capacity ? slab_capacity : 1) {}
+
+  SlotArena(const SlotArena&) = delete;
+  SlotArena& operator=(const SlotArena&) = delete;
+  SlotArena(SlotArena&&) = default;
+  SlotArena& operator=(SlotArena&&) = default;
+
+  ~SlotArena() { clear(); }
+
+  /// Constructs a T in a free slot and returns its handle.
+  template <typename... Args>
+  Handle emplace(Args&&... args) {
+    Handle h;
+    if (!free_.empty()) {
+      h = free_.back();
+      free_.pop_back();
+    } else {
+      if (next_ == slabs_.size() * slab_capacity_) {
+        slabs_.push_back(std::make_unique<Slot[]>(slab_capacity_));
+      }
+      h = static_cast<Handle>(next_++);
+    }
+    Slot& s = slot(h);
+    ::new (static_cast<void*>(s.storage)) T(std::forward<Args>(args)...);
+    s.occupied = true;
+    ++live_;
+    return h;
+  }
+
+  /// Destroys the record at `h` and recycles the slot. `h` must be live.
+  void erase(Handle h) {
+    Slot& s = slot(h);
+    assert(s.occupied && "SlotArena::erase on a dead handle");
+    std::launder(reinterpret_cast<T*>(s.storage))->~T();
+    s.occupied = false;
+    --live_;
+    free_.push_back(h);
+  }
+
+  [[nodiscard]] T& operator[](Handle h) {
+    Slot& s = slot(h);
+    assert(s.occupied && "SlotArena access on a dead handle");
+    return *std::launder(reinterpret_cast<T*>(s.storage));
+  }
+  [[nodiscard]] const T& operator[](Handle h) const {
+    const Slot& s = slot(h);
+    assert(s.occupied && "SlotArena access on a dead handle");
+    return *std::launder(reinterpret_cast<const T*>(s.storage));
+  }
+
+  /// True when `h` names a currently-live slot. A recycled handle reads as
+  /// live again — see the header comment on handle discipline.
+  [[nodiscard]] bool contains(Handle h) const {
+    return h < next_ && slot(h).occupied;
+  }
+
+  /// Live record count.
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Slots allocated (live + free-listed).
+  [[nodiscard]] std::size_t capacity() const {
+    return slabs_.size() * slab_capacity_;
+  }
+
+  /// Total heap footprint of the arena: slab storage plus free-list and
+  /// slab-table overhead. This is the number benches divide by entity
+  /// count.
+  [[nodiscard]] std::size_t bytes() const {
+    return slabs_.size() * slab_capacity_ * sizeof(Slot) +
+           free_.capacity() * sizeof(Handle) +
+           slabs_.capacity() * sizeof(std::unique_ptr<Slot[]>);
+  }
+
+  /// Visits every live record as f(handle, T&). Erasing the *visited*
+  /// record from inside `f` is allowed; erasing others is not.
+  template <typename F>
+  void for_each(F&& f) {
+    for (Handle h = 0; h < next_; ++h) {
+      if (slot(h).occupied) f(h, (*this)[h]);
+    }
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Handle h = 0; h < next_; ++h) {
+      if (slot(h).occupied) f(h, (*this)[h]);
+    }
+  }
+
+  /// Destroys every live record; slabs are released.
+  void clear() {
+    for (Handle h = 0; h < next_; ++h) {
+      Slot& s = slot(h);
+      if (s.occupied) {
+        std::launder(reinterpret_cast<T*>(s.storage))->~T();
+        s.occupied = false;
+      }
+    }
+    slabs_.clear();
+    free_.clear();
+    next_ = 0;
+    live_ = 0;
+  }
+
+ private:
+  struct Slot {
+    alignas(T) std::byte storage[sizeof(T)];
+    bool occupied = false;
+  };
+
+  [[nodiscard]] Slot& slot(Handle h) {
+    assert(h < next_ && "SlotArena handle out of range");
+    return slabs_[h / slab_capacity_][h % slab_capacity_];
+  }
+  [[nodiscard]] const Slot& slot(Handle h) const {
+    assert(h < next_ && "SlotArena handle out of range");
+    return slabs_[h / slab_capacity_][h % slab_capacity_];
+  }
+
+  std::size_t slab_capacity_;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<Handle> free_;
+  std::size_t next_ = 0;  // high-water slot index
+  std::size_t live_ = 0;
+};
+
+}  // namespace et

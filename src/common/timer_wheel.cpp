@@ -1,0 +1,115 @@
+#include "src/common/timer_wheel.h"
+
+#include <utility>
+
+namespace et {
+
+TimerWheel::TimerWheel(Scheduler scheduler, Duration tick)
+    : scheduler_(std::move(scheduler)), tick_(tick < 0 ? 0 : tick) {}
+
+TimerWheel::~TimerWheel() {
+  alive_.reset();  // pending scheduler callbacks become no-ops
+  if (armed_backend_id_ != 0) scheduler_.cancel(armed_backend_id_);
+  for (auto& [id, e] : entries_) {
+    if (e.backend_id != 0) scheduler_.cancel(e.backend_id);
+  }
+}
+
+TimerWheel::WheelId TimerWheel::schedule(Duration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  const WheelId id = next_id_++;
+  ++scheduled_total_;
+
+  if (tick_ == 0) {
+    // Passthrough: 1:1 onto the scheduler, identical firing time.
+    Entry e;
+    e.cb = std::move(cb);
+    std::weak_ptr<int> alive = alive_;
+    e.backend_id = scheduler_.schedule(delay, [this, alive, id] {
+      if (alive.expired()) return;
+      auto it = entries_.find(id);
+      if (it == entries_.end()) return;
+      Callback run = std::move(it->second.cb);
+      entries_.erase(it);
+      --passthrough_armed_;
+      ++fired_total_;
+      run();
+    });
+    ++armed_total_;
+    ++passthrough_armed_;
+    entries_.emplace(id, std::move(e));
+    return id;
+  }
+
+  // Quantize up to the next tick boundary so timers never fire early.
+  const TimePoint deadline = scheduler_.now() + delay;
+  const TimePoint bucket = ((deadline + tick_ - 1) / tick_) * tick_;
+  Entry e;
+  e.cb = std::move(cb);
+  e.bucket = bucket;
+  entries_.emplace(id, std::move(e));
+  buckets_[bucket].push_back(id);
+  if (!draining_ && (armed_backend_id_ == 0 || bucket < armed_deadline_)) {
+    arm_for(bucket);
+  }
+  return id;
+}
+
+void TimerWheel::cancel(WheelId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  if (it->second.backend_id != 0) {
+    scheduler_.cancel(it->second.backend_id);
+    --passthrough_armed_;
+  }
+  // Wheel mode: the id stays in its bucket vector; fire skips dead ids.
+  entries_.erase(it);
+  ++cancelled_total_;
+}
+
+void TimerWheel::arm_for(TimePoint bucket_deadline) {
+  if (armed_backend_id_ != 0) scheduler_.cancel(armed_backend_id_);
+  armed_deadline_ = bucket_deadline;
+  Duration delay = bucket_deadline - scheduler_.now();
+  if (delay < 0) delay = 0;
+  std::weak_ptr<int> alive = alive_;
+  armed_backend_id_ = scheduler_.schedule(delay, [this, alive] {
+    if (alive.expired()) return;
+    on_fire();
+  });
+  ++armed_total_;
+}
+
+void TimerWheel::on_fire() {
+  armed_backend_id_ = 0;
+  draining_ = true;
+  const TimePoint now = scheduler_.now();
+  while (!buckets_.empty() && buckets_.begin()->first <= now) {
+    std::vector<WheelId> due = std::move(buckets_.begin()->second);
+    buckets_.erase(buckets_.begin());
+    for (WheelId id : due) {
+      auto it = entries_.find(id);
+      if (it == entries_.end()) continue;  // cancelled after bucketing
+      Callback run = std::move(it->second.cb);
+      entries_.erase(it);
+      ++fired_total_;
+      run();  // may schedule()/cancel(); draining_ defers re-arming
+    }
+  }
+  draining_ = false;
+  if (!buckets_.empty()) arm_for(buckets_.begin()->first);
+}
+
+TimerWheel::Stats TimerWheel::stats() const {
+  Stats s;
+  s.scheduled = scheduled_total_;
+  s.fired = fired_total_;
+  s.cancelled = cancelled_total_;
+  s.armed = armed_total_;
+  s.pending = entries_.size();
+  s.armed_now =
+      tick_ == 0 ? passthrough_armed_ : (armed_backend_id_ != 0 ? 1 : 0);
+  return s;
+}
+
+}  // namespace et

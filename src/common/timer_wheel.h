@@ -1,0 +1,112 @@
+// Coalescing timer wheel: many logical deadlines, one armed timer.
+//
+// Per-entity ping/gauge/metrics timers are what make broker timer state
+// O(entities): every traced entity used to hold its own backend timer.
+// `TimerWheel` multiplexes any number of logical one-shot timers onto a
+// single armed timer in the underlying scheduler. Deadlines are quantized
+// *up* to the next `tick` boundary, so co-scheduled work (the ALLS_WELL
+// digests for all hosts on a broker, say) lands in the same bucket and is
+// drained in one wakeup — timers fire never early and at most one tick
+// late, which the tracing layer absorbs into its miss-grace windows.
+//
+// With `tick == 0` the wheel is a pure passthrough: every logical timer
+// maps 1:1 onto a scheduler timer with identical firing times. That makes
+// migration mechanical — existing timing-sensitive code moves onto the
+// wheel with zero behaviour change, and deployments opt into coalescing by
+// setting a tick.
+//
+// The wheel is scheduler-agnostic (this layer sits below the transport):
+// callers supply schedule/cancel/now functions, typically adapted from a
+// NetworkBackend node context. All wheel methods and all callbacks run in
+// that one context; the wheel is not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace et {
+
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+  /// Logical timer id; 0 is "none".
+  using WheelId = std::uint64_t;
+
+  /// The underlying one-shot scheduler the wheel arms its real timer on.
+  /// `schedule(delay, fn)` returns a cancellable id; `cancel` is
+  /// best-effort (cancelling a fired timer is a no-op); `now` is the
+  /// scheduler's clock.
+  struct Scheduler {
+    std::function<std::uint64_t(Duration, std::function<void()>)> schedule;
+    std::function<void(std::uint64_t)> cancel;
+    std::function<TimePoint()> now;
+  };
+
+  struct Stats {
+    std::uint64_t scheduled = 0;      // logical timers ever scheduled
+    std::uint64_t fired = 0;          // logical timers delivered
+    std::uint64_t cancelled = 0;      // logical timers cancelled in time
+    std::uint64_t armed = 0;          // scheduler timers ever armed
+    std::size_t pending = 0;          // logical timers outstanding
+    std::size_t armed_now = 0;        // scheduler timers outstanding
+  };
+
+  /// `tick == 0` disables coalescing (1:1 passthrough; see header).
+  explicit TimerWheel(Scheduler scheduler, Duration tick = 0);
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Schedules `cb` to run after at least `delay`; with a nonzero tick the
+  /// callback may run up to one tick later than asked. Returns the logical
+  /// timer id.
+  WheelId schedule(Duration delay, Callback cb);
+
+  /// Best-effort cancellation; a timer already fired is a no-op.
+  void cancel(WheelId id);
+
+  /// Scheduler clock passthrough.
+  [[nodiscard]] TimePoint now() const { return scheduler_.now(); }
+
+  [[nodiscard]] Duration tick() const { return tick_; }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    Callback cb;
+    TimePoint bucket = 0;          // coalesced deadline (wheel mode)
+    std::uint64_t backend_id = 0;  // scheduler timer (passthrough mode)
+  };
+
+  void arm_for(TimePoint bucket_deadline);
+  void on_fire();
+
+  Scheduler scheduler_;
+  Duration tick_;
+  WheelId next_id_ = 1;
+  std::unordered_map<WheelId, Entry> entries_;
+  /// bucket deadline -> logical ids coalesced into it (may contain ids
+  /// already cancelled; fire skips them).
+  std::map<TimePoint, std::vector<WheelId>> buckets_;
+  std::uint64_t armed_backend_id_ = 0;
+  TimePoint armed_deadline_ = 0;
+  bool draining_ = false;
+  std::uint64_t scheduled_total_ = 0;
+  std::uint64_t fired_total_ = 0;
+  std::uint64_t cancelled_total_ = 0;
+  std::uint64_t armed_total_ = 0;
+  /// Outstanding scheduler timers in passthrough mode.
+  std::size_t passthrough_armed_ = 0;
+  /// Destructor/fire guard: scheduler callbacks bind a weak_ptr to this
+  /// token and become no-ops once the wheel is gone.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+};
+
+}  // namespace et

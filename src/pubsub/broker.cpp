@@ -121,6 +121,7 @@ Broker::Broker(transport::NetworkBackend& backend, Options options)
     : backend_(backend),
       name_(std::move(options.name)),
       misbehaviour_threshold_(options.misbehaviour_threshold),
+      summary_depth_(options.interest_summary_depth),
       filter_(std::move(options.message_filter)) {
   if (options.client_unreachable_handler) {
     unreachable_listeners_.push_back(
@@ -162,8 +163,75 @@ void Broker::subscribe_local(const std::string& pattern, LocalHandler handler,
   // broker itself is the subscriber; constrained Subscribe-Only/Broker
   // topics permit exactly this. Suppressed subscriptions stay local.
   if (local_subs_.add(compiled, node_) && !local_only) {
-    for (const NodeId n : neighbours_) {
-      send_frame(n, make_subscribe(norm, 0));
+    propagate_subscribe(compiled, norm, transport::kInvalidNode);
+  }
+}
+
+void Broker::register_interest(const Interest& interest, LocalHandler handler,
+                               bool local_only) {
+  std::vector<std::string> segs = TopicPath(interest.prefix).segments();
+  if (interest.depth > 0 && segs.size() > interest.depth) {
+    segs.resize(interest.depth);
+  }
+  if (segs.empty() || !is_wildcard_segment(segs.back())) {
+    segs.emplace_back(kMultiLevelWildcard);
+  }
+  subscribe_local(join_topic(segs), std::move(handler), local_only);
+}
+
+void Broker::resync_interest() {
+  // Back-fill every neighbour with the union of patterns recorded on any
+  // edge: a late-joined peer has no table yet, a healed peer may have
+  // lost our announcements. Adds are refcount-idempotent here and
+  // table-idempotent on the receiving side.
+  std::set<std::string> all;
+  for (const auto& [n, table] : summaries_) {
+    for (auto& p : table.recorded_patterns()) all.insert(std::move(p));
+  }
+  for (const NodeId n : neighbours_) {
+    InterestSummaryTable& table = summary_for(n);
+    for (const auto& p : all) (void)table.add(TopicPath(p));
+    for (const auto& summary : table.announced()) {
+      send_frame(n, make_subscribe(summary, 0));
+    }
+  }
+}
+
+std::size_t Broker::summarized_edges() const {
+  std::size_t total = 0;
+  for (const auto& [n, table] : summaries_) total += table.edge_count();
+  return total;
+}
+
+InterestSummaryTable& Broker::summary_for(NodeId neighbour) {
+  return summaries_.try_emplace(neighbour, summary_depth_).first->second;
+}
+
+void Broker::propagate_subscribe(const TopicPath& compiled,
+                                 const std::string& pattern, NodeId except) {
+  for (const NodeId n : neighbours_) {
+    if (n == except) continue;
+    const auto announce = summary_for(n).add(compiled);
+    if (summary_depth_ == 0) {
+      // Legacy: re-announce verbatim (the table recorded the pattern for
+      // resync, but never gates what is sent).
+      send_frame(n, make_subscribe(pattern, 0));
+    } else if (announce) {
+      send_frame(n, make_subscribe(*announce, 0));
+    }
+  }
+}
+
+void Broker::propagate_unsubscribe(const TopicPath& compiled,
+                                   const std::string& pattern,
+                                   NodeId except) {
+  for (const NodeId n : neighbours_) {
+    if (n == except) continue;
+    const auto retract = summary_for(n).remove(compiled);
+    if (summary_depth_ == 0) {
+      send_frame(n, make_unsubscribe(pattern));
+    } else if (retract) {
+      send_frame(n, make_unsubscribe(*retract));
     }
   }
 }
@@ -302,9 +370,7 @@ void Broker::handle_subscribe(NodeId from, const FrameView& f) {
   if (from_broker) {
     // Neighbour interest: record and keep propagating (split horizon).
     if (remote_subs_.add(compiled, from) && !local_subs_.any_match(compiled)) {
-      for (const NodeId n : neighbours_) {
-        if (n != from) send_frame(n, make_subscribe(pattern, 0));
-      }
+      propagate_subscribe(compiled, pattern, from);
     }
     return;
   }
@@ -329,9 +395,7 @@ void Broker::handle_subscribe(NodeId from, const FrameView& f) {
     propagate = false;
   }
   if (propagate) {
-    for (const NodeId n : neighbours_) {
-      send_frame(n, make_subscribe(pattern, 0));
-    }
+    propagate_subscribe(compiled, pattern, transport::kInvalidNode);
   }
   Frame ack;
   ack.type = FrameType::kSubscribeAck;
@@ -348,9 +412,7 @@ void Broker::handle_unsubscribe(NodeId from, const FrameView& f) {
                            : local_subs_.remove(compiled, from);
   if (emptied && !local_subs_.any_match(compiled) &&
       !remote_subs_.any_match(compiled)) {
-    for (const NodeId n : neighbours_) {
-      if (n != from) send_frame(n, make_unsubscribe(pattern));
-    }
+    propagate_unsubscribe(compiled, pattern, from);
   }
 }
 

@@ -59,6 +59,7 @@
 #include "src/common/stats.h"
 #include "src/common/topic_path.h"
 #include "src/pubsub/constrained_topic.h"
+#include "src/pubsub/interest_summary.h"
 #include "src/pubsub/message.h"
 #include "src/pubsub/subscription.h"
 #include "src/transport/network.h"
@@ -151,6 +152,16 @@ struct BrokerCounters {
 
 class Broker {
  public:
+  /// Batch-first interest declaration: one subscription edge covering
+  /// everything under `prefix` instead of one edge per concrete topic.
+  /// `depth` > 0 truncates the prefix to its first `depth` segments
+  /// before widening, so interests registered for sibling subtrees
+  /// collapse into the same upstream edge.
+  struct Interest {
+    std::string prefix;
+    std::size_t depth = 0;
+  };
+
   /// Everything a broker can be configured with, in one place.
   /// Construction from Options is the only configuration path — the
   /// legacy name/threshold constructor and the set_message_filter /
@@ -174,6 +185,15 @@ class Broker {
     /// runs; the broker clamps to 0 on backends without
     /// concurrent_dispatch()).
     int match_threads = 0;
+    /// Hierarchical interest aggregation (interest_summary.h). 0 keeps
+    /// the legacy behaviour: every pattern re-announced verbatim at every
+    /// hop. With depth d > 0, interest propagated to a neighbour broker
+    /// is collapsed to one refcounted `<first d segments>/#` edge per
+    /// (neighbour, prefix) — per-broker interest state becomes
+    /// O(prefixes), at the cost of some false-positive forwarding inside
+    /// a summarized prefix. All brokers of an overlay should agree on the
+    /// depth.
+    std::size_t interest_summary_depth = 0;
   };
 
   /// Registers the broker on `backend`, fully configured.
@@ -198,6 +218,24 @@ class Broker {
   /// the broker the entity is connected to (§3.2), not by every broker.
   void subscribe_local(const std::string& pattern, LocalHandler handler,
                        bool local_only = false);
+
+  /// Declares summarized broker-level interest (see Interest): compiles
+  /// the prefix to one wildcard pattern and subscribes `handler` to it via
+  /// subscribe_local, producing a single upstream edge however many
+  /// concrete topics live below. The batch-first replacement for
+  /// subscribing N concrete topics one at a time.
+  void register_interest(const Interest& interest, LocalHandler handler,
+                         bool local_only = false);
+
+  /// Anti-entropy resync of propagated interest. Re-announces every
+  /// summarized edge to every current neighbour, back-filling neighbours
+  /// that joined after propagation happened and neighbours that lost
+  /// state (restart, heal). Receiving-side subscription adds are
+  /// idempotent, so resync is always safe to call; it deliberately widens
+  /// split-horizon exclusions (a pattern learned from neighbour A is
+  /// re-announced to A too), which on an acyclic overlay costs at most
+  /// one echoed hop of traffic and can never loop.
+  void resync_interest();
 
   /// Publishes a message *as this broker* (constrainer=Broker topics are
   /// allowed). Enters normal routing.
@@ -230,6 +268,18 @@ class Broker {
   [[nodiscard]] transport::NetworkBackend& backend() { return backend_; }
   /// Match-stage worker threads actually in use (0 after clamping).
   [[nodiscard]] int match_threads() const;
+
+  /// Interest edges this broker holds: registered patterns across the
+  /// local and remote subscription tables. The per-broker state the E16
+  /// scale bench tracks against entity count.
+  [[nodiscard]] std::size_t interest_edges() const {
+    return local_subs_.pattern_count() + remote_subs_.pattern_count();
+  }
+
+  /// Summarized edges this broker has announced upstream, across all
+  /// neighbour links (0 when interest_summary_depth is 0 and nothing has
+  /// propagated).
+  [[nodiscard]] std::size_t summarized_edges() const;
 
   /// Claimed entity id of a connected client ("" when unknown).
   [[nodiscard]] std::string client_identity(transport::NodeId id) const;
@@ -290,6 +340,19 @@ class Broker {
   void execute_send(const FrameView& f, transport::NodeId arrived_from,
                     const MatchPlan& plan);
 
+  /// Interest propagation to neighbour brokers (split horizon: `except`
+  /// is skipped; pass kInvalidNode to address all neighbours). With
+  /// summarization on, both consult the per-neighbour summary tables and
+  /// emit only edge-creating announces / edge-emptying retractions.
+  void propagate_subscribe(const TopicPath& compiled,
+                           const std::string& pattern,
+                           transport::NodeId except);
+  void propagate_unsubscribe(const TopicPath& compiled,
+                             const std::string& pattern,
+                             transport::NodeId except);
+  /// The (lazily created) summary table for one neighbour link.
+  InterestSummaryTable& summary_for(transport::NodeId neighbour);
+
   void send_frame(transport::NodeId to, const Frame& f);
   /// Sends pre-serialized frame bytes (shared across a fan-out) with the
   /// same unreachable-client bookkeeping as send_frame.
@@ -306,6 +369,13 @@ class Broker {
   int misbehaviour_threshold_;
 
   std::set<transport::NodeId> neighbours_;
+  /// Outbound interest summaries, one table per neighbour link (see
+  /// interest_summary.h). Maintained at depth 0 too — the tables then
+  /// record verbatim announcements so resync_interest() works in both
+  /// modes — but propagation *decisions* at depth 0 are byte-identical to
+  /// the legacy re-announce-everything behaviour.
+  std::map<transport::NodeId, InterestSummaryTable> summaries_;
+  std::size_t summary_depth_ = 0;
   std::map<transport::NodeId, std::string> clients_;  // node -> entity id
   SubscriptionTable local_subs_;   // clients attached here
   SubscriptionTable remote_subs_;  // neighbour brokers' interest

@@ -23,6 +23,10 @@ void Client::in_context(transport::Task task) {
   backend_.post(node_, std::move(task));
 }
 
+Status Client::send_to_broker(const Frame& f) {
+  return backend_.send(node_, broker_, f.serialize());
+}
+
 void Client::connect(NodeId broker, const transport::LinkParams& params,
                      StatusHandler on_done) {
   backend_.link(node_, broker, params);
@@ -30,8 +34,7 @@ void Client::connect(NodeId broker, const transport::LinkParams& params,
     broker_ = broker;
     const std::uint64_t req = next_request_++;
     if (on_done) pending_[req] = std::move(on_done);
-    const Status s =
-        backend_.send(node_, broker_, make_connect(entity_id_, req).serialize());
+    const Status s = send_to_broker(make_connect(entity_id_, req));
     if (!s.is_ok()) {
       if (const auto it = pending_.find(req); it != pending_.end()) {
         auto cb = std::move(it->second);
@@ -54,7 +57,7 @@ void Client::subscribe(const std::string& pattern, MessageHandler handler,
       ET_LOG(kWarn) << entity_id_ << ": subscribe before connect";
       return;
     }
-    (void)backend_.send(node_, broker_, make_subscribe(norm, req).serialize());
+    (void)send_to_broker(make_subscribe(norm, req));
   });
 }
 
@@ -64,7 +67,7 @@ void Client::unsubscribe(const std::string& pattern) {
     std::erase_if(handlers_,
                   [&](const auto& p) { return p.first == norm; });
     if (broker_ != transport::kInvalidNode) {
-      (void)backend_.send(node_, broker_, make_unsubscribe(norm).serialize());
+      (void)send_to_broker(make_unsubscribe(norm));
     }
   });
 }
@@ -77,8 +80,7 @@ void Client::resubscribe_all() {
       if (std::find(sent.begin(), sent.end(), pattern) != sent.end()) continue;
       sent.push_back(pattern);
       const std::uint64_t req = next_request_++;
-      (void)backend_.send(node_, broker_,
-                          make_subscribe(pattern, req).serialize());
+      (void)send_to_broker(make_subscribe(pattern, req));
     }
   });
 }
@@ -99,7 +101,7 @@ void Client::publish(Message m) {
       ET_LOG(kWarn) << entity_id_ << ": publish before connect";
       return;
     }
-    (void)backend_.send(node_, broker_, make_publish(std::move(m)).serialize());
+    (void)send_to_broker(make_publish(std::move(m)));
   });
 }
 

@@ -82,6 +82,9 @@ class Client {
  private:
   void on_packet(transport::NodeId from, BytesView payload);
   void in_context(transport::Task task);
+  /// Serializes `f` to the attached broker — the one wire path every
+  /// request frame (connect/subscribe/unsubscribe/publish) goes through.
+  Status send_to_broker(const Frame& f);
 
   transport::NetworkBackend& backend_;
   std::string entity_id_;

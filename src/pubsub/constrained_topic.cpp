@@ -176,6 +176,10 @@ std::string registration() {
   return "Constrained/Traces/Broker/Subscribe-Only/Registration";
 }
 
+std::string registration_batch() {
+  return "Constrained/Traces/Broker/Subscribe-Only/RegistrationBatch";
+}
+
 std::string entity_to_broker(std::string_view trace_topic,
                              std::string_view session_id) {
   return "Constrained/Traces/Broker/Subscribe-Only/Limited/" +

@@ -106,6 +106,11 @@ namespace trace_topics {
 /// trace-registration requests here; (any) broker is the only subscriber.
 std::string registration();
 
+/// /Constrained/Traces/Broker/Subscribe-Only/RegistrationBatch — entity
+/// hosts send batch registration requests (all co-hosted entities in one
+/// round-trip) here; (any) broker is the only subscriber.
+std::string registration_batch();
+
 /// /Constrained/Traces/Broker/Subscribe-Only/Limited/<trace>/<session> —
 /// traced entity -> hosting broker channel (ping responses, state).
 std::string entity_to_broker(std::string_view trace_topic,
@@ -129,6 +134,8 @@ inline constexpr const char* kStateTransitions = "StateTransitions";
 inline constexpr const char* kLoad = "Load";
 inline constexpr const char* kNetworkMetrics = "NetworkMetrics";
 inline constexpr const char* kInterest = "Interest";
+/// Coalesced per-host availability digests (kind suffix; DESIGN.md §14).
+inline constexpr const char* kDigest = "Digest";
 
 /// /Constrained/Traces/Broker/Publish-Only/<trace>/Interest — broker's
 /// GAUGE_INTEREST probe topic.

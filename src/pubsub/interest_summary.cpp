@@ -1,0 +1,46 @@
+#include "src/pubsub/interest_summary.h"
+
+namespace et::pubsub {
+
+std::string summarize_pattern(const TopicPath& pattern, std::size_t depth) {
+  if (depth == 0 || pattern.size() <= depth) return pattern.canonical();
+  std::string out;
+  for (std::size_t i = 0; i < depth; ++i) {
+    if (is_wildcard_segment(pattern[i])) return pattern.canonical();
+    if (i != 0) out += '/';
+    out += pattern[i];
+  }
+  out += '/';
+  out += kMultiLevelWildcard;
+  return out;
+}
+
+std::optional<std::string> InterestSummaryTable::add(
+    const TopicPath& pattern) {
+  if (!patterns_.insert(pattern.canonical()).second) return std::nullopt;
+  std::string summary = summarize_pattern(pattern, depth_);
+  if (++refs_[summary] == 1) return summary;
+  return std::nullopt;
+}
+
+std::optional<std::string> InterestSummaryTable::remove(
+    const TopicPath& pattern) {
+  if (patterns_.erase(pattern.canonical()) == 0) return std::nullopt;
+  std::string summary = summarize_pattern(pattern, depth_);
+  const auto it = refs_.find(summary);
+  if (it == refs_.end()) return std::nullopt;  // unreachable by construction
+  if (--it->second == 0) {
+    refs_.erase(it);
+    return summary;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> InterestSummaryTable::announced() const {
+  std::vector<std::string> out;
+  out.reserve(refs_.size());
+  for (const auto& [summary, refs] : refs_) out.push_back(summary);
+  return out;
+}
+
+}  // namespace et::pubsub

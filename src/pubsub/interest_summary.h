@@ -1,0 +1,96 @@
+// Hierarchical interest aggregation for one broker→neighbour edge.
+//
+// Interest propagation used to re-announce every subscription pattern
+// verbatim at every hop, so a tracker following N entities planted N
+// per-(tracker,entity) edges in every broker between it and the entities
+// — the O(entities × trackers) state ROADMAP item 1 calls out. An
+// `InterestSummaryTable` collapses the patterns a broker announces to one
+// neighbour into per-topic-prefix summaries: every pattern whose first
+// `depth` segments are concrete folds into the single wildcard edge
+// `<first depth segments>/#`, refcounted by the distinct patterns behind
+// it. The neighbour sees one subscribe when the first pattern under a
+// prefix appears and one unsubscribe when the last disappears, no matter
+// how many trackers and entities churn in between.
+//
+// Summaries widen interest (a `prefix/#` edge pulls every publication
+// under the prefix one hop further than exact patterns would), which is
+// the classic aggregation trade: bounded per-broker state for some
+// false-positive forwarding inside the summarized region. The overlay
+// stays acyclic, so widened interest can never loop traffic.
+//
+// Summarization is idempotent across hops: a received `prefix/#` edge
+// re-summarizes to itself, so multi-hop chains converge to exactly one
+// edge per (neighbour, prefix).
+//
+// One table serves one neighbour (the broker keeps a map keyed by peer) —
+// that keeps split-horizon propagation exact: which neighbours learn of a
+// pattern depends on where it arrived from, so refcounts must be
+// per-neighbour or retractions would strand edges.
+//
+// Not thread-safe; owned and touched only by the broker's node context,
+// like the rest of its propagation state.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/topic_path.h"
+
+namespace et::pubsub {
+
+/// The summary form of `pattern` at `depth`: `<first depth segments>/#`
+/// when the pattern is longer than `depth` segments and its first `depth`
+/// segments are wildcard-free; otherwise the canonical pattern itself
+/// (too short or too wild to summarize). depth == 0 disables
+/// summarization (identity).
+[[nodiscard]] std::string summarize_pattern(const TopicPath& pattern,
+                                            std::size_t depth);
+
+class InterestSummaryTable {
+ public:
+  explicit InterestSummaryTable(std::size_t depth) : depth_(depth) {}
+
+  /// Records that `pattern` needs upstream interest on this edge. Returns
+  /// the summary pattern to announce iff this created a new summarized
+  /// edge; nullopt when the edge already exists (or the same pattern was
+  /// already recorded — re-adds are idempotent, never double-counted).
+  std::optional<std::string> add(const TopicPath& pattern);
+
+  /// Withdraws `pattern` from this edge. Returns the summary pattern to
+  /// retract iff its last backing pattern is gone; nullopt otherwise
+  /// (including for patterns never recorded — removes never underflow).
+  std::optional<std::string> remove(const TopicPath& pattern);
+
+  /// Summarized edges currently announced, sorted (anti-entropy resync:
+  /// re-announce all of these to the neighbour; subscription-table adds
+  /// are idempotent on the receiving side).
+  [[nodiscard]] std::vector<std::string> announced() const;
+
+  /// Live summarized edges on this neighbour link.
+  [[nodiscard]] std::size_t edge_count() const { return refs_.size(); }
+
+  /// Distinct backing patterns recorded.
+  [[nodiscard]] std::size_t pattern_count() const { return patterns_.size(); }
+
+  /// The backing patterns themselves, sorted (resync uses the union
+  /// across edges to back-fill a late-joined neighbour).
+  [[nodiscard]] std::vector<std::string> recorded_patterns() const {
+    return {patterns_.begin(), patterns_.end()};
+  }
+
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+ private:
+  std::size_t depth_;
+  /// Distinct patterns recorded (dedup so double-announces at the broker
+  /// layer can never skew a refcount).
+  std::set<std::string> patterns_;
+  /// summary pattern -> number of distinct backing patterns.
+  std::map<std::string, std::size_t> refs_;
+};
+
+}  // namespace et::pubsub

@@ -141,8 +141,11 @@ std::vector<Broker*> Topology::make_ring(std::size_t n,
   std::vector<Broker*> out = make_chain(n, params, prefix, options);
   if (n >= 3) {
     // Close the physical ring, but keep the overlay the spanning chain:
-    // the standby edge is linked on the backend and never peered.
+    // the standby edge is linked on the backend and never peered. It is
+    // recorded in standby_edges() so a repair protocol can find and
+    // activate it.
     backend_.link(out.back()->node(), out.front()->node(), params);
+    standby_edges_.emplace_back(index_of(*out.back()), index_of(*out.front()));
   }
   return out;
 }

@@ -113,6 +113,16 @@ class Topology {
     return edges_;
   }
 
+  /// Cold standby transport links as (index, index) pairs, in creation
+  /// order: physical edges that exist on the backend but are never peered
+  /// (make_ring's closing edge). The overlay-repair protocol consumes
+  /// these — it can activate a standby link by peering its endpoints
+  /// after a spanning-tree edge dies.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
+  standby_edges() const {
+    return standby_edges_;
+  }
+
   /// Hop diameter of the peered overlay: the longest shortest path over
   /// any connected broker pair (0 for <= 1 broker; disconnected pairs are
   /// ignored, so a forest reports its widest tree).
@@ -143,6 +153,7 @@ class Topology {
   std::vector<std::unique_ptr<Broker>> brokers_;
   std::vector<std::size_t> union_find_;  // cycle detection
   std::vector<std::pair<std::size_t, std::size_t>> edges_;
+  std::vector<std::pair<std::size_t, std::size_t>> standby_edges_;
 };
 
 }  // namespace et::pubsub

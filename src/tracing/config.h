@@ -100,6 +100,23 @@ struct TracingConfig {
   /// back-to-back.
   Duration recovery_announce_delay = 0;
 
+  // --- million-entity scale (DESIGN.md §14) -----------------------------
+
+  /// ALLS_WELL coalescing window: plain heartbeats from co-hosted entities
+  /// accumulate into one signed per-host digest flushed on this period
+  /// (trackers expand the digest back to per-entity traces). 0 (the
+  /// default) publishes every heartbeat per-entity, unchanged.
+  Duration digest_interval = 0;
+  /// Flush a pending digest early once it carries this many entries.
+  std::size_t digest_max_entries = 256;
+  /// Coalescing granularity of the broker's session timer wheel: all
+  /// session timers (ping/gauge/metrics/digest-flush) due within one tick
+  /// share a single armed backend timer, collapsing O(entities) armed
+  /// timers into O(ticks). Timers fire never early and at most one tick
+  /// late, which the miss-grace windows absorb. 0 (the default) keeps the
+  /// 1:1 passthrough.
+  Duration timer_wheel_tick = 0;
+
   /// Per-hop verification knobs: the token-verdict cache plus the batched
   /// verification pipeline that drains each broker's trace backlog in
   /// key-grouped passes (DESIGN.md §10).

@@ -24,6 +24,31 @@ RegistrationRequest RegistrationRequest::deserialize(BytesView b) {
   return out;
 }
 
+Bytes BatchRegistrationRequest::serialize() const {
+  Writer w;
+  w.str(host_id);
+  w.bytes(credential.serialize());
+  w.bytes(advertisement.serialize());
+  w.u64(request_id);
+  w.u32(static_cast<std::uint32_t>(entity_ids.size()));
+  for (const std::string& id : entity_ids) w.str(id);
+  return std::move(w).take();
+}
+
+BatchRegistrationRequest BatchRegistrationRequest::deserialize(BytesView b) {
+  Reader r(b);
+  BatchRegistrationRequest out;
+  out.host_id = r.str();
+  out.credential = crypto::Credential::deserialize(r.bytes());
+  out.advertisement = discovery::TopicAdvertisement::deserialize(r.bytes());
+  out.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  out.entity_ids.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.entity_ids.push_back(r.str());
+  r.expect_done();
+  return out;
+}
+
 Bytes RegistrationResponse::serialize() const {
   Writer w;
   w.u64(request_id);

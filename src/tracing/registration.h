@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/serialize.h"
@@ -25,6 +26,25 @@ struct RegistrationRequest {
 
   [[nodiscard]] Bytes serialize() const;
   static RegistrationRequest deserialize(BytesView b);
+};
+
+/// EntityHost -> broker over the RegistrationBatch constrained topic
+/// (DESIGN.md §14): registers every co-hosted entity in one round-trip.
+/// The host authenticates once — credential, advertisement provenance and
+/// proof of possession are checked against `host_id` exactly as for a
+/// single-entity registration — and the resulting session carries the
+/// whole member roster. One delegation round then covers the batch.
+struct BatchRegistrationRequest {
+  std::string host_id;
+  crypto::Credential credential;
+  discovery::TopicAdvertisement advertisement;  // trace-topic provenance
+  std::uint64_t request_id = 0;
+  /// Co-hosted entity ids; bit i of a ping-response liveness bitmap
+  /// refers to entity_ids[i].
+  std::vector<std::string> entity_ids;
+
+  [[nodiscard]] Bytes serialize() const;
+  static BatchRegistrationRequest deserialize(BytesView b);
 };
 
 /// Broker -> entity, hybrid-encrypted (§3.2): the plaintext below is

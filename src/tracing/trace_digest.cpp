@@ -1,0 +1,59 @@
+#include "src/tracing/trace_digest.h"
+
+#include "src/common/serialize.h"
+#include "src/tracing/trace_message.h"
+
+namespace et::tracing {
+
+Bytes TraceDigest::serialize() const {
+  Writer w;
+  w.str(host_id);
+  w.u64(round);
+  w.i64(issued_at);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const DigestEntry& e : entries) {
+    w.str(e.entity_id);
+    w.u8(static_cast<std::uint8_t>(e.type));
+    w.boolean(e.state.has_value());
+    if (e.state) w.u8(static_cast<std::uint8_t>(*e.state));
+  }
+  return std::move(w).take();
+}
+
+TraceDigest TraceDigest::deserialize(BytesView b) {
+  Reader r(b);
+  TraceDigest out;
+  out.host_id = r.str();
+  out.round = r.u64();
+  out.issued_at = r.i64();
+  const std::uint32_t count = r.u32();
+  out.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DigestEntry e;
+    e.entity_id = r.str();
+    e.type = static_cast<TraceType>(r.u8());
+    if (e.type < TraceType::kInitializing || e.type > TraceType::kDigest) {
+      throw SerializeError("unknown trace type in digest entry");
+    }
+    if (r.boolean()) e.state = static_cast<EntityState>(r.u8());
+    out.entries.push_back(std::move(e));
+  }
+  r.expect_done();
+  return out;
+}
+
+std::vector<TracePayload> TraceDigest::expand() const {
+  std::vector<TracePayload> out;
+  out.reserve(entries.size());
+  for (const DigestEntry& e : entries) {
+    TracePayload p;
+    p.type = e.type;
+    p.entity_id = e.entity_id;
+    p.issued_at = issued_at;
+    p.state = e.state;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace et::tracing

@@ -1,0 +1,54 @@
+// Coalesced availability digests (DESIGN.md §14).
+//
+// Co-hosted entities share one heartbeat cadence: instead of the hosting
+// broker publishing N per-entity ALLS_WELL traces per round, it folds the
+// round's observations into a single `TraceDigest`, signs and (optionally)
+// encrypts it once, and publishes it on the host's Digest kind topic. The
+// tracker edge expands the digest back into per-entity `TracePayload`s, so
+// tracker-facing semantics are unchanged — the coalescing is invisible
+// above the subscription API. Urgent traces (suspicions, failures, state
+// transitions) never ride a digest; they are published per-entity
+// immediately, after any pending digest for the host is flushed so
+// ordering is preserved.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/tracing/trace_types.h"
+
+namespace et::tracing {
+
+struct TracePayload;
+
+/// One coalesced observation: entity + trace type (+ state detail).
+struct DigestEntry {
+  std::string entity_id;
+  TraceType type = TraceType::kAllsWell;
+  std::optional<EntityState> state;
+
+  friend bool operator==(const DigestEntry&, const DigestEntry&) = default;
+};
+
+/// A signed batch of per-entity observations from one host's round.
+struct TraceDigest {
+  std::string host_id;
+  std::uint64_t round = 0;
+  TimePoint issued_at = 0;
+  std::vector<DigestEntry> entries;
+
+  [[nodiscard]] Bytes serialize() const;
+  static TraceDigest deserialize(BytesView b);
+
+  /// Expands back into the per-entity payloads a tracker would have seen
+  /// without coalescing (type/entity_id/issued_at/state carried over).
+  [[nodiscard]] std::vector<TracePayload> expand() const;
+
+  friend bool operator==(const TraceDigest&, const TraceDigest&) = default;
+};
+
+}  // namespace et::tracing

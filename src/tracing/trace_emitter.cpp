@@ -1,0 +1,131 @@
+#include "src/tracing/trace_emitter.h"
+
+#include <utility>
+
+#include "src/pubsub/constrained_topic.h"
+
+namespace et::tracing {
+
+namespace tt = pubsub::trace_topics;
+
+TraceEmitter::TraceEmitter(pubsub::Broker& broker, Rng& rng, Options options,
+                           TimerWheel* wheel)
+    : broker_(broker), rng_(rng), options_(options), wheel_(wheel) {}
+
+TraceEmitter::~TraceEmitter() {
+  // Pending digests die with the emitter; publishing from a destructor
+  // would race broker teardown.
+  for (auto& entry : pending_) {
+    if (wheel_ != nullptr && entry.second.flush_timer != 0) {
+      wheel_->cancel(entry.second.flush_timer);
+    }
+  }
+}
+
+void TraceEmitter::publish_signed(std::string topic, Bytes body, bool encrypt,
+                                  const crypto::SecretKey& trace_key,
+                                  const AuthorizationToken& token,
+                                  const crypto::RsaPrivateKey& delegate_key) {
+  pubsub::Message m;
+  m.topic = std::move(topic);
+  if (encrypt) {
+    m.payload = trace_key.encrypt(body, rng_);
+    m.encrypted = true;
+  } else {
+    m.payload = std::move(body);
+  }
+  m.publisher = broker_.name();
+  m.sequence = ++sequence_;
+  m.timestamp = broker_.backend().now();
+  m.auth_token = token.serialize();
+  // §4.3: broker-generated traces are signed with the delegate key so any
+  // routing broker can verify authorization without learning which broker
+  // hosts the entity.
+  m.signature = delegate_key.sign(m.signable_bytes());
+  broker_.publish_from_broker(std::move(m));
+}
+
+void TraceEmitter::trace(const Signing& signing, const std::string& host_id,
+                         TracePayload payload) {
+  payload.issued_at = broker_.backend().now();
+  payload.secured = signing.secure;
+
+  // Only plain heartbeats coalesce. An ALLS_WELL carrying detail ends a
+  // suspicion ("entity responsive again") and must travel urgently like
+  // every other lifecycle trace.
+  const bool coalescible = options_.digest_interval > 0 && wheel_ != nullptr &&
+                           payload.type == TraceType::kAllsWell &&
+                           payload.detail.empty();
+  if (!coalescible) {
+    // Ordering: the heartbeats observed before this trace must not arrive
+    // after it.
+    flush(host_id);
+    const std::uint8_t category = category_of(payload.type);
+    Bytes body = payload.serialize();
+    publish_signed(
+        tt::trace_publication(signing.trace_topic, category_suffix(category)),
+        std::move(body), signing.secure, *signing.trace_key, *signing.token,
+        *signing.delegate_key);
+    ++stats_.traces_published;
+    return;
+  }
+
+  auto it = pending_.find(host_id);
+  if (it == pending_.end()) {
+    Pending p;
+    p.digest.host_id = host_id;
+    p.digest.round = ++rounds_[host_id];
+    // Copy the signing material: the session may be torn down before the
+    // flush timer fires.
+    p.trace_topic = signing.trace_topic;
+    p.token = *signing.token;
+    p.delegate_key = *signing.delegate_key;
+    p.trace_key = *signing.trace_key;
+    p.secure = signing.secure;
+    p.flush_timer = wheel_->schedule(options_.digest_interval,
+                                     [this, host_id] { flush(host_id); });
+    it = pending_.emplace(host_id, std::move(p)).first;
+  }
+  Pending& p = it->second;
+  p.digest.issued_at = payload.issued_at;
+  p.digest.entries.push_back(
+      DigestEntry{payload.entity_id, payload.type, payload.state});
+  if (p.digest.entries.size() >= options_.digest_max_entries) flush(host_id);
+}
+
+void TraceEmitter::publish_raw(const Signing& signing, std::string topic,
+                               Bytes payload) {
+  publish_signed(std::move(topic), std::move(payload), /*encrypt=*/false,
+                 *signing.trace_key, *signing.token, *signing.delegate_key);
+}
+
+void TraceEmitter::flush(const std::string& host_id) {
+  const auto it = pending_.find(host_id);
+  if (it == pending_.end()) return;
+  // Detach before publishing: the publish can reentrantly observe the
+  // emitter (a local subscriber's handler may trace again), and the
+  // pending entry must not be visible twice.
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (wheel_ != nullptr && p.flush_timer != 0) wheel_->cancel(p.flush_timer);
+  stats_.digest_entries += p.digest.entries.size();
+  ++stats_.digests_published;
+  publish_signed(tt::trace_publication(p.trace_topic, tt::kDigest),
+                 p.digest.serialize(), p.secure, p.trace_key, p.token,
+                 p.delegate_key);
+}
+
+void TraceEmitter::flush_all() {
+  while (!pending_.empty()) flush(pending_.begin()->first);
+}
+
+void publish_signed(pubsub::Client& client, pubsub::Message m,
+                    const crypto::RsaPrivateKey& key, std::uint64_t& sequence,
+                    TimePoint now) {
+  m.sequence = ++sequence;
+  m.timestamp = now;
+  m.signature = key.sign(m.signable_bytes());
+  client.publish(std::move(m));
+}
+
+}  // namespace et::tracing

@@ -1,0 +1,136 @@
+// One emission path for every signed trace publication.
+//
+// Every trace a hosting broker publishes goes through the same ritual:
+// stamp publisher/sequence/timestamp, attach the entity's authorization
+// token, sign with the delegate key (§4.3), optionally encrypt with the
+// trace key (§5.1), hand to the broker. That ritual used to be duplicated
+// across publish_trace, the gauge probe, and the per-entity heartbeat
+// path; `TraceEmitter` folds it into one place and makes digest-vs-
+// per-entity emission a configuration choice instead of a call-site fork.
+//
+// With `Options::digest_interval == 0` the emitter is a pure passthrough:
+// every trace() publishes one per-entity message immediately — byte-
+// identical to the historical behaviour. With a nonzero interval,
+// coalescible traces (plain ALLS_WELL heartbeats) are appended to a
+// per-host pending `TraceDigest` and flushed as one signed digest message
+// per interval (or early when the digest fills up). Urgent traces —
+// suspicions, failures, state transitions, recovery ALLS_WELLs carrying
+// detail — always publish immediately, after flushing the host's pending
+// digest so trackers never observe a recovery before the heartbeats that
+// preceded it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/common/timer_wheel.h"
+#include "src/crypto/rsa.h"
+#include "src/crypto/secret_key.h"
+#include "src/pubsub/broker.h"
+#include "src/pubsub/client.h"
+#include "src/tracing/authorization_token.h"
+#include "src/tracing/trace_digest.h"
+#include "src/tracing/trace_message.h"
+
+namespace et::tracing {
+
+class TraceEmitter {
+ public:
+  struct Options {
+    /// 0 = per-entity passthrough; > 0 = coalesce plain ALLS_WELL traces
+    /// into one digest per host per interval.
+    Duration digest_interval = 0;
+    /// Flush a pending digest early once it holds this many entries.
+    std::size_t digest_max_entries = 256;
+  };
+
+  /// Borrowed signing material for one session; valid for the duration of
+  /// the call only (the emitter copies what it must keep for pending
+  /// digests).
+  struct Signing {
+    std::string trace_topic;  // UUID string minted by the TDN
+    const AuthorizationToken* token = nullptr;
+    const crypto::RsaPrivateKey* delegate_key = nullptr;
+    const crypto::SecretKey* trace_key = nullptr;
+    bool secure = false;
+  };
+
+  struct Stats {
+    std::uint64_t traces_published = 0;   // per-entity messages
+    std::uint64_t digests_published = 0;  // digest messages
+    std::uint64_t digest_entries = 0;     // observations carried in digests
+  };
+
+  /// `wheel` is required when `options.digest_interval > 0` (flush timers
+  /// ride the coalescing wheel); it may be null in passthrough mode.
+  TraceEmitter(pubsub::Broker& broker, Rng& rng, Options options,
+               TimerWheel* wheel = nullptr);
+  /// Passthrough emitter: per-entity publication, no coalescing.
+  TraceEmitter(pubsub::Broker& broker, Rng& rng)
+      : TraceEmitter(broker, rng, Options()) {}
+  ~TraceEmitter();
+
+  TraceEmitter(const TraceEmitter&) = delete;
+  TraceEmitter& operator=(const TraceEmitter&) = delete;
+
+  /// Publishes one observation. `host_id` keys the pending digest (the
+  /// traced host for batch sessions; the entity itself otherwise). The
+  /// payload's issued_at/secured fields are stamped here.
+  void trace(const Signing& signing, const std::string& host_id,
+             TracePayload payload);
+
+  /// Publishes an already-serialized payload on an explicit topic with the
+  /// standard token + delegate signature, never encrypted or coalesced
+  /// (gauge probes ride the Interest topic in the clear, §5.1).
+  void publish_raw(const Signing& signing, std::string topic, Bytes payload);
+
+  /// Publishes `host_id`'s pending digest now, if any.
+  void flush(const std::string& host_id);
+  void flush_all();
+
+  [[nodiscard]] std::size_t pending_digests() const {
+    return pending_.size();
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// One host's accumulating digest plus owned copies of its signing
+  /// material (the session may be gone by flush time).
+  struct Pending {
+    TraceDigest digest;
+    std::string trace_topic;
+    AuthorizationToken token;
+    crypto::RsaPrivateKey delegate_key;
+    crypto::SecretKey trace_key;
+    bool secure = false;
+    TimerWheel::WheelId flush_timer = 0;
+  };
+
+  void publish_signed(std::string topic, Bytes body, bool encrypt,
+                      const crypto::SecretKey& trace_key,
+                      const AuthorizationToken& token,
+                      const crypto::RsaPrivateKey& delegate_key);
+
+  pubsub::Broker& broker_;
+  Rng& rng_;
+  Options options_;
+  TimerWheel* wheel_;
+  std::uint64_t sequence_ = 0;
+  std::map<std::string, Pending> pending_;
+  std::map<std::string, std::uint64_t> rounds_;  // per-host digest rounds
+  Stats stats_;
+};
+
+/// Client-side counterpart of the emitter's signing tail: stamp
+/// publisher/sequence/timestamp, sign with `key`, publish through
+/// `client`. Shared by the tracker's interest responses and the traced
+/// entity's registration/session messages.
+void publish_signed(pubsub::Client& client, pubsub::Message m,
+                    const crypto::RsaPrivateKey& key, std::uint64_t& sequence,
+                    TimePoint now);
+
+}  // namespace et::tracing

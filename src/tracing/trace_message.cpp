@@ -53,7 +53,7 @@ TracePayload TracePayload::deserialize(BytesView b) {
   TracePayload out;
   out.type = static_cast<TraceType>(r.u8());
   if (out.type < TraceType::kInitializing ||
-      out.type > TraceType::kNetworkMetrics) {
+      out.type > TraceType::kDigest) {
     throw SerializeError("unknown trace type");
   }
   out.entity_id = r.str();
@@ -79,6 +79,7 @@ Bytes SessionMessage::serialize() const {
   w.bytes(token);
   w.bytes(delegate_secret);
   w.bytes(trace_key);
+  w.bytes(liveness);
   return std::move(w).take();
 }
 
@@ -97,6 +98,7 @@ SessionMessage SessionMessage::deserialize(BytesView b) {
   out.token = r.bytes();
   out.delegate_secret = r.bytes();
   out.trace_key = r.bytes();
+  out.liveness = r.bytes();
   r.expect_done();
   return out;
 }

@@ -89,6 +89,10 @@ struct SessionMessage {
   Bytes delegate_secret;
   /// kTraceKeyDelivery: serialized crypto::SecretKey.
   Bytes trace_key;
+  /// kPingResponse from an EntityHost: per-member responsiveness bitmap
+  /// (bit i = member i of the batch registration order is responsive).
+  /// Empty for single-entity sessions.
+  Bytes liveness;
 
   [[nodiscard]] Bytes serialize() const;
   static SessionMessage deserialize(BytesView b);

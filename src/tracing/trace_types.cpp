@@ -19,6 +19,7 @@ std::string_view trace_type_name(TraceType t) {
     case TraceType::kAllsWell: return "ALLS_WELL";
     case TraceType::kLoadInformation: return "LOAD_INFORMATION";
     case TraceType::kNetworkMetrics: return "NETWORK_METRICS";
+    case TraceType::kDigest: return "DIGEST";
   }
   return "UNKNOWN";
 }
@@ -37,6 +38,7 @@ std::uint8_t category_of(TraceType t) {
     case TraceType::kRevertingToSilentMode:
       return kCatChangeNotifications;
     case TraceType::kAllsWell:
+    case TraceType::kDigest:  // digests carry coalesced ALLS_WELL
       return kCatAllUpdates;
     case TraceType::kLoadInformation:
       return kCatLoad;

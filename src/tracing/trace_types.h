@@ -35,6 +35,10 @@ enum class TraceType : std::uint8_t {
   kLoadInformation = 12,
   // Broker-measured link behaviour.
   kNetworkMetrics = 13,
+  // Coalesced per-host availability digest (DESIGN.md §14): one signed
+  // trace carrying ALLS_WELL observations for every co-hosted entity,
+  // expanded back to per-entity traces at the tracker edge.
+  kDigest = 14,
 };
 
 /// Wire/diagnostic name ("FAILURE_SUSPICION", ...).

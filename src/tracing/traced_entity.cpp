@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/pubsub/constrained_topic.h"
+#include "src/tracing/trace_emitter.h"
 
 namespace et::tracing {
 
@@ -92,11 +93,9 @@ void TracedEntity::register_with_broker(ReadyCallback on_ready) {
   m.topic = tt::registration();
   m.payload = req.serialize();
   m.publisher = identity_.id;
-  m.sequence = ++sequence_;
-  m.timestamp = backend_.now();
   // §3.2 item 4: demonstrate possession by signing the message.
-  m.signature = identity_.keys.private_key.sign(m.signable_bytes());
-  client_.publish(std::move(m));
+  publish_signed(client_, std::move(m), identity_.keys.private_key, sequence_,
+                 backend_.now());
 }
 
 void TracedEntity::on_registration_response(const pubsub::Message& m) {
@@ -213,8 +212,6 @@ void TracedEntity::send_session_message(const SessionMessage& sm,
   m.topic = tt::entity_to_broker(trace_topic_.to_string(),
                                  session_id_.to_string());
   m.publisher = identity_.id;
-  m.sequence = ++sequence_;
-  m.timestamp = backend_.now();
 
   const bool encrypt =
       force_encrypt ||
@@ -225,12 +222,15 @@ void TracedEntity::send_session_message(const SessionMessage& sm,
     // originated by the entity in question".
     m.payload = session_key_.encrypt(sm.serialize(), rng_);
     m.encrypted = true;
-  } else {
-    // §4.2: sign every message, including ping responses.
-    m.payload = sm.serialize();
-    m.signature = identity_.keys.private_key.sign(m.signable_bytes());
+    m.sequence = ++sequence_;
+    m.timestamp = backend_.now();
+    client_.publish(std::move(m));
+    return;
   }
-  client_.publish(std::move(m));
+  // §4.2: sign every message, including ping responses.
+  m.payload = sm.serialize();
+  publish_signed(client_, std::move(m), identity_.keys.private_key, sequence_,
+                 backend_.now());
 }
 
 void TracedEntity::set_state(EntityState state) {

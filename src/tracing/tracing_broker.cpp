@@ -16,30 +16,60 @@ TracingBrokerService::TracingBrokerService(pubsub::Broker& broker,
     : broker_(broker),
       anchors_(std::move(anchors)),
       config_(config),
-      rng_(seed) {
+      rng_(seed),
+      wheel_(TimerWheel::Scheduler{
+                 [this](Duration d, std::function<void()> f) {
+                   return broker_.backend().schedule(broker_.node(), d,
+                                                     std::move(f));
+                 },
+                 [this](std::uint64_t id) { broker_.backend().cancel(id); },
+                 [this] { return broker_.backend().now(); }},
+             config.timer_wheel_tick),
+      emitter_(broker, rng_,
+               TraceEmitter::Options{config.digest_interval,
+                                     config.digest_max_entries},
+               &wheel_) {
   // §3.2: entities register with THE broker they are connected to, so the
-  // registration subscription must not propagate — otherwise every broker
+  // registration subscriptions must not propagate — otherwise every broker
   // in the network would mint a (phantom) session for every entity.
   broker_.subscribe_local(
       tt::registration(),
       [this](const pubsub::Message& m) { handle_registration(m); },
       /*local_only=*/true);
+  broker_.subscribe_local(
+      tt::registration_batch(),
+      [this](const pubsub::Message& m) { handle_batch_registration(m); },
+      /*local_only=*/true);
   // A client whose link vanished without a silent-mode request gets a
-  // DISCONNECT trace (paper Table 1) and its session torn down.
+  // DISCONNECT trace (paper Table 1) and its session torn down. For a host
+  // session every roster member is disconnected individually so trackers
+  // keep per-entity semantics.
   broker_.add_client_unreachable_listener([this](const std::string& entity) {
     const auto it = by_entity_.find(entity);
     if (it == by_entity_.end()) return;
     const auto sit = sessions_.find(it->second);
     if (sit == sessions_.end()) return;
     Session& s = sit->second;
-    TracePayload p;
-    p.type = TraceType::kDisconnect;
-    p.entity_id = entity;
-    p.detail = "client link lost";
-    publish_trace(s, std::move(p));
-    remove_session(s);
-    sessions_.erase(sit);
-    by_entity_.erase(entity);
+    const Uuid sid = s.session_id;
+    if (s.is_host()) {
+      const auto members = s.members;
+      for (const auto h : members) {
+        if (!sessions_.contains(sid)) return;
+        if (!roster_.contains(h)) continue;
+        TracePayload p;
+        p.type = TraceType::kDisconnect;
+        p.entity_id = roster_[h].entity_id;
+        p.detail = "client link lost";
+        publish_trace(s, std::move(p));
+      }
+    } else {
+      TracePayload p;
+      p.type = TraceType::kDisconnect;
+      p.entity_id = entity;
+      p.detail = "client link lost";
+      publish_trace(s, std::move(p));
+    }
+    if (sessions_.contains(sid)) erase_session(s);
   });
 }
 
@@ -56,12 +86,28 @@ TracingBrokerService::SessionView TracingBrokerService::session_view(
   if (sit == sessions_.end()) return v;
   const Session& s = sit->second;
   v.exists = true;
-  v.suspected = s.suspected;
-  v.failed = s.failed;
   v.current_ping_interval = s.ping_interval;
   v.effective_interest = effective_interest(s);
   v.secure = s.secure;
+  if (s.entity_id == entity_id || !s.is_host()) {
+    v.suspected = s.suspected;
+    v.failed = s.failed;
+    return v;
+  }
+  for (const auto h : s.members) {
+    if (!roster_.contains(h)) continue;
+    const MemberRecord& rec = roster_[h];
+    if (rec.entity_id != entity_id) continue;
+    v.suspected = rec.suspected;
+    v.failed = rec.failed;
+    break;
+  }
   return v;
+}
+
+TraceEmitter::Signing TracingBrokerService::signing(const Session& s) const {
+  return TraceEmitter::Signing{s.trace_topic, &s.token, &s.delegate_key,
+                               &s.trace_key, s.secure};
 }
 
 void TracingBrokerService::publish_registration_error(
@@ -80,68 +126,81 @@ void TracingBrokerService::publish_registration_error(
   broker_.publish_from_broker(std::move(m));
 }
 
-void TracingBrokerService::handle_registration(const pubsub::Message& m) {
-  RegistrationRequest req;
-  try {
-    req = RegistrationRequest::deserialize(m.payload);
-  } catch (const SerializeError&) {
-    ++stats_.rejected_registrations;
-    return;
-  }
+bool TracingBrokerService::verify_registration(
+    const pubsub::Message& m, const std::string& id,
+    const crypto::Credential& credential,
+    const discovery::TopicAdvertisement& advertisement,
+    std::uint64_t request_id) {
   const TimePoint now = broker_.backend().now();
 
   // Credential must chain to the CA.
-  if (const Status s = req.credential.verify(anchors_.ca_key, now);
-      !s.is_ok()) {
+  if (const Status s = credential.verify(anchors_.ca_key, now); !s.is_ok()) {
     ++stats_.rejected_registrations;
-    publish_registration_error(req.entity_id, req.request_id, s.to_string());
-    return;
+    publish_registration_error(id, request_id, s.to_string());
+    return false;
   }
   // Proof of possession: message signed with the credential's key (§3.2).
-  if (!req.credential.public_key().verify(m.signable_bytes(), m.signature)) {
+  if (!credential.public_key().verify(m.signable_bytes(), m.signature)) {
     ++stats_.rejected_registrations;
-    publish_registration_error(req.entity_id, req.request_id,
+    publish_registration_error(id, request_id,
                                "registration signature invalid");
-    return;
+    return false;
   }
   // Identity consistency.
-  if (req.credential.subject() != req.entity_id) {
+  if (credential.subject() != id) {
     ++stats_.rejected_registrations;
-    publish_registration_error(req.entity_id, req.request_id,
-                               "credential subject mismatch");
-    return;
+    publish_registration_error(id, request_id, "credential subject mismatch");
+    return false;
   }
   // Trace-topic provenance: TDN-signed advertisement owned by this entity.
-  if (const Status s = req.advertisement.verify(anchors_.tdn_key, now);
+  if (const Status s = advertisement.verify(anchors_.tdn_key, now);
       !s.is_ok()) {
     ++stats_.rejected_registrations;
-    publish_registration_error(req.entity_id, req.request_id, s.to_string());
-    return;
+    publish_registration_error(id, request_id, s.to_string());
+    return false;
   }
-  if (req.advertisement.owner().subject() != req.entity_id) {
+  if (advertisement.owner().subject() != id) {
     ++stats_.rejected_registrations;
-    publish_registration_error(req.entity_id, req.request_id,
+    publish_registration_error(id, request_id,
                                "advertisement owned by someone else");
-    return;
+    return false;
   }
+  return true;
+}
 
-  // Replace any existing session for this entity (re-registration).
-  if (const auto it = by_entity_.find(req.entity_id); it != by_entity_.end()) {
-    if (const auto sit = sessions_.find(it->second); sit != sessions_.end()) {
-      remove_session(sit->second);
-      sessions_.erase(sit);
+void TracingBrokerService::mint_session(const std::string& id,
+                                        const crypto::Credential& cred,
+                                        const discovery::TopicAdvertisement& ad,
+                                        std::uint64_t request_id,
+                                        std::vector<std::string> member_ids) {
+  // Replace any existing session claiming this id or one of its members
+  // (re-registration; a member migrating between hosts follows its newest
+  // registration).
+  auto replace = [this](const std::string& entity) {
+    const auto it = by_entity_.find(entity);
+    if (it == by_entity_.end()) return;
+    const auto sit = sessions_.find(it->second);
+    if (sit != sessions_.end()) {
+      erase_session(sit->second);
+    } else {
+      by_entity_.erase(it);
     }
-    by_entity_.erase(it);
-  }
+  };
+  replace(id);
+  for (const std::string& member : member_ids) replace(member);
 
   Session s;
   s.session_id = Uuid::generate(rng_);
-  s.entity_id = req.entity_id;
-  s.trace_topic = req.advertisement.topic().to_string();
-  s.credential = req.credential;
-  s.advertisement = req.advertisement;
+  s.entity_id = id;
+  s.trace_topic = ad.topic().to_string();
+  s.credential = cred;
+  s.advertisement = ad;
   s.session_key = crypto::SecretKey::generate(rng_, config_.symmetric_alg);
   s.ping_interval = config_.ping_interval;
+  s.members.reserve(member_ids.size());
+  for (std::string& member : member_ids) {
+    s.members.push_back(roster_.emplace(MemberRecord{std::move(member)}));
+  }
   const Uuid sid = s.session_id;
 
   // Broker subscribes to the entity->broker session topic (§3.2). The
@@ -161,30 +220,68 @@ void TracingBrokerService::handle_registration(const pubsub::Message& m) {
 
   // Hybrid-encrypted response: only the registering entity can read it.
   RegistrationResponse resp;
-  resp.request_id = req.request_id;
+  resp.request_id = request_id;
   resp.session_id = sid;
   resp.session_key = s.session_key.serialize();
   resp.broker_name = broker_.name();
-  const SealedEnvelope env =
-      SealedEnvelope::seal(resp.serialize(), req.credential.public_key(),
-                           rng_, config_.symmetric_alg);
+  const SealedEnvelope env = SealedEnvelope::seal(
+      resp.serialize(), cred.public_key(), rng_, config_.symmetric_alg);
   pubsub::Message out;
-  out.topic = "Constrained/Traces/" + req.entity_id +
-              "/Subscribe-Only/RegistrationResponse";
+  out.topic =
+      "Constrained/Traces/" + id + "/Subscribe-Only/RegistrationResponse";
   out.payload = env.serialize();
   out.encrypted = true;
   broker_.publish_from_broker(std::move(out));
 
   // Start pulling (§3.3). Trace publication waits for the token.
-  s.ping_timer = broker_.backend().schedule(
-      broker_.node(), s.ping_interval, [this, sid] { on_ping_timer(sid); });
-  s.metrics_timer = broker_.backend().schedule(
-      broker_.node(), config_.metrics_interval,
-      [this, sid] { on_metrics_timer(sid); });
+  s.ping_timer =
+      wheel_.schedule(s.ping_interval, [this, sid] { on_ping_timer(sid); });
+  s.metrics_timer = wheel_.schedule(config_.metrics_interval,
+                                    [this, sid] { on_metrics_timer(sid); });
 
   by_entity_[s.entity_id] = sid;
+  for (const auto h : s.members) by_entity_[roster_[h].entity_id] = sid;
   sessions_.emplace(sid, std::move(s));
   ++stats_.registrations;
+}
+
+void TracingBrokerService::handle_registration(const pubsub::Message& m) {
+  RegistrationRequest req;
+  try {
+    req = RegistrationRequest::deserialize(m.payload);
+  } catch (const SerializeError&) {
+    ++stats_.rejected_registrations;
+    return;
+  }
+  if (!verify_registration(m, req.entity_id, req.credential,
+                           req.advertisement, req.request_id)) {
+    return;
+  }
+  mint_session(req.entity_id, req.credential, req.advertisement,
+               req.request_id, {});
+}
+
+void TracingBrokerService::handle_batch_registration(const pubsub::Message& m) {
+  BatchRegistrationRequest req;
+  try {
+    req = BatchRegistrationRequest::deserialize(m.payload);
+  } catch (const SerializeError&) {
+    ++stats_.rejected_registrations;
+    return;
+  }
+  if (req.entity_ids.empty()) {
+    ++stats_.rejected_registrations;
+    publish_registration_error(req.host_id, req.request_id,
+                               "batch registration without entities");
+    return;
+  }
+  if (!verify_registration(m, req.host_id, req.credential, req.advertisement,
+                           req.request_id)) {
+    return;
+  }
+  mint_session(req.host_id, req.credential, req.advertisement, req.request_id,
+               std::move(req.entity_ids));
+  ++stats_.batch_registrations;
 }
 
 Result<SessionMessage> TracingBrokerService::authenticate_session_message(
@@ -266,11 +363,7 @@ void TracingBrokerService::handle_session_message(const Uuid& session_id,
       publish_trace(s, std::move(p));
       // The publish may reentrantly tear down this session (see
       // on_ping_timer); only tear down here if it is still live.
-      if (sessions_.contains(session_id)) {
-        remove_session(s);
-        by_entity_.erase(s.entity_id);
-        sessions_.erase(session_id);
-      }
+      if (sessions_.contains(session_id)) erase_session(s);
       break;
     }
     default:
@@ -312,7 +405,8 @@ void TracingBrokerService::handle_token_delivery(Session& s,
   if (!s.join_published) {
     // "The first time a traced entity registers with a broker, the broker
     // issues a JOIN trace." Publication needs the token, so JOIN goes out
-    // as soon as the delegation lands.
+    // as soon as the delegation lands. One JOIN per session — a host's
+    // roster is announced by its first digest/heartbeats.
     s.join_published = true;
     TracePayload p;
     p.type = TraceType::kJoin;
@@ -321,10 +415,47 @@ void TracingBrokerService::handle_token_delivery(Session& s,
   }
   if (s.gauge_timer == 0) {
     const Uuid sid = s.session_id;
-    s.gauge_timer = broker_.backend().schedule(
-        broker_.node(), config_.gauge_interval,
-        [this, sid] { on_gauge_timer(sid); });
+    s.gauge_timer = wheel_.schedule(config_.gauge_interval,
+                                    [this, sid] { on_gauge_timer(sid); });
   }
+}
+
+void TracingBrokerService::member_miss(Session& s, MemberRecord& rec) {
+  ++rec.consecutive_misses;
+  if (!rec.failed && rec.consecutive_misses >= config_.failed_misses) {
+    rec.failed = true;
+    ++stats_.failures;
+    TracePayload p;
+    p.type = TraceType::kFailed;
+    p.entity_id = rec.entity_id;
+    p.detail = "no ping response after " +
+               std::to_string(rec.consecutive_misses) + " attempts";
+    publish_trace(s, std::move(p));
+  } else if (!rec.suspected &&
+             rec.consecutive_misses >= config_.suspicion_misses) {
+    rec.suspected = true;
+    ++stats_.suspicions;
+    TracePayload p;
+    p.type = TraceType::kFailureSuspicion;
+    p.entity_id = rec.entity_id;
+    p.detail = std::to_string(rec.consecutive_misses) +
+               " consecutive pings unanswered";
+    publish_trace(s, std::move(p));
+  }
+}
+
+void TracingBrokerService::member_alive(Session& s, MemberRecord& rec) {
+  const bool was_down = rec.suspected || rec.failed;
+  rec.consecutive_misses = 0;
+  rec.suspected = false;
+  rec.failed = false;
+  TracePayload p;
+  p.type = TraceType::kAllsWell;
+  p.entity_id = rec.entity_id;
+  // Recovery ALLS_WELLs carry detail so they travel urgently (ending a
+  // suspicion must not wait for the next digest flush).
+  if (was_down) p.detail = "entity responsive again";
+  publish_trace(s, std::move(p));
 }
 
 void TracingBrokerService::on_ping_timer(const Uuid& session_id) {
@@ -338,7 +469,21 @@ void TracingBrokerService::on_ping_timer(const Uuid& session_id) {
     ++s.consecutive_misses;
     // Hasten detection: shrink the interval (§3.3).
     s.ping_interval = std::max(config_.min_ping_interval, s.ping_interval / 2);
-    if (!s.failed && s.consecutive_misses >= config_.failed_misses) {
+    if (s.is_host()) {
+      // Whole-host miss: every member accrues one miss and escalates on
+      // its own thresholds. Session-level flags track the host for the
+      // disconnect escalation below; no host-level trace is published —
+      // trackers observe per-member suspicions.
+      s.suspected = s.consecutive_misses >= config_.suspicion_misses;
+      s.failed = s.consecutive_misses >= config_.failed_misses;
+      const auto members = s.members;
+      for (const auto h : members) {
+        if (!sessions_.contains(session_id)) return;
+        if (!roster_.contains(h)) continue;
+        member_miss(s, roster_[h]);
+      }
+      if (!sessions_.contains(session_id)) return;
+    } else if (!s.failed && s.consecutive_misses >= config_.failed_misses) {
       s.failed = true;
       ++stats_.failures;
       TracePayload p;
@@ -368,26 +513,37 @@ void TracingBrokerService::on_ping_timer(const Uuid& session_id) {
   if (config_.disconnect_misses > 0 && s.failed &&
       s.consecutive_misses >= config_.disconnect_misses) {
     ++stats_.disconnects;
-    TracePayload p;
-    p.type = TraceType::kDisconnect;
-    p.entity_id = s.entity_id;
-    p.detail = "presumed departed: " + std::to_string(s.consecutive_misses) +
-               " consecutive pings unanswered";
-    publish_trace(s, std::move(p));
+    if (s.is_host()) {
+      const auto members = s.members;
+      for (const auto h : members) {
+        if (!sessions_.contains(session_id)) return;
+        if (!roster_.contains(h)) continue;
+        TracePayload p;
+        p.type = TraceType::kDisconnect;
+        p.entity_id = roster_[h].entity_id;
+        p.detail = "presumed departed: " +
+                   std::to_string(s.consecutive_misses) +
+                   " consecutive pings unanswered";
+        publish_trace(s, std::move(p));
+      }
+    } else {
+      TracePayload p;
+      p.type = TraceType::kDisconnect;
+      p.entity_id = s.entity_id;
+      p.detail = "presumed departed: " + std::to_string(s.consecutive_misses) +
+                 " consecutive pings unanswered";
+      publish_trace(s, std::move(p));
+    }
     // The publish may have reentrantly torn the session down already.
     const auto sit = sessions_.find(session_id);
-    if (sit != sessions_.end()) {
-      const std::string entity = sit->second.entity_id;
-      remove_session(sit->second);
-      sessions_.erase(sit);
-      by_entity_.erase(entity);
-    }
+    if (sit != sessions_.end()) erase_session(sit->second);
     return;
   }
 
   // Issue the next ping (§3.3: monotonically increasing number + broker
   // timestamp). A FAILED entity keeps getting probed — at the relaxed base
-  // rate — so recovery is eventually observed.
+  // rate — so recovery is eventually observed. One ping covers a host's
+  // whole roster; the response's liveness bitmap fans it back out.
   SessionMessage ping;
   ping.type = SessionMsgType::kPing;
   ping.ping_number = s.next_ping_number++;
@@ -415,8 +571,7 @@ void TracingBrokerService::on_ping_timer(const Uuid& session_id) {
 
   const Duration next = s.failed ? config_.ping_interval : s.ping_interval;
   const Uuid sid = s.session_id;
-  s.ping_timer = broker_.backend().schedule(broker_.node(), next,
-                                            [this, sid] { on_ping_timer(sid); });
+  s.ping_timer = wheel_.schedule(next, [this, sid] { on_ping_timer(sid); });
 }
 
 void TracingBrokerService::handle_ping_response(Session& s,
@@ -445,6 +600,26 @@ void TracingBrokerService::handle_ping_response(Session& s,
   const bool was_down = s.suspected || s.failed;
   s.suspected = false;
   s.failed = false;
+
+  if (s.is_host()) {
+    // Fan the liveness bitmap back out: bit i covers roster member i.
+    // A responsive host answers for its members; a clear bit is a
+    // per-member miss even though the host itself is up.
+    const Uuid sid = s.session_id;
+    const auto members = s.members;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!sessions_.contains(sid)) return;
+      if (!roster_.contains(members[i])) continue;
+      const bool alive = i / 8 < sm.liveness.size() &&
+                         ((sm.liveness[i / 8] >> (i % 8)) & 1u) != 0;
+      if (alive) {
+        member_alive(s, roster_[members[i]]);
+      } else {
+        member_miss(s, roster_[members[i]]);
+      }
+    }
+    return;
+  }
 
   TracePayload p;
   p.type = TraceType::kAllsWell;
@@ -493,9 +668,8 @@ void TracingBrokerService::on_metrics_timer(const Uuid& session_id) {
   }
 
   const Uuid sid = s.session_id;
-  s.metrics_timer = broker_.backend().schedule(
-      broker_.node(), config_.metrics_interval,
-      [this, sid] { on_metrics_timer(sid); });
+  s.metrics_timer = wheel_.schedule(config_.metrics_interval,
+                                    [this, sid] { on_metrics_timer(sid); });
 }
 
 void TracingBrokerService::on_gauge_timer(const Uuid& session_id) {
@@ -510,23 +684,15 @@ void TracingBrokerService::on_gauge_timer(const Uuid& session_id) {
   p.secured = s.secure;  // §5.1: flag that traces will be encrypted
   // The gauge probe itself rides the Interest topic unencrypted and, like
   // all broker-generated traces, carries the token (§5.1).
-  pubsub::Message m;
-  m.topic = tt::gauge_interest(s.trace_topic);
-  m.payload = p.serialize();
-  m.publisher = broker_.name();
-  m.sequence = ++trace_sequence_;
-  m.timestamp = broker_.backend().now();
-  m.auth_token = s.token.serialize();
-  m.signature = s.delegate_key.sign(m.signable_bytes());
-  broker_.publish_from_broker(std::move(m));
+  emitter_.publish_raw(signing(s), tt::gauge_interest(s.trace_topic),
+                       p.serialize());
   // The publish may reentrantly tear down this session (see
   // on_ping_timer); do not touch `s` again if it did.
   if (!sessions_.contains(session_id)) return;
 
   const Uuid sid = s.session_id;
-  s.gauge_timer = broker_.backend().schedule(
-      broker_.node(), config_.gauge_interval,
-      [this, sid] { on_gauge_timer(sid); });
+  s.gauge_timer = wheel_.schedule(config_.gauge_interval,
+                                  [this, sid] { on_gauge_timer(sid); });
 }
 
 void TracingBrokerService::handle_interest_response(const Uuid& session_id,
@@ -607,36 +773,31 @@ void TracingBrokerService::publish_trace(Session& s, TracePayload payload) {
     ++stats_.traces_suppressed_no_interest;
     return;
   }
-
-  payload.issued_at = broker_.backend().now();
-  payload.secured = s.secure;
-
-  pubsub::Message m;
-  m.topic = tt::trace_publication(s.trace_topic, category_suffix(category));
-  Bytes body = payload.serialize();
-  if (s.secure) {
-    m.payload = s.trace_key.encrypt(body, rng_);
-    m.encrypted = true;
-  } else {
-    m.payload = std::move(body);
-  }
-  m.publisher = broker_.name();
-  m.sequence = ++trace_sequence_;
-  m.timestamp = payload.issued_at;
-  m.auth_token = s.token.serialize();
-  // §4.3: broker-generated traces are signed with the delegate key so any
-  // routing broker can verify authorization without learning which broker
-  // hosts the entity.
-  m.signature = s.delegate_key.sign(m.signable_bytes());
-  broker_.publish_from_broker(std::move(m));
+  // The emitter owns the signing ritual (and, with digests enabled, the
+  // coalescing choice). The pending digest is keyed by the session's
+  // entity id — the host for batch sessions.
+  emitter_.trace(signing(s), s.entity_id, std::move(payload));
   ++stats_.traces_published;
 }
 
-void TracingBrokerService::remove_session(Session& s) {
-  broker_.backend().cancel(s.ping_timer);
-  broker_.backend().cancel(s.gauge_timer);
-  broker_.backend().cancel(s.metrics_timer);
-  s.ping_timer = s.gauge_timer = s.metrics_timer = 0;
+void TracingBrokerService::erase_session(Session& s) {
+  // Extract first: any reentrant lookup (a flush's publish can fire the
+  // client-unreachable listener) must no longer find this session.
+  auto node = sessions_.extract(s.session_id);
+  if (node.empty()) return;
+  Session& dead = node.mapped();
+  wheel_.cancel(dead.ping_timer);
+  wheel_.cancel(dead.gauge_timer);
+  wheel_.cancel(dead.metrics_timer);
+  by_entity_.erase(dead.entity_id);
+  for (const auto h : dead.members) {
+    if (!roster_.contains(h)) continue;
+    by_entity_.erase(roster_[h].entity_id);
+    roster_.erase(h);
+  }
+  dead.members.clear();
+  // Ship any heartbeats observed before teardown.
+  emitter_.flush(dead.entity_id);
 }
 
 }  // namespace et::tracing

@@ -10,19 +10,28 @@
 // broker. The service:
 //   * verifies trace registrations (credential chain + proof of
 //     possession + advertisement provenance) and mints sessions with
-//     hybrid-encrypted responses (§3.2);
+//     hybrid-encrypted responses (§3.2); batch registrations mint one
+//     session for a whole co-hosted entity roster (DESIGN.md §14);
 //   * pings each traced entity on an adaptive interval, maintains the
 //     last-10-pings window, and escalates FAILURE_SUSPICION -> FAILED on
-//     consecutive misses (§3.3);
-//   * publishes traces on the per-category derived topics, every one
-//     carrying the entity's authorization token and a delegate-key
-//     signature (§4.3);
+//     consecutive misses (§3.3); for host sessions one ping covers the
+//     roster and the response's liveness bitmap drives per-member
+//     escalation;
+//   * publishes traces on the per-category derived topics through a
+//     TraceEmitter, every one carrying the entity's authorization token
+//     and a delegate-key signature (§4.3); with digests enabled, plain
+//     heartbeats coalesce into one signed digest per host per interval;
 //   * gauges tracker interest periodically and publishes a category only
 //     while some tracker wants it (§3.5); unsolicited interest responses
 //     are also accepted (extension, documented in DESIGN.md);
 //   * distributes the secret trace key to authorized trackers via sealed
 //     envelopes and encrypts traces with it when the entity asked for
 //     confidentiality (§5.1).
+//
+// All session timers ride a coalescing TimerWheel, so armed backend
+// timers are O(distinct deadlines), not O(sessions), once
+// TracingConfig::timer_wheel_tick is set. Member records live in a
+// SlotArena so broker memory per entity is a measured constant.
 //
 // All state is touched in the broker's node context only.
 #pragma once
@@ -31,13 +40,17 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/random.h"
+#include "src/common/timer_wheel.h"
 #include "src/common/uuid.h"
 #include "src/pubsub/broker.h"
 #include "src/tracing/authorization_token.h"
 #include "src/tracing/config.h"
 #include "src/tracing/registration.h"
+#include "src/tracing/trace_emitter.h"
 #include "src/tracing/trace_message.h"
 
 namespace et::tracing {
@@ -45,11 +58,12 @@ namespace et::tracing {
 /// Counters for tests and benchmarks.
 struct TracingBrokerStats {
   std::uint64_t registrations = 0;
+  std::uint64_t batch_registrations = 0;  // batch requests (not members)
   std::uint64_t rejected_registrations = 0;
   std::uint64_t pings_sent = 0;
   std::uint64_t ping_responses = 0;
   std::uint64_t rejected_session_messages = 0;
-  std::uint64_t traces_published = 0;
+  std::uint64_t traces_published = 0;  // observations (digest entries count)
   std::uint64_t traces_suppressed_no_interest = 0;
   std::uint64_t suspicions = 0;
   std::uint64_t failures = 0;
@@ -70,7 +84,21 @@ class TracingBrokerService {
   [[nodiscard]] std::size_t active_sessions() const { return sessions_.size(); }
   [[nodiscard]] bool has_session_for(const std::string& entity_id) const;
 
-  /// Ping-window diagnostics for one traced entity (tests).
+  /// Message-level emission counters (digests vs per-entity traces).
+  [[nodiscard]] const TraceEmitter::Stats& emitter_stats() const {
+    return emitter_.stats();
+  }
+  /// Logical-vs-armed timer accounting for the session timer wheel.
+  [[nodiscard]] TimerWheel::Stats timer_stats() const {
+    return wheel_.stats();
+  }
+  /// Heap footprint of the member roster arena (bytes/entity accounting).
+  [[nodiscard]] std::size_t roster_bytes() const { return roster_.bytes(); }
+  [[nodiscard]] std::size_t roster_size() const { return roster_.size(); }
+
+  /// Ping-window diagnostics for one traced entity (tests). For a batch
+  /// member the flags come from its roster record; interval/interest are
+  /// the host session's.
   struct SessionView {
     bool exists = false;
     bool suspected = false;
@@ -93,9 +121,18 @@ class TracingBrokerService {
     std::uint8_t mask = 0;
     std::uint64_t last_round = 0;
   };
+  /// One co-hosted entity of a batch session. Lives in the roster arena;
+  /// the session holds handles in registration order (= liveness bit
+  /// order).
+  struct MemberRecord {
+    std::string entity_id;
+    int consecutive_misses = 0;
+    bool suspected = false;
+    bool failed = false;
+  };
   struct Session {
     Uuid session_id;
-    std::string entity_id;
+    std::string entity_id;  // the host id for batch sessions
     std::string trace_topic;  // UUID string
     crypto::Credential credential;
     discovery::TopicAdvertisement advertisement;
@@ -110,6 +147,9 @@ class TracingBrokerService {
     /// by broker failover has no recorded interest yet, and its
     /// RECOVERING announcement must not vanish).
     std::optional<EntityState> last_state;
+    /// Batch-session roster handles, in liveness-bit order. Empty for
+    /// single-entity sessions.
+    std::vector<SlotArena<MemberRecord>::Handle> members;
 
     Duration ping_interval = 0;
     std::uint64_t next_ping_number = 1;
@@ -123,12 +163,28 @@ class TracingBrokerService {
     std::uint64_t gauge_round = 0;
     std::map<std::string, TrackerInterest> interests;
 
-    transport::TimerId ping_timer = 0;
-    transport::TimerId gauge_timer = 0;
-    transport::TimerId metrics_timer = 0;
+    TimerWheel::WheelId ping_timer = 0;
+    TimerWheel::WheelId gauge_timer = 0;
+    TimerWheel::WheelId metrics_timer = 0;
+
+    [[nodiscard]] bool is_host() const { return !members.empty(); }
   };
 
   void handle_registration(const pubsub::Message& m);
+  void handle_batch_registration(const pubsub::Message& m);
+  /// The shared verification steps of §3.2 (credential chain, proof of
+  /// possession, subject match, advertisement provenance + ownership).
+  /// Publishes the error and bumps the reject counter on failure.
+  bool verify_registration(const pubsub::Message& m, const std::string& id,
+                           const crypto::Credential& credential,
+                           const discovery::TopicAdvertisement& advertisement,
+                           std::uint64_t request_id);
+  /// Mints the session, wires its topics/timers and sends the sealed
+  /// response. `member_ids` non-empty makes it a batch (host) session.
+  void mint_session(const std::string& id, const crypto::Credential& cred,
+                    const discovery::TopicAdvertisement& ad,
+                    std::uint64_t request_id,
+                    std::vector<std::string> member_ids);
   void handle_session_message(const Uuid& session_id,
                               const pubsub::Message& m);
   void handle_interest_response(const Uuid& session_id,
@@ -140,11 +196,19 @@ class TracingBrokerService {
   void handle_token_delivery(Session& s, const SessionMessage& sm);
   void deliver_trace_key(Session& s, const InterestResponse& resp);
   void publish_trace(Session& s, TracePayload payload);
+  /// Per-member miss/recovery escalation for host sessions. Both may
+  /// reentrantly tear the session down; callers re-check liveness.
+  void member_miss(Session& s, MemberRecord& rec);
+  void member_alive(Session& s, MemberRecord& rec);
   void publish_registration_error(const std::string& entity_id,
                                   std::uint64_t request_id,
                                   const std::string& error);
-  void remove_session(Session& s);
+  /// Tears a session down: cancels its timers, frees roster records,
+  /// erases every by_entity_ alias and flushes its pending digest. `s`
+  /// must belong to sessions_; the reference is dead afterwards.
+  void erase_session(Session& s);
   [[nodiscard]] std::uint8_t effective_interest(const Session& s) const;
+  [[nodiscard]] TraceEmitter::Signing signing(const Session& s) const;
 
   /// Decrypts/authenticates an entity->broker session message per the
   /// configured signing mode. Returns the decoded message or an error.
@@ -155,10 +219,13 @@ class TracingBrokerService {
   TrustAnchors anchors_;
   TracingConfig config_;
   Rng rng_;
+  TimerWheel wheel_;
+  TraceEmitter emitter_;
   std::map<Uuid, Session> sessions_;
+  /// entity id -> session; batch members alias their host's session.
   std::map<std::string, Uuid> by_entity_;
+  SlotArena<MemberRecord> roster_;
   TracingBrokerStats stats_;
-  std::uint64_t trace_sequence_ = 0;
 };
 
 }  // namespace et::tracing

@@ -2,6 +2,8 @@
 
 #include "src/common/logging.h"
 #include "src/pubsub/constrained_topic.h"
+#include "src/tracing/trace_digest.h"
+#include "src/tracing/trace_emitter.h"
 
 namespace et::tracing {
 
@@ -84,6 +86,14 @@ void Tracker::begin_subscriptions(Tracked t, ReadyCallback on_ready) {
           on_trace(trace_topic, m);
         });
   }
+  // Coalesced per-host digests (DESIGN.md §14) ride their own kind topic;
+  // they carry ALLS_WELL observations, so they follow AllUpdates interest.
+  if ((t.categories & kCatAllUpdates) != 0) {
+    client_.subscribe(tt::trace_publication(trace_topic, tt::kDigest),
+                      [this, trace_topic](const pubsub::Message& m) {
+                        on_digest(trace_topic, m);
+                      });
+  }
   // GAUGE_INTEREST probes (§3.5).
   client_.subscribe(tt::gauge_interest(trace_topic),
                     [this, trace_topic](const pubsub::Message& m) {
@@ -119,6 +129,9 @@ void Tracker::untrack(const std::string& entity_id) {
         client_.unsubscribe(
             tt::trace_publication(t.trace_topic, category_suffix(bit)));
       }
+      if ((t.categories & kCatAllUpdates) != 0) {
+        client_.unsubscribe(tt::trace_publication(t.trace_topic, tt::kDigest));
+      }
       client_.unsubscribe(tt::gauge_interest(t.trace_topic));
       client_.unsubscribe(key_topic_for(t));
       tracked_.erase(it);
@@ -127,12 +140,9 @@ void Tracker::untrack(const std::string& entity_id) {
   });
 }
 
-void Tracker::on_trace(const std::string& trace_topic,
-                       const pubsub::Message& m) {
-  const auto it = tracked_.find(trace_topic);
-  if (it == tracked_.end()) return;
-  Tracked& t = it->second;
-
+std::optional<Bytes> Tracker::verify_and_open(Tracked& t,
+                                              const std::string& trace_topic,
+                                              const pubsub::Message& m) {
   // End-to-end verification (§4.3): token chain + delegate signature. The
   // broker network already filtered, but a tracker must not trust its
   // access link.
@@ -141,32 +151,43 @@ void Tracker::on_trace(const std::string& trace_topic,
     token = AuthorizationToken::deserialize(m.auth_token);
   } catch (const std::exception&) {
     ++stats_.traces_rejected;
-    return;
+    return std::nullopt;
   }
   if (!token.verify(anchors_.tdn_key, anchors_.ca_key, backend_.now())
            .is_ok() ||
       token.trace_topic().to_string() != trace_topic ||
       !token.verify_delegate_signature(m.signable_bytes(), m.signature)) {
     ++stats_.traces_rejected;
-    return;
+    return std::nullopt;
   }
 
   Bytes body = m.payload;
   if (m.encrypted) {
     if (t.trace_key.empty()) {
       ++stats_.undecryptable;
-      return;
+      return std::nullopt;
     }
     try {
       body = t.trace_key.decrypt(body);
     } catch (const std::exception&) {
       ++stats_.undecryptable;
-      return;
+      return std::nullopt;
     }
   }
+  return body;
+}
+
+void Tracker::on_trace(const std::string& trace_topic,
+                       const pubsub::Message& m) {
+  const auto it = tracked_.find(trace_topic);
+  if (it == tracked_.end()) return;
+  Tracked& t = it->second;
+
+  const std::optional<Bytes> body = verify_and_open(t, trace_topic, m);
+  if (!body) return;
   TracePayload payload;
   try {
-    payload = TracePayload::deserialize(body);
+    payload = TracePayload::deserialize(*body);
   } catch (const SerializeError&) {
     ++stats_.traces_rejected;
     return;
@@ -179,6 +200,32 @@ void Tracker::on_trace(const std::string& trace_topic,
   }
   ++stats_.traces_received;
   if (t.handler) t.handler(payload, m);
+}
+
+void Tracker::on_digest(const std::string& trace_topic,
+                        const pubsub::Message& m) {
+  const auto it = tracked_.find(trace_topic);
+  if (it == tracked_.end()) return;
+  Tracked& t = it->second;
+
+  const std::optional<Bytes> body = verify_and_open(t, trace_topic, m);
+  if (!body) return;
+  TraceDigest digest;
+  try {
+    digest = TraceDigest::deserialize(*body);
+  } catch (const SerializeError&) {
+    ++stats_.traces_rejected;
+    return;
+  }
+  ++stats_.digests_received;
+
+  // Expansion restores per-entity semantics: the handler observes the
+  // same payload stream it would have without coalescing.
+  for (const TracePayload& payload : digest.expand()) {
+    ++stats_.digest_entries_expanded;
+    ++stats_.traces_received;
+    if (t.handler) t.handler(payload, m);
+  }
 }
 
 void Tracker::respond_interest(Tracked& t, bool secured) {
@@ -196,10 +243,8 @@ void Tracker::respond_interest(Tracked& t, bool secured) {
   m.topic = tt::interest_response(t.trace_topic);
   m.payload = resp.serialize();
   m.publisher = identity_.id;
-  m.sequence = ++sequence_;
-  m.timestamp = backend_.now();
-  m.signature = identity_.keys.private_key.sign(m.signable_bytes());
-  client_.publish(std::move(m));
+  publish_signed(client_, std::move(m), identity_.keys.private_key, sequence_,
+                 backend_.now());
 }
 
 void Tracker::on_key_delivery(const std::string& trace_topic,

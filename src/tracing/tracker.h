@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "src/crypto/credential.h"
@@ -30,11 +31,13 @@ namespace et::tracing {
 
 /// Counters for tests/benches.
 struct TrackerStats {
-  std::uint64_t traces_received = 0;   // after verification
+  std::uint64_t traces_received = 0;   // after verification (incl. expanded)
   std::uint64_t traces_rejected = 0;   // failed token/signature checks
   std::uint64_t undecryptable = 0;     // encrypted, no (valid) key yet
   std::uint64_t gauges_answered = 0;
   std::uint64_t keys_received = 0;
+  std::uint64_t digests_received = 0;  // verified digest messages
+  std::uint64_t digest_entries_expanded = 0;  // per-entity payloads from them
 };
 
 class Tracker {
@@ -60,6 +63,16 @@ class Tracker {
   void track(const std::string& entity_id, std::uint8_t categories,
              TraceHandler handler, ReadyCallback on_ready = nullptr);
 
+  /// Tracks an EntityHost's batch session (DESIGN.md §14). Identical to
+  /// track(host_id, ...) — the name documents the semantics: the handler
+  /// fires once per *member entity* observation; coalesced digests are
+  /// verified, decrypted and expanded before delivery, so per-entity
+  /// handlers never see the batching.
+  void track_host(const std::string& host_id, std::uint8_t categories,
+                  TraceHandler handler, ReadyCallback on_ready = nullptr) {
+    track(host_id, categories, std::move(handler), std::move(on_ready));
+  }
+
   /// Stops tracking `entity_id`: unsubscribes every associated topic and
   /// stops answering its gauge probes, so the broker's interest record
   /// for this tracker expires after the TTL (§3.5).
@@ -84,6 +97,14 @@ class Tracker {
 
   void begin_subscriptions(Tracked t, ReadyCallback on_ready);
   void on_trace(const std::string& trace_topic, const pubsub::Message& m);
+  void on_digest(const std::string& trace_topic, const pubsub::Message& m);
+  /// Token-chain + delegate-signature verification shared by per-entity
+  /// traces and digests (§4.3), plus decryption when the payload is
+  /// sealed with the trace key. Returns the plaintext body or nullopt
+  /// (counters already bumped).
+  std::optional<Bytes> verify_and_open(Tracked& t,
+                                       const std::string& trace_topic,
+                                       const pubsub::Message& m);
   void respond_interest(Tracked& t, bool secured);
   void on_key_delivery(const std::string& trace_topic,
                        const pubsub::Message& m);

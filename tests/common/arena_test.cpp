@@ -1,0 +1,121 @@
+#include "src/common/arena.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+TEST(SlotArenaTest, EmplaceAccessErase) {
+  SlotArena<std::string> a;
+  auto h1 = a.emplace("alpha");
+  auto h2 = a.emplace("beta");
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[h1], "alpha");
+  EXPECT_EQ(a[h2], "beta");
+  EXPECT_TRUE(a.contains(h1));
+  a.erase(h1);
+  EXPECT_FALSE(a.contains(h1));
+  EXPECT_TRUE(a.contains(h2));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(SlotArenaTest, HandlesStableAcrossSlabGrowth) {
+  SlotArena<int> a(/*slab_capacity=*/4);
+  std::vector<SlotArena<int>::Handle> handles;
+  for (int i = 0; i < 100; ++i) handles.push_back(a.emplace(i * 7));
+  // Growth allocated new slabs; every earlier handle still reads its value.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a[handles[i]], i * 7);
+  EXPECT_GE(a.capacity(), 100u);
+}
+
+TEST(SlotArenaTest, ErasedSlotsAreRecycledBeforeGrowth) {
+  SlotArena<int> a(/*slab_capacity=*/8);
+  std::vector<SlotArena<int>::Handle> handles;
+  for (int i = 0; i < 8; ++i) handles.push_back(a.emplace(i));
+  const std::size_t cap = a.capacity();
+  a.erase(handles[3]);
+  a.erase(handles[5]);
+  auto r1 = a.emplace(33);
+  auto r2 = a.emplace(55);
+  // Freed slots were reused: no new slab, and the handles came back from
+  // the erased set.
+  EXPECT_EQ(a.capacity(), cap);
+  std::set<SlotArena<int>::Handle> freed{handles[3], handles[5]};
+  EXPECT_TRUE(freed.count(r1));
+  EXPECT_TRUE(freed.count(r2));
+  EXPECT_EQ(a[r1], 33);
+  EXPECT_EQ(a[r2], 55);
+}
+
+TEST(SlotArenaTest, DestructorsRunOnEraseAndClear) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    explicit Probe(std::shared_ptr<int> p) : c(std::move(p)) {}
+    ~Probe() {
+      if (c) ++*c;
+    }
+    std::shared_ptr<int> c;
+  };
+  SlotArena<Probe> a;
+  auto h = a.emplace(counter);
+  a.emplace(counter);
+  a.emplace(counter);
+  EXPECT_EQ(*counter, 0);
+  a.erase(h);
+  EXPECT_EQ(*counter, 1);
+  a.clear();
+  EXPECT_EQ(*counter, 3);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(SlotArenaTest, ForEachVisitsExactlyLiveRecords) {
+  SlotArena<int> a(/*slab_capacity=*/4);
+  std::vector<SlotArena<int>::Handle> handles;
+  for (int i = 0; i < 10; ++i) handles.push_back(a.emplace(i));
+  a.erase(handles[2]);
+  a.erase(handles[7]);
+  std::set<int> seen;
+  a.for_each([&](SlotArena<int>::Handle, int& v) { seen.insert(v); });
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_FALSE(seen.count(2));
+  EXPECT_FALSE(seen.count(7));
+}
+
+TEST(SlotArenaTest, BytesTracksSlabFootprint) {
+  SlotArena<std::uint64_t> a(/*slab_capacity=*/16);
+  EXPECT_EQ(a.bytes(), 0u);
+  a.emplace(1);
+  const std::size_t one_slab = a.bytes();
+  EXPECT_GT(one_slab, 0u);
+  for (int i = 0; i < 16; ++i) a.emplace(i);  // spills into a second slab
+  EXPECT_GT(a.bytes(), one_slab);
+  // Footprint is amortized: slabs, not per-record heap nodes.
+  EXPECT_LT(a.bytes(), 17 * 64 + 1024);
+}
+
+TEST(SlotArenaTest, ChurnNeverLosesOrDuplicatesSlots) {
+  SlotArena<int> a(/*slab_capacity=*/8);
+  std::vector<SlotArena<int>::Handle> live;
+  // Deterministic churn: interleave bursts of insert and erase.
+  int next = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 7; ++i) live.push_back(a.emplace(next++));
+    for (int i = 0; i < 5 && !live.empty(); ++i) {
+      a.erase(live[live.size() / 2]);
+      live.erase(live.begin() + static_cast<long>(live.size()) / 2);
+    }
+    EXPECT_EQ(a.size(), live.size());
+  }
+  // All surviving handles resolve and are distinct slots.
+  std::set<SlotArena<int>::Handle> distinct(live.begin(), live.end());
+  EXPECT_EQ(distinct.size(), live.size());
+  for (auto h : live) EXPECT_TRUE(a.contains(h));
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,222 @@
+#include "src/common/timer_wheel.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+/// Minimal deterministic one-shot scheduler: timers fire in deadline order
+/// (FIFO within a deadline) as the test advances time.
+class FakeScheduler {
+ public:
+  TimerWheel::Scheduler as_wheel_scheduler() {
+    return TimerWheel::Scheduler{
+        .schedule =
+            [this](Duration delay, std::function<void()> fn) {
+              const std::uint64_t id = next_id_++;
+              timers_.emplace(Key{now_ + delay, id}, std::move(fn));
+              ++armed_total_;
+              return id;
+            },
+        .cancel =
+            [this](std::uint64_t id) {
+              for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+                if (it->first.id == id) {
+                  timers_.erase(it);
+                  return;
+                }
+              }
+            },
+        .now = [this] { return now_; },
+    };
+  }
+
+  void advance(Duration d) {
+    const TimePoint until = now_ + d;
+    while (!timers_.empty() && timers_.begin()->first.at <= until) {
+      auto it = timers_.begin();
+      now_ = it->first.at;
+      auto fn = std::move(it->second);
+      timers_.erase(it);
+      fn();
+    }
+    now_ = until;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return timers_.size(); }
+  [[nodiscard]] std::uint64_t armed_total() const { return armed_total_; }
+
+ private:
+  struct Key {
+    TimePoint at;
+    std::uint64_t id;
+    bool operator<(const Key& o) const {
+      return at != o.at ? at < o.at : id < o.id;
+    }
+  };
+  TimePoint now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t armed_total_ = 0;
+  std::map<Key, std::function<void()>> timers_;
+};
+
+TEST(TimerWheelTest, PassthroughFiresAtExactDeadline) {
+  FakeScheduler sched;
+  TimerWheel wheel(sched.as_wheel_scheduler(), /*tick=*/0);
+  std::vector<TimePoint> fired;
+  wheel.schedule(100, [&] { fired.push_back(wheel.now()); });
+  wheel.schedule(250, [&] { fired.push_back(wheel.now()); });
+  sched.advance(99);
+  EXPECT_TRUE(fired.empty());
+  sched.advance(1);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 100);
+  sched.advance(150);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], 250);
+  // Passthrough arms one scheduler timer per logical timer.
+  EXPECT_EQ(wheel.stats().armed, 2u);
+  EXPECT_EQ(wheel.stats().fired, 2u);
+}
+
+TEST(TimerWheelTest, PassthroughCancelStopsFiring) {
+  FakeScheduler sched;
+  TimerWheel wheel(sched.as_wheel_scheduler(), /*tick=*/0);
+  int fired = 0;
+  auto id = wheel.schedule(100, [&] { ++fired; });
+  wheel.cancel(id);
+  sched.advance(1000);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.stats().cancelled, 1u);
+  EXPECT_EQ(wheel.stats().pending, 0u);
+}
+
+TEST(TimerWheelTest, CoalescesManyTimersIntoOneArmedTimer) {
+  FakeScheduler sched;
+  TimerWheel wheel(sched.as_wheel_scheduler(), /*tick=*/1000);
+  int fired = 0;
+  // 100 logical timers inside one tick window.
+  for (int i = 0; i < 100; ++i) {
+    wheel.schedule(500 + i, [&] { ++fired; });
+  }
+  EXPECT_EQ(wheel.stats().pending, 100u);
+  // One scheduler timer armed for the shared bucket, not 100.
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.advance(1000);
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(wheel.stats().armed, 1u);
+  EXPECT_EQ(wheel.stats().fired, 100u);
+}
+
+TEST(TimerWheelTest, NeverFiresEarlyAtMostOneTickLate) {
+  FakeScheduler sched;
+  const Duration tick = 1000;
+  TimerWheel wheel(sched.as_wheel_scheduler(), tick);
+  std::vector<std::pair<TimePoint, TimePoint>> asked_fired;
+  for (Duration d : {1, 999, 1000, 1001, 2500}) {
+    const TimePoint deadline = d;  // scheduled at t=0
+    wheel.schedule(d, [&, deadline] {
+      asked_fired.emplace_back(deadline, wheel.now());
+    });
+  }
+  sched.advance(10000);
+  ASSERT_EQ(asked_fired.size(), 5u);
+  for (auto [asked, fired] : asked_fired) {
+    EXPECT_GE(fired, asked) << "fired early";
+    EXPECT_LT(fired, asked + tick) << "fired more than a tick late";
+    EXPECT_EQ(fired % tick, 0) << "fired off a tick boundary";
+  }
+}
+
+TEST(TimerWheelTest, CancelledIdInSharedBucketIsSkipped) {
+  FakeScheduler sched;
+  TimerWheel wheel(sched.as_wheel_scheduler(), /*tick=*/1000);
+  int a = 0, b = 0;
+  auto ida = wheel.schedule(400, [&] { ++a; });
+  wheel.schedule(600, [&] { ++b; });
+  wheel.cancel(ida);
+  sched.advance(2000);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(wheel.stats().cancelled, 1u);
+  EXPECT_EQ(wheel.stats().fired, 1u);
+}
+
+TEST(TimerWheelTest, EarlierTimerReArmsTheWheel) {
+  FakeScheduler sched;
+  TimerWheel wheel(sched.as_wheel_scheduler(), /*tick=*/100);
+  std::vector<int> order;
+  wheel.schedule(5000, [&] { order.push_back(2); });
+  // A later schedule with an earlier deadline must fire first.
+  wheel.schedule(300, [&] { order.push_back(1); });
+  sched.advance(10000);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(TimerWheelTest, CallbackMayRescheduleItself) {
+  FakeScheduler sched;
+  TimerWheel wheel(sched.as_wheel_scheduler(), /*tick=*/1000);
+  int fires = 0;
+  std::function<void()> periodic = [&] {
+    if (++fires < 5) wheel.schedule(1000, periodic);
+  };
+  wheel.schedule(1000, periodic);
+  sched.advance(10000);
+  EXPECT_EQ(fires, 5);
+  // Self-rescheduling from inside the drain still coalesces: one armed
+  // scheduler timer per occupied bucket.
+  EXPECT_EQ(wheel.stats().armed, 5u);
+}
+
+TEST(TimerWheelTest, ManyHostsOneBucketArmsOncePerRound) {
+  FakeScheduler sched;
+  TimerWheel wheel(sched.as_wheel_scheduler(), /*tick=*/1000);
+  // 64 "hosts" each rescheduling their own digest timer every round: the
+  // wheel should arm one scheduler timer per round, not per host.
+  int fires = 0;
+  std::function<void()> tickfn = [&] {
+    ++fires;
+    wheel.schedule(1000, tickfn);
+  };
+  for (int h = 0; h < 64; ++h) wheel.schedule(1000, tickfn);
+  sched.advance(10 * 1000);
+  EXPECT_EQ(fires, 64 * 10);
+  // One arm per drained round plus the arm for the (unfired) next round.
+  EXPECT_EQ(wheel.stats().armed, 11u);
+}
+
+TEST(TimerWheelTest, DestructorCancelsArmedTimersSafely) {
+  FakeScheduler sched;
+  int fired = 0;
+  {
+    TimerWheel wheel(sched.as_wheel_scheduler(), /*tick=*/1000);
+    wheel.schedule(500, [&] { ++fired; });
+  }
+  sched.advance(5000);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sched.pending(), 0u);
+  {
+    TimerWheel passthrough(sched.as_wheel_scheduler(), /*tick=*/0);
+    passthrough.schedule(500, [&] { ++fired; });
+  }
+  sched.advance(5000);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerWheelTest, ZeroDelayFiresOnNextAdvance) {
+  FakeScheduler sched;
+  TimerWheel wheel(sched.as_wheel_scheduler(), /*tick=*/1000);
+  int fired = 0;
+  wheel.schedule(0, [&] { ++fired; });
+  sched.advance(0);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,219 @@
+// Chaos validation of the §14 coalescing path (ctest -L chaos): the
+// availability oracle must reach the same verdicts over coalesced digest
+// streams as it does over per-entity heartbeats. Rack loss (a host and
+// all its co-hosted members vanishing at once) must surface every member
+// through the suspect ladder with ZERO false suspicions for members on
+// surviving racks, and the oracle's I1/I2 safety invariants must hold —
+// coalescing changes the wire format, never the semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/chaos/oracle.h"
+#include "src/tracing/entity_host.h"
+#include "src/transport/fault_injector.h"
+#include "tests/tracing/harness.h"
+
+namespace et::tracing {
+namespace {
+
+using chaos::AvailabilityOracle;
+using chaos::OracleReport;
+using chaos::PairReport;
+using testing::TracingHarness;
+
+constexpr std::size_t kMembersPerRack = 24;
+
+/// Chaos ladder thresholds on top of the digest-enabled fast config.
+TracingConfig digest_chaos_config() {
+  TracingConfig c = TracingHarness::fast_config();  // 100 ms pings
+  c.digest_interval = 100 * kMillisecond;
+  c.timer_wheel_tick = 20 * kMillisecond;
+  c.suspicion_misses = 3;
+  c.failed_misses = 6;
+  c.disconnect_misses = 9;
+  return c;
+}
+
+std::vector<std::string> rack_members(const std::string& rack) {
+  std::vector<std::string> ids;
+  ids.reserve(kMembersPerRack);
+  for (std::size_t i = 0; i < kMembersPerRack; ++i) {
+    ids.push_back(rack + "/m" + std::to_string(i));
+  }
+  return ids;
+}
+
+/// One rack: an EntityHost carrying kMembersPerRack members, registered
+/// against `broker_index` of the harness.
+std::unique_ptr<EntityHost> make_rack(TracingHarness& h,
+                                      const std::string& rack,
+                                      std::size_t broker_index,
+                                      const TracingConfig& config) {
+  auto host = std::make_unique<EntityHost>(h.net, h.make_identity(rack),
+                                           h.anchors, config,
+                                           h.rng.next_u64());
+  host->attach_tdn(h.tdn->node(), TracingHarness::link());
+  host->connect_broker(h.brokers.at(broker_index)->node(),
+                       TracingHarness::link());
+  h.net.run_for(20 * kMillisecond);
+
+  Status reg = internal_error("callback never ran");
+  bool done = false;
+  host->register_entities({}, rack_members(rack), [&](const Status& s) {
+    reg = s;
+    done = true;
+  });
+  for (int i = 0; i < 100 && !done; ++i) h.net.run_for(50 * kMillisecond);
+  EXPECT_TRUE(reg.is_ok()) << rack << ": " << reg.to_string();
+  return host;
+}
+
+/// Subscribes the tracker to a whole rack, routing every expanded
+/// per-member observation into that member's oracle tap.
+void track_rack(TracingHarness& h, Tracker& tracker, AvailabilityOracle& oracle,
+                const std::string& rack) {
+  auto taps =
+      std::make_shared<std::map<std::string, Tracker::TraceHandler>>();
+  for (const std::string& id : rack_members(rack)) {
+    (*taps)[id] = oracle.tap(tracker.tracker_id(), id, h.net);
+  }
+  Status st = internal_error("callback never ran");
+  bool done = false;
+  tracker.track_host(
+      rack, kCatAll,
+      [taps](const TracePayload& p, const pubsub::Message& m) {
+        // Digest expansion already happened inside the tracker; by here
+        // every observation is per-member.
+        const auto it = taps->find(p.entity_id);
+        if (it != taps->end()) it->second(p, m);
+      },
+      [&](const Status& s) {
+        st = s;
+        done = true;
+      });
+  for (int i = 0; i < 100 && !done; ++i) h.net.run_for(50 * kMillisecond);
+  h.net.run_for(20 * kMillisecond);
+  ASSERT_TRUE(st.is_ok()) << rack << ": " << st.to_string();
+}
+
+void set_rack_truth(AvailabilityOracle& oracle, const std::string& tracker_id,
+                    const std::string& rack, bool up, TimePoint at) {
+  for (const std::string& id : rack_members(rack)) {
+    oracle.set_truth(tracker_id, id, up, at);
+  }
+}
+
+const PairReport& pair_for(const OracleReport& r, const std::string& entity) {
+  for (const PairReport& p : r.pairs) {
+    if (p.entity_id == entity) return p;
+  }
+  ADD_FAILURE() << "no pair report for " << entity;
+  static const PairReport kEmpty;
+  return kEmpty;
+}
+
+TEST(DigestChaosTest, RackLossSurfacesEveryMemberWithZeroFalseSuspicions) {
+  const TracingConfig config = digest_chaos_config();
+  TracingHarness h(/*broker_count=*/3, config, /*seed=*/20260809);
+  auto rack_a = make_rack(h, "rack-a", 0, config);
+  auto rack_b = make_rack(h, "rack-b", 1, config);
+  auto tracker = h.make_tracker("oracle-watcher", 2);
+
+  AvailabilityOracle oracle;
+  track_rack(h, *tracker, oracle, "rack-a");
+  track_rack(h, *tracker, oracle, "rack-b");
+  set_rack_truth(oracle, tracker->tracker_id(), "rack-a", true, h.net.now());
+  set_rack_truth(oracle, tracker->tracker_id(), "rack-b", true, h.net.now());
+
+  // Steady state long enough for several digest rounds on both racks.
+  h.net.run_for(1 * kSecond);
+  EXPECT_GT(h.services[0]->emitter_stats().digests_published, 0u);
+  EXPECT_GT(h.services[1]->emitter_stats().digests_published, 0u);
+
+  // Rack loss: the host (and with it all 24 members) drops off the
+  // network at once. Ground truth flips for rack-a only.
+  h.net.faults().blackhole(rack_a->client().node(), h.brokers[0]->node());
+  set_rack_truth(oracle, tracker->tracker_id(), "rack-a", false, h.net.now());
+
+  // Ride out the whole ladder: 9 missed pings to DISCONNECT, plus digest
+  // flush and overlay propagation.
+  h.net.run_for(3 * kSecond);
+
+  const OracleReport report = oracle.report(h.net.now(), /*grace=*/2 * kSecond);
+  // The headline §14 claim: coalescing introduces no false suspicions.
+  EXPECT_EQ(report.false_suspicions(), 0u);
+  for (const std::string& id : rack_members("rack-a")) {
+    const PairReport& p = pair_for(report, id);
+    // Every lost member was individually surfaced...
+    EXPECT_GE(p.suspicion_signals, 1u) << id;
+    EXPECT_EQ(p.truth_down_edges, 1u) << id;
+    EXPECT_GE(p.detected_down_edges, 1u) << id;
+  }
+  for (const std::string& id : rack_members("rack-b")) {
+    // ...while the surviving rack never drew a single suspicion.
+    EXPECT_EQ(pair_for(report, id).suspicion_signals, 0u) << id;
+  }
+
+  // Safety invariants over the merged truth/observation timelines: no
+  // availability signal beyond the detection bound, RECOVERING only with
+  // a real failover behind it.
+  const Duration detection_bound =
+      config.disconnect_misses * config.ping_interval +
+      2 * config.digest_interval;
+  EXPECT_EQ(oracle.check_invariants(detection_bound, 500 * kMillisecond),
+            std::vector<std::string>{});
+
+  // The verdicts above were reached over the coalesced wire format.
+  EXPECT_GT(tracker->stats().digests_received, 0u);
+  EXPECT_GT(tracker->stats().digest_entries_expanded,
+            4 * tracker->stats().digests_received);
+}
+
+TEST(DigestChaosTest, MemberBlackoutAndRecoveryStaysInvariantClean) {
+  const TracingConfig config = digest_chaos_config();
+  TracingHarness h(/*broker_count=*/3, config, /*seed=*/4242);
+  auto rack = make_rack(h, "rack-a", 0, config);
+  auto tracker = h.make_tracker("oracle-watcher", 2);
+
+  AvailabilityOracle oracle;
+  track_rack(h, *tracker, oracle, "rack-a");
+  set_rack_truth(oracle, tracker->tracker_id(), "rack-a", true, h.net.now());
+  h.net.run_for(500 * kMillisecond);
+
+  // One member blacks out while its host stays healthy: the host's ping
+  // responses simply stop vouching for it.
+  const std::string victim = "rack-a/m7";
+  rack->set_responsive(victim, false);
+  oracle.set_truth(tracker->tracker_id(), victim, false, h.net.now());
+  h.net.run_for(2 * kSecond);
+
+  // Recovery: responsive again, urgent (non-digested) ALLS_WELL restores.
+  rack->set_responsive(victim, true);
+  oracle.set_truth(tracker->tracker_id(), victim, true, h.net.now());
+  h.net.run_for(1500 * kMillisecond);
+
+  const OracleReport report = oracle.report(h.net.now(), /*grace=*/1 * kSecond);
+  EXPECT_EQ(report.false_suspicions(), 0u);
+  const PairReport& p = pair_for(report, victim);
+  EXPECT_GE(p.suspicion_signals, 1u);
+  EXPECT_GE(p.detected_down_edges, 1u);
+  for (const std::string& id : rack_members("rack-a")) {
+    if (id != victim) {
+      EXPECT_EQ(pair_for(report, id).suspicion_signals, 0u) << id;
+    }
+  }
+  const Duration detection_bound =
+      config.disconnect_misses * config.ping_interval +
+      2 * config.digest_interval;
+  EXPECT_EQ(oracle.check_invariants(detection_bound, 500 * kMillisecond),
+            std::vector<std::string>{});
+  EXPECT_GT(tracker->stats().digests_received, 0u);
+}
+
+}  // namespace
+}  // namespace et::tracing

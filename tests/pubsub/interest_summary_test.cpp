@@ -1,0 +1,262 @@
+// Hierarchical interest aggregation: the summarize_pattern grammar, the
+// per-edge refcount table under churn, and end-to-end broker behaviour
+// with Options::interest_summary_depth — one summarized edge per
+// (neighbour, prefix) upstream, unchanged routing, clean retraction, and
+// anti-entropy resync.
+#include "src/pubsub/interest_summary.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/pubsub/broker.h"
+#include "src/pubsub/client.h"
+#include "src/pubsub/topology.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::pubsub {
+namespace {
+
+TEST(SummarizePatternTest, CollapsesBelowDepth) {
+  EXPECT_EQ(summarize_pattern(TopicPath("a/b/c/d"), 2), "a/b/#");
+  EXPECT_EQ(summarize_pattern(TopicPath("a/b/c"), 2), "a/b/#");
+}
+
+TEST(SummarizePatternTest, ShortPatternsPassThrough) {
+  EXPECT_EQ(summarize_pattern(TopicPath("a/b"), 2), "a/b");
+  EXPECT_EQ(summarize_pattern(TopicPath("a"), 2), "a");
+}
+
+TEST(SummarizePatternTest, DepthZeroIsIdentity) {
+  EXPECT_EQ(summarize_pattern(TopicPath("a/b/c/d"), 0), "a/b/c/d");
+}
+
+TEST(SummarizePatternTest, WildcardInPrefixPassesThrough) {
+  // A pattern whose summarized stem would contain a wildcard cannot be
+  // collapsed into a concrete prefix edge.
+  EXPECT_EQ(summarize_pattern(TopicPath("a/*/c/d"), 2), "a/*/c/d");
+  EXPECT_EQ(summarize_pattern(TopicPath("#"), 2), "#");
+}
+
+TEST(SummarizePatternTest, IdempotentAcrossHops) {
+  // A received summary edge re-summarizes to itself, so multi-hop chains
+  // converge instead of nesting wildcards.
+  const std::string s = summarize_pattern(TopicPath("a/b/c/d"), 3);
+  EXPECT_EQ(s, "a/b/c/#");
+  EXPECT_EQ(summarize_pattern(TopicPath(s), 3), s);
+}
+
+TEST(InterestSummaryTableTest, RefcountsDistinctPatternsPerEdge) {
+  InterestSummaryTable t(2);
+  EXPECT_EQ(t.add(TopicPath("a/b/x")), "a/b/#");   // edge created
+  EXPECT_EQ(t.add(TopicPath("a/b/y")), std::nullopt);
+  EXPECT_EQ(t.add(TopicPath("a/b/z")), std::nullopt);
+  EXPECT_EQ(t.edge_count(), 1u);
+  EXPECT_EQ(t.remove(TopicPath("a/b/x")), std::nullopt);
+  EXPECT_EQ(t.remove(TopicPath("a/b/y")), std::nullopt);
+  EXPECT_EQ(t.remove(TopicPath("a/b/z")), "a/b/#");  // last one retracts
+  EXPECT_EQ(t.edge_count(), 0u);
+}
+
+TEST(InterestSummaryTableTest, ReAddsAndDoubleRemovesNeverSkewCounts) {
+  InterestSummaryTable t(2);
+  EXPECT_TRUE(t.add(TopicPath("a/b/x")).has_value());
+  // Duplicate adds of the same pattern are recorded once.
+  EXPECT_EQ(t.add(TopicPath("a/b/x")), std::nullopt);
+  EXPECT_EQ(t.add(TopicPath("a/b/x")), std::nullopt);
+  EXPECT_EQ(t.pattern_count(), 1u);
+  // First remove retracts; further removes never underflow or retract
+  // again (no double-free of the edge).
+  EXPECT_EQ(t.remove(TopicPath("a/b/x")), "a/b/#");
+  EXPECT_EQ(t.remove(TopicPath("a/b/x")), std::nullopt);
+  EXPECT_EQ(t.remove(TopicPath("a/b/x")), std::nullopt);
+  EXPECT_EQ(t.edge_count(), 0u);
+  EXPECT_EQ(t.pattern_count(), 0u);
+}
+
+TEST(InterestSummaryTableTest, TrackerChurnNeverStrandsAnEdge) {
+  // The satellite regression: trackers come and go, each contributing a
+  // batch of per-entity patterns under a common prefix. However the
+  // arrivals and departures interleave, the edge exists exactly while at
+  // least one pattern backs it.
+  InterestSummaryTable t(3);
+  const std::string prefix = "Constrained/Traces/Broker";
+  auto pattern = [&](int tracker, int entity) {
+    return TopicPath(prefix + "/t" + std::to_string(tracker) + "/e" +
+                     std::to_string(entity));
+  };
+  int announces = 0, retracts = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int tr = 0; tr < 4; ++tr) {
+      for (int e = 0; e < 8; ++e) {
+        if (t.add(pattern(tr, e))) ++announces;
+      }
+    }
+    // Departures in a different order than arrivals.
+    for (int tr = 3; tr >= 0; --tr) {
+      for (int e = 7; e >= 0; --e) {
+        if (t.remove(pattern(tr, e))) ++retracts;
+      }
+    }
+    ASSERT_EQ(t.edge_count(), 0u) << "stranded edge after round " << round;
+    ASSERT_EQ(t.pattern_count(), 0u);
+  }
+  // Exactly one announce/retract pair per round: 32 patterns, 1 edge.
+  EXPECT_EQ(announces, 20);
+  EXPECT_EQ(retracts, 20);
+}
+
+TEST(InterestSummaryTableTest, DistinctPrefixesGetDistinctEdges) {
+  InterestSummaryTable t(1);
+  EXPECT_EQ(t.add(TopicPath("alpha/x")), "alpha/#");
+  EXPECT_EQ(t.add(TopicPath("beta/x")), "beta/#");
+  EXPECT_EQ(t.edge_count(), 2u);
+  EXPECT_EQ(t.announced(),
+            (std::vector<std::string>{"alpha/#", "beta/#"}));
+}
+
+// --- broker integration over a virtual-time overlay ------------------------
+
+transport::LinkParams fast() {
+  transport::LinkParams p = transport::LinkParams::ideal_profile();
+  p.base_latency = 1 * kMillisecond;
+  return p;
+}
+
+struct SummaryFixture : ::testing::Test {
+  transport::VirtualTimeNetwork net{7};
+  Topology topo{net};
+  BrokerOptionsFn with_depth(std::size_t depth) {
+    return [depth](const std::string&) {
+      Broker::Options o;
+      o.interest_summary_depth = depth;
+      return o;
+    };
+  }
+};
+
+TEST_F(SummaryFixture, ChainHoldsOneEdgePerPrefixNotPerSubscription) {
+  auto brokers = topo.make_chain(4, fast(), "broker", with_depth(2));
+  Client sub(net, "tracker");
+  sub.connect(brokers[0]->node(), fast());
+  net.run_until_idle();
+  // 64 concrete subscriptions under one prefix at the edge broker.
+  for (int i = 0; i < 64; ++i) {
+    sub.subscribe("Traces/hosts/h" + std::to_string(i) + "/AllsWell",
+                  [](const Message&) {});
+  }
+  net.run_until_idle();
+  // The edge broker knows all 64 patterns; every upstream broker holds
+  // exactly one summarized edge.
+  EXPECT_EQ(brokers[0]->interest_edges(), 64u);
+  EXPECT_EQ(brokers[0]->summarized_edges(), 1u);
+  for (std::size_t i = 1; i < brokers.size(); ++i) {
+    EXPECT_EQ(brokers[i]->interest_edges(), 1u)
+        << "broker " << i << " should hold one summary edge";
+  }
+}
+
+TEST_F(SummaryFixture, RoutingStillDeliversAcrossSummarizedChain) {
+  auto brokers = topo.make_chain(4, fast(), "broker", with_depth(2));
+  Client sub(net, "tracker");
+  Client pub(net, "entity");
+  sub.connect(brokers[0]->node(), fast());
+  pub.connect(brokers[3]->node(), fast());
+  std::vector<std::string> got;
+  sub.subscribe("Traces/hosts/h1/AllsWell", [&](const Message& m) {
+    got.push_back(std::string(m.topic));
+  });
+  net.run_until_idle();
+  pub.publish("Traces/hosts/h1/AllsWell", to_bytes("ok"));
+  // A sibling topic under the same summarized prefix crosses the overlay
+  // (widened interest) but must NOT be delivered to the subscriber.
+  pub.publish("Traces/hosts/h2/AllsWell", to_bytes("other"));
+  net.run_until_idle();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "Traces/hosts/h1/AllsWell");
+}
+
+TEST_F(SummaryFixture, LastUnsubscribeRetractsTheSummaryEdge) {
+  auto brokers = topo.make_chain(3, fast(), "broker", with_depth(2));
+  Client sub(net, "tracker");
+  sub.connect(brokers[0]->node(), fast());
+  net.run_until_idle();
+  for (int i = 0; i < 8; ++i) {
+    sub.subscribe("Traces/hosts/h" + std::to_string(i) + "/AllsWell",
+                  [](const Message&) {});
+  }
+  net.run_until_idle();
+  EXPECT_EQ(brokers[1]->interest_edges(), 1u);
+  for (int i = 0; i < 7; ++i) {
+    sub.unsubscribe("Traces/hosts/h" + std::to_string(i) + "/AllsWell");
+  }
+  net.run_until_idle();
+  // Edge survives while one backing pattern remains.
+  EXPECT_EQ(brokers[1]->interest_edges(), 1u);
+  sub.unsubscribe("Traces/hosts/h7/AllsWell");
+  net.run_until_idle();
+  EXPECT_EQ(brokers[1]->interest_edges(), 0u);
+  EXPECT_EQ(brokers[0]->summarized_edges(), 0u);
+}
+
+TEST_F(SummaryFixture, DepthZeroKeepsLegacyPerPatternPropagation) {
+  auto brokers = topo.make_chain(3, fast(), "broker", with_depth(0));
+  Client sub(net, "tracker");
+  sub.connect(brokers[0]->node(), fast());
+  net.run_until_idle();
+  for (int i = 0; i < 8; ++i) {
+    sub.subscribe("Traces/hosts/h" + std::to_string(i) + "/AllsWell",
+                  [](const Message&) {});
+  }
+  net.run_until_idle();
+  EXPECT_EQ(brokers[1]->interest_edges(), 8u);
+  EXPECT_EQ(brokers[2]->interest_edges(), 8u);
+}
+
+TEST_F(SummaryFixture, RegisterInterestMakesOneWideEdge) {
+  auto brokers = topo.make_chain(3, fast(), "broker", with_depth(2));
+  int got = 0;
+  brokers[0]->register_interest({.prefix = "Traces/hosts/deep/nested",
+                                 .depth = 2},
+                                [&](const Message&) { ++got; });
+  net.run_until_idle();
+  // The interest compiled to Traces/hosts/# — one edge upstream.
+  EXPECT_EQ(brokers[1]->interest_edges(), 1u);
+  Client pub(net, "entity");
+  pub.connect(brokers[2]->node(), fast());
+  net.run_until_idle();
+  pub.publish("Traces/hosts/h5/AllsWell", to_bytes("x"));
+  net.run_until_idle();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(SummaryFixture, ResyncBackfillsALateJoinedNeighbour) {
+  auto brokers = topo.make_chain(2, fast(), "broker", with_depth(2));
+  Client sub(net, "tracker");
+  sub.connect(brokers[0]->node(), fast());
+  net.run_until_idle();
+  for (int i = 0; i < 8; ++i) {
+    sub.subscribe("Traces/hosts/h" + std::to_string(i) + "/AllsWell",
+                  [](const Message&) {});
+  }
+  net.run_until_idle();
+  // A broker joins after propagation already happened: it learns nothing
+  // until the edge broker resyncs.
+  Broker& late = topo.add_broker(
+      {.name = "late", .interest_summary_depth = 2});
+  topo.connect_brokers(*brokers[0], late, fast());
+  net.run_until_idle();
+  EXPECT_EQ(late.interest_edges(), 0u);
+  brokers[0]->resync_interest();
+  net.run_until_idle();
+  EXPECT_EQ(late.interest_edges(), 1u);
+  // Resync is idempotent: repeating it changes nothing anywhere.
+  brokers[0]->resync_interest();
+  net.run_until_idle();
+  EXPECT_EQ(late.interest_edges(), 1u);
+  EXPECT_EQ(brokers[1]->interest_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace et::pubsub

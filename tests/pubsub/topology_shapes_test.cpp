@@ -68,12 +68,21 @@ TYPED_TEST(TopologyShapesTest, RingIsSpanningChainPlusStandbyLink) {
   EXPECT_EQ(this->topo.diameter(), 5u);
   // The closing edge exists on the transport but is never peered.
   EXPECT_TRUE(this->net.linked(ring.back()->node(), ring.front()->node()));
+  // ...and is exposed to the repair protocol as a recorded standby edge.
+  ASSERT_EQ(this->topo.standby_edges().size(), 1u);
+  EXPECT_EQ(this->topo.standby_edges()[0], std::make_pair(5ul, 0ul));
 }
 
 TYPED_TEST(TopologyShapesTest, SmallRingSkipsStandbyLink) {
   auto ring = this->topo.make_ring(2, this->fast());
   ASSERT_EQ(ring.size(), 2u);
   EXPECT_EQ(this->topo.edges().size(), 1u);
+  EXPECT_TRUE(this->topo.standby_edges().empty());
+}
+
+TYPED_TEST(TopologyShapesTest, NonRingShapesRecordNoStandbyEdges) {
+  this->topo.make_tree(7, 2, this->fast());
+  EXPECT_TRUE(this->topo.standby_edges().empty());
 }
 
 TYPED_TEST(TopologyShapesTest, TreeHasLogDiameterAndBfsParents) {

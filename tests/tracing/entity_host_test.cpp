@@ -1,0 +1,216 @@
+// EntityHost end-to-end (DESIGN.md §14): one batch registration covers a
+// whole roster, one ping round carries the roster's liveness, coalesced
+// digests expand back to exact per-entity semantics at the tracker.
+#include "src/tracing/entity_host.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tests/tracing/harness.h"
+
+namespace et::tracing {
+namespace {
+
+using testing::TracingHarness;
+
+std::vector<std::string> member_ids(std::size_t n) {
+  std::vector<std::string> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back("member-" + std::to_string(i));
+  }
+  return ids;
+}
+
+TracingConfig digest_config() {
+  TracingConfig c = TracingHarness::fast_config();
+  c.digest_interval = 100 * kMillisecond;
+  c.timer_wheel_tick = 20 * kMillisecond;
+  return c;
+}
+
+struct HostFixture {
+  explicit HostFixture(std::size_t brokers, std::size_t members,
+                       TracingConfig config = digest_config())
+      : h(brokers, config) {
+    host = std::make_unique<EntityHost>(h.net, h.make_identity("host-0"),
+                                        h.anchors, config, h.rng.next_u64());
+    host->attach_tdn(h.tdn->node(), TracingHarness::link());
+    host->connect_broker(h.brokers.front()->node(), TracingHarness::link());
+    h.net.run_for(20 * kMillisecond);
+
+    Status reg = internal_error("callback never ran");
+    bool done = false;
+    host->register_entities({}, member_ids(members), [&](const Status& s) {
+      reg = s;
+      done = true;
+    });
+    for (int i = 0; i < 100 && !done; ++i) h.net.run_for(50 * kMillisecond);
+    EXPECT_TRUE(reg.is_ok()) << reg.to_string();
+  }
+
+  TracingHarness h;
+  std::unique_ptr<EntityHost> host;
+};
+
+TEST(EntityHostTest, BatchRegistrationIsOneRoundTripPerRoster) {
+  HostFixture f(/*brokers=*/1, /*members=*/16);
+  EXPECT_TRUE(f.host->tracing_active());
+  EXPECT_EQ(f.host->entity_count(), 16u);
+  EXPECT_EQ(f.h.services[0]->stats().batch_registrations, 1u);
+  EXPECT_EQ(f.h.services[0]->stats().registrations, 1u);  // one session
+  EXPECT_EQ(f.h.services[0]->roster_size(), 16u);
+  // Every member resolves to the (single) host session.
+  for (const std::string& id : member_ids(16)) {
+    EXPECT_TRUE(f.h.services[0]->has_session_for(id)) << id;
+  }
+}
+
+TEST(EntityHostTest, DigestsExpandToPerEntityHeartbeats) {
+  HostFixture f(/*brokers=*/3, /*members=*/16);
+  auto tracker = f.h.make_tracker("tracker-0", /*broker_index=*/2);
+
+  std::map<std::string, int> heartbeats;
+  Status st = internal_error("never");
+  bool done = false;
+  tracker->track_host(
+      "host-0", kCatAll,
+      [&](const TracePayload& p, const pubsub::Message&) {
+        if (p.type == TraceType::kAllsWell) ++heartbeats[p.entity_id];
+      },
+      [&](const Status& s) {
+        st = s;
+        done = true;
+      });
+  for (int i = 0; i < 100 && !done; ++i) f.h.net.run_for(50 * kMillisecond);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+
+  f.h.net.run_for(2 * kSecond);
+  // The tracker observes per-entity heartbeats for EVERY member even
+  // though the wire carried coalesced digests.
+  for (const std::string& id : member_ids(16)) {
+    EXPECT_GE(heartbeats[id], 3) << id;
+  }
+  EXPECT_GT(tracker->stats().digests_received, 0u);
+  EXPECT_GT(tracker->stats().digest_entries_expanded, 0u);
+  // Coalescing actually happened on the broker side: far fewer digest
+  // messages than observations carried.
+  const TraceEmitter::Stats& es = f.h.services[0]->emitter_stats();
+  EXPECT_GT(es.digests_published, 0u);
+  EXPECT_GT(es.digest_entries, 4 * es.digests_published);
+}
+
+TEST(EntityHostTest, SingleUnresponsiveMemberEscalatesAlone) {
+  HostFixture f(/*brokers=*/1, /*members=*/8);
+  auto tracker = f.h.make_tracker("tracker-0");
+
+  std::set<std::string> suspected;
+  std::map<std::string, int> recovered;
+  Status st = internal_error("never");
+  bool done = false;
+  tracker->track_host(
+      "host-0", kCatAll,
+      [&](const TracePayload& p, const pubsub::Message&) {
+        if (p.type == TraceType::kFailureSuspicion ||
+            p.type == TraceType::kFailed) {
+          suspected.insert(p.entity_id);
+        }
+        if (p.type == TraceType::kAllsWell && !p.detail.empty()) {
+          ++recovered[p.entity_id];
+        }
+      },
+      [&](const Status& s) {
+        st = s;
+        done = true;
+      });
+  for (int i = 0; i < 100 && !done; ++i) f.h.net.run_for(50 * kMillisecond);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+
+  f.host->set_responsive("member-3", false);
+  f.h.net.run_for(3 * kSecond);
+  // Only the dead member escalates; the host and its 7 live members keep
+  // reporting healthy through the same ping/digest stream.
+  EXPECT_EQ(suspected, std::set<std::string>{"member-3"});
+  EXPECT_TRUE(f.h.services[0]->session_view("member-3").suspected ||
+              f.h.services[0]->session_view("member-3").failed);
+  EXPECT_FALSE(f.h.services[0]->session_view("member-1").suspected);
+
+  // Recovery travels urgently (detail-carrying ALLS_WELL, not digested).
+  f.host->set_responsive("member-3", true);
+  f.h.net.run_for(1 * kSecond);
+  EXPECT_GE(recovered["member-3"], 1);
+  EXPECT_FALSE(f.h.services[0]->session_view("member-3").suspected);
+  EXPECT_FALSE(f.h.services[0]->session_view("member-3").failed);
+}
+
+TEST(EntityHostTest, TimerStateIsPerHostNotPerEntity) {
+  HostFixture f(/*brokers=*/1, /*members=*/64);
+  f.h.net.run_for(1 * kSecond);
+  // One session: ping + metrics + gauge (+ one digest flush) logical
+  // timers — versus 64 entities.
+  const TimerWheel::Stats ws = f.h.services[0]->timer_stats();
+  EXPECT_LE(ws.pending, 4u);
+  // A nonzero tick multiplexes them onto at most one armed backend timer.
+  EXPECT_LE(ws.armed_now, 1u);
+  // The arena actually holds the roster compactly.
+  EXPECT_EQ(f.h.services[0]->roster_size(), 64u);
+  EXPECT_GT(f.h.services[0]->roster_bytes(), 0u);
+}
+
+TEST(EntityHostTest, HostDisconnectFansOutPerMemberDisconnects) {
+  HostFixture f(/*brokers=*/1, /*members=*/8);
+  auto tracker = f.h.make_tracker("tracker-0");
+
+  std::set<std::string> disconnected;
+  bool done = false;
+  tracker->track_host(
+      "host-0", kCatAll,
+      [&](const TracePayload& p, const pubsub::Message&) {
+        if (p.type == TraceType::kDisconnect) {
+          disconnected.insert(p.entity_id);
+        }
+      },
+      [&](const Status&) { done = true; });
+  for (int i = 0; i < 100 && !done; ++i) f.h.net.run_for(50 * kMillisecond);
+
+  f.host->disconnect();
+  f.h.net.run_for(2 * kSecond);
+  // The broker notices the severed link and announces every member.
+  const std::vector<std::string> roster = member_ids(8);
+  EXPECT_EQ(disconnected, std::set<std::string>(roster.begin(), roster.end()));
+  EXPECT_FALSE(f.h.services[0]->has_session_for("host-0"));
+  EXPECT_EQ(f.h.services[0]->roster_size(), 0u);
+}
+
+TEST(EntityHostTest, PassthroughConfigStillDeliversPerEntity) {
+  // digest_interval == 0: the emitter publishes per-entity messages, no
+  // digests anywhere — the batch API works without coalescing.
+  TracingConfig c = TracingHarness::fast_config();
+  HostFixture f(/*brokers=*/1, /*members=*/4, c);
+  auto tracker = f.h.make_tracker("tracker-0");
+
+  std::map<std::string, int> heartbeats;
+  bool done = false;
+  tracker->track_host(
+      "host-0", kCatAll,
+      [&](const TracePayload& p, const pubsub::Message&) {
+        if (p.type == TraceType::kAllsWell) ++heartbeats[p.entity_id];
+      },
+      [&](const Status&) { done = true; });
+  for (int i = 0; i < 100 && !done; ++i) f.h.net.run_for(50 * kMillisecond);
+
+  f.h.net.run_for(1 * kSecond);
+  for (const std::string& id : member_ids(4)) {
+    EXPECT_GE(heartbeats[id], 2) << id;
+  }
+  EXPECT_EQ(tracker->stats().digests_received, 0u);
+  EXPECT_EQ(f.h.services[0]->emitter_stats().digests_published, 0u);
+}
+
+}  // namespace
+}  // namespace et::tracing

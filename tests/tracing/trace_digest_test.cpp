@@ -1,0 +1,142 @@
+// Property tests for the coalesced availability digest (DESIGN.md §14):
+// the coalesce -> serialize -> sign -> verify -> deserialize -> expand
+// pipeline must be an identity on the observation stream.
+#include "src/tracing/trace_digest.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/crypto/rsa.h"
+#include "src/pubsub/message.h"
+#include "src/tracing/trace_message.h"
+
+namespace et::tracing {
+namespace {
+
+TraceDigest random_digest(Rng& rng, std::size_t entries) {
+  TraceDigest d;
+  d.host_id = "host-" + std::to_string(rng.next_u64() % 1000);
+  d.round = rng.next_u64();
+  d.issued_at = static_cast<TimePoint>(rng.next_u64() % (1ull << 40));
+  for (std::size_t i = 0; i < entries; ++i) {
+    DigestEntry e;
+    e.entity_id = "entity-" + std::to_string(i) + "-" +
+                  std::to_string(rng.next_u64() % 100000);
+    // Digests carry heartbeats in practice, but the wire format accepts
+    // any trace type; exercise a few.
+    switch (rng.next_u64() % 4) {
+      case 0:
+        e.type = TraceType::kAllsWell;
+        break;
+      case 1:
+        e.type = TraceType::kFailureSuspicion;
+        break;
+      case 2:
+        e.type = TraceType::kReady;
+        e.state = EntityState::kReady;
+        break;
+      default:
+        e.type = TraceType::kRecovering;
+        e.state = EntityState::kRecovering;
+        break;
+    }
+    d.entries.push_back(std::move(e));
+  }
+  return d;
+}
+
+TEST(TraceDigestTest, RoundTripIdentityOverRandomEntitySets) {
+  Rng rng(20260809);
+  for (int iter = 0; iter < 50; ++iter) {
+    // Sizes 1..64; the 1-entry case is pinned separately below.
+    const std::size_t n = 1 + rng.next_u64() % 64;
+    const TraceDigest d = random_digest(rng, n);
+    const TraceDigest back = TraceDigest::deserialize(d.serialize());
+    EXPECT_EQ(d, back) << "iteration " << iter << " (" << n << " entries)";
+  }
+}
+
+TEST(TraceDigestTest, SingleEntryDigestRoundTrips) {
+  Rng rng(7);
+  const TraceDigest d = random_digest(rng, 1);
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(TraceDigest::deserialize(d.serialize()), d);
+}
+
+TEST(TraceDigestTest, EmptyDigestRoundTrips) {
+  TraceDigest d;
+  d.host_id = "host-empty";
+  d.round = 3;
+  d.issued_at = 42;
+  EXPECT_EQ(TraceDigest::deserialize(d.serialize()), d);
+  EXPECT_TRUE(d.expand().empty());
+}
+
+TEST(TraceDigestTest, ExpandRestoresPerEntityPayloads) {
+  Rng rng(99);
+  const TraceDigest d = random_digest(rng, 17);
+  const std::vector<TracePayload> payloads = d.expand();
+  ASSERT_EQ(payloads.size(), d.entries.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(payloads[i].entity_id, d.entries[i].entity_id);
+    EXPECT_EQ(payloads[i].type, d.entries[i].type);
+    EXPECT_EQ(payloads[i].state, d.entries[i].state);
+    // Per-entry payloads inherit the digest's emission time.
+    EXPECT_EQ(payloads[i].issued_at, d.issued_at);
+  }
+}
+
+TEST(TraceDigestTest, SignVerifyExpandPipelineIsIdentity) {
+  Rng rng(31337);
+  const crypto::RsaKeyPair delegate = crypto::rsa_generate(rng, 512);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{13},
+                              std::size_t{64}}) {
+    const TraceDigest d = random_digest(rng, n);
+
+    // The broker-side half: serialize into a signed message.
+    pubsub::Message m;
+    m.topic = "Availability/Traces/" + d.host_id + "/Digest";
+    m.payload = d.serialize();
+    m.publisher = "broker-0";
+    m.sequence = 1;
+    m.timestamp = d.issued_at;
+    m.signature = delegate.private_key.sign(m.signable_bytes());
+
+    // The tracker-side half: verify, deserialize, expand.
+    ASSERT_TRUE(
+        delegate.public_key.verify(m.signable_bytes(), m.signature));
+    const TraceDigest received = TraceDigest::deserialize(m.payload);
+    EXPECT_EQ(received, d);
+    const std::vector<TracePayload> expanded = received.expand();
+    ASSERT_EQ(expanded.size(), d.entries.size());
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+      EXPECT_EQ(expanded[i].entity_id, d.entries[i].entity_id);
+      EXPECT_EQ(expanded[i].type, d.entries[i].type);
+    }
+  }
+}
+
+TEST(TraceDigestTest, TamperedPayloadFailsVerification) {
+  Rng rng(5);
+  const crypto::RsaKeyPair delegate = crypto::rsa_generate(rng, 512);
+  const TraceDigest d = random_digest(rng, 8);
+  pubsub::Message m;
+  m.topic = "t";
+  m.payload = d.serialize();
+  m.signature = delegate.private_key.sign(m.signable_bytes());
+  m.payload[m.payload.size() / 2] ^= 0x40;  // flip one bit mid-stream
+  EXPECT_FALSE(delegate.public_key.verify(m.signable_bytes(), m.signature));
+}
+
+TEST(TraceDigestTest, MalformedBytesThrow) {
+  Rng rng(11);
+  TraceDigest d = random_digest(rng, 3);
+  Bytes b = d.serialize();
+  EXPECT_THROW(TraceDigest::deserialize(BytesView(b.data(), b.size() - 1)),
+               SerializeError);
+  Bytes junk{0xde, 0xad, 0xbe, 0xef};
+  EXPECT_THROW(TraceDigest::deserialize(junk), SerializeError);
+}
+
+}  // namespace
+}  // namespace et::tracing
