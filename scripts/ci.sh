@@ -3,6 +3,8 @@
 #
 #   fast    — build + every test that is not labelled `chaos` (quick signal)
 #   chaos   — the labelled fault-injection soaks and scenario sweeps,
+#             including the overlay-repair cells (standby activation,
+#             gossip re-peering, lossy-link repair soaks — DESIGN.md §15),
 #             scheduled separately because they simulate tens of seconds of
 #             virtual/wall time (each already carries a 300 s ctest timeout)
 #   sockets — the loopback-TCP suites (SocketNetwork conformance + the
@@ -12,7 +14,7 @@
 #             suites: over-read probes on the framing/view decoders
 #   tsan    — ET_SANITIZE=thread build running the concurrency-sensitive
 #             suites, including the socket backend and the RealTimeNetwork
-#             chaos scenario smoke
+#             chaos scenario and overlay-repair smokes
 #   scale   — the E16 100k-entity smoke (bench_entity_scale --smoke):
 #             asserts the §14 resource floors (interest edges and armed
 #             timers each >= 100x fewer than entities, RSS under 512 MB)
@@ -79,7 +81,8 @@ run_tsan() {
     -DET_BUILD_EXAMPLES=OFF
   # Threaded/wall-clock suites where TSan has something to bite on: the
   # socket backend's event loop, the conformance matrix across all three
-  # backends, and the RealTimeNetwork chaos schedule smoke.
+  # backends, and the RealTimeNetwork chaos schedule and overlay-repair
+  # smokes (the latter matches via "RealTime").
   local filter='Realtime|RealTime|ChaosRealTimeSmoke|Threaded'
   if loopback_available; then
     filter="$filter|BackendConformance|SocketNetwork|FrameCodec"

@@ -236,6 +236,89 @@ OracleReport AvailabilityOracle::report(TimePoint end, Duration grace) const {
   return out;
 }
 
+OracleReport AvailabilityOracle::report_window(TimePoint begin, TimePoint end,
+                                               Duration grace) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  OracleReport out;
+  if (end <= begin) return out;
+  const double window = static_cast<double>(end - begin);
+  for (const auto& [key, pair] : pairs_) {
+    PairReport r;
+    r.tracker_id = key.first;
+    r.entity_id = key.second;
+
+    // Truth up-fraction over [begin, end], state carried in from the last
+    // edge at or before `begin` (nominal up when none).
+    {
+      bool up = true;
+      TimePoint mark = begin;
+      Duration up_time = 0;
+      for (const auto& e : pair.truth) {
+        if (e.at <= begin) {
+          up = e.up;
+          continue;
+        }
+        if (e.at >= end) break;
+        if (up) up_time += e.at - mark;
+        up = e.up;
+        mark = e.at;
+      }
+      if (up) up_time += end - mark;
+      r.truth_availability = static_cast<double>(up_time) / window;
+    }
+
+    // Observed up-fraction over the same window, state carried in from
+    // the last availability/suspicion signal at or before `begin`. A pair
+    // with no signal by `end` reports observed 0 against truth (a tracker
+    // that has heard nothing has not observed availability).
+    {
+      bool have_obs = false;
+      bool up = false;
+      TimePoint mark = begin;
+      Duration up_time = 0;
+      for (const auto& o : pair.observed) {
+        const bool up_sig = availability_signal(o.type);
+        const bool down_sig = suspicion_signal(o.type);
+        if (!up_sig && !down_sig) continue;
+        if (o.at <= begin) {
+          have_obs = true;
+          up = up_sig;
+          continue;
+        }
+        if (o.at >= end) break;
+        if (have_obs && up_sig == up) continue;
+        if (up) up_time += o.at - mark;
+        have_obs = true;
+        up = up_sig;
+        mark = o.at;
+      }
+      if (up) up_time += end - mark;
+      r.observed_availability = static_cast<double>(up_time) / window;
+    }
+    r.availability_error =
+        std::abs(r.observed_availability - r.truth_availability);
+
+    // Suspicion accounting within the window (same grace rule as
+    // report(): a suspicion is false only when truth was continuously up
+    // over [t - grace, t]).
+    for (const auto& o : pair.observed) {
+      if (o.at <= begin || o.at >= end || !suspicion_signal(o.type)) continue;
+      ++r.suspicion_signals;
+      bool up = true;
+      bool solid = true;
+      for (const auto& e : pair.truth) {
+        if (e.at > o.at) break;
+        up = e.up;
+        if (!e.up && e.at > o.at - grace) solid = false;
+      }
+      if (up && solid) ++r.false_suspicions;
+    }
+
+    out.pairs.push_back(std::move(r));
+  }
+  return out;
+}
+
 std::vector<std::string> AvailabilityOracle::check_invariants(
     Duration detection_bound, Duration grace) const {
   std::lock_guard<std::mutex> lock(mu_);

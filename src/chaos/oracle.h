@@ -96,6 +96,16 @@ class AvailabilityOracle {
   /// but honest.
   [[nodiscard]] OracleReport report(TimePoint end, Duration grace = 0) const;
 
+  /// Availability scoring restricted to [begin, end], with truth and
+  /// observed state carried in from before `begin` — the post-repair tail
+  /// question ("did the overlay converge back?") needs the error over the
+  /// settled window only, not diluted/inflated by the outage itself.
+  /// Only the availability and suspicion fields of each PairReport are
+  /// populated (detection latency is an episode property, not a window
+  /// one); false suspicions use the same `grace` rule as report().
+  [[nodiscard]] OracleReport report_window(TimePoint begin, TimePoint end,
+                                           Duration grace = 0) const;
+
   /// Checks I1/I2 and returns violation descriptions (empty = pass).
   /// `detection_bound` is the configured worst-case detection time
   /// (roughly disconnect_misses * ping_interval); `grace` absorbs overlay

@@ -99,6 +99,13 @@ ScenarioDeployment::ScenarioDeployment(transport::NetworkBackend& backend,
   }
 
   topology_ = std::make_unique<pubsub::Topology>(backend_);
+  // Overlay links (broker-broker only) optionally carry loss; a reliable
+  // link never drops, so lossy overlays must also flip reliable off.
+  transport::LinkParams overlay_link = link();
+  if (opts.overlay_loss > 0.0) {
+    overlay_link.loss_probability = opts.overlay_loss;
+    overlay_link.reliable = false;
+  }
   const pubsub::BrokerOptionsFn brokeropts = [&](const std::string& name) {
     pubsub::Broker::Options o;
     o.name = name;
@@ -109,22 +116,22 @@ ScenarioDeployment::ScenarioDeployment(transport::NetworkBackend& backend,
   const OverlaySpec& ov = opts.overlay;
   switch (ov.shape) {
     case OverlaySpec::Shape::kChain:
-      brokers_ = topology_->make_chain(ov.brokers, link(), "broker",
+      brokers_ = topology_->make_chain(ov.brokers, overlay_link, "broker",
                                        brokeropts);
       break;
     case OverlaySpec::Shape::kRing:
-      brokers_ =
-          topology_->make_ring(ov.brokers, link(), "broker", brokeropts);
+      brokers_ = topology_->make_ring(ov.brokers, overlay_link, "broker",
+                                      brokeropts);
       break;
     case OverlaySpec::Shape::kTree:
-      brokers_ = topology_->make_tree(ov.brokers, ov.arity, link(),
+      brokers_ = topology_->make_tree(ov.brokers, ov.arity, overlay_link,
                                       "broker", brokeropts);
       break;
     case OverlaySpec::Shape::kClusters: {
       const std::size_t cores = std::max<std::size_t>(
           1, ov.brokers / (1 + ov.leaves_per_core));
-      brokers_ = topology_->make_clusters(cores, ov.leaves_per_core, link(),
-                                          "broker", brokeropts);
+      brokers_ = topology_->make_clusters(cores, ov.leaves_per_core,
+                                          overlay_link, "broker", brokeropts);
       for (std::size_t c = 0; c < cores; ++c) {
         std::vector<std::size_t> rack{c};
         for (std::size_t l = 0; l < ov.leaves_per_core; ++l) {
@@ -136,13 +143,33 @@ ScenarioDeployment::ScenarioDeployment(transport::NetworkBackend& backend,
     }
     case OverlaySpec::Shape::kRandomTree:
       brokers_ = topology_->make_random_tree(ov.brokers, ov.max_degree,
-                                             ov.shape_seed, link(), "broker",
-                                             brokeropts);
+                                             ov.shape_seed, overlay_link,
+                                             "broker", brokeropts);
       break;
   }
   for (std::size_t i = 0; i < brokers_.size(); ++i) {
     services_.push_back(std::make_unique<tracing::TracingBrokerService>(
         *brokers_[i], anchors_, config_, opts.seed + 100 + i));
+  }
+  if (opts.repair.enabled) {
+    pubsub::RepairPolicy::Options po;
+    po.activate_standby = opts.repair.activate_standby;
+    po.repeer = opts.repair.repeer;
+    po.seed = opts.seed;
+    po.link_params = overlay_link;  // repair edges are no better than the
+                                    // overlay they patch
+    // Lossy overlays drop interest announces too; extra anti-entropy
+    // rounds give the post-repair re-flood per-hop retries.
+    if (opts.overlay_loss > 0.0) po.resync_rounds = 5;
+    repair_policy_ = std::make_unique<pubsub::RepairPolicy>(
+        backend_, *topology_, po);
+    for (std::size_t i = 0; i < brokers_.size(); ++i) {
+      repair_services_.push_back(
+          std::make_unique<pubsub::OverlayRepairService>(
+              *brokers_[i], repair_policy_.get(), opts.repair.service));
+      repair_policy_->attach(i, *brokers_[i], *repair_services_[i]);
+      repair_services_[i]->start();
+    }
   }
 }
 

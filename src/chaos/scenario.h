@@ -27,6 +27,7 @@
 #include "src/crypto/credential.h"
 #include "src/discovery/discovery_client.h"
 #include "src/discovery/tdn.h"
+#include "src/pubsub/overlay_repair.h"
 #include "src/pubsub/topology.h"
 #include "src/tracing/config.h"
 #include "src/tracing/trace_filter.h"
@@ -69,12 +70,29 @@ struct OverlaySpec {
 
 class ScenarioDeployment {
  public:
+  /// Self-healing overlay knobs (DESIGN.md §15). When enabled, every
+  /// broker runs an OverlayRepairService and the deployment owns one
+  /// RepairPolicy seeded from Options::seed — same-seed virtual-time runs
+  /// produce byte-identical repair action logs.
+  struct RepairOptions {
+    bool enabled = false;
+    bool activate_standby = true;  // prefer pre-provisioned standby links
+    bool repeer = true;            // gossip-scored fresh edges as fallback
+    pubsub::OverlayRepairService::Options service;
+  };
+
   struct Options {
     OverlaySpec overlay;
     tracing::TracingConfig config = chaos_config();
     std::size_t tdn_replicas = 1;
     std::uint64_t seed = 1234;
     std::size_t key_bits = 512;  // protocol logic is key-size independent
+    /// Per-packet loss probability on broker-broker overlay links only
+    /// (client and TDN links keep the ideal profile); > 0 marks those
+    /// links unreliable so the loss actually drops packets. Repair edges
+    /// inherit the same lossy profile.
+    double overlay_loss = 0.0;
+    RepairOptions repair;
   };
 
   ScenarioDeployment(transport::NetworkBackend& backend, Options opts);
@@ -144,6 +162,16 @@ class ScenarioDeployment {
   [[nodiscard]] std::vector<std::size_t> rack(std::size_t r) const;
   [[nodiscard]] std::size_t rack_count() const { return racks_.size(); }
 
+  /// Deployment-wide repair decision maker; null unless
+  /// Options::repair.enabled.
+  [[nodiscard]] pubsub::RepairPolicy* repair_policy() {
+    return repair_policy_.get();
+  }
+  /// Broker `i`'s liveness detector (repair-enabled deployments only).
+  [[nodiscard]] pubsub::OverlayRepairService& repair_service(std::size_t i) {
+    return *repair_services_.at(i);
+  }
+
   /// Enrolls every broker with every TDN replica; the caller must settle
   /// the network afterwards (run_for / sleep) before failover relies on
   /// the registry.
@@ -172,6 +200,11 @@ class ScenarioDeployment {
   std::vector<std::unique_ptr<tracing::Tracker>> trackers_;
   std::vector<std::size_t> tracker_home_;
   std::vector<std::uint64_t> last_failovers_;  // per entity, for sampling
+
+  // Declared last: the repair services hold callbacks installed into the
+  // brokers above, so they must be destroyed first.
+  std::unique_ptr<pubsub::RepairPolicy> repair_policy_;
+  std::vector<std::unique_ptr<pubsub::OverlayRepairService>> repair_services_;
 };
 
 }  // namespace et::chaos

@@ -147,7 +147,35 @@ int Broker::match_threads() const {
   return match_pool_ ? match_pool_->threads() : 0;
 }
 
-void Broker::peer(NodeId other) { neighbours_.insert(other); }
+void Broker::peer(NodeId other) {
+  if (!neighbours_.insert(other).second) return;
+  for (const auto& listener : peer_listeners_) listener(other, true);
+}
+
+void Broker::unpeer(NodeId other) {
+  if (neighbours_.erase(other) == 0) return;
+  summaries_.erase(other);
+  // Drop everything the dead peer had announced. Patterns left with no
+  // remaining local or remote interest are retracted from the surviving
+  // neighbours — same cascade as handle_unsubscribe, with no split
+  // horizon since the originator is gone.
+  for (const std::string& pattern : remote_subs_.remove_endpoint(other)) {
+    const TopicPath compiled(pattern);
+    if (!local_subs_.any_match(compiled) &&
+        !remote_subs_.any_match(compiled)) {
+      propagate_unsubscribe(compiled, pattern, transport::kInvalidNode);
+    }
+  }
+  for (const auto& listener : peer_listeners_) listener(other, false);
+}
+
+void Broker::add_peer_listener(PeerListener listener) {
+  if (listener) peer_listeners_.push_back(std::move(listener));
+}
+
+void Broker::set_link_handler(LinkFrameHandler handler) {
+  link_handler_ = std::move(handler);
+}
 
 void Broker::subscribe_local(const std::string& pattern, LocalHandler handler,
                              bool local_only) {
@@ -180,17 +208,33 @@ void Broker::register_interest(const Interest& interest, LocalHandler handler,
 }
 
 void Broker::resync_interest() {
-  // Back-fill every neighbour with the union of patterns recorded on any
+  // Back-fill every neighbour with the union of local client interest,
+  // neighbour-announced interest, and every pattern recorded on any
   // edge: a late-joined peer has no table yet, a healed peer may have
-  // lost our announcements. Adds are refcount-idempotent here and
-  // table-idempotent on the receiving side.
+  // lost our announcements, and a broker whose only edge died carries
+  // empty summary tables while its clients' subscriptions still need
+  // re-announcing over a repair edge. Adds are refcount-idempotent here
+  // and table-idempotent on the receiving side.
   std::set<std::string> all;
   for (const auto& [n, table] : summaries_) {
     for (auto& p : table.recorded_patterns()) all.insert(std::move(p));
   }
+  const auto local = local_subs_.snapshot();
+  const auto remote = remote_subs_.snapshot();
+  for (const auto& p : local->patterns()) all.insert(p);
+  for (const auto& p : remote->patterns()) all.insert(p);
   for (const NodeId n : neighbours_) {
     InterestSummaryTable& table = summary_for(n);
-    for (const auto& p : all) (void)table.add(TopicPath(p));
+    for (const auto& p : all) {
+      const TopicPath compiled(p);
+      // Split horizon: a pattern whose only interest is the target
+      // neighbour's own announcement is not echoed back to it.
+      if (!local->any_match(compiled)) {
+        const std::set<NodeId> holders = remote->match(compiled);
+        if (holders.size() == 1 && *holders.begin() == n) continue;
+      }
+      (void)table.add(compiled);
+    }
     for (const auto& summary : table.announced()) {
       send_frame(n, make_subscribe(summary, 0));
     }
@@ -336,6 +380,12 @@ void Broker::on_packet(NodeId from, BytesView payload) {
       break;
     case FrameType::kPublish:
       handle_publish(from, f);
+      break;
+    case FrameType::kKeepalive:
+    case FrameType::kPeerExchange:
+      // Link-maintenance traffic: owned by the overlay-repair service,
+      // never routed. Ignored when no service is installed.
+      if (link_handler_) link_handler_(from, f);
       break;
     default:
       break;  // acks/errors are for clients; ignore here

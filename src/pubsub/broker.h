@@ -207,8 +207,38 @@ class Broker {
   ~Broker();
 
   /// Declares `other` a neighbour broker reachable over an existing link.
-  /// Call on both brokers (see connect_brokers in topology.h).
+  /// Call on both brokers (see connect_brokers in topology.h). Safe at
+  /// runtime from the broker's node context (repair re-peering posts in).
   void peer(transport::NodeId other);
+
+  /// Reverses peer(): forgets the neighbour, drops its outbound interest
+  /// summaries, and removes every pattern it had announced to us —
+  /// patterns left with no other local or remote interest are retracted
+  /// from the remaining neighbours, so no stale remote-interest edge keeps
+  /// routing traffic toward a dead link. Node context only.
+  void unpeer(transport::NodeId other);
+
+  /// Current neighbour set. Node context only (mutated by peer/unpeer).
+  [[nodiscard]] const std::set<transport::NodeId>& neighbours() const {
+    return neighbours_;
+  }
+
+  /// Invoked in the broker's node context whenever the neighbour set
+  /// changes: peer() fires (id, true), unpeer() fires (id, false).
+  using PeerListener = std::function<void(transport::NodeId, bool added)>;
+  void add_peer_listener(PeerListener listener);
+
+  /// Handler for broker-to-broker link-maintenance frames (kKeepalive,
+  /// kPeerExchange) — they never enter routing. Unhandled frames are
+  /// ignored. A setup call like subscribe_local: install before traffic.
+  using LinkFrameHandler =
+      std::function<void(transport::NodeId from, const FrameView& f)>;
+  void set_link_handler(LinkFrameHandler handler);
+
+  /// Sends a link-maintenance frame to a neighbour (node context only).
+  void send_link_frame(transport::NodeId to, const Frame& f) {
+    send_frame(to, f);
+  }
 
   /// Broker-local service subscription. By default the broker's interest
   /// propagates network-wide so remote publications arrive. With
@@ -386,6 +416,8 @@ class Broker {
   AtomicSharedPtr<const ServiceList> local_services_;
   MessageFilter filter_;
   std::vector<ClientUnreachableHandler> unreachable_listeners_;
+  std::vector<PeerListener> peer_listeners_;
+  LinkFrameHandler link_handler_;
   std::map<transport::NodeId, int> strikes_;
   std::set<transport::NodeId> blacklist_;
   BrokerCounters counters_;

@@ -123,7 +123,7 @@ Frame Frame::deserialize(BytesView b) {
   }
   Frame f;
   f.type = static_cast<FrameType>(r.u8());
-  if (f.type < FrameType::kConnect || f.type > FrameType::kError) {
+  if (f.type < FrameType::kConnect || f.type > FrameType::kPeerExchange) {
     throw SerializeError("unknown frame type");
   }
   f.text = r.str();
@@ -154,7 +154,7 @@ FrameView FrameView::parse(BytesView b) {
   FrameView f;
   f.wire = b;
   f.type = static_cast<FrameType>(r.u8());
-  if (f.type < FrameType::kConnect || f.type > FrameType::kError) {
+  if (f.type < FrameType::kConnect || f.type > FrameType::kPeerExchange) {
     throw SerializeError("unknown frame type");
   }
   f.text = r.str_view();

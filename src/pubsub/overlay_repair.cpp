@@ -1,0 +1,403 @@
+#include "src/pubsub/overlay_repair.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "src/common/logging.h"
+
+namespace et::pubsub {
+
+using transport::NodeId;
+
+namespace {
+
+// SplitMix64 finalizer: the deterministic, platform-independent mixer
+// behind the candidate scoring (std::hash would vary by implementation).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// RAPTEE-style candidate score: a keyed hash of the ordered endpoint
+// names. Same seed -> same total order over candidate pairs everywhere.
+std::uint64_t score_pair(std::uint64_t seed, const std::string& a,
+                         const std::string& b) {
+  std::uint64_t h = mix64(seed);
+  for (const char c : a) h = mix64(h ^ static_cast<unsigned char>(c));
+  h = mix64(h ^ 0x5ca1ab1eull);
+  for (const char c : b) h = mix64(h ^ static_cast<unsigned char>(c));
+  return h;
+}
+
+std::pair<std::size_t, std::size_t> norm_edge(std::size_t a, std::size_t b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OverlayRepairService
+
+OverlayRepairService::OverlayRepairService(Broker& broker,
+                                           RepairPolicy* policy,
+                                           Options options)
+    : broker_(broker),
+      backend_(broker.backend()),
+      policy_(policy),
+      options_(options) {
+  TimerWheel::Scheduler sched;
+  sched.schedule = [this](Duration d, std::function<void()> fn) {
+    return backend_.schedule(broker_.node(), d, std::move(fn));
+  };
+  sched.cancel = [this](std::uint64_t id) { backend_.cancel(id); };
+  sched.now = [this] { return backend_.now(); };
+  wheel_ = std::make_unique<TimerWheel>(std::move(sched));
+  broker_.set_link_handler(
+      [this](NodeId from, const FrameView& f) { on_link_frame(from, f); });
+  broker_.add_peer_listener(
+      [this](NodeId peer, bool added) { on_peer_change(peer, added); });
+}
+
+OverlayRepairService::~OverlayRepairService() = default;
+
+void OverlayRepairService::start() {
+  backend_.post(broker_.node(), [this] {
+    if (started_) return;
+    started_ = true;
+    {
+      std::lock_guard lock(dir_mu_);
+      directory_[broker_.name()] = broker_.node();
+      for (const NodeId n : broker_.neighbours()) {
+        directory_[backend_.node_name(n)] = n;
+      }
+    }
+    for (const NodeId n : broker_.neighbours()) watches_.try_emplace(n);
+    wheel_->schedule(options_.keepalive_interval, [this] { tick(); });
+  });
+}
+
+std::map<std::string, NodeId> OverlayRepairService::directory() const {
+  std::lock_guard lock(dir_mu_);
+  return directory_;
+}
+
+bool OverlayRepairService::knows(const std::string& name) const {
+  std::lock_guard lock(dir_mu_);
+  return directory_.contains(name);
+}
+
+OverlayRepairService::Stats OverlayRepairService::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+void OverlayRepairService::on_peer_change(NodeId peer, bool added) {
+  if (added) {
+    watches_.try_emplace(peer);
+    std::lock_guard lock(dir_mu_);
+    directory_[backend_.node_name(peer)] = peer;
+  } else {
+    watches_.erase(peer);
+  }
+}
+
+void OverlayRepairService::on_link_frame(NodeId from, const FrameView& f) {
+  const auto it = watches_.find(from);
+  if (it == watches_.end()) return;  // not a neighbour (stale probe)
+  // Any frame from a watched peer is proof of life — a lossy link has to
+  // kill probes, acks AND the peer's own probes for a full ladder of
+  // ticks to produce a false dead declaration.
+  it->second.misses = 0;
+  it->second.suspected = false;
+  it->second.saw_activity = true;
+  if (f.type == FrameType::kKeepalive && f.status == 0) {
+    Frame ack;
+    ack.type = FrameType::kKeepalive;
+    ack.status = 1;
+    ack.request_id = f.request_id;
+    broker_.send_link_frame(from, ack);
+    std::lock_guard lock(stats_mu_);
+    ++stats_.acks_sent;
+  } else if (f.type == FrameType::kPeerExchange) {
+    merge_directory(f.text);
+  }
+}
+
+void OverlayRepairService::tick() {
+  std::vector<NodeId> dead;
+  for (auto& [peer, w] : watches_) {
+    if (!w.saw_activity) {
+      ++w.misses;
+      if (!w.suspected && w.misses >= options_.suspect_misses) {
+        w.suspected = true;
+        ET_LOG(kInfo) << broker_.name() << ": peer "
+                      << backend_.node_name(peer) << " suspected ("
+                      << w.misses << " silent ticks)";
+        std::lock_guard lock(stats_mu_);
+        ++stats_.suspects;
+      }
+      if (w.misses >= options_.dead_misses) {
+        dead.push_back(peer);
+        continue;
+      }
+    }
+    w.saw_activity = false;
+    Frame probe;
+    probe.type = FrameType::kKeepalive;
+    probe.request_id = ++seq_;
+    broker_.send_link_frame(peer, probe);
+    {
+      std::lock_guard lock(stats_mu_);
+      ++stats_.probes_sent;
+    }
+  }
+  for (const NodeId peer : dead) declare_dead(peer);
+  if (options_.gossip_every > 0 && --ticks_until_gossip_ <= 0) {
+    ticks_until_gossip_ = options_.gossip_every;
+    send_gossip();
+  }
+  wheel_->schedule(options_.keepalive_interval, [this] { tick(); });
+}
+
+void OverlayRepairService::send_gossip() {
+  std::string record;
+  {
+    std::lock_guard lock(dir_mu_);
+    for (const auto& [name, node] : directory_) {
+      record += name;
+      record += '=';
+      record += std::to_string(node);
+      record += ';';
+    }
+  }
+  Frame gossip;
+  gossip.type = FrameType::kPeerExchange;
+  gossip.text = std::move(record);
+  for (const auto& [peer, w] : watches_) {
+    broker_.send_link_frame(peer, gossip);
+  }
+  std::lock_guard lock(stats_mu_);
+  stats_.gossip_sent += watches_.size();
+}
+
+void OverlayRepairService::merge_directory(std::string_view record) {
+  std::uint64_t learned = 0;
+  std::lock_guard lock(dir_mu_);
+  while (!record.empty()) {
+    const std::size_t end = record.find(';');
+    const std::string_view entry =
+        end == std::string_view::npos ? record : record.substr(0, end);
+    record = end == std::string_view::npos ? std::string_view()
+                                           : record.substr(end + 1);
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    NodeId node = transport::kInvalidNode;
+    const auto* last = entry.data() + entry.size();
+    if (std::from_chars(entry.data() + eq + 1, last, node).ptr != last) {
+      continue;  // malformed entry; skip defensively
+    }
+    if (directory_.emplace(std::string(entry.substr(0, eq)), node).second) {
+      ++learned;
+    }
+  }
+  if (learned > 0) {
+    std::lock_guard slock(stats_mu_);
+    stats_.gossip_merged += learned;
+  }
+}
+
+void OverlayRepairService::declare_dead(NodeId peer) {
+  ET_LOG(kWarn) << broker_.name() << ": peer " << backend_.node_name(peer)
+                << " declared dead after " << options_.dead_misses
+                << " silent ticks";
+  watches_.erase(peer);
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.peers_declared_dead;
+  }
+  // Teardown first — routing must stop leaning on the dead edge even if
+  // no repair follows — then hand the cut to the deployment's policy.
+  broker_.unpeer(peer);
+  if (policy_ != nullptr) {
+    policy_->report_peer_dead(broker_.node(), peer);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RepairPolicy
+
+RepairPolicy::RepairPolicy(transport::NetworkBackend& backend,
+                           Topology& topology, Options options)
+    : backend_(backend), topology_(topology), options_(options) {}
+
+void RepairPolicy::attach(std::size_t index, Broker& broker,
+                          OverlayRepairService& service) {
+  std::lock_guard lock(mu_);
+  members_[broker.node()] = Member{index, &broker, &service};
+  nodes_[index] = broker.node();
+}
+
+std::vector<std::string> RepairPolicy::action_log() const {
+  std::lock_guard lock(mu_);
+  return log_;
+}
+
+RepairPolicy::Stats RepairPolicy::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void RepairPolicy::seed_edges_locked() {
+  if (seeded_) return;
+  seeded_ = true;
+  for (const auto& [a, b] : topology_.edges()) alive_.insert(norm_edge(a, b));
+}
+
+void RepairPolicy::log_locked(const std::string& what) {
+  log_.push_back("t=" + std::to_string(backend_.now()) + " " + what);
+}
+
+std::vector<std::size_t> RepairPolicy::components_locked() const {
+  std::vector<std::size_t> root(topology_.size());
+  for (std::size_t i = 0; i < root.size(); ++i) root[i] = i;
+  const auto find = [&root](std::size_t i) {
+    while (root[i] != i) {
+      root[i] = root[root[i]];
+      i = root[i];
+    }
+    return i;
+  };
+  for (const auto& [a, b] : alive_) root[find(a)] = find(b);
+  for (std::size_t i = 0; i < root.size(); ++i) root[i] = find(i);
+  return root;
+}
+
+void RepairPolicy::report_peer_dead(NodeId reporter_node, NodeId dead_node) {
+  std::lock_guard lock(mu_);
+  seed_edges_locked();
+  ++stats_.reports;
+  const auto ri = members_.find(reporter_node);
+  const auto di = members_.find(dead_node);
+  if (ri == members_.end() || di == members_.end()) return;
+  const std::size_t r = ri->second.index;
+  const std::size_t d = di->second.index;
+  const std::string& rn = ri->second.broker->name();
+  const std::string& dn = di->second.broker->name();
+  log_locked("peer-dead " + rn + "-" + dn + " reported by " + rn);
+
+  if (alive_.erase(norm_edge(r, d)) > 0) topology_.retire_edge(r, d);
+
+  const std::vector<std::size_t> comp = components_locked();
+  if (comp[r] == comp[d]) {
+    // The other endpoint (or an earlier repair) already rewired this cut.
+    log_locked("still-connected " + rn + "-" + dn + ", no action");
+    return;
+  }
+  ++stats_.splits;
+
+  // 1) A pre-provisioned standby link crossing the split is the cheapest
+  //    repair: the transport link already exists, peering it suffices.
+  if (options_.activate_standby) {
+    for (const auto& [a, b] : topology_.standby_edges()) {
+      if (a >= comp.size() || b >= comp.size()) continue;
+      const bool crosses = (comp[a] == comp[r] && comp[b] == comp[d]) ||
+                           (comp[b] == comp[r] && comp[a] == comp[d]);
+      if (!crosses) continue;
+      const Member& ma = members_.at(nodes_.at(a));
+      const Member& mb = members_.at(nodes_.at(b));
+      log_locked("activate-standby " + ma.broker->name() + "-" +
+                 mb.broker->name());
+      wire_edge_locked(a, b);
+      ++stats_.standby_activations;
+      return;
+    }
+  }
+
+  // 2) RAPTEE-style re-peering: score every candidate pair (x on the
+  //    reporter's side, y on the detached side) that x has learned about
+  //    through peer-exchange gossip; highest keyed-hash score wins, ties
+  //    broken lexicographically. The cut pair itself is excluded (that
+  //    path is known bad), as are pairs already tried twice (a crashed —
+  //    not cut — endpoint would otherwise induce a repair loop).
+  if (options_.repeer) {
+    bool found = false;
+    std::size_t best_x = 0;
+    std::size_t best_y = 0;
+    std::uint64_t best_score = 0;
+    for (const auto& [x, nx] : nodes_) {
+      if (comp[x] != comp[r]) continue;
+      const Member& mx = members_.at(nx);
+      for (const auto& [y, ny] : nodes_) {
+        if (comp[y] != comp[d]) continue;
+        if (norm_edge(x, y) == norm_edge(r, d)) continue;
+        const auto tried = attempts_.find(norm_edge(x, y));
+        if (tried != attempts_.end() && tried->second >= 2) continue;
+        const Member& my = members_.at(ny);
+        if (!mx.service->knows(my.broker->name())) continue;
+        const std::uint64_t score =
+            score_pair(options_.seed, mx.broker->name(), my.broker->name());
+        const bool better =
+            !found || score > best_score ||
+            (score == best_score &&
+             std::make_pair(mx.broker->name(), my.broker->name()) <
+                 std::make_pair(members_.at(nodes_.at(best_x)).broker->name(),
+                                members_.at(nodes_.at(best_y))
+                                    .broker->name()));
+        if (better) {
+          found = true;
+          best_x = x;
+          best_y = y;
+          best_score = score;
+        }
+      }
+    }
+    if (found) {
+      const Member& mx = members_.at(nodes_.at(best_x));
+      const Member& my = members_.at(nodes_.at(best_y));
+      log_locked("repair-peer " + mx.broker->name() + "-" +
+                 my.broker->name() + " score=" + std::to_string(best_score));
+      wire_edge_locked(best_x, best_y);
+      ++stats_.repeers;
+      return;
+    }
+  }
+
+  ++stats_.stranded;
+  log_locked("stranded " + rn + "-" + dn + ": no usable repair candidate");
+}
+
+void RepairPolicy::wire_edge_locked(std::size_t a, std::size_t b) {
+  const NodeId na = nodes_.at(a);
+  const NodeId nb = nodes_.at(b);
+  ++attempts_[norm_edge(a, b)];
+  if (!backend_.linked(na, nb)) {
+    backend_.link(na, nb, options_.link_params);
+  }
+  topology_.adopt_repair_edge(a, b);
+  alive_.insert(norm_edge(a, b));
+  Broker* ba = members_.at(na).broker;
+  Broker* bb = members_.at(nb).broker;
+  // Peer both ends from their own node contexts; only then let interest
+  // resync fire (scheduled, never immediate — a subscribe landing before
+  // the receiving side peered would be treated as client misbehaviour).
+  backend_.post(na, [ba, nb] { ba->peer(nb); });
+  backend_.post(nb, [bb, na] { bb->peer(na); });
+  // Anti-entropy rounds on EVERY broker, not just the repair-edge
+  // endpoints: interest re-propagation crosses the whole overlay, and an
+  // intermediate broker only forwards a pattern on first receipt — on a
+  // lossy overlay a single dropped onward announce would otherwise never
+  // be retried. Each round pushes every broker's current tables one hop
+  // further, so `rounds` retries cover the path.
+  const int rounds = std::max(1, options_.resync_rounds);
+  for (int round = 1; round <= rounds; ++round) {
+    const Duration delay = round * options_.resync_spacing;
+    for (const auto& [node, member] : members_) {
+      Broker* broker = member.broker;
+      backend_.schedule(node, delay, [broker] { broker->resync_interest(); });
+    }
+  }
+}
+
+}  // namespace et::pubsub

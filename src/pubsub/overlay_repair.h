@@ -1,0 +1,226 @@
+// Self-healing broker overlay: peer failure detection and repair.
+//
+// The paper assumes broker-to-broker links stay up; the chaos subsystem
+// (DESIGN.md §12) showed what happens when they don't — a single
+// core-chain cut in cluster-of-stars permanently strands whole racks,
+// because interest propagation has no notion of a neighbour dying. This
+// layer closes the detect → repair loop:
+//
+//   * OverlayRepairService (one per broker, in its node context) runs a
+//     peer-liveness ladder over neighbour links: a lightweight kKeepalive
+//     probe per tick on a TimerWheel, misses escalating suspect → dead —
+//     the same K-missed-heartbeats escalation the tracing layer applies
+//     to entities, pointed at the overlay itself. Any frame received from
+//     a watched peer (probe, ack or gossip) resets its ladder, so the
+//     detector is robust to lossy links: a false positive needs every
+//     probe, ack and reverse-probe lost for dead_misses consecutive
+//     ticks. It also spreads a peer-exchange gossip record (broker name →
+//     node id) so every broker accumulates a directory of endpoints it
+//     could re-peer with.
+//   * On declaring a peer dead the service tears down the routing state
+//     via Broker::unpeer (interest summaries dropped, orphaned patterns
+//     retracted) and reports the cut to the deployment's RepairPolicy.
+//   * RepairPolicy (one per deployment) maintains the live edge set,
+//     recomputes connectivity, and when a cut actually split the overlay
+//     picks a repair edge: first a recorded Topology standby link
+//     crossing the split, else a RAPTEE-style deterministic, seed-driven
+//     scoring over gossip-learned endpoint pairs. It wires the edge
+//     (link + peer both ends), adopts it into the Topology's edge list so
+//     ground truth tracks the healed overlay, and schedules
+//     resync_interest rounds so interest re-propagates and routing
+//     converges without any entity re-registering.
+//
+// Every decision is logged to an append-only action log ("t=<us> ..."),
+// byte-identical across same-seed VirtualTimeNetwork runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/timer_wheel.h"
+#include "src/pubsub/broker.h"
+#include "src/pubsub/topology.h"
+#include "src/transport/network.h"
+
+namespace et::pubsub {
+
+class RepairPolicy;
+
+/// Per-broker peer-liveness detector + endpoint gossip. All state lives
+/// in the broker's node context; construct before traffic, then start().
+class OverlayRepairService {
+ public:
+  struct Options {
+    /// Probe cadence. Detection time is ~dead_misses * keepalive_interval,
+    /// which deployments should keep under their detection bound (the
+    /// chaos oracle's I1 window).
+    Duration keepalive_interval = 100 * kMillisecond;
+    /// Consecutive silent ticks before a peer is logged as suspected.
+    int suspect_misses = 3;
+    /// Consecutive silent ticks before a peer is declared dead, unpeered
+    /// and reported to the RepairPolicy.
+    int dead_misses = 6;
+    /// Send the endpoint directory every Nth tick (0 disables gossip).
+    int gossip_every = 2;
+  };
+
+  struct Stats {
+    std::uint64_t probes_sent = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t suspects = 0;     // suspect escalations
+    std::uint64_t peers_declared_dead = 0;
+    std::uint64_t gossip_sent = 0;
+    std::uint64_t gossip_merged = 0;  // directory entries learned
+  };
+
+  /// Installs the broker's link handler and peer listener. `policy` may
+  /// be null (detection + teardown only, no repair). Pass `{}` for the
+  /// default options.
+  OverlayRepairService(Broker& broker, RepairPolicy* policy,
+                       Options options);
+  ~OverlayRepairService();
+
+  OverlayRepairService(const OverlayRepairService&) = delete;
+  OverlayRepairService& operator=(const OverlayRepairService&) = delete;
+
+  /// Begins probing current neighbours (posts into the node context; safe
+  /// to call from setup code).
+  void start();
+
+  /// Gossip-learned endpoint directory (name -> node), including self and
+  /// current neighbours. Thread-safe.
+  [[nodiscard]] std::map<std::string, transport::NodeId> directory() const;
+
+  /// True when `name` is in the directory. Thread-safe.
+  [[nodiscard]] bool knows(const std::string& name) const;
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Broker& broker() { return broker_; }
+
+ private:
+  struct Watch {
+    int misses = 0;
+    bool suspected = false;
+    /// A frame arrived since the last tick; seeded true on watch start so
+    /// the first tick never counts a miss.
+    bool saw_activity = true;
+  };
+
+  // All private methods run in the broker's node context.
+  void on_link_frame(transport::NodeId from, const FrameView& f);
+  void on_peer_change(transport::NodeId peer, bool added);
+  void tick();
+  void send_gossip();
+  void merge_directory(std::string_view record);
+  void declare_dead(transport::NodeId peer);
+
+  Broker& broker_;
+  transport::NetworkBackend& backend_;
+  RepairPolicy* policy_;
+  Options options_;
+  std::unique_ptr<TimerWheel> wheel_;
+  std::map<transport::NodeId, Watch> watches_;
+  std::uint64_t seq_ = 0;
+  int ticks_until_gossip_ = 1;
+  bool started_ = false;
+
+  mutable std::mutex dir_mu_;
+  std::map<std::string, transport::NodeId> directory_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+/// Deployment-wide repair decision maker. Thread-safe: dead-peer reports
+/// arrive from broker node contexts (concurrently on RealTimeNetwork).
+class RepairPolicy {
+ public:
+  struct Options {
+    /// Prefer activating a recorded Topology standby edge that crosses
+    /// the split.
+    bool activate_standby = true;
+    /// Fall back to creating a fresh edge between gossip-known endpoints.
+    bool repeer = true;
+    /// Drives the candidate scoring; same seed -> byte-identical action
+    /// log on the virtual-time backend.
+    std::uint64_t seed = 0;
+    /// Link parameters for freshly created repair edges.
+    transport::LinkParams link_params;
+    /// Interest-resync rounds after wiring a repair edge. The first round
+    /// runs one spacing after peering (never immediately: both ends must
+    /// be peered before subscribe frames cross, or the receiver would
+    /// treat its new neighbour as a misbehaving client); later rounds
+    /// back-fill announcements lost on lossy links.
+    int resync_rounds = 3;
+    Duration resync_spacing = 200 * kMillisecond;
+  };
+
+  struct Stats {
+    std::uint64_t reports = 0;            // dead-peer reports received
+    std::uint64_t splits = 0;             // reports that split the overlay
+    std::uint64_t standby_activations = 0;
+    std::uint64_t repeers = 0;            // fresh gossip-scored edges
+    std::uint64_t stranded = 0;           // splits with no usable candidate
+  };
+
+  RepairPolicy(transport::NetworkBackend& backend, Topology& topology,
+               Options options);
+
+  RepairPolicy(const RepairPolicy&) = delete;
+  RepairPolicy& operator=(const RepairPolicy&) = delete;
+
+  /// Registers a broker and its repair service. Call for every broker
+  /// before traffic starts; the live edge set is seeded from the
+  /// Topology's current edges on first report.
+  void attach(std::size_t index, Broker& broker,
+              OverlayRepairService& service);
+
+  /// A repair service declared `dead_node` unreachable from
+  /// `reporter_node`. Runs the full decision procedure synchronously
+  /// (component check, standby scan, candidate scoring) and posts the
+  /// wiring into the affected brokers' node contexts.
+  void report_peer_dead(transport::NodeId reporter_node,
+                        transport::NodeId dead_node);
+
+  /// Append-only decision log, "t=<us> <action>" per entry.
+  [[nodiscard]] std::vector<std::string> action_log() const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Member {
+    std::size_t index = 0;
+    Broker* broker = nullptr;
+    OverlayRepairService* service = nullptr;
+  };
+
+  // All methods below require mu_ held.
+  void seed_edges_locked();
+  void log_locked(const std::string& what);
+  [[nodiscard]] std::vector<std::size_t> components_locked() const;
+  void wire_edge_locked(std::size_t a, std::size_t b);
+
+  transport::NetworkBackend& backend_;
+  Topology& topology_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::map<transport::NodeId, Member> members_;       // by node id
+  std::map<std::size_t, transport::NodeId> nodes_;    // index -> node id
+  std::set<std::pair<std::size_t, std::size_t>> alive_;  // normalized edges
+  /// Repair attempts per normalized edge; candidates tried twice are
+  /// excluded so a crashed (rather than cut) endpoint cannot induce an
+  /// endless repair loop.
+  std::map<std::pair<std::size_t, std::size_t>, int> attempts_;
+  bool seeded_ = false;
+  std::vector<std::string> log_;
+  Stats stats_;
+};
+
+}  // namespace et::pubsub

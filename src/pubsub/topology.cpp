@@ -42,17 +42,57 @@ void Topology::connect_brokers(Broker& a, Broker& b,
         " would create a cycle in the broker overlay");
   }
   union_find_[ra] = rb;
-  edges_.emplace_back(ia, ib);
+  {
+    std::lock_guard lock(edges_mu_);
+    edges_.emplace_back(ia, ib);
+  }
   backend_.link(a.node(), b.node(), params);
   a.peer(b.node());
   b.peer(a.node());
+}
+
+void Topology::add_standby(std::size_t i, std::size_t j,
+                           const transport::LinkParams& params) {
+  backend_.link(brokers_[i]->node(), brokers_[j]->node(), params);
+  std::lock_guard lock(edges_mu_);
+  standby_edges_.emplace_back(i, j);
+}
+
+bool Topology::has_edge_locked(std::size_t a, std::size_t b) const {
+  for (const auto& [x, y] : edges_) {
+    if ((x == a && y == b) || (x == b && y == a)) return true;
+  }
+  return false;
+}
+
+void Topology::adopt_repair_edge(std::size_t a, std::size_t b) {
+  std::lock_guard lock(edges_mu_);
+  for (auto it = standby_edges_.begin(); it != standby_edges_.end(); ++it) {
+    if ((it->first == a && it->second == b) ||
+        (it->first == b && it->second == a)) {
+      standby_edges_.erase(it);
+      break;
+    }
+  }
+  if (!has_edge_locked(a, b)) edges_.emplace_back(a, b);
+}
+
+void Topology::retire_edge(std::size_t a, std::size_t b) {
+  std::lock_guard lock(edges_mu_);
+  for (auto it = edges_.begin(); it != edges_.end(); ++it) {
+    if ((it->first == a && it->second == b) ||
+        (it->first == b && it->second == a)) {
+      edges_.erase(it);
+      return;
+    }
+  }
 }
 
 std::size_t Topology::diameter() const {
   const std::size_t n = brokers_.size();
   if (n < 2) return 0;
   std::vector<std::vector<std::size_t>> adj(n);
-  for (const auto& [a, b] : edges_) {
+  for (const auto& [a, b] : edges()) {
     adj[a].push_back(b);
     adj[b].push_back(a);
   }
@@ -142,10 +182,9 @@ std::vector<Broker*> Topology::make_ring(std::size_t n,
   if (n >= 3) {
     // Close the physical ring, but keep the overlay the spanning chain:
     // the standby edge is linked on the backend and never peered. It is
-    // recorded in standby_edges() so a repair protocol can find and
+    // recorded in standby_edges() so the repair protocol can find and
     // activate it.
-    backend_.link(out.back()->node(), out.front()->node(), params);
-    standby_edges_.emplace_back(index_of(*out.back()), index_of(*out.front()));
+    add_standby(index_of(*out.back()), index_of(*out.front()), params);
   }
   return out;
 }
@@ -162,6 +201,12 @@ std::vector<Broker*> Topology::make_tree(std::size_t n, std::size_t arity,
     out.push_back(
         &add_broker(options_for(options, prefix + std::to_string(i))));
     if (i > 0) connect_brokers(*out[(i - 1) / arity], *out[i], params);
+  }
+  // Standby shortcut from the root to the deepest leaf (skipped when they
+  // are already tree-adjacent): severing any root-side edge leaves the
+  // repair protocol a pre-linked path back to the detached subtree.
+  if (n >= 3 && (n - 2) / arity != 0) {
+    add_standby(index_of(*out.front()), index_of(*out.back()), params);
   }
   return out;
 }
@@ -184,6 +229,11 @@ std::vector<Broker*> Topology::make_clusters(
                        std::to_string(l))));
       connect_brokers(*out[c], *out.back(), params);
     }
+  }
+  // Standby bypass across the core chain: any single core-to-core cut
+  // can be routed around by activating the end-to-end link.
+  if (cores >= 3) {
+    add_standby(index_of(*out[0]), index_of(*out[cores - 1]), params);
   }
   return out;
 }
@@ -215,6 +265,18 @@ std::vector<Broker*> Topology::make_random_tree(
       }
     }
     if (degree[i] < max_degree) open.push_back(i);
+  }
+  // Standby shortcut between the first and last broker unless the random
+  // attachment already made them tree-adjacent.
+  if (n >= 3) {
+    const std::size_t i0 = index_of(*out.front());
+    const std::size_t i1 = index_of(*out.back());
+    bool adjacent = false;
+    {
+      std::lock_guard lock(edges_mu_);
+      adjacent = has_edge_locked(i0, i1);
+    }
+    if (!adjacent) add_standby(i0, i1, params);
   }
   return out;
 }

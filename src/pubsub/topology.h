@@ -7,14 +7,16 @@
 // the traced entity's broker) plus the large-overlay shapes the chaos
 // sweeps drive (DESIGN.md §12): rings, balanced k-ary trees,
 // cluster-of-stars "racks" and degree-bounded random trees. Every
-// generator keeps the peered overlay a spanning tree; shapes that are
-// cyclic in the physical world (the ring's closing edge) carry the extra
-// edge as a cold standby transport link that is never peered.
+// generator keeps the peered overlay a spanning tree; each chaos shape
+// additionally provisions one cold standby transport link (linked on the
+// backend, never peered) that the overlay-repair protocol can activate
+// when a spanning-tree edge dies — see standby_edges().
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -108,20 +110,38 @@ class Topology {
   [[nodiscard]] Broker& broker(std::size_t i) { return *brokers_.at(i); }
 
   /// Peered overlay edges as (index, index) pairs, in creation order.
-  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
-  edges() const {
+  /// Returned by value: the repair protocol adopts/retires edges at
+  /// runtime, possibly from broker node threads.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> edges()
+      const {
+    std::lock_guard lock(edges_mu_);
     return edges_;
   }
 
   /// Cold standby transport links as (index, index) pairs, in creation
-  /// order: physical edges that exist on the backend but are never peered
-  /// (make_ring's closing edge). The overlay-repair protocol consumes
-  /// these — it can activate a standby link by peering its endpoints
-  /// after a spanning-tree edge dies.
-  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
+  /// order: physical edges that exist on the backend but are never peered.
+  /// Every chaos generator records one — the ring's closing edge, the
+  /// tree/random-tree front-to-back shortcut, the cluster chain's
+  /// end-to-end bypass — so the overlay-repair protocol always has a
+  /// pre-provisioned link it can activate when a spanning-tree edge dies.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
   standby_edges() const {
+    std::lock_guard lock(edges_mu_);
     return standby_edges_;
   }
+
+  /// Adopts a repaired edge into edges(): promotes it out of
+  /// standby_edges() when recorded there, otherwise appends. Deliberately
+  /// bypasses the union-find cycle guard — that guard polices build-time
+  /// wiring; a repair edge joins two components separated by a retired
+  /// edge, and keeping the live overlay acyclic is the RepairPolicy's
+  /// invariant, not this container's. Does NOT link or peer anything:
+  /// callers wire the backend/brokers themselves. Thread-safe.
+  void adopt_repair_edge(std::size_t a, std::size_t b);
+
+  /// Drops a dead edge from edges() so ground-truth reachability stops
+  /// counting it (no-op when absent, either orientation). Thread-safe.
+  void retire_edge(std::size_t a, std::size_t b);
 
   /// Hop diameter of the peered overlay: the longest shortest path over
   /// any connected broker pair (0 for <= 1 broker; disconnected pairs are
@@ -133,8 +153,9 @@ class Topology {
   /// Partitions the overlay into isolated broker groups, e.g.
   /// `topo.partition({{b0, b1}, {b2}})`. Broker-to-broker packets that
   /// cross a boundary are silently dropped; unlisted nodes (clients,
-  /// TDNs) keep their direct links to both sides — isolate them by
-  /// listing their node ids via the backend's injector directly.
+  /// TDNs) keep their direct links to both sides — cut them off with the
+  /// backend injector's isolate() (a single group severs listed against
+  /// unlisted nodes).
   void partition(const std::vector<std::vector<Broker*>>& groups);
 
   /// Removes the partition (per-link faults and crashes persist).
@@ -148,10 +169,18 @@ class Topology {
  private:
   [[nodiscard]] std::size_t index_of(const Broker& b) const;
   [[nodiscard]] std::size_t find_root(std::size_t i);
+  /// Links i - j on the backend and records it as a standby edge.
+  void add_standby(std::size_t i, std::size_t j,
+                   const transport::LinkParams& params);
+  [[nodiscard]] bool has_edge_locked(std::size_t a, std::size_t b) const;
 
   transport::NetworkBackend& backend_;
   std::vector<std::unique_ptr<Broker>> brokers_;
   std::vector<std::size_t> union_find_;  // cycle detection
+  /// Guards edges_/standby_edges_: repair mutates them at runtime, and on
+  /// RealTimeNetwork both repair (broker threads) and oracle ground-truth
+  /// sampling (test thread) read them concurrently.
+  mutable std::mutex edges_mu_;
   std::vector<std::pair<std::size_t, std::size_t>> edges_;
   std::vector<std::pair<std::size_t, std::size_t>> standby_edges_;
 };

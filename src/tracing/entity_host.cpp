@@ -23,7 +23,11 @@ EntityHost::EntityHost(transport::NetworkBackend& backend,
   disc_.set_retry_policy(config_.retry);
 }
 
-EntityHost::~EntityHost() { backend_.cancel(renewal_timer_); }
+EntityHost::~EntityHost() {
+  backend_.cancel(renewal_timer_);
+  backend_.cancel(watchdog_timer_);
+  backend_.cancel(failover_timer_);
+}
 
 void EntityHost::attach_tdn(transport::NodeId tdn,
                             const transport::LinkParams& params) {
@@ -32,6 +36,8 @@ void EntityHost::attach_tdn(transport::NodeId tdn,
 
 void EntityHost::connect_broker(transport::NodeId broker,
                                 const transport::LinkParams& params) {
+  broker_params_ = params;  // reused when failing over to a new broker
+  last_broker_activity_ = backend_.now();
   client_.connect(broker, params);
 }
 
@@ -106,6 +112,7 @@ void EntityHost::register_with_broker(ReadyCallback on_ready) {
 }
 
 void EntityHost::on_registration_response(const pubsub::Message& m) {
+  last_broker_activity_ = backend_.now();
   if (active_) return;  // duplicate delivery after success
   if (!m.encrypted) {
     // Plaintext responses are error reports {request_id, message}.
@@ -185,10 +192,15 @@ void EntityHost::deliver_delegation(ReadyCallback on_ready) {
 
   active_ = true;
   ++stats_.registrations;
+  arm_watchdog();
   if (on_ready) on_ready(Status::ok());
 }
 
 void EntityHost::on_ping(const pubsub::Message& m) {
+  // Any broker traffic proves the broker alive — even pings we choose not
+  // to answer (set_all_responsive(false) simulates a hung host, not a
+  // dead broker), so the silence watchdog must not fail over then.
+  last_broker_activity_ = backend_.now();
   SessionMessage ping;
   try {
     ping = SessionMessage::deserialize(m.payload);
@@ -260,6 +272,131 @@ void EntityHost::disconnect() {
       backend_.unlink(client_.node(), client_.broker());
     }
   });
+}
+
+// --- broker-silence failover (DESIGN.md §11, batch form) ------------------
+
+void EntityHost::arm_watchdog() {
+  if (config_.broker_silence_timeout <= 0) return;
+  backend_.cancel(watchdog_timer_);
+  const Duration interval =
+      std::max<Duration>(1, config_.broker_silence_timeout / 2);
+  watchdog_timer_ =
+      backend_.schedule(client_.node(), interval, [this] { on_watchdog(); });
+}
+
+void EntityHost::on_watchdog() {
+  watchdog_timer_ = 0;
+  if (!active_ || failing_over_) return;
+  if (backend_.now() - last_broker_activity_ >=
+      config_.broker_silence_timeout) {
+    ET_LOG(kInfo) << identity_.id
+                  << ": hosting broker silent; starting batch failover";
+    begin_failover();
+    return;
+  }
+  arm_watchdog();
+}
+
+void EntityHost::begin_failover() {
+  failing_over_ = true;
+  active_ = false;
+  backend_.cancel(renewal_timer_);
+  backend_.cancel(watchdog_timer_);
+  watchdog_timer_ = 0;
+  // Sever the dead broker's link: if it is in fact alive (we were merely
+  // partitioned), its next ping send gets kUnavailable and it tears the
+  // stale session down with per-member DISCONNECT traces — exactly the
+  // bookkeeping we want for a session we are abandoning.
+  if (client_.broker() != transport::kInvalidNode &&
+      backend_.linked(client_.node(), client_.broker())) {
+    backend_.unlink(client_.node(), client_.broker());
+  }
+  failover_retry_ = RetryState(config_.retry, backend_.now());
+  attempt_failover();
+}
+
+void EntityHost::attempt_failover() {
+  const std::uint64_t gen = ++failover_gen_;
+  ++stats_.failover_attempts;
+  // One attempt = find_broker -> connect -> resubscribe -> ONE batch
+  // re-registration covering the whole roster -> one re-minted
+  // delegation. The tail after find_broker runs under one timeout; a TDN
+  // may hand us a broker that crashed after registering.
+  const Duration step_timeout =
+      std::max<Duration>(100 * kMillisecond, config_.broker_silence_timeout);
+  disc_.find_broker(
+      [this, gen](Result<discovery::BrokerLocation> r) {
+        backend_.post(client_.node(), [this, gen, r = std::move(r)]() mutable {
+          if (gen != failover_gen_ || !failing_over_) return;
+          if (!r.ok()) {
+            failover_backoff();
+            return;
+          }
+          const discovery::BrokerLocation loc = std::move(r).value();
+          const Duration attempt_timeout = std::max<Duration>(
+              100 * kMillisecond, config_.broker_silence_timeout);
+          failover_timer_ =
+              backend_.schedule(client_.node(), attempt_timeout, [this, gen] {
+                if (gen != failover_gen_ || !failing_over_) return;
+                failover_timer_ = 0;
+                pending_ready_ = nullptr;  // abandon the in-flight attempt
+                if (client_.broker() != transport::kInvalidNode &&
+                    backend_.linked(client_.node(), client_.broker())) {
+                  backend_.unlink(client_.node(), client_.broker());
+                }
+                failover_backoff();
+              });
+          client_.connect(loc.node, broker_params_, [this,
+                                                     gen](const Status& s) {
+            if (gen != failover_gen_ || !failing_over_) return;
+            if (!s.is_ok()) return;  // the per-attempt timeout handles it
+            // The new broker knows none of our subscriptions (broker-side
+            // state is per-broker): replay them, then re-register the
+            // batch. The subscribe frames travel the same ordered link
+            // first, so the registration response cannot outrun its
+            // subscription.
+            client_.resubscribe_all();
+            register_with_broker([this, gen](const Status& rs) {
+              if (gen != failover_gen_ || !failing_over_) return;
+              backend_.cancel(failover_timer_);
+              failover_timer_ = 0;
+              if (!rs.is_ok()) {
+                failover_backoff();
+                return;
+              }
+              finish_failover();
+            });
+          });
+        });
+      },
+      step_timeout);
+}
+
+void EntityHost::failover_backoff() {
+  Duration delay = 0;
+  if (!failover_retry_.next_delay(backend_.now(), rng_, &delay)) {
+    // An availability reporter must never stop trying to report: once the
+    // policy's budget is spent, restart the schedule at max-backoff
+    // cadence instead of giving up.
+    failover_retry_ = RetryState(config_.retry, backend_.now());
+    delay = std::max<Duration>(1, config_.retry.max_backoff);
+  }
+  failover_timer_ = backend_.schedule(client_.node(), delay, [this] {
+    failover_timer_ = 0;
+    if (failing_over_) attempt_failover();
+  });
+}
+
+void EntityHost::finish_failover() {
+  failing_over_ = false;
+  ++stats_.failovers;
+  last_broker_activity_ = backend_.now();
+  ET_LOG(kInfo) << identity_.id << ": batch failover complete, session "
+                << session_id_.to_string();
+  // Unlike TracedEntity there is no RECOVERING announcement: hosts carry
+  // no per-member state machine, and the broker's next ping round
+  // re-establishes every member's liveness from the bitmap.
 }
 
 void EntityHost::set_responsive(const std::string& entity_id,

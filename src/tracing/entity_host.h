@@ -42,6 +42,8 @@ struct EntityHostStats {
   std::uint64_t pings_received = 0;
   std::uint64_t pings_answered = 0;
   std::uint64_t registrations = 0;  // completed batch registrations
+  std::uint64_t failover_attempts = 0;  // find_broker rounds started
+  std::uint64_t failovers = 0;          // completed re-registrations
 };
 
 class EntityHost {
@@ -97,6 +99,12 @@ class EntityHost {
   /// swallowed entirely (hung host), driving whole-roster escalation.
   void set_all_responsive(bool responsive);
 
+  /// True while the host is hunting for a replacement broker after its
+  /// hosting broker went silent (TracingConfig::broker_silence_timeout).
+  /// One failover re-homes the entire roster: one find_broker round, one
+  /// batch re-registration, one re-minted delegation.
+  [[nodiscard]] bool failing_over() const { return failing_over_; }
+
   [[nodiscard]] const std::string& host_id() const { return identity_.id; }
   [[nodiscard]] std::size_t entity_count() const { return entity_ids_.size(); }
   [[nodiscard]] const Uuid& trace_topic() const { return trace_topic_; }
@@ -113,6 +121,15 @@ class EntityHost {
   void on_registration_response(const pubsub::Message& m);
   void deliver_delegation(ReadyCallback on_ready);
   void on_ping(const pubsub::Message& m);
+  // Broker-silence failover, mirroring TracedEntity (DESIGN.md §11) with
+  // the batch twist: one re-registration re-homes the whole roster. All
+  // run in the client context.
+  void arm_watchdog();
+  void on_watchdog();
+  void begin_failover();
+  void attempt_failover();
+  void failover_backoff();
+  void finish_failover();
   /// Sends a session message, authenticated per the configured mode.
   /// Token/key deliveries are always encrypted regardless of mode.
   void send_session_message(const SessionMessage& sm, bool force_encrypt);
@@ -143,6 +160,15 @@ class EntityHost {
   transport::TimerId renewal_timer_ = 0;
   bool active_ = false;
   bool host_responsive_ = true;
+  // Failover state. `failover_gen_` versions the in-flight attempt so
+  // stale discovery/connect/registration callbacks are ignored.
+  transport::LinkParams broker_params_{};
+  TimePoint last_broker_activity_ = 0;
+  transport::TimerId watchdog_timer_ = 0;
+  transport::TimerId failover_timer_ = 0;  // backoff OR per-attempt timeout
+  bool failing_over_ = false;
+  std::uint64_t failover_gen_ = 0;
+  RetryState failover_retry_ = RetryState(RetryPolicy::none(), 0);
   EntityHostStats stats_;
 };
 

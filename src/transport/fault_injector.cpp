@@ -16,13 +16,19 @@ void FaultInjector::partition(std::vector<std::vector<NodeId>> groups) {
     for (NodeId n : groups[g]) group_[n] = g;
   }
   partitioned_ = !group_.empty();
+  single_group_ = groups.size() == 1 && partitioned_;
   rearm_locked();
+}
+
+void FaultInjector::isolate(std::vector<NodeId> nodes) {
+  partition({std::move(nodes)});
 }
 
 void FaultInjector::heal() {
   std::lock_guard lock(mu_);
   group_.clear();
   partitioned_ = false;
+  single_group_ = false;
   rearm_locked();
 }
 
@@ -112,11 +118,16 @@ void FaultInjector::rearm_locked() {
 bool FaultInjector::cut_locked(NodeId from, NodeId to, TimePoint now) const {
   if (crashed_.contains(from) || crashed_.contains(to)) return true;
   if (partitioned_) {
-    // Unlisted nodes are unrestricted; only listed-to-listed pairs in
-    // different groups are severed.
     const auto a = group_.find(from);
     const auto b = group_.find(to);
-    if (a != group_.end() && b != group_.end() && a->second != b->second) {
+    if (single_group_) {
+      // Isolation: the boundary runs between the listed set and the rest
+      // of the network.
+      if ((a == group_.end()) != (b == group_.end())) return true;
+    } else if (a != group_.end() && b != group_.end() &&
+               a->second != b->second) {
+      // Unlisted nodes are unrestricted; only listed-to-listed pairs in
+      // different groups are severed.
       return true;
     }
   }

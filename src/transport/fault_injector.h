@@ -58,9 +58,20 @@ class FaultInjector {
   /// boundaries are dropped both at send and at delivery (in-flight).
   /// Nodes not mentioned in any group are unrestricted: they reach every
   /// group (think brokers partitioned while their clients and the TDN
-  /// keep their direct links). List a node to isolate it. Replaces any
-  /// previous partition.
+  /// keep their direct links). Replaces any previous partition.
+  ///
+  /// A single group isolates it from the rest of the network: packets
+  /// between a listed and an unlisted node are dropped, listed-to-listed
+  /// and unlisted-to-unlisted traffic flows. (Historically a one-group
+  /// partition was a silent no-op — there was no boundary for
+  /// listed-to-listed pairs to cross — which every caller that wanted
+  /// isolation had to work around with crash().)
   void partition(std::vector<std::vector<NodeId>> groups);
+
+  /// Convenience for the one-group case: cuts `nodes` off from every
+  /// unlisted node while they keep reaching each other. Equivalent to
+  /// partition({nodes}).
+  void isolate(std::vector<NodeId> nodes);
 
   /// Removes the partition (only); per-link faults and crashes persist.
   void heal();
@@ -168,6 +179,9 @@ class FaultInjector {
   std::atomic<bool> armed_{false};
   Rng rng_;
   bool partitioned_ = false;
+  /// Single-group partitions isolate: the boundary runs between listed
+  /// and unlisted nodes instead of between groups.
+  bool single_group_ = false;
   std::unordered_map<NodeId, std::uint32_t> group_;  // node -> group index
   std::unordered_set<NodeId> crashed_;
   std::unordered_map<std::uint64_t, PairFault> pairs_;

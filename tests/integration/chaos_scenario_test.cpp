@@ -364,8 +364,9 @@ TEST(ChaosSweep, EntityFailoverSurvivesTdnReplicaPartition) {
         oracle.tap(dep.tracker(0).tracker_id(), entity.entity_id(), net));
 
   // Replica 0 goes down with the same failure domain as the hosting
-  // broker (crash fully isolates a node; a bare partition group would
-  // still let unlisted client nodes through).
+  // broker. crash() fully isolates the node; faults().isolate() would
+  // work too now that single-group partitions sever listed from unlisted
+  // nodes, but crash keeps this cell on the frozen-process model.
   net.faults().crash(dep.tdn(0).node());
   dep.topology().crash(dep.topology().broker(0));
 

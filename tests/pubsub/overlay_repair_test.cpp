@@ -1,0 +1,243 @@
+// Unit tests for the self-healing overlay layer (overlay_repair.h): the
+// keepalive liveness ladder, unpeer's interest teardown, peer-exchange
+// gossip, and the repair policy's standby-activation and gossip-scored
+// re-peering paths — all on VirtualTimeNetwork, where same-seed runs are
+// byte-identical.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/pubsub/client.h"
+#include "src/pubsub/overlay_repair.h"
+#include "src/pubsub/topology.h"
+#include "src/transport/fault_injector.h"
+#include "src/transport/virtual_network.h"
+
+namespace et::pubsub {
+namespace {
+
+transport::LinkParams fast() {
+  transport::LinkParams p = transport::LinkParams::ideal_profile();
+  p.base_latency = 1 * kMillisecond;
+  return p;
+}
+
+/// Brokers + one repair service per broker + one shared policy.
+struct RepairRig {
+  RepairRig(transport::VirtualTimeNetwork& net, Topology& topo,
+            std::vector<Broker*> brokers_in, RepairPolicy::Options po)
+      : brokers(std::move(brokers_in)), policy(net, topo, po) {
+    for (std::size_t i = 0; i < brokers.size(); ++i) {
+      services.push_back(std::make_unique<OverlayRepairService>(
+          *brokers[i], &policy, OverlayRepairService::Options{}));
+      policy.attach(i, *brokers[i], *services[i]);
+      services[i]->start();
+    }
+  }
+
+  std::vector<Broker*> brokers;
+  RepairPolicy policy;
+  std::vector<std::unique_ptr<OverlayRepairService>> services;
+};
+
+TEST(OverlayRepairServiceTest, KeepaliveLadderDeclaresCutPeerDead) {
+  transport::VirtualTimeNetwork net(7);
+  Topology topo(net);
+  auto brokers = topo.make_chain(2, fast());
+  OverlayRepairService s0(*brokers[0], nullptr, {});
+  OverlayRepairService s1(*brokers[1], nullptr, {});
+  s0.start();
+  s1.start();
+
+  net.run_for(1 * kSecond);
+  EXPECT_GT(s0.stats().probes_sent, 0u);
+  EXPECT_GT(s0.stats().acks_sent, 0u);
+  EXPECT_EQ(s0.stats().suspects, 0u);
+  EXPECT_EQ(s0.stats().peers_declared_dead, 0u);
+
+  // A blackhole drops every frame silently; both ends must walk the
+  // suspect -> dead ladder and tear the peering down.
+  net.faults().blackhole(brokers[0]->node(), brokers[1]->node());
+  net.run_for(1 * kSecond);
+  EXPECT_EQ(s0.stats().suspects, 1u);
+  EXPECT_EQ(s0.stats().peers_declared_dead, 1u);
+  EXPECT_EQ(s1.stats().peers_declared_dead, 1u);
+  EXPECT_TRUE(brokers[0]->neighbours().empty());
+  EXPECT_TRUE(brokers[1]->neighbours().empty());
+}
+
+TEST(OverlayRepairServiceTest, LossyLinkDoesNotFalselyKillPeer) {
+  transport::VirtualTimeNetwork net(7);
+  Topology topo(net);
+  transport::LinkParams lossy = fast();
+  lossy.loss_probability = 0.05;
+  lossy.reliable = false;
+  auto brokers = topo.make_chain(2, lossy);
+  OverlayRepairService s0(*brokers[0], nullptr, {});
+  OverlayRepairService s1(*brokers[1], nullptr, {});
+  s0.start();
+  s1.start();
+
+  // Any frame resets the ladder, so a false dead declaration at 5% loss
+  // needs probe, ack AND the peer's own traffic lost for dead_misses
+  // consecutive ticks (~1e-14 per window). 30 seconds = 300 windows.
+  net.run_for(30 * kSecond);
+  EXPECT_EQ(s0.stats().peers_declared_dead, 0u);
+  EXPECT_EQ(s1.stats().peers_declared_dead, 0u);
+  EXPECT_EQ(brokers[0]->neighbours().size(), 1u);
+  EXPECT_EQ(brokers[1]->neighbours().size(), 1u);
+}
+
+TEST(OverlayRepairServiceTest, GossipSpreadsEndpointDirectory) {
+  transport::VirtualTimeNetwork net(7);
+  Topology topo(net);
+  auto brokers = topo.make_chain(3, fast());
+  OverlayRepairService s0(*brokers[0], nullptr, {});
+  OverlayRepairService s1(*brokers[1], nullptr, {});
+  OverlayRepairService s2(*brokers[2], nullptr, {});
+  s0.start();
+  s1.start();
+  s2.start();
+
+  net.run_for(1 * kSecond);
+  // Ends of the chain are not neighbours; they learn each other through
+  // the middle broker's peer-exchange records.
+  EXPECT_TRUE(s0.knows("broker2"));
+  EXPECT_TRUE(s2.knows("broker0"));
+  EXPECT_GT(s0.stats().gossip_sent, 0u);
+  EXPECT_GT(s0.stats().gossip_merged, 0u);
+  EXPECT_EQ(s0.directory().size(), 3u);
+}
+
+TEST(BrokerUnpeerTest, RetractsOrphanedInterestUpstream) {
+  transport::VirtualTimeNetwork net(7);
+  Topology topo(net);
+  auto b = topo.make_chain(3, fast());
+  Client sub(net, "sub");
+  Client pub(net, "pub");
+  sub.connect(b[2]->node(), fast());
+  pub.connect(b[0]->node(), fast());
+  net.run_for(20 * kMillisecond);
+
+  int got = 0;
+  sub.subscribe("repair/x", [&](const Message&) { ++got; });
+  net.run_for(20 * kMillisecond);
+  pub.publish("repair/x", to_bytes("one"));
+  net.run_for(50 * kMillisecond);
+  ASSERT_EQ(got, 1);
+  const std::uint64_t before = b[0]->stats().forwarded;
+  ASSERT_GT(before, 0u);
+
+  // The middle broker forgets the subscriber's broker. The orphaned
+  // pattern must be retracted from the head broker too, so it stops
+  // forwarding publishes toward the dead edge.
+  net.post(b[1]->node(), [&] { b[1]->unpeer(b[2]->node()); });
+  net.run_for(20 * kMillisecond);
+  pub.publish("repair/x", to_bytes("two"));
+  net.run_for(50 * kMillisecond);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(b[0]->stats().forwarded, before);
+}
+
+TEST(RepairPolicyTest, StandbyActivationHealsRingCut) {
+  transport::VirtualTimeNetwork net(7);
+  Topology topo(net);
+  RepairPolicy::Options po;
+  po.seed = 1;
+  po.link_params = fast();
+  RepairRig rig(net, topo, topo.make_ring(4, fast()), po);
+
+  Client sub(net, "sub");
+  Client pub(net, "pub");
+  sub.connect(rig.brokers[3]->node(), fast());
+  pub.connect(rig.brokers[0]->node(), fast());
+  net.run_for(20 * kMillisecond);
+  int got = 0;
+  sub.subscribe("ring/x", [&](const Message&) { ++got; });
+  net.run_for(1 * kSecond);
+  pub.publish("ring/x", to_bytes("before"));
+  net.run_for(50 * kMillisecond);
+  ASSERT_EQ(got, 1);
+
+  // Sever the spanning chain in the middle: detection (~700ms) tears the
+  // edge down, the policy finds the ring's recorded standby (3,0)
+  // crossing the split and activates it, then interest resyncs.
+  net.faults().blackhole(rig.brokers[1]->node(), rig.brokers[2]->node());
+  net.run_for(2 * kSecond);
+
+  const RepairPolicy::Stats stats = rig.policy.stats();
+  EXPECT_EQ(stats.reports, 2u);  // both cut endpoints report
+  EXPECT_EQ(stats.splits, 1u);   // second report finds it already healed
+  EXPECT_EQ(stats.standby_activations, 1u);
+  EXPECT_EQ(stats.repeers, 0u);
+  EXPECT_TRUE(topo.standby_edges().empty());  // promoted into edges()
+
+  pub.publish("ring/x", to_bytes("after"));
+  net.run_for(100 * kMillisecond);
+  EXPECT_EQ(got, 2);
+}
+
+TEST(RepairPolicyTest, RepeerFallbackUsesGossipDirectory) {
+  transport::VirtualTimeNetwork net(7);
+  Topology topo(net);
+  RepairPolicy::Options po;
+  po.seed = 9;
+  po.link_params = fast();
+  // A chain records no standby edge, so the policy must fall back to
+  // creating a fresh edge between gossip-learned endpoints.
+  RepairRig rig(net, topo, topo.make_chain(3, fast()), po);
+
+  Client sub(net, "sub");
+  Client pub(net, "pub");
+  sub.connect(rig.brokers[2]->node(), fast());
+  pub.connect(rig.brokers[0]->node(), fast());
+  net.run_for(20 * kMillisecond);
+  int got = 0;
+  sub.subscribe("chain/x", [&](const Message&) { ++got; });
+  net.run_for(1 * kSecond);  // let gossip spread the directory first
+  pub.publish("chain/x", to_bytes("before"));
+  net.run_for(50 * kMillisecond);
+  ASSERT_EQ(got, 1);
+
+  net.faults().blackhole(rig.brokers[1]->node(), rig.brokers[2]->node());
+  net.run_for(2 * kSecond);
+
+  const RepairPolicy::Stats stats = rig.policy.stats();
+  EXPECT_EQ(stats.splits, 1u);
+  EXPECT_EQ(stats.standby_activations, 0u);
+  EXPECT_EQ(stats.repeers, 1u);
+  EXPECT_EQ(stats.stranded, 0u);
+  // The only candidate not excluded as the known-bad cut pair is 0-2.
+  ASSERT_EQ(topo.edges().size(), 2u);
+
+  pub.publish("chain/x", to_bytes("after"));
+  net.run_for(100 * kMillisecond);
+  EXPECT_EQ(got, 2);
+}
+
+TEST(RepairPolicyTest, SameSeedProducesIdenticalActionLogs) {
+  const auto run = [](std::uint64_t seed) {
+    transport::VirtualTimeNetwork net(42);
+    Topology topo(net);
+    RepairPolicy::Options po;
+    po.seed = seed;
+    po.link_params = fast();
+    RepairRig rig(net, topo, topo.make_ring(5, fast()), po);
+    net.run_for(500 * kMillisecond);
+    net.faults().blackhole(rig.brokers[2]->node(), rig.brokers[3]->node());
+    net.run_for(2 * kSecond);
+    return rig.policy.action_log();
+  };
+
+  const std::vector<std::string> first = run(123);
+  const std::vector<std::string> second = run(123);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);  // byte-identical decisions and timestamps
+  for (const std::string& line : first) {
+    EXPECT_EQ(line.rfind("t=", 0), 0u) << line;
+  }
+}
+
+}  // namespace
+}  // namespace et::pubsub

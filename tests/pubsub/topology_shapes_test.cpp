@@ -80,9 +80,47 @@ TYPED_TEST(TopologyShapesTest, SmallRingSkipsStandbyLink) {
   EXPECT_TRUE(this->topo.standby_edges().empty());
 }
 
-TYPED_TEST(TopologyShapesTest, NonRingShapesRecordNoStandbyEdges) {
-  this->topo.make_tree(7, 2, this->fast());
-  EXPECT_TRUE(this->topo.standby_edges().empty());
+// Every chaos generator provisions exactly one cold standby link (linked
+// on the backend, never peered, never in edges()) for the repair protocol
+// to activate. One test per shape; the ring's is covered above.
+
+TYPED_TEST(TopologyShapesTest, TreeRecordsRootToDeepestLeafStandby) {
+  auto tree = this->topo.make_tree(7, 2, this->fast());
+  ASSERT_EQ(this->topo.standby_edges().size(), 1u);
+  EXPECT_EQ(this->topo.standby_edges()[0], std::make_pair(0ul, 6ul));
+  EXPECT_TRUE(this->net.linked(tree.front()->node(), tree.back()->node()));
+  EXPECT_EQ(this->topo.edges().size(), 6u);  // standby is not an edge
+
+  // When the last broker is already the root's child the shortcut would
+  // duplicate a tree edge, so none is recorded.
+  transport::VirtualTimeNetwork scratch(1);
+  Topology tiny(scratch);
+  tiny.make_tree(3, 2, this->fast(), "tiny");
+  EXPECT_TRUE(tiny.standby_edges().empty());
+}
+
+TYPED_TEST(TopologyShapesTest, ClustersRecordCoreChainBypassStandby) {
+  auto all = this->topo.make_clusters(3, 2, this->fast());
+  ASSERT_EQ(this->topo.standby_edges().size(), 1u);
+  EXPECT_EQ(this->topo.standby_edges()[0], std::make_pair(0ul, 2ul));
+  EXPECT_TRUE(this->net.linked(all[0]->node(), all[2]->node()));
+
+  // Two cores are chain-adjacent already; an end-to-end bypass would
+  // duplicate the existing core edge.
+  transport::VirtualTimeNetwork scratch(1);
+  Topology two(scratch);
+  two.make_clusters(2, 2, this->fast(), "two");
+  EXPECT_TRUE(two.standby_edges().empty());
+}
+
+TYPED_TEST(TopologyShapesTest, RandomTreeRecordsFrontToBackStandby) {
+  auto brokers = this->topo.make_random_tree(24, 3, 42, this->fast());
+  ASSERT_EQ(this->topo.standby_edges().size(), 1u);
+  const auto standby = this->topo.standby_edges()[0];
+  EXPECT_EQ(standby, std::make_pair(0ul, 23ul));
+  EXPECT_TRUE(this->net.linked(brokers[standby.first]->node(),
+                               brokers[standby.second]->node()));
+  for (const auto& e : this->topo.edges()) EXPECT_NE(e, standby);
 }
 
 TYPED_TEST(TopologyShapesTest, TreeHasLogDiameterAndBfsParents) {

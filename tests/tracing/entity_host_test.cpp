@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/transport/fault_injector.h"
 #include "tests/tracing/harness.h"
 
 namespace et::tracing {
@@ -185,6 +186,44 @@ TEST(EntityHostTest, HostDisconnectFansOutPerMemberDisconnects) {
   EXPECT_EQ(disconnected, std::set<std::string>(roster.begin(), roster.end()));
   EXPECT_FALSE(f.h.services[0]->has_session_for("host-0"));
   EXPECT_EQ(f.h.services[0]->roster_size(), 0u);
+}
+
+TEST(EntityHostTest, BrokerSilenceTriggersBatchFailover) {
+  TracingConfig c = digest_config();
+  c.broker_silence_timeout = 600 * kMillisecond;
+  RetryPolicy r;
+  r.max_attempts = 0;  // an availability reporter never gives up
+  r.initial_backoff = 50 * kMillisecond;
+  r.max_backoff = 400 * kMillisecond;
+  r.deadline = 10 * kSecond;
+  c.retry = r;
+  HostFixture f(/*brokers=*/2, /*members=*/8, c);
+  f.h.register_brokers();
+  ASSERT_TRUE(f.host->tracing_active());
+  ASSERT_EQ(f.host->stats().registrations, 1u);
+
+  // Kill the hosting broker: pings stop, the silence watchdog fires, and
+  // ONE batch re-registration re-homes the entire roster — mirroring
+  // TracedEntity's failover ladder at O(1)-per-host cost.
+  f.h.net.faults().crash(f.h.brokers[0]->node());
+  for (int i = 0; i < 200 && f.host->stats().failovers == 0; ++i) {
+    f.h.net.run_for(100 * kMillisecond);
+  }
+  EXPECT_EQ(f.host->stats().failovers, 1u);
+  EXPECT_GE(f.host->stats().failover_attempts, 1u);
+  EXPECT_FALSE(f.host->failing_over());
+  EXPECT_TRUE(f.host->tracing_active());
+  EXPECT_EQ(f.host->client().broker(), f.h.brokers[1]->node());
+  EXPECT_EQ(f.host->stats().registrations, 2u);
+  // The replacement broker serves the whole roster under the new session.
+  EXPECT_EQ(f.h.services[1]->roster_size(), 8u);
+  for (const std::string& id : member_ids(8)) {
+    EXPECT_TRUE(f.h.services[1]->has_session_for(id)) << id;
+  }
+  // Pings flow again: the host answers its new broker.
+  const std::uint64_t answered = f.host->stats().pings_answered;
+  f.h.net.run_for(1 * kSecond);
+  EXPECT_GT(f.host->stats().pings_answered, answered);
 }
 
 TEST(EntityHostTest, PassthroughConfigStillDeliversPerEntity) {

@@ -208,6 +208,36 @@ TYPED_TEST(BackendConformanceTest, PartitionDropsCrossGroupTrafficOnly) {
   EXPECT_EQ(got_b.load(), 2);
 }
 
+TYPED_TEST(BackendConformanceTest, IsolateSeversListedFromUnlisted) {
+  // A single-group partition (isolate) cuts the listed set off from every
+  // unlisted node while both sides keep their internal traffic — the
+  // historical footgun was that partition({{a,b}}) was a silent no-op.
+  std::atomic<int> got_a{0}, got_b{0}, got_d{0};
+  const NodeId a = this->net.add_node(
+      "a", [&](NodeId, BytesView) { got_a.fetch_add(1); });
+  const NodeId b = this->net.add_node(
+      "b", [&](NodeId, BytesView) { got_b.fetch_add(1); });
+  const NodeId c = this->net.add_node("c", [](NodeId, BytesView) {});
+  const NodeId d = this->net.add_node(
+      "d", [&](NodeId, BytesView) { got_d.fetch_add(1); });
+  this->net.link(a, b, this->fast());
+  this->net.link(b, c, this->fast());
+  this->net.link(c, d, this->fast());
+
+  this->net.faults().isolate({a, b});
+  ASSERT_TRUE(this->net.send(a, b, Bytes(1)).is_ok());  // listed-to-listed
+  ASSERT_TRUE(this->net.send(c, b, Bytes(1)).is_ok());  // crosses boundary
+  ASSERT_TRUE(this->net.send(c, d, Bytes(1)).is_ok());  // both unlisted
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got_b.load(), 1);  // only a's packet arrived
+  EXPECT_EQ(got_d.load(), 1);
+
+  this->net.faults().heal();
+  ASSERT_TRUE(this->net.send(c, b, Bytes(1)).is_ok());
+  this->settle(5 * kMillisecond);
+  EXPECT_EQ(got_b.load(), 2);
+}
+
 TYPED_TEST(BackendConformanceTest, PartitionSwallowsInFlightPackets) {
   std::atomic<int> got{0};
   const NodeId a = this->net.add_node("a", [](NodeId, BytesView) {});
