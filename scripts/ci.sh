@@ -18,8 +18,12 @@
 #   scale   — the E16 100k-entity smoke (bench_entity_scale --smoke):
 #             asserts the §14 resource floors (interest edges and armed
 #             timers each >= 100x fewer than entities, RSS under 512 MB)
+#   durability — the §16 persistence suites: WAL crash-recovery property
+#             tests, replay-log/ledger fuzzing, the durable-state chaos
+#             cells, plus a SocketNetwork kill-and-recover smoke
 #
-# Usage: scripts/ci.sh [fast|chaos|sockets|asan|tsan|scale|all]  (default: all)
+# Usage: scripts/ci.sh [fast|chaos|sockets|asan|tsan|scale|durability|all]
+# (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,9 +75,11 @@ run_asan() {
     -DET_BUILD_EXAMPLES=OFF
   # Codec edges under ASan: the framing assembler's truncation/split/
   # overlong cases, corrupted-frame parses, and the wire robustness
-  # suites — the decoders' no-over-read contract, enforced.
+  # suites — the decoders' no-over-read contract, enforced. The Persist
+  # suites add the WAL/snapshot/ledger decoders fed truncated, bit-flipped
+  # and garbage inputs (DESIGN.md §16).
   ctest --test-dir build-asan --output-on-failure --timeout 300 -R \
-    'FrameAssembler|FrameCodec|Robustness'
+    'FrameAssembler|FrameCodec|Robustness|Persist'
 }
 
 run_tsan() {
@@ -83,7 +89,9 @@ run_tsan() {
   # socket backend's event loop, the conformance matrix across all three
   # backends, and the RealTimeNetwork chaos schedule and overlay-repair
   # smokes (the latter matches via "RealTime").
-  local filter='Realtime|RealTime|ChaosRealTimeSmoke|Threaded'
+  # Persist rides along: fsync/close ordering under TSan's happens-before
+  # checking costs little and keeps the durability layer in the matrix.
+  local filter='Realtime|RealTime|ChaosRealTimeSmoke|Threaded|Persist'
   if loopback_available; then
     filter="$filter|BackendConformance|SocketNetwork|FrameCodec"
   else
@@ -100,6 +108,22 @@ run_scale() {
   ./build/bench/bench_entity_scale --smoke
 }
 
+run_durability() {
+  configure build
+  # §16 persistence: WAL truncate-at-every-byte property tests, the
+  # replay-log / ledger fuzz suites, and the durable-state chaos cells
+  # (restart-with-state vs cold, audit-after-partition, determinism).
+  # DurabilitySocketSmoke is the kill-and-recover smoke over a real TCP
+  # loopback; excluded where the sandbox cannot bind sockets.
+  local exclude=''
+  if ! loopback_available; then
+    echo "durability: loopback unavailable, skipping the socket smoke"
+    exclude='DurabilitySocketSmoke'
+  fi
+  ctest --test-dir build --output-on-failure --timeout 300 \
+    -R 'Persist|Durability' ${exclude:+-E "$exclude"}
+}
+
 case "$stage" in
   fast)    run_fast ;;
   chaos)   run_chaos ;;
@@ -107,7 +131,10 @@ case "$stage" in
   asan)    run_asan ;;
   tsan)    run_tsan ;;
   scale)   run_scale ;;
-  all)     run_fast; run_chaos; run_sockets; run_asan; run_tsan; run_scale ;;
-  *) echo "unknown stage: $stage (want fast|chaos|sockets|asan|tsan|scale|all)" >&2
+  durability) run_durability ;;
+  all)     run_fast; run_chaos; run_sockets; run_asan; run_tsan; run_scale
+           run_durability ;;
+  *) echo "unknown stage: $stage" >&2
+     echo "want fast|chaos|sockets|asan|tsan|scale|durability|all" >&2
      exit 2 ;;
 esac

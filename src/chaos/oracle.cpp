@@ -72,10 +72,24 @@ tracing::Tracker::TraceHandler AvailabilityOracle::tap(
     {
       std::lock_guard<std::mutex> lock(mu_);
       pairs_[{tracker_id, entity_id}].observed.push_back(
-          {backend.now(), p.type});
+          {backend.now(), p.type, p.issued_at});
     }
     if (inner) inner(p, m);
   };
+}
+
+std::vector<AvailabilityOracle::ObservedEvent>
+AvailabilityOracle::observed_events(const std::string& tracker_id,
+                                    const std::string& entity_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObservedEvent> out;
+  const auto it = pairs_.find({tracker_id, entity_id});
+  if (it == pairs_.end()) return out;
+  out.reserve(it->second.observed.size());
+  for (const Observation& o : it->second.observed) {
+    out.push_back({o.at, o.issued_at, o.type});
+  }
+  return out;
 }
 
 void AvailabilityOracle::set_truth(const std::string& tracker_id,

@@ -113,6 +113,20 @@ class AvailabilityOracle {
   [[nodiscard]] std::vector<std::string> check_invariants(
       Duration detection_bound, Duration grace) const;
 
+  /// One recorded trace delivery: arrival instant, the emitter's
+  /// issued_at stamp, and the trace type. The emitter stamp is what the
+  /// ledger audit matches observations against (arrival time is a
+  /// delivery property; issued_at names the ledgered publication).
+  struct ObservedEvent {
+    TimePoint at = 0;
+    TimePoint issued_at = 0;
+    tracing::TraceType type{};
+  };
+
+  /// Every observation recorded for (tracker, entity), in arrival order.
+  [[nodiscard]] std::vector<ObservedEvent> observed_events(
+      const std::string& tracker_id, const std::string& entity_id) const;
+
  private:
   struct TruthEdge {
     TimePoint at = 0;
@@ -121,6 +135,7 @@ class AvailabilityOracle {
   struct Observation {
     TimePoint at = 0;
     tracing::TraceType type{};
+    TimePoint issued_at = 0;
   };
   struct Pair {
     std::vector<TruthEdge> truth;

@@ -1,8 +1,15 @@
 #include "src/chaos/scenario.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
 #include <queue>
+#include <set>
 #include <stdexcept>
 
+#include "src/common/serialize.h"
+#include "src/tracing/trace_digest.h"
 #include "src/transport/fault_injector.h"
 
 namespace et::chaos {
@@ -74,6 +81,23 @@ ScenarioDeployment::ScenarioDeployment(transport::NetworkBackend& backend,
       shared_keys_(crypto::rsa_generate(rng_, key_bits_)) {
   config_.delegate_key_bits = key_bits_;
 
+  if (opts.durability.enabled) {
+    durability_fsync_ = opts.durability.fsync;
+    durability_dir_ = opts.durability.dir;
+    if (durability_dir_.empty()) {
+      // Unique per deployment instance: two same-seed runs must not share
+      // (and thus cross-recover) state directories.
+      static std::atomic<std::uint64_t> counter{0};
+      durability_dir_ =
+          (std::filesystem::temp_directory_path() /
+           ("et-chaos-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter.fetch_add(1))))
+              .string();
+      owns_durability_dir_ = true;
+    }
+    std::filesystem::create_directories(durability_dir_);
+  }
+
   // TDN replicas share one signing keypair: the TrustAnchors carry a
   // single tdn_key, so the replica set presents as one logical service.
   const crypto::RsaKeyPair tdn_keys = crypto::rsa_generate(rng_, key_bits_);
@@ -81,13 +105,19 @@ ScenarioDeployment::ScenarioDeployment(transport::NetworkBackend& backend,
   anchors_.tdn_key = tdn_keys.public_key;
   const std::size_t replicas = std::max<std::size_t>(1, opts.tdn_replicas);
   for (std::size_t i = 0; i < replicas; ++i) {
-    crypto::Identity ident;
-    ident.id = "tdn-" + std::to_string(i);
-    ident.keys = tdn_keys;
-    ident.credential = ca_.issue(ident.id, tdn_keys.public_key,
-                                 backend_.now(), 24 * 3600 * kSecond);
-    tdns_.push_back(std::make_unique<discovery::Tdn>(
-        backend_, std::move(ident), ca_.public_key(), opts.seed + 1 + i));
+    discovery::Tdn::Options to;
+    to.identity.id = "tdn-" + std::to_string(i);
+    to.identity.keys = tdn_keys;
+    to.identity.credential = ca_.issue(to.identity.id, tdn_keys.public_key,
+                                       backend_.now(), 24 * 3600 * kSecond);
+    to.ca_key = ca_.public_key();
+    to.seed = opts.seed + 1 + i;
+    if (durable()) {
+      to.persist_dir = durability_dir_ + "/tdn-" + std::to_string(i);
+      to.fsync = durability_fsync_;
+    }
+    tdns_.push_back(
+        std::make_unique<discovery::Tdn>(backend_, std::move(to)));
   }
   // Full-mesh replication links between the replicas.
   for (std::size_t i = 0; i < tdns_.size(); ++i) {
@@ -109,6 +139,10 @@ ScenarioDeployment::ScenarioDeployment(transport::NetworkBackend& backend,
   const pubsub::BrokerOptionsFn brokeropts = [&](const std::string& name) {
     pubsub::Broker::Options o;
     o.name = name;
+    if (durable()) {
+      o.misbehaviour_persist_dir = durability_dir_ + "/broker-" + name;
+      o.misbehaviour_fsync = durability_fsync_;
+    }
     filters_.push_back(
         tracing::install_trace_filter(o, anchors_, backend_, config_));
     return o;
@@ -150,6 +184,13 @@ ScenarioDeployment::ScenarioDeployment(transport::NetworkBackend& backend,
   for (std::size_t i = 0; i < brokers_.size(); ++i) {
     services_.push_back(std::make_unique<tracing::TracingBrokerService>(
         *brokers_[i], anchors_, config_, opts.seed + 100 + i));
+    if (durable()) {
+      persist::TraceLedger::Options lo;
+      lo.path = durability_dir_ + "/ledger-" + brokers_[i]->name() + ".log";
+      lo.fsync = durability_fsync_;
+      ledgers_.push_back(std::make_unique<persist::TraceLedger>(lo));
+      services_[i]->set_trace_ledger(ledgers_[i].get());
+    }
   }
   if (opts.repair.enabled) {
     pubsub::RepairPolicy::Options po;
@@ -171,6 +212,114 @@ ScenarioDeployment::ScenarioDeployment(transport::NetworkBackend& backend,
       repair_services_[i]->start();
     }
   }
+}
+
+ScenarioDeployment::~ScenarioDeployment() {
+  if (owns_durability_dir_) {
+    // Close the stores (they hold fds into the tree) before removing it.
+    for (auto& t : tdns_) t->simulate_restart(/*with_state=*/false);
+    ledgers_.clear();
+    std::error_code ec;
+    std::filesystem::remove_all(durability_dir_, ec);
+  }
+}
+
+void ScenarioDeployment::restart_tdn_state(std::size_t i, bool with_state) {
+  discovery::Tdn& t = *tdns_.at(i);
+  backend_.post(t.node(),
+                [&t, with_state] { t.simulate_restart(with_state); });
+}
+
+void ScenarioDeployment::restart_broker_state(std::size_t i,
+                                              bool with_state) {
+  pubsub::Broker& b = *brokers_.at(i);
+  backend_.post(b.node(), [&b, with_state] {
+    b.restart_misbehaviour_state(with_state);
+  });
+}
+
+void ScenarioDeployment::attach_restart_handler(ScheduleEngine& engine) {
+  engine.set_restart_handler(
+      [this](std::size_t index, bool tdn_target, bool with_state) {
+        if (tdn_target) {
+          restart_tdn_state(index, with_state);
+        } else {
+          restart_broker_state(index, with_state);
+        }
+      });
+}
+
+std::vector<std::string> ScenarioDeployment::audit_ledgers(
+    const AvailabilityOracle& oracle) const {
+  std::vector<std::string> out;
+  if (ledgers_.empty()) {
+    out.push_back("audit_ledgers: durability disabled, nothing to audit");
+    return out;
+  }
+  // 1. Chain integrity: every broker's per-topic chains must verify.
+  for (std::size_t i = 0; i < ledgers_.size(); ++i) {
+    for (const std::string& v :
+         persist::LedgerAuditor::verify_all(*ledgers_[i])) {
+      out.push_back(brokers_[i]->name() + ": " + v);
+    }
+  }
+  // 2. Observed ⊆ ledgered: every trace a tracker saw must exist in some
+  // hosting broker's chain (an entity fails over, so its history may
+  // spread across several brokers' ledgers), keyed by (type, issued_at).
+  // Digest records vouch for their entries at the digest's stamp.
+  for (const auto& entity : entities_) {
+    const std::string& eid = entity->entity_id();
+    std::set<std::pair<std::uint8_t, TimePoint>> ledgered;
+    for (const auto& ledger : ledgers_) {
+      for (const std::string& topic : ledger->topics()) {
+        for (const persist::LedgerRecord& r : ledger->records(topic)) {
+          if (r.entity_id == eid) {
+            ledgered.insert({r.trace_type, r.issued_at});
+          }
+          if (r.trace_type ==
+              static_cast<std::uint8_t>(tracing::TraceType::kDigest)) {
+            try {
+              const tracing::TraceDigest d =
+                  tracing::TraceDigest::deserialize(r.payload);
+              for (const tracing::DigestEntry& de : d.entries) {
+                if (de.entity_id == eid) {
+                  ledgered.insert(
+                      {static_cast<std::uint8_t>(de.type), d.issued_at});
+                }
+              }
+            } catch (const SerializeError&) {
+              out.push_back("undecodable digest payload in ledger topic " +
+                            topic);
+            }
+          }
+        }
+      }
+    }
+    for (const auto& tracker : trackers_) {
+      const auto events =
+          oracle.observed_events(tracker->tracker_id(), eid);
+      TimePoint last_issued = 0;
+      for (const auto& ev : events) {
+        if (!ledgered.contains(
+                {static_cast<std::uint8_t>(ev.type), ev.issued_at})) {
+          out.push_back("phantom trace: " + tracker->tracker_id() + "/" +
+                        eid + " observed " +
+                        std::string(tracing::trace_type_name(ev.type)) +
+                        " issued_at=" + std::to_string(ev.issued_at) +
+                        " absent from every ledger");
+        }
+        if (ev.issued_at < last_issued) {
+          out.push_back("reordered trace: " + tracker->tracker_id() + "/" +
+                        eid + " observed " +
+                        std::string(tracing::trace_type_name(ev.type)) +
+                        " issued_at=" + std::to_string(ev.issued_at) +
+                        " after issued_at=" + std::to_string(last_issued));
+        }
+        last_issued = std::max(last_issued, ev.issued_at);
+      }
+    }
+  }
+  return out;
 }
 
 crypto::Identity ScenarioDeployment::make_identity(const std::string& id) {

@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "src/chaos/oracle.h"
+#include "src/chaos/schedule.h"
 #include "src/crypto/credential.h"
+#include "src/persist/ledger.h"
 #include "src/discovery/discovery_client.h"
 #include "src/discovery/tdn.h"
 #include "src/pubsub/overlay_repair.h"
@@ -81,6 +83,19 @@ class ScenarioDeployment {
     pubsub::OverlayRepairService::Options service;
   };
 
+  /// Durable-state knobs (DESIGN.md §16). When enabled, every TDN
+  /// replica gets a snapshot+WAL store, every broker a misbehaviour
+  /// store, and every broker's trace emission path a tamper-evident
+  /// TraceLedger — the substrate the restart-with-state / restart-cold
+  /// schedule steps and the audit-after-partition check operate on.
+  struct DurabilityOptions {
+    bool enabled = false;
+    /// State directory; empty = a fresh per-deployment temp directory,
+    /// removed with the deployment.
+    std::string dir;
+    persist::FsyncPolicy fsync = persist::FsyncPolicy::kNever;
+  };
+
   struct Options {
     OverlaySpec overlay;
     tracing::TracingConfig config = chaos_config();
@@ -93,9 +108,11 @@ class ScenarioDeployment {
     /// inherit the same lossy profile.
     double overlay_loss = 0.0;
     RepairOptions repair;
+    DurabilityOptions durability;
   };
 
   ScenarioDeployment(transport::NetworkBackend& backend, Options opts);
+  ~ScenarioDeployment();
 
   ScenarioDeployment(const ScenarioDeployment&) = delete;
   ScenarioDeployment& operator=(const ScenarioDeployment&) = delete;
@@ -177,6 +194,38 @@ class ScenarioDeployment {
   /// the registry.
   void register_brokers();
 
+  // --- durability (Options::durability.enabled only) --------------------
+
+  [[nodiscard]] bool durable() const { return !durability_dir_.empty(); }
+  [[nodiscard]] const std::string& durability_dir() const {
+    return durability_dir_;
+  }
+  /// Broker `i`'s tamper-evident trace ledger.
+  [[nodiscard]] persist::TraceLedger& ledger(std::size_t i) {
+    return *ledgers_.at(i);
+  }
+
+  /// Posts a state restart into the target's node context: in-memory
+  /// state dropped, then recovered from the durable store (`with_state`)
+  /// or wiped entirely (cold). Settle the network before asserting on
+  /// the result.
+  void restart_tdn_state(std::size_t i, bool with_state);
+  void restart_broker_state(std::size_t i, bool with_state);
+
+  /// Installs the standard restart handler: kRestartCold/kRestartState
+  /// steps route here and land on the TDN replica or broker they index.
+  void attach_restart_handler(ScheduleEngine& engine);
+
+  /// The audit-after-partition check: verifies every broker ledger's
+  /// hash chain, then replays the ledgers against the oracle's observed
+  /// timelines — every trace a tracker saw must exist in some hosting
+  /// broker's chain with the same type and issued_at stamp (no phantom
+  /// history), and per (tracker, entity) the issued_at stamps must be
+  /// non-decreasing (no reordered history). Returns violation lines,
+  /// empty = audit clean.
+  [[nodiscard]] std::vector<std::string> audit_ledgers(
+      const AvailabilityOracle& oracle) const;
+
  private:
   [[nodiscard]] std::size_t broker_index_of(transport::NodeId node) const;
 
@@ -187,6 +236,11 @@ class ScenarioDeployment {
   crypto::CertificateAuthority ca_;
   crypto::RsaKeyPair shared_keys_;
   tracing::TrustAnchors anchors_;
+  std::string durability_dir_;
+  bool owns_durability_dir_ = false;
+  persist::FsyncPolicy durability_fsync_ = persist::FsyncPolicy::kNever;
+  /// Declared before the services that append to them.
+  std::vector<std::unique_ptr<persist::TraceLedger>> ledgers_;
   std::vector<std::unique_ptr<discovery::Tdn>> tdns_;
   std::unique_ptr<pubsub::Topology> topology_;
   std::vector<pubsub::Broker*> brokers_;

@@ -67,6 +67,48 @@ FailureSchedule& FailureSchedule::link_restore(Duration at, std::size_t a,
   return *this;
 }
 
+namespace {
+
+ScheduleStep state_restart_step(ScheduleStep::Kind kind, Duration at,
+                                std::vector<std::size_t> targets, bool tdn) {
+  ScheduleStep s;
+  s.kind = kind;
+  s.at = at;
+  s.brokers = std::move(targets);
+  s.tdn_target = tdn;
+  return s;
+}
+
+}  // namespace
+
+FailureSchedule& FailureSchedule::restart_cold(
+    Duration at, std::vector<std::size_t> brokers) {
+  steps_.push_back(state_restart_step(ScheduleStep::Kind::kRestartCold, at,
+                                      std::move(brokers), false));
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::restart_with_state(
+    Duration at, std::vector<std::size_t> brokers) {
+  steps_.push_back(state_restart_step(ScheduleStep::Kind::kRestartState, at,
+                                      std::move(brokers), false));
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::tdn_restart_cold(
+    Duration at, std::vector<std::size_t> replicas) {
+  steps_.push_back(state_restart_step(ScheduleStep::Kind::kRestartCold, at,
+                                      std::move(replicas), true));
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::tdn_restart_with_state(
+    Duration at, std::vector<std::size_t> replicas) {
+  steps_.push_back(state_restart_step(ScheduleStep::Kind::kRestartState, at,
+                                      std::move(replicas), true));
+  return *this;
+}
+
 FailureSchedule& FailureSchedule::rack_loss(Duration at,
                                             const std::vector<std::size_t>& rack,
                                             Duration outage) {
@@ -185,6 +227,14 @@ std::vector<std::string> FailureSchedule::describe() const {
                 std::to_string(s->down_for) + " up=" +
                 std::to_string(s->up_for);
         break;
+      case ScheduleStep::Kind::kRestartCold:
+        line += std::string(s->tdn_target ? "tdn-" : "") + "restart-cold " +
+                list(s->brokers);
+        break;
+      case ScheduleStep::Kind::kRestartState:
+        line += std::string(s->tdn_target ? "tdn-" : "") + "restart-state " +
+                list(s->brokers);
+        break;
     }
     out.push_back(std::move(line));
   }
@@ -196,6 +246,10 @@ ScheduleEngine::ScheduleEngine(transport::NetworkBackend& backend,
     : backend_(backend), topo_(topo) {
   node_ = backend_.add_node("chaos-engine",
                             [](transport::NodeId, BytesView) {});
+}
+
+void ScheduleEngine::set_restart_handler(StateRestartHandler handler) {
+  restart_handler_ = std::move(handler);
 }
 
 void ScheduleEngine::run(const FailureSchedule& schedule) {
@@ -251,6 +305,16 @@ void ScheduleEngine::apply(const ScheduleStep& s) {
                              topo_.broker(s.link_b).node(), s.down_for,
                              s.up_for, backend_.now());
       break;
+    case ScheduleStep::Kind::kRestartCold:
+    case ScheduleStep::Kind::kRestartState: {
+      const bool with_state = s.kind == ScheduleStep::Kind::kRestartState;
+      if (restart_handler_) {
+        for (const std::size_t i : s.brokers) {
+          restart_handler_(i, s.tdn_target, with_state);
+        }
+      }
+      break;
+    }
   }
   std::lock_guard<std::mutex> lock(mu_);
   log_.push_back("t=" + std::to_string(backend_.now()) + " " +
@@ -276,6 +340,12 @@ std::string ScheduleEngine::describe_step(const ScheduleStep& s) const {
     case ScheduleStep::Kind::kLinkFlap:
       return "flap " + std::to_string(s.link_a) + "-" +
              std::to_string(s.link_b);
+    case ScheduleStep::Kind::kRestartCold:
+      return std::string(s.tdn_target ? "tdn-" : "") + "restart-cold x" +
+             std::to_string(s.brokers.size());
+    case ScheduleStep::Kind::kRestartState:
+      return std::string(s.tdn_target ? "tdn-" : "") + "restart-state x" +
+             std::to_string(s.brokers.size());
   }
   return "?";
 }

@@ -34,6 +34,8 @@ struct ScheduleStep {
     kLinkBlackhole,  // cut the overlay link a<->b
     kLinkRestore,    // clear per-link faults on a<->b
     kLinkFlap,       // duty-cycled blackhole on a<->b from `at`
+    kRestartCold,    // process state wiped: in-memory AND durable store
+    kRestartState,   // process state recovered from the durable store
   };
 
   Kind kind = Kind::kCrash;
@@ -44,6 +46,9 @@ struct ScheduleStep {
   std::size_t link_b = 0;
   Duration down_for = 0;  // kLinkFlap duty cycle
   Duration up_for = 0;
+  /// kRestartCold/kRestartState: `brokers` indexes TDN replicas instead
+  /// of the broker overlay.
+  bool tdn_target = false;
 };
 
 /// Builder for correlated failure schedules. Steps accumulate in call
@@ -59,6 +64,20 @@ class FailureSchedule {
   FailureSchedule& heal(Duration at);
   FailureSchedule& link_blackhole(Duration at, std::size_t a, std::size_t b);
   FailureSchedule& link_restore(Duration at, std::size_t a, std::size_t b);
+  /// Durability restarts (DESIGN.md §16): the step is the instant the
+  /// process comes back up with its in-memory state gone — cold also
+  /// wiped the durable store, with-state recovers from it. Compose with
+  /// crash()/restart() for the downtime window itself; the engine routes
+  /// these to the restart handler the deployment installs.
+  FailureSchedule& restart_cold(Duration at, std::vector<std::size_t> brokers);
+  FailureSchedule& restart_with_state(Duration at,
+                                      std::vector<std::size_t> brokers);
+  /// Same, aimed at TDN replicas (indices into the deployment's replica
+  /// set) rather than overlay brokers.
+  FailureSchedule& tdn_restart_cold(Duration at,
+                                    std::vector<std::size_t> replicas);
+  FailureSchedule& tdn_restart_with_state(Duration at,
+                                          std::vector<std::size_t> replicas);
 
   // --- correlated patterns ---------------------------------------------
   /// Rack loss: every broker of `rack` crashes together at `at`.
@@ -108,6 +127,13 @@ class ScheduleEngine {
   /// step. Call once; the engine must outlive the run.
   void run(const FailureSchedule& schedule);
 
+  /// Applies one kRestartCold/kRestartState target: `index` into the TDN
+  /// replica set when `tdn_target`, into the broker overlay otherwise.
+  /// ScenarioDeployment::attach_restart_handler installs the standard one.
+  using StateRestartHandler =
+      std::function<void(std::size_t index, bool tdn_target, bool with_state)>;
+  void set_restart_handler(StateRestartHandler handler);
+
   /// Timestamped log of executed actions ("t=<us> <description>"), in
   /// execution order. Identical across same-seed virtual-time runs. Safe
   /// to read from any thread; on RealTimeNetwork read it after stop().
@@ -120,6 +146,7 @@ class ScheduleEngine {
   transport::NetworkBackend& backend_;
   pubsub::Topology& topo_;
   transport::NodeId node_;
+  StateRestartHandler restart_handler_;
   mutable std::mutex mu_;
   std::vector<std::string> log_;
 };

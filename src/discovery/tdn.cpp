@@ -1,25 +1,169 @@
 #include "src/discovery/tdn.h"
 
 #include "src/common/logging.h"
+#include "src/common/serialize.h"
 #include "src/common/topic_path.h"
 
 namespace et::discovery {
 
 using transport::NodeId;
 
-Tdn::Tdn(transport::NetworkBackend& backend, crypto::Identity identity,
-         crypto::RsaPublicKey ca_key, std::uint64_t seed)
+namespace {
+// Replay-log record tags (DESIGN.md §16).
+constexpr std::uint8_t kRecordAd = 1;
+constexpr std::uint8_t kRecordBroker = 2;
+}  // namespace
+
+Tdn::Tdn(transport::NetworkBackend& backend, Options options)
     : backend_(backend),
-      identity_(std::move(identity)),
-      ca_key_(std::move(ca_key)),
-      rng_(seed) {
+      identity_(std::move(options.identity)),
+      ca_key_(std::move(options.ca_key)),
+      rng_(options.seed),
+      fsync_(options.fsync),
+      persist_dir_(std::move(options.persist_dir)) {
   node_ = backend_.add_node(
       identity_.id, [this](NodeId from, BytesView payload) {
         on_packet(from, payload);
       });
+  if (!persist_dir_.empty()) {
+    persist::DurableStore::Options so;
+    so.dir = persist_dir_;
+    so.fsync = fsync_;
+    const Status s = store_.open(
+        so, [this](BytesView blob) { apply_snapshot(blob); },
+        [this](BytesView rec) { apply_record(rec); });
+    if (!s.is_ok()) {
+      ET_LOG(kWarn) << identity_.id
+                    << ": durable store unavailable: " << s.to_string();
+    }
+  }
 }
 
+Tdn::Tdn(transport::NetworkBackend& backend, crypto::Identity identity,
+         crypto::RsaPublicKey ca_key, std::uint64_t seed)
+    : Tdn(backend, Options{std::move(identity), std::move(ca_key), seed,
+                           /*persist_dir=*/{},
+                           persist::FsyncPolicy::kNever}) {}
+
 void Tdn::peer(NodeId other) { peers_.push_back(other); }
+
+void Tdn::persist_ad(const TopicAdvertisement& ad) {
+  if (!durable()) return;
+  Writer w;
+  w.u8(kRecordAd);
+  w.bytes(ad.serialize());
+  (void)store_.append(std::move(w).take());
+}
+
+void Tdn::persist_broker(const std::string& name, std::uint32_t node) {
+  if (!durable()) return;
+  Writer w;
+  w.u8(kRecordBroker);
+  w.str(name);
+  w.u32(node);
+  (void)store_.append(std::move(w).take());
+}
+
+void Tdn::apply_record(BytesView rec) {
+  // Replay is expiry-aware: an advertisement whose lifetime ran out while
+  // the TDN was down must not be resurrected by recovery (nor by a heal
+  // that replicates it back — see handle_replicate).
+  try {
+    Reader r(rec);
+    const std::uint8_t tag = r.u8();
+    if (tag == kRecordAd) {
+      const TopicAdvertisement ad = TopicAdvertisement::deserialize(r.bytes());
+      r.expect_done();
+      if (ad.expired(backend_.now())) {
+        ++stats_.expired_dropped;
+        return;
+      }
+      ads_.insert_or_assign(ad.topic(), ad);
+      ++stats_.records_recovered;
+    } else if (tag == kRecordBroker) {
+      const std::string name = r.str();
+      const std::uint32_t node = r.u32();
+      r.expect_done();
+      for (auto& b : brokers_) {
+        if (b.name == name) {
+          b.node = node;
+          ++stats_.records_recovered;
+          return;
+        }
+      }
+      brokers_.push_back(BrokerEntry{name, node});
+      ++stats_.records_recovered;
+    }
+  } catch (const SerializeError& e) {
+    ET_LOG(kWarn) << identity_.id
+                  << ": undecodable persisted record dropped: " << e.what();
+  }
+}
+
+void Tdn::apply_snapshot(BytesView blob) {
+  try {
+    Reader r(blob);
+    const std::uint32_t ad_count = r.u32();
+    for (std::uint32_t i = 0; i < ad_count; ++i) {
+      const TopicAdvertisement ad = TopicAdvertisement::deserialize(r.bytes());
+      if (ad.expired(backend_.now())) {
+        ++stats_.expired_dropped;
+        continue;
+      }
+      ads_.insert_or_assign(ad.topic(), ad);
+      ++stats_.records_recovered;
+    }
+    const std::uint32_t broker_count = r.u32();
+    for (std::uint32_t i = 0; i < broker_count; ++i) {
+      const std::string name = r.str();
+      const std::uint32_t node = r.u32();
+      brokers_.push_back(BrokerEntry{name, node});
+      ++stats_.records_recovered;
+    }
+    r.expect_done();
+  } catch (const SerializeError& e) {
+    ET_LOG(kWarn) << identity_.id
+                  << ": undecodable snapshot ignored: " << e.what();
+  }
+}
+
+Bytes Tdn::snapshot_blob() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(ads_.size()));
+  for (const auto& [uuid, ad] : ads_) w.bytes(ad.serialize());
+  w.u32(static_cast<std::uint32_t>(brokers_.size()));
+  for (const auto& b : brokers_) {
+    w.str(b.name);
+    w.u32(b.node);
+  }
+  return std::move(w).take();
+}
+
+Status Tdn::checkpoint() {
+  if (!durable()) return internal_error("checkpoint on non-durable TDN");
+  return store_.checkpoint(snapshot_blob());
+}
+
+void Tdn::simulate_restart(bool with_state) {
+  ads_.clear();
+  brokers_.clear();
+  stats_ = {};  // in-memory counters die with the process
+  if (!durable()) return;
+  if (!with_state) {
+    (void)store_.reset();
+    return;
+  }
+  persist::DurableStore::Options so;
+  so.dir = persist_dir_;
+  so.fsync = fsync_;
+  const Status s = store_.open(
+      so, [this](BytesView blob) { apply_snapshot(blob); },
+      [this](BytesView rec) { apply_record(rec); });
+  if (!s.is_ok()) {
+    ET_LOG(kWarn) << identity_.id
+                  << ": restart-with-state recovery failed: " << s.to_string();
+  }
+}
 
 const TopicAdvertisement* Tdn::find_by_descriptor(
     const std::string& descriptor) const {
@@ -117,6 +261,7 @@ void Tdn::handle_topic_create(NodeId from, DiscFrame f) {
                         now + req.lifetime, identity_.id, std::move(sig));
   ads_.insert_or_assign(topic, ad);
   ++stats_.topics_created;
+  persist_ad(ad);
 
   // Replicate to peer TDNs for fault tolerance.
   DiscFrame repl;
@@ -181,13 +326,24 @@ void Tdn::handle_discover(NodeId from, const DiscFrame& f) {
 }
 
 void Tdn::handle_replicate(const DiscFrame& f) {
+  const TimePoint now = backend_.now();
   for (const auto& ad : f.advertisements) {
+    // A heal (or a peer recovering from snapshot) may replicate state
+    // that expired while this replica was partitioned away: refusing it
+    // here is what keeps expiry monotone across the replica set — once an
+    // advertisement's lifetime ran out anywhere, no replication path may
+    // resurrect it.
+    if (ad.expired(now)) {
+      ++stats_.expired_dropped;
+      continue;
+    }
     // Trust but verify: replicas must carry a valid TDN signature from
     // *some* TDN; here all TDNs in a deployment share the CA, so we check
     // against the issuing peer through the ad's own key when it is ours,
     // otherwise store as received (peers are authenticated by link).
     ads_.insert_or_assign(ad.topic(), ad);
     ++stats_.replicas_stored;
+    persist_ad(ad);
   }
 }
 
@@ -207,11 +363,15 @@ void Tdn::handle_broker_register(NodeId from, const DiscFrame& f) {
   }
   for (auto& b : brokers_) {
     if (b.name == f.broker_name) {
-      b.node = f.broker_node;
+      if (b.node != f.broker_node) {
+        b.node = f.broker_node;
+        persist_broker(b.name, b.node);
+      }
       return;
     }
   }
   brokers_.push_back(BrokerEntry{f.broker_name, f.broker_node});
+  persist_broker(f.broker_name, f.broker_node);
   (void)from;
 }
 

@@ -27,6 +27,7 @@
 #include "src/crypto/credential.h"
 #include "src/discovery/advertisement.h"
 #include "src/discovery/wire.h"
+#include "src/persist/store.h"
 #include "src/transport/network.h"
 
 namespace et::discovery {
@@ -38,12 +39,30 @@ struct TdnStats {
   std::uint64_t discoveries_ignored = 0;  // unauthorized / no match
   std::uint64_t rejected_requests = 0;    // authentication failures
   std::uint64_t replicas_stored = 0;
+  std::uint64_t records_recovered = 0;    // persisted entries replayed
+  std::uint64_t expired_dropped = 0;      // stale ads refused at
+                                          // replication or recovery
 };
 
 class Tdn {
  public:
-  /// `identity` is the TDN's own signing identity; `ca_key` the trusted
-  /// CA used to validate requester credentials; `seed` drives UUID minting.
+  struct Options {
+    /// The TDN's own signing identity.
+    crypto::Identity identity;
+    /// Trusted CA used to validate requester credentials.
+    crypto::RsaPublicKey ca_key;
+    /// Drives UUID minting (and broker-query rotation).
+    std::uint64_t seed = 0;
+    /// Durable state directory (DESIGN.md §16): advertisements and the
+    /// broker registry survive a restart-with-state when set. Empty =
+    /// in-memory only, the historical behaviour.
+    std::string persist_dir;
+    persist::FsyncPolicy fsync = persist::FsyncPolicy::kNever;
+  };
+
+  Tdn(transport::NetworkBackend& backend, Options options);
+
+  /// Legacy in-memory constructor.
   Tdn(transport::NetworkBackend& backend, crypto::Identity identity,
       crypto::RsaPublicKey ca_key, std::uint64_t seed);
 
@@ -72,6 +91,24 @@ class Tdn {
   [[nodiscard]] const TopicAdvertisement* find_by_descriptor(
       const std::string& descriptor) const;
 
+  // --- durability (no-ops unless Options::persist_dir was set) ----------
+
+  [[nodiscard]] bool durable() const { return store_.is_open(); }
+
+  /// Folds the replay log into a fresh snapshot.
+  Status checkpoint();
+
+  /// Drops every in-memory advertisement and broker entry — the process
+  /// died — then either recovers from the durable store (`with_state`,
+  /// dropping advertisements that expired during the downtime) or wipes
+  /// the store too (cold restart: the disk is gone, re-advertisement is
+  /// the only way back). Peers and the backend node survive: this models
+  /// the same process re-attaching to its links, which is what the chaos
+  /// engine's crash/restart steps already arrange.
+  void simulate_restart(bool with_state);
+
+  [[nodiscard]] const persist::DurableStore& store() const { return store_; }
+
  private:
   void on_packet(transport::NodeId from, BytesView payload);
   void handle_topic_create(transport::NodeId from, DiscFrame f);
@@ -80,6 +117,13 @@ class Tdn {
   void handle_broker_register(transport::NodeId from, const DiscFrame& f);
   void handle_broker_query(transport::NodeId from, const DiscFrame& f);
   void respond(transport::NodeId to, const DiscFrame& f);
+
+  /// Appends `ad` to the replay log (no-op when not durable).
+  void persist_ad(const TopicAdvertisement& ad);
+  void persist_broker(const std::string& name, std::uint32_t node);
+  void apply_record(BytesView rec);
+  void apply_snapshot(BytesView blob);
+  [[nodiscard]] Bytes snapshot_blob() const;
 
   transport::NetworkBackend& backend_;
   crypto::Identity identity_;
@@ -94,6 +138,9 @@ class Tdn {
   };
   std::vector<BrokerEntry> brokers_;
   TdnStats stats_;
+  persist::DurableStore store_;
+  persist::FsyncPolicy fsync_ = persist::FsyncPolicy::kNever;
+  std::string persist_dir_;
 };
 
 }  // namespace et::discovery

@@ -1,0 +1,131 @@
+// Tamper-evident trace ledger (DESIGN.md §16).
+//
+// The paper's guarantees are only as strong as the availability history a
+// tracker can audit: a compromised or buggy broker could drop a FAILED
+// trace or reorder a recovery ahead of the outage it ended, and nothing
+// downstream would notice. The ledger closes that gap with the classic
+// hash-chain construction (*Trinity*'s immutable pub/sub log, PAPERS.md):
+// every signed trace a hosting broker publishes is appended to the
+// publication topic's chain, and each record's SHA-256 digest covers the
+// previous record's digest — so removing, reordering, duplicating or
+// editing any record breaks every link after it. `LedgerAuditor::
+// verify_chain` walks a chain and reports the exact first broken link.
+//
+// Chain layout per record (all fields inside the digest):
+//
+//   digest = SHA256( sequence || issued_at || topic || entity_id ||
+//                    trace_type || payload || signature || prev_digest )
+//
+// Genesis links against 32 zero bytes. `sequence` is per-topic, starting
+// at 1 — a gap or repeat is detectable without recomputing hashes, and the
+// digest covering it pins it against forgery. The stored `payload` is the
+// pre-encryption trace body and `signature` the delegate-key signature of
+// the published message, so an auditor holding the delegate public key can
+// additionally re-verify provenance record by record.
+//
+// Ledger appends ride the hot trace-emission path; with FsyncPolicy::
+// kNever the cost is one SHA-256 plus a buffered file write (E18 pins the
+// overhead < 10%).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/persist/wal.h"
+
+namespace et::persist {
+
+/// One link of a topic's chain.
+struct LedgerRecord {
+  std::string topic;        // publication topic of the trace message
+  std::string entity_id;    // subject of the trace ("" for digests' host)
+  std::uint8_t trace_type = 0;
+  std::uint64_t sequence = 0;  // per-topic, 1-based, gap-free
+  TimePoint issued_at = 0;
+  Bytes payload;     // pre-encryption trace body
+  Bytes signature;   // delegate-key signature of the published message
+  Bytes prev_digest; // 32 bytes; zeros at genesis
+  Bytes digest;      // SHA-256 over everything above
+
+  /// Recomputes what `digest` must equal for this record.
+  [[nodiscard]] Bytes compute_digest() const;
+
+  [[nodiscard]] Bytes serialize() const;
+  /// Throws SerializeError on malformed input.
+  static LedgerRecord deserialize(BytesView b);
+
+  friend bool operator==(const LedgerRecord&, const LedgerRecord&) = default;
+};
+
+/// Per-topic hash chains, optionally WAL-backed. Not thread-safe: append
+/// from the owning broker's node context only (same discipline as the
+/// emitter that feeds it).
+class TraceLedger {
+ public:
+  struct Options {
+    std::string path;  // empty = in-memory only
+    FsyncPolicy fsync = FsyncPolicy::kNever;
+  };
+
+  TraceLedger() = default;
+  explicit TraceLedger(const Options& options) { (void)open(options); }
+
+  TraceLedger(const TraceLedger&) = delete;
+  TraceLedger& operator=(const TraceLedger&) = delete;
+
+  /// Opens (and recovers) the backing log. Records whose chain no longer
+  /// verifies after a torn-tail truncation are still loaded — auditing is
+  /// the explicit verify_chain pass, not a side effect of recovery.
+  Status open(const Options& options);
+
+  /// Appends one trace to `topic`'s chain (and the backing log, if any).
+  Status append(const std::string& topic, const std::string& entity_id,
+                std::uint8_t trace_type, TimePoint issued_at,
+                BytesView payload, BytesView signature);
+
+  [[nodiscard]] std::vector<std::string> topics() const;
+  [[nodiscard]] const std::vector<LedgerRecord>& records(
+      const std::string& topic) const;
+  [[nodiscard]] std::size_t total_records() const { return total_; }
+  /// Digest of `topic`'s newest record (empty when no records) — the
+  /// value two same-seed runs must agree on.
+  [[nodiscard]] Bytes head_digest(const std::string& topic) const;
+
+ private:
+  std::map<std::string, std::vector<LedgerRecord>> chains_;
+  std::size_t total_ = 0;
+  Wal wal_;
+  bool durable_ = false;
+};
+
+/// Outcome of one chain walk.
+struct ChainReport {
+  bool ok = true;
+  /// Index (into the chain) of the first record whose link is broken;
+  /// meaningful only when !ok.
+  std::size_t first_broken = 0;
+  std::string reason;
+};
+
+class LedgerAuditor {
+ public:
+  /// Walks `chain` in order, checking per-record digest integrity, the
+  /// prev-digest links, and the gap-free 1-based sequence. Reports the
+  /// first record at which the chain stops being trustworthy: a dropped
+  /// record surfaces as a sequence gap at its successor, a reorder or
+  /// tamper as a digest/link mismatch at the earliest affected record.
+  [[nodiscard]] static ChainReport verify_chain(
+      const std::vector<LedgerRecord>& chain);
+
+  /// verify_chain over every topic of `ledger`; one violation line per
+  /// broken chain, empty = all verified.
+  [[nodiscard]] static std::vector<std::string> verify_all(
+      const TraceLedger& ledger);
+};
+
+}  // namespace et::persist

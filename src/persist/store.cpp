@@ -1,0 +1,156 @@
+#include "src/persist/store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace et::persist {
+
+namespace {
+
+// "ETS1": entity-tracking snapshot, format 1.
+constexpr std::uint32_t kSnapshotMagic = 0x45545331u;
+constexpr std::size_t kSnapshotHeader = 12;  // magic + crc + length
+
+void put_u32_be(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t get_u32_be(const std::uint8_t* in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+}  // namespace
+
+Status SnapshotStore::save(BytesView blob) {
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return internal_error("snapshot open " + tmp + ": " +
+                          std::strerror(errno));
+  }
+  Bytes out(kSnapshotHeader + blob.size());
+  put_u32_be(out.data(), kSnapshotMagic);
+  put_u32_be(out.data() + 4, crc32(blob));
+  put_u32_be(out.data() + 8, static_cast<std::uint32_t>(blob.size()));
+  std::memcpy(out.data() + kSnapshotHeader, blob.data(), blob.size());
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return internal_error(std::string("snapshot write: ") +
+                            std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must never make a not-yet-durable
+  // blob the authoritative snapshot.
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) return internal_error("snapshot fsync failed");
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return internal_error("snapshot rename failed");
+  }
+  return Status::ok();
+}
+
+Result<Bytes> SnapshotStore::load() const {
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return not_found("no snapshot at " + path_);
+    return internal_error("snapshot open: " + std::string(strerror(errno)));
+  }
+  Bytes file;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return internal_error("snapshot read failed");
+    }
+    if (n == 0) break;
+    file.insert(file.end(), buf, buf + n);
+  }
+  ::close(fd);
+  if (file.size() < kSnapshotHeader) {
+    return internal_error("snapshot truncated header");
+  }
+  if (get_u32_be(file.data()) != kSnapshotMagic) {
+    return internal_error("snapshot bad magic");
+  }
+  const std::uint32_t want_crc = get_u32_be(file.data() + 4);
+  const std::uint32_t len = get_u32_be(file.data() + 8);
+  if (file.size() != kSnapshotHeader + len) {
+    return internal_error("snapshot length mismatch");
+  }
+  Bytes blob(file.begin() + kSnapshotHeader, file.end());
+  if (crc32(blob) != want_crc) return internal_error("snapshot CRC mismatch");
+  return blob;
+}
+
+void SnapshotStore::remove() const {
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+  std::filesystem::remove(path_ + ".tmp", ec);
+}
+
+Status DurableStore::open(const Options& options,
+                          const std::function<void(BytesView)>& snapshot_cb,
+                          const std::function<void(BytesView)>& record_cb) {
+  options_ = options;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    return internal_error("durable store mkdir " + options_.dir + ": " +
+                          ec.message());
+  }
+  snapshot_path_ = options_.dir + "/snapshot.bin";
+  snapshot_loaded_ = false;
+  const SnapshotStore snap(snapshot_path_);
+  Result<Bytes> blob = snap.load();
+  if (blob.ok()) {
+    if (snapshot_cb) snapshot_cb(*blob);
+    snapshot_loaded_ = true;
+  } else if (blob.status().code() != Code::kNotFound) {
+    // Corrupt snapshot: surface it — replaying the WAL alone would
+    // silently resurrect pre-checkpoint state as the whole truth.
+    return blob.status();
+  }
+  Wal::Options wo;
+  wo.path = options_.dir + "/wal.log";
+  wo.fsync = options_.fsync;
+  return wal_.open(wo, record_cb);
+}
+
+Status DurableStore::append(BytesView record) { return wal_.append(record); }
+
+Status DurableStore::checkpoint(BytesView blob) {
+  if (!wal_.is_open()) return internal_error("checkpoint on closed store");
+  SnapshotStore snap(snapshot_path_);
+  if (const Status s = snap.save(blob); !s.is_ok()) return s;
+  // Only now is the WAL redundant; truncating first would lose every
+  // post-snapshot mutation on a crash between the two steps.
+  return wal_.truncate_all();
+}
+
+Status DurableStore::reset() {
+  SnapshotStore(snapshot_path_).remove();
+  if (wal_.is_open()) return wal_.truncate_all();
+  return Status::ok();
+}
+
+}  // namespace et::persist

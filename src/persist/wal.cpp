@@ -1,0 +1,185 @@
+#include "src/persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace et::persist {
+
+namespace {
+
+constexpr std::size_t kFrameHeader = 8;  // u32 length + u32 crc
+
+/// IEEE CRC-32 lookup table, built once (reflected 0xEDB88320 polynomial).
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u32_be(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t get_u32_be(const std::uint8_t* in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+Status write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return internal_error(std::string("wal write: ") + std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  const auto& table = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Bytes wal_frame(BytesView record) {
+  Bytes out(kFrameHeader + record.size());
+  put_u32_be(out.data(), static_cast<std::uint32_t>(record.size()));
+  put_u32_be(out.data() + 4, crc32(record));
+  std::memcpy(out.data() + kFrameHeader, record.data(), record.size());
+  return out;
+}
+
+Wal::~Wal() { close(); }
+
+void Wal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Wal::open(const Options& options,
+                 const std::function<void(BytesView)>& replay) {
+  close();
+  options_ = options;
+  record_count_ = 0;
+  size_bytes_ = 0;
+  recovery_ = {};
+
+  fd_ = ::open(options_.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return internal_error("wal open " + options_.path + ": " +
+                          std::strerror(errno));
+  }
+
+  // Recovery scan: read the whole file (logs are compacted by snapshot
+  // checkpoints, so bounded), replay intact records, stop at the first
+  // frame that cannot be valid.
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return internal_error("wal lseek failed");
+  Bytes file(static_cast<std::size_t>(end));
+  if (end > 0) {
+    if (::lseek(fd_, 0, SEEK_SET) < 0) return internal_error("wal seek");
+    std::size_t got = 0;
+    while (got < file.size()) {
+      const ssize_t n = ::read(fd_, file.data() + got, file.size() - got);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return internal_error(std::string("wal read: ") +
+                              std::strerror(errno));
+      }
+      if (n == 0) break;  // file shrank under us; treat the rest as torn
+      got += static_cast<std::size_t>(n);
+    }
+    file.resize(got);
+  }
+
+  std::size_t off = 0;
+  while (off + kFrameHeader <= file.size()) {
+    const std::uint32_t len = get_u32_be(file.data() + off);
+    if (len > kMaxWalRecord) break;                    // garbage length
+    if (off + kFrameHeader + len > file.size()) break; // torn payload
+    const std::uint32_t want = get_u32_be(file.data() + off + 4);
+    const BytesView payload(file.data() + off + kFrameHeader, len);
+    if (crc32(payload) != want) break;  // bit rot / torn mid-frame
+    if (replay) replay(payload);
+    ++record_count_;
+    off += kFrameHeader + len;
+  }
+  recovery_.records = record_count_;
+  recovery_.truncated_bytes = file.size() - off;
+  recovery_.torn_tail = recovery_.truncated_bytes > 0;
+  if (recovery_.torn_tail) {
+    if (::ftruncate(fd_, static_cast<off_t>(off)) < 0) {
+      return internal_error("wal truncate torn tail failed");
+    }
+  }
+  size_bytes_ = off;
+  if (::lseek(fd_, static_cast<off_t>(off), SEEK_SET) < 0) {
+    return internal_error("wal seek to tail failed");
+  }
+  return Status::ok();
+}
+
+Status Wal::append(BytesView record) {
+  if (fd_ < 0) return internal_error("wal append on closed log");
+  if (record.size() > kMaxWalRecord) {
+    return invalid_argument("wal record exceeds kMaxWalRecord");
+  }
+  const Bytes frame = wal_frame(record);
+  if (const Status s = write_all(fd_, frame.data(), frame.size());
+      !s.is_ok()) {
+    return s;
+  }
+  ++record_count_;
+  size_bytes_ += frame.size();
+  if (options_.fsync == FsyncPolicy::kEveryAppend) return sync();
+  return Status::ok();
+}
+
+Status Wal::sync() {
+  if (fd_ < 0) return internal_error("wal sync on closed log");
+  if (::fsync(fd_) < 0) {
+    return internal_error(std::string("wal fsync: ") + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+Status Wal::truncate_all() {
+  if (fd_ < 0) return internal_error("wal truncate on closed log");
+  if (::ftruncate(fd_, 0) < 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    return internal_error("wal truncate failed");
+  }
+  record_count_ = 0;
+  size_bytes_ = 0;
+  return Status::ok();
+}
+
+}  // namespace et::persist

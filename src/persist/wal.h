@@ -1,0 +1,103 @@
+// Write-ahead replay log (DESIGN.md §16).
+//
+// Durable state in this system (TDN advertisements, broker misbehaviour
+// tallies, trace ledgers) is small but must survive a crash at any byte:
+// the `Wal` is a single append-only file of length+CRC framed records.
+// Appends are atomic at the record level — recovery scans from the start,
+// replays every record whose frame and checksum verify, and truncates the
+// file at the first record that does not (a torn tail from a crash mid
+// write, or trailing garbage). The durability contract mirrors the wire
+// framing layer's: a record is either replayed exactly as written or it —
+// and everything after it — is gone; recovery never yields a torn or
+// phantom record.
+//
+// On-disk record frame (big-endian, matching the wire codec's byte order):
+//
+//   [u32 payload length][u32 CRC-32 of payload][payload bytes]
+//
+// Fsync policy is an explicit knob: `kNever` leaves flushing to the OS
+// (fastest; a *process* crash still loses nothing because the kernel holds
+// the pages, only a host crash can), `kEveryAppend` fsyncs each record
+// (paper-trail durability for the trace ledger).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace et::persist {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`. The per-record
+/// checksum of the WAL and snapshot formats.
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
+/// When the log file is flushed to stable storage.
+enum class FsyncPolicy : std::uint8_t {
+  kNever,        // OS page cache decides; survives process crashes only
+  kEveryAppend,  // fsync after every record; survives host crashes
+};
+
+/// Records larger than this are rejected at append and treated as
+/// corruption at recovery (a plausible length field must still be sane).
+inline constexpr std::size_t kMaxWalRecord = 16 * 1024 * 1024;
+
+class Wal {
+ public:
+  struct Options {
+    std::string path;
+    FsyncPolicy fsync = FsyncPolicy::kNever;
+  };
+
+  /// What recovery found and did.
+  struct RecoveryStats {
+    std::uint64_t records = 0;         // valid records replayed
+    std::uint64_t truncated_bytes = 0; // torn tail / garbage removed
+    bool torn_tail = false;
+  };
+
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating if absent) the log at `options.path`, replays every
+  /// intact record through `replay` in append order, truncates any torn
+  /// tail, and leaves the file positioned for appends. Callable again
+  /// after close() — a restart in miniature.
+  Status open(const Options& options,
+              const std::function<void(BytesView)>& replay);
+
+  /// Appends one record (frame + payload + policy-driven fsync). The
+  /// record is only durable-by-contract once append returns OK.
+  Status append(BytesView record);
+
+  /// Explicit fsync (checkpoint barriers under FsyncPolicy::kNever).
+  Status sync();
+
+  /// Empties the log (after its contents were folded into a snapshot).
+  Status truncate_all();
+
+  void close();
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint64_t record_count() const { return record_count_; }
+  [[nodiscard]] std::uint64_t size_bytes() const { return size_bytes_; }
+  [[nodiscard]] const RecoveryStats& recovery() const { return recovery_; }
+
+ private:
+  int fd_ = -1;
+  Options options_;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t size_bytes_ = 0;
+  RecoveryStats recovery_;
+};
+
+/// Frames one record as it would appear in the log — exposed so tests can
+/// build corrupt logs byte-by-byte.
+[[nodiscard]] Bytes wal_frame(BytesView record);
+
+}  // namespace et::persist

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/serialize.h"
 #include "src/common/topic_path.h"
 
 namespace et::pubsub {
@@ -122,7 +123,9 @@ Broker::Broker(transport::NetworkBackend& backend, Options options)
       name_(std::move(options.name)),
       misbehaviour_threshold_(options.misbehaviour_threshold),
       summary_depth_(options.interest_summary_depth),
-      filter_(std::move(options.message_filter)) {
+      filter_(std::move(options.message_filter)),
+      misbehaviour_fsync_(options.misbehaviour_fsync),
+      misbehaviour_dir_(std::move(options.misbehaviour_persist_dir)) {
   if (options.client_unreachable_handler) {
     unreachable_listeners_.push_back(
         std::move(options.client_unreachable_handler));
@@ -139,6 +142,7 @@ Broker::Broker(transport::NetworkBackend& backend, Options options)
   if (options.match_threads > 0 && backend_.concurrent_dispatch()) {
     match_pool_ = std::make_unique<MatchPool>(*this, options.match_threads);
   }
+  if (!misbehaviour_dir_.empty()) open_misbehaviour_store();
 }
 
 Broker::~Broker() = default;
@@ -317,7 +321,12 @@ void Broker::report_misbehaviour(NodeId endpoint, const std::string& why) {
   ET_LOG(kInfo) << name_ << ": misbehaviour from "
                 << backend_.node_name(endpoint) << " (" << why << "), strike "
                 << strikes << "/" << misbehaviour_threshold_;
-  if (strikes >= misbehaviour_threshold_ && !blacklist_.contains(endpoint)) {
+  const bool blacklisting =
+      strikes >= misbehaviour_threshold_ && !blacklist_.contains(endpoint);
+  // Write-ahead: the strike is on disk before its consequences apply, so
+  // a crash right after the disconnect cannot forget why it happened.
+  persist_strike(endpoint, strikes, blacklisting);
+  if (blacklisting) {
     // §5.2: terminate communications with the offender.
     blacklist_.insert(endpoint);
     counters_.disconnects.inc();
@@ -328,6 +337,96 @@ void Broker::report_misbehaviour(NodeId endpoint, const std::string& why) {
     ET_LOG(kWarn) << name_ << ": terminated communications with "
                   << backend_.node_name(endpoint);
   }
+}
+
+void Broker::open_misbehaviour_store() {
+  persist::DurableStore::Options so;
+  so.dir = misbehaviour_dir_;
+  so.fsync = misbehaviour_fsync_;
+  const Status s = misbehaviour_store_.open(
+      so, [this](BytesView blob) { apply_misbehaviour_snapshot(blob); },
+      [this](BytesView rec) { apply_misbehaviour_record(rec); });
+  if (!s.is_ok()) {
+    ET_LOG(kWarn) << name_
+                  << ": misbehaviour store unavailable: " << s.to_string();
+  }
+}
+
+void Broker::persist_strike(NodeId endpoint, int strikes, bool blacklisted) {
+  if (!misbehaviour_durable()) return;
+  Writer w;
+  w.u32(endpoint);
+  w.str(client_identity(endpoint));  // audit trail; "" for peer brokers
+  w.u32(static_cast<std::uint32_t>(strikes));
+  w.boolean(blacklisted || blacklist_.contains(endpoint));
+  (void)misbehaviour_store_.append(std::move(w).take());
+}
+
+void Broker::apply_misbehaviour_record(BytesView rec) {
+  try {
+    Reader r(rec);
+    const NodeId endpoint = r.u32();
+    (void)r.str();  // entity id: audit metadata only
+    const int strikes = static_cast<int>(r.u32());
+    const bool blacklisted = r.boolean();
+    r.expect_done();
+    // Last-writer-wins per endpoint: each record carries the running
+    // total, so replay over a snapshot is idempotent.
+    strikes_[endpoint] = std::max(strikes_[endpoint], strikes);
+    if (blacklisted) blacklist_.insert(endpoint);
+  } catch (const SerializeError& e) {
+    ET_LOG(kWarn) << name_
+                  << ": undecodable misbehaviour record dropped: "
+                  << e.what();
+  }
+}
+
+void Broker::apply_misbehaviour_snapshot(BytesView blob) {
+  try {
+    Reader r(blob);
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const NodeId endpoint = r.u32();
+      const int strikes = static_cast<int>(r.u32());
+      const bool blacklisted = r.boolean();
+      strikes_[endpoint] = std::max(strikes_[endpoint], strikes);
+      if (blacklisted) blacklist_.insert(endpoint);
+    }
+    r.expect_done();
+  } catch (const SerializeError& e) {
+    ET_LOG(kWarn) << name_
+                  << ": undecodable misbehaviour snapshot ignored: "
+                  << e.what();
+  }
+}
+
+Bytes Broker::misbehaviour_blob() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(strikes_.size()));
+  for (const auto& [endpoint, strikes] : strikes_) {
+    w.u32(endpoint);
+    w.u32(static_cast<std::uint32_t>(strikes));
+    w.boolean(blacklist_.contains(endpoint));
+  }
+  return std::move(w).take();
+}
+
+Status Broker::checkpoint_misbehaviour() {
+  if (!misbehaviour_durable()) {
+    return internal_error("checkpoint on non-durable broker");
+  }
+  return misbehaviour_store_.checkpoint(misbehaviour_blob());
+}
+
+void Broker::restart_misbehaviour_state(bool with_state) {
+  strikes_.clear();
+  blacklist_.clear();
+  if (!misbehaviour_durable()) return;
+  if (!with_state) {
+    (void)misbehaviour_store_.reset();
+    return;
+  }
+  open_misbehaviour_store();
 }
 
 void Broker::send_frame(NodeId to, const Frame& f) {

@@ -60,6 +60,7 @@
 #include "src/common/topic_path.h"
 #include "src/pubsub/constrained_topic.h"
 #include "src/pubsub/interest_summary.h"
+#include "src/persist/store.h"
 #include "src/pubsub/message.h"
 #include "src/pubsub/subscription.h"
 #include "src/transport/network.h"
@@ -185,6 +186,12 @@ class Broker {
     /// runs; the broker clamps to 0 on backends without
     /// concurrent_dispatch()).
     int match_threads = 0;
+    /// Durable misbehaviour state directory (DESIGN.md §16): strike
+    /// counters and the blacklist survive a restart-with-state when set,
+    /// so a misbehaver cannot launder its record by waiting out a broker
+    /// deploy. Empty = in-memory only, the historical behaviour.
+    std::string misbehaviour_persist_dir;
+    persist::FsyncPolicy misbehaviour_fsync = persist::FsyncPolicy::kNever;
     /// Hierarchical interest aggregation (interest_summary.h). 0 keeps
     /// the legacy behaviour: every pattern re-announced verbatim at every
     /// hop. With depth d > 0, interest propagated to a neighbour broker
@@ -321,6 +328,29 @@ class Broker {
   void report_misbehaviour(transport::NodeId endpoint,
                            const std::string& why);
 
+  // --- durable misbehaviour state (no-ops unless configured) ------------
+
+  [[nodiscard]] bool misbehaviour_durable() const {
+    return misbehaviour_store_.is_open();
+  }
+  [[nodiscard]] std::size_t blacklist_size() const {
+    return blacklist_.size();
+  }
+
+  /// Folds the misbehaviour replay log into a fresh snapshot.
+  Status checkpoint_misbehaviour();
+
+  /// Drops in-memory strikes and the blacklist — the process died — then
+  /// either recovers them from the durable store (`with_state`) or wipes
+  /// the store too (cold restart). Node context only; sessions and
+  /// subscriptions are untouched (clients re-register through the normal
+  /// failover path), only the offender ledger is at stake here.
+  void restart_misbehaviour_state(bool with_state);
+
+  [[nodiscard]] const persist::DurableStore& misbehaviour_store() const {
+    return misbehaviour_store_;
+  }
+
  private:
   struct LocalService {
     std::string pattern;
@@ -384,6 +414,13 @@ class Broker {
   InterestSummaryTable& summary_for(transport::NodeId neighbour);
 
   void send_frame(transport::NodeId to, const Frame& f);
+
+  void open_misbehaviour_store();
+  void persist_strike(transport::NodeId endpoint, int strikes,
+                      bool blacklisted);
+  void apply_misbehaviour_record(BytesView rec);
+  void apply_misbehaviour_snapshot(BytesView blob);
+  [[nodiscard]] Bytes misbehaviour_blob() const;
   /// Sends pre-serialized frame bytes (shared across a fan-out) with the
   /// same unreachable-client bookkeeping as send_frame.
   void send_wire(transport::NodeId to, transport::SharedPayload wire);
@@ -420,6 +457,9 @@ class Broker {
   LinkFrameHandler link_handler_;
   std::map<transport::NodeId, int> strikes_;
   std::set<transport::NodeId> blacklist_;
+  persist::DurableStore misbehaviour_store_;
+  persist::FsyncPolicy misbehaviour_fsync_ = persist::FsyncPolicy::kNever;
+  std::string misbehaviour_dir_;
   BrokerCounters counters_;
   std::uint64_t sequence_ = 0;
   std::unique_ptr<MatchPool> match_pool_;  // null when match_threads == 0

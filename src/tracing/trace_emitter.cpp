@@ -25,9 +25,13 @@ TraceEmitter::~TraceEmitter() {
 void TraceEmitter::publish_signed(std::string topic, Bytes body, bool encrypt,
                                   const crypto::SecretKey& trace_key,
                                   const AuthorizationToken& token,
-                                  const crypto::RsaPrivateKey& delegate_key) {
+                                  const crypto::RsaPrivateKey& delegate_key,
+                                  const LedgerMeta* meta) {
+  const bool ledgered = ledger_ != nullptr && meta != nullptr;
   pubsub::Message m;
   m.topic = std::move(topic);
+  Bytes plain;  // pre-encryption body, kept only for the ledger
+  if (ledgered && encrypt) plain = body;
   if (encrypt) {
     m.payload = trace_key.encrypt(body, rng_);
     m.encrypted = true;
@@ -42,6 +46,13 @@ void TraceEmitter::publish_signed(std::string topic, Bytes body, bool encrypt,
   // routing broker can verify authorization without learning which broker
   // hosts the entity.
   m.signature = delegate_key.sign(m.signable_bytes());
+  if (ledgered) {
+    // Chain the publication before it enters routing: once a subscriber
+    // can have seen the trace, it is already un-droppable history.
+    (void)ledger_->append(m.topic, meta->entity_id, meta->trace_type,
+                          meta->issued_at, encrypt ? plain : m.payload,
+                          m.signature);
+  }
   broker_.publish_from_broker(std::move(m));
 }
 
@@ -62,10 +73,13 @@ void TraceEmitter::trace(const Signing& signing, const std::string& host_id,
     flush(host_id);
     const std::uint8_t category = category_of(payload.type);
     Bytes body = payload.serialize();
+    const LedgerMeta meta{payload.entity_id,
+                          static_cast<std::uint8_t>(payload.type),
+                          payload.issued_at};
     publish_signed(
         tt::trace_publication(signing.trace_topic, category_suffix(category)),
         std::move(body), signing.secure, *signing.trace_key, *signing.token,
-        *signing.delegate_key);
+        *signing.delegate_key, &meta);
     ++stats_.traces_published;
     return;
   }
@@ -110,9 +124,12 @@ void TraceEmitter::flush(const std::string& host_id) {
   if (wheel_ != nullptr && p.flush_timer != 0) wheel_->cancel(p.flush_timer);
   stats_.digest_entries += p.digest.entries.size();
   ++stats_.digests_published;
+  const LedgerMeta meta{p.digest.host_id,
+                        static_cast<std::uint8_t>(TraceType::kDigest),
+                        p.digest.issued_at};
   publish_signed(tt::trace_publication(p.trace_topic, tt::kDigest),
                  p.digest.serialize(), p.secure, p.trace_key, p.token,
-                 p.delegate_key);
+                 p.delegate_key, &meta);
 }
 
 void TraceEmitter::flush_all() {

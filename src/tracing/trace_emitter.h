@@ -30,6 +30,7 @@
 #include "src/common/timer_wheel.h"
 #include "src/crypto/rsa.h"
 #include "src/crypto/secret_key.h"
+#include "src/persist/ledger.h"
 #include "src/pubsub/broker.h"
 #include "src/pubsub/client.h"
 #include "src/tracing/authorization_token.h"
@@ -97,6 +98,14 @@ class TraceEmitter {
   }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Attaches a tamper-evident ledger (DESIGN.md §16): every signed trace
+  /// and digest publication is appended to its publication topic's hash
+  /// chain — pre-encryption body plus the delegate signature — before the
+  /// message enters routing. Gauge probes (publish_raw) are not ledgered:
+  /// they are periodic cleartext measurements, not availability history.
+  /// Null detaches. The ledger must outlive the emitter.
+  void set_ledger(persist::TraceLedger* ledger) { ledger_ = ledger; }
+
  private:
   /// One host's accumulating digest plus owned copies of its signing
   /// material (the session may be gone by flush time).
@@ -110,10 +119,19 @@ class TraceEmitter {
     TimerWheel::WheelId flush_timer = 0;
   };
 
+  /// Ledger metadata for one publication; null skips the ledger (gauge
+  /// probes).
+  struct LedgerMeta {
+    std::string entity_id;
+    std::uint8_t trace_type = 0;
+    TimePoint issued_at = 0;
+  };
+
   void publish_signed(std::string topic, Bytes body, bool encrypt,
                       const crypto::SecretKey& trace_key,
                       const AuthorizationToken& token,
-                      const crypto::RsaPrivateKey& delegate_key);
+                      const crypto::RsaPrivateKey& delegate_key,
+                      const LedgerMeta* meta = nullptr);
 
   pubsub::Broker& broker_;
   Rng& rng_;
@@ -123,6 +141,7 @@ class TraceEmitter {
   std::map<std::string, Pending> pending_;
   std::map<std::string, std::uint64_t> rounds_;  // per-host digest rounds
   Stats stats_;
+  persist::TraceLedger* ledger_ = nullptr;
 };
 
 /// Client-side counterpart of the emitter's signing tail: stamp

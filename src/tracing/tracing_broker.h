@@ -88,6 +88,13 @@ class TracingBrokerService {
   [[nodiscard]] const TraceEmitter::Stats& emitter_stats() const {
     return emitter_.stats();
   }
+
+  /// Attaches a tamper-evident trace ledger to this broker's emission
+  /// path (DESIGN.md §16); null detaches. The ledger must outlive the
+  /// service. Install before traffic, like other setup calls.
+  void set_trace_ledger(persist::TraceLedger* ledger) {
+    emitter_.set_ledger(ledger);
+  }
   /// Logical-vs-armed timer accounting for the session timer wheel.
   [[nodiscard]] TimerWheel::Stats timer_stats() const {
     return wheel_.stats();

@@ -5,6 +5,7 @@
 // accumulating duplicates.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -179,6 +180,73 @@ TEST_F(TdnQuorumFixture, LateHealDoesNotResurrectExpiredState) {
   EXPECT_EQ(tdns[1]->advertisement_count(), 2u);
   auto seeker = client("tracker-3");
   EXPECT_TRUE(discover(*seeker, "Liveness/entity-3").ok());
+}
+
+// Expiry monotonicity across downtime (DESIGN.md §16): a durable replica
+// that crashes and later recovers from its snapshot+WAL must drop every
+// advertisement that expired while it was down, and a stale replicate
+// arriving late (a heal delivering pre-partition state) must not
+// resurrect one either — expiry is monotonic across the replica set.
+TEST_F(TdnQuorumFixture, ExpiryDuringDowntimeNotResurrectedOnRecovery) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "et-tdn-quorum-durable";
+  fs::remove_all(dir);
+  const crypto::RsaKeyPair shared = crypto::rsa_generate(rng, kBits);
+  auto make = [&](const std::string& id, std::uint64_t seed) {
+    crypto::Identity ident;
+    ident.id = id;
+    ident.keys = shared;
+    ident.credential =
+        ca.issue(id, shared.public_key, net.now(), 3600 * kSecond);
+    return std::make_unique<Tdn>(
+        net, Tdn::Options{std::move(ident), ca.public_key(), seed,
+                          (dir / id).string(),
+                          persist::FsyncPolicy::kNever});
+  };
+  auto d0 = make("tdn-d0", 31);
+  auto d1 = make("tdn-d1", 32);
+  net.link(d0->node(), d1->node(), fast());
+  d0->peer(d1->node());
+  d1->peer(d0->node());
+
+  auto owner = std::make_unique<DiscoveryClient>(net, identity("entity-9"));
+  owner->attach_tdn(d0->node(), fast());
+  ASSERT_TRUE(
+      create(*owner, "Availability/Traces/entity-9", 2 * kSecond).ok());
+  EXPECT_EQ(d0->advertisement_count(), 1u);
+  EXPECT_EQ(d1->advertisement_count(), 1u);
+  // Fold the ad into the snapshot so recovery exercises the snapshot
+  // path, not just WAL replay.
+  ASSERT_TRUE(d0->checkpoint().is_ok());
+
+  // Replica 0 is down while the advertisement expires; recovery from the
+  // snapshot must refuse to load it back.
+  net.run_for(3 * kSecond);
+  d0->simulate_restart(/*with_state=*/true);
+  EXPECT_TRUE(d0->store().snapshot_loaded());
+  EXPECT_EQ(d0->advertisement_count(), 0u);
+  EXPECT_GE(d0->stats().expired_dropped, 1u);
+  auto probe = std::make_unique<DiscoveryClient>(net, identity("probe"));
+  probe->attach_tdn(d0->node(), fast());
+  EXPECT_FALSE(discover(*probe, "Liveness/entity-9").ok());
+
+  // Late replicate: a peer's push that arrives after the lifetime (the
+  // heal delivering pre-partition traffic) must be dropped on arrival.
+  auto d2 = make("tdn-d2", 33);
+  auto d3 = make("tdn-d3", 34);
+  transport::LinkParams slow = fast();
+  slow.base_latency = 4 * kSecond;  // longer than the topic lifetime
+  net.link(d2->node(), d3->node(), slow);
+  d3->peer(d2->node());
+  auto owner2 = std::make_unique<DiscoveryClient>(net, identity("entity-10"));
+  owner2->attach_tdn(d3->node(), fast());
+  ASSERT_TRUE(
+      create(*owner2, "Availability/Traces/entity-10", 2 * kSecond).ok());
+  EXPECT_EQ(d3->advertisement_count(), 1u);
+  EXPECT_EQ(d2->advertisement_count(), 0u)
+      << "a replicate older than the lifetime must not be stored";
+  EXPECT_GE(d2->stats().expired_dropped, 1u);
+  fs::remove_all(dir);
 }
 
 TEST_F(TdnQuorumFixture, RemintAfterHealIsIdempotent) {

@@ -1,0 +1,374 @@
+// Decoder fuzzing for the replay log and the trace ledger (DESIGN.md §16).
+//
+// Two adversaries, both seeded and deterministic:
+//
+//  * a corrupting disk — random chunk overwrites and single-bit flips in
+//    the WAL file. Recovery must never crash, never over-read, and must
+//    yield a byte-exact prefix of the committed records (the ASan CI
+//    stage runs this binary to prove the "never" part);
+//
+//  * a tampering broker — drop / duplicate / reorder / bit-flip /
+//    sequence-rewrite mutations applied to an otherwise valid hash
+//    chain. `LedgerAuditor::verify_chain` must flag every single
+//    mutation, and must name the exact first broken link.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/random.h"
+#include "src/common/serialize.h"
+#include "src/persist/ledger.h"
+#include "src/persist/wal.h"
+
+namespace et::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PersistFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("et-persist-fuzz-" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+void overwrite_bytes(const std::string& p, std::uint64_t off,
+                     BytesView junk) {
+  std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(static_cast<std::streamoff>(off));
+  f.write(reinterpret_cast<const char*>(junk.data()),
+          static_cast<std::streamsize>(junk.size()));
+}
+
+void flip_bit(const std::string& p, std::uint64_t byte, unsigned bit) {
+  std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(byte));
+  char c = 0;
+  f.get(c);
+  c = static_cast<char>(c ^ (1u << bit));
+  f.seekp(static_cast<std::streamoff>(byte));
+  f.put(c);
+}
+
+// --- WAL corruption fuzzing -------------------------------------------
+
+// Random chunk overwrites anywhere in the log: recovery yields a
+// byte-exact prefix of what was committed — corrupt or synthesized
+// records never surface.
+TEST_F(PersistFuzzTest, WalRandomChunkCorruptionYieldsPrefixNeverCrash) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const std::string p = path("wal-" + std::to_string(seed) + ".log");
+    std::vector<Bytes> committed;
+    {
+      Wal wal;
+      ASSERT_TRUE(wal.open({.path = p}, [](BytesView) {}).is_ok());
+      const std::size_t n = 3 + rng.next_below(12);
+      for (std::size_t i = 0; i < n; ++i) {
+        committed.push_back(rng.next_bytes(1 + rng.next_below(80)));
+        ASSERT_TRUE(wal.append(committed.back()).is_ok());
+      }
+      wal.close();
+    }
+    const std::uint64_t len = fs::file_size(p);
+    const std::uint64_t off = rng.next_below(len);
+    const Bytes junk = rng.next_bytes(
+        1 + rng.next_below(std::min<std::uint64_t>(len - off, 48)));
+    overwrite_bytes(p, off, junk);
+
+    Wal wal;
+    std::vector<Bytes> got;
+    const Status s = wal.open({.path = p}, [&](BytesView r) {
+      got.emplace_back(r.begin(), r.end());
+    });
+    ASSERT_TRUE(s.is_ok()) << "seed " << seed << ": " << s.message();
+    ASSERT_LE(got.size(), committed.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], committed[i]) << "seed " << seed << " record " << i;
+    }
+    wal.close();
+  }
+}
+
+// Single-bit flips: CRC-32 detects every one of them, so the affected
+// record (and everything after) must vanish while the prefix survives.
+TEST_F(PersistFuzzTest, WalSingleBitFlipNeverSurfacesCorruptRecord) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(1000 + seed);
+    const std::string p = path("wal-" + std::to_string(seed) + ".log");
+    std::vector<Bytes> committed;
+    std::vector<std::uint64_t> ends;
+    {
+      Wal wal;
+      ASSERT_TRUE(wal.open({.path = p}, [](BytesView) {}).is_ok());
+      const std::size_t n = 2 + rng.next_below(8);
+      for (std::size_t i = 0; i < n; ++i) {
+        committed.push_back(rng.next_bytes(1 + rng.next_below(40)));
+        ASSERT_TRUE(wal.append(committed.back()).is_ok());
+        ends.push_back(wal.size_bytes());
+      }
+      wal.close();
+    }
+    const std::uint64_t byte = rng.next_below(fs::file_size(p));
+    flip_bit(p, byte, static_cast<unsigned>(rng.next_below(8)));
+    // The first record whose frame covers the flipped byte is the first
+    // casualty; everything before it must replay verbatim.
+    std::size_t survivors = 0;
+    while (survivors < ends.size() && ends[survivors] <= byte) ++survivors;
+
+    Wal wal;
+    std::vector<Bytes> got;
+    ASSERT_TRUE(wal.open({.path = p},
+                         [&](BytesView r) {
+                           got.emplace_back(r.begin(), r.end());
+                         })
+                    .is_ok());
+    ASSERT_EQ(got.size(), survivors) << "seed " << seed;
+    for (std::size_t i = 0; i < survivors; ++i) {
+      ASSERT_EQ(got[i], committed[i]) << "seed " << seed;
+    }
+    wal.close();
+  }
+}
+
+// Pure garbage files of every small size: open() must neither crash nor
+// replay anything that was never appended.
+TEST_F(PersistFuzzTest, WalGarbageFilesNeverYieldRecords) {
+  Rng rng(7);
+  for (std::size_t len = 0; len < 64; ++len) {
+    const std::string p = path("junk-" + std::to_string(len) + ".log");
+    {
+      std::ofstream f(p, std::ios::binary);
+      const Bytes junk = rng.next_bytes(len);
+      f.write(reinterpret_cast<const char*>(junk.data()),
+              static_cast<std::streamsize>(junk.size()));
+    }
+    Wal wal;
+    std::size_t got = 0;
+    ASSERT_TRUE(wal.open({.path = p}, [&](BytesView) { ++got; }).is_ok());
+    // A garbage prefix could only decode as a record if its CRC matched a
+    // random length-prefixed span — astronomically unlikely and, with
+    // these fixed seeds, deterministic: nothing decodes.
+    EXPECT_EQ(got, 0u) << "len " << len;
+    wal.close();
+  }
+}
+
+// --- ledger record decoder fuzzing ------------------------------------
+
+TEST_F(PersistFuzzTest, LedgerRecordDecoderSurvivesTruncationAndNoise) {
+  TraceLedger ledger;  // in-memory
+  Rng rng(11);
+  ASSERT_TRUE(ledger
+                  .append("t/a", "e1", 2, 1000, rng.next_bytes(30),
+                          rng.next_bytes(64))
+                  .is_ok());
+  const Bytes wire = ledger.records("t/a")[0].serialize();
+  // Every truncation of a valid encoding must throw, not over-read.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_THROW((void)LedgerRecord::deserialize(
+                     BytesView(wire.data(), len)),
+                 SerializeError)
+        << "len " << len;
+  }
+  // Random noise: decode either throws or yields *some* record; it must
+  // never crash. (Validity is the auditor's job, not the decoder's.)
+  for (int i = 0; i < 200; ++i) {
+    const Bytes junk = rng.next_bytes(1 + rng.next_below(120));
+    try {
+      (void)LedgerRecord::deserialize(junk);
+    } catch (const SerializeError&) {
+      // expected for nearly all inputs
+    }
+  }
+}
+
+// --- hash-chain mutation fuzzing --------------------------------------
+
+// Builds a deterministic valid chain of `n` records.
+std::vector<LedgerRecord> build_chain(std::size_t n, std::uint64_t seed) {
+  TraceLedger ledger;  // in-memory
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(ledger
+                    .append("topic/x", "entity-" + std::to_string(i % 3),
+                            static_cast<std::uint8_t>(rng.next_below(7)),
+                            static_cast<TimePoint>(1000 * (i + 1)),
+                            rng.next_bytes(10 + rng.next_below(40)),
+                            rng.next_bytes(32))
+                    .is_ok());
+  }
+  return ledger.records("topic/x");
+}
+
+enum class Mutation : std::uint8_t {
+  kDropInterior,    // remove a non-tail record
+  kDuplicate,       // append a copy of record k right after itself
+  kSwapAdjacent,    // reorder records k and k+1
+  kFlipPayloadBit,  // tamper the stored trace body
+  kFlipPrevDigest,  // tamper the chain link itself
+  kFlipDigest,      // tamper the record's own digest
+  kRewriteSequence, // forge the sequence number
+  kRewriteIssuedAt, // backdate the record
+  kCount,
+};
+
+struct MutationOutcome {
+  std::size_t expect_broken = 0;  // index verify_chain must report
+};
+
+// Applies `m` at position `k`; returns where the auditor must flag it.
+MutationOutcome apply_mutation(std::vector<LedgerRecord>& chain, Mutation m,
+                               std::size_t k, Rng& rng) {
+  switch (m) {
+    case Mutation::kDropInterior:
+      chain.erase(chain.begin() + static_cast<std::ptrdiff_t>(k));
+      // The successor now sits at index k carrying sequence k+2.
+      return {.expect_broken = k};
+    case Mutation::kDuplicate:
+      chain.insert(chain.begin() + static_cast<std::ptrdiff_t>(k + 1),
+                   chain[k]);
+      // The copy at k+1 repeats sequence k+1 where k+2 belongs.
+      return {.expect_broken = k + 1};
+    case Mutation::kSwapAdjacent:
+      std::swap(chain[k], chain[k + 1]);
+      return {.expect_broken = k};
+    case Mutation::kFlipPayloadBit: {
+      Bytes& p = chain[k].payload;
+      p[rng.next_below(p.size())] ^= static_cast<std::uint8_t>(
+          1u << rng.next_below(8));
+      return {.expect_broken = k};
+    }
+    case Mutation::kFlipPrevDigest: {
+      Bytes& d = chain[k].prev_digest;
+      d[rng.next_below(d.size())] ^= static_cast<std::uint8_t>(
+          1u << rng.next_below(8));
+      return {.expect_broken = k};
+    }
+    case Mutation::kFlipDigest: {
+      Bytes& d = chain[k].digest;
+      d[rng.next_below(d.size())] ^= static_cast<std::uint8_t>(
+          1u << rng.next_below(8));
+      return {.expect_broken = k};
+    }
+    case Mutation::kRewriteSequence:
+      chain[k].sequence += 1 + rng.next_below(5);
+      return {.expect_broken = k};
+    case Mutation::kRewriteIssuedAt:
+      chain[k].issued_at -= 1;
+      return {.expect_broken = k};
+    case Mutation::kCount:
+      break;
+  }
+  ADD_FAILURE() << "unreachable";
+  return {};
+}
+
+// Every mutation kind, every viable position, several chain seeds: the
+// auditor must detect 100% of them and name the exact first broken link.
+TEST_F(PersistFuzzTest, LedgerAuditorFlagsEveryMutationAtExactLink) {
+  constexpr std::size_t kChain = 8;
+  std::size_t mutations_checked = 0;
+  for (std::uint64_t seed : {3ULL, 17ULL, 99ULL}) {
+    const std::vector<LedgerRecord> pristine = build_chain(kChain, seed);
+    ASSERT_TRUE(LedgerAuditor::verify_chain(pristine).ok);
+
+    for (std::uint8_t mi = 0;
+         mi < static_cast<std::uint8_t>(Mutation::kCount); ++mi) {
+      const auto m = static_cast<Mutation>(mi);
+      // Viable positions: drops skip the tail (a truncated tail is a
+      // shorter-but-valid chain — head_digest comparison catches it, not
+      // chain verification); swaps need a successor.
+      const std::size_t limit =
+          (m == Mutation::kDropInterior || m == Mutation::kSwapAdjacent)
+              ? kChain - 1
+              : kChain;
+      for (std::size_t k = 0; k < limit; ++k) {
+        Rng rng(seed * 1000 + mi * 100 + k);
+        std::vector<LedgerRecord> chain = pristine;
+        const MutationOutcome want = apply_mutation(chain, m, k, rng);
+        const ChainReport report = LedgerAuditor::verify_chain(chain);
+        ASSERT_FALSE(report.ok)
+            << "mutation " << int(mi) << " at " << k << " seed " << seed
+            << " escaped the auditor";
+        EXPECT_EQ(report.first_broken, want.expect_broken)
+            << "mutation " << int(mi) << " at " << k << " seed " << seed
+            << " reason: " << report.reason;
+        EXPECT_FALSE(report.reason.empty());
+        ++mutations_checked;
+      }
+    }
+  }
+  // 3 seeds x (2 kinds x 7 positions + 6 kinds x 8 positions).
+  EXPECT_EQ(mutations_checked, 3u * (2 * (kChain - 1) + 6 * kChain));
+}
+
+// Dropping the tail record is invisible to chain verification by design;
+// the durable head digest is the defence. Pin that boundary explicitly so
+// nobody mistakes it for detection coverage.
+TEST_F(PersistFuzzTest, LedgerTailDropDetectedByHeadDigestNotChain) {
+  std::vector<LedgerRecord> chain = build_chain(5, 21);
+  const Bytes head = chain.back().digest;
+  chain.pop_back();
+  EXPECT_TRUE(LedgerAuditor::verify_chain(chain).ok);
+  EXPECT_NE(chain.back().digest, head);
+}
+
+// Durable ledger under random file corruption: reopening must never
+// crash, and the recovered records must be a prefix of what was written.
+TEST_F(PersistFuzzTest, LedgerLogCorruptionRecoversPrefixNeverCrash) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(500 + seed);
+    const std::string p = path("ledger-" + std::to_string(seed) + ".log");
+    std::vector<LedgerRecord> written;
+    {
+      TraceLedger ledger;
+      ASSERT_TRUE(ledger.open({.path = p}).is_ok());
+      const std::size_t n = 3 + rng.next_below(10);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(ledger
+                        .append("t", "e", 1,
+                                static_cast<TimePoint>(100 * (i + 1)),
+                                rng.next_bytes(20), rng.next_bytes(16))
+                        .is_ok());
+      }
+      written = ledger.records("t");
+    }
+    const std::uint64_t len = fs::file_size(p);
+    const Bytes junk = rng.next_bytes(1 + rng.next_below(32));
+    overwrite_bytes(p, rng.next_below(len), junk);
+
+    TraceLedger reopened;
+    ASSERT_TRUE(reopened.open({.path = p}).is_ok()) << "seed " << seed;
+    const std::vector<std::string> topics = reopened.topics();
+    if (!topics.empty()) {
+      const auto& got = reopened.records("t");
+      ASSERT_LE(got.size(), written.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], written[i]) << "seed " << seed << " record " << i;
+      }
+      // Whatever survived is a valid prefix — its chain must verify.
+      EXPECT_TRUE(LedgerAuditor::verify_chain(got).ok) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace et::persist

@@ -1,0 +1,404 @@
+// Crash-recovery property tests for the write-ahead log (DESIGN.md §16).
+//
+// The WAL's contract is prefix durability: after a crash at ANY byte of
+// the file, recovery replays exactly the longest prefix of committed
+// records whose frames verify — never a torn record, never a phantom.
+// These tests prove it exhaustively (truncation at every byte boundary
+// of the tail record) and statistically (randomized write/crash/recover
+// cycles), plus the snapshot store's atomic-replace and corruption
+// detection, and the DurableStore checkpoint dance.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/random.h"
+#include "src/persist/store.h"
+#include "src/persist/wal.h"
+
+namespace et::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique scratch directory per test, removed on teardown.
+class PersistWalPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("et-persist-test-" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+Bytes record_payload(std::uint64_t i, std::size_t len) {
+  Bytes b(len);
+  for (std::size_t k = 0; k < len; ++k) {
+    b[k] = static_cast<std::uint8_t>((i * 131 + k * 7 + 3) & 0xff);
+  }
+  return b;
+}
+
+std::vector<Bytes> replay_all(const std::string& p) {
+  std::vector<Bytes> out;
+  Wal wal;
+  Status s = wal.open({.path = p, .fsync = FsyncPolicy::kNever},
+                      [&](BytesView r) { out.emplace_back(r.begin(), r.end()); });
+  EXPECT_TRUE(s.is_ok()) << s.message();
+  wal.close();
+  return out;
+}
+
+void truncate_file(const std::string& p, std::uint64_t len) {
+  fs::resize_file(p, len);
+}
+
+std::uint64_t file_size(const std::string& p) { return fs::file_size(p); }
+
+// --- exhaustive torn-tail sweep ---------------------------------------
+
+// Write N records, then for EVERY byte boundary inside the tail record's
+// frame, copy the log, truncate at that boundary, and recover: the result
+// must be exactly the first N-1 records — the torn tail never surfaces,
+// and nothing before it is lost.
+TEST_F(PersistWalPropertyTest, TruncationAtEveryTailByteYieldsExactPrefix) {
+  const std::string p = path("wal.log");
+  constexpr std::size_t kRecords = 5;
+  std::vector<Bytes> committed;
+  std::uint64_t prefix_len = 0;  // bytes occupied by records [0, N-1)
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open({.path = p}, [](BytesView) {}).is_ok());
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      committed.push_back(record_payload(i, 16 + i * 9));
+      if (i + 1 == kRecords) prefix_len = wal.size_bytes();
+      ASSERT_TRUE(wal.append(committed.back()).is_ok());
+    }
+    wal.close();
+  }
+  const std::uint64_t full_len = file_size(p);
+  ASSERT_GT(full_len, prefix_len);
+
+  for (std::uint64_t cut = prefix_len; cut < full_len; ++cut) {
+    const std::string torn = path("torn.log");
+    fs::copy_file(p, torn, fs::copy_options::overwrite_existing);
+    truncate_file(torn, cut);
+
+    const std::vector<Bytes> got = replay_all(torn);
+    ASSERT_EQ(got.size(), kRecords - 1) << "cut at byte " << cut;
+    for (std::size_t i = 0; i + 1 < kRecords; ++i) {
+      EXPECT_EQ(got[i], committed[i]) << "cut at byte " << cut;
+    }
+    // Recovery truncated the torn tail: the file now holds the prefix.
+    EXPECT_EQ(file_size(torn), prefix_len) << "cut at byte " << cut;
+    fs::remove(torn);
+  }
+}
+
+// Same sweep but cutting anywhere in the whole file: recovery must yield
+// the records whose frames fit entirely before the cut, in order.
+TEST_F(PersistWalPropertyTest, TruncationAnywhereYieldsCommittedPrefix) {
+  const std::string p = path("wal.log");
+  constexpr std::size_t kRecords = 4;
+  std::vector<Bytes> committed;
+  std::vector<std::uint64_t> ends;  // file length after each append
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open({.path = p}, [](BytesView) {}).is_ok());
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      committed.push_back(record_payload(i, 5 + i * 11));
+      ASSERT_TRUE(wal.append(committed.back()).is_ok());
+      ends.push_back(wal.size_bytes());
+    }
+    wal.close();
+  }
+  for (std::uint64_t cut = 0; cut <= ends.back(); ++cut) {
+    std::size_t expect = 0;
+    while (expect < kRecords && ends[expect] <= cut) ++expect;
+
+    const std::string torn = path("torn.log");
+    fs::copy_file(p, torn, fs::copy_options::overwrite_existing);
+    truncate_file(torn, cut);
+
+    const std::vector<Bytes> got = replay_all(torn);
+    ASSERT_EQ(got.size(), expect) << "cut at byte " << cut;
+    for (std::size_t i = 0; i < expect; ++i) {
+      EXPECT_EQ(got[i], committed[i]) << "cut at byte " << cut;
+    }
+    fs::remove(torn);
+  }
+}
+
+// --- randomized write/crash/recover cycles ----------------------------
+
+// Many rounds: append a random batch, "crash" by truncating the file at a
+// random byte ≥ the last committed boundary we keep, recover, verify the
+// survivor set is exactly a prefix of everything committed so far, then
+// keep appending on top of the recovered log. Model state (the committed
+// prefix) is tracked outside the WAL.
+TEST_F(PersistWalPropertyTest, RandomizedCrashRecoverCyclesPreservePrefix) {
+  for (std::uint64_t seed : {7ULL, 42ULL, 1234ULL}) {
+    const std::string p = path("wal-" + std::to_string(seed) + ".log");
+    Rng rng(seed);
+    std::vector<Bytes> model;          // records known durable
+    std::vector<std::uint64_t> ends;   // file length after each record
+    std::uint64_t base = 0;
+
+    for (int round = 0; round < 25; ++round) {
+      // Append a batch.
+      {
+        Wal wal;
+        std::size_t replayed = 0;
+        ASSERT_TRUE(
+            wal.open({.path = p}, [&](BytesView) { ++replayed; }).is_ok());
+        ASSERT_EQ(replayed, model.size());
+        const std::size_t batch = 1 + rng.next_below(6);
+        for (std::size_t i = 0; i < batch; ++i) {
+          Bytes r = rng.next_bytes(1 + rng.next_below(64));
+          ASSERT_TRUE(wal.append(r).is_ok());
+          model.push_back(std::move(r));
+          ends.push_back(wal.size_bytes());
+        }
+        wal.close();
+      }
+      // Crash: cut at a uniformly random byte of the file.
+      const std::uint64_t len = file_size(p);
+      const std::uint64_t cut = base + rng.next_below(len - base + 1);
+      truncate_file(p, cut);
+      // Shrink the model to the surviving prefix.
+      while (!ends.empty() && ends.back() > cut) {
+        ends.pop_back();
+        model.pop_back();
+      }
+      base = ends.empty() ? 0 : ends.back();
+      // Recover and compare against the model exactly.
+      const std::vector<Bytes> got = replay_all(p);
+      ASSERT_EQ(got.size(), model.size()) << "seed " << seed << " round "
+                                          << round;
+      for (std::size_t i = 0; i < model.size(); ++i) {
+        ASSERT_EQ(got[i], model[i]) << "seed " << seed << " round " << round;
+      }
+      // replay_all's recovery rewrote the file to the valid prefix.
+      ASSERT_EQ(file_size(p), base);
+    }
+  }
+}
+
+// Trailing garbage (random bytes appended by a confused writer) must be
+// dropped, not decoded.
+TEST_F(PersistWalPropertyTest, TrailingGarbageIsTruncatedNotReplayed) {
+  const std::string p = path("wal.log");
+  const Bytes only = record_payload(1, 20);
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open({.path = p}, [](BytesView) {}).is_ok());
+    ASSERT_TRUE(wal.append(only).is_ok());
+    wal.close();
+  }
+  Rng rng(99);
+  {
+    std::ofstream f(p, std::ios::binary | std::ios::app);
+    const Bytes junk = rng.next_bytes(37);
+    f.write(reinterpret_cast<const char*>(junk.data()),
+            static_cast<std::streamsize>(junk.size()));
+  }
+  Wal wal;
+  std::vector<Bytes> got;
+  ASSERT_TRUE(wal.open({.path = p},
+                       [&](BytesView r) {
+                         got.emplace_back(r.begin(), r.end());
+                       })
+                  .is_ok());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], only);
+  EXPECT_TRUE(wal.recovery().torn_tail);
+  EXPECT_GT(wal.recovery().truncated_bytes, 0u);
+  wal.close();
+}
+
+// A length field claiming more than kMaxWalRecord is corruption, not an
+// allocation request.
+TEST_F(PersistWalPropertyTest, OversizedLengthFieldTreatedAsCorruption) {
+  const std::string p = path("wal.log");
+  {
+    std::ofstream f(p, std::ios::binary);
+    const std::uint8_t huge[8] = {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0};
+    f.write(reinterpret_cast<const char*>(huge), 8);
+  }
+  const std::vector<Bytes> got = replay_all(p);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(file_size(p), 0u);
+}
+
+TEST_F(PersistWalPropertyTest, AppendRejectsOversizedRecord) {
+  Wal wal;
+  ASSERT_TRUE(wal.open({.path = path("wal.log")}, [](BytesView) {}).is_ok());
+  const Bytes big(kMaxWalRecord + 1, 0xab);
+  EXPECT_FALSE(wal.append(big).is_ok());
+  wal.close();
+}
+
+// --- snapshot store ---------------------------------------------------
+
+TEST_F(PersistWalPropertyTest, SnapshotRoundTripAndAtomicReplace) {
+  SnapshotStore snap(path("snapshot.bin"));
+  EXPECT_EQ(snap.load().status().code(), Code::kNotFound);
+
+  const Bytes v1 = record_payload(1, 100);
+  ASSERT_TRUE(snap.save(v1).is_ok());
+  auto r1 = snap.load();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value(), v1);
+
+  const Bytes v2 = record_payload(2, 250);
+  ASSERT_TRUE(snap.save(v2).is_ok());
+  auto r2 = snap.load();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), v2);
+}
+
+// Flip every single byte of a saved snapshot in turn: load must fail its
+// header or CRC check every time — silent corruption is not an option.
+TEST_F(PersistWalPropertyTest, SnapshotDetectsEveryByteFlip) {
+  const std::string p = path("snapshot.bin");
+  SnapshotStore snap(p);
+  ASSERT_TRUE(snap.save(record_payload(3, 64)).is_ok());
+
+  std::ifstream in(p, std::ios::binary);
+  std::vector<char> orig((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    std::vector<char> bad = orig;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    {
+      std::ofstream out(p, std::ios::binary | std::ios::trunc);
+      out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    }
+    EXPECT_FALSE(snap.load().ok()) << "flip at byte " << i;
+  }
+}
+
+// --- durable store (snapshot + WAL composition) -----------------------
+
+// Map-shaped state machine: records are (key, value) pairs, snapshot is
+// the serialized map. Replay over snapshot must be idempotent.
+struct MapState {
+  std::map<std::uint8_t, std::uint8_t> m;
+
+  void apply(BytesView r) {
+    ASSERT_EQ(r.size(), 2u);
+    m[r[0]] = r[1];
+  }
+  void load(BytesView blob) {
+    m.clear();
+    ASSERT_EQ(blob.size() % 2, 0u);
+    for (std::size_t i = 0; i < blob.size(); i += 2) m[blob[i]] = blob[i + 1];
+  }
+  [[nodiscard]] Bytes blob() const {
+    Bytes b;
+    for (auto& [k, v] : m) {
+      b.push_back(k);
+      b.push_back(v);
+    }
+    return b;
+  }
+};
+
+TEST_F(PersistWalPropertyTest, DurableStoreCheckpointAndReplayConverge) {
+  const std::string d = path("store");
+  Rng rng(2024);
+  MapState model;
+
+  for (int round = 0; round < 10; ++round) {
+    DurableStore store;
+    MapState recovered;
+    ASSERT_TRUE(store
+                    .open({.dir = d},
+                          [&](BytesView blob) { recovered.load(blob); },
+                          [&](BytesView r) { recovered.apply(r); })
+                    .is_ok());
+    ASSERT_EQ(recovered.m, model.m) << "round " << round;
+
+    const std::size_t writes = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < writes; ++i) {
+      const Bytes r{static_cast<std::uint8_t>(rng.next_below(16)),
+                    static_cast<std::uint8_t>(rng.next_below(256))};
+      ASSERT_TRUE(store.append(r).is_ok());
+      model.apply(r);
+      recovered.apply(r);
+    }
+    if (round % 3 == 2) {
+      ASSERT_TRUE(store.checkpoint(recovered.blob()).is_ok());
+      ASSERT_EQ(store.wal_records(), 0u);
+    }
+    store.close();
+  }
+}
+
+TEST_F(PersistWalPropertyTest, DurableStoreResetWipesEverything) {
+  const std::string d = path("store");
+  DurableStore store;
+  ASSERT_TRUE(
+      store.open({.dir = d}, [](BytesView) {}, [](BytesView) {}).is_ok());
+  ASSERT_TRUE(store.append(record_payload(1, 4)).is_ok());
+  ASSERT_TRUE(store.checkpoint(record_payload(2, 8)).is_ok());
+  ASSERT_TRUE(store.append(record_payload(3, 4)).is_ok());
+  ASSERT_TRUE(store.reset().is_ok());
+  store.close();
+
+  DurableStore again;
+  bool snapshot_seen = false;
+  std::size_t records = 0;
+  ASSERT_TRUE(again
+                  .open({.dir = d},
+                        [&](BytesView) { snapshot_seen = true; },
+                        [&](BytesView) { ++records; })
+                  .is_ok());
+  EXPECT_FALSE(snapshot_seen);
+  EXPECT_EQ(records, 0u);
+  again.close();
+}
+
+// A corrupt snapshot must fail open() loudly — recovering from WAL alone
+// would silently drop the checkpointed state.
+TEST_F(PersistWalPropertyTest, DurableStoreRefusesCorruptSnapshot) {
+  const std::string d = path("store");
+  {
+    DurableStore store;
+    ASSERT_TRUE(
+        store.open({.dir = d}, [](BytesView) {}, [](BytesView) {}).is_ok());
+    ASSERT_TRUE(store.checkpoint(record_payload(1, 32)).is_ok());
+    store.close();
+  }
+  {
+    std::ofstream f(d + "/snapshot.bin",
+                    std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(6);
+    f.put(static_cast<char>(0xee));
+  }
+  DurableStore store;
+  EXPECT_FALSE(
+      store.open({.dir = d}, [](BytesView) {}, [](BytesView) {}).is_ok());
+}
+
+}  // namespace
+}  // namespace et::persist
